@@ -1,0 +1,81 @@
+//! E14 (timing) — database → information network extraction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_relational::{
+    extract_network, ColumnType, Database, ExtractConfig, TableSchema, Value,
+};
+use hin_synth::DblpConfig;
+
+/// Materialize a synthetic bibliographic world as a relational database.
+fn build_db(n_papers: usize) -> Database {
+    let data = DblpConfig {
+        n_papers,
+        seed: 13,
+        ..Default::default()
+    }
+    .generate();
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new("venue")
+            .column("vid", ColumnType::Int)
+            .primary_key("vid"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("author")
+            .column("aid", ColumnType::Int)
+            .primary_key("aid"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("paper")
+            .column("pid", ColumnType::Int)
+            .column("vid", ColumnType::Int)
+            .primary_key("pid")
+            .foreign_key("vid", "venue"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("writes")
+            .column("aid", ColumnType::Int)
+            .column("pid", ColumnType::Int)
+            .foreign_key("aid", "author")
+            .foreign_key("pid", "paper"),
+    )
+    .unwrap();
+    for v in 0..data.hin.node_count(data.venue) {
+        db.insert("venue", vec![Value::Int(v as i64)]).unwrap();
+    }
+    for a in 0..data.hin.node_count(data.author) {
+        db.insert("author", vec![Value::Int(a as i64)]).unwrap();
+    }
+    let pv = data.hin.adjacency(data.paper, data.venue).unwrap();
+    let pa = data.hin.adjacency(data.paper, data.author).unwrap();
+    for p in 0..n_papers {
+        db.insert(
+            "paper",
+            vec![Value::Int(p as i64), Value::Int(pv.row_indices(p)[0] as i64)],
+        )
+        .unwrap();
+        for &a in pa.row_indices(p) {
+            db.insert("writes", vec![Value::Int(a as i64), Value::Int(p as i64)])
+                .unwrap();
+        }
+    }
+    db
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let db = build_db(n);
+        group.bench_with_input(BenchmarkId::new("extract_network", n), &db, |b, db| {
+            b.iter(|| extract_network(db, &ExtractConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E7 (timing) — NetClus wall-clock versus corpus size, with the ranking
+//! method ablation (simple versus authority propagation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_netclus::{netclus, NetClusConfig, RankingMethod};
+use hin_synth::DblpConfig;
+
+fn bench_netclus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netclus");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        let data = DblpConfig {
+            n_papers: n,
+            seed: 6,
+            ..Default::default()
+        }
+        .generate();
+        let star = data.star();
+        group.bench_with_input(BenchmarkId::new("authority", n), &star, |b, star| {
+            b.iter(|| {
+                netclus(star, &NetClusConfig {
+                    k: 4,
+                    seed: 1,
+                    ..Default::default()
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simple", n), &star, |b, star| {
+            b.iter(|| {
+                netclus(star, &NetClusConfig {
+                    k: 4,
+                    ranking: RankingMethod::Simple,
+                    seed: 1,
+                    ..Default::default()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_netclus);
+criterion_main!(benches);

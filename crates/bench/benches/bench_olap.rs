@@ -1,0 +1,52 @@
+//! E12 (timing) — network cube build, roll-up and per-cell measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_olap::{Dimension, NetworkCube};
+use hin_synth::DblpConfig;
+
+fn bench_cube(c: &mut Criterion) {
+    let mut group = c.benchmark_group("olap");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        let data = DblpConfig {
+            n_papers: n,
+            years: 10,
+            seed: 21,
+            ..Default::default()
+        }
+        .generate();
+        let star = data.star();
+        let dims = || {
+            vec![
+                Dimension::new(
+                    "area",
+                    (0..4).map(|a| format!("a{a}")).collect(),
+                    data.paper_area.iter().map(|&a| a as u32).collect(),
+                ),
+                Dimension::new(
+                    "year",
+                    (0..10).map(|y| format!("y{y}")).collect(),
+                    data.paper_year.clone(),
+                ),
+            ]
+        };
+        group.bench_with_input(BenchmarkId::new("build", n), &star, |b, star| {
+            b.iter(|| NetworkCube::build(star.clone(), dims()))
+        });
+        let cube = NetworkCube::build(star.clone(), dims());
+        group.bench_with_input(BenchmarkId::new("rollup", n), &cube, |b, cube| {
+            b.iter(|| cube.roll_up(1))
+        });
+        group.bench_with_input(BenchmarkId::new("cell_measures", n), &cube, |b, cube| {
+            b.iter(|| {
+                cube.cells()
+                    .map(|(_, v)| v.density(0) + v.link_mass(1))
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cube);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 (timing) — PageRank / HITS / Personalized PageRank throughput on
+//! forest-fire graphs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_ranking::{hits, pagerank, personalized_pagerank, PageRankConfig};
+use hin_synth::{forest_fire, GrowthConfig};
+
+fn bench_rankers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let (g, _) = forest_fire(&GrowthConfig {
+            n,
+            p_forward: 0.5,
+            snapshots: 1,
+            seed: 3,
+        });
+        group.bench_with_input(BenchmarkId::new("pagerank", n), &g, |b, g| {
+            b.iter(|| pagerank(g, &PageRankConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("hits", n), &g, |b, g| {
+            b.iter(|| hits(g, 1e-10, 200))
+        });
+        let mut restart = vec![0.0; n];
+        restart[0] = 1.0;
+        group.bench_with_input(BenchmarkId::new("ppr", n), &g, |b, g| {
+            b.iter(|| personalized_pagerank(g, &restart, &PageRankConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rankers);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E5 (timing) — RankClus versus the SimRank+spectral baseline as the
+//! bi-typed network grows (EDBT'09 Fig. 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_bench::simrank_spectral_baseline;
+use hin_rankclus::{rankclus, RankClusConfig};
+use hin_synth::BiNetConfig;
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rankclus_scale");
+    group.sample_size(10);
+    for &scale in &[1usize, 2, 4] {
+        let s = BiNetConfig {
+            k: 3,
+            nx_per_cluster: 10 * scale,
+            ny_per_cluster: 60 * scale,
+            links_per_x: 100.0 * scale as f64,
+            cross: 0.15,
+            zipf_exponent: 0.8,
+            seed: 9,
+        }
+        .generate();
+        group.bench_with_input(BenchmarkId::new("rankclus", scale), &s.net, |b, net| {
+            b.iter(|| {
+                rankclus(net, &RankClusConfig {
+                    k: 3,
+                    seed: 1,
+                    n_restarts: 1,
+                    ..Default::default()
+                })
+            })
+        });
+        if scale <= 2 {
+            group.bench_with_input(
+                BenchmarkId::new("simrank_spectral", scale),
+                &s.net,
+                |b, net| b.iter(|| simrank_spectral_baseline(net, 3, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E13 (timing) — SimRank: naive pair-sum versus the partial-sums
+//! optimization (the speedup LinkClus-era work targets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_similarity::{simrank, simrank_naive, SimRankConfig};
+use hin_synth::{planted_partition, PlantedConfig};
+
+fn bench_simrank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simrank");
+    group.sample_size(10);
+    let config = SimRankConfig {
+        max_iters: 3,
+        tol: 0.0,
+        ..Default::default()
+    };
+    for &n in &[100usize, 200, 400] {
+        let (g, _) = planted_partition(&PlantedConfig {
+            n,
+            k: 4,
+            p_in: 0.2,
+            p_out: 0.02,
+            seed: 5,
+        });
+        group.bench_with_input(BenchmarkId::new("partial_sums", n), &g, |b, g| {
+            b.iter(|| simrank(g, &config))
+        });
+        if n <= 200 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &g, |b, g| {
+                b.iter(|| simrank_naive(g, &config))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simrank);
+criterion_main!(benches);

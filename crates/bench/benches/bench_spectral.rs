@@ -1,0 +1,44 @@
+//! E3 (timing) — spectral clustering: dense Jacobi versus matrix-free
+//! Lanczos eigensolvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_clustering::{spectral_clustering, EigenSolver, SpectralConfig};
+use hin_synth::{planted_partition, PlantedConfig};
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral");
+    group.sample_size(10);
+    for &n in &[200usize, 400, 800] {
+        let (g, _) = planted_partition(&PlantedConfig {
+            n,
+            k: 3,
+            p_in: 0.2,
+            p_out: 0.02,
+            seed: 4,
+        });
+        if n <= 400 {
+            group.bench_with_input(BenchmarkId::new("dense_jacobi", n), &g, |b, g| {
+                b.iter(|| {
+                    spectral_clustering(g, &SpectralConfig {
+                        k: 3,
+                        solver: EigenSolver::Dense,
+                        seed: 1,
+                    })
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("lanczos", n), &g, |b, g| {
+            b.iter(|| {
+                spectral_clustering(g, &SpectralConfig {
+                    k: 3,
+                    solver: EigenSolver::Lanczos { steps: 50 },
+                    seed: 1,
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectral);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! E15 — CrossClus: user-guided multi-relational clustering (DMKD'07;
+//! tutorial §4(b)).
+//!
+//! Regenerates: the guidance-sensitivity result — the *same* relational
+//! data clusters differently (and correctly) depending on which guidance
+//! feature the user supplies, and pertinent features are discovered
+//! automatically while noise features are rejected.
+//!
+//! Run with: `cargo run --release -p hin-bench --bin exp_crossclus`
+
+use hin_bench::markdown_table;
+use hin_clustering::nmi;
+use hin_crossclus::{crossclus, CrossClusConfig, Feature};
+use hin_synth::DblpConfig;
+
+fn main() {
+    let data = DblpConfig {
+        n_areas: 3,
+        n_papers: 900,
+        authors_per_area: 60,
+        noise: 0.05,
+        area_mixture_alpha: 0.05,
+        seed: 61,
+        ..Default::default()
+    }
+    .generate();
+    let n = data.paper_area.len();
+    let pv = data.hin.adjacency(data.paper, data.venue).expect("rel");
+    let pa = data.hin.adjacency(data.paper, data.author).expect("rel");
+    let pt = data.hin.adjacency(data.paper, data.term).expect("rel");
+
+    let from_adj = |name: &str, adj: &hin_linalg::Csr| {
+        Feature::from_observations(
+            name,
+            n,
+            adj.ncols(),
+            adj.iter(),
+        )
+    };
+    let venue_f = from_adj("paper→venue", pv);
+    let author_f = from_adj("paper→authors", pa);
+    let term_f = from_adj("paper→terms", pt);
+    // a pure-noise feature: publication parity (uncorrelated with areas)
+    let parity = Feature::from_observations(
+        "paper→parity",
+        n,
+        2,
+        (0..n as u32).map(|p| (p, p % 2, 1.0)),
+    );
+    // year feature: correlated with nothing but time
+    let year = Feature::from_observations(
+        "paper→year",
+        n,
+        data.config.years,
+        data.paper_year.iter().enumerate().map(|(p, &y)| (p as u32, y, 1.0)),
+    );
+
+    println!("## E15a — feature pertinence under venue guidance\n");
+    let candidates = [author_f.clone(), term_f.clone(), parity.clone(), year.clone()];
+    let r = crossclus(&venue_f, &candidates, &CrossClusConfig {
+        k: 3,
+        min_pertinence: 0.0, // report everything
+        seed: 5,
+        ..Default::default()
+    });
+    let rows: Vec<Vec<String>> = r
+        .selected
+        .iter()
+        .map(|(name, w)| vec![name.clone(), format!("{w:.3}")])
+        .collect();
+    markdown_table(&["feature", "pertinence to venue guidance"], &rows);
+
+    println!("\n## E15b — clustering quality vs guidance choice\n");
+    let mut rows = Vec::new();
+    for (gname, guidance, truth, tname) in [
+        ("venue", &venue_f, &data.paper_area, "planted area"),
+        ("year", &year, &data.paper_area, "planted area"),
+    ] {
+        let r = crossclus(guidance, &[author_f.clone(), term_f.clone(), parity.clone()],
+            &CrossClusConfig {
+                k: 3,
+                min_pertinence: 0.1,
+                seed: 5,
+                ..Default::default()
+            });
+        rows.push(vec![
+            gname.to_string(),
+            format!("{:.3}", nmi(&r.assignments, truth)),
+            tname.to_string(),
+            r.selected
+                .iter()
+                .map(|(f, _)| f.as_str().split('→').nth(1).unwrap_or(f))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ]);
+    }
+    markdown_table(
+        &["guidance", "NMI", "vs ground truth", "selected features"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape (per DMKD'07): under venue guidance the author/term \
+         features are selected (high pertinence), parity/year are rejected, \
+         and clustering recovers the planted areas; under time guidance the \
+         semantic features lose pertinence and area NMI collapses — the \
+         user's guidance, not the data alone, decides the clustering."
+    );
+}

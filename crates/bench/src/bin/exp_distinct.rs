@@ -1,0 +1,84 @@
+//! E9 — object distinction (DISTINCT ICDE'07, Table 3 analogue).
+//!
+//! Regenerates: pairwise-F1 of reference partitioning as the number of
+//! merged identities grows, in both the cross-area (easy) and same-area
+//! (hard) regimes, with a coauthor-only ablation standing in for the
+//! paper's single-feature baselines.
+//!
+//! Run with: `cargo run --release -p hin-bench --bin exp_distinct`
+
+use hin_bench::{fmt_ms, markdown_table, mean_std};
+use hin_cleaning::{distinct, DistinctConfig, ReferenceContext};
+use hin_clustering::{pairwise_f1, AgglomerativeStop};
+use hin_synth::{AmbiguousConfig, DblpConfig};
+
+fn contexts(data: &hin_synth::AmbiguousData) -> Vec<ReferenceContext> {
+    data.refs
+        .iter()
+        .map(|r| {
+            ReferenceContext::new(vec![
+                r.coauthors.clone(),
+                vec![r.venue],
+                r.terms.clone(),
+            ])
+        })
+        .collect()
+}
+
+fn main() {
+    const RUNS: u64 = 5;
+    println!("## E9 — pairwise F1 vs number of merged identities (5 runs)\n");
+    let mut rows = Vec::new();
+    for &k in &[2usize, 4, 6, 8] {
+        for &same_area in &[false, true] {
+            let mut full = Vec::new();
+            let mut coauthor_only = Vec::new();
+            for run in 0..RUNS {
+                let data = AmbiguousConfig {
+                    k_identities: k,
+                    min_refs: 4,
+                    same_area,
+                    dblp: DblpConfig {
+                        n_papers: 2_500,
+                        authors_per_area: 60,
+                        seed: 300 + run,
+                        ..Default::default()
+                    },
+                    seed: run,
+                }
+                .generate();
+                let refs = contexts(&data);
+                // full context, identity count known (the paper's protocol)
+                let labels = distinct(&refs, &DistinctConfig {
+                    weights: vec![0.5, 0.3, 0.2],
+                    stop: AgglomerativeStop::NumClusters(k),
+                });
+                full.push(pairwise_f1(&labels, &data.truth).f1);
+                // ablation: coauthors only
+                let labels = distinct(&refs, &DistinctConfig {
+                    weights: vec![1.0, 0.0, 0.0],
+                    stop: AgglomerativeStop::NumClusters(k),
+                });
+                coauthor_only.push(pairwise_f1(&labels, &data.truth).f1);
+            }
+            let (fm, fs) = mean_std(&full);
+            let (cm, cs) = mean_std(&coauthor_only);
+            rows.push(vec![
+                k.to_string(),
+                if same_area { "same area" } else { "cross area" }.to_string(),
+                fmt_ms(fm, fs),
+                fmt_ms(cm, cs),
+            ]);
+        }
+    }
+    markdown_table(
+        &["identities", "regime", "full-context F1", "coauthor-only F1"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape (per ICDE'07): F1 degrades slowly with the number \
+         of merged identities; cross-area cases stay near-perfect (venues \
+         and terms separate them), same-area cases are harder and lean on \
+         coauthor structure; combining link types beats any single one."
+    );
+}

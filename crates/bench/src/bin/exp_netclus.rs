@@ -1,0 +1,108 @@
+//! E7 — NetClus accuracy and rankings (KDD'09 Tables 2–3 analogue).
+//!
+//! Regenerates: NMI of NetClus (authority vs simple ranking) against the
+//! PLSA-flavoured text baseline and RankClus on the venue×author pair view;
+//! plus the λ-smoothing ablation and per-cluster rank lists.
+//!
+//! Run with: `cargo run --release -p hin-bench --bin exp_netclus`
+
+use hin_bench::{fmt_ms, markdown_table, mean_std, term_kmeans_baseline};
+use hin_clustering::nmi;
+use hin_netclus::{netclus, NetClusConfig, RankingMethod};
+use hin_rankclus::{rankclus, RankClusConfig};
+use hin_synth::DblpConfig;
+
+fn main() {
+    const RUNS: u64 = 5;
+    println!("## E7a — paper clustering NMI on 4-area synthetic DBLP (5 runs)\n");
+    let mut method_scores: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for run in 0..RUNS {
+        let data = DblpConfig {
+            n_areas: 4,
+            n_papers: 1_500,
+            authors_per_area: 80,
+            noise: 0.07,
+            area_mixture_alpha: 0.06,
+            seed: 500 + run,
+            ..Default::default()
+        }
+        .generate();
+        let star = data.star();
+
+        let auth = netclus(&star, &NetClusConfig {
+            k: 4,
+            seed: run,
+            ..Default::default()
+        });
+        method_scores[0].push(nmi(&auth.assignments, &data.paper_area));
+
+        let simple = netclus(&star, &NetClusConfig {
+            k: 4,
+            ranking: RankingMethod::Simple,
+            seed: run,
+            ..Default::default()
+        });
+        method_scores[1].push(nmi(&simple.assignments, &data.paper_area));
+
+        let pt = data.hin.adjacency(data.paper, data.term).expect("terms");
+        let plsa = term_kmeans_baseline(pt, 4, run);
+        method_scores[2].push(nmi(&plsa, &data.paper_area));
+
+        // RankClus clusters venues; papers inherit their venue's cluster
+        let rc = rankclus(&data.venue_author_binet(), &RankClusConfig {
+            k: 4,
+            seed: run,
+            ..Default::default()
+        });
+        let pv = data.hin.adjacency(data.paper, data.venue).expect("venues");
+        let inherited: Vec<usize> = (0..data.paper_area.len())
+            .map(|p| rc.assignments[pv.row_indices(p)[0] as usize])
+            .collect();
+        method_scores[3].push(nmi(&inherited, &data.paper_area));
+    }
+    let names = [
+        "NetClus (authority)",
+        "NetClus (simple)",
+        "term k-means (PLSA-like)",
+        "RankClus via venues",
+    ];
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .zip(&method_scores)
+        .map(|(n, s)| {
+            let (m, sd) = mean_std(s);
+            vec![n.to_string(), fmt_ms(m, sd)]
+        })
+        .collect();
+    markdown_table(&["method", "NMI"], &rows);
+
+    println!("\n## E7b — smoothing ablation (λ sweep, single seed)\n");
+    let data = DblpConfig {
+        n_areas: 4,
+        n_papers: 1_500,
+        seed: 42,
+        ..Default::default()
+    }
+    .generate();
+    let star = data.star();
+    let mut rows = Vec::new();
+    for &lambda in &[0.0, 0.1, 0.2, 0.4, 0.7, 0.95] {
+        let r = netclus(&star, &NetClusConfig {
+            k: 4,
+            lambda,
+            seed: 1,
+            ..Default::default()
+        });
+        rows.push(vec![
+            format!("{lambda:.2}"),
+            format!("{:.3}", nmi(&r.assignments, &data.paper_area)),
+            r.iterations.to_string(),
+        ]);
+    }
+    markdown_table(&["lambda", "NMI", "iterations"], &rows);
+    println!(
+        "\nexpected shape: NetClus-authority ≥ NetClus-simple > text-only \
+         baseline; moderate smoothing (λ≈0.1–0.4) helps, λ→1 destroys the \
+         signal (every cluster sees the global distribution)."
+    );
+}

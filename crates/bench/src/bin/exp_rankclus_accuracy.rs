@@ -1,0 +1,91 @@
+//! E4 — RankClus accuracy on synthetic bi-typed networks (EDBT'09 §6.1,
+//! Table 4 analogue).
+//!
+//! Five configurations varying *separation* (cross-cluster link fraction)
+//! and *density* (links per target), as in the original sweep; NMI averaged
+//! over 5 seeds for RankClus (authority and simple ranking) against the
+//! paper's baselines: spectral clustering on SimRank similarity, and cosine
+//! k-means on raw link vectors.
+//!
+//! Run with: `cargo run --release -p hin-bench --bin exp_rankclus_accuracy`
+
+use hin_bench::{fmt_ms, kmeans_links_baseline, markdown_table, mean_std, simrank_spectral_baseline};
+use hin_clustering::nmi;
+use hin_rankclus::{rankclus, RankClusConfig, RankingMethod};
+use hin_synth::BiNetConfig;
+
+fn main() {
+    // (name, cross, links_per_x) — Dataset1..5 of the paper's sweep:
+    // separation degrading D1→D3, density varied at fixed medium
+    // separation in D4 (sparse) and D5 (dense)
+    let configs = [
+        ("D1 cross=.20 den=100", 0.20, 100.0),
+        ("D2 cross=.35 den=100", 0.35, 100.0),
+        ("D3 cross=.45 den=100", 0.45, 100.0),
+        ("D4 cross=.35 den=20", 0.35, 20.0),
+        ("D5 cross=.35 den=300", 0.35, 300.0),
+    ];
+    const RUNS: u64 = 5;
+    const K: usize = 3;
+
+    println!("## E4 — NMI on five synthetic bi-typed configurations (5 runs)\n");
+    let mut rows = Vec::new();
+    for (name, cross, links) in configs {
+        let mut scores: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for run in 0..RUNS {
+            let s = BiNetConfig {
+                k: K,
+                nx_per_cluster: 10,
+                ny_per_cluster: 100,
+                links_per_x: links,
+                cross,
+                zipf_exponent: 0.8,
+                seed: 100 + run,
+            }
+            .generate();
+
+            let auth = rankclus(&s.net, &RankClusConfig {
+                k: K,
+                seed: run,
+                ..Default::default()
+            });
+            scores[0].push(nmi(&auth.assignments, &s.x_labels));
+
+            let simple = rankclus(&s.net, &RankClusConfig {
+                k: K,
+                ranking: RankingMethod::Simple,
+                seed: run,
+                ..Default::default()
+            });
+            scores[1].push(nmi(&simple.assignments, &s.x_labels));
+
+            let sr = simrank_spectral_baseline(&s.net, K, run);
+            scores[2].push(nmi(&sr, &s.x_labels));
+
+            let km = kmeans_links_baseline(&s.net, K, run);
+            scores[3].push(nmi(&km, &s.x_labels));
+        }
+        let mut row = vec![name.to_string()];
+        for s in &scores {
+            let (m, sd) = mean_std(s);
+            row.push(fmt_ms(m, sd));
+        }
+        rows.push(row);
+    }
+    markdown_table(
+        &[
+            "dataset",
+            "RankClus-authority",
+            "RankClus-simple",
+            "SimRank+spectral",
+            "k-means links",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected shape (per EDBT'09): RankClus-authority wins or ties \
+         everywhere; degradation as separation falls (D1→D3) and at low \
+         density (D4); SimRank+spectral competitive on easy configs but \
+         costly (see bench_rankclus_scale); simple ranking trails authority."
+    );
+}

@@ -1,0 +1,71 @@
+//! E6 — RankClus case study (EDBT'09 Tables 1–3 analogue): top venues and
+//! authors per discovered cluster, with conditional rank scores.
+//!
+//! Run with: `cargo run --release -p hin-bench --bin exp_rankclus_case`
+
+use hin_bench::markdown_table;
+use hin_clustering::accuracy_hungarian;
+use hin_ranking::top_k;
+use hin_rankclus::{rankclus, RankClusConfig};
+use hin_synth::DblpConfig;
+
+fn main() {
+    let data = DblpConfig {
+        n_areas: 4,
+        venues_per_area: 5,
+        authors_per_area: 100,
+        n_papers: 3_000,
+        noise: 0.06,
+        seed: 2009,
+        ..Default::default()
+    }
+    .generate();
+    let net = data.venue_author_binet();
+    let r = rankclus(&net, &RankClusConfig {
+        k: 4,
+        seed: 11,
+        ..Default::default()
+    });
+
+    println!(
+        "## E6 — per-cluster conditional ranking (venue accuracy {:.3}, {} iters, converged: {})\n",
+        accuracy_hungarian(&r.assignments, &data.venue_area),
+        r.iterations,
+        r.converged,
+    );
+
+    for c in 0..4 {
+        println!("### cluster {c} (prior {:.2})\n", r.cluster_prior[c]);
+        let venues = top_k(&r.target_rank[c], 5);
+        let authors = top_k(&r.attr_rank[c], 10);
+        let rows: Vec<Vec<String>> = (0..10)
+            .map(|i| {
+                let (vname, vscore) = if i < venues.len() {
+                    (
+                        net.x_names[venues[i]].clone(),
+                        format!("{:.4}", r.target_rank[c][venues[i]]),
+                    )
+                } else {
+                    (String::new(), String::new())
+                };
+                vec![
+                    (i + 1).to_string(),
+                    vname,
+                    vscore,
+                    net.y_names[authors[i]].clone(),
+                    format!("{:.4}", r.attr_rank[c][authors[i]]),
+                ]
+            })
+            .collect();
+        markdown_table(
+            &["rank", "venue", "venue score", "author", "author score"],
+            &rows,
+        );
+        println!();
+    }
+    println!(
+        "expected shape: each cluster's top venues/authors come from a single \
+         planted area (names carry their area: venue_aK_*, author_aK_*), and \
+         rank scores decay smoothly within a cluster."
+    );
+}

@@ -1,0 +1,159 @@
+//! Shared experiment infrastructure: result-table printing and the
+//! baseline algorithms the published evaluations compare against.
+//!
+//! Each `exp_*` binary in `src/bin/` regenerates one table or figure of the
+//! reproduced papers (see the repository's `EXPERIMENTS.md` for the
+//! mapping); the Criterion benches under `benches/` regenerate the timing
+//! figures.
+
+use hin_clustering::{kmeans, spectral_clustering, Distance, KMeansConfig, SpectralConfig};
+use hin_core::BiNet;
+use hin_linalg::Csr;
+use hin_similarity::{simrank, SimRankConfig};
+
+/// Print a GitHub-flavoured markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Mean and sample standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+/// Format `mean ± std` to three decimals.
+pub fn fmt_ms(mean: f64, std: f64) -> String {
+    format!("{mean:.3} ± {std:.3}")
+}
+
+/// Baseline from the RankClus evaluation: compute SimRank over the combined
+/// bipartite graph (targets ∪ attributes), then spectral-cluster the
+/// target–target similarity block. Quadratic in `nx + ny` — exactly why the
+/// paper positions RankClus as the scalable alternative (experiment E5).
+pub fn simrank_spectral_baseline(net: &BiNet, k: usize, seed: u64) -> Vec<usize> {
+    let n = net.nx + net.ny;
+    // block bipartite adjacency: x in 0..nx, y in nx..nx+ny
+    let edges = net
+        .wxy
+        .iter()
+        .flat_map(|(x, y, w)| {
+            let yy = (net.nx as u32) + y;
+            [(x, yy, w), (yy, x, w)]
+        })
+        .collect::<Vec<_>>();
+    let g = Csr::from_triplets(n, n, edges);
+    let s = simrank(&g, &SimRankConfig {
+        max_iters: 5,
+        ..Default::default()
+    });
+    // target-target similarity as a weighted graph for spectral clustering
+    let mut triplets = Vec::new();
+    for i in 0..net.nx {
+        for j in 0..net.nx {
+            if i != j {
+                let v = s.scores.get(i, j);
+                if v > 1e-9 {
+                    triplets.push((i as u32, j as u32, v));
+                }
+            }
+        }
+    }
+    let sim = Csr::from_triplets(net.nx, net.nx, triplets);
+    spectral_clustering(&sim, &SpectralConfig {
+        k,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Baseline: cosine k-means directly on the raw target link vectors
+/// (rows of `W_xy`).
+pub fn kmeans_links_baseline(net: &BiNet, k: usize, seed: u64) -> Vec<usize> {
+    let points: Vec<Vec<f64>> = (0..net.nx)
+        .map(|x| {
+            let mut row = vec![0.0; net.ny];
+            let (idx, vals) = net.wxy.row(x);
+            for (&y, &w) in idx.iter().zip(vals) {
+                row[y as usize] = w;
+            }
+            row
+        })
+        .collect();
+    kmeans(&points, &KMeansConfig {
+        k,
+        distance: Distance::Cosine,
+        max_iters: 100,
+        seed,
+    })
+    .assignments
+}
+
+/// PLSA-flavoured text baseline from the NetClus evaluation: cosine k-means
+/// over the center objects' term vectors, ignoring all other link types.
+pub fn term_kmeans_baseline(center_term: &Csr, k: usize, seed: u64) -> Vec<usize> {
+    let points: Vec<Vec<f64>> = (0..center_term.nrows())
+        .map(|d| {
+            let mut row = vec![0.0; center_term.ncols()];
+            let (idx, vals) = center_term.row(d);
+            for (&t, &w) in idx.iter().zip(vals) {
+                row[t as usize] = w;
+            }
+            row
+        })
+        .collect();
+    kmeans(&points, &KMeansConfig {
+        k,
+        distance: Distance::Cosine,
+        max_iters: 100,
+        seed,
+    })
+    .assignments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_synth::BiNetConfig;
+
+    #[test]
+    fn stats_helpers() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]).1, 0.0);
+        assert_eq!(fmt_ms(0.5, 0.1), "0.500 ± 0.100");
+    }
+
+    #[test]
+    fn baselines_recover_easy_structure() {
+        let s = BiNetConfig {
+            k: 2,
+            nx_per_cluster: 8,
+            ny_per_cluster: 40,
+            links_per_x: 120.0,
+            cross: 0.05,
+            zipf_exponent: 0.6,
+            seed: 5,
+        }
+        .generate();
+        let a = simrank_spectral_baseline(&s.net, 2, 1);
+        let b = kmeans_links_baseline(&s.net, 2, 1);
+        let acc_a = hin_clustering::accuracy_hungarian(&a, &s.x_labels);
+        let acc_b = hin_clustering::accuracy_hungarian(&b, &s.x_labels);
+        assert!(acc_a > 0.8, "simrank+spectral {acc_a}");
+        assert!(acc_b > 0.8, "kmeans-links {acc_b}");
+    }
+}

@@ -1,0 +1,412 @@
+//! Classification of heterogeneous information networks (tutorial §5).
+//!
+//! * [`gnetmine`] — transductive label propagation across *all* typed
+//!   relations simultaneously, the GNetMine formulation: minimize a graph
+//!   consistency objective plus a seed-fitting term, solved by the usual
+//!   iterative update `F_t ← (1−α)·Σ_rel S F_u + α·Y_t` with
+//!   degree-symmetric normalized relations `S = D⁻¹ᐟ² W D⁻¹ᐟ²`,
+//! * [`wvrn`] — the weighted-vote relational neighbor baseline on a
+//!   homogeneous projection, which the heterogeneous propagation is
+//!   compared against in experiment E10,
+//! * label utilities shared by the experiments.
+
+use hin_core::Hin;
+use hin_linalg::Csr;
+
+/// Known labels of a type's objects: `Some(class)` for seeds, `None` for
+/// objects to classify.
+pub type Seeds = Vec<Option<usize>>;
+
+/// Configuration for [`gnetmine`].
+#[derive(Clone, Copy, Debug)]
+pub struct GNetMineConfig {
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Seed-retention weight α ∈ (0, 1): higher keeps predictions closer
+    /// to the labeled seeds (paper default 0.1–0.5 range; 0.2 here).
+    pub alpha: f64,
+    /// Convergence threshold on the max score change.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for GNetMineConfig {
+    fn default() -> Self {
+        Self {
+            n_classes: 2,
+            alpha: 0.2,
+            tol: 1e-7,
+            max_iters: 200,
+        }
+    }
+}
+
+/// Result of heterogeneous label propagation.
+#[derive(Clone, Debug)]
+pub struct GNetMineResult {
+    /// Per type: per object: class scores (rows need not sum to 1).
+    pub scores: Vec<Vec<Vec<f64>>>,
+    /// Per type: predicted class per object (argmax; seeds keep their
+    /// label).
+    pub labels: Vec<Vec<usize>>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the propagation met `tol`.
+    pub converged: bool,
+}
+
+/// Run GNetMine-style label propagation on a heterogeneous network.
+///
+/// `seeds[t][i]` carries the known class of object `i` of type-index `t`
+/// (indexed by `TypeId.0`); any type may contribute seeds. Unlabeled
+/// objects of every type receive scores and predictions.
+///
+/// # Panics
+/// Panics when `seeds` does not match the network's types/arenas or a seed
+/// class is out of range.
+pub fn gnetmine(hin: &Hin, seeds: &[Seeds], config: &GNetMineConfig) -> GNetMineResult {
+    let n_types = hin.type_count();
+    assert_eq!(seeds.len(), n_types, "one seed vector per node type");
+    for ty in hin.type_ids() {
+        assert_eq!(
+            seeds[ty.0].len(),
+            hin.node_count(ty),
+            "seed vector length must match type arena"
+        );
+    }
+    let k = config.n_classes;
+    assert!(k > 0, "need at least one class");
+    for s in seeds.iter().flatten().flatten() {
+        assert!(*s < k, "seed class {s} out of range");
+    }
+
+    // symmetric degree normalization per relation:
+    // S = D_src^{-1/2} W D_dst^{-1/2}
+    let normalized: Vec<(usize, usize, Csr, Csr)> = hin
+        .relation_ids()
+        .map(|rid| {
+            let rel = hin.relation(rid);
+            let mut w = rel.fwd.clone();
+            let src_scale: Vec<f64> = w
+                .row_sums()
+                .iter()
+                .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+                .collect();
+            let dst_scale: Vec<f64> = rel
+                .bwd
+                .row_sums()
+                .iter()
+                .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+                .collect();
+            w.scale_rows(&src_scale);
+            // scale columns via transpose trick
+            let mut wt = w.transpose();
+            wt.scale_rows(&dst_scale);
+            let w = wt.transpose();
+            let wt = w.transpose();
+            (rel.src.0, rel.dst.0, w, wt)
+        })
+        .collect();
+
+    // initial scores: one-hot seeds
+    let y: Vec<Vec<Vec<f64>>> = seeds
+        .iter()
+        .map(|type_seeds| {
+            type_seeds
+                .iter()
+                .map(|s| {
+                    let mut row = vec![0.0; k];
+                    if let Some(c) = s {
+                        row[*c] = 1.0;
+                    }
+                    row
+                })
+                .collect()
+        })
+        .collect();
+    let mut f = y.clone();
+
+    // per type: how many relations touch it (to average contributions)
+    let mut touch = vec![0usize; n_types];
+    for &(s, d, _, _) in &normalized {
+        touch[s] += 1;
+        touch[d] += 1;
+    }
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iters {
+        let mut next: Vec<Vec<Vec<f64>>> = (0..n_types)
+            .map(|t| vec![vec![0.0; k]; f[t].len()])
+            .collect();
+        // propagate along every relation, both directions
+        for &(src, dst, ref w, ref wt) in &normalized {
+            propagate(w, &f[dst], &mut next[src], k);
+            propagate(wt, &f[src], &mut next[dst], k);
+        }
+        // combine with seeds
+        let mut delta = 0.0f64;
+        for t in 0..n_types {
+            let denom = touch[t].max(1) as f64;
+            for (i, row) in next[t].iter_mut().enumerate() {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = (1.0 - config.alpha) * (*v / denom) + config.alpha * y[t][i][c];
+                    delta = delta.max((*v - f[t][i][c]).abs());
+                }
+            }
+        }
+        f = next;
+        iterations += 1;
+        if delta <= config.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    let labels = predictions(&f, seeds);
+    GNetMineResult {
+        scores: f,
+        labels,
+        iterations,
+        converged,
+    }
+}
+
+fn propagate(w: &Csr, from: &[Vec<f64>], into: &mut [Vec<f64>], k: usize) {
+    for (r, row) in into.iter_mut().enumerate() {
+        let (idx, vals) = w.row(r);
+        for (&j, &wv) in idx.iter().zip(vals) {
+            let src_row = &from[j as usize];
+            for c in 0..k {
+                row[c] += wv * src_row[c];
+            }
+        }
+    }
+}
+
+fn predictions(scores: &[Vec<Vec<f64>>], seeds: &[Seeds]) -> Vec<Vec<usize>> {
+    scores
+        .iter()
+        .zip(seeds)
+        .map(|(type_scores, type_seeds)| {
+            type_scores
+                .iter()
+                .zip(type_seeds)
+                .map(|(row, seed)| {
+                    if let Some(c) = seed {
+                        *c
+                    } else {
+                        row.iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                            .map(|(c, _)| c)
+                            .unwrap_or(0)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Weighted-vote relational neighbor classifier on a homogeneous graph:
+/// iterative averaging of neighbor class distributions with clamped seeds.
+/// Returns predicted class per vertex (seeds keep their label; isolated
+/// unlabeled vertices default to class 0).
+pub fn wvrn(
+    adj: &Csr,
+    seeds: &[Option<usize>],
+    n_classes: usize,
+    max_iters: usize,
+) -> Vec<usize> {
+    let n = adj.nrows();
+    assert_eq!(seeds.len(), n, "seed length must match graph");
+    let mut f: Vec<Vec<f64>> = seeds
+        .iter()
+        .map(|s| {
+            let mut row = vec![1.0 / n_classes as f64; n_classes];
+            if let Some(c) = s {
+                row.fill(0.0);
+                row[*c] = 1.0;
+            }
+            row
+        })
+        .collect();
+    for _ in 0..max_iters {
+        let mut next = f.clone();
+        for v in 0..n {
+            if seeds[v].is_some() {
+                continue; // clamp
+            }
+            let (idx, vals) = adj.row(v);
+            if idx.is_empty() {
+                continue;
+            }
+            let total: f64 = vals.iter().sum();
+            let row = &mut next[v];
+            row.fill(0.0);
+            for (&u, &w) in idx.iter().zip(vals) {
+                for (c, x) in row.iter_mut().enumerate() {
+                    *x += w / total * f[u as usize][c];
+                }
+            }
+        }
+        f = next;
+    }
+    f.iter()
+        .zip(seeds)
+        .map(|(row, seed)| {
+            if let Some(c) = seed {
+                *c
+            } else {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0)
+            }
+        })
+        .collect()
+}
+
+/// Classification accuracy over the *unlabeled* objects only.
+pub fn holdout_accuracy(
+    predicted: &[usize],
+    truth: &[usize],
+    seeds: &[Option<usize>],
+) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    assert_eq!(predicted.len(), seeds.len());
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for ((&p, &t), s) in predicted.iter().zip(truth).zip(seeds) {
+        if s.is_none() {
+            total += 1;
+            correct += (p == t) as usize;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_synth::DblpConfig;
+
+    fn world() -> hin_synth::DblpData {
+        DblpConfig {
+            n_areas: 3,
+            venues_per_area: 4,
+            authors_per_area: 40,
+            terms_per_area: 30,
+            shared_terms: 15,
+            n_papers: 600,
+            noise: 0.05,
+            area_mixture_alpha: 0.05,
+            seed: 55,
+            ..Default::default()
+        }
+        .generate()
+    }
+
+    /// Seed a fraction of papers with their planted area, deterministically.
+    fn paper_seeds(d: &hin_synth::DblpData, every: usize) -> Vec<Seeds> {
+        let mut seeds: Vec<Seeds> = (0..d.hin.type_count())
+            .map(|t| vec![None; d.hin.node_count(hin_core::TypeId(t))])
+            .collect();
+        for (p, &area) in d.paper_area.iter().enumerate() {
+            if p % every == 0 {
+                seeds[d.paper.0][p] = Some(area);
+            }
+        }
+        seeds
+    }
+
+    #[test]
+    fn propagation_recovers_areas_from_sparse_seeds() {
+        let d = world();
+        let seeds = paper_seeds(&d, 10); // 10% labeled
+        let r = gnetmine(&d.hin, &seeds, &GNetMineConfig {
+            n_classes: 3,
+            ..Default::default()
+        });
+        let acc = holdout_accuracy(&r.labels[d.paper.0], &d.paper_area, &seeds[d.paper.0]);
+        assert!(acc > 0.8, "paper holdout accuracy {acc}");
+        // attribute types get classified too, without any seeds of their own
+        let venue_pred = &r.labels[d.venue.0];
+        let venue_acc = venue_pred
+            .iter()
+            .zip(&d.venue_area)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / venue_pred.len() as f64;
+        assert!(venue_acc > 0.8, "venue accuracy {venue_acc}");
+    }
+
+    #[test]
+    fn beats_homogeneous_baseline_at_low_label_rate() {
+        let d = world();
+        let seeds = paper_seeds(&d, 33); // ~3% labeled
+        let het = gnetmine(&d.hin, &seeds, &GNetMineConfig {
+            n_classes: 3,
+            ..Default::default()
+        });
+        let het_acc = holdout_accuracy(&het.labels[d.paper.0], &d.paper_area, &seeds[d.paper.0]);
+
+        // wvRN on the paper–paper shared-author projection
+        let pa = d.hin.adjacency(d.paper, d.author).unwrap();
+        let paper_graph = hin_core::projection::project(&pa.transpose());
+        let wv = wvrn(&paper_graph, &seeds[d.paper.0], 3, 50);
+        let wv_acc = holdout_accuracy(&wv, &d.paper_area, &seeds[d.paper.0]);
+
+        assert!(
+            het_acc >= wv_acc,
+            "heterogeneous {het_acc} should be ≥ homogeneous {wv_acc}"
+        );
+        assert!(het_acc > 0.6, "absolute accuracy sanity: {het_acc}");
+    }
+
+    #[test]
+    fn seeds_are_clamped_in_predictions() {
+        let d = world();
+        let mut seeds = paper_seeds(&d, 5);
+        // deliberately mislabel one seed; prediction must keep it
+        seeds[d.paper.0][0] = Some(2);
+        let r = gnetmine(&d.hin, &seeds, &GNetMineConfig {
+            n_classes: 3,
+            ..Default::default()
+        });
+        assert_eq!(r.labels[d.paper.0][0], 2);
+    }
+
+    #[test]
+    fn wvrn_on_two_cliques() {
+        // two triangles bridged by one edge, one seed each
+        let mut t = Vec::new();
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            t.push((u, v, 1.0));
+            t.push((v, u, 1.0));
+        }
+        let g = Csr::from_triplets(6, 6, t);
+        let seeds = vec![Some(0), None, None, None, None, Some(1)];
+        let pred = wvrn(&g, &seeds, 2, 100);
+        assert_eq!(&pred[0..3], &[0, 0, 0]);
+        assert_eq!(&pred[3..6], &[1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed class")]
+    fn out_of_range_seed_panics() {
+        let d = world();
+        let mut seeds = paper_seeds(&d, 10);
+        seeds[d.paper.0][0] = Some(99);
+        let _ = gnetmine(&d.hin, &seeds, &GNetMineConfig {
+            n_classes: 3,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,146 @@
+//! Object reconciliation (tutorial §3(b)): matching records across two
+//! sources that describe the same real-world entities, using the overlap of
+//! their link neighborhoods.
+//!
+//! The greedy best-first matcher below is the standard strong baseline:
+//! score all cross pairs by neighborhood Jaccard, repeatedly accept the
+//! globally best pair above a threshold, remove both sides, continue.
+
+/// One accepted match.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatchPair {
+    /// Index into the left record list.
+    pub left: usize,
+    /// Index into the right record list.
+    pub right: usize,
+    /// The similarity that produced the match.
+    pub score: f64,
+}
+
+/// Configuration for [`reconcile`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReconcileConfig {
+    /// Minimum similarity for an acceptable match.
+    pub threshold: f64,
+}
+
+impl Default for ReconcileConfig {
+    fn default() -> Self {
+        Self { threshold: 0.3 }
+    }
+}
+
+fn jaccard(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+/// Match `left` records to `right` records by sorted-neighbor-set Jaccard.
+/// Each record matches at most once; pairs scoring below the threshold stay
+/// unmatched. Neighbor id lists must be sorted and deduplicated.
+pub fn reconcile(
+    left: &[Vec<u32>],
+    right: &[Vec<u32>],
+    config: &ReconcileConfig,
+) -> Vec<MatchPair> {
+    let mut candidates: Vec<MatchPair> = Vec::new();
+    for (l, ln) in left.iter().enumerate() {
+        for (r, rn) in right.iter().enumerate() {
+            let score = jaccard(ln, rn);
+            if score >= config.threshold {
+                candidates.push(MatchPair {
+                    left: l,
+                    right: r,
+                    score,
+                });
+            }
+        }
+    }
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite")
+            .then(a.left.cmp(&b.left))
+            .then(a.right.cmp(&b.right))
+    });
+    let mut used_left = vec![false; left.len()];
+    let mut used_right = vec![false; right.len()];
+    let mut out = Vec::new();
+    for c in candidates {
+        if !used_left[c.left] && !used_right[c.right] {
+            used_left[c.left] = true;
+            used_right[c.right] = true;
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_duplicates_match_perfectly() {
+        let left = vec![vec![1, 2, 3], vec![7, 8]];
+        let right = vec![vec![7, 8], vec![1, 2, 3]];
+        let m = reconcile(&left, &right, &ReconcileConfig::default());
+        assert_eq!(m.len(), 2);
+        let pair0 = m.iter().find(|p| p.left == 0).unwrap();
+        assert_eq!(pair0.right, 1);
+        assert_eq!(pair0.score, 1.0);
+    }
+
+    #[test]
+    fn one_to_one_constraint() {
+        // both left records resemble the single right record; only the
+        // better one may take it
+        let left = vec![vec![1, 2, 3], vec![1, 2]];
+        let right = vec![vec![1, 2, 3]];
+        let m = reconcile(&left, &right, &ReconcileConfig { threshold: 0.1 });
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].left, 0);
+    }
+
+    #[test]
+    fn threshold_filters_weak_pairs() {
+        let left = vec![vec![1, 2, 3, 4, 5]];
+        let right = vec![vec![5, 6, 7, 8, 9]];
+        assert!(reconcile(&left, &right, &ReconcileConfig { threshold: 0.3 }).is_empty());
+        let m = reconcile(&left, &right, &ReconcileConfig { threshold: 0.05 });
+        assert_eq!(m.len(), 1);
+        assert!((m[0].score - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_prefers_global_best() {
+        // l0 matches r0 (0.5) and r1 (1.0); l1 matches r1 (0.5) only.
+        // Greedy takes (l0,r1)=1.0 first, leaving (l1,?) with r0 score 0.
+        let left = vec![vec![1, 2], vec![3, 4]];
+        let right = vec![vec![1, 5], vec![1, 2]];
+        let m = reconcile(&left, &right, &ReconcileConfig { threshold: 0.2 });
+        assert_eq!(m.len(), 1);
+        assert_eq!((m[0].left, m[0].right), (0, 1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(reconcile(&[], &[], &ReconcileConfig::default()).is_empty());
+        assert!(reconcile(&[vec![1]], &[], &ReconcileConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! TruthFinder: truth discovery with multiple conflicting information
+//! providers on the web (Yin, Han & Yu, TKDE'08; tutorial §3(d)).
+//!
+//! The source–fact relationship forms a bipartite information network.
+//! TruthFinder iterates two mutually recursive definitions over it:
+//! a fact is confident when trustworthy sources claim it; a source is
+//! trustworthy when its facts are confident. Two refinements distinguish it
+//! from naive voting: *implication* between similar facts about the same
+//! object (a near-identical claim lends support), and a *dampening*
+//! logistic that keeps confidences in (0, 1).
+
+use std::collections::HashMap;
+
+/// One claim: `source` asserts that `object` has `value`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Claim {
+    /// Claiming source id.
+    pub source: u32,
+    /// Object the claim is about.
+    pub object: u32,
+    /// Claimed value; similarity of values drives the implication term.
+    pub value: f64,
+}
+
+/// Configuration for [`truthfinder`].
+#[derive(Clone, Copy, Debug)]
+pub struct TruthFinderConfig {
+    /// Initial source trustworthiness t₀ (paper: 0.9).
+    pub initial_trust: f64,
+    /// Dampening factor γ of the logistic adjustment (paper: 0.3).
+    pub gamma: f64,
+    /// Weight ρ of the implication term (paper: 0.5).
+    pub rho: f64,
+    /// Base similarity subtracted when computing implication, so that
+    /// dissimilar facts about one object *compete* (negative implication).
+    pub base_sim: f64,
+    /// Length scale of the value-similarity kernel `exp(−|Δv|/scale)`.
+    pub sim_scale: f64,
+    /// Convergence threshold on the max trust change.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for TruthFinderConfig {
+    fn default() -> Self {
+        Self {
+            initial_trust: 0.9,
+            gamma: 0.3,
+            rho: 0.5,
+            base_sim: 0.5,
+            sim_scale: 1.0,
+            tol: 1e-6,
+            max_iters: 50,
+        }
+    }
+}
+
+/// Result of a TruthFinder run.
+#[derive(Clone, Debug)]
+pub struct TruthFinderResult {
+    /// Trustworthiness of each source in `(0, 1)`.
+    pub source_trust: Vec<f64>,
+    /// Confidence of each distinct fact in `(0, 1)`, indexed like
+    /// [`TruthFinderResult::facts`].
+    pub fact_confidence: Vec<f64>,
+    /// The distinct `(object, value)` facts.
+    pub facts: Vec<(u32, f64)>,
+    /// For each object, the index (into `facts`) of its highest-confidence
+    /// fact — the predicted truth. `None` for objects without claims.
+    pub predicted: Vec<Option<usize>>,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+impl TruthFinderResult {
+    /// Predicted true value of `object`, if any source made a claim.
+    pub fn predicted_value(&self, object: u32) -> Option<f64> {
+        self.predicted
+            .get(object as usize)
+            .copied()
+            .flatten()
+            .map(|f| self.facts[f].1)
+    }
+}
+
+/// Run TruthFinder.
+///
+/// `n_sources` and `n_objects` bound the id spaces; claims referencing ids
+/// beyond them panic.
+pub fn truthfinder(
+    n_sources: usize,
+    n_objects: usize,
+    claims: &[Claim],
+    config: &TruthFinderConfig,
+) -> TruthFinderResult {
+    // deduplicate (object, value) into facts; sources voting for the same
+    // value support the same fact
+    let mut fact_ids: HashMap<(u32, u64), usize> = HashMap::new();
+    let mut facts: Vec<(u32, f64)> = Vec::new();
+    let mut fact_sources: Vec<Vec<u32>> = Vec::new();
+    let mut source_facts: Vec<Vec<usize>> = vec![Vec::new(); n_sources];
+    for c in claims {
+        assert!(
+            (c.source as usize) < n_sources && (c.object as usize) < n_objects,
+            "claim ids out of range"
+        );
+        let key = (c.object, c.value.to_bits());
+        let fid = *fact_ids.entry(key).or_insert_with(|| {
+            facts.push((c.object, c.value));
+            fact_sources.push(Vec::new());
+            facts.len() - 1
+        });
+        fact_sources[fid].push(c.source);
+        source_facts[c.source as usize].push(fid);
+    }
+    let nf = facts.len();
+
+    // facts grouped per object, for the implication term
+    let mut object_facts: Vec<Vec<usize>> = vec![Vec::new(); n_objects];
+    for (fid, &(o, _)) in facts.iter().enumerate() {
+        object_facts[o as usize].push(fid);
+    }
+
+    let mut trust = vec![config.initial_trust; n_sources];
+    let mut confidence = vec![0.0f64; nf];
+    let mut iterations = 0;
+
+    while iterations < config.max_iters {
+        // fact confidence scores from source trust
+        let tau: Vec<f64> = trust
+            .iter()
+            .map(|&t| -(1.0 - t.min(1.0 - 1e-12)).ln())
+            .collect();
+        let mut score: Vec<f64> = (0..nf)
+            .map(|f| fact_sources[f].iter().map(|&s| tau[s as usize]).sum())
+            .collect();
+
+        // implication between facts about the same object
+        let adjusted: Vec<f64> = (0..nf)
+            .map(|f| {
+                let (obj, v) = facts[f];
+                let mut acc = score[f];
+                for &g in &object_facts[obj as usize] {
+                    if g == f {
+                        continue;
+                    }
+                    let (_, vg) = facts[g];
+                    let sim = (-(v - vg).abs() / config.sim_scale).exp();
+                    acc += config.rho * score[g] * (sim - config.base_sim);
+                }
+                acc
+            })
+            .collect();
+        score = adjusted;
+
+        // dampened logistic
+        for (c, &s) in confidence.iter_mut().zip(&score) {
+            *c = 1.0 / (1.0 + (-config.gamma * s).exp());
+        }
+
+        // source trust = mean confidence of its facts
+        let mut max_delta = 0.0f64;
+        for s in 0..n_sources {
+            let fs = &source_facts[s];
+            let new_trust = if fs.is_empty() {
+                config.initial_trust
+            } else {
+                fs.iter().map(|&f| confidence[f]).sum::<f64>() / fs.len() as f64
+            };
+            max_delta = max_delta.max((new_trust - trust[s]).abs());
+            trust[s] = new_trust;
+        }
+        iterations += 1;
+        if max_delta <= config.tol {
+            break;
+        }
+    }
+
+    let predicted: Vec<Option<usize>> = object_facts
+        .iter()
+        .map(|fs| {
+            fs.iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    confidence[a]
+                        .partial_cmp(&confidence[b])
+                        .expect("finite confidence")
+                })
+        })
+        .collect();
+
+    TruthFinderResult {
+        source_trust: trust,
+        fact_confidence: confidence,
+        facts,
+        predicted,
+        iterations,
+    }
+}
+
+/// Majority-vote baseline: per object, the value claimed by the most
+/// sources. Ties break deterministically toward the smallest value.
+/// Returns one `Option<value>` per object.
+pub fn majority_vote(n_objects: usize, claims: &[Claim]) -> Vec<Option<f64>> {
+    let mut counts: Vec<HashMap<u64, (usize, f64)>> = vec![HashMap::new(); n_objects];
+    for c in claims {
+        let e = counts[c.object as usize]
+            .entry(c.value.to_bits())
+            .or_insert((0, c.value));
+        e.0 += 1;
+    }
+    counts
+        .into_iter()
+        .map(|m| {
+            m.into_values()
+                .max_by(|a, b| {
+                    a.0.cmp(&b.0)
+                        .then(b.1.partial_cmp(&a.1).expect("finite values"))
+                })
+                .map(|(_, v)| v)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 sources, 2 objects. Sources 0,1 agree on the truth; source 2
+    /// disagrees everywhere.
+    fn toy_claims() -> Vec<Claim> {
+        vec![
+            Claim { source: 0, object: 0, value: 1.0 },
+            Claim { source: 1, object: 0, value: 1.0 },
+            Claim { source: 2, object: 0, value: 9.0 },
+            Claim { source: 0, object: 1, value: 2.0 },
+            Claim { source: 1, object: 1, value: 2.0 },
+            Claim { source: 2, object: 1, value: 7.0 },
+        ]
+    }
+
+    #[test]
+    fn majority_is_recovered() {
+        let r = truthfinder(3, 2, &toy_claims(), &TruthFinderConfig::default());
+        assert_eq!(r.predicted_value(0), Some(1.0));
+        assert_eq!(r.predicted_value(1), Some(2.0));
+        // the consistent sources end up more trusted
+        assert!(r.source_trust[0] > r.source_trust[2]);
+        assert!(r.source_trust[1] > r.source_trust[2]);
+    }
+
+    #[test]
+    fn confidences_in_unit_interval() {
+        let r = truthfinder(3, 2, &toy_claims(), &TruthFinderConfig::default());
+        for &c in &r.fact_confidence {
+            assert!((0.0..=1.0).contains(&c), "confidence {c}");
+        }
+        for &t in &r.source_trust {
+            assert!((0.0..=1.0).contains(&t), "trust {t}");
+        }
+    }
+
+    #[test]
+    fn learned_trust_breaks_ties() {
+        // Sources 0,1 are consistently correct across many objects; sources
+        // 2,3 are consistently wrong (and mutually inconsistent). On object
+        // 0 the vote is tied 2–2: learned trust must break the tie toward
+        // the reliable pair, while the vote baseline (smallest value on
+        // ties) picks the wrong 13.0.
+        let mut claims = Vec::new();
+        for o in 1..20u32 {
+            claims.push(Claim { source: 0, object: o, value: o as f64 });
+            claims.push(Claim { source: 1, object: o, value: o as f64 });
+            claims.push(Claim { source: 2, object: o, value: 100.0 + o as f64 });
+            claims.push(Claim { source: 3, object: o, value: 200.0 + o as f64 });
+        }
+        claims.push(Claim { source: 0, object: 0, value: 42.0 });
+        claims.push(Claim { source: 1, object: 0, value: 42.0 });
+        claims.push(Claim { source: 2, object: 0, value: 13.0 });
+        claims.push(Claim { source: 3, object: 0, value: 13.0 });
+        let r = truthfinder(4, 20, &claims, &TruthFinderConfig::default());
+        assert!(
+            r.source_trust[0] > r.source_trust[2],
+            "consistent source should earn trust: {:?}",
+            r.source_trust
+        );
+        assert_eq!(r.predicted_value(0), Some(42.0), "trust should break the tie");
+        let vote = majority_vote(20, &claims);
+        assert_eq!(vote[0], Some(13.0), "vote baseline ties toward the wrong value");
+    }
+
+    #[test]
+    fn implication_flips_three_way_split() {
+        // One vote each for 10.0, 10.1 and 50.0. Without implication all
+        // facts tie; with it, the mutually supporting 10-camp must beat the
+        // isolated 50.
+        let claims = vec![
+            Claim { source: 0, object: 0, value: 10.0 },
+            Claim { source: 1, object: 0, value: 10.1 },
+            Claim { source: 2, object: 0, value: 50.0 },
+        ];
+        let with = truthfinder(3, 1, &claims, &TruthFinderConfig::default());
+        let fid_10 = with.facts.iter().position(|&(_, v)| v == 10.0).unwrap();
+        let fid_50 = with.facts.iter().position(|&(_, v)| v == 50.0).unwrap();
+        assert!(
+            with.fact_confidence[fid_10] > with.fact_confidence[fid_50],
+            "near-miss support should push 10.0 above 50.0: {:?}",
+            with.fact_confidence
+        );
+        let predicted = with.predicted_value(0).unwrap();
+        assert!(predicted < 11.0, "prediction {predicted} should be in the 10-camp");
+
+        // ablation: with ρ = 0 the three facts are symmetric
+        let without = truthfinder(3, 1, &claims, &TruthFinderConfig {
+            rho: 0.0,
+            ..Default::default()
+        });
+        let spread = without
+            .fact_confidence
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        assert!(
+            spread.1 - spread.0 < 1e-9,
+            "without implication the split stays symmetric: {:?}",
+            without.fact_confidence
+        );
+    }
+
+    #[test]
+    fn objects_without_claims() {
+        let r = truthfinder(1, 3, &[Claim { source: 0, object: 1, value: 5.0 }],
+            &TruthFinderConfig::default());
+        assert_eq!(r.predicted[0], None);
+        assert!(r.predicted[1].is_some());
+        assert_eq!(r.predicted[2], None);
+        assert_eq!(majority_vote(3, &[])[0], None);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = truthfinder(0, 0, &[], &TruthFinderConfig::default());
+        assert!(r.facts.is_empty());
+        assert!(r.predicted.is_empty());
+    }
+}

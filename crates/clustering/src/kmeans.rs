@@ -1,0 +1,277 @@
+//! k-means with k-means++ seeding, Euclidean or cosine distance.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hin_linalg::vector::{cosine, sq_dist};
+
+/// Distance used by [`kmeans`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distance {
+    /// Squared Euclidean distance.
+    Euclidean,
+    /// `1 − cosine(x, c)` — the measure RankClus uses on its
+    /// mixture-coefficient simplex.
+    Cosine,
+}
+
+/// Configuration for [`kmeans`].
+#[derive(Clone, Copy, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Distance function.
+    pub distance: Distance,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// RNG seed for k-means++ seeding and empty-cluster reseeding.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            distance: Distance::Euclidean,
+            max_iters: 100,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster of each point.
+    pub assignments: Vec<usize>,
+    /// Final centroids (k × dim).
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of distances of points to their centroid.
+    pub inertia: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+fn distance(d: Distance, a: &[f64], b: &[f64]) -> f64 {
+    match d {
+        Distance::Euclidean => sq_dist(a, b),
+        Distance::Cosine => 1.0 - cosine(a, b),
+    }
+}
+
+/// Lloyd's algorithm over row-vector points.
+///
+/// Empty clusters are reseeded with the point farthest from its centroid.
+/// `k` is clamped to the number of points.
+///
+/// # Panics
+/// Panics on ragged input or `k == 0`.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
+    assert!(config.k > 0, "k must be positive");
+    let n = points.len();
+    if n == 0 {
+        return KMeansResult {
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "points must share a dimension"
+    );
+    let k = config.k.min(n);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // k-means++ seeding
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| distance(config.distance, p, c))
+                    .fold(f64::MAX, f64::min)
+                    .max(0.0)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut u = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                u -= w;
+                if u <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.push(points[next].clone());
+    }
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    loop {
+        // assignment step
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    distance(config.distance, p, &centroids[a])
+                        .partial_cmp(&distance(config.distance, p, &centroids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k > 0");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        iterations += 1;
+        if !changed && iterations > 1 {
+            break;
+        }
+        if iterations >= config.max_iters {
+            break;
+        }
+
+        // update step
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // reseed with the globally worst-fitting point
+                let worst = (0..n)
+                    .max_by(|&a, &b| {
+                        distance(config.distance, &points[a], &centroids[assignments[a]])
+                            .partial_cmp(&distance(
+                                config.distance,
+                                &points[b],
+                                &centroids[assignments[b]],
+                            ))
+                            .expect("finite")
+                    })
+                    .expect("nonempty");
+                centroids[c] = points[worst].clone();
+            } else {
+                for (cc, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cc = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| distance(config.distance, p, &centroids[a]))
+        .sum();
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            pts.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = kmeans(&two_blobs(), &KMeansConfig {
+            k: 2,
+            ..Default::default()
+        });
+        // points alternate blob membership by construction
+        for i in (0..20).step_by(2) {
+            assert_eq!(r.assignments[i], r.assignments[0]);
+            assert_eq!(r.assignments[i + 1], r.assignments[1]);
+        }
+        assert_ne!(r.assignments[0], r.assignments[1]);
+        assert!(r.inertia < 1.0);
+    }
+
+    #[test]
+    fn cosine_distance_clusters_by_direction() {
+        // rays along x vs y, different magnitudes
+        let pts = vec![
+            vec![1.0, 0.01],
+            vec![5.0, 0.0],
+            vec![10.0, 0.1],
+            vec![0.0, 1.0],
+            vec![0.05, 7.0],
+            vec![0.1, 20.0],
+        ];
+        let r = kmeans(&pts, &KMeansConfig {
+            k: 2,
+            distance: Distance::Cosine,
+            ..Default::default()
+        });
+        assert_eq!(r.assignments[0], r.assignments[1]);
+        assert_eq!(r.assignments[1], r.assignments[2]);
+        assert_eq!(r.assignments[3], r.assignments[4]);
+        assert_ne!(r.assignments[0], r.assignments[3]);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let r = kmeans(&pts, &KMeansConfig {
+            k: 5,
+            ..Default::default()
+        });
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn inertia_zero_for_k_equals_n() {
+        let pts = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![9.0, 1.0]];
+        let r = kmeans(&pts, &KMeansConfig {
+            k: 3,
+            ..Default::default()
+        });
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 9,
+            ..Default::default()
+        };
+        assert_eq!(kmeans(&pts, &cfg).assignments, kmeans(&pts, &cfg).assignments);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = kmeans(&[], &KMeansConfig::default());
+        assert!(r.assignments.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! Clustering on homogeneous networks and feature spaces (tutorial
+//! §2(b)i), plus the quality metrics every clustering experiment in the
+//! workspace reports.
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding, Euclidean or
+//!   cosine distance (RankClus re-assigns targets by cosine k-means in its
+//!   mixture-coefficient space),
+//! * [`spectral`] — normalized-cut spectral clustering on the symmetric
+//!   Laplacian, dense (Jacobi) or matrix-free (Lanczos) eigensolver,
+//! * [`scan`] — SCAN structural clustering (KDD'07) with hub and outlier
+//!   detection,
+//! * [`agglomerative`] — average-linkage hierarchical clustering over a
+//!   precomputed similarity matrix (the engine behind DISTINCT),
+//! * [`metrics`] — NMI, ARI, purity, pairwise F1 and Hungarian-matched
+//!   accuracy.
+
+pub mod agglomerative;
+pub mod kmeans;
+pub mod metrics;
+pub mod scan;
+pub mod spectral;
+
+pub use agglomerative::{agglomerative_average_link, AgglomerativeStop};
+pub use kmeans::{kmeans, Distance, KMeansConfig, KMeansResult};
+pub use metrics::{accuracy_hungarian, adjusted_rand_index, nmi, pairwise_f1, purity, PairwiseF1};
+pub use scan::{scan, ScanConfig, ScanResult, ScanRole};
+pub use spectral::{spectral_clustering, EigenSolver, SpectralConfig};

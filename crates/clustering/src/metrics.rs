@@ -1,0 +1,337 @@
+//! Clustering quality metrics.
+//!
+//! All metrics compare a predicted assignment against ground-truth labels;
+//! both are dense `usize` label vectors of equal length. Cluster/label ids
+//! need not be aligned — every metric here is invariant to relabelling.
+
+use hin_linalg::DMat;
+
+/// Contingency table between two labelings.
+fn contingency(pred: &[usize], truth: &[usize]) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+    assert_eq!(pred.len(), truth.len(), "label vectors must align");
+    let kp = pred.iter().max().map_or(0, |m| m + 1);
+    let kt = truth.iter().max().map_or(0, |m| m + 1);
+    let mut table = vec![vec![0.0f64; kt]; kp];
+    for (&p, &t) in pred.iter().zip(truth) {
+        table[p][t] += 1.0;
+    }
+    let row: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col: Vec<f64> = (0..kt).map(|c| table.iter().map(|r| r[c]).sum()).collect();
+    (table, row, col)
+}
+
+/// Normalized mutual information in `[0, 1]` (arithmetic-mean
+/// normalization). Degenerate single-cluster cases score 0 unless both
+/// sides are single-cluster and identical in size (then 1 by convention).
+pub fn nmi(pred: &[usize], truth: &[usize]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let n = pred.len() as f64;
+    let (table, row, col) = contingency(pred, truth);
+    let mut mi = 0.0;
+    for (i, r) in table.iter().enumerate() {
+        for (j, &nij) in r.iter().enumerate() {
+            if nij > 0.0 {
+                mi += (nij / n) * ((n * nij) / (row[i] * col[j])).ln();
+            }
+        }
+    }
+    let h = |margin: &[f64]| -> f64 {
+        margin
+            .iter()
+            .filter(|&&m| m > 0.0)
+            .map(|&m| -(m / n) * (m / n).ln())
+            .sum()
+    };
+    let hp = h(&row);
+    let ht = h(&col);
+    if hp == 0.0 && ht == 0.0 {
+        return 1.0; // both trivial and identical
+    }
+    if hp == 0.0 || ht == 0.0 {
+        return 0.0;
+    }
+    (mi / (0.5 * (hp + ht))).clamp(0.0, 1.0)
+}
+
+/// Adjusted Rand index in `[-1, 1]`; 0 expected for random labelings.
+/// Degenerate identical partitions (single point, both single-cluster, both
+/// all-singletons) score 1 by the usual convention.
+pub fn adjusted_rand_index(pred: &[usize], truth: &[usize]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let n = pred.len() as f64;
+    let c2 = |x: f64| x * (x - 1.0) / 2.0;
+    if c2(n) == 0.0 {
+        return 1.0; // one point: trivially identical partitions
+    }
+    let (table, row, col) = contingency(pred, truth);
+    let sum_ij: f64 = table.iter().flatten().map(|&v| c2(v)).sum();
+    let sum_i: f64 = row.iter().map(|&v| c2(v)).sum();
+    let sum_j: f64 = col.iter().map(|&v| c2(v)).sum();
+    // both single-cluster, or both all-singletons: identical partitions
+    if (sum_i == c2(n) && sum_j == c2(n)) || (sum_i == 0.0 && sum_j == 0.0) {
+        return 1.0;
+    }
+    let expected = sum_i * sum_j / c2(n);
+    let max_index = 0.5 * (sum_i + sum_j);
+    if (max_index - expected).abs() < 1e-12 {
+        return 0.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Purity: fraction of objects whose cluster's majority label matches their
+/// own.
+pub fn purity(pred: &[usize], truth: &[usize]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let (table, _, _) = contingency(pred, truth);
+    let correct: f64 = table
+        .iter()
+        .map(|r| r.iter().cloned().fold(0.0, f64::max))
+        .sum();
+    correct / pred.len() as f64
+}
+
+/// Pairwise precision/recall/F1 over co-clustered object pairs — the metric
+/// DISTINCT reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairwiseF1 {
+    /// Pair precision.
+    pub precision: f64,
+    /// Pair recall.
+    pub recall: f64,
+    /// Pair F1.
+    pub f1: f64,
+}
+
+/// Compute pairwise precision/recall/F1.
+pub fn pairwise_f1(pred: &[usize], truth: &[usize]) -> PairwiseF1 {
+    assert_eq!(pred.len(), truth.len());
+    let n = pred.len();
+    let mut tp = 0.0f64;
+    let mut pred_pairs = 0.0f64;
+    let mut true_pairs = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_pred = pred[i] == pred[j];
+            let same_true = truth[i] == truth[j];
+            pred_pairs += same_pred as u8 as f64;
+            true_pairs += same_true as u8 as f64;
+            tp += (same_pred && same_true) as u8 as f64;
+        }
+    }
+    let precision = if pred_pairs > 0.0 { tp / pred_pairs } else { 0.0 };
+    let recall = if true_pairs > 0.0 { tp / true_pairs } else { 0.0 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    PairwiseF1 {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Clustering accuracy under the best one-to-one cluster↔label matching,
+/// found with the Hungarian algorithm (the "accuracy" RankClus reports).
+pub fn accuracy_hungarian(pred: &[usize], truth: &[usize]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let (table, _, _) = contingency(pred, truth);
+    let k = table.len().max(table.first().map_or(0, |r| r.len()));
+    // build a square profit matrix, pad with zeros
+    let mut profit = DMat::zeros(k, k);
+    for (i, r) in table.iter().enumerate() {
+        for (j, &v) in r.iter().enumerate() {
+            profit.set(i, j, v);
+        }
+    }
+    let assignment = hungarian_max(&profit);
+    let matched: f64 = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| profit.get(i, j))
+        .sum();
+    matched / pred.len() as f64
+}
+
+/// Maximum-profit assignment on a square matrix via the O(n³) Hungarian
+/// (Jonker-style shortest augmenting path) algorithm. Returns, for each
+/// row, the column assigned to it.
+pub fn hungarian_max(profit: &DMat) -> Vec<usize> {
+    let n = profit.rows();
+    assert_eq!(n, profit.cols(), "hungarian_max needs a square matrix");
+    if n == 0 {
+        return Vec::new();
+    }
+    // convert to min-cost
+    let max_val = profit.data().iter().cloned().fold(f64::MIN, f64::max);
+    let cost = |i: usize, j: usize| max_val - profit.get(i, j);
+
+    // shortest augmenting path formulation (1-indexed internals)
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![2, 2, 0, 0, 1, 1]; // permuted ids
+        assert!((nmi(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert!((purity(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert!((accuracy_hungarian(&pred, &truth) - 1.0).abs() < 1e-12);
+        let f = pairwise_f1(&pred, &truth);
+        assert_eq!(f.f1, 1.0);
+    }
+
+    #[test]
+    fn single_cluster_prediction() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 0, 0];
+        assert_eq!(nmi(&pred, &truth), 0.0);
+        assert!((purity(&pred, &truth) - 0.5).abs() < 1e-12);
+        let f = pairwise_f1(&pred, &truth);
+        assert!((f.recall - 1.0).abs() < 1e-12);
+        assert!((f.precision - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_known_values() {
+        // perfectly crossed labeling: every cluster splits every class
+        // evenly; the exact ARI is −0.5 (worse than chance)
+        let ari = adjusted_rand_index(&[0, 1, 0, 1], &[0, 0, 1, 1]);
+        assert!((ari + 0.5).abs() < 1e-12, "crossed labelings: {ari}");
+        // one misplaced point out of six
+        let ari2 = adjusted_rand_index(&[0, 0, 0, 1, 1, 0], &[0, 0, 0, 1, 1, 1]);
+        assert!(ari2 > 0.3 && ari2 < 1.0, "one error: {ari2}");
+    }
+
+    #[test]
+    fn nmi_known_value() {
+        // standard example: pred {0,0,1,1}, truth {0,1,0,1} → MI = 0
+        assert_eq!(nmi(&[0, 0, 1, 1], &[0, 1, 0, 1]), 0.0);
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        let truth = vec![0, 0, 1, 1, 2, 2, 2];
+        let pred_a = vec![0, 0, 1, 2, 2, 2, 1];
+        let pred_b: Vec<usize> = pred_a.iter().map(|&c| (c + 1) % 3).collect();
+        assert!((nmi(&pred_a, &truth) - nmi(&pred_b, &truth)).abs() < 1e-12);
+        assert!(
+            (adjusted_rand_index(&pred_a, &truth) - adjusted_rand_index(&pred_b, &truth)).abs()
+                < 1e-12
+        );
+        assert!(
+            (accuracy_hungarian(&pred_a, &truth) - accuracy_hungarian(&pred_b, &truth)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force() {
+        // 3x3 profit where greedy fails
+        let p = DMat::from_rows(&[&[10.0, 9.0, 1.0], &[9.0, 8.0, 2.0], &[1.0, 2.0, 3.0]]);
+        let assign = hungarian_max(&p);
+        let total: f64 = assign.iter().enumerate().map(|(i, &j)| p.get(i, j)).sum();
+        // brute force all 6 permutations
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let best = perms
+            .iter()
+            .map(|perm| (0..3).map(|i| p.get(i, perm[i])).sum::<f64>())
+            .fold(f64::MIN, f64::max);
+        assert!((total - best).abs() < 1e-12, "{total} vs brute {best}");
+    }
+
+    #[test]
+    fn accuracy_with_more_clusters_than_labels() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 1, 2, 2, 2]; // 3 predicted clusters, 2 labels
+        // best matching: cluster0→label0 (2), cluster2→label1 (3) = 5/6
+        assert!((accuracy_hungarian(&pred, &truth) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(nmi(&[], &[]), 0.0);
+        assert_eq!(adjusted_rand_index(&[], &[]), 0.0);
+        assert_eq!(purity(&[], &[]), 0.0);
+        assert_eq!(accuracy_hungarian(&[], &[]), 0.0);
+    }
+}

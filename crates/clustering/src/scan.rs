@@ -1,0 +1,269 @@
+//! SCAN: structural clustering of networks (Xu et al., KDD'07).
+//!
+//! SCAN clusters vertices by *structural similarity*
+//! `σ(u,v) = |Γ(u) ∩ Γ(v)| / √(|Γ(u)|·|Γ(v)|)` over closed neighborhoods
+//! `Γ(v) = N(v) ∪ {v}`. Vertices with at least `μ` ε-similar neighbors are
+//! *cores*; clusters are the ε-connected components of cores plus their
+//! ε-reachable borders. Non-members bridging several clusters are *hubs*,
+//! the rest *outliers* — the feature that distinguishes SCAN from
+//! modularity methods.
+
+use hin_linalg::Csr;
+
+/// SCAN parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanConfig {
+    /// Similarity threshold ε ∈ (0, 1].
+    pub eps: f64,
+    /// Minimum ε-neighborhood size (including the vertex itself) for a core.
+    pub mu: usize,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        Self { eps: 0.6, mu: 3 }
+    }
+}
+
+/// Role of a vertex in the SCAN result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanRole {
+    /// Core or border member of the cluster with the given id.
+    Member(usize),
+    /// Non-member adjacent to two or more distinct clusters.
+    Hub,
+    /// Non-member adjacent to at most one cluster.
+    Outlier,
+}
+
+/// Result of SCAN.
+#[derive(Clone, Debug)]
+pub struct ScanResult {
+    /// Role of every vertex.
+    pub roles: Vec<ScanRole>,
+    /// Number of clusters found.
+    pub cluster_count: usize,
+}
+
+impl ScanResult {
+    /// Dense label vector mapping members to their cluster and hubs/outliers
+    /// each to their own singleton label (handy for metric computations).
+    pub fn labels_with_singletons(&self) -> Vec<usize> {
+        let mut next = self.cluster_count;
+        self.roles
+            .iter()
+            .map(|r| match r {
+                ScanRole::Member(c) => *c,
+                _ => {
+                    let l = next;
+                    next += 1;
+                    l
+                }
+            })
+            .collect()
+    }
+}
+
+/// Structural similarity over closed neighborhoods. Expects a symmetric
+/// adjacency matrix; weights are ignored.
+pub fn structural_similarity(adj: &Csr, u: usize, v: usize) -> f64 {
+    let nu = adj.row_indices(u);
+    let nv = adj.row_indices(v);
+    // closed-neighborhood intersection via sorted-merge, counting u and v
+    let mut shared = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < nu.len() && j < nv.len() {
+        match nu[i].cmp(&nv[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    // closure: u ∈ Γ(u); u ∈ Γ(v) iff edge (v,u)
+    let u_in_v = nv.binary_search(&(u as u32)).is_ok();
+    let v_in_u = nu.binary_search(&(v as u32)).is_ok();
+    let inter = shared + u_in_v as usize + v_in_u as usize;
+    let du = nu.len() + 1;
+    let dv = nv.len() + 1;
+    inter as f64 / ((du * dv) as f64).sqrt()
+}
+
+/// Run SCAN on a symmetric adjacency matrix.
+pub fn scan(adj: &Csr, config: &ScanConfig) -> ScanResult {
+    assert!(config.eps > 0.0 && config.eps <= 1.0, "eps must be in (0,1]");
+    let n = adj.nrows();
+
+    // ε-neighborhoods (vertex itself always qualifies: σ(v,v) = 1 ≥ ε)
+    let eps_neighbors: Vec<Vec<u32>> = (0..n)
+        .map(|u| {
+            adj.row_indices(u)
+                .iter()
+                .copied()
+                .filter(|&v| structural_similarity(adj, u, v as usize) >= config.eps)
+                .collect()
+        })
+        .collect();
+    let is_core: Vec<bool> = (0..n)
+        .map(|u| eps_neighbors[u].len() + 1 >= config.mu)
+        .collect();
+
+    const UNCLASSIFIED: usize = usize::MAX;
+    let mut cluster = vec![UNCLASSIFIED; n];
+    let mut cluster_count = 0usize;
+
+    // grow clusters from cores by ε-reachability
+    for seed in 0..n {
+        if !is_core[seed] || cluster[seed] != UNCLASSIFIED {
+            continue;
+        }
+        let cid = cluster_count;
+        cluster_count += 1;
+        let mut queue = std::collections::VecDeque::new();
+        cluster[seed] = cid;
+        queue.push_back(seed as u32);
+        while let Some(u) = queue.pop_front() {
+            if !is_core[u as usize] {
+                continue; // borders absorb membership but do not expand
+            }
+            for &v in &eps_neighbors[u as usize] {
+                if cluster[v as usize] == UNCLASSIFIED {
+                    cluster[v as usize] = cid;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    // classify non-members as hubs or outliers
+    let roles: Vec<ScanRole> = (0..n)
+        .map(|u| {
+            if cluster[u] != UNCLASSIFIED {
+                return ScanRole::Member(cluster[u]);
+            }
+            let mut seen: Vec<usize> = adj
+                .row_indices(u)
+                .iter()
+                .filter_map(|&v| {
+                    let c = cluster[v as usize];
+                    (c != UNCLASSIFIED).then_some(c)
+                })
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() >= 2 {
+                ScanRole::Hub
+            } else {
+                ScanRole::Outlier
+            }
+        })
+        .collect();
+
+    ScanResult {
+        roles,
+        cluster_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(edges: &[(u32, u32)], n: usize) -> Csr {
+        let mut t = Vec::new();
+        for &(u, v) in edges {
+            t.push((u, v, 1.0));
+            t.push((v, u, 1.0));
+        }
+        Csr::from_triplets(n, n, t)
+    }
+
+    /// Two 4-cliques (0–3, 4–7), a bridge vertex 8 connected to both, and an
+    /// outlier 9 dangling off one clique — the classic SCAN illustration.
+    fn two_cliques_hub_outlier() -> Csr {
+        let mut e = Vec::new();
+        for u in 0u32..4 {
+            for v in (u + 1)..4 {
+                e.push((u, v));
+                e.push((u + 4, v + 4));
+            }
+        }
+        e.push((8, 0));
+        e.push((8, 4));
+        e.push((9, 3));
+        sym(&e, 10)
+    }
+
+    #[test]
+    fn similarity_values() {
+        let g = sym(&[(0, 1), (1, 2), (0, 2)], 3);
+        // triangle: Γ(0)=Γ(1)={0,1,2} → σ=1
+        assert!((structural_similarity(&g, 0, 1) - 1.0).abs() < 1e-12);
+        let path = sym(&[(0, 1), (1, 2)], 3);
+        // Γ(0)={0,1}, Γ(1)={0,1,2}: overlap {0,1} → 2/√6
+        let s = structural_similarity(&path, 0, 1);
+        assert!((s - 2.0 / 6.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_clusters_hub_outlier() {
+        let g = two_cliques_hub_outlier();
+        let r = scan(&g, &ScanConfig { eps: 0.7, mu: 3 });
+        assert_eq!(r.cluster_count, 2);
+        let c0 = match r.roles[0] {
+            ScanRole::Member(c) => c,
+            other => panic!("vertex 0 should be a member, got {other:?}"),
+        };
+        for v in 1..4 {
+            assert_eq!(r.roles[v], ScanRole::Member(c0));
+        }
+        let c4 = match r.roles[4] {
+            ScanRole::Member(c) => c,
+            other => panic!("vertex 4 should be a member, got {other:?}"),
+        };
+        assert_ne!(c0, c4);
+        assert_eq!(r.roles[8], ScanRole::Hub, "bridge vertex is a hub");
+        assert_eq!(r.roles[9], ScanRole::Outlier);
+    }
+
+    #[test]
+    fn eps_one_fragments_sparse_graphs() {
+        let g = sym(&[(0, 1), (1, 2)], 3);
+        let r = scan(&g, &ScanConfig { eps: 1.0, mu: 2 });
+        assert_eq!(r.cluster_count, 0);
+        assert!(r.roles.iter().all(|&x| x == ScanRole::Outlier));
+    }
+
+    #[test]
+    fn low_eps_merges_everything_connected() {
+        let g = two_cliques_hub_outlier();
+        let r = scan(&g, &ScanConfig { eps: 0.1, mu: 2 });
+        assert_eq!(r.cluster_count, 1);
+        assert!(r
+            .roles
+            .iter()
+            .all(|&x| matches!(x, ScanRole::Member(0))));
+    }
+
+    #[test]
+    fn labels_with_singletons_cover_all() {
+        let g = two_cliques_hub_outlier();
+        let r = scan(&g, &ScanConfig { eps: 0.7, mu: 3 });
+        let labels = r.labels_with_singletons();
+        assert_eq!(labels.len(), 10);
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "2 clusters + hub + outlier");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = scan(&Csr::zeros(0, 0), &ScanConfig::default());
+        assert_eq!(r.cluster_count, 0);
+        assert!(r.roles.is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Normalized-cut spectral clustering (Ng–Jordan–Weiss style).
+//!
+//! Builds the symmetric normalized Laplacian `L = I − D^{−1/2} W D^{−1/2}`,
+//! takes its `k` smallest eigenvectors, row-normalizes the embedding and
+//! runs k-means. The dense path uses the Jacobi solver; graphs beyond its
+//! comfort zone switch to matrix-free Lanczos.
+
+use hin_linalg::eigen::smallest_eigenpairs;
+use hin_linalg::lanczos::lanczos_symmetric;
+use hin_linalg::vector::normalize_l2;
+use hin_linalg::{Csr, DMat};
+
+use crate::kmeans::{kmeans, Distance, KMeansConfig};
+
+/// Eigensolver selection for [`spectral_clustering`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EigenSolver {
+    /// Dense cyclic Jacobi — exact, O(n³), fine to ~1500 vertices.
+    Dense,
+    /// Matrix-free Lanczos — for larger sparse graphs.
+    Lanczos {
+        /// Krylov subspace size (≥ 2k recommended; clamped to n).
+        steps: usize,
+    },
+    /// Dense below `threshold` vertices, Lanczos above.
+    Auto,
+}
+
+/// Configuration for spectral clustering.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectralConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Which eigensolver to use.
+    pub solver: EigenSolver,
+    /// Seed for the embedding k-means.
+    pub seed: u64,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            solver: EigenSolver::Auto,
+            seed: 1,
+        }
+    }
+}
+
+/// Cluster the vertices of a symmetric weighted adjacency matrix.
+/// Zero-degree vertices are assigned to cluster 0.
+///
+/// # Panics
+/// Panics when the adjacency matrix is not square or `k == 0`.
+pub fn spectral_clustering(adj: &Csr, config: &SpectralConfig) -> Vec<usize> {
+    assert_eq!(adj.nrows(), adj.ncols(), "adjacency must be square");
+    assert!(config.k > 0, "k must be positive");
+    let n = adj.nrows();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = config.k.min(n);
+
+    // D^{-1/2}
+    let inv_sqrt_deg: Vec<f64> = adj
+        .row_sums()
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+
+    let use_dense = match config.solver {
+        EigenSolver::Dense => true,
+        EigenSolver::Lanczos { .. } => false,
+        EigenSolver::Auto => n <= 800,
+    };
+
+    // embedding: k smallest eigenvectors of L_sym as rows
+    let embedding: Vec<Vec<f64>> = if use_dense {
+        let mut l = DMat::zeros(n, n);
+        for i in 0..n {
+            l.set(i, i, if adj.row_sum(i) > 0.0 { 1.0 } else { 0.0 });
+        }
+        for (r, c, w) in adj.iter() {
+            let v = -w * inv_sqrt_deg[r as usize] * inv_sqrt_deg[c as usize];
+            l.add_to(r as usize, c as usize, v);
+        }
+        l.symmetrize();
+        let (_, vecs) = smallest_eigenpairs(&l, k);
+        (0..n).map(|r| vecs.row(r).to_vec()).collect()
+    } else {
+        let steps = match config.solver {
+            EigenSolver::Lanczos { steps } => steps.max(2 * k + 10),
+            _ => (4 * k + 30).min(n),
+        };
+        let pairs = lanczos_symmetric(n, steps.min(n), k, config.seed, |x| {
+            // y = L x = x_deg − D^{-1/2} W D^{-1/2} x
+            let scaled: Vec<f64> = x
+                .iter()
+                .zip(&inv_sqrt_deg)
+                .map(|(xi, s)| xi * s)
+                .collect();
+            let mut y = adj.matvec(&scaled);
+            for ((yi, s), (xi, d)) in y
+                .iter_mut()
+                .zip(&inv_sqrt_deg)
+                .zip(x.iter().zip(&inv_sqrt_deg))
+            {
+                let diag = if *d > 0.0 { 1.0 } else { 0.0 };
+                *yi = diag * xi - *yi * s;
+            }
+            y
+        });
+        (0..n)
+            .map(|r| pairs.vectors.iter().map(|v| v[r]).collect())
+            .collect()
+    };
+
+    // row-normalize (NJW) and cluster; zero rows → cluster 0
+    let mut rows = embedding;
+    for row in &mut rows {
+        normalize_l2(row);
+    }
+    let km = kmeans(&rows, &KMeansConfig {
+        k,
+        distance: Distance::Euclidean,
+        max_iters: 200,
+        seed: config.seed,
+    });
+    km.assignments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy_hungarian;
+    use hin_synth::{planted_partition, PlantedConfig};
+
+    #[test]
+    fn recovers_two_disconnected_cliques() {
+        let mut t = Vec::new();
+        for u in 0u32..4 {
+            for v in 0u32..4 {
+                if u != v {
+                    t.push((u, v, 1.0));
+                    t.push((u + 4, v + 4, 1.0));
+                }
+            }
+        }
+        let g = Csr::from_triplets(8, 8, t);
+        let labels = spectral_clustering(&g, &SpectralConfig {
+            k: 2,
+            solver: EigenSolver::Dense,
+            seed: 3,
+        });
+        let truth = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        assert!((accuracy_hungarian(&labels, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_planted_partition_dense() {
+        let (g, truth) = planted_partition(&PlantedConfig {
+            n: 150,
+            k: 3,
+            p_in: 0.35,
+            p_out: 0.02,
+            seed: 4,
+        });
+        let labels = spectral_clustering(&g, &SpectralConfig {
+            k: 3,
+            solver: EigenSolver::Dense,
+            seed: 5,
+        });
+        let acc = accuracy_hungarian(&labels, &truth);
+        assert!(acc > 0.95, "dense spectral accuracy {acc}");
+    }
+
+    #[test]
+    fn recovers_planted_partition_lanczos() {
+        let (g, truth) = planted_partition(&PlantedConfig {
+            n: 400,
+            k: 2,
+            p_in: 0.2,
+            p_out: 0.01,
+            seed: 6,
+        });
+        let labels = spectral_clustering(&g, &SpectralConfig {
+            k: 2,
+            solver: EigenSolver::Lanczos { steps: 60 },
+            seed: 7,
+        });
+        let acc = accuracy_hungarian(&labels, &truth);
+        assert!(acc > 0.9, "lanczos spectral accuracy {acc}");
+    }
+
+    #[test]
+    fn handles_isolated_vertices() {
+        let g = Csr::from_triplets(4, 4, [(0u32, 1u32, 1.0), (1, 0, 1.0)]);
+        let labels = spectral_clustering(&g, &SpectralConfig {
+            k: 2,
+            solver: EigenSolver::Dense,
+            seed: 1,
+        });
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn k_one_trivial() {
+        let g = Csr::from_triplets(3, 3, [(0u32, 1u32, 1.0), (1, 0, 1.0)]);
+        let labels = spectral_clustering(&g, &SpectralConfig {
+            k: 1,
+            solver: EigenSolver::Dense,
+            seed: 1,
+        });
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,211 @@
+//! The bi-typed network view consumed by RankClus (EDBT'09).
+//!
+//! RankClus operates on a network with a *target* type X (the objects being
+//! clustered, e.g. venues) and an *attribute* type Y (e.g. authors), linked
+//! by a weighted relation `W_xy`, plus an optional within-attribute relation
+//! `W_yy` (e.g. co-authorship) used to smooth the ranking propagation.
+
+use hin_linalg::Csr;
+
+use crate::error::HinError;
+use crate::graph::{Hin, TypeId};
+
+/// A bi-typed network `(X, Y, W_xy[, W_yy])`.
+#[derive(Clone, Debug)]
+pub struct BiNet {
+    /// Number of target objects (|X|).
+    pub nx: usize,
+    /// Number of attribute objects (|Y|).
+    pub ny: usize,
+    /// Target→attribute weights, |X| × |Y|.
+    pub wxy: Csr,
+    /// Attribute→target weights (transpose of `wxy`), |Y| × |X|.
+    pub wyx: Csr,
+    /// Optional within-attribute weights, |Y| × |Y| (symmetric by
+    /// convention; not enforced).
+    pub wyy: Option<Csr>,
+    /// Display names of target objects (may be empty when constructed
+    /// directly from matrices).
+    pub x_names: Vec<String>,
+    /// Display names of attribute objects.
+    pub y_names: Vec<String>,
+}
+
+impl BiNet {
+    /// Build directly from a target→attribute matrix.
+    pub fn from_matrix(wxy: Csr) -> Self {
+        let wyx = wxy.transpose();
+        Self {
+            nx: wxy.nrows(),
+            ny: wxy.ncols(),
+            wxy,
+            wyx,
+            wyy: None,
+            x_names: Vec::new(),
+            y_names: Vec::new(),
+        }
+    }
+
+    /// Attach a within-attribute relation (e.g. co-authorship).
+    ///
+    /// # Panics
+    /// Panics when the matrix is not |Y| × |Y|.
+    pub fn with_wyy(mut self, wyy: Csr) -> Self {
+        assert_eq!(
+            (wyy.nrows(), wyy.ncols()),
+            (self.ny, self.ny),
+            "W_yy must be |Y|x|Y|"
+        );
+        self.wyy = Some(wyy);
+        self
+    }
+
+    /// Extract a bi-typed view from a heterogeneous network.
+    ///
+    /// `target` and `attribute` must be connected by a relation; a
+    /// self-relation on `attribute` (if present) becomes `W_yy`.
+    pub fn from_hin(hin: &Hin, target: TypeId, attribute: TypeId) -> Result<Self, HinError> {
+        let wxy = hin.adjacency(target, attribute)?.clone();
+        let wyy = hin
+            .relation_ids()
+            .map(|r| hin.relation(r))
+            .find(|r| r.src == attribute && r.dst == attribute)
+            .map(|r| r.fwd.clone());
+        let wyx = wxy.transpose();
+        Ok(Self {
+            nx: wxy.nrows(),
+            ny: wxy.ncols(),
+            wxy,
+            wyx,
+            wyy,
+            x_names: (0..hin.node_count(target))
+                .map(|i| {
+                    hin.node_name(crate::graph::NodeRef {
+                        ty: target,
+                        id: i as u32,
+                    })
+                    .to_string()
+                })
+                .collect(),
+            y_names: (0..hin.node_count(attribute))
+                .map(|i| {
+                    hin.node_name(crate::graph::NodeRef {
+                        ty: attribute,
+                        id: i as u32,
+                    })
+                    .to_string()
+                })
+                .collect(),
+        })
+    }
+
+    /// Restrict to a subset of target objects: rows of `W_xy` outside the
+    /// mask are emptied (attribute side keeps its full dimension, matching
+    /// RankClus's conditional-rank definition).
+    pub fn restrict_targets(&self, mask: &[bool]) -> BiNet {
+        assert_eq!(mask.len(), self.nx, "mask length must equal |X|");
+        let wxy = Csr::from_triplets(
+            self.nx,
+            self.ny,
+            self.wxy.iter().filter(|&(r, _, _)| mask[r as usize]),
+        );
+        let wyx = wxy.transpose();
+        BiNet {
+            nx: self.nx,
+            ny: self.ny,
+            wxy,
+            wyx,
+            wyy: self.wyy.clone(),
+            x_names: self.x_names.clone(),
+            y_names: self.y_names.clone(),
+        }
+    }
+
+    /// Total link weight.
+    pub fn total_weight(&self) -> f64 {
+        self.wxy.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HinBuilder;
+
+    fn toy() -> BiNet {
+        // 2 venues × 3 authors
+        BiNet::from_matrix(Csr::from_triplets(
+            2,
+            3,
+            [
+                (0u32, 0u32, 2.0),
+                (0, 1, 1.0),
+                (1, 1, 3.0),
+                (1, 2, 1.0),
+            ],
+        ))
+    }
+
+    #[test]
+    fn from_matrix_dimensions() {
+        let b = toy();
+        assert_eq!((b.nx, b.ny), (2, 3));
+        assert_eq!(b.wyx.get(1, 1), 3.0);
+        assert_eq!(b.total_weight(), 7.0);
+    }
+
+    #[test]
+    fn restrict_targets_masks_rows() {
+        let b = toy();
+        let r = b.restrict_targets(&[true, false]);
+        assert_eq!(r.wxy.row_sum(0), 3.0);
+        assert_eq!(r.wxy.row_sum(1), 0.0);
+        assert_eq!(r.wyx.get(1, 0), 1.0);
+        assert_eq!(r.wyx.get(1, 1), 0.0);
+        // dimensions preserved
+        assert_eq!((r.nx, r.ny), (2, 3));
+    }
+
+    #[test]
+    fn from_hin_picks_up_wyy() {
+        let mut b = HinBuilder::new();
+        let venue = b.add_type("venue");
+        let author = b.add_type("author");
+        let pub_rel = b.add_relation("publishes", venue, author);
+        let co = b.add_relation("coauthor", author, author);
+        b.link(pub_rel, "EDBT", "sun", 1.0);
+        b.link(pub_rel, "KDD", "han", 2.0);
+        b.link(co, "sun", "han", 1.0);
+        b.link(co, "han", "sun", 1.0);
+        let hin = b.build();
+        let net = BiNet::from_hin(&hin, venue, author).unwrap();
+        assert_eq!((net.nx, net.ny), (2, 2));
+        assert!(net.wyy.is_some());
+        assert_eq!(net.x_names, vec!["EDBT", "KDD"]);
+        assert_eq!(net.wyy.as_ref().unwrap().get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn from_hin_reversed_relation_direction() {
+        // relation stored author→venue, but we ask for venue-as-target
+        let mut b = HinBuilder::new();
+        let venue = b.add_type("venue");
+        let author = b.add_type("author");
+        let writes = b.add_relation("writes_in", author, venue);
+        b.link(writes, "sun", "EDBT", 1.0);
+        let hin = b.build();
+        let net = BiNet::from_hin(&hin, venue, author).unwrap();
+        assert_eq!(net.wxy.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn missing_relation_errors() {
+        let mut b = HinBuilder::new();
+        let venue = b.add_type("venue");
+        let author = b.add_type("author");
+        b.add_node(venue, "v");
+        b.add_node(author, "a");
+        let hin = b.build();
+        assert!(BiNet::from_hin(&hin, venue, author).is_err());
+    }
+}

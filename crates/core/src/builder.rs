@@ -1,0 +1,183 @@
+//! Incremental construction of [`Hin`] values.
+
+use std::collections::HashMap;
+
+use hin_linalg::Csr;
+
+use crate::graph::{Hin, NodeRef, RelationId, RelationInfo, TypeId, TypeInfo};
+
+/// Builder accumulating types, interned nodes and weighted edges, then
+/// freezing them into CSR form.
+///
+/// ```
+/// use hin_core::HinBuilder;
+/// let mut b = HinBuilder::new();
+/// let paper = b.add_type("paper");
+/// let venue = b.add_type("venue");
+/// let published_in = b.add_relation("published_in", paper, venue);
+/// let p = b.intern(paper, "RankClus");
+/// let v = b.intern(venue, "EDBT");
+/// b.add_edge(published_in, p.id, v.id, 1.0);
+/// let hin = b.build();
+/// assert_eq!(hin.total_edges(), 1);
+/// ```
+#[derive(Default)]
+pub struct HinBuilder {
+    types: Vec<TypeInfo>,
+    interner: Vec<HashMap<String, u32>>,
+    relations: Vec<PendingRelation>,
+}
+
+struct PendingRelation {
+    name: String,
+    src: TypeId,
+    dst: TypeId,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl HinBuilder {
+    /// Fresh empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a node type; type names should be unique (not enforced — the
+    /// first type with a name wins lookups).
+    pub fn add_type(&mut self, name: &str) -> TypeId {
+        self.types.push(TypeInfo {
+            name: name.to_string(),
+            node_names: Vec::new(),
+        });
+        self.interner.push(HashMap::new());
+        TypeId(self.types.len() - 1)
+    }
+
+    /// Register a relation between two (not necessarily distinct) types.
+    pub fn add_relation(&mut self, name: &str, src: TypeId, dst: TypeId) -> RelationId {
+        self.relations.push(PendingRelation {
+            name: name.to_string(),
+            src,
+            dst,
+            edges: Vec::new(),
+        });
+        RelationId(self.relations.len() - 1)
+    }
+
+    /// Add a node with the given display name, without checking for
+    /// duplicates. Prefer [`HinBuilder::intern`] when names identify nodes.
+    pub fn add_node(&mut self, ty: TypeId, name: &str) -> NodeRef {
+        let names = &mut self.types[ty.0].node_names;
+        names.push(name.to_string());
+        let id = (names.len() - 1) as u32;
+        self.interner[ty.0].insert(name.to_string(), id);
+        NodeRef { ty, id }
+    }
+
+    /// Get-or-create the node of `ty` named `name`.
+    pub fn intern(&mut self, ty: TypeId, name: &str) -> NodeRef {
+        if let Some(&id) = self.interner[ty.0].get(name) {
+            return NodeRef { ty, id };
+        }
+        self.add_node(ty, name)
+    }
+
+    /// Number of nodes currently interned for `ty`.
+    pub fn node_count(&self, ty: TypeId) -> usize {
+        self.types[ty.0].node_names.len()
+    }
+
+    /// Add a weighted edge; duplicate `(src, dst)` pairs accumulate.
+    ///
+    /// # Panics
+    /// Panics at [`HinBuilder::build`] time when ids are out of range.
+    pub fn add_edge(&mut self, rel: RelationId, src_id: u32, dst_id: u32, weight: f64) {
+        self.relations[rel.0].edges.push((src_id, dst_id, weight));
+    }
+
+    /// Convenience: intern both endpoints by name and add an edge.
+    pub fn link(&mut self, rel: RelationId, src_name: &str, dst_name: &str, weight: f64) {
+        let (src_ty, dst_ty) = {
+            let r = &self.relations[rel.0];
+            (r.src, r.dst)
+        };
+        let s = self.intern(src_ty, src_name);
+        let d = self.intern(dst_ty, dst_name);
+        self.add_edge(rel, s.id, d.id, weight);
+    }
+
+    /// Freeze into an immutable [`Hin`], materializing CSR adjacency in both
+    /// directions for every relation.
+    pub fn build(self) -> Hin {
+        let types = self.types;
+        let relations = self
+            .relations
+            .into_iter()
+            .map(|p| {
+                let nrows = types[p.src.0].node_names.len();
+                let ncols = types[p.dst.0].node_names.len();
+                let fwd = Csr::from_triplets(nrows, ncols, p.edges);
+                let bwd = fwd.transpose();
+                RelationInfo {
+                    name: p.name,
+                    src: p.src,
+                    dst: p.dst,
+                    fwd,
+                    bwd,
+                }
+            })
+            .collect();
+        Hin { types, relations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut b = HinBuilder::new();
+        let t = b.add_type("t");
+        let a = b.intern(t, "a");
+        let a2 = b.intern(t, "a");
+        let c = b.intern(t, "c");
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+        assert_eq!(b.node_count(t), 2);
+    }
+
+    #[test]
+    fn link_by_name() {
+        let mut b = HinBuilder::new();
+        let x = b.add_type("x");
+        let y = b.add_type("y");
+        let r = b.add_relation("r", x, y);
+        b.link(r, "x1", "y1", 2.0);
+        b.link(r, "x1", "y1", 3.0);
+        b.link(r, "x2", "y1", 1.0);
+        let hin = b.build();
+        assert_eq!(hin.node_count(x), 2);
+        assert_eq!(hin.node_count(y), 1);
+        assert_eq!(hin.relation(r).fwd.get(0, 0), 5.0);
+        assert_eq!(hin.relation(r).bwd.row_sum(0), 6.0);
+    }
+
+    #[test]
+    fn empty_network_builds() {
+        let hin = HinBuilder::new().build();
+        assert_eq!(hin.type_count(), 0);
+        assert_eq!(hin.total_edges(), 0);
+    }
+
+    #[test]
+    fn self_relation_supported() {
+        // homogeneous relations (e.g. citation paper→paper) are legal
+        let mut b = HinBuilder::new();
+        let p = b.add_type("paper");
+        let cites = b.add_relation("cites", p, p);
+        b.link(cites, "p0", "p1", 1.0);
+        let hin = b.build();
+        assert_eq!(hin.relation(cites).fwd.nrows(), 2);
+        assert_eq!(hin.relation(cites).fwd.get(0, 1), 1.0);
+    }
+}

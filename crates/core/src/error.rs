@@ -1,0 +1,65 @@
+//! Error type shared across the workspace's network-facing APIs.
+
+use std::fmt;
+
+/// Errors raised when constructing or viewing heterogeneous information
+/// networks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HinError {
+    /// A node type name was used that is not registered in the network.
+    UnknownType(String),
+    /// A relation between the given types does not exist.
+    NoRelation { src: String, dst: String },
+    /// A node name was referenced before being added.
+    UnknownNode { ty: String, name: String },
+    /// The requested view does not match the network's schema shape
+    /// (e.g. asking for a star view of a non-star network).
+    SchemaShape(String),
+    /// A parse error while reading the text serialization.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for HinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HinError::UnknownType(name) => write!(f, "unknown node type `{name}`"),
+            HinError::NoRelation { src, dst } => {
+                write!(f, "no relation between types `{src}` and `{dst}`")
+            }
+            HinError::UnknownNode { ty, name } => {
+                write!(f, "unknown node `{name}` of type `{ty}`")
+            }
+            HinError::SchemaShape(msg) => write!(f, "schema shape mismatch: {msg}"),
+            HinError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HinError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            HinError::UnknownType("paper".into()).to_string(),
+            "unknown node type `paper`"
+        );
+        assert!(HinError::NoRelation {
+            src: "a".into(),
+            dst: "b".into()
+        }
+        .to_string()
+        .contains("`a` and `b`"));
+        assert!(HinError::Parse {
+            line: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Plain-text serialization of networks.
+//!
+//! A deliberately simple line-based format so that generated case-study
+//! networks can be saved, diffed and reloaded without pulling in a
+//! serialization framework:
+//!
+//! ```text
+//! #hin v1
+//! type <name>
+//! node <type> <name>
+//! rel <name> <src-type> <dst-type>
+//! edge <rel> <src-node> <dst-node> <weight>
+//! ```
+//!
+//! Names are escaped by replacing spaces with `\s` (and backslashes with
+//! `\\`), keeping the format whitespace-delimited.
+
+use std::collections::HashMap;
+
+use crate::builder::HinBuilder;
+use crate::error::HinError;
+use crate::graph::{Hin, NodeRef, TypeId};
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace(' ', "\\s")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('s') => out.push(' '),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Serialize a network to the text format.
+pub fn to_text(hin: &Hin) -> String {
+    let mut out = String::from("#hin v1\n");
+    for ty in hin.type_ids() {
+        out.push_str(&format!("type {}\n", escape(hin.type_name(ty))));
+    }
+    for ty in hin.type_ids() {
+        for id in 0..hin.node_count(ty) {
+            let node = NodeRef {
+                ty,
+                id: id as u32,
+            };
+            out.push_str(&format!(
+                "node {} {}\n",
+                escape(hin.type_name(ty)),
+                escape(hin.node_name(node))
+            ));
+        }
+    }
+    for rel in hin.relation_ids() {
+        let r = hin.relation(rel);
+        out.push_str(&format!(
+            "rel {} {} {}\n",
+            escape(&r.name),
+            escape(hin.type_name(r.src)),
+            escape(hin.type_name(r.dst))
+        ));
+    }
+    for rel in hin.relation_ids() {
+        let r = hin.relation(rel);
+        for (s, d, w) in r.fwd.iter() {
+            let src = NodeRef { ty: r.src, id: s };
+            let dst = NodeRef { ty: r.dst, id: d };
+            out.push_str(&format!(
+                "edge {} {} {} {}\n",
+                escape(&r.name),
+                escape(hin.node_name(src)),
+                escape(hin.node_name(dst)),
+                w
+            ));
+        }
+    }
+    out
+}
+
+/// Parse a network from the text format.
+pub fn from_text(text: &str) -> Result<Hin, HinError> {
+    let mut builder = HinBuilder::new();
+    let mut types: HashMap<String, TypeId> = HashMap::new();
+    let mut rels: HashMap<String, crate::graph::RelationId> = HashMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |message: &str| HinError::Parse {
+            line: lineno + 1,
+            message: message.to_string(),
+        };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("type") => {
+                let name = unescape(parts.next().ok_or_else(|| err("missing type name"))?);
+                let id = builder.add_type(&name);
+                types.insert(name, id);
+            }
+            Some("node") => {
+                let ty_name = unescape(parts.next().ok_or_else(|| err("missing node type"))?);
+                let name = unescape(parts.next().ok_or_else(|| err("missing node name"))?);
+                let ty = *types
+                    .get(&ty_name)
+                    .ok_or_else(|| err(&format!("unknown type `{ty_name}`")))?;
+                builder.intern(ty, &name);
+            }
+            Some("rel") => {
+                let name = unescape(parts.next().ok_or_else(|| err("missing relation name"))?);
+                let src = unescape(parts.next().ok_or_else(|| err("missing src type"))?);
+                let dst = unescape(parts.next().ok_or_else(|| err("missing dst type"))?);
+                let src = *types
+                    .get(&src)
+                    .ok_or_else(|| err(&format!("unknown type `{src}`")))?;
+                let dst = *types
+                    .get(&dst)
+                    .ok_or_else(|| err(&format!("unknown type `{dst}`")))?;
+                let id = builder.add_relation(&name, src, dst);
+                rels.insert(name, id);
+            }
+            Some("edge") => {
+                let rel_name = unescape(parts.next().ok_or_else(|| err("missing relation"))?);
+                let src = unescape(parts.next().ok_or_else(|| err("missing src node"))?);
+                let dst = unescape(parts.next().ok_or_else(|| err("missing dst node"))?);
+                let w: f64 = parts
+                    .next()
+                    .ok_or_else(|| err("missing weight"))?
+                    .parse()
+                    .map_err(|_| err("bad weight"))?;
+                let rel = *rels
+                    .get(&rel_name)
+                    .ok_or_else(|| err(&format!("unknown relation `{rel_name}`")))?;
+                builder.link(rel, &src, &dst, w);
+            }
+            Some(other) => return Err(err(&format!("unknown directive `{other}`"))),
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hin {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let venue = b.add_type("venue");
+        let r = b.add_relation("published in", paper, venue);
+        b.link(r, "RankClus paper", "EDBT 2009", 1.0);
+        b.link(r, "NetClus paper", "KDD 2009", 2.5);
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let hin = sample();
+        let text = to_text(&hin);
+        let back = from_text(&text).expect("parse");
+        assert_eq!(back.type_count(), hin.type_count());
+        assert_eq!(back.total_nodes(), hin.total_nodes());
+        assert_eq!(back.total_edges(), hin.total_edges());
+        // spot check a weighted edge with spaces in every name
+        let paper = back.type_by_name("paper").unwrap();
+        let venue = back.type_by_name("venue").unwrap();
+        let adj = back.adjacency(paper, venue).unwrap();
+        let p = back.node_by_name(paper, "NetClus paper").unwrap();
+        let v = back.node_by_name(venue, "KDD 2009").unwrap();
+        assert_eq!(adj.get(p.id as usize, v.id as usize), 2.5);
+    }
+
+    #[test]
+    fn escaping_round_trip() {
+        for s in ["plain", "two words", "back\\slash", "a\\sb c"] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "#hin v1\ntype paper\nnode nosuch x\n";
+        match from_text(bad) {
+            Err(HinError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(from_text("bogus directive\n").is_err());
+        assert!(from_text("type t\nrel r t t\nedge r a b notanumber\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let hin = from_text("# comment\n\ntype t\nnode t a\n").unwrap();
+        assert_eq!(hin.total_nodes(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Heterogeneous information network (HIN) data structures.
+//!
+//! The SIGMOD'10 tutorial's central claim is that a database *is* a gigantic
+//! heterogeneous information network: multi-typed objects (papers, authors,
+//! venues, terms; photos, users, tags, groups) linked across relations. This
+//! crate provides that network as a first-class value:
+//!
+//! * [`Hin`] — the network itself: typed node arenas plus typed, weighted,
+//!   CSR-backed relations,
+//! * [`HinBuilder`] — incremental construction with name interning and
+//!   duplicate-edge accumulation,
+//! * [`schema::NetworkSchema`] — the type-level graph (which types link to
+//!   which), with bipartite/star-shape detection,
+//! * [`bipartite::BiNet`] — the bi-typed view consumed by RankClus,
+//! * [`star::StarNet`] — the star-schema view consumed by NetClus,
+//! * [`projection`] — homogeneous projections (e.g. co-author networks) for
+//!   the homogeneous algorithms of tutorial §2.
+
+pub mod bipartite;
+pub mod builder;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod projection;
+pub mod schema;
+pub mod star;
+
+pub use bipartite::BiNet;
+pub use builder::HinBuilder;
+pub use error::HinError;
+pub use graph::{Hin, NodeRef, RelationId, RelationInfo, TypeId};
+pub use schema::NetworkSchema;
+pub use star::StarNet;

@@ -1,0 +1,109 @@
+//! Homogeneous projections of heterogeneous networks.
+//!
+//! Tutorial §2(b) applies homogeneous algorithms (PageRank, SimRank, SCAN,
+//! spectral clustering) to views of the heterogeneous data — most commonly
+//! the *co-occurrence projection*: two authors are linked with the number of
+//! papers they share, two venues with the number of common authors, etc.
+
+use hin_linalg::Csr;
+
+use crate::error::HinError;
+use crate::graph::{Hin, TypeId};
+
+/// Project the `via → target` bipartite relation into a weighted homogeneous
+/// network over `target`: `W = AᵀA` with the diagonal removed, where `A` is
+/// the `via × target` adjacency.
+///
+/// Entry `(i, j)` counts (weighted) shared `via`-neighbors of targets `i`
+/// and `j` — e.g. shared papers for a co-author network.
+pub fn co_occurrence(hin: &Hin, target: TypeId, via: TypeId) -> Result<Csr, HinError> {
+    let a = hin.adjacency(via, target)?; // via × target
+    Ok(project(a))
+}
+
+/// Same projection on a raw `via × target` matrix.
+pub fn project(a: &Csr) -> Csr {
+    let ata = a.transpose().spgemm(a);
+    // drop the diagonal (self co-occurrence is degree, not a link)
+    Csr::from_triplets(
+        ata.nrows(),
+        ata.ncols(),
+        ata.iter().filter(|&(r, c, _)| r != c),
+    )
+}
+
+/// Make an adjacency matrix symmetric by adding its transpose (useful for
+/// directed relations feeding undirected algorithms such as SCAN).
+pub fn symmetrized(a: &Csr) -> Csr {
+    a.add(&a.transpose())
+}
+
+/// Two-hop projection through the center of a star network: connects
+/// attribute type `a` to attribute type `b` with weights summed over shared
+/// center objects (`W_ab = W_caᵀ · W_cb` where rows of each `W` are center
+/// objects). This is the building block for meta-path adjacency like
+/// author–paper–venue.
+pub fn through_center(w_ca: &Csr, w_cb: &Csr) -> Csr {
+    assert_eq!(
+        w_ca.nrows(),
+        w_cb.nrows(),
+        "through_center: both matrices must have center rows"
+    );
+    w_ca.transpose().spgemm(w_cb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HinBuilder;
+
+    #[test]
+    fn coauthor_projection() {
+        // p0: {a0, a1}, p1: {a1, a2}, p2: {a1}
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let writes = b.add_relation("written_by", paper, author);
+        b.link(writes, "p0", "a0", 1.0);
+        b.link(writes, "p0", "a1", 1.0);
+        b.link(writes, "p1", "a1", 1.0);
+        b.link(writes, "p1", "a2", 1.0);
+        b.link(writes, "p2", "a1", 1.0);
+        let hin = b.build();
+
+        let co = co_occurrence(&hin, author, paper).unwrap();
+        assert_eq!(co.nrows(), 3);
+        assert_eq!(co.get(0, 1), 1.0); // a0–a1 share p0
+        assert_eq!(co.get(1, 2), 1.0); // a1–a2 share p1
+        assert_eq!(co.get(0, 2), 0.0); // no shared paper
+        assert_eq!(co.get(1, 1), 0.0); // diagonal removed
+        assert!(co.is_symmetric());
+    }
+
+    #[test]
+    fn weighted_projection_counts_multiplicity() {
+        let a = Csr::from_triplets(2, 2, [(0u32, 0u32, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        // both "papers" shared by both "authors" → weight 2
+        let co = project(&a);
+        assert_eq!(co.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn symmetrize_directed() {
+        let a = Csr::from_triplets(2, 2, [(0u32, 1u32, 1.0)]);
+        let s = symmetrized(&a);
+        assert_eq!(s.get(0, 1), 1.0);
+        assert_eq!(s.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn through_center_author_venue() {
+        // center rows: papers. a: author incidence, b: venue incidence
+        let w_ca = Csr::from_triplets(2, 2, [(0u32, 0u32, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        let w_cb = Csr::from_triplets(2, 1, [(0u32, 0u32, 1.0), (1, 0, 1.0)]);
+        let av = through_center(&w_ca, &w_cb);
+        assert_eq!((av.nrows(), av.ncols()), (2, 1));
+        assert_eq!(av.get(0, 0), 2.0); // author 0 has two papers at venue 0
+        assert_eq!(av.get(1, 0), 1.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The network schema: a type-level summary of a [`Hin`].
+//!
+//! Tutorial §2(b) distinguishes homogeneous networks, bi-typed networks
+//! (RankClus's input) and star networks (NetClus's input). The schema lets
+//! algorithms verify they are being applied to the right shape.
+
+use crate::graph::{Hin, RelationId, TypeId};
+
+/// One schema edge: a relation between two node types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchemaEdge {
+    /// The underlying relation.
+    pub rel: RelationId,
+    /// Source type of the stored direction.
+    pub src: TypeId,
+    /// Destination type of the stored direction.
+    pub dst: TypeId,
+}
+
+/// The type-level graph of a heterogeneous information network.
+#[derive(Clone, Debug)]
+pub struct NetworkSchema {
+    type_count: usize,
+    edges: Vec<SchemaEdge>,
+}
+
+impl NetworkSchema {
+    /// Extract the schema from a network.
+    pub fn of(hin: &Hin) -> Self {
+        let edges = hin
+            .relation_ids()
+            .map(|rel| {
+                let r = hin.relation(rel);
+                SchemaEdge {
+                    rel,
+                    src: r.src,
+                    dst: r.dst,
+                }
+            })
+            .collect();
+        Self {
+            type_count: hin.type_count(),
+            edges,
+        }
+    }
+
+    /// Number of node types.
+    pub fn type_count(&self) -> usize {
+        self.type_count
+    }
+
+    /// Schema edges (one per relation).
+    pub fn edges(&self) -> &[SchemaEdge] {
+        &self.edges
+    }
+
+    /// Types adjacent to `ty` through any relation.
+    pub fn neighbors(&self, ty: TypeId) -> Vec<TypeId> {
+        let mut out: Vec<TypeId> = self
+            .edges
+            .iter()
+            .filter_map(|e| {
+                if e.src == ty {
+                    Some(e.dst)
+                } else if e.dst == ty {
+                    Some(e.src)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// `true` when the schema is a single type with self-relations only —
+    /// a homogeneous network.
+    pub fn is_homogeneous(&self) -> bool {
+        self.type_count == 1 && self.edges.iter().all(|e| e.src == e.dst)
+    }
+
+    /// `true` when the schema is exactly two types joined by at least one
+    /// cross-type relation (self-relations on either side are allowed — the
+    /// RankClus model includes within-type links such as co-authorship).
+    pub fn is_bityped(&self) -> bool {
+        self.type_count == 2 && self.edges.iter().any(|e| e.src != e.dst)
+    }
+
+    /// Detect a star schema: one center type such that every relation
+    /// connects the center to a distinct attribute type. Returns the center.
+    ///
+    /// A type qualifies as center when every cross-type relation touches it
+    /// and there are at least two attribute types.
+    pub fn star_center(&self) -> Option<TypeId> {
+        if self.type_count < 3 {
+            return None;
+        }
+        (0..self.type_count).map(TypeId).find(|&candidate| {
+            let cross: Vec<_> = self.edges.iter().filter(|e| e.src != e.dst).collect();
+            !cross.is_empty()
+                && cross
+                    .iter()
+                    .all(|e| e.src == candidate || e.dst == candidate)
+                && self
+                    .neighbors(candidate)
+                    .iter()
+                    .filter(|&&t| t != candidate)
+                    .count()
+                    >= 2
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HinBuilder;
+
+    fn star_hin() -> Hin {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let venue = b.add_type("venue");
+        let term = b.add_type("term");
+        b.add_relation("written_by", paper, author);
+        b.add_relation("published_in", paper, venue);
+        b.add_relation("mentions", paper, term);
+        b.add_node(paper, "p");
+        b.add_node(author, "a");
+        b.add_node(venue, "v");
+        b.add_node(term, "t");
+        b.build()
+    }
+
+    #[test]
+    fn star_detection() {
+        let hin = star_hin();
+        let schema = hin.schema();
+        assert_eq!(schema.type_count(), 4);
+        assert_eq!(schema.star_center(), Some(TypeId(0)));
+        assert!(!schema.is_bityped());
+        assert!(!schema.is_homogeneous());
+        assert_eq!(
+            schema.neighbors(TypeId(0)),
+            vec![TypeId(1), TypeId(2), TypeId(3)]
+        );
+    }
+
+    #[test]
+    fn bityped_detection_with_self_links() {
+        let mut b = HinBuilder::new();
+        let venue = b.add_type("venue");
+        let author = b.add_type("author");
+        b.add_relation("publishes", venue, author);
+        b.add_relation("coauthor", author, author);
+        let hin = b.build();
+        let schema = hin.schema();
+        assert!(schema.is_bityped());
+        assert_eq!(schema.star_center(), None);
+    }
+
+    #[test]
+    fn homogeneous_detection() {
+        let mut b = HinBuilder::new();
+        let p = b.add_type("page");
+        b.add_relation("links", p, p);
+        let schema = b.build().schema();
+        assert!(schema.is_homogeneous());
+        assert!(!schema.is_bityped());
+    }
+
+    #[test]
+    fn non_star_multi_type() {
+        // chain a—b—c—d where relations don't share a center
+        let mut b = HinBuilder::new();
+        let ta = b.add_type("a");
+        let tb = b.add_type("b");
+        let tc = b.add_type("c");
+        let td = b.add_type("d");
+        b.add_relation("ab", ta, tb);
+        b.add_relation("bc", tb, tc);
+        b.add_relation("cd", tc, td);
+        let schema = b.build().schema();
+        assert_eq!(schema.star_center(), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! The star-schema network view consumed by NetClus (KDD'09).
+//!
+//! A star network has one *center* type (e.g. papers) whose objects link to
+//! objects of several *attribute* types (authors, venues, terms). NetClus
+//! clusters the center objects and derives conditional rank distributions
+//! for each attribute type within each cluster.
+
+use hin_linalg::Csr;
+
+use crate::error::HinError;
+use crate::graph::{Hin, TypeId};
+
+/// One attribute arm of the star.
+#[derive(Clone, Debug)]
+pub struct StarArm {
+    /// The attribute type in the source network.
+    pub ty: TypeId,
+    /// Human-readable type name (e.g. `"author"`).
+    pub name: String,
+    /// Center→attribute weights, |center| × |attribute|.
+    pub w: Csr,
+    /// Attribute→center weights (transpose of `w`).
+    pub wt: Csr,
+    /// Display names of attribute objects.
+    pub names: Vec<String>,
+}
+
+/// A star-schema network: center objects plus one [`StarArm`] per attribute
+/// type.
+#[derive(Clone, Debug)]
+pub struct StarNet {
+    /// Center type in the source network.
+    pub center: TypeId,
+    /// Human-readable center type name.
+    pub center_name: String,
+    /// Number of center objects.
+    pub n_center: usize,
+    /// Display names of center objects.
+    pub center_names: Vec<String>,
+    /// The attribute arms, in declaration order.
+    pub arms: Vec<StarArm>,
+}
+
+impl StarNet {
+    /// Extract the star view from a network, auto-detecting the center via
+    /// [`crate::schema::NetworkSchema::star_center`].
+    pub fn from_hin(hin: &Hin) -> Result<Self, HinError> {
+        let center = hin.schema().star_center().ok_or_else(|| {
+            HinError::SchemaShape("network does not have a star schema".to_string())
+        })?;
+        Self::from_hin_with_center(hin, center)
+    }
+
+    /// Extract the star view with an explicit center type; every relation
+    /// incident to the center becomes an arm.
+    pub fn from_hin_with_center(hin: &Hin, center: TypeId) -> Result<Self, HinError> {
+        let mut arms = Vec::new();
+        for rel in hin.relation_ids() {
+            let r = hin.relation(rel);
+            let (ty, w) = if r.src == center && r.dst != center {
+                (r.dst, r.fwd.clone())
+            } else if r.dst == center && r.src != center {
+                (r.src, r.bwd.clone())
+            } else {
+                continue;
+            };
+            let wt = w.transpose();
+            arms.push(StarArm {
+                ty,
+                name: hin.type_name(ty).to_string(),
+                names: node_names(hin, ty),
+                w,
+                wt,
+            });
+        }
+        if arms.len() < 2 {
+            return Err(HinError::SchemaShape(format!(
+                "center type `{}` has {} attribute arm(s); a star needs ≥ 2",
+                hin.type_name(center),
+                arms.len()
+            )));
+        }
+        Ok(Self {
+            center,
+            center_name: hin.type_name(center).to_string(),
+            n_center: hin.node_count(center),
+            center_names: node_names(hin, center),
+            arms,
+        })
+    }
+
+    /// Index of the arm with the given type name.
+    pub fn arm_by_name(&self, name: &str) -> Option<usize> {
+        self.arms.iter().position(|a| a.name == name)
+    }
+
+    /// Number of attribute arms.
+    pub fn arm_count(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Total link weight across all arms.
+    pub fn total_weight(&self) -> f64 {
+        self.arms.iter().map(|a| a.w.total()).sum()
+    }
+}
+
+fn node_names(hin: &Hin, ty: TypeId) -> Vec<String> {
+    (0..hin.node_count(ty))
+        .map(|i| {
+            hin.node_name(crate::graph::NodeRef {
+                ty,
+                id: i as u32,
+            })
+            .to_string()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HinBuilder;
+
+    fn bib_hin() -> Hin {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let venue = b.add_type("venue");
+        let wa = b.add_relation("written_by", paper, author);
+        // venue arm stored in the *reverse* direction on purpose
+        let vp = b.add_relation("publishes", venue, paper);
+        b.link(wa, "p0", "sun", 1.0);
+        b.link(wa, "p0", "han", 1.0);
+        b.link(wa, "p1", "han", 1.0);
+        b.link(vp, "EDBT", "p0", 1.0);
+        b.link(vp, "KDD", "p1", 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn extracts_star_with_autodetected_center() {
+        let hin = bib_hin();
+        let star = StarNet::from_hin(&hin).unwrap();
+        assert_eq!(star.center_name, "paper");
+        assert_eq!(star.n_center, 2);
+        assert_eq!(star.arm_count(), 2);
+        let authors = &star.arms[star.arm_by_name("author").unwrap()];
+        assert_eq!(authors.w.nrows(), 2);
+        assert_eq!(authors.w.get(0, 1), 1.0); // p0 — han
+        let venues = &star.arms[star.arm_by_name("venue").unwrap()];
+        // direction resolved: rows are papers even though relation was venue→paper
+        assert_eq!(venues.w.nrows(), 2);
+        assert_eq!(venues.w.get(1, 1), 1.0); // p1 — KDD
+        assert_eq!(venues.wt.get(1, 1), 1.0);
+        assert_eq!(star.total_weight(), 5.0);
+        assert_eq!(star.center_names, vec!["p0", "p1"]);
+    }
+
+    #[test]
+    fn non_star_errors() {
+        let mut b = HinBuilder::new();
+        let x = b.add_type("x");
+        let y = b.add_type("y");
+        b.add_relation("r", x, y);
+        let hin = b.build();
+        assert!(StarNet::from_hin(&hin).is_err());
+    }
+
+    #[test]
+    fn explicit_center_needs_two_arms() {
+        let mut b = HinBuilder::new();
+        let x = b.add_type("x");
+        let y = b.add_type("y");
+        b.add_relation("r", x, y);
+        let hin = b.build();
+        let err = StarNet::from_hin_with_center(&hin, x).unwrap_err();
+        assert!(err.to_string().contains("needs"));
+    }
+}

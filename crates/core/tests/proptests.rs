@@ -1,0 +1,88 @@
+//! Property tests for the network substrate.
+
+use proptest::prelude::*;
+
+use hin_core::{io, HinBuilder};
+
+/// Names including spaces and backslashes — the escaping edge cases.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z\\\\ ]{1,12}".prop_filter("non-empty trimmed", |s| !s.trim().is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn io_round_trip(
+        edges in prop::collection::vec(
+            (name_strategy(), name_strategy(), 0.1f64..10.0), 1..25),
+    ) {
+        let mut b = HinBuilder::new();
+        let x = b.add_type("x type");
+        let y = b.add_type("y type");
+        let rel = b.add_relation("links to", x, y);
+        for (s, d, w) in &edges {
+            b.link(rel, s, d, *w);
+        }
+        let hin = b.build();
+        let text = io::to_text(&hin);
+        let back = io::from_text(&text).expect("round trip parses");
+        prop_assert_eq!(back.total_nodes(), hin.total_nodes());
+        prop_assert_eq!(back.total_edges(), hin.total_edges());
+        // weights survive exactly (names may be reordered, so compare sums)
+        let orig = hin.relation(rel).fwd.total();
+        let parsed = back.relation(rel).fwd.total();
+        prop_assert!((orig - parsed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacency_directions_are_transposes(
+        edges in prop::collection::vec((0u32..8, 0u32..8, 0.1f64..5.0), 0..40),
+    ) {
+        let mut b = HinBuilder::new();
+        let x = b.add_type("x");
+        let y = b.add_type("y");
+        let rel = b.add_relation("r", x, y);
+        for i in 0..8 {
+            b.add_node(x, &format!("x{i}"));
+            b.add_node(y, &format!("y{i}"));
+        }
+        for &(s, d, w) in &edges {
+            b.add_edge(rel, s, d, w);
+        }
+        let hin = b.build();
+        let fwd = hin.adjacency(x, y).unwrap();
+        let bwd = hin.adjacency(y, x).unwrap();
+        prop_assert_eq!(&fwd.transpose(), bwd);
+    }
+
+    #[test]
+    fn projection_is_symmetric_nonneg(
+        edges in prop::collection::vec((0u32..6, 0u32..6), 0..30),
+    ) {
+        let a = hin_linalg::Csr::from_edges(6, 6, edges.into_iter());
+        let p = hin_core::projection::project(&a);
+        prop_assert!(p.is_symmetric());
+        for (_, _, v) in p.iter() {
+            prop_assert!(v >= 0.0);
+        }
+        // diagonal removed
+        for i in 0..6 {
+            prop_assert_eq!(p.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn intern_is_idempotent(names in prop::collection::vec(name_strategy(), 1..30)) {
+        let mut b = HinBuilder::new();
+        let t = b.add_type("t");
+        let mut first_ids = std::collections::HashMap::new();
+        for n in &names {
+            let id = b.intern(t, n);
+            let prev = first_ids.entry(n.clone()).or_insert(id);
+            prop_assert_eq!(*prev, id, "same name must intern to same node");
+        }
+        let distinct: std::collections::HashSet<_> = names.iter().collect();
+        prop_assert_eq!(b.node_count(t), distinct.len());
+    }
+}

@@ -1,0 +1,442 @@
+//! Compressed sparse row matrices.
+//!
+//! [`Csr`] doubles as the adjacency representation for every network in the
+//! workspace (`hin-core` builds typed relations out of it) and as a numeric
+//! sparse matrix for the linear-algebra-flavoured algorithms (PathSim
+//! commuting matrices, PageRank transition matrices).
+
+use crate::dense::DMat;
+
+/// A compressed sparse row `f64` matrix.
+///
+/// Row `i`'s nonzeros live in `indices[indptr[i]..indptr[i+1]]` (column ids)
+/// and `data[indptr[i]..indptr[i+1]]` (values). Column indices within a row
+/// are strictly increasing; duplicate triplets are merged by summation at
+/// construction time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    data: Vec<f64>,
+}
+
+impl Csr {
+    /// Empty matrix with the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Build from `(row, col, value)` triplets. Duplicates are summed and
+    /// explicit zeros produced by cancellation are kept (callers that care
+    /// can [`Csr::prune`]).
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: impl IntoIterator<Item = (u32, u32, f64)>,
+    ) -> Self {
+        let mut trips: Vec<(u32, u32, f64)> = triplets.into_iter().collect();
+        for &(r, c, _) in &trips {
+            assert!(
+                (r as usize) < nrows && (c as usize) < ncols,
+                "Csr::from_triplets: index ({r},{c}) out of bounds for {nrows}x{ncols}"
+            );
+        }
+        trips.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = vec![0usize; nrows + 1];
+        let mut indices = Vec::with_capacity(trips.len());
+        let mut data: Vec<f64> = Vec::with_capacity(trips.len());
+        for (r, c, v) in trips {
+            if let (Some(&last_c), true) = (indices.last(), indptr[r as usize + 1] > 0) {
+                // merge a duplicate of the previous entry in the same row
+                if last_c == c && indices.len() > indptr[r as usize] {
+                    *data.last_mut().expect("data tracks indices") += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            data.push(v);
+            indptr[r as usize + 1] = indices.len();
+        }
+        // turn per-row end offsets into a proper prefix scan
+        for i in 1..=nrows {
+            if indptr[i] == 0 {
+                indptr[i] = indptr[i - 1];
+            }
+        }
+        Self {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Build an unweighted matrix (all values 1.0) from `(row, col)` pairs.
+    pub fn from_edges(
+        nrows: usize,
+        ncols: usize,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
+        Self::from_triplets(nrows, ncols, edges.into_iter().map(|(r, c)| (r, c, 1.0)))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Column indices of row `r`.
+    #[inline]
+    pub fn row_indices(&self, r: usize) -> &[u32] {
+        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Values of row `r`, parallel to [`Csr::row_indices`].
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[f64] {
+        &self.data[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// `(indices, values)` of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        (self.row_indices(r), self.row_values(r))
+    }
+
+    /// Iterate `(row, col, value)` over all stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            self.row_indices(r)
+                .iter()
+                .zip(self.row_values(r))
+                .map(move |(&c, &v)| (r as u32, c, v))
+        })
+    }
+
+    /// Value at `(r, c)`; zero when not stored. Binary search within the row.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let row = self.row_indices(r);
+        match row.binary_search(&(c as u32)) {
+            Ok(pos) => self.row_values(r)[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Number of stored entries in row `r` (out-degree when used as an
+    /// adjacency matrix).
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Sum of values in row `r` (weighted out-degree).
+    pub fn row_sum(&self, r: usize) -> f64 {
+        self.row_values(r).iter().sum()
+    }
+
+    /// Vector of all row sums.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.nrows).map(|r| self.row_sum(r)).collect()
+    }
+
+    /// Sum of all stored values.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Transpose (CSR of the same data with rows and columns swapped).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..=self.ncols {
+            counts[i] += counts[i - 1];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut data = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for r in 0..self.nrows {
+            for (&c, &v) in self.row_indices(r).iter().zip(self.row_values(r)) {
+                let pos = next[c as usize];
+                indices[pos] = r as u32;
+                data[pos] = v;
+                next[c as usize] += 1;
+            }
+        }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// `y = self * x`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "Csr::matvec: dimension mismatch");
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y ← self * x` without allocating.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (&c, &v) in self.row_indices(r).iter().zip(self.row_values(r)) {
+                acc += v * x[c as usize];
+            }
+            *yr = acc;
+        }
+    }
+
+    /// `y = selfᵀ * x` computed without materializing the transpose.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "Csr::matvec_t: dimension mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for r in 0..self.nrows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (&c, &v) in self.row_indices(r).iter().zip(self.row_values(r)) {
+                y[c as usize] += v * xr;
+            }
+        }
+        y
+    }
+
+    /// Sparse × sparse product `self * rhs` using a dense accumulator row.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn spgemm(&self, rhs: &Csr) -> Csr {
+        assert_eq!(
+            self.ncols, rhs.nrows,
+            "Csr::spgemm: inner dimensions {}x{} * {}x{}",
+            self.nrows, self.ncols, rhs.nrows, rhs.ncols
+        );
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut data: Vec<f64> = Vec::new();
+        let mut acc = vec![0.0f64; rhs.ncols];
+        let mut touched: Vec<u32> = Vec::new();
+        for r in 0..self.nrows {
+            for (&k, &va) in self.row_indices(r).iter().zip(self.row_values(r)) {
+                for (&c, &vb) in rhs
+                    .row_indices(k as usize)
+                    .iter()
+                    .zip(rhs.row_values(k as usize))
+                {
+                    if acc[c as usize] == 0.0 {
+                        touched.push(c);
+                    }
+                    acc[c as usize] += va * vb;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                indices.push(c);
+                data.push(acc[c as usize]);
+                acc[c as usize] = 0.0;
+            }
+            touched.clear();
+            indptr.push(indices.len());
+        }
+        Csr {
+            nrows: self.nrows,
+            ncols: rhs.ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Scale row `r` by `rows[r]` in place.
+    pub fn scale_rows(&mut self, rows: &[f64]) {
+        assert_eq!(rows.len(), self.nrows);
+        for r in 0..self.nrows {
+            let s = rows[r];
+            for v in &mut self.data[self.indptr[r]..self.indptr[r + 1]] {
+                *v *= s;
+            }
+        }
+    }
+
+    /// Return a row-stochastic copy (each nonempty row sums to 1).
+    pub fn row_normalized(&self) -> Csr {
+        let mut out = self.clone();
+        let scales: Vec<f64> = out
+            .row_sums()
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+            .collect();
+        out.scale_rows(&scales);
+        out
+    }
+
+    /// Multiply every stored value by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Drop stored entries with `|value| <= eps`.
+    pub fn prune(&self, eps: f64) -> Csr {
+        Csr::from_triplets(
+            self.nrows,
+            self.ncols,
+            self.iter().filter(|&(_, _, v)| v.abs() > eps),
+        )
+    }
+
+    /// Elementwise sum of two equal-shaped matrices.
+    pub fn add(&self, rhs: &Csr) -> Csr {
+        assert_eq!((self.nrows, self.ncols), (rhs.nrows, rhs.ncols));
+        Csr::from_triplets(self.nrows, self.ncols, self.iter().chain(rhs.iter()))
+    }
+
+    /// Dense copy (for tests and small-matrix interop).
+    pub fn to_dense(&self) -> DMat {
+        let mut m = DMat::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            m.add_to(r as usize, c as usize, v);
+        }
+        m
+    }
+
+    /// `true` when the matrix equals its transpose exactly (structure and
+    /// values).
+    pub fn is_symmetric(&self) -> bool {
+        self.nrows == self.ncols && *self == self.transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        Csr::from_triplets(3, 3, [(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn construction_sorted_and_merged() {
+        let m = Csr::from_triplets(2, 2, [(1, 1, 1.0), (0, 0, 2.0), (1, 1, 3.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn rows_and_sums() {
+        let m = sample();
+        assert_eq!(m.row_indices(0), &[0, 2]);
+        assert_eq!(m.row_values(2), &[3.0, 4.0]);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_sum(2), 7.0);
+        assert_eq!(m.total(), 10.0);
+        assert_eq!(m.row_sums(), vec![3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_involution_and_values() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec_and_transpose_matvec() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 0.0, 7.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0, 1.0]), vec![4.0, 4.0, 2.0]);
+        // matvec_t agrees with explicit transpose
+        assert_eq!(
+            m.matvec_t(&[0.5, 1.0, 2.0]),
+            m.transpose().matvec(&[0.5, 1.0, 2.0])
+        );
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let a = sample();
+        let b = a.transpose();
+        let sparse = a.spgemm(&b).to_dense();
+        let dense = a.to_dense().matmul(&b.to_dense());
+        assert!(sparse.max_abs_diff(&dense) < 1e-12);
+    }
+
+    #[test]
+    fn row_normalization() {
+        let m = sample().row_normalized();
+        assert!((m.row_sum(0) - 1.0).abs() < 1e-12);
+        assert_eq!(m.row_sum(1), 0.0);
+        assert!((m.get(2, 1) - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_prune() {
+        let m = sample();
+        let s = m.add(&m);
+        assert_eq!(s.get(2, 1), 8.0);
+        let neg = Csr::from_triplets(3, 3, [(0, 0, -1.0)]);
+        let pruned = m.add(&neg).prune(1e-12);
+        assert_eq!(pruned.get(0, 0), 0.0);
+        assert_eq!(pruned.nnz(), 3);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let sym = Csr::from_triplets(2, 2, [(0, 1, 5.0), (1, 0, 5.0)]);
+        assert!(sym.is_symmetric());
+        assert!(!sample().is_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_triplet_panics() {
+        let _ = Csr::from_triplets(2, 2, [(2, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Row-major dense matrices.
+//!
+//! Sized for the dense work the reproduced algorithms actually do: SimRank
+//! score matrices (n ≤ a few thousand), spectral embeddings, Jacobi
+//! eigendecompositions and small EM statistics. Not a general BLAS.
+
+use std::fmt;
+
+/// A row-major dense `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct DMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMat {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "DMat::from_vec: data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from nested row slices.
+    ///
+    /// # Panics
+    /// Panics when rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "DMat::from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// In-place element update.
+    #[inline]
+    pub fn add_to(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrow row `r` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Extract column `c` as an owned vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> DMat {
+        let mut t = DMat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Dense matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &DMat) -> DMat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "DMat::matmul: inner dimensions {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = DMat::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both `rhs` and
+        // `out`, which matters at the SimRank matrix sizes we use.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "DMat::matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|r| crate::vector::dot(self.row(r), x))
+            .collect()
+    }
+
+    /// Elementwise `self + alpha * rhs`.
+    pub fn add_scaled(&self, alpha: f64, rhs: &DMat) -> DMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + alpha * b)
+            .collect();
+        DMat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Multiply every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute difference between two equal-shaped matrices.
+    pub fn max_abs_diff(&self, rhs: &DMat) -> f64 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// `true` when the matrix equals its transpose within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self.get(r, c) - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Force exact symmetry by averaging with the transpose.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols, "symmetrize requires a square matrix");
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                let avg = 0.5 * (self.get(r, c) + self.get(c, r));
+                self.set(r, c, avg);
+                self.set(c, r, avg);
+            }
+        }
+    }
+
+    /// Sum of diagonal entries.
+    pub fn trace(&self) -> f64 {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).sum()
+    }
+}
+
+impl fmt::Debug for DMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DMat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:9.4} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let m = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = DMat::identity(2);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DMat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = DMat::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, DMat::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DMat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn symmetry_helpers() {
+        let mut m = DMat::from_rows(&[&[1.0, 2.0], &[4.0, 1.0]]);
+        assert!(!m.is_symmetric(1e-12));
+        m.symmetrize();
+        assert!(m.is_symmetric(1e-12));
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.trace(), 2.0);
+    }
+
+    #[test]
+    fn norms_and_arith() {
+        let a = DMat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert_eq!(a.frobenius(), 5.0);
+        let b = a.add_scaled(-1.0, &a);
+        assert_eq!(b.frobenius(), 0.0);
+        let mut c = a.clone();
+        c.scale(2.0);
+        assert_eq!(c.get(1, 1), 8.0);
+        assert_eq!(a.max_abs_diff(&c), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = DMat::zeros(2, 3);
+        let b = DMat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

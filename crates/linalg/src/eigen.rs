@@ -1,0 +1,235 @@
+//! Cyclic Jacobi eigendecomposition for symmetric dense matrices.
+//!
+//! Spectral clustering and the small EM statistics in RankClus/NetClus need
+//! full eigendecompositions of modest matrices (n up to ~1500). The cyclic
+//! Jacobi method is simple, unconditionally stable and accurate to machine
+//! precision for symmetric input, which makes it the right tool here; large
+//! sparse problems go through [`crate::lanczos`] instead.
+
+use crate::dense::DMat;
+
+/// Result of a symmetric eigendecomposition: `a = V diag(λ) Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns, ordered to match `values`. Each column
+    /// has unit L2 norm.
+    pub vectors: DMat,
+    /// Number of Jacobi sweeps performed.
+    pub sweeps: usize,
+}
+
+impl EigenDecomposition {
+    /// Eigenvector for eigenvalue index `i` (ascending order) as an owned
+    /// vector.
+    pub fn vector(&self, i: usize) -> Vec<f64> {
+        self.vectors.col(i)
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Sweeps over all off-diagonal entries with classical 2×2 rotations until
+/// the off-diagonal Frobenius mass falls below `tol` (relative to the total
+/// Frobenius norm) or `max_sweeps` is reached.
+///
+/// # Panics
+/// Panics when `a` is not square.
+pub fn jacobi_eigen(a: &DMat, tol: f64, max_sweeps: usize) -> EigenDecomposition {
+    assert_eq!(a.rows(), a.cols(), "jacobi_eigen requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = DMat::identity(n);
+    let total = m.frobenius().max(f64::MIN_POSITIVE);
+
+    let mut sweeps = 0;
+    while sweeps < max_sweeps {
+        let off = off_diagonal_norm(&m);
+        if off / total <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol * total / (n as f64 * n as f64).max(1.0) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // rotation angle: tan(2θ) = 2 a_pq / (a_qq − a_pp)
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                rotate(&mut m, p, q, c, s);
+                rotate_columns(&mut v, p, q, c, s);
+            }
+        }
+        sweeps += 1;
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = DMat::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, dst, v.get(r, src));
+        }
+    }
+    EigenDecomposition {
+        values,
+        vectors,
+        sweeps,
+    }
+}
+
+/// Apply the two-sided Jacobi rotation `Jᵀ M J` for the `(p, q)` plane.
+fn rotate(m: &mut DMat, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    for k in 0..n {
+        let mkp = m.get(k, p);
+        let mkq = m.get(k, q);
+        m.set(k, p, c * mkp - s * mkq);
+        m.set(k, q, s * mkp + c * mkq);
+    }
+    for k in 0..n {
+        let mpk = m.get(p, k);
+        let mqk = m.get(q, k);
+        m.set(p, k, c * mpk - s * mqk);
+        m.set(q, k, s * mpk + c * mqk);
+    }
+}
+
+/// Apply the rotation to the eigenvector accumulator (columns p and q).
+fn rotate_columns(v: &mut DMat, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.rows();
+    for k in 0..n {
+        let vkp = v.get(k, p);
+        let vkq = v.get(k, q);
+        v.set(k, p, c * vkp - s * vkq);
+        v.set(k, q, s * vkp + c * vkq);
+    }
+}
+
+fn off_diagonal_norm(m: &DMat) -> f64 {
+    let n = m.rows();
+    let mut acc = 0.0;
+    for r in 0..n {
+        for c in 0..n {
+            if r != c {
+                acc += m.get(r, c) * m.get(r, c);
+            }
+        }
+    }
+    acc.sqrt()
+}
+
+/// Convenience: the `k` smallest eigenpairs of a symmetric matrix.
+///
+/// Returns `(values, vectors)` where `vectors` is `n×k` with one eigenvector
+/// per column.
+pub fn smallest_eigenpairs(a: &DMat, k: usize) -> (Vec<f64>, DMat) {
+    let decomp = jacobi_eigen(a, 1e-12, 100);
+    let k = k.min(decomp.values.len());
+    let n = a.rows();
+    let mut vecs = DMat::zeros(n, k);
+    for j in 0..k {
+        for r in 0..n {
+            vecs.set(r, j, decomp.vectors.get(r, j));
+        }
+    }
+    (decomp.values[..k].to_vec(), vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot;
+
+    fn reconstruct(e: &EigenDecomposition) -> DMat {
+        let n = e.values.len();
+        let mut lambda = DMat::zeros(n, n);
+        for i in 0..n {
+            lambda.set(i, i, e.values[i]);
+        }
+        e.vectors.matmul(&lambda).matmul(&e.vectors.transpose())
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = DMat::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]);
+        let e = jacobi_eigen(&a, 1e-14, 50);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3
+        let a = DMat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = jacobi_eigen(&a, 1e-14, 50);
+        assert!((e.values[0] - 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        // deterministic pseudo-random symmetric matrix
+        let n = 12;
+        let mut a = DMat::zeros(n, n);
+        let mut state = 1u64;
+        for r in 0..n {
+            for c in r..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+                a.set(r, c, v);
+                a.set(c, r, v);
+            }
+        }
+        let e = jacobi_eigen(&a, 1e-13, 100);
+        assert!(reconstruct(&e).max_abs_diff(&a) < 1e-8);
+        for i in 0..n {
+            for j in 0..n {
+                let d = dot(&e.vectors.col(i), &e.vectors.col(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (d - expect).abs() < 1e-8,
+                    "columns {i},{j} not orthonormal: {d}"
+                );
+            }
+        }
+        // ascending order
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_is_eigenvalue_sum() {
+        let a = DMat::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 2.0], &[0.0, 2.0, 1.0]]);
+        let e = jacobi_eigen(&a, 1e-14, 100);
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn smallest_pairs_subset() {
+        let a = DMat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let (vals, vecs) = smallest_eigenpairs(&a, 1);
+        assert_eq!(vals.len(), 1);
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert_eq!((vecs.rows(), vecs.cols()), (2, 1));
+        // eigenvector of λ=1 is ±(1,-1)/√2
+        let v = vecs.col(0);
+        assert!((v[0] + v[1]).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,27 @@
+//! Small, dependency-free linear algebra kernels used across the `hin`
+//! workspace.
+//!
+//! The published systems this workspace reproduces (RankClus, NetClus,
+//! SimRank, PathSim, spectral clustering) were originally evaluated on top of
+//! MATLAB-grade dense/sparse kernels. Rust's sparse linear algebra ecosystem
+//! is comparatively immature, so the handful of kernels the algorithms
+//! actually need are implemented here:
+//!
+//! * [`DMat`] — row-major dense matrices with the usual arithmetic,
+//! * [`Csr`] — compressed sparse row matrices with `matvec`, transpose and
+//!   sparse×sparse products,
+//! * [`eigen::jacobi_eigen`] — cyclic Jacobi eigendecomposition for symmetric
+//!   dense matrices,
+//! * [`lanczos::lanczos_symmetric`] — Lanczos iteration for large sparse
+//!   symmetric operators,
+//! * [`solve::solve_linear`] — Gaussian elimination with partial pivoting.
+
+pub mod csr;
+pub mod dense;
+pub mod eigen;
+pub mod lanczos;
+pub mod solve;
+pub mod vector;
+
+pub use csr::Csr;
+pub use dense::DMat;

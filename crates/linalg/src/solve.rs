@@ -1,0 +1,178 @@
+//! Direct linear solves for the small dense systems that appear in
+//! least-squares fits (densification exponents, power-law regression
+//! diagnostics).
+
+use crate::dense::DMat;
+
+/// Solve `a x = b` by Gaussian elimination with partial pivoting.
+///
+/// Returns `None` when the matrix is numerically singular (pivot below
+/// `1e-12` after scaling).
+///
+/// # Panics
+/// Panics when `a` is not square or `b` has the wrong length.
+pub fn solve_linear(a: &DMat, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), a.cols(), "solve_linear requires a square matrix");
+    assert_eq!(a.rows(), b.len(), "solve_linear: rhs length mismatch");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+
+    for col in 0..n {
+        // partial pivot
+        let mut pivot_row = col;
+        let mut pivot_val = m.get(col, col).abs();
+        for r in (col + 1)..n {
+            let v = m.get(r, col).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m.get(col, c);
+                m.set(col, c, m.get(pivot_row, c));
+                m.set(pivot_row, c, tmp);
+            }
+            x.swap(col, pivot_row);
+        }
+        let pivot = m.get(col, col);
+        for r in (col + 1)..n {
+            let factor = m.get(r, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m.get(r, c) - factor * m.get(col, c);
+                m.set(r, c, v);
+            }
+            x[r] -= factor * x[col];
+        }
+    }
+
+    // back substitution
+    for col in (0..n).rev() {
+        let mut acc = x[col];
+        for c in (col + 1)..n {
+            acc -= m.get(col, c) * x[c];
+        }
+        x[col] = acc / m.get(col, col);
+    }
+    Some(x)
+}
+
+/// Ordinary least squares fit `y ≈ X β` via the normal equations.
+///
+/// `xs` holds one predictor row per observation. Returns `None` when the
+/// normal matrix is singular (e.g. collinear predictors).
+pub fn least_squares(xs: &[Vec<f64>], ys: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(xs.len(), ys.len(), "least_squares: length mismatch");
+    let n = xs.len();
+    if n == 0 {
+        return None;
+    }
+    let p = xs[0].len();
+    let mut xtx = DMat::zeros(p, p);
+    let mut xty = vec![0.0; p];
+    for (row, &y) in xs.iter().zip(ys) {
+        assert_eq!(row.len(), p, "least_squares: ragged predictors");
+        for i in 0..p {
+            xty[i] += row[i] * y;
+            for j in 0..p {
+                xtx.add_to(i, j, row[i] * row[j]);
+            }
+        }
+    }
+    solve_linear(&xtx, &xty)
+}
+
+/// Fit `y = a + b·x` and return `(a, b)`; `None` when degenerate (fewer than
+/// two distinct x values).
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<(f64, f64)> {
+    let xs: Vec<Vec<f64>> = x.iter().map(|&xi| vec![1.0, xi]).collect();
+    least_squares(&xs, y).map(|beta| (beta[0], beta[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // x + y = 3 ; x - y = 1  →  x = 2, y = 1
+        let a = DMat::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]);
+        let x = solve_linear(&a, &[3.0, 1.0]).expect("nonsingular");
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // zero on the diagonal forces a row swap
+        let a = DMat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve_linear(&a, &[5.0, 7.0]).expect("nonsingular");
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(solve_linear(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn residual_check_random_system() {
+        let n = 8;
+        let mut a = DMat::zeros(n, n);
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for r in 0..n {
+            for c in 0..n {
+                a.set(r, c, next());
+            }
+            a.add_to(r, r, 4.0); // diagonally dominant → nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve_linear(&a, &b).expect("dominant matrix");
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|&xi| 3.0 + 2.0 * xi).collect();
+        let (a, b) = linear_fit(&x, &y).expect("fit");
+        assert!((a - 3.0).abs() < 1e-10);
+        assert!((b - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined() {
+        // y = 1 + 0.5 x with symmetric noise that cancels exactly
+        let xs = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            vec![1.0, 4.0],
+        ];
+        let ys = vec![1.0, 1.9, 2.1, 3.0];
+        let beta = least_squares(&xs, &ys).expect("fit");
+        assert!((beta[0] - 1.0).abs() < 1e-10);
+        assert!((beta[1] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_fit_returns_none() {
+        assert!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+
+use hin_linalg::eigen::jacobi_eigen;
+use hin_linalg::solve::solve_linear;
+use hin_linalg::vector::dot;
+use hin_linalg::{Csr, DMat};
+
+fn triplets(n: usize, max: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec(
+        (0..n as u32, 0..n as u32, -10.0f64..10.0),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_get_matches_triplet_sum(ts in triplets(6, 20)) {
+        let m = Csr::from_triplets(6, 6, ts.clone());
+        // accumulate expected values
+        let mut expect = std::collections::HashMap::new();
+        for (r, c, v) in ts {
+            *expect.entry((r, c)).or_insert(0.0) += v;
+        }
+        for ((r, c), v) in expect {
+            prop_assert!((m.get(r as usize, c as usize) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_transpose_is_involution(ts in triplets(7, 30)) {
+        let m = Csr::from_triplets(7, 7, ts);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matvec_is_linear(ts in triplets(5, 15),
+                        x in prop::collection::vec(-5.0f64..5.0, 5),
+                        y in prop::collection::vec(-5.0f64..5.0, 5),
+                        a in -3.0f64..3.0) {
+        let m = Csr::from_triplets(5, 5, ts);
+        // M(ax + y) == a·Mx + My
+        let axy: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
+        let lhs = m.matvec(&axy);
+        let mx = m.matvec(&x);
+        let my = m.matvec(&y);
+        for i in 0..5 {
+            prop_assert!((lhs[i] - (a * mx[i] + my[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matvec_t_equals_transpose_matvec(ts in triplets(6, 25),
+                                        x in prop::collection::vec(-5.0f64..5.0, 6)) {
+        let m = Csr::from_triplets(6, 6, ts);
+        let a = m.matvec_t(&x);
+        let b = m.transpose().matvec(&x);
+        for i in 0..6 {
+            prop_assert!((a[i] - b[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spgemm_associates_with_dense(ts1 in triplets(5, 12), ts2 in triplets(5, 12)) {
+        let a = Csr::from_triplets(5, 5, ts1);
+        let b = Csr::from_triplets(5, 5, ts2);
+        let sparse = a.spgemm(&b).to_dense();
+        let dense = a.to_dense().matmul(&b.to_dense());
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_reconstructs_symmetric(vals in prop::collection::vec(-5.0f64..5.0, 10)) {
+        // build a 4x4 symmetric matrix from 10 free entries
+        let mut m = DMat::zeros(4, 4);
+        let mut it = vals.into_iter();
+        for r in 0..4 {
+            for c in r..4 {
+                let v = it.next().expect("10 entries");
+                m.set(r, c, v);
+                m.set(c, r, v);
+            }
+        }
+        let e = jacobi_eigen(&m, 1e-13, 100);
+        // eigenvalue sum = trace
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((sum - m.trace()).abs() < 1e-7);
+        // eigenvectors orthonormal
+        for i in 0..4 {
+            for j in 0..4 {
+                let d = dot(&e.vectors.col(i), &e.vectors.col(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((d - expect).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_linear_residual(vals in prop::collection::vec(-3.0f64..3.0, 9),
+                             b in prop::collection::vec(-3.0f64..3.0, 3)) {
+        let mut m = DMat::zeros(3, 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                m.set(r, c, vals[r * 3 + c]);
+            }
+            m.add_to(r, r, 6.0); // diagonal dominance → nonsingular
+        }
+        let x = solve_linear(&m, &b).expect("dominant");
+        let res = m.matvec(&x);
+        for i in 0..3 {
+            prop_assert!((res[i] - b[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn row_normalized_preserves_sparsity(ts in triplets(6, 20)) {
+        let m = Csr::from_triplets(6, 6, ts);
+        let n = m.row_normalized();
+        prop_assert_eq!(m.nnz(), n.nnz());
+        for r in 0..6 {
+            prop_assert_eq!(m.row_indices(r), n.row_indices(r));
+        }
+    }
+}

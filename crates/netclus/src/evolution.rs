@@ -1,0 +1,159 @@
+//! Evolution of dynamic heterogeneous networks (tutorial §7(a)).
+//!
+//! Clustering a growing network snapshot-by-snapshot raises the question
+//! the tutorial lists as a research frontier: *which cluster at time t+1
+//! continues which cluster at time t, and how much did membership churn?*
+//! [`track_clusters`] answers it for any pair of hard clusterings over a
+//! shared object universe, by maximum-overlap (Hungarian) matching.
+
+use hin_linalg::DMat;
+
+/// Correspondence between two consecutive clusterings.
+#[derive(Clone, Debug)]
+pub struct EvolutionStep {
+    /// For each cluster of the *next* snapshot: the previous cluster it
+    /// continues, or `None` for a newborn cluster (no positive overlap with
+    /// any previous cluster under the matching).
+    pub continues: Vec<Option<usize>>,
+    /// Previous clusters with no successor (died or dissolved).
+    pub dissolved: Vec<usize>,
+    /// Overlap counts: `overlap[prev][next]` = objects shared.
+    pub overlap: Vec<Vec<usize>>,
+    /// Fraction of objects whose cluster (under the matching) changed.
+    pub churn: f64,
+}
+
+/// Match clusters across two snapshots of the same object universe.
+///
+/// `prev` and `next` are hard assignments of the same objects (equal
+/// length). Cluster ids need not be aligned or dense; matching maximizes
+/// total overlap via the Hungarian algorithm.
+///
+/// # Panics
+/// Panics when the assignment vectors differ in length or are empty.
+pub fn track_clusters(prev: &[usize], next: &[usize]) -> EvolutionStep {
+    assert_eq!(prev.len(), next.len(), "snapshots must share objects");
+    assert!(!prev.is_empty(), "empty snapshots");
+    let kp = prev.iter().max().expect("non-empty") + 1;
+    let kn = next.iter().max().expect("non-empty") + 1;
+
+    let mut overlap = vec![vec![0usize; kn]; kp];
+    for (&a, &b) in prev.iter().zip(next) {
+        overlap[a][b] += 1;
+    }
+
+    // square profit matrix for the assignment
+    let dim = kp.max(kn);
+    let mut profit = DMat::zeros(dim, dim);
+    for (a, row) in overlap.iter().enumerate() {
+        for (b, &v) in row.iter().enumerate() {
+            profit.set(a, b, v as f64);
+        }
+    }
+    let assignment = hin_clustering::metrics::hungarian_max(&profit);
+
+    // next-cluster → matched prev cluster with positive overlap
+    let mut continues = vec![None; kn];
+    for (a, &b) in assignment.iter().enumerate() {
+        if a < kp && b < kn && overlap[a][b] > 0 {
+            continues[b] = Some(a);
+        }
+    }
+    let dissolved: Vec<usize> = (0..kp)
+        .filter(|&a| !continues.iter().any(|c| *c == Some(a)))
+        .collect();
+
+    // churn under the matching: objects whose next cluster does not
+    // continue their previous cluster
+    let moved = prev
+        .iter()
+        .zip(next)
+        .filter(|&(&a, &b)| continues[b] != Some(a))
+        .count();
+    EvolutionStep {
+        continues,
+        dissolved,
+        overlap,
+        churn: moved as f64 / prev.len() as f64,
+    }
+}
+
+/// Track a whole trajectory of snapshots; returns one step per transition.
+pub fn track_trajectory(snapshots: &[Vec<usize>]) -> Vec<EvolutionStep> {
+    snapshots
+        .windows(2)
+        .map(|w| track_clusters(&w[0], &w[1]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_clusterings_have_zero_churn() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let step = track_clusters(&a, &a);
+        assert_eq!(step.churn, 0.0);
+        assert_eq!(step.continues, vec![Some(0), Some(1), Some(2)]);
+        assert!(step.dissolved.is_empty());
+    }
+
+    #[test]
+    fn relabeled_clusterings_have_zero_churn() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        let step = track_clusters(&a, &b);
+        assert_eq!(step.churn, 0.0);
+        assert_eq!(step.continues, vec![Some(1), Some(2), Some(0)]);
+    }
+
+    #[test]
+    fn single_migration_counted() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1]; // one object moved 0→1
+        let step = track_clusters(&a, &b);
+        assert!((step.churn - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(step.overlap[0][1], 1);
+    }
+
+    #[test]
+    fn death_by_absorption() {
+        // everything collapses into one cluster: prev 1 has no successor
+        let a = vec![0, 0, 0, 0, 1, 1];
+        let b = vec![0, 0, 0, 0, 0, 0];
+        let step = track_clusters(&a, &b);
+        assert_eq!(step.continues, vec![Some(0)]);
+        assert_eq!(step.dissolved, vec![1]);
+        assert!((step.churn - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn birth_by_split() {
+        // one cluster splits in two: exactly one next cluster is newborn
+        let a = vec![0, 0, 0, 0];
+        let b = vec![0, 0, 1, 1];
+        let step = track_clusters(&a, &b);
+        let newborns = step.continues.iter().filter(|c| c.is_none()).count();
+        assert_eq!(newborns, 1);
+        assert!(step.dissolved.is_empty());
+        assert!((step.churn - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trajectory_chains_steps() {
+        let t0 = vec![0, 0, 1, 1];
+        let t1 = vec![0, 0, 1, 1];
+        let t2 = vec![1, 1, 0, 0];
+        let steps = track_trajectory(&[t0, t1, t2]);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].churn, 0.0);
+        assert_eq!(steps[1].churn, 0.0, "relabeling is not churn");
+    }
+
+    #[test]
+    #[should_panic(expected = "share objects")]
+    fn mismatched_lengths_panic() {
+        let _ = track_clusters(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,323 @@
+//! OLAP on heterogeneous information networks (tutorial §7(c); the
+//! iNextCube direction, VLDB'09 demo [15]).
+//!
+//! A [`NetworkCube`] dices the *center* objects of a star network along
+//! informational dimensions (year, research area, …). Unlike a classic data
+//! cube, the measure inside each cell is a **network** — the sub-network
+//! induced by the cell's center objects — so per-cell aggregates are
+//! network measures: object counts, link mass, density, and top-k ranked
+//! attribute objects. `roll_up` merges a dimension away; `slice` fixes a
+//! dimension value.
+
+use std::collections::HashMap;
+
+use hin_core::StarNet;
+
+/// One informational dimension over the center objects.
+#[derive(Clone, Debug)]
+pub struct Dimension {
+    /// Dimension name (e.g. `"year"`).
+    pub name: String,
+    /// Display name of each dimension value.
+    pub values: Vec<String>,
+    /// For each center object, the index of its value in `values`.
+    pub assignment: Vec<u32>,
+}
+
+impl Dimension {
+    /// Build a dimension, checking that assignments are in range.
+    ///
+    /// # Panics
+    /// Panics when an assignment indexes beyond `values`.
+    pub fn new(name: &str, values: Vec<String>, assignment: Vec<u32>) -> Self {
+        assert!(
+            assignment.iter().all(|&a| (a as usize) < values.len()),
+            "dimension `{name}`: assignment out of range"
+        );
+        Self {
+            name: name.to_string(),
+            values,
+            assignment,
+        }
+    }
+}
+
+/// A materialized network cube over a star network.
+#[derive(Clone, Debug)]
+pub struct NetworkCube {
+    star: StarNet,
+    dims: Vec<Dimension>,
+    /// cell coordinates → member center objects
+    cells: HashMap<Vec<u32>, Vec<u32>>,
+}
+
+/// Read-only view of one cell's induced sub-network.
+pub struct CellView<'a> {
+    star: &'a StarNet,
+    /// Center objects in the cell.
+    pub members: &'a [u32],
+}
+
+impl NetworkCube {
+    /// Materialize the cube at the finest granularity.
+    ///
+    /// # Panics
+    /// Panics when a dimension's assignment length differs from the star's
+    /// center count.
+    pub fn build(star: StarNet, dims: Vec<Dimension>) -> Self {
+        for d in &dims {
+            assert_eq!(
+                d.assignment.len(),
+                star.n_center,
+                "dimension `{}` must cover every center object",
+                d.name
+            );
+        }
+        let mut cells: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        for obj in 0..star.n_center as u32 {
+            let coords: Vec<u32> = dims.iter().map(|d| d.assignment[obj as usize]).collect();
+            cells.entry(coords).or_default().push(obj);
+        }
+        Self { star, dims, cells }
+    }
+
+    /// The dimensions, in coordinate order.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// Number of non-empty cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterate over `(coordinates, members)` of non-empty cells.
+    pub fn cells(&self) -> impl Iterator<Item = (&Vec<u32>, CellView<'_>)> {
+        self.cells.iter().map(|(k, v)| {
+            (
+                k,
+                CellView {
+                    star: &self.star,
+                    members: v,
+                },
+            )
+        })
+    }
+
+    /// View a cell by coordinates; `None` when empty/absent.
+    pub fn cell(&self, coords: &[u32]) -> Option<CellView<'_>> {
+        self.cells.get(coords).map(|v| CellView {
+            star: &self.star,
+            members: v,
+        })
+    }
+
+    /// Roll up (aggregate away) the dimension at `dim_index`, merging cells
+    /// that differ only in that coordinate.
+    ///
+    /// # Panics
+    /// Panics when `dim_index` is out of range.
+    pub fn roll_up(&self, dim_index: usize) -> NetworkCube {
+        assert!(dim_index < self.dims.len(), "dimension index out of range");
+        let mut dims = self.dims.clone();
+        dims.remove(dim_index);
+        let mut cells: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        for (coords, members) in &self.cells {
+            let mut c = coords.clone();
+            c.remove(dim_index);
+            cells.entry(c).or_default().extend_from_slice(members);
+        }
+        for members in cells.values_mut() {
+            members.sort_unstable();
+        }
+        NetworkCube {
+            star: self.star.clone(),
+            dims,
+            cells,
+        }
+    }
+
+    /// Slice: keep only cells whose `dim_index` coordinate equals `value`,
+    /// then drop that dimension.
+    ///
+    /// # Panics
+    /// Panics when `dim_index` is out of range.
+    pub fn slice(&self, dim_index: usize, value: u32) -> NetworkCube {
+        assert!(dim_index < self.dims.len(), "dimension index out of range");
+        let mut dims = self.dims.clone();
+        dims.remove(dim_index);
+        let mut cells: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        for (coords, members) in &self.cells {
+            if coords[dim_index] != value {
+                continue;
+            }
+            let mut c = coords.clone();
+            c.remove(dim_index);
+            cells.entry(c).or_default().extend_from_slice(members);
+        }
+        NetworkCube {
+            star: self.star.clone(),
+            dims,
+            cells,
+        }
+    }
+
+    /// Total center objects across all cells (invariant under roll-up).
+    pub fn total_members(&self) -> usize {
+        self.cells.values().map(|v| v.len()).sum()
+    }
+}
+
+impl CellView<'_> {
+    /// Number of center objects in the cell.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Total link weight from the cell's center objects into arm `arm`.
+    pub fn link_mass(&self, arm: usize) -> f64 {
+        self.members
+            .iter()
+            .map(|&d| self.star.arms[arm].w.row_sum(d as usize))
+            .sum()
+    }
+
+    /// Distinct attribute objects of `arm` touched by the cell.
+    pub fn attribute_coverage(&self, arm: usize) -> usize {
+        let mut seen = vec![false; self.star.arms[arm].w.ncols()];
+        let mut count = 0usize;
+        for &d in self.members {
+            for &a in self.star.arms[arm].w.row_indices(d as usize) {
+                if !seen[a as usize] {
+                    seen[a as usize] = true;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Average links per center object into `arm` — the cell's network
+    /// density measure.
+    pub fn density(&self, arm: usize) -> f64 {
+        if self.members.is_empty() {
+            0.0
+        } else {
+            self.link_mass(arm) / self.members.len() as f64
+        }
+    }
+
+    /// Top-`k` attribute objects of `arm` by within-cell link mass,
+    /// returned as `(attribute id, mass)`.
+    pub fn top_attributes(&self, arm: usize, k: usize) -> Vec<(u32, f64)> {
+        let mut mass = vec![0.0f64; self.star.arms[arm].w.ncols()];
+        for &d in self.members {
+            let (idx, vals) = self.star.arms[arm].w.row(d as usize);
+            for (&a, &w) in idx.iter().zip(vals) {
+                mass[a as usize] += w;
+            }
+        }
+        let order = hin_ranking::top_k(&mass, k);
+        order
+            .into_iter()
+            .filter(|&a| mass[a] > 0.0)
+            .map(|a| (a as u32, mass[a]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_synth::DblpConfig;
+
+    fn cube() -> (NetworkCube, hin_synth::DblpData) {
+        let d = DblpConfig {
+            n_areas: 3,
+            n_papers: 300,
+            years: 5,
+            seed: 77,
+            ..Default::default()
+        }
+        .generate();
+        let star = d.star();
+        let area_dim = Dimension::new(
+            "area",
+            (0..3).map(|a| format!("area{a}")).collect(),
+            d.paper_area.iter().map(|&a| a as u32).collect(),
+        );
+        let year_dim = Dimension::new(
+            "year",
+            (0..5).map(|y| format!("y{y}")).collect(),
+            d.paper_year.clone(),
+        );
+        (NetworkCube::build(star, vec![area_dim, year_dim]), d)
+    }
+
+    #[test]
+    fn cells_partition_the_center() {
+        let (c, _) = cube();
+        assert_eq!(c.total_members(), 300);
+        assert!(c.cell_count() <= 15);
+        let sum: usize = c.cells().map(|(_, v)| v.size()).sum();
+        assert_eq!(sum, 300);
+    }
+
+    #[test]
+    fn roll_up_merges_and_preserves_mass() {
+        let (c, _) = cube();
+        let by_area = c.roll_up(1); // aggregate year away
+        assert_eq!(by_area.dimensions().len(), 1);
+        assert_eq!(by_area.cell_count(), 3);
+        assert_eq!(by_area.total_members(), 300);
+        // link mass is additive across the rolled dimension
+        let venue_arm = 1; // arm order: author, venue, term (relation order)
+        let total_fine: f64 = c.cells().map(|(_, v)| v.link_mass(venue_arm)).sum();
+        let total_coarse: f64 = by_area.cells().map(|(_, v)| v.link_mass(venue_arm)).sum();
+        assert!((total_fine - total_coarse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slice_filters() {
+        let (c, d) = cube();
+        let year2 = c.slice(1, 2);
+        let expected = d.paper_year.iter().filter(|&&y| y == 2).count();
+        assert_eq!(year2.total_members(), expected);
+        assert_eq!(year2.dimensions().len(), 1);
+        assert_eq!(year2.dimensions()[0].name, "area");
+    }
+
+    #[test]
+    fn cell_measures_reflect_planted_structure() {
+        let (c, d) = cube();
+        let by_area = c.roll_up(1);
+        let star = d.star();
+        let venue_arm = star.arm_by_name("venue").unwrap();
+        for area in 0..3u32 {
+            let cell = by_area.cell(&[area]).expect("non-empty area cell");
+            assert!(cell.size() > 30);
+            assert!(cell.density(venue_arm) > 0.9, "every paper has one venue");
+            // top venues of the area cell should be planted in that area
+            let top = cell.top_attributes(venue_arm, 3);
+            assert!(!top.is_empty());
+            for &(v, _) in &top {
+                assert_eq!(
+                    d.venue_area[v as usize], area as usize,
+                    "top venue of area-{area} cell is out of area"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_cell_is_none() {
+        let (c, _) = cube();
+        assert!(c.cell(&[99, 99]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_dimension_assignment_panics() {
+        let _ = Dimension::new("bad", vec!["only".into()], vec![0, 1]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Ranking on information networks (tutorial §2(b)ii and the ranking half
+//! of RankClus/NetClus).
+//!
+//! * [`pagerank`] / [`personalized_pagerank`] — random-walk importance on
+//!   homogeneous networks,
+//! * [`hits`] — Kleinberg's hubs and authorities,
+//! * [`authority`] — *authority ranking* on bi-typed networks: the
+//!   rank-propagation primitive RankClus (EDBT'09, Eq. 4–6) alternates with
+//!   clustering; includes the simple (degree-proportional) ranking used as
+//!   its baseline.
+
+pub mod authority;
+pub mod pagerank;
+
+pub use authority::{authority_rank, simple_rank, AuthorityConfig, BiRank};
+pub use pagerank::{
+    degree_rank, hits, pagerank, personalized_pagerank, HitsScores, PageRankConfig, RankVector,
+};
+
+/// Indices of the top-`k` entries of `scores`, descending, ties broken by
+/// lower index.
+pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite scores")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::top_k;
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let s = [0.1, 0.9, 0.5, 0.9];
+        assert_eq!(top_k(&s, 2), vec![1, 3]);
+        assert_eq!(top_k(&s, 10), vec![1, 3, 2, 0]);
+        assert_eq!(top_k(&[], 3), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,249 @@
+//! PageRank, Personalized PageRank and HITS on homogeneous networks.
+
+use hin_linalg::vector::{max_abs_diff, normalize_l1, normalize_l2};
+use hin_linalg::Csr;
+
+/// Configuration shared by the random-walk rankers.
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankConfig {
+    /// Damping factor (probability of following a link).
+    pub damping: f64,
+    /// Convergence threshold on the L∞ change per iteration.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            tol: 1e-10,
+            max_iters: 200,
+        }
+    }
+}
+
+/// A converged rank vector.
+#[derive(Clone, Debug)]
+pub struct RankVector {
+    /// The scores, summing to 1.
+    pub scores: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final L∞ change (`<= tol` iff converged within the cap).
+    pub delta: f64,
+}
+
+impl RankVector {
+    /// Whether the iteration met its tolerance.
+    pub fn converged(&self, config: &PageRankConfig) -> bool {
+        self.delta <= config.tol
+    }
+}
+
+/// PageRank over a (possibly weighted, possibly directed) adjacency matrix.
+/// Dangling rows redistribute their mass uniformly; restart is uniform.
+pub fn pagerank(adj: &Csr, config: &PageRankConfig) -> RankVector {
+    let n = adj.nrows();
+    let uniform = vec![1.0 / n.max(1) as f64; n];
+    power_walk(adj, &uniform, config)
+}
+
+/// Personalized PageRank: restart into the given distribution instead of
+/// the uniform one. `restart` is L1-normalized internally; it must have
+/// positive mass.
+///
+/// # Panics
+/// Panics when the restart vector has no positive mass or wrong length.
+pub fn personalized_pagerank(adj: &Csr, restart: &[f64], config: &PageRankConfig) -> RankVector {
+    assert_eq!(restart.len(), adj.nrows(), "restart length mismatch");
+    let mut r = restart.to_vec();
+    assert!(normalize_l1(&mut r) > 0.0, "restart needs positive mass");
+    power_walk(adj, &r, config)
+}
+
+fn power_walk(adj: &Csr, restart: &[f64], config: &PageRankConfig) -> RankVector {
+    let n = adj.nrows();
+    if n == 0 {
+        return RankVector {
+            scores: Vec::new(),
+            iterations: 0,
+            delta: 0.0,
+        };
+    }
+    let transition = adj.row_normalized(); // row-stochastic where nonempty
+    let dangling: Vec<bool> = (0..n).map(|v| adj.row_nnz(v) == 0).collect();
+    let mut rank = restart.to_vec();
+    let mut iterations = 0;
+    let mut delta = f64::MAX;
+    while iterations < config.max_iters && delta > config.tol {
+        // mass of dangling nodes is redistributed via the restart vector
+        let dangling_mass: f64 = rank
+            .iter()
+            .zip(&dangling)
+            .filter(|&(_, &d)| d)
+            .map(|(r, _)| r)
+            .sum();
+        let mut next = transition.matvec_t(&rank);
+        for (nx, (rs, walked)) in next.iter_mut().zip(restart.iter().zip(rank.iter())) {
+            let _ = walked;
+            *nx = config.damping * (*nx + dangling_mass * rs) + (1.0 - config.damping) * rs;
+        }
+        // guard against numeric drift
+        normalize_l1(&mut next);
+        delta = max_abs_diff(&next, &rank);
+        rank = next;
+        iterations += 1;
+    }
+    RankVector {
+        scores: rank,
+        iterations,
+        delta,
+    }
+}
+
+/// HITS hub and authority scores.
+#[derive(Clone, Debug)]
+pub struct HitsScores {
+    /// Authority scores (unit L2 norm).
+    pub authority: Vec<f64>,
+    /// Hub scores (unit L2 norm).
+    pub hub: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Kleinberg's HITS on a directed adjacency matrix: `a ← Aᵀ h`, `h ← A a`,
+/// normalized each round.
+pub fn hits(adj: &Csr, tol: f64, max_iters: usize) -> HitsScores {
+    let n = adj.nrows();
+    let mut auth = vec![1.0 / (n.max(1) as f64).sqrt(); n];
+    let mut hub = auth.clone();
+    let mut iterations = 0;
+    loop {
+        let mut new_auth = adj.matvec_t(&hub);
+        normalize_l2(&mut new_auth);
+        let mut new_hub = adj.matvec(&new_auth);
+        normalize_l2(&mut new_hub);
+        let delta = max_abs_diff(&new_auth, &auth).max(max_abs_diff(&new_hub, &hub));
+        auth = new_auth;
+        hub = new_hub;
+        iterations += 1;
+        if delta <= tol || iterations >= max_iters {
+            break;
+        }
+    }
+    HitsScores {
+        authority: auth,
+        hub,
+        iterations,
+    }
+}
+
+/// Weighted-degree ranking normalized to a distribution — the trivial
+/// baseline the tutorial contrasts the walk-based rankers with.
+pub fn degree_rank(adj: &Csr) -> Vec<f64> {
+    let mut scores = adj.row_sums();
+    normalize_l1(&mut scores);
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(edges: &[(u32, u32)], n: usize) -> Csr {
+        let mut t = Vec::new();
+        for &(u, v) in edges {
+            t.push((u, v, 1.0));
+            t.push((v, u, 1.0));
+        }
+        Csr::from_triplets(n, n, t)
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_converges() {
+        let g = sym(&[(0, 1), (1, 2), (2, 0), (2, 3)], 4);
+        let config = PageRankConfig::default();
+        let r = pagerank(&g, &config);
+        assert!(r.converged(&config));
+        assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(r.scores.iter().all(|&s| s > 0.0));
+        // vertex 2 has the highest degree → highest rank
+        let max = r
+            .scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max, 2);
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_nodes() {
+        // directed chain into a sink
+        let g = Csr::from_triplets(3, 3, [(0u32, 1u32, 1.0), (1, 2, 1.0)]);
+        let r = pagerank(&g, &PageRankConfig::default());
+        assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(r.scores[2] > r.scores[0], "sink accumulates rank");
+    }
+
+    #[test]
+    fn pagerank_uniform_on_regular_graph() {
+        // cycle: all vertices equivalent
+        let g = sym(&[(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        let r = pagerank(&g, &PageRankConfig::default());
+        for &s in &r.scores {
+            assert!((s - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ppr_localizes_around_restart() {
+        // two triangles joined by one edge; restart on vertex 0
+        let g = sym(&[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)], 6);
+        let mut restart = vec![0.0; 6];
+        restart[0] = 1.0;
+        let r = personalized_pagerank(&g, &restart, &PageRankConfig::default());
+        assert!(r.scores[0] > r.scores[3]);
+        assert!(r.scores[1] > r.scores[5]);
+        assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn ppr_rejects_zero_restart() {
+        let g = sym(&[(0, 1)], 2);
+        let _ = personalized_pagerank(&g, &[0.0, 0.0], &PageRankConfig::default());
+    }
+
+    #[test]
+    fn hits_identifies_hub_and_authority() {
+        // 0 and 1 both point at 2 and 3: {0,1} hubs, {2,3} authorities
+        let g = Csr::from_triplets(
+            4,
+            4,
+            [(0u32, 2u32, 1.0), (0, 3, 1.0), (1, 2, 1.0), (1, 3, 1.0)],
+        );
+        let h = hits(&g, 1e-12, 100);
+        assert!(h.authority[2] > 0.1 && h.authority[3] > 0.1);
+        assert!(h.authority[0] < 1e-9 && h.authority[1] < 1e-9);
+        assert!(h.hub[0] > 0.1 && h.hub[2] < 1e-9);
+    }
+
+    #[test]
+    fn degree_rank_is_distribution() {
+        let g = sym(&[(0, 1), (1, 2)], 3);
+        let d = degree_rank(&g);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(d[1] > d[0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = pagerank(&Csr::zeros(0, 0), &PageRankConfig::default());
+        assert!(r.scores.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! The database: named tables with referential integrity and basic query
+//! operators.
+
+use std::collections::HashMap;
+
+use crate::query::Predicate;
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::value::Value;
+use crate::DbError;
+
+/// A collection of tables with enforced foreign keys.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table.
+    ///
+    /// # Errors
+    /// Rejects duplicate table names, invalid schemas, and foreign keys
+    /// referencing absent tables or tables without primary keys.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), DbError> {
+        if self.by_name.contains_key(&schema.name) {
+            return Err(DbError::Schema(format!(
+                "table `{}` already exists",
+                schema.name
+            )));
+        }
+        for fk in &schema.foreign_keys {
+            let target = self
+                .table(&fk.ref_table)
+                .map_err(|_| DbError::Schema(format!(
+                    "foreign key `{}` references missing table `{}`",
+                    fk.column, fk.ref_table
+                )))?;
+            if target.schema().primary_key.is_none() {
+                return Err(DbError::Schema(format!(
+                    "foreign key target `{}` has no primary key",
+                    fk.ref_table
+                )));
+            }
+        }
+        let name = schema.name.clone();
+        self.tables.push(Table::new(schema)?);
+        self.by_name.insert(name, self.tables.len() - 1);
+        Ok(())
+    }
+
+    /// Table by name.
+    pub fn table(&self, name: &str) -> Result<&Table, DbError> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.tables[i])
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Insert a row, enforcing the table's foreign keys (nulls skip the
+    /// check, as in SQL).
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<usize, DbError> {
+        let idx = *self
+            .by_name
+            .get(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        // FK checks against the *other* tables first
+        let fks = self.tables[idx].schema().foreign_keys.clone();
+        for fk in &fks {
+            let col = self.tables[idx]
+                .schema()
+                .column_index(&fk.column)
+                .expect("validated at create_table");
+            let v = &row.get(col).cloned().unwrap_or(Value::Null);
+            if v.is_null() {
+                continue;
+            }
+            let key = v.key_string().expect("non-null has a key");
+            let target = self.table(&fk.ref_table)?;
+            if target.find_by_key(&key).is_none() {
+                return Err(DbError::BrokenReference {
+                    table: table.to_string(),
+                    column: fk.column.clone(),
+                    key,
+                });
+            }
+        }
+        self.tables[idx].insert(row)
+    }
+
+    /// Scan a table, returning row indices satisfying the predicate.
+    pub fn select(&self, table: &str, predicate: &Predicate) -> Result<Vec<usize>, DbError> {
+        let t = self.table(table)?;
+        let schema = t.schema();
+        Ok((0..t.len())
+            .filter(|&i| {
+                predicate.eval(&|col| {
+                    schema
+                        .column_index(col)
+                        .map(|c| t.row(i)[c].clone())
+                })
+            })
+            .collect())
+    }
+
+    /// Project columns of the given rows into owned values.
+    pub fn project(
+        &self,
+        table: &str,
+        rows: &[usize],
+        columns: &[&str],
+    ) -> Result<Vec<Vec<Value>>, DbError> {
+        let t = self.table(table)?;
+        let idx: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                t.schema()
+                    .column_index(c)
+                    .ok_or_else(|| DbError::UnknownColumn {
+                        table: table.to_string(),
+                        column: c.to_string(),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(rows
+            .iter()
+            .map(|&r| idx.iter().map(|&c| t.row(r)[c].clone()).collect())
+            .collect())
+    }
+
+    /// Hash equi-join: pairs of row indices `(left_row, right_row)` where
+    /// `left.on_left == right.on_right` (nulls never join).
+    pub fn equi_join(
+        &self,
+        left: &str,
+        on_left: &str,
+        right: &str,
+        on_right: &str,
+    ) -> Result<Vec<(usize, usize)>, DbError> {
+        let lt = self.table(left)?;
+        let rt = self.table(right)?;
+        let lc = lt
+            .schema()
+            .column_index(on_left)
+            .ok_or_else(|| DbError::UnknownColumn {
+                table: left.to_string(),
+                column: on_left.to_string(),
+            })?;
+        let rc = rt
+            .schema()
+            .column_index(on_right)
+            .ok_or_else(|| DbError::UnknownColumn {
+                table: right.to_string(),
+                column: on_right.to_string(),
+            })?;
+        // build on the smaller side
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for i in 0..rt.len() {
+            if let Some(k) = rt.row(i)[rc].key_string() {
+                index.entry(k).or_default().push(i);
+            }
+        }
+        let mut out = Vec::new();
+        for i in 0..lt.len() {
+            if let Some(k) = lt.row(i)[lc].key_string() {
+                if let Some(matches) = index.get(&k) {
+                    out.extend(matches.iter().map(|&j| (i, j)));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn bib_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("venue")
+                .column("vid", ColumnType::Int)
+                .column("name", ColumnType::Str)
+                .primary_key("vid"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("paper")
+                .column("pid", ColumnType::Int)
+                .column("title", ColumnType::Str)
+                .column("vid", ColumnType::Int)
+                .column("year", ColumnType::Int)
+                .primary_key("pid")
+                .foreign_key("vid", "venue"),
+        )
+        .unwrap();
+        db.insert("venue", vec![Value::Int(1), Value::str("EDBT")])
+            .unwrap();
+        db.insert("venue", vec![Value::Int(2), Value::str("KDD")])
+            .unwrap();
+        db.insert(
+            "paper",
+            vec![Value::Int(10), Value::str("RankClus"), Value::Int(1), Value::Int(2009)],
+        )
+        .unwrap();
+        db.insert(
+            "paper",
+            vec![Value::Int(11), Value::str("NetClus"), Value::Int(2), Value::Int(2009)],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn fk_integrity_enforced() {
+        let mut db = bib_db();
+        let err = db
+            .insert(
+                "paper",
+                vec![Value::Int(12), Value::str("X"), Value::Int(99), Value::Int(2010)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::BrokenReference { .. }));
+        // null FK is allowed
+        db.insert(
+            "paper",
+            vec![Value::Int(12), Value::str("X"), Value::Null, Value::Int(2010)],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn create_table_validation() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.create_table(
+                TableSchema::new("t")
+                    .column("x", ColumnType::Int)
+                    .foreign_key("x", "ghost")
+            ),
+            Err(DbError::Schema(_))
+        ));
+        db.create_table(TableSchema::new("dup").column("a", ColumnType::Int))
+            .unwrap();
+        assert!(db
+            .create_table(TableSchema::new("dup").column("a", ColumnType::Int))
+            .is_err());
+        // FK to a table without a PK
+        assert!(matches!(
+            db.create_table(
+                TableSchema::new("t2")
+                    .column("a", ColumnType::Int)
+                    .foreign_key("a", "dup")
+            ),
+            Err(DbError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn select_and_project() {
+        let db = bib_db();
+        let rows = db
+            .select("paper", &Predicate::Eq("vid".into(), Value::Int(1)))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        let proj = db.project("paper", &rows, &["title"]).unwrap();
+        assert_eq!(proj[0][0], Value::str("RankClus"));
+        assert!(db.select("ghost", &Predicate::True).is_err());
+    }
+
+    #[test]
+    fn equi_join_pairs() {
+        let db = bib_db();
+        let pairs = db.equi_join("paper", "vid", "venue", "vid").unwrap();
+        assert_eq!(pairs.len(), 2);
+        for (p, v) in pairs {
+            assert_eq!(
+                db.table("paper").unwrap().row(p)[2],
+                db.table("venue").unwrap().row(v)[0]
+            );
+        }
+    }
+}

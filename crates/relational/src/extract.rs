@@ -1,0 +1,277 @@
+//! Database → information network extraction: the mechanical heart of
+//! tutorial §1(b), "viewing databases as information networks."
+//!
+//! Rules:
+//! * every table with a primary key becomes a node type, one node per row,
+//!   named by the primary key (or a designated label column),
+//! * every foreign key becomes a relation with one edge per referencing
+//!   row,
+//! * a *pure join table* — exactly two foreign-key columns and (besides an
+//!   optional surrogate key) nothing else — is collapsed into direct
+//!   many-to-many edges between the referenced types instead of becoming a
+//!   node type of its own.
+
+use std::collections::HashMap;
+
+use hin_core::{Hin, HinBuilder, TypeId};
+
+use crate::db::Database;
+use crate::value::Value;
+use crate::DbError;
+
+/// Extraction options.
+#[derive(Clone, Debug, Default)]
+pub struct ExtractConfig {
+    /// Per-table label column used for node display names (defaults to the
+    /// primary key's string form).
+    pub label_columns: HashMap<String, String>,
+    /// Disable join-table collapsing (every table becomes a node type).
+    pub keep_join_tables: bool,
+}
+
+/// The result of an extraction: the network plus the table→type mapping.
+#[derive(Debug)]
+pub struct Extraction {
+    /// The extracted heterogeneous information network.
+    pub hin: Hin,
+    /// Node type of each extracted table (absent for collapsed join
+    /// tables).
+    pub type_of_table: HashMap<String, TypeId>,
+}
+
+/// Is this table a pure binary join table?
+fn is_join_table(db: &Database, name: &str) -> bool {
+    let t = db.table(name).expect("caller checked");
+    let schema = t.schema();
+    if schema.foreign_keys.len() != 2 {
+        return false;
+    }
+    // all non-FK columns must be the (optional) primary key
+    schema.columns.iter().all(|c| {
+        schema.foreign_keys.iter().any(|fk| fk.column == c.name)
+            || schema.primary_key.as_deref() == Some(&c.name)
+    })
+}
+
+/// Extract a heterogeneous information network from a database.
+///
+/// # Errors
+/// Propagates lookup failures; extraction itself cannot fail on a database
+/// that passed integrity checks.
+pub fn extract_network(db: &Database, config: &ExtractConfig) -> Result<Extraction, DbError> {
+    let mut b = HinBuilder::new();
+    let mut type_of_table: HashMap<String, TypeId> = HashMap::new();
+
+    // pass 1: node types for entity tables (skipping collapsed join tables)
+    for table in db.tables() {
+        let name = &table.schema().name;
+        if table.schema().primary_key.is_none() {
+            continue; // no identity → cannot be a node type
+        }
+        if !config.keep_join_tables && is_join_table(db, name) {
+            continue;
+        }
+        let ty = b.add_type(name);
+        type_of_table.insert(name.clone(), ty);
+        let label_col = config.label_columns.get(name);
+        let pk = table.schema().primary_key.clone().expect("checked");
+        let pk_idx = table.schema().column_index(&pk).expect("validated");
+        for i in 0..table.len() {
+            let display = label_col
+                .and_then(|c| table.schema().column_index(c))
+                .map(|c| table.row(i)[c].to_string())
+                .unwrap_or_else(|| {
+                    table.row(i)[pk_idx]
+                        .key_string()
+                        .unwrap_or_else(|| format!("{name}_{i}"))
+                });
+            b.add_node(ty, &display);
+        }
+    }
+
+    // pass 2: relations
+    for table in db.tables() {
+        let schema = table.schema();
+        let name = &schema.name;
+        let collapsed = !config.keep_join_tables
+            && schema.primary_key.is_some()
+            && is_join_table(db, name)
+            || (schema.primary_key.is_none() && schema.foreign_keys.len() == 2);
+
+        if collapsed || (schema.primary_key.is_none() && schema.foreign_keys.len() == 2) {
+            // many-to-many edges between the two referenced types
+            let fk_a = &schema.foreign_keys[0];
+            let fk_b = &schema.foreign_keys[1];
+            let (Some(&ty_a), Some(&ty_b)) = (
+                type_of_table.get(&fk_a.ref_table),
+                type_of_table.get(&fk_b.ref_table),
+            ) else {
+                continue;
+            };
+            let rel = b.add_relation(name, ty_a, ty_b);
+            let col_a = schema.column_index(&fk_a.column).expect("validated");
+            let col_b = schema.column_index(&fk_b.column).expect("validated");
+            for i in 0..table.len() {
+                if let (Some(src), Some(dst)) = (
+                    row_ref(db, &fk_a.ref_table, &table.row(i)[col_a]),
+                    row_ref(db, &fk_b.ref_table, &table.row(i)[col_b]),
+                ) {
+                    b.add_edge(rel, src, dst, 1.0);
+                }
+            }
+            continue;
+        }
+
+        // ordinary FK edges from this table's own node type
+        let Some(&src_ty) = type_of_table.get(name) else {
+            continue;
+        };
+        for fk in &schema.foreign_keys {
+            let Some(&dst_ty) = type_of_table.get(&fk.ref_table) else {
+                continue;
+            };
+            let rel = b.add_relation(&format!("{name}.{}", fk.column), src_ty, dst_ty);
+            let col = schema.column_index(&fk.column).expect("validated");
+            for i in 0..table.len() {
+                if let Some(dst) = row_ref(db, &fk.ref_table, &table.row(i)[col]) {
+                    b.add_edge(rel, i as u32, dst, 1.0);
+                }
+            }
+        }
+    }
+
+    Ok(Extraction {
+        hin: b.build(),
+        type_of_table,
+    })
+}
+
+/// Resolve a foreign-key value to a row index of the referenced table.
+fn row_ref(db: &Database, ref_table: &str, v: &Value) -> Option<u32> {
+    let key = v.key_string()?;
+    db.table(ref_table)
+        .ok()?
+        .find_by_key(&key)
+        .map(|i| i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, TableSchema};
+
+    /// venue ←─ paper ──→ (writes join table) ──→ author
+    fn bib_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("venue")
+                .column("vid", ColumnType::Int)
+                .column("name", ColumnType::Str)
+                .primary_key("vid"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("author")
+                .column("aid", ColumnType::Int)
+                .column("name", ColumnType::Str)
+                .primary_key("aid"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("paper")
+                .column("pid", ColumnType::Int)
+                .column("title", ColumnType::Str)
+                .column("vid", ColumnType::Int)
+                .primary_key("pid")
+                .foreign_key("vid", "venue"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("writes")
+                .column("wid", ColumnType::Int)
+                .column("aid", ColumnType::Int)
+                .column("pid", ColumnType::Int)
+                .primary_key("wid")
+                .foreign_key("aid", "author")
+                .foreign_key("pid", "paper"),
+        )
+        .unwrap();
+        db.insert("venue", vec![Value::Int(1), Value::str("EDBT")]).unwrap();
+        db.insert("author", vec![Value::Int(1), Value::str("Sun")]).unwrap();
+        db.insert("author", vec![Value::Int(2), Value::str("Han")]).unwrap();
+        db.insert(
+            "paper",
+            vec![Value::Int(10), Value::str("RankClus"), Value::Int(1)],
+        )
+        .unwrap();
+        db.insert("writes", vec![Value::Int(100), Value::Int(1), Value::Int(10)])
+            .unwrap();
+        db.insert("writes", vec![Value::Int(101), Value::Int(2), Value::Int(10)])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn entity_tables_become_types_join_tables_collapse() {
+        let db = bib_db();
+        let ex = extract_network(&db, &ExtractConfig::default()).unwrap();
+        assert_eq!(ex.hin.type_count(), 3, "venue, author, paper — not writes");
+        assert!(ex.type_of_table.contains_key("paper"));
+        assert!(!ex.type_of_table.contains_key("writes"));
+
+        let author = ex.type_of_table["author"];
+        let paper = ex.type_of_table["paper"];
+        let venue = ex.type_of_table["venue"];
+        // writes collapsed into author—paper edges
+        let ap = ex.hin.adjacency(author, paper).unwrap();
+        assert_eq!(ap.nnz(), 2);
+        // paper.vid FK became paper—venue edges
+        let pv = ex.hin.adjacency(paper, venue).unwrap();
+        assert_eq!(pv.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn label_columns_name_nodes() {
+        let db = bib_db();
+        let mut config = ExtractConfig::default();
+        config
+            .label_columns
+            .insert("author".to_string(), "name".to_string());
+        let ex = extract_network(&db, &config).unwrap();
+        let author = ex.type_of_table["author"];
+        assert!(ex.hin.node_by_name(author, "Sun").is_ok());
+        assert!(ex.hin.node_by_name(author, "Han").is_ok());
+    }
+
+    #[test]
+    fn keep_join_tables_mode() {
+        let db = bib_db();
+        let ex = extract_network(&db, &ExtractConfig {
+            keep_join_tables: true,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(ex.hin.type_count(), 4);
+        let writes = ex.type_of_table["writes"];
+        assert_eq!(ex.hin.node_count(writes), 2);
+        // writes rows now link out via two FK relations
+        let author = ex.type_of_table["author"];
+        let wa = ex.hin.adjacency(writes, author).unwrap();
+        assert_eq!(wa.nnz(), 2);
+    }
+
+    #[test]
+    fn null_fks_skip_edges() {
+        let mut db = bib_db();
+        db.insert(
+            "paper",
+            vec![Value::Int(11), Value::str("Orphan"), Value::Null],
+        )
+        .unwrap();
+        let ex = extract_network(&db, &ExtractConfig::default()).unwrap();
+        let paper = ex.type_of_table["paper"];
+        let venue = ex.type_of_table["venue"];
+        let pv = ex.hin.adjacency(paper, venue).unwrap();
+        assert_eq!(pv.row_nnz(1), 0, "orphan paper has no venue edge");
+    }
+}

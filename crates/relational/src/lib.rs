@@ -1,0 +1,72 @@
+//! A minimal relational engine plus database→information-network
+//! extraction — tutorial §1's thesis made executable: *a database is
+//! essentially a heterogeneous information network* whose links are foreign
+//! keys.
+//!
+//! The engine ([`Database`], [`Table`]) supports typed columns, primary and
+//! foreign keys with referential integrity checking, scans, predicate
+//! selection, projection and hash equi-joins — enough to host the
+//! bibliographic and photo-sharing schemas of the case studies.
+//! [`extract::extract_network`] then turns any such database into a
+//! [`hin_core::Hin`]: entity tables become node types, foreign keys become
+//! relations, and pure join tables (two foreign keys, nothing else) are
+//! collapsed into direct many-to-many edges.
+
+pub mod db;
+pub mod extract;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use db::Database;
+pub use extract::{extract_network, ExtractConfig, Extraction};
+pub use query::Predicate;
+pub use schema::{ColumnDef, ColumnType, ForeignKey, TableSchema};
+pub use table::Table;
+pub use value::Value;
+
+/// Errors raised by the relational layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DbError {
+    /// A table name was not found.
+    UnknownTable(String),
+    /// A column name was not found in the table.
+    UnknownColumn { table: String, column: String },
+    /// Row arity or value type does not match the schema.
+    TypeMismatch { table: String, column: String },
+    /// Duplicate primary key.
+    DuplicateKey { table: String, key: String },
+    /// A foreign key references a missing row.
+    BrokenReference {
+        table: String,
+        column: String,
+        key: String,
+    },
+    /// Schema-level misuse (e.g. FK to a table without a primary key).
+    Schema(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            DbError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            DbError::TypeMismatch { table, column } => {
+                write!(f, "type mismatch for `{table}.{column}`")
+            }
+            DbError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key `{key}` in table `{table}`")
+            }
+            DbError::BrokenReference { table, column, key } => write!(
+                f,
+                "foreign key `{table}.{column}` references missing key `{key}`"
+            ),
+            DbError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

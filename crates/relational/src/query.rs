@@ -1,0 +1,94 @@
+//! Row predicates for selection.
+
+use crate::value::Value;
+
+/// A predicate over a row, evaluated against named columns.
+#[derive(Clone, Debug)]
+pub enum Predicate {
+    /// Column equals the value.
+    Eq(String, Value),
+    /// Numeric column is strictly less than the value.
+    Lt(String, f64),
+    /// Numeric column is strictly greater than the value.
+    Gt(String, f64),
+    /// Both sub-predicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either sub-predicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Always true (scan helper).
+    True,
+}
+
+impl Predicate {
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate against a row given a column-name resolver.
+    /// Unknown columns and non-numeric comparisons evaluate to `false`
+    /// (three-valued logic collapsed to `false`, as scans expect).
+    pub fn eval(&self, get: &dyn Fn(&str) -> Option<Value>) -> bool {
+        match self {
+            Predicate::Eq(col, v) => get(col).map_or(false, |x| &x == v),
+            Predicate::Lt(col, v) => get(col)
+                .and_then(|x| x.as_float())
+                .map_or(false, |x| x < *v),
+            Predicate::Gt(col, v) => get(col)
+                .and_then(|x| x.as_float())
+                .map_or(false, |x| x > *v),
+            Predicate::And(a, b) => a.eval(get) && b.eval(get),
+            Predicate::Or(a, b) => a.eval(get) || b.eval(get),
+            Predicate::Not(a) => !a.eval(get),
+            Predicate::True => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(year: i64, venue: &str) -> impl Fn(&str) -> Option<Value> + '_ {
+        move |col: &str| match col {
+            "year" => Some(Value::Int(year)),
+            "venue" => Some(Value::str(venue)),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn comparisons() {
+        let r = row(2009, "EDBT");
+        assert!(Predicate::Eq("venue".into(), Value::str("EDBT")).eval(&r));
+        assert!(Predicate::Lt("year".into(), 2010.0).eval(&r));
+        assert!(Predicate::Gt("year".into(), 2008.0).eval(&r));
+        assert!(!Predicate::Gt("year".into(), 2009.0).eval(&r));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let r = row(2009, "EDBT");
+        let p = Predicate::Eq("venue".into(), Value::str("EDBT"))
+            .and(Predicate::Gt("year".into(), 2000.0));
+        assert!(p.eval(&r));
+        let q = Predicate::Eq("venue".into(), Value::str("KDD"))
+            .or(Predicate::True);
+        assert!(q.eval(&r));
+        assert!(!Predicate::Not(Box::new(Predicate::True)).eval(&r));
+    }
+
+    #[test]
+    fn unknown_columns_are_false() {
+        let r = row(2009, "EDBT");
+        assert!(!Predicate::Eq("nope".into(), Value::Int(1)).eval(&r));
+        assert!(!Predicate::Lt("venue".into(), 3.0).eval(&r), "non-numeric");
+    }
+}

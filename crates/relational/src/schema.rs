@@ -1,0 +1,136 @@
+//! Table schemas: typed columns, primary keys, foreign keys.
+
+use crate::value::Value;
+
+/// Column data type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl ColumnType {
+    /// Whether a value inhabits this type (`Null` inhabits all).
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+        )
+    }
+}
+
+/// One column definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// Shorthand constructor.
+    pub fn new(name: &str, ty: ColumnType) -> Self {
+        Self {
+            name: name.to_string(),
+            ty,
+        }
+    }
+}
+
+/// A foreign-key constraint: this table's `column` references the primary
+/// key of `ref_table`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column in this table.
+    pub column: String,
+    /// Referenced table (must have a primary key).
+    pub ref_table: String,
+}
+
+/// A table schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Name of the primary-key column, when the table has one.
+    pub primary_key: Option<String>,
+    /// Foreign-key constraints.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Start building a schema.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            columns: Vec::new(),
+            primary_key: None,
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Add a column (builder style).
+    pub fn column(mut self, name: &str, ty: ColumnType) -> Self {
+        self.columns.push(ColumnDef::new(name, ty));
+        self
+    }
+
+    /// Declare the primary key (must name an existing column).
+    pub fn primary_key(mut self, column: &str) -> Self {
+        self.primary_key = Some(column.to_string());
+        self
+    }
+
+    /// Declare a foreign key (builder style).
+    pub fn foreign_key(mut self, column: &str, ref_table: &str) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            column: column.to_string(),
+            ref_table: ref_table.to_string(),
+        });
+        self
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let s = TableSchema::new("paper")
+            .column("pid", ColumnType::Int)
+            .column("title", ColumnType::Str)
+            .column("venue_id", ColumnType::Int)
+            .primary_key("pid")
+            .foreign_key("venue_id", "venue");
+        assert_eq!(s.columns.len(), 3);
+        assert_eq!(s.column_index("title"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+        assert_eq!(s.primary_key.as_deref(), Some("pid"));
+        assert_eq!(s.foreign_keys[0].ref_table, "venue");
+    }
+
+    #[test]
+    fn type_admission() {
+        assert!(ColumnType::Int.admits(&Value::Int(1)));
+        assert!(!ColumnType::Int.admits(&Value::str("x")));
+        assert!(ColumnType::Float.admits(&Value::Int(1)), "ints widen");
+        assert!(ColumnType::Str.admits(&Value::Null), "null fits anywhere");
+    }
+}

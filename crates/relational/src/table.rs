@@ -1,0 +1,183 @@
+//! Row storage with primary-key indexing.
+
+use std::collections::HashMap;
+
+use crate::schema::TableSchema;
+use crate::value::Value;
+use crate::DbError;
+
+/// A table: schema plus row storage and a primary-key index.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Vec<Value>>,
+    pk_index: HashMap<String, usize>,
+}
+
+impl Table {
+    /// Create an empty table.
+    ///
+    /// # Errors
+    /// Rejects schemas whose primary key names a missing column.
+    pub fn new(schema: TableSchema) -> Result<Self, DbError> {
+        if let Some(pk) = &schema.primary_key {
+            if schema.column_index(pk).is_none() {
+                return Err(DbError::Schema(format!(
+                    "primary key `{pk}` is not a column of `{}`",
+                    schema.name
+                )));
+            }
+        }
+        for fk in &schema.foreign_keys {
+            if schema.column_index(&fk.column).is_none() {
+                return Err(DbError::Schema(format!(
+                    "foreign key column `{}` is not a column of `{}`",
+                    fk.column, schema.name
+                )));
+            }
+        }
+        Ok(Self {
+            schema,
+            rows: Vec::new(),
+            pk_index: HashMap::new(),
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a row (arity and types checked, PK uniqueness enforced).
+    /// FK integrity is checked at the [`crate::Database`] level, which can
+    /// see the referenced tables.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<usize, DbError> {
+        if row.len() != self.schema.columns.len() {
+            return Err(DbError::TypeMismatch {
+                table: self.schema.name.clone(),
+                column: "<arity>".to_string(),
+            });
+        }
+        for (col, v) in self.schema.columns.iter().zip(&row) {
+            if !col.ty.admits(v) {
+                return Err(DbError::TypeMismatch {
+                    table: self.schema.name.clone(),
+                    column: col.name.clone(),
+                });
+            }
+        }
+        if let Some(pk) = &self.schema.primary_key {
+            let idx = self.schema.column_index(pk).expect("validated at new()");
+            let key = row[idx].key_string().ok_or_else(|| DbError::TypeMismatch {
+                table: self.schema.name.clone(),
+                column: pk.clone(),
+            })?;
+            if self.pk_index.contains_key(&key) {
+                return Err(DbError::DuplicateKey {
+                    table: self.schema.name.clone(),
+                    key,
+                });
+            }
+            self.pk_index.insert(key, self.rows.len());
+        }
+        self.rows.push(row);
+        Ok(self.rows.len() - 1)
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Row by position.
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.rows[i]
+    }
+
+    /// Row index by primary key string.
+    pub fn find_by_key(&self, key: &str) -> Option<usize> {
+        self.pk_index.get(key).copied()
+    }
+
+    /// Value of `column` in row `i`.
+    pub fn value(&self, i: usize, column: &str) -> Result<&Value, DbError> {
+        let c = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::UnknownColumn {
+                table: self.schema.name.clone(),
+                column: column.to_string(),
+            })?;
+        Ok(&self.rows[i][c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn venue_table() -> Table {
+        Table::new(
+            TableSchema::new("venue")
+                .column("vid", ColumnType::Int)
+                .column("name", ColumnType::Str)
+                .primary_key("vid"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = venue_table();
+        t.insert(vec![Value::Int(1), Value::str("EDBT")]).unwrap();
+        t.insert(vec![Value::Int(2), Value::str("KDD")]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.find_by_key("2"), Some(1));
+        assert_eq!(t.value(1, "name").unwrap(), &Value::str("KDD"));
+        assert!(t.value(0, "nope").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_rows() {
+        let mut t = venue_table();
+        t.insert(vec![Value::Int(1), Value::str("EDBT")]).unwrap();
+        assert!(matches!(
+            t.insert(vec![Value::Int(1), Value::str("X")]),
+            Err(DbError::DuplicateKey { .. })
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::str("oops"), Value::str("X")]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::Int(3)]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::Null, Value::str("X")]),
+            Err(DbError::TypeMismatch { .. }),
+        ), "null primary key rejected");
+    }
+
+    #[test]
+    fn schema_validation() {
+        assert!(Table::new(TableSchema::new("t").primary_key("ghost")).is_err());
+        assert!(Table::new(
+            TableSchema::new("t")
+                .column("a", ColumnType::Int)
+                .foreign_key("ghost", "other")
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Cell values.
+
+use std::fmt;
+
+/// A typed cell value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// SQL-style null.
+    Null,
+}
+
+impl Value {
+    /// Convenience constructor from `&str`.
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A canonical key string for PK/FK identity (`Null` has no key).
+    pub fn key_string(&self) -> Option<String> {
+        match self {
+            Value::Int(i) => Some(i.to_string()),
+            Value::Float(x) => Some(format!("{x}")),
+            Value::Str(s) => Some(s.clone()),
+            Value::Null => None,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float accessor (ints widen).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_int(), None);
+    }
+
+    #[test]
+    fn key_strings() {
+        assert_eq!(Value::Int(7).key_string(), Some("7".into()));
+        assert_eq!(Value::str("k").key_string(), Some("k".into()));
+        assert_eq!(Value::Null.key_string(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::str("ab").to_string(), "ab");
+    }
+}

@@ -1,0 +1,256 @@
+//! Meta-paths over heterogeneous schemas and their commuting matrices.
+//!
+//! A meta-path `A —R₁— B —R₂— C …` is a path in the *schema* graph; its
+//! commuting matrix is the product of the per-relation adjacency matrices
+//! and counts the path instances connecting each object pair. PathSim,
+//! PathCount and the random-walk measure are all functions of this matrix.
+
+use hin_core::{Hin, HinError, RelationId, TypeId};
+use hin_linalg::Csr;
+
+/// One step of a meta-path: a relation traversed forward (src→dst as
+/// stored) or backward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathStep {
+    /// Traverse the relation in its stored direction.
+    Forward(RelationId),
+    /// Traverse the relation against its stored direction.
+    Backward(RelationId),
+}
+
+impl PathStep {
+    fn endpoints(&self, hin: &Hin) -> (TypeId, TypeId) {
+        match *self {
+            PathStep::Forward(r) => {
+                let rel = hin.relation(r);
+                (rel.src, rel.dst)
+            }
+            PathStep::Backward(r) => {
+                let rel = hin.relation(r);
+                (rel.dst, rel.src)
+            }
+        }
+    }
+
+    fn matrix<'a>(&self, hin: &'a Hin) -> &'a Csr {
+        match *self {
+            PathStep::Forward(r) => &hin.relation(r).fwd,
+            PathStep::Backward(r) => &hin.relation(r).bwd,
+        }
+    }
+
+    fn reversed(&self) -> PathStep {
+        match *self {
+            PathStep::Forward(r) => PathStep::Backward(r),
+            PathStep::Backward(r) => PathStep::Forward(r),
+        }
+    }
+}
+
+/// A meta-path: a non-empty sequence of compatible steps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetaPath {
+    steps: Vec<PathStep>,
+}
+
+impl MetaPath {
+    /// Build from explicit steps.
+    ///
+    /// # Panics
+    /// Panics on an empty step list (use [`MetaPath::validate`] for
+    /// type-compatibility checking, which needs the network).
+    pub fn new(steps: Vec<PathStep>) -> Self {
+        assert!(!steps.is_empty(), "meta-path needs at least one step");
+        Self { steps }
+    }
+
+    /// Resolve a meta-path from a sequence of type *names*,
+    /// e.g. `["author", "paper", "venue", "paper", "author"]` (APVPA).
+    /// Each consecutive pair must be connected by a relation in the network.
+    pub fn from_type_names(hin: &Hin, names: &[&str]) -> Result<Self, HinError> {
+        if names.len() < 2 {
+            return Err(HinError::SchemaShape(
+                "a meta-path needs at least two types".to_string(),
+            ));
+        }
+        let mut steps = Vec::with_capacity(names.len() - 1);
+        for w in names.windows(2) {
+            let src = hin.type_by_name(w[0])?;
+            let dst = hin.type_by_name(w[1])?;
+            let (rel, forward) =
+                hin.relation_between(src, dst)
+                    .ok_or_else(|| HinError::NoRelation {
+                        src: w[0].to_string(),
+                        dst: w[1].to_string(),
+                    })?;
+            steps.push(if forward {
+                PathStep::Forward(rel)
+            } else {
+                PathStep::Backward(rel)
+            });
+        }
+        Ok(Self { steps })
+    }
+
+    /// Extend a half-path into the symmetric path `P · P⁻¹`
+    /// (e.g. APV → APVPA), the shape PathSim requires.
+    pub fn symmetric_closure(&self) -> MetaPath {
+        let mut steps = self.steps.clone();
+        steps.extend(self.steps.iter().rev().map(|s| s.reversed()));
+        MetaPath { steps }
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// Path length (number of relations traversed).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Meta-paths are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Check type compatibility against a network and return
+    /// `(start type, end type)`.
+    pub fn validate(&self, hin: &Hin) -> Result<(TypeId, TypeId), HinError> {
+        let (start, mut cur) = self.steps[0].endpoints(hin);
+        for step in &self.steps[1..] {
+            let (s, d) = step.endpoints(hin);
+            if s != cur {
+                return Err(HinError::SchemaShape(format!(
+                    "meta-path step expects source type `{}` but previous step ends at `{}`",
+                    hin.type_name(s),
+                    hin.type_name(cur)
+                )));
+            }
+            cur = d;
+        }
+        Ok((start, cur))
+    }
+
+    /// `true` when the path is palindromic (step sequence equals its own
+    /// reversal), which guarantees a symmetric commuting matrix.
+    pub fn is_palindrome(&self) -> bool {
+        let n = self.steps.len();
+        (0..n / 2).all(|i| self.steps[i] == self.steps[n - 1 - i].reversed())
+    }
+}
+
+/// Compute the commuting matrix of a meta-path by chained sparse products.
+///
+/// Entry `(x, y)` counts the (weighted) path instances from `x` (of the
+/// start type) to `y` (of the end type).
+pub fn commuting_matrix(hin: &Hin, path: &MetaPath) -> Result<Csr, HinError> {
+    path.validate(hin)?;
+    let mut acc: Option<Csr> = None;
+    for step in path.steps() {
+        let m = step.matrix(hin);
+        acc = Some(match acc {
+            None => m.clone(),
+            Some(a) => a.spgemm(m),
+        });
+    }
+    Ok(acc.expect("meta-path is non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_core::HinBuilder;
+
+    /// papers p0{a0,a1}@v0, p1{a1}@v0, p2{a2}@v1
+    fn bib() -> Hin {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let venue = b.add_type("venue");
+        let pa = b.add_relation("written_by", paper, author);
+        let pv = b.add_relation("published_in", paper, venue);
+        b.link(pa, "p0", "a0", 1.0);
+        b.link(pa, "p0", "a1", 1.0);
+        b.link(pa, "p1", "a1", 1.0);
+        b.link(pa, "p2", "a2", 1.0);
+        b.link(pv, "p0", "v0", 1.0);
+        b.link(pv, "p1", "v0", 1.0);
+        b.link(pv, "p2", "v1", 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn from_names_and_validate() {
+        let hin = bib();
+        let apa = MetaPath::from_type_names(&hin, &["author", "paper", "author"]).unwrap();
+        assert_eq!(apa.len(), 2);
+        let (s, e) = apa.validate(&hin).unwrap();
+        assert_eq!(hin.type_name(s), "author");
+        assert_eq!(hin.type_name(e), "author");
+        assert!(apa.is_palindrome());
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let hin = bib();
+        assert!(MetaPath::from_type_names(&hin, &["author"]).is_err());
+        assert!(MetaPath::from_type_names(&hin, &["author", "venue"]).is_err());
+        assert!(MetaPath::from_type_names(&hin, &["author", "nosuch"]).is_err());
+
+        // incompatible hand-built path: author→paper then author→paper again
+        let pa = hin.relation_by_name("written_by").unwrap();
+        let bad = MetaPath::new(vec![PathStep::Backward(pa), PathStep::Backward(pa)]);
+        assert!(bad.validate(&hin).is_err());
+    }
+
+    #[test]
+    fn apa_counts_coauthorships() {
+        let hin = bib();
+        let apa = MetaPath::from_type_names(&hin, &["author", "paper", "author"]).unwrap();
+        let m = commuting_matrix(&hin, &apa).unwrap();
+        // a0 and a1 share exactly p0
+        assert_eq!(m.get(0, 1), 1.0);
+        // a1's self-paths: p0 and p1 → 2
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn apvpa_counts_venue_coappearance() {
+        let hin = bib();
+        let apvpa = MetaPath::from_type_names(
+            &hin,
+            &["author", "paper", "venue", "paper", "author"],
+        )
+        .unwrap();
+        let m = commuting_matrix(&hin, &apvpa).unwrap();
+        // a0 (1 paper at v0) vs a1 (2 papers at v0): 1×2 = 2 paths
+        assert_eq!(m.get(0, 1), 2.0);
+        // a1 self: 2×2 = 4
+        assert_eq!(m.get(1, 1), 4.0);
+        // different venues → 0
+        assert_eq!(m.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn symmetric_closure_builds_palindrome() {
+        let hin = bib();
+        let apv = MetaPath::from_type_names(&hin, &["author", "paper", "venue"]).unwrap();
+        assert!(!apv.is_palindrome());
+        let apvpa = apv.symmetric_closure();
+        assert_eq!(apvpa.len(), 4);
+        assert!(apvpa.is_palindrome());
+        let direct = MetaPath::from_type_names(
+            &hin,
+            &["author", "paper", "venue", "paper", "author"],
+        )
+        .unwrap();
+        assert_eq!(
+            commuting_matrix(&hin, &apvpa).unwrap(),
+            commuting_matrix(&hin, &direct).unwrap()
+        );
+    }
+}

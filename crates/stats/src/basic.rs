@@ -1,0 +1,115 @@
+//! Density and degree statistics.
+
+use hin_linalg::Csr;
+
+/// Summary statistics of a degree sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+}
+
+/// Edge density of a graph given as an adjacency matrix: stored entries
+/// divided by the number of possible off-diagonal entries. For symmetric
+/// (undirected) matrices both the numerator and denominator count each edge
+/// twice, so the value is comparable.
+pub fn density(adj: &Csr) -> f64 {
+    let n = adj.nrows();
+    if n < 2 {
+        return 0.0;
+    }
+    adj.nnz() as f64 / (n * (n - 1)) as f64
+}
+
+/// Out-degree (row nnz) histogram: `histogram[d]` = number of vertices with
+/// degree `d`.
+pub fn degree_histogram(adj: &Csr) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for r in 0..adj.nrows() {
+        let d = adj.row_nnz(r);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Degree sequence summary.
+pub fn degree_stats(adj: &Csr) -> DegreeStats {
+    let mut degs: Vec<usize> = (0..adj.nrows()).map(|r| adj.row_nnz(r)).collect();
+    if degs.is_empty() {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0.0,
+        };
+    }
+    degs.sort_unstable();
+    let n = degs.len();
+    let median = if n % 2 == 1 {
+        degs[n / 2] as f64
+    } else {
+        (degs[n / 2 - 1] + degs[n / 2]) as f64 / 2.0
+    };
+    DegreeStats {
+        min: degs[0],
+        max: degs[n - 1],
+        mean: degs.iter().sum::<usize>() as f64 / n as f64,
+        median,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_isolate() -> Csr {
+        // vertices 0,1,2 form a triangle; 3 is isolated
+        let mut t = Vec::new();
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (0, 2)] {
+            t.push((u, v, 1.0));
+            t.push((v, u, 1.0));
+        }
+        Csr::from_triplets(4, 4, t)
+    }
+
+    #[test]
+    fn density_values() {
+        let g = triangle_plus_isolate();
+        assert!((density(&g) - 6.0 / 12.0).abs() < 1e-12);
+        assert_eq!(density(&Csr::zeros(1, 1)), 0.0);
+        assert_eq!(density(&Csr::zeros(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn histogram() {
+        let g = triangle_plus_isolate();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![1, 0, 3]); // one isolate, three degree-2
+    }
+
+    #[test]
+    fn stats() {
+        let g = triangle_plus_isolate();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = degree_stats(&Csr::zeros(0, 0));
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+}

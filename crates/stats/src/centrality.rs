@@ -1,0 +1,181 @@
+//! Centrality measures: degree, closeness, betweenness (Brandes).
+
+use hin_linalg::Csr;
+
+use crate::paths::bfs_distances;
+
+/// Degree centrality: degree / (n − 1).
+pub fn degree_centrality(adj: &Csr) -> Vec<f64> {
+    let n = adj.nrows();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    (0..n)
+        .map(|v| adj.row_nnz(v) as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Closeness centrality with the Wasserman–Faust correction for
+/// disconnected graphs: `C(v) = ((r−1)/(n−1)) · ((r−1)/Σd)` where `r` is the
+/// number of vertices reachable from `v`.
+pub fn closeness(adj: &Csr) -> Vec<f64> {
+    let n = adj.nrows();
+    (0..n as u32)
+        .map(|v| {
+            let dist = bfs_distances(adj, v);
+            let mut sum = 0usize;
+            let mut reach = 0usize;
+            for &d in &dist {
+                if d != usize::MAX && d > 0 {
+                    sum += d;
+                    reach += 1;
+                }
+            }
+            if sum == 0 || n < 2 {
+                0.0
+            } else {
+                let r = reach as f64;
+                (r / (n - 1) as f64) * (r / sum as f64)
+            }
+        })
+        .collect()
+}
+
+/// Betweenness centrality via Brandes' algorithm (unweighted). Undirected
+/// input (symmetric adjacency) yields the conventional undirected scores
+/// halved-pair convention: each unordered pair is counted twice, so scores
+/// are divided by 2 when `undirected` is set.
+pub fn betweenness(adj: &Csr, undirected: bool) -> Vec<f64> {
+    let n = adj.nrows();
+    let mut bc = vec![0.0f64; n];
+    let mut stack: Vec<u32> = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![i64::MAX; n];
+    let mut delta = vec![0.0f64; n];
+    let mut queue = std::collections::VecDeque::new();
+
+    for s in 0..n as u32 {
+        stack.clear();
+        for p in &mut preds {
+            p.clear();
+        }
+        sigma.fill(0.0);
+        dist.fill(i64::MAX);
+        delta.fill(0.0);
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            let dv = dist[v as usize];
+            for &w in adj.row_indices(v as usize) {
+                if dist[w as usize] == i64::MAX {
+                    dist[w as usize] = dv + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dv + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    preds[w as usize].push(v);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w as usize] {
+                delta[v as usize] +=
+                    sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            }
+            if w != s {
+                bc[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    if undirected {
+        for b in &mut bc {
+            *b /= 2.0;
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Csr {
+        let mut t = Vec::new();
+        for &(u, v) in &[(0u32, 1u32), (1, 2)] {
+            t.push((u, v, 1.0));
+            t.push((v, u, 1.0));
+        }
+        Csr::from_triplets(3, 3, t)
+    }
+
+    fn star5() -> Csr {
+        // hub 0, leaves 1..=4
+        let mut t = Vec::new();
+        for v in 1u32..5 {
+            t.push((0, v, 1.0));
+            t.push((v, 0, 1.0));
+        }
+        Csr::from_triplets(5, 5, t)
+    }
+
+    #[test]
+    fn degree_centrality_star() {
+        let c = degree_centrality(&star5());
+        assert_eq!(c[0], 1.0);
+        assert!((c[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_path() {
+        let c = closeness(&path3());
+        // middle vertex: distances 1+1 → (2/2)*(2/2)=1; ends: (2/2)*(2/3)
+        assert!((c[1] - 1.0).abs() < 1e-12);
+        assert!((c[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_disconnected() {
+        let g = Csr::from_triplets(3, 3, [(0u32, 1u32, 1.0), (1, 0, 1.0)]);
+        let c = closeness(&g);
+        assert_eq!(c[2], 0.0);
+        // vertex 0 reaches 1 of 2 others at distance 1: (1/2)*(1/1) = 0.5
+        assert!((c[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betweenness_path() {
+        let bc = betweenness(&path3(), true);
+        assert!((bc[1] - 1.0).abs() < 1e-12, "middle carries the one pair");
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[2], 0.0);
+    }
+
+    #[test]
+    fn betweenness_star() {
+        let bc = betweenness(&star5(), true);
+        // hub lies on all C(4,2)=6 leaf pairs
+        assert!((bc[0] - 6.0).abs() < 1e-12);
+        for v in 1..5 {
+            assert_eq!(bc[v], 0.0);
+        }
+    }
+
+    #[test]
+    fn betweenness_cycle_symmetric() {
+        // C4: all vertices equivalent
+        let mut t = Vec::new();
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (2, 3), (3, 0)] {
+            t.push((u, v, 1.0));
+            t.push((v, u, 1.0));
+        }
+        let bc = betweenness(&Csr::from_triplets(4, 4, t), true);
+        for w in bc.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-12);
+        }
+        // each opposite pair has 2 shortest paths, each middle vertex carries 1/2
+        assert!((bc[0] - 0.5).abs() < 1e-12, "{bc:?}");
+    }
+}

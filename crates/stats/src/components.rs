@@ -1,0 +1,138 @@
+//! Connected components via union-find.
+
+use hin_linalg::Csr;
+
+/// Result of a connected-components computation.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component id of each vertex (ids are dense `0..count`).
+    pub labels: Vec<usize>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of each component.
+    pub sizes: Vec<usize>,
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+/// Weakly connected components of the graph (edge direction ignored).
+pub fn connected_components(adj: &Csr) -> Components {
+    let n = adj.nrows();
+    let mut uf = UnionFind::new(n);
+    for (u, v, _) in adj.iter() {
+        uf.union(u as usize, v as usize);
+    }
+    let mut remap = vec![usize::MAX; n];
+    let mut labels = vec![0usize; n];
+    let mut sizes = Vec::new();
+    for v in 0..n {
+        let root = uf.find(v);
+        if remap[root] == usize::MAX {
+            remap[root] = sizes.len();
+            sizes.push(0);
+        }
+        labels[v] = remap[root];
+        sizes[labels[v]] += 1;
+    }
+    Components {
+        labels,
+        count: sizes.len(),
+        sizes,
+    }
+}
+
+/// Vertices of the largest component (ties broken by lowest component id).
+pub fn largest_component(adj: &Csr) -> Vec<u32> {
+    let comps = connected_components(adj);
+    let Some((target, _)) = comps
+        .sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, usize::MAX - i))
+    else {
+        return Vec::new();
+    };
+    (0..adj.nrows() as u32)
+        .filter(|&v| comps.labels[v as usize] == target)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_components() -> Csr {
+        // 0-1-2 path, 3-4 edge, 5 isolated
+        let mut t = Vec::new();
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (3, 4)] {
+            t.push((u, v, 1.0));
+            t.push((v, u, 1.0));
+        }
+        Csr::from_triplets(6, 6, t)
+    }
+
+    #[test]
+    fn counts_and_sizes() {
+        let c = connected_components(&two_components());
+        assert_eq!(c.count, 3);
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert_eq!(c.labels[0], c.labels[2]);
+        assert_ne!(c.labels[0], c.labels[3]);
+    }
+
+    #[test]
+    fn largest() {
+        assert_eq!(largest_component(&two_components()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn directed_edges_treated_as_undirected() {
+        let g = Csr::from_triplets(3, 3, [(0u32, 1u32, 1.0), (2, 1, 1.0)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = connected_components(&Csr::zeros(0, 0));
+        assert_eq!(c.count, 0);
+        assert!(largest_component(&Csr::zeros(0, 0)).is_empty());
+    }
+}

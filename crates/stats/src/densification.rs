@@ -1,0 +1,112 @@
+//! Densification power law fitting for dynamic networks (tutorial
+//! §2(a)iii).
+//!
+//! Growing real networks obey `E(t) ∝ N(t)^a` with `1 < a < 2`; fitting
+//! `log E` against `log N` across snapshots recovers the densification
+//! exponent `a`.
+
+use hin_linalg::solve::linear_fit;
+
+/// A fitted densification law `E = c · N^a`.
+#[derive(Clone, Debug)]
+pub struct DensificationFit {
+    /// The densification exponent `a`.
+    pub exponent: f64,
+    /// The multiplicative constant `c`.
+    pub constant: f64,
+    /// Coefficient of determination of the log-log fit.
+    pub r_squared: f64,
+}
+
+/// Fit the densification law to `(nodes, edges)` snapshots. Snapshots with
+/// zero nodes or edges are skipped. Returns `None` with fewer than two
+/// usable snapshots or a degenerate fit.
+pub fn densification_exponent(snapshots: &[(usize, usize)]) -> Option<DensificationFit> {
+    let pts: Vec<(f64, f64)> = snapshots
+        .iter()
+        .filter(|&&(n, e)| n > 0 && e > 0)
+        .map(|&(n, e)| ((n as f64).ln(), (e as f64).ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+    let (intercept, slope) = linear_fit(&xs, &ys)?;
+
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| {
+            let pred = intercept + slope * x;
+            (y - pred) * (y - pred)
+        })
+        .sum();
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    Some(DensificationFit {
+        exponent: slope,
+        constant: intercept.exp(),
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        // E = 2 N^1.5
+        let snaps: Vec<(usize, usize)> = (1..=10)
+            .map(|i| {
+                let n = i * 100;
+                let e = (2.0 * (n as f64).powf(1.5)).round() as usize;
+                (n, e)
+            })
+            .collect();
+        let fit = densification_exponent(&snaps).expect("fit");
+        assert!((fit.exponent - 1.5).abs() < 0.01, "{}", fit.exponent);
+        assert!((fit.constant - 2.0).abs() < 0.1, "{}", fit.constant);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn linear_growth_has_exponent_one() {
+        let snaps: Vec<(usize, usize)> = (1..=8).map(|i| (i * 50, i * 150)).collect();
+        let fit = densification_exponent(&snaps).expect("fit");
+        assert!((fit.exponent - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(densification_exponent(&[]).is_none());
+        assert!(densification_exponent(&[(10, 20)]).is_none());
+        assert!(densification_exponent(&[(0, 0), (0, 5), (5, 0)]).is_none());
+        // identical snapshots → vertical fit impossible
+        assert!(densification_exponent(&[(10, 20), (10, 20)]).is_none());
+    }
+
+    #[test]
+    fn forest_fire_densifies() {
+        let (_, snaps) = hin_synth::forest_fire(&hin_synth::GrowthConfig {
+            n: 1500,
+            p_forward: 0.55,
+            snapshots: 12,
+            seed: 4,
+        });
+        let pairs: Vec<(usize, usize)> = snaps.iter().map(|s| (s.nodes, s.edges)).collect();
+        let fit = densification_exponent(&pairs).expect("fit");
+        assert!(
+            fit.exponent > 1.0,
+            "forest fire should superlinearly densify, got {}",
+            fit.exponent
+        );
+        assert!(fit.r_squared > 0.9);
+    }
+}

@@ -1,0 +1,30 @@
+//! Network measurement: the elementary analysis methods of tutorial §2(a).
+//!
+//! Covers what the tutorial lists under "measuring information networks":
+//! density, connectivity, centrality and reachability ([`basic`],
+//! [`components`], [`paths`], [`centrality`], [`triangles`]), the general
+//! statistical behaviour of networks — power-law degree distributions
+//! ([`powerlaw`]) and the small-world phenomenon ([`smallworld`]) — and the
+//! densification of dynamic networks ([`densification`]).
+//!
+//! All functions take a [`hin_linalg::Csr`] adjacency matrix; heterogeneous
+//! networks are measured per relation or through
+//! `hin_core::projection` views.
+
+pub mod basic;
+pub mod centrality;
+pub mod components;
+pub mod densification;
+pub mod paths;
+pub mod powerlaw;
+pub mod smallworld;
+pub mod triangles;
+
+pub use basic::{degree_histogram, density, DegreeStats};
+pub use centrality::{betweenness, closeness, degree_centrality};
+pub use components::{connected_components, largest_component, Components};
+pub use densification::{densification_exponent, DensificationFit};
+pub use paths::{avg_shortest_path, bfs_distances, effective_diameter, reachable_within};
+pub use powerlaw::{fit_power_law, PowerLawFit};
+pub use smallworld::{small_world_sigma, SmallWorld};
+pub use triangles::{global_clustering_coefficient, local_clustering_coefficients};

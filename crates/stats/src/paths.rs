@@ -1,0 +1,141 @@
+//! BFS reachability, average shortest path and effective diameter.
+
+use hin_linalg::Csr;
+
+/// Unweighted BFS distances from `source`; unreachable vertices get
+/// `usize::MAX`.
+pub fn bfs_distances(adj: &Csr, source: u32) -> Vec<usize> {
+    let n = adj.nrows();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in adj.row_indices(u as usize) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Number of vertices reachable from `source` within `hops` steps
+/// (including the source itself).
+pub fn reachable_within(adj: &Csr, source: u32, hops: usize) -> usize {
+    bfs_distances(adj, source)
+        .iter()
+        .filter(|&&d| d <= hops)
+        .count()
+}
+
+/// Average shortest-path length over connected pairs, estimated from BFS
+/// trees rooted at up to `sample` deterministic sources (stride sampling).
+/// Returns `None` when no connected pair exists.
+pub fn avg_shortest_path(adj: &Csr, sample: usize) -> Option<f64> {
+    let n = adj.nrows();
+    if n < 2 {
+        return None;
+    }
+    let stride = (n / sample.max(1)).max(1);
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for s in (0..n).step_by(stride) {
+        for (v, d) in bfs_distances(adj, s as u32).into_iter().enumerate() {
+            if d != usize::MAX && d > 0 && v != s {
+                total += d;
+                pairs += 1;
+            }
+        }
+    }
+    (pairs > 0).then(|| total as f64 / pairs as f64)
+}
+
+/// Effective diameter: the smallest `d` such that at least `quantile`
+/// (e.g. 0.9) of connected pairs are within distance `d`, estimated from
+/// stride-sampled BFS trees. Returns `None` for graphs without connected
+/// pairs.
+pub fn effective_diameter(adj: &Csr, quantile: f64, sample: usize) -> Option<usize> {
+    assert!((0.0..=1.0).contains(&quantile), "quantile in [0,1]");
+    let n = adj.nrows();
+    if n < 2 {
+        return None;
+    }
+    let stride = (n / sample.max(1)).max(1);
+    let mut all: Vec<usize> = Vec::new();
+    for s in (0..n).step_by(stride) {
+        all.extend(
+            bfs_distances(adj, s as u32)
+                .into_iter()
+                .filter(|&d| d != usize::MAX && d > 0),
+        );
+    }
+    if all.is_empty() {
+        return None;
+    }
+    all.sort_unstable();
+    let idx = ((all.len() as f64 * quantile).ceil() as usize)
+        .saturating_sub(1)
+        .min(all.len() - 1);
+    Some(all[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Csr {
+        let mut t = Vec::new();
+        for u in 0u32..4 {
+            t.push((u, u + 1, 1.0));
+            t.push((u + 1, u, 1.0));
+        }
+        Csr::from_triplets(5, 5, t)
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let d = bfs_distances(&path5(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d2 = bfs_distances(&path5(), 2);
+        assert_eq!(d2, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = Csr::from_triplets(3, 3, [(0u32, 1u32, 1.0), (1, 0, 1.0)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn reachability_counts() {
+        let g = path5();
+        assert_eq!(reachable_within(&g, 0, 0), 1);
+        assert_eq!(reachable_within(&g, 0, 2), 3);
+        assert_eq!(reachable_within(&g, 2, 10), 5);
+    }
+
+    #[test]
+    fn exact_avg_path_of_p5() {
+        // exact average over ordered connected pairs of P5 = 2.0
+        let avg = avg_shortest_path(&path5(), 5).unwrap();
+        assert!((avg - 2.0).abs() < 1e-12, "{avg}");
+    }
+
+    #[test]
+    fn effective_diameter_p5() {
+        assert_eq!(effective_diameter(&path5(), 1.0, 5), Some(4));
+        // distance multiset over all ordered pairs: 8×1, 6×2, 4×3, 2×4 —
+        // the smallest d covering ≥50% of pairs is 2
+        assert_eq!(effective_diameter(&path5(), 0.5, 5), Some(2));
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        assert_eq!(avg_shortest_path(&Csr::zeros(1, 1), 1), None);
+        assert_eq!(effective_diameter(&Csr::zeros(3, 3), 0.9, 3), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Small-world diagnostics.
+//!
+//! A network is small-world when it is far more clustered than a random
+//! graph of equal size/density while keeping comparably short paths.
+//! The standard index: `σ = (C/C_rand) / (L/L_rand)` with `C_rand ≈ k/n`
+//! and `L_rand ≈ ln n / ln k` for an Erdős–Rényi reference.
+
+use hin_linalg::Csr;
+
+use crate::paths::avg_shortest_path;
+use crate::triangles::global_clustering_coefficient;
+
+/// Small-world measurements of a graph.
+#[derive(Clone, Debug)]
+pub struct SmallWorld {
+    /// Global clustering coefficient of the graph.
+    pub clustering: f64,
+    /// Average shortest path length (sampled).
+    pub avg_path: f64,
+    /// Analytic clustering of the Erdős–Rényi reference.
+    pub random_clustering: f64,
+    /// Analytic average path of the Erdős–Rényi reference.
+    pub random_path: f64,
+    /// The small-world index σ; `> 1` indicates small-world structure.
+    pub sigma: f64,
+}
+
+/// Compute the small-world index of a symmetric adjacency matrix, sampling
+/// up to `path_sample` BFS roots. Returns `None` for graphs that are too
+/// small/sparse to compare (mean degree ≤ 1 or no connected pairs).
+pub fn small_world_sigma(adj: &Csr, path_sample: usize) -> Option<SmallWorld> {
+    let n = adj.nrows();
+    if n < 3 {
+        return None;
+    }
+    let mean_degree = adj.nnz() as f64 / n as f64;
+    if mean_degree <= 1.0 {
+        return None;
+    }
+    let clustering = global_clustering_coefficient(adj);
+    let avg_path = avg_shortest_path(adj, path_sample)?;
+    let random_clustering = mean_degree / n as f64;
+    let random_path = (n as f64).ln() / mean_degree.ln();
+    if random_clustering <= 0.0 || random_path <= 0.0 || avg_path <= 0.0 {
+        return None;
+    }
+    let sigma = (clustering / random_clustering) / (avg_path / random_path);
+    Some(SmallWorld {
+        clustering,
+        avg_path,
+        random_clustering,
+        random_path,
+        sigma,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Watts–Strogatz-style ring: each vertex linked to k nearest neighbours,
+    /// plus a few deterministic chords.
+    fn ring_with_chords(n: usize, k: usize, chords: usize) -> Csr {
+        let mut t = Vec::new();
+        for v in 0..n {
+            for j in 1..=k / 2 {
+                let w = (v + j) % n;
+                t.push((v as u32, w as u32, 1.0));
+                t.push((w as u32, v as u32, 1.0));
+            }
+        }
+        for c in 0..chords {
+            let u = (c * 97) % n;
+            let w = (u + n / 2) % n;
+            t.push((u as u32, w as u32, 1.0));
+            t.push((w as u32, u as u32, 1.0));
+        }
+        Csr::from_triplets(n, n, t)
+    }
+
+    #[test]
+    fn ring_lattice_with_shortcuts_is_small_world() {
+        let g = ring_with_chords(200, 6, 10);
+        let sw = small_world_sigma(&g, 50).expect("measurable");
+        assert!(sw.clustering > 0.4, "lattice clustering {}", sw.clustering);
+        assert!(sw.sigma > 1.5, "sigma {}", sw.sigma);
+    }
+
+    #[test]
+    fn sparse_graph_rejected() {
+        // a path has mean degree < 2 but > 1... use a star of 2 edges
+        let g = Csr::from_triplets(4, 4, [(0u32, 1u32, 1.0), (1, 0, 1.0)]);
+        assert!(small_world_sigma(&g, 4).is_none());
+    }
+
+    #[test]
+    fn tiny_graph_rejected() {
+        assert!(small_world_sigma(&Csr::zeros(2, 2), 2).is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! Triangle counting and clustering coefficients.
+
+use hin_linalg::Csr;
+
+/// Local clustering coefficient of every vertex: triangles through `v`
+/// divided by `deg(v)·(deg(v)−1)/2`. Input must be a symmetric adjacency
+/// matrix (undirected graph); weights are ignored.
+pub fn local_clustering_coefficients(adj: &Csr) -> Vec<f64> {
+    let n = adj.nrows();
+    (0..n)
+        .map(|v| {
+            let neigh = adj.row_indices(v);
+            let d = neigh.len();
+            if d < 2 {
+                return 0.0;
+            }
+            let mut links = 0usize;
+            for (i, &u) in neigh.iter().enumerate() {
+                let u_row = adj.row_indices(u as usize);
+                for &w in &neigh[i + 1..] {
+                    if u_row.binary_search(&w).is_ok() {
+                        links += 1;
+                    }
+                }
+            }
+            2.0 * links as f64 / (d * (d - 1)) as f64
+        })
+        .collect()
+}
+
+/// Global (average) clustering coefficient: mean of local coefficients over
+/// vertices with degree ≥ 2 (the Watts–Strogatz convention).
+pub fn global_clustering_coefficient(adj: &Csr) -> f64 {
+    let local = local_clustering_coefficients(adj);
+    let eligible: Vec<f64> = (0..adj.nrows())
+        .filter(|&v| adj.row_nnz(v) >= 2)
+        .map(|v| local[v])
+        .collect();
+    if eligible.is_empty() {
+        0.0
+    } else {
+        eligible.iter().sum::<f64>() / eligible.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(edges: &[(u32, u32)], n: usize) -> Csr {
+        let mut t = Vec::new();
+        for &(u, v) in edges {
+            t.push((u, v, 1.0));
+            t.push((v, u, 1.0));
+        }
+        Csr::from_triplets(n, n, t)
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = sym(&[(0, 1), (1, 2), (0, 2)], 3);
+        let local = local_clustering_coefficients(&g);
+        assert_eq!(local, vec![1.0, 1.0, 1.0]);
+        assert_eq!(global_clustering_coefficient(&g), 1.0);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let g = sym(&[(0, 1), (1, 2)], 3);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn square_with_diagonal() {
+        // 0-1-2-3-0 plus diagonal 0-2: vertices 1 and 3 have cc=1,
+        // vertices 0 and 2 have degree 3 with two closed pairs of three
+        let g = sym(&[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], 4);
+        let local = local_clustering_coefficients(&g);
+        assert!((local[1] - 1.0).abs() < 1e-12);
+        assert!((local[0] - 2.0 / 3.0).abs() < 1e-12);
+        let expected = (1.0 + 1.0 + 2.0 / 3.0 + 2.0 / 3.0) / 4.0;
+        assert!((global_clustering_coefficient(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_and_leaf_vertices_excluded_from_global() {
+        let g = sym(&[(0, 1)], 3);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+        let local = local_clustering_coefficients(&g);
+        assert_eq!(local[2], 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Merged-identity reference generator for object distinction (DISTINCT,
+//! ICDE'07; tutorial §3(c)).
+//!
+//! DISTINCT's evaluation protocol: take `k` *distinct real authors*, pretend
+//! they all share one name, and measure how well their paper references are
+//! partitioned back into the underlying identities. This generator applies
+//! the identical protocol to the synthetic DBLP data: it picks `k` authors
+//! (from different planted areas, the easy case, or the same area, the hard
+//! case), collects each author's paper incidences as "references", and
+//! retains ground truth.
+
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+use crate::dblp::{DblpConfig, DblpData};
+
+/// One ambiguous reference: a paper authored by the merged name, described
+/// by its link context in the network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReferenceRecord {
+    /// Co-author ids on the paper (excluding the merged identity itself).
+    pub coauthors: Vec<u32>,
+    /// Venue id of the paper.
+    pub venue: u32,
+    /// Term ids of the paper.
+    pub terms: Vec<u32>,
+}
+
+/// Configuration of the ambiguity experiment.
+#[derive(Clone, Debug)]
+pub struct AmbiguousConfig {
+    /// Number of distinct identities merged under one name.
+    pub k_identities: usize,
+    /// Minimum number of references (papers) per chosen identity.
+    pub min_refs: usize,
+    /// When `true` all identities come from the same planted area —
+    /// the hard case where venues/terms no longer separate them.
+    pub same_area: bool,
+    /// Underlying bibliographic world.
+    pub dblp: DblpConfig,
+    /// RNG seed for identity selection.
+    pub seed: u64,
+}
+
+impl Default for AmbiguousConfig {
+    fn default() -> Self {
+        Self {
+            k_identities: 4,
+            min_refs: 5,
+            same_area: false,
+            dblp: DblpConfig::default(),
+            seed: 3,
+        }
+    }
+}
+
+/// A generated ambiguity instance.
+#[derive(Clone, Debug)]
+pub struct AmbiguousData {
+    /// The references attributed to the merged name.
+    pub refs: Vec<ReferenceRecord>,
+    /// Ground-truth identity (0..k) of each reference.
+    pub truth: Vec<usize>,
+    /// The source author ids that were merged.
+    pub merged_authors: Vec<u32>,
+    /// The bibliographic world the references were drawn from.
+    pub world: DblpData,
+}
+
+impl AmbiguousConfig {
+    /// Generate an instance. Identities are chosen among authors with at
+    /// least `min_refs` papers; the generator retries author choice but the
+    /// world is generated once.
+    ///
+    /// # Panics
+    /// Panics when the world does not contain `k_identities` eligible
+    /// authors (make the world bigger or `min_refs` smaller).
+    pub fn generate(&self) -> AmbiguousData {
+        assert!(self.k_identities >= 2, "need at least two identities");
+        let world = self.dblp.generate();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        let ap = world
+            .hin
+            .adjacency(world.author, world.paper)
+            .expect("author-paper relation");
+
+        // eligible authors grouped by area
+        let mut eligible: Vec<u32> = (0..world.author_area.len() as u32)
+            .filter(|&a| ap.row_nnz(a as usize) >= self.min_refs)
+            .collect();
+        eligible.shuffle(&mut rng);
+
+        let merged_authors: Vec<u32> = if self.same_area {
+            let target_area = world.author_area[eligible
+                .first()
+                .copied()
+                .expect("no eligible authors — enlarge the world")
+                as usize];
+            eligible
+                .iter()
+                .copied()
+                .filter(|&a| world.author_area[a as usize] == target_area)
+                .take(self.k_identities)
+                .collect()
+        } else {
+            // spread across areas round-robin for maximal separability
+            let mut picked = Vec::new();
+            let mut area = 0;
+            while picked.len() < self.k_identities {
+                if let Some(&a) = eligible
+                    .iter()
+                    .find(|&&a| world.author_area[a as usize] == area && !picked.contains(&a))
+                {
+                    picked.push(a);
+                } else if let Some(&a) = eligible.iter().find(|a| !picked.contains(a)) {
+                    picked.push(a);
+                } else {
+                    break;
+                }
+                area = (area + 1) % self.dblp.n_areas;
+            }
+            picked
+        };
+        assert_eq!(
+            merged_authors.len(),
+            self.k_identities,
+            "could not find {} eligible authors (have {})",
+            self.k_identities,
+            merged_authors.len()
+        );
+
+        let pa = world
+            .hin
+            .adjacency(world.paper, world.author)
+            .expect("paper-author");
+        let pv = world
+            .hin
+            .adjacency(world.paper, world.venue)
+            .expect("paper-venue");
+        let pt = world
+            .hin
+            .adjacency(world.paper, world.term)
+            .expect("paper-term");
+
+        let mut refs = Vec::new();
+        let mut truth = Vec::new();
+        for (identity, &a) in merged_authors.iter().enumerate() {
+            for &p in ap.row_indices(a as usize) {
+                let coauthors: Vec<u32> = pa
+                    .row_indices(p as usize)
+                    .iter()
+                    .copied()
+                    .filter(|&other| other != a)
+                    .collect();
+                let venue = pv.row_indices(p as usize)[0];
+                let terms = pt.row_indices(p as usize).to_vec();
+                refs.push(ReferenceRecord {
+                    coauthors,
+                    venue,
+                    terms,
+                });
+                truth.push(identity);
+            }
+        }
+        // shuffle references so order carries no signal
+        let mut order: Vec<usize> = (0..refs.len()).collect();
+        order.shuffle(&mut rng);
+        let refs = order.iter().map(|&i| refs[i].clone()).collect();
+        let truth = order.iter().map(|&i| truth[i]).collect();
+
+        AmbiguousData {
+            refs,
+            truth,
+            merged_authors,
+            world,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AmbiguousConfig {
+        AmbiguousConfig {
+            k_identities: 3,
+            min_refs: 3,
+            dblp: DblpConfig {
+                n_papers: 1000,
+                authors_per_area: 30,
+                seed: 21,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_refs_with_truth() {
+        let d = cfg().generate();
+        assert_eq!(d.merged_authors.len(), 3);
+        assert_eq!(d.refs.len(), d.truth.len());
+        assert!(d.refs.len() >= 9, "at least min_refs per identity");
+        // truth covers all identities
+        for id in 0..3 {
+            assert!(d.truth.contains(&id));
+        }
+        // references never list the merged author as their own coauthor
+        for (r, &t) in d.refs.iter().zip(&d.truth) {
+            assert!(!r.coauthors.contains(&d.merged_authors[t]));
+        }
+    }
+
+    #[test]
+    fn different_area_identities_have_distinct_venues() {
+        let d = cfg().generate();
+        // identities from different areas should mostly use different venues
+        let mut per_identity_venues: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        for (r, &t) in d.refs.iter().zip(&d.truth) {
+            per_identity_venues[t].push(d.world.venue_area[r.venue as usize] as u32);
+        }
+        let dominant: Vec<u32> = per_identity_venues
+            .iter()
+            .map(|vs| {
+                let mut counts = std::collections::HashMap::new();
+                for &v in vs {
+                    *counts.entry(v).or_insert(0usize) += 1;
+                }
+                counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+            })
+            .collect();
+        let mut uniq = dominant.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() >= 2, "identities should differ in venue area");
+    }
+
+    #[test]
+    fn same_area_mode() {
+        let mut c = cfg();
+        c.same_area = true;
+        let d = c.generate();
+        let areas: Vec<usize> = d
+            .merged_authors
+            .iter()
+            .map(|&a| d.world.author_area[a as usize])
+            .collect();
+        assert!(areas.windows(2).all(|w| w[0] == w[1]));
+    }
+}

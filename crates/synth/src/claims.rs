@@ -1,0 +1,203 @@
+//! Conflicting-claims corpus generator for the veracity-analysis
+//! experiments (TruthFinder, TKDE'08; tutorial §3(d)).
+//!
+//! TruthFinder's evaluation measures how accurately true facts are
+//! recovered from a websites×facts claim matrix in which sources differ in
+//! reliability. The original book-author corpus is proprietary; this
+//! generator controls the exact variables the experiment sweeps — source
+//! reliability mix, coverage, number of conflicting alternatives — and keeps
+//! numeric fact values so that *implication between similar facts* (a core
+//! TruthFinder mechanism) is exercised.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One claim: `source` asserts that `object` has value `value`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Claim {
+    /// Claiming source (website) id.
+    pub source: u32,
+    /// Object (e.g. a book) id.
+    pub object: u32,
+    /// Claimed value (e.g. an encoded author list).
+    pub value: f64,
+}
+
+/// Configuration of the claims generator.
+#[derive(Clone, Debug)]
+pub struct ClaimsConfig {
+    /// Number of objects about which facts are claimed.
+    pub n_objects: usize,
+    /// Number of sources.
+    pub n_sources: usize,
+    /// Fraction of sources that are reliable.
+    pub frac_good: f64,
+    /// Probability a *good* source states the true value.
+    pub reliability_good: f64,
+    /// Probability a *bad* source states the true value.
+    pub reliability_bad: f64,
+    /// Probability a given source makes a claim about a given object.
+    pub coverage: f64,
+    /// Number of distinct false alternatives floating around per object.
+    pub n_false_alternatives: usize,
+    /// Standard deviation of "near-miss" errors: with probability 1/2 an
+    /// erroneous claim is a small perturbation of the truth rather than a
+    /// wild alternative (exercises TruthFinder's implication term).
+    pub near_miss_sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClaimsConfig {
+    fn default() -> Self {
+        Self {
+            n_objects: 200,
+            n_sources: 40,
+            frac_good: 0.5,
+            reliability_good: 0.9,
+            reliability_bad: 0.3,
+            coverage: 0.35,
+            n_false_alternatives: 3,
+            near_miss_sigma: 0.5,
+            seed: 17,
+        }
+    }
+}
+
+/// A generated claims corpus with ground truth.
+#[derive(Clone, Debug)]
+pub struct ClaimsData {
+    /// Number of sources.
+    pub n_sources: usize,
+    /// Number of objects.
+    pub n_objects: usize,
+    /// All claims.
+    pub claims: Vec<Claim>,
+    /// True value per object.
+    pub true_value: Vec<f64>,
+    /// Whether each source was generated as reliable.
+    pub source_is_good: Vec<bool>,
+}
+
+impl ClaimsConfig {
+    /// Generate a corpus.
+    pub fn generate(&self) -> ClaimsData {
+        assert!(self.n_objects > 0 && self.n_sources > 0, "degenerate config");
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        // true values well separated on a grid so "wild" alternatives are
+        // unambiguous, near-misses are close
+        let true_value: Vec<f64> = (0..self.n_objects).map(|o| (o as f64) * 10.0).collect();
+        // fixed per-object false alternatives (shared across sources, the
+        // way a wrong fact propagates between sites)
+        let alternatives: Vec<Vec<f64>> = (0..self.n_objects)
+            .map(|o| {
+                (0..self.n_false_alternatives)
+                    .map(|a| true_value[o] + 3.0 + a as f64 * 2.0 + rng.gen::<f64>())
+                    .collect()
+            })
+            .collect();
+
+        let n_good = (self.n_sources as f64 * self.frac_good).round() as usize;
+        let source_is_good: Vec<bool> = (0..self.n_sources).map(|s| s < n_good).collect();
+
+        let mut claims = Vec::new();
+        for s in 0..self.n_sources {
+            let reliability = if source_is_good[s] {
+                self.reliability_good
+            } else {
+                self.reliability_bad
+            };
+            for o in 0..self.n_objects {
+                if rng.gen::<f64>() >= self.coverage {
+                    continue;
+                }
+                let value = if rng.gen::<f64>() < reliability {
+                    true_value[o]
+                } else if rng.gen::<bool>() && self.near_miss_sigma > 0.0 {
+                    // near miss: perturbed truth (partially correct claim)
+                    let z: f64 = {
+                        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        let u2: f64 = rng.gen();
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                    };
+                    true_value[o] + z * self.near_miss_sigma
+                } else {
+                    let alts = &alternatives[o];
+                    if alts.is_empty() {
+                        true_value[o] + 5.0
+                    } else {
+                        alts[rng.gen_range(0..alts.len())]
+                    }
+                };
+                claims.push(Claim {
+                    source: s as u32,
+                    object: o as u32,
+                    value,
+                });
+            }
+        }
+        ClaimsData {
+            n_sources: self.n_sources,
+            n_objects: self.n_objects,
+            claims,
+            true_value,
+            source_is_good,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shape() {
+        let d = ClaimsConfig::default().generate();
+        assert_eq!(d.true_value.len(), 200);
+        assert_eq!(d.source_is_good.len(), 40);
+        assert_eq!(d.source_is_good.iter().filter(|&&g| g).count(), 20);
+        // coverage 0.35 over 40*200 pairs → roughly 2800 claims
+        assert!(d.claims.len() > 2000 && d.claims.len() < 3600, "{}", d.claims.len());
+        for c in &d.claims {
+            assert!((c.source as usize) < 40 && (c.object as usize) < 200);
+        }
+    }
+
+    #[test]
+    fn good_sources_are_more_accurate() {
+        let d = ClaimsConfig::default().generate();
+        let mut good = (0usize, 0usize);
+        let mut bad = (0usize, 0usize);
+        for c in &d.claims {
+            let correct = (c.value - d.true_value[c.object as usize]).abs() < 1e-9;
+            let counter = if d.source_is_good[c.source as usize] {
+                &mut good
+            } else {
+                &mut bad
+            };
+            counter.0 += correct as usize;
+            counter.1 += 1;
+        }
+        let acc_good = good.0 as f64 / good.1 as f64;
+        let acc_bad = bad.0 as f64 / bad.1 as f64;
+        assert!(acc_good > 0.8 && acc_bad < 0.5, "{acc_good} vs {acc_bad}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ClaimsConfig::default().generate();
+        let b = ClaimsConfig::default().generate();
+        assert_eq!(a.claims, b.claims);
+    }
+
+    #[test]
+    fn zero_alternatives_still_generates() {
+        let d = ClaimsConfig {
+            n_false_alternatives: 0,
+            ..Default::default()
+        }
+        .generate();
+        assert!(!d.claims.is_empty());
+    }
+}

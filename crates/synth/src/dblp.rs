@@ -1,0 +1,426 @@
+//! DBLP-like bibliographic network generator.
+//!
+//! Substitute for the DBLP datasets used by RankClus (EDBT'09), NetClus
+//! (KDD'09), PathSim and the tutorial's case studies. Generates a
+//! star-schema network (papers at the center; authors, venues and terms as
+//! attribute arms) with `n_areas` planted research areas. Every published
+//! experiment on DBLP measures either (a) recovery of area structure
+//! (accuracy/NMI against ground truth) or (b) within-area ranking quality —
+//! both of which depend only on the schema, the degree skew and the planted
+//! mixture, all reproduced here.
+
+use hin_core::{BiNet, Hin, HinBuilder, RelationId, StarNet, TypeId};
+use hin_linalg::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::random::{categorical, dirichlet, Zipf};
+
+/// Configuration for the DBLP-like generator.
+#[derive(Clone, Debug)]
+pub struct DblpConfig {
+    /// Number of planted research areas (clusters).
+    pub n_areas: usize,
+    /// Venues per area.
+    pub venues_per_area: usize,
+    /// Authors per area.
+    pub authors_per_area: usize,
+    /// Area-specific terms per area.
+    pub terms_per_area: usize,
+    /// Background terms shared by all areas (stop-word-like).
+    pub shared_terms: usize,
+    /// Total papers.
+    pub n_papers: usize,
+    /// Authors per paper: inclusive range.
+    pub authors_per_paper: (usize, usize),
+    /// Terms per paper: inclusive range.
+    pub terms_per_paper: (usize, usize),
+    /// Probability that any individual link (venue/author/term choice)
+    /// defects to a uniformly random area — the cluster-separation knob.
+    pub noise: f64,
+    /// Probability a term is drawn from the shared background vocabulary.
+    pub background_term_rate: f64,
+    /// Publication years spanned (papers are spread over `0..years`).
+    pub years: usize,
+    /// Zipf exponent for within-area popularity of venues/authors/terms.
+    pub zipf_exponent: f64,
+    /// Dirichlet concentration for per-paper area mixtures (small values
+    /// make papers near single-area).
+    pub area_mixture_alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        Self {
+            n_areas: 4,
+            venues_per_area: 5,
+            authors_per_area: 100,
+            terms_per_area: 60,
+            shared_terms: 40,
+            n_papers: 2_000,
+            authors_per_paper: (1, 4),
+            terms_per_paper: (4, 8),
+            noise: 0.08,
+            background_term_rate: 0.25,
+            years: 10,
+            zipf_exponent: 0.9,
+            area_mixture_alpha: 0.08,
+            seed: 42,
+        }
+    }
+}
+
+/// Generated bibliographic network plus ground truth.
+#[derive(Clone, Debug)]
+pub struct DblpData {
+    /// The star-schema network.
+    pub hin: Hin,
+    /// Type handle: papers (the star center).
+    pub paper: TypeId,
+    /// Type handle: authors.
+    pub author: TypeId,
+    /// Type handle: venues.
+    pub venue: TypeId,
+    /// Type handle: terms.
+    pub term: TypeId,
+    /// Relation handle: paper → author.
+    pub written_by: RelationId,
+    /// Relation handle: paper → venue.
+    pub published_in: RelationId,
+    /// Relation handle: paper → term.
+    pub mentions: RelationId,
+    /// Planted area of each paper (dominant mixture component).
+    pub paper_area: Vec<usize>,
+    /// Planted area of each author.
+    pub author_area: Vec<usize>,
+    /// Planted area of each venue.
+    pub venue_area: Vec<usize>,
+    /// Planted area of each term; `None` for shared background terms.
+    pub term_area: Vec<Option<usize>>,
+    /// Publication year of each paper in `0..config.years`.
+    pub paper_year: Vec<u32>,
+    /// The configuration that produced the data.
+    pub config: DblpConfig,
+}
+
+impl DblpConfig {
+    /// Generate a dataset.
+    ///
+    /// # Panics
+    /// Panics on degenerate configuration (zero areas/papers, inverted
+    /// ranges).
+    pub fn generate(&self) -> DblpData {
+        assert!(self.n_areas > 0 && self.n_papers > 0, "degenerate config");
+        assert!(
+            self.authors_per_paper.0 <= self.authors_per_paper.1
+                && self.terms_per_paper.0 <= self.terms_per_paper.1,
+            "inverted per-paper ranges"
+        );
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let venue = b.add_type("venue");
+        let term = b.add_type("term");
+        let written_by = b.add_relation("written_by", paper, author);
+        let published_in = b.add_relation("published_in", paper, venue);
+        let mentions = b.add_relation("mentions", paper, term);
+
+        // node arenas, grouped by area so that global id = area * per_area + rank
+        let mut venue_area = Vec::new();
+        let mut author_area = Vec::new();
+        let mut term_area: Vec<Option<usize>> = Vec::new();
+        for a in 0..self.n_areas {
+            for i in 0..self.venues_per_area {
+                b.add_node(venue, &format!("venue_a{a}_{i}"));
+                venue_area.push(a);
+            }
+        }
+        for a in 0..self.n_areas {
+            for i in 0..self.authors_per_area {
+                b.add_node(author, &format!("author_a{a}_{i}"));
+                author_area.push(a);
+            }
+        }
+        for a in 0..self.n_areas {
+            for i in 0..self.terms_per_area {
+                b.add_node(term, &format!("term_a{a}_{i}"));
+                term_area.push(Some(a));
+            }
+        }
+        for i in 0..self.shared_terms {
+            b.add_node(term, &format!("term_shared_{i}"));
+            term_area.push(None);
+        }
+
+        let venue_zipf = Zipf::new(self.venues_per_area, self.zipf_exponent);
+        let author_zipf = Zipf::new(self.authors_per_area, self.zipf_exponent);
+        let term_zipf = Zipf::new(self.terms_per_area, self.zipf_exponent);
+        let shared_zipf = (self.shared_terms > 0)
+            .then(|| Zipf::new(self.shared_terms, self.zipf_exponent));
+
+        let mut paper_area = Vec::with_capacity(self.n_papers);
+        let mut paper_year = Vec::with_capacity(self.n_papers);
+
+        // helper: pick the effective area for one link, with noise defection
+        let n_areas = self.n_areas;
+        let noise = self.noise;
+
+        for p in 0..self.n_papers {
+            // per-paper area mixture; dominant component is the label
+            let mix = dirichlet(&mut rng, n_areas, self.area_mixture_alpha);
+            let area = mix
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite"))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            paper_area.push(area);
+            let year = (p * self.years / self.n_papers) as u32;
+            paper_year.push(year);
+            let pid = b.add_node(paper, &format!("paper_{p}")).id;
+
+            let link_area = |rng: &mut SmallRng| -> usize {
+                if rng.gen::<f64>() < noise {
+                    rng.gen_range(0..n_areas)
+                } else {
+                    categorical(rng, &mix)
+                }
+            };
+
+            // venue
+            let va = link_area(&mut rng);
+            let v = (va * self.venues_per_area + venue_zipf.sample(&mut rng)) as u32;
+            b.add_edge(published_in, pid, v, 1.0);
+
+            // authors: distinct within the paper
+            let n_auth = rng.gen_range(self.authors_per_paper.0..=self.authors_per_paper.1);
+            let mut chosen: Vec<u32> = Vec::with_capacity(n_auth);
+            let mut guard = 0;
+            while chosen.len() < n_auth && guard < 50 * n_auth.max(1) {
+                let aa = link_area(&mut rng);
+                let cand = (aa * self.authors_per_area + author_zipf.sample(&mut rng)) as u32;
+                if !chosen.contains(&cand) {
+                    chosen.push(cand);
+                }
+                guard += 1;
+            }
+            for &a_id in &chosen {
+                b.add_edge(written_by, pid, a_id, 1.0);
+            }
+
+            // terms
+            let n_terms = rng.gen_range(self.terms_per_paper.0..=self.terms_per_paper.1);
+            let shared_base = (n_areas * self.terms_per_area) as u32;
+            for _ in 0..n_terms {
+                let t = if let (true, Some(sz)) = (
+                    rng.gen::<f64>() < self.background_term_rate,
+                    shared_zipf.as_ref(),
+                ) {
+                    shared_base + sz.sample(&mut rng) as u32
+                } else {
+                    let ta = link_area(&mut rng);
+                    (ta * self.terms_per_area + term_zipf.sample(&mut rng)) as u32
+                };
+                b.add_edge(mentions, pid, t, 1.0);
+            }
+        }
+
+        DblpData {
+            hin: b.build(),
+            paper,
+            author,
+            venue,
+            term,
+            written_by,
+            published_in,
+            mentions,
+            paper_area,
+            author_area,
+            venue_area,
+            term_area,
+            paper_year,
+            config: self.clone(),
+        }
+    }
+}
+
+impl DblpData {
+    /// The star view (papers at the center) consumed by NetClus.
+    pub fn star(&self) -> StarNet {
+        StarNet::from_hin_with_center(&self.hin, self.paper).expect("generated star schema")
+    }
+
+    /// The venue×author bi-typed view consumed by RankClus: `W_xy[v][a]` =
+    /// number of papers author `a` published at venue `v`; `W_yy` = weighted
+    /// co-author counts.
+    pub fn venue_author_binet(&self) -> BiNet {
+        let pv = self.hin.adjacency(self.paper, self.venue).expect("rel");
+        let pa = self.hin.adjacency(self.paper, self.author).expect("rel");
+        let wxy = hin_core::projection::through_center(pv, pa);
+        let wyy = hin_core::projection::project(pa);
+        let mut net = BiNet::from_matrix(wxy).with_wyy(wyy);
+        net.x_names = (0..self.hin.node_count(self.venue))
+            .map(|i| {
+                self.hin
+                    .node_name(hin_core::NodeRef {
+                        ty: self.venue,
+                        id: i as u32,
+                    })
+                    .to_string()
+            })
+            .collect();
+        net.y_names = (0..self.hin.node_count(self.author))
+            .map(|i| {
+                self.hin
+                    .node_name(hin_core::NodeRef {
+                        ty: self.author,
+                        id: i as u32,
+                    })
+                    .to_string()
+            })
+            .collect();
+        net
+    }
+
+    /// Weighted co-author network over authors (homogeneous projection).
+    pub fn coauthor_network(&self) -> Csr {
+        let pa = self.hin.adjacency(self.paper, self.author).expect("rel");
+        hin_core::projection::project(pa)
+    }
+
+    /// Restrict the network to papers published in years `0..=max_year`,
+    /// returning cumulative snapshot sizes `(papers, links)` — the input to
+    /// densification analysis.
+    pub fn snapshot_sizes(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.config.years);
+        let pa = self.hin.adjacency(self.paper, self.author).expect("rel");
+        let pv = self.hin.adjacency(self.paper, self.venue).expect("rel");
+        for max_year in 0..self.config.years as u32 {
+            let mut papers = 0usize;
+            let mut links = 0usize;
+            for (p, &y) in self.paper_year.iter().enumerate() {
+                if y <= max_year {
+                    papers += 1;
+                    links += pa.row_nnz(p) + pv.row_nnz(p);
+                }
+            }
+            out.push((papers, links));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DblpData {
+        DblpConfig {
+            n_areas: 3,
+            venues_per_area: 3,
+            authors_per_area: 20,
+            terms_per_area: 15,
+            shared_terms: 10,
+            n_papers: 200,
+            seed: 7,
+            ..Default::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn shapes_and_labels_consistent() {
+        let d = small();
+        assert_eq!(d.hin.node_count(d.paper), 200);
+        assert_eq!(d.hin.node_count(d.venue), 9);
+        assert_eq!(d.hin.node_count(d.author), 60);
+        assert_eq!(d.hin.node_count(d.term), 55);
+        assert_eq!(d.paper_area.len(), 200);
+        assert_eq!(d.venue_area.len(), 9);
+        assert_eq!(d.author_area.len(), 60);
+        assert_eq!(d.term_area.len(), 55);
+        assert_eq!(d.term_area.iter().filter(|t| t.is_none()).count(), 10);
+        assert!(d.paper_area.iter().all(|&a| a < 3));
+    }
+
+    #[test]
+    fn every_paper_has_venue_authors_terms() {
+        let d = small();
+        let pv = d.hin.adjacency(d.paper, d.venue).unwrap();
+        let pa = d.hin.adjacency(d.paper, d.author).unwrap();
+        let pt = d.hin.adjacency(d.paper, d.term).unwrap();
+        for p in 0..200 {
+            assert_eq!(pv.row_nnz(p), 1, "paper {p} venue count");
+            assert!(pa.row_nnz(p) >= 1 && pa.row_nnz(p) <= 4);
+            assert!(pt.row_nnz(p) >= 1, "paper {p} has terms");
+        }
+    }
+
+    #[test]
+    fn low_noise_links_mostly_within_area() {
+        let d = DblpConfig {
+            noise: 0.02,
+            area_mixture_alpha: 0.02,
+            seed: 11,
+            ..DblpConfig::default()
+        }
+        .generate();
+        let pv = d.hin.adjacency(d.paper, d.venue).unwrap();
+        let mut within = 0usize;
+        let mut total = 0usize;
+        for p in 0..d.paper_area.len() {
+            for &v in pv.row_indices(p) {
+                total += 1;
+                if d.venue_area[v as usize] == d.paper_area[p] {
+                    within += 1;
+                }
+            }
+        }
+        assert!(
+            within as f64 / total as f64 > 0.85,
+            "within-area fraction {}",
+            within as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.paper_area, b.paper_area);
+        assert_eq!(a.hin.total_edges(), b.hin.total_edges());
+    }
+
+    #[test]
+    fn star_and_binet_views() {
+        let d = small();
+        let star = d.star();
+        assert_eq!(star.n_center, 200);
+        assert_eq!(star.arm_count(), 3);
+
+        let binet = d.venue_author_binet();
+        assert_eq!(binet.nx, 9);
+        assert_eq!(binet.ny, 60);
+        assert!(binet.total_weight() > 0.0);
+        assert!(binet.wyy.is_some());
+        // total venue-author mass equals total author link mass (each paper
+        // contributes |authors| venue-author pairs via its single venue)
+        let pa = d.hin.adjacency(d.paper, d.author).unwrap();
+        assert_eq!(binet.total_weight(), pa.total());
+    }
+
+    #[test]
+    fn snapshots_grow_monotonically() {
+        let d = small();
+        let snaps = d.snapshot_sizes();
+        assert_eq!(snaps.len(), d.config.years);
+        for w in snaps.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+        assert_eq!(snaps.last().unwrap().0, 200);
+    }
+}

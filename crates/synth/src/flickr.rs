@@ -1,0 +1,262 @@
+//! Flickr-like photo-sharing network generator.
+//!
+//! The tutorial's second case study turns Flickr into an information
+//! network: photos linked to users, tags, groups and comments. This
+//! generator reproduces that star schema with planted *topics* (analogous to
+//! the DBLP research areas) so the same clustering/classification
+//! experiments can run on a second, differently-shaped domain: more arms,
+//! heavier tag reuse, users that span topics more than authors do.
+
+use hin_core::{Hin, HinBuilder, RelationId, StarNet, TypeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::random::{categorical, dirichlet, Zipf};
+
+/// Configuration for the Flickr-like generator.
+#[derive(Clone, Debug)]
+pub struct FlickrConfig {
+    /// Number of planted topics.
+    pub n_topics: usize,
+    /// Users per topic.
+    pub users_per_topic: usize,
+    /// Tags per topic.
+    pub tags_per_topic: usize,
+    /// Groups per topic.
+    pub groups_per_topic: usize,
+    /// Total photos.
+    pub n_photos: usize,
+    /// Tags per photo (inclusive range).
+    pub tags_per_photo: (usize, usize),
+    /// Probability a photo joins a group at all.
+    pub group_rate: f64,
+    /// Link-level noise: probability a link defects to a random topic.
+    pub noise: f64,
+    /// Dirichlet concentration for per-user topic mixtures (users are less
+    /// topic-pure than DBLP authors).
+    pub user_mixture_alpha: f64,
+    /// Zipf exponent for popularity skew.
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlickrConfig {
+    fn default() -> Self {
+        Self {
+            n_topics: 4,
+            users_per_topic: 50,
+            tags_per_topic: 40,
+            groups_per_topic: 6,
+            n_photos: 1_500,
+            tags_per_photo: (2, 6),
+            group_rate: 0.7,
+            noise: 0.1,
+            user_mixture_alpha: 0.3,
+            zipf_exponent: 1.0,
+            seed: 99,
+        }
+    }
+}
+
+/// Generated photo-sharing network plus ground truth.
+#[derive(Clone, Debug)]
+pub struct FlickrData {
+    /// The star-schema network (photos at the center).
+    pub hin: Hin,
+    /// Type handle: photos.
+    pub photo: TypeId,
+    /// Type handle: users.
+    pub user: TypeId,
+    /// Type handle: tags.
+    pub tag: TypeId,
+    /// Type handle: groups.
+    pub group: TypeId,
+    /// Relation handle: photo → user (uploader).
+    pub uploaded_by: RelationId,
+    /// Relation handle: photo → tag.
+    pub tagged: RelationId,
+    /// Relation handle: photo → group.
+    pub in_group: RelationId,
+    /// Planted topic of each photo.
+    pub photo_topic: Vec<usize>,
+    /// Planted dominant topic of each user.
+    pub user_topic: Vec<usize>,
+    /// Planted topic of each tag.
+    pub tag_topic: Vec<usize>,
+    /// Planted topic of each group.
+    pub group_topic: Vec<usize>,
+}
+
+impl FlickrConfig {
+    /// Generate a dataset.
+    pub fn generate(&self) -> FlickrData {
+        assert!(self.n_topics > 0 && self.n_photos > 0, "degenerate config");
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut b = HinBuilder::new();
+        let photo = b.add_type("photo");
+        let user = b.add_type("user");
+        let tag = b.add_type("tag");
+        let group = b.add_type("group");
+        let uploaded_by = b.add_relation("uploaded_by", photo, user);
+        let tagged = b.add_relation("tagged", photo, tag);
+        let in_group = b.add_relation("in_group", photo, group);
+
+        let mut user_topic = Vec::new();
+        let mut tag_topic = Vec::new();
+        let mut group_topic = Vec::new();
+        for t in 0..self.n_topics {
+            for i in 0..self.users_per_topic {
+                b.add_node(user, &format!("user_t{t}_{i}"));
+                user_topic.push(t);
+            }
+        }
+        for t in 0..self.n_topics {
+            for i in 0..self.tags_per_topic {
+                b.add_node(tag, &format!("tag_t{t}_{i}"));
+                tag_topic.push(t);
+            }
+        }
+        for t in 0..self.n_topics {
+            for i in 0..self.groups_per_topic {
+                b.add_node(group, &format!("group_t{t}_{i}"));
+                group_topic.push(t);
+            }
+        }
+
+        // per-user topic mixture: users post mostly (not only) in their topic
+        let user_mixes: Vec<Vec<f64>> = (0..self.n_topics * self.users_per_topic)
+            .map(|u| {
+                let mut mix = dirichlet(&mut rng, self.n_topics, self.user_mixture_alpha);
+                // bias towards the user's home topic
+                mix[user_topic[u]] += 1.0;
+                let s: f64 = mix.iter().sum();
+                mix.iter().map(|m| m / s).collect()
+            })
+            .collect();
+
+        let user_zipf = Zipf::new(self.n_topics * self.users_per_topic, self.zipf_exponent);
+        let tag_zipf = Zipf::new(self.tags_per_topic, self.zipf_exponent);
+        let group_zipf = Zipf::new(self.groups_per_topic, self.zipf_exponent);
+
+        let mut photo_topic = Vec::with_capacity(self.n_photos);
+        for p in 0..self.n_photos {
+            // pick an uploader first (popularity-skewed), then a topic from
+            // the uploader's mixture — photos inherit user interests
+            let uploader = user_zipf.sample(&mut rng);
+            let topic = if rng.gen::<f64>() < self.noise {
+                rng.gen_range(0..self.n_topics)
+            } else {
+                categorical(&mut rng, &user_mixes[uploader])
+            };
+            photo_topic.push(topic);
+            let pid = b.add_node(photo, &format!("photo_{p}")).id;
+            b.add_edge(uploaded_by, pid, uploader as u32, 1.0);
+
+            let n_tags = rng.gen_range(self.tags_per_photo.0..=self.tags_per_photo.1);
+            for _ in 0..n_tags {
+                let tt = if rng.gen::<f64>() < self.noise {
+                    rng.gen_range(0..self.n_topics)
+                } else {
+                    topic
+                };
+                let t = (tt * self.tags_per_topic + tag_zipf.sample(&mut rng)) as u32;
+                b.add_edge(tagged, pid, t, 1.0);
+            }
+
+            if rng.gen::<f64>() < self.group_rate {
+                let gt = if rng.gen::<f64>() < self.noise {
+                    rng.gen_range(0..self.n_topics)
+                } else {
+                    topic
+                };
+                let g = (gt * self.groups_per_topic + group_zipf.sample(&mut rng)) as u32;
+                b.add_edge(in_group, pid, g, 1.0);
+            }
+        }
+
+        FlickrData {
+            hin: b.build(),
+            photo,
+            user,
+            tag,
+            group,
+            uploaded_by,
+            tagged,
+            in_group,
+            photo_topic,
+            user_topic,
+            tag_topic,
+            group_topic,
+        }
+    }
+}
+
+impl FlickrData {
+    /// The star view (photos at the center).
+    pub fn star(&self) -> StarNet {
+        StarNet::from_hin_with_center(&self.hin, self.photo).expect("generated star schema")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let d = FlickrConfig {
+            n_photos: 300,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        assert_eq!(d.hin.node_count(d.photo), 300);
+        assert_eq!(d.hin.node_count(d.user), 200);
+        assert_eq!(d.hin.node_count(d.tag), 160);
+        assert_eq!(d.hin.node_count(d.group), 24);
+        assert_eq!(d.photo_topic.len(), 300);
+        let star = d.star();
+        assert_eq!(star.arm_count(), 3);
+        assert_eq!(star.center_name, "photo");
+    }
+
+    #[test]
+    fn every_photo_has_uploader_and_tags() {
+        let d = FlickrConfig {
+            n_photos: 200,
+            seed: 6,
+            ..Default::default()
+        }
+        .generate();
+        let pu = d.hin.adjacency(d.photo, d.user).unwrap();
+        let pt = d.hin.adjacency(d.photo, d.tag).unwrap();
+        for p in 0..200 {
+            assert_eq!(pu.row_nnz(p), 1);
+            assert!(pt.row_nnz(p) >= 1);
+        }
+    }
+
+    #[test]
+    fn tags_follow_topics_at_low_noise() {
+        let d = FlickrConfig {
+            noise: 0.02,
+            user_mixture_alpha: 0.05,
+            seed: 8,
+            ..Default::default()
+        }
+        .generate();
+        let pt = d.hin.adjacency(d.photo, d.tag).unwrap();
+        let mut within = 0usize;
+        let mut total = 0usize;
+        for p in 0..d.photo_topic.len() {
+            for &t in pt.row_indices(p) {
+                total += 1;
+                if d.tag_topic[t as usize] == d.photo_topic[p] {
+                    within += 1;
+                }
+            }
+        }
+        assert!(within as f64 / total as f64 > 0.85);
+    }
+}

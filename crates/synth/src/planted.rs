@@ -1,0 +1,144 @@
+//! Planted-partition (stochastic block model) homogeneous graphs.
+//!
+//! The evaluation substrate for the homogeneous algorithms of tutorial §2:
+//! SCAN and spectral clustering are scored by how well they recover the
+//! planted blocks as `p_out/p_in` mixing increases.
+
+use hin_linalg::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the planted-partition model.
+#[derive(Clone, Debug)]
+pub struct PlantedConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of planted blocks.
+    pub k: usize,
+    /// Within-block edge probability.
+    pub p_in: f64,
+    /// Cross-block edge probability.
+    pub p_out: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        Self {
+            n: 300,
+            k: 3,
+            p_in: 0.3,
+            p_out: 0.02,
+            seed: 1,
+        }
+    }
+}
+
+/// Generate `(adjacency, labels)` with a symmetric unweighted adjacency
+/// matrix and vertex block labels. Vertices are assigned to blocks in
+/// round-robin order so block sizes differ by at most one.
+///
+/// # Panics
+/// Panics when `n == 0`, `k == 0` or probabilities are outside `[0, 1]`.
+pub fn planted_partition(config: &PlantedConfig) -> (Csr, Vec<usize>) {
+    assert!(config.n > 0 && config.k > 0, "degenerate planted partition");
+    assert!(
+        (0.0..=1.0).contains(&config.p_in) && (0.0..=1.0).contains(&config.p_out),
+        "probabilities must be in [0,1]"
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let labels: Vec<usize> = (0..config.n).map(|v| v % config.k).collect();
+    let mut triplets = Vec::new();
+    for u in 0..config.n {
+        for v in (u + 1)..config.n {
+            let p = if labels[u] == labels[v] {
+                config.p_in
+            } else {
+                config.p_out
+            };
+            if rng.gen::<f64>() < p {
+                triplets.push((u as u32, v as u32, 1.0));
+                triplets.push((v as u32, u as u32, 1.0));
+            }
+        }
+    }
+    (Csr::from_triplets(config.n, config.n, triplets), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_no_self_loops() {
+        let (g, labels) = planted_partition(&PlantedConfig::default());
+        assert!(g.is_symmetric());
+        assert_eq!(labels.len(), 300);
+        for v in 0..g.nrows() {
+            assert_eq!(g.get(v, v), 0.0);
+        }
+    }
+
+    #[test]
+    fn block_structure_visible() {
+        let (g, labels) = planted_partition(&PlantedConfig {
+            n: 200,
+            k: 2,
+            p_in: 0.4,
+            p_out: 0.02,
+            seed: 9,
+        });
+        let mut within = 0.0;
+        let mut across = 0.0;
+        for (u, v, w) in g.iter() {
+            if labels[u as usize] == labels[v as usize] {
+                within += w;
+            } else {
+                across += w;
+            }
+        }
+        assert!(within > 5.0 * across, "within {within} across {across}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let (empty, _) = planted_partition(&PlantedConfig {
+            n: 20,
+            k: 2,
+            p_in: 0.0,
+            p_out: 0.0,
+            seed: 1,
+        });
+        assert_eq!(empty.nnz(), 0);
+        let (full, labels) = planted_partition(&PlantedConfig {
+            n: 20,
+            k: 2,
+            p_in: 1.0,
+            p_out: 0.0,
+            seed: 1,
+        });
+        // every same-block pair is connected
+        for u in 0..20 {
+            for v in 0..20 {
+                if u != v && labels[u] == labels[v] {
+                    assert_eq!(full.get(u, v), 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_blocks() {
+        let (_, labels) = planted_partition(&PlantedConfig {
+            n: 10,
+            k: 3,
+            ..Default::default()
+        });
+        let counts = labels.iter().fold([0usize; 3], |mut acc, &l| {
+            acc[l] += 1;
+            acc
+        });
+        assert_eq!(counts.iter().max().unwrap() - counts.iter().min().unwrap(), 1);
+    }
+}

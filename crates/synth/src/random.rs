@@ -1,0 +1,249 @@
+//! Shared samplers: Zipf, Gamma/Dirichlet, categorical.
+//!
+//! Implemented in-house (rather than via `rand_distr`) to keep the offline
+//! dependency footprint to `rand` itself; the generators only need these
+//! three families.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `0..n` using a precomputed CDF table.
+///
+/// Rank `r` (1-based) has probability ∝ `1 / r^theta`. Table construction is
+/// `O(n)`; sampling is `O(log n)` by binary search. The generators use this
+/// for venue/author/tag popularity skew — the published networks' degree
+/// distributions are heavy-tailed, and cluster-quality results depend on
+/// that skew being present.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `0..n` with exponent `theta >= 0`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(theta >= 0.0 && theta.is_finite(), "bad Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += (r as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Sample an index in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` for the 1-element domain (sampling always returns 0).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Sample from Gamma(shape, 1) by Marsaglia–Tsang, with the `shape < 1`
+/// boost.
+pub fn gamma(rng: &mut impl Rng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // boost: X ~ Gamma(a+1) * U^(1/a)
+        let x = gamma(rng, shape + 1.0);
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return x * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // standard normal via Box–Muller
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Sample a probability vector from a symmetric Dirichlet(α) of dimension
+/// `k`. Small α (< 1) concentrates mass on few coordinates — used to make
+/// papers predominantly single-area with occasional cross-area mixtures.
+pub fn dirichlet(rng: &mut impl Rng, k: usize, alpha: f64) -> Vec<f64> {
+    assert!(k > 0, "dirichlet dimension must be positive");
+    let mut v: Vec<f64> = (0..k).map(|_| gamma(rng, alpha)).collect();
+    let total: f64 = v.iter().sum();
+    if total <= 0.0 {
+        // numerically degenerate: fall back to a one-hot draw
+        let hot = rng.gen_range(0..k);
+        return (0..k).map(|i| if i == hot { 1.0 } else { 0.0 }).collect();
+    }
+    for x in &mut v {
+        *x /= total;
+    }
+    v
+}
+
+/// Sample an index from an unnormalized weight vector.
+///
+/// # Panics
+/// Panics when the weights are empty or sum to zero.
+pub fn categorical(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "categorical needs positive finite mass"
+    );
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Draw `k` distinct samples from `sampler`, giving up gracefully when the
+/// domain is smaller than `k` (returns fewer).
+pub fn distinct_samples(
+    rng: &mut impl Rng,
+    sampler: &Zipf,
+    k: usize,
+    max_tries: usize,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(k);
+    let mut tries = 0;
+    while out.len() < k.min(sampler.len()) && tries < max_tries {
+        let s = sampler.sample(rng);
+        if !out.contains(&s) {
+            out.push(s);
+        }
+        tries += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let z = Zipf::new(100, 1.5);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // rank 1 should dominate rank 10 heavily under theta=1.5
+        assert!(counts[0] > counts[9] * 5, "{} vs {}", counts[0], counts[9]);
+        assert!(counts.iter().sum::<usize>() == 20_000);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5000.0).abs() < 500.0, "non-uniform: {c}");
+        }
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for &shape in &[0.5, 1.0, 3.0] {
+            let n = 30_000;
+            let mean: f64 = (0..n).map(|_| gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(0.5),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for &alpha in &[0.1, 1.0, 10.0] {
+            let v = dirichlet(&mut rng, 5, alpha);
+            assert_eq!(v.len(), 5);
+            assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(v.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_small_alpha_concentrates() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut max_mass = 0.0;
+        for _ in 0..50 {
+            let v = dirichlet(&mut rng, 4, 0.05);
+            max_mass += v.iter().cloned().fold(0.0, f64::max);
+        }
+        assert!(max_mass / 50.0 > 0.9, "alpha=0.05 should be near one-hot");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[categorical(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let p2 = counts[2] as f64 / 30_000.0;
+        assert!((p2 - 0.7).abs() < 0.03);
+    }
+
+    #[test]
+    fn distinct_samples_unique() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let z = Zipf::new(20, 1.0);
+        let s = distinct_samples(&mut rng, &z, 5, 1000);
+        assert_eq!(s.len(), 5);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn distinct_samples_small_domain() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let z = Zipf::new(3, 1.0);
+        let s = distinct_samples(&mut rng, &z, 10, 1000);
+        assert_eq!(s.len(), 3);
+    }
+}

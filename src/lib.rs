@@ -1,0 +1,60 @@
+//! # hin — heterogeneous information network analysis
+//!
+//! A Rust reproduction of the system family surveyed in *"Mining Knowledge
+//! from Databases: An Information Network Analysis Approach"* (Han, Sun,
+//! Yan, Yu — SIGMOD 2010): databases viewed as multi-typed information
+//! networks, and the knowledge-mining algorithms that view enables.
+//!
+//! The facade re-exports every subsystem crate:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | typed network values, builders, schema, bipartite/star views |
+//! | [`linalg`] | dense/CSR matrices, Jacobi & Lanczos eigensolvers |
+//! | [`relational`] | mini relational engine + DB→network extraction |
+//! | [`stats`] | density, centrality, components, power laws, densification |
+//! | [`ranking`] | PageRank, Personalized PageRank, HITS, authority ranking |
+//! | [`similarity`] | SimRank, PPR similarity, meta-paths, PathSim |
+//! | [`clustering`] | k-means, spectral, SCAN, agglomerative + NMI/ARI/F1 |
+//! | [`rankclus`] | RankClus (EDBT'09) |
+//! | [`netclus`] | NetClus (KDD'09) |
+//! | [`cleaning`] | TruthFinder, DISTINCT, reconciliation |
+//! | [`classify`] | GNetMine-style propagation, wvRN baseline |
+//! | [`crossclus`] | CrossClus user-guided multi-relational clustering |
+//! | [`olap`] | network cubes: roll-up, slice, per-cell measures |
+//! | [`synth`] | DBLP/Flickr/claims/planted-partition generators |
+//!
+//! ## Quickstart
+//!
+//! Cluster venues of a bibliographic network while ranking authors within
+//! each cluster:
+//!
+//! ```
+//! use hin::synth::DblpConfig;
+//! use hin::rankclus::{rankclus, RankClusConfig};
+//!
+//! let data = DblpConfig { n_papers: 400, seed: 7, ..Default::default() }.generate();
+//! let net = data.venue_author_binet();
+//! let result = rankclus(&net, &RankClusConfig { k: 4, ..Default::default() });
+//!
+//! assert_eq!(result.assignments.len(), net.nx);
+//! // every cluster carries a rank distribution over authors
+//! for ranks in &result.attr_rank {
+//!     assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+//! }
+//! ```
+
+pub use hin_classify as classify;
+pub use hin_cleaning as cleaning;
+pub use hin_clustering as clustering;
+pub use hin_crossclus as crossclus;
+pub use hin_core as core;
+pub use hin_linalg as linalg;
+pub use hin_netclus as netclus;
+pub use hin_olap as olap;
+pub use hin_ranking as ranking;
+pub use hin_rankclus as rankclus;
+pub use hin_relational as relational;
+pub use hin_similarity as similarity;
+pub use hin_stats as stats;
+pub use hin_synth as synth;

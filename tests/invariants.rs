@@ -1,0 +1,129 @@
+//! Cross-crate property tests: the algebraic invariants every algorithm in
+//! the workspace leans on, checked over randomized graphs.
+
+use proptest::prelude::*;
+
+use hin::clustering::{accuracy_hungarian, adjusted_rand_index, nmi};
+use hin::linalg::Csr;
+use hin::ranking::{pagerank, PageRankConfig};
+use hin::similarity::{pathsim_matrix, simrank, SimRankConfig};
+
+/// Strategy: a random directed graph as an edge list over `n` vertices.
+fn graph(n: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    prop::collection::vec((0..n as u32, 0..n as u32), 0..max_edges)
+        .prop_map(move |edges| (n, edges))
+}
+
+/// Strategy: a random symmetric graph.
+fn sym_graph(n: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    graph(n, max_edges).prop_map(|(n, edges)| {
+        let mut sym: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
+        for (u, v) in edges {
+            if u != v {
+                sym.push((u, v));
+                sym.push((v, u));
+            }
+        }
+        (n, sym)
+    })
+}
+
+fn csr_of(n: usize, edges: &[(u32, u32)]) -> Csr {
+    Csr::from_edges(n, n, edges.iter().copied())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pagerank_is_a_distribution((n, edges) in graph(12, 60)) {
+        let g = csr_of(n, &edges);
+        let r = pagerank(&g, &PageRankConfig::default());
+        let sum: f64 = r.scores.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        prop_assert!(r.scores.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn simrank_invariants((n, edges) in sym_graph(10, 40)) {
+        let g = csr_of(n, &edges);
+        let s = simrank(&g, &SimRankConfig { max_iters: 4, ..Default::default() }).scores;
+        for i in 0..n {
+            prop_assert_eq!(s.get(i, i), 1.0);
+            for j in 0..n {
+                let v = s.get(i, j);
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v), "s({},{})={}", i, j, v);
+                prop_assert!((v - s.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pathsim_matrix_invariants((n, edges) in sym_graph(10, 40)) {
+        // commuting matrix of a symmetric 2-step path: M = A·Aᵀ
+        let a = csr_of(n, &edges);
+        let m = a.spgemm(&a.transpose());
+        let s = pathsim_matrix(&m);
+        for (r, c, v) in s.iter() {
+            prop_assert!(v >= -1e-12 && v <= 1.0 + 1e-12, "s({r},{c})={v}");
+            prop_assert!((v - s.get(c as usize, r as usize)).abs() < 1e-12);
+            if r == c {
+                prop_assert!((v - 1.0).abs() < 1e-12, "diagonal must be 1");
+            }
+        }
+    }
+
+    #[test]
+    fn spgemm_matches_dense((n, edges) in graph(9, 40)) {
+        let a = csr_of(n, &edges);
+        let b = a.transpose();
+        let sparse = a.spgemm(&b).to_dense();
+        let dense = a.to_dense().matmul(&b.to_dense());
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_involution((n, edges) in graph(10, 50)) {
+        let a = csr_of(n, &edges);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn metric_bounds(labels in prop::collection::vec(0usize..4, 1..40),
+                     preds in prop::collection::vec(0usize..4, 1..40)) {
+        let len = labels.len().min(preds.len());
+        let (labels, preds) = (&labels[..len], &preds[..len]);
+        let v = nmi(preds, labels);
+        prop_assert!((0.0..=1.0).contains(&v), "nmi {v}");
+        let a = adjusted_rand_index(preds, labels);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&a), "ari {a}");
+        let acc = accuracy_hungarian(preds, labels);
+        prop_assert!((0.0..=1.0).contains(&acc), "accuracy {acc}");
+        // self-comparison is perfect
+        prop_assert!((nmi(labels, labels) - 1.0).abs() < 1e-9);
+        prop_assert!((accuracy_hungarian(labels, labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_invariant_under_relabeling(
+        labels in prop::collection::vec(0usize..3, 2..30),
+    ) {
+        // rotate prediction ids: metrics must not move
+        let rotated: Vec<usize> = labels.iter().map(|&c| (c + 1) % 3).collect();
+        prop_assert!((nmi(&labels, &labels) - nmi(&rotated, &labels)).abs() < 1e-9);
+        prop_assert!(
+            (accuracy_hungarian(&labels, &labels)
+                - accuracy_hungarian(&rotated, &labels)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn row_normalized_rows_are_stochastic((n, edges) in graph(10, 50)) {
+        let a = csr_of(n, &edges);
+        let t = a.row_normalized();
+        for r in 0..n {
+            let s = t.row_sum(r);
+            prop_assert!(s.abs() < 1e-12 || (s - 1.0).abs() < 1e-9, "row {r} sums {s}");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end pipelines: relational database → information network →
+//! knowledge, the full arc of the tutorial.
+
+use hin::clustering::{accuracy_hungarian, nmi};
+use hin::core::io;
+use hin::netclus::{netclus, NetClusConfig};
+use hin::rankclus::{rankclus, RankClusConfig};
+use hin::relational::{
+    extract_network, ColumnType, Database, ExtractConfig, TableSchema, Value,
+};
+use hin::synth::DblpConfig;
+
+/// Load a synthetic bibliographic world into the relational engine, row by
+/// row, with full integrity checking.
+fn dblp_into_database(data: &hin::synth::DblpData) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new("venue")
+            .column("vid", ColumnType::Int)
+            .column("name", ColumnType::Str)
+            .primary_key("vid"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("author")
+            .column("aid", ColumnType::Int)
+            .column("name", ColumnType::Str)
+            .primary_key("aid"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("paper")
+            .column("pid", ColumnType::Int)
+            .column("vid", ColumnType::Int)
+            .primary_key("pid")
+            .foreign_key("vid", "venue"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("writes")
+            .column("aid", ColumnType::Int)
+            .column("pid", ColumnType::Int)
+            .foreign_key("aid", "author")
+            .foreign_key("pid", "paper"),
+    )
+    .unwrap();
+
+    for v in 0..data.hin.node_count(data.venue) {
+        db.insert(
+            "venue",
+            vec![Value::Int(v as i64), Value::str(&format!("v{v}"))],
+        )
+        .unwrap();
+    }
+    for a in 0..data.hin.node_count(data.author) {
+        db.insert(
+            "author",
+            vec![Value::Int(a as i64), Value::str(&format!("a{a}"))],
+        )
+        .unwrap();
+    }
+    let pv = data.hin.adjacency(data.paper, data.venue).unwrap();
+    let pa = data.hin.adjacency(data.paper, data.author).unwrap();
+    for p in 0..data.hin.node_count(data.paper) {
+        let v = pv.row_indices(p)[0];
+        db.insert("paper", vec![Value::Int(p as i64), Value::Int(v as i64)])
+            .unwrap();
+        for &a in pa.row_indices(p) {
+            db.insert("writes", vec![Value::Int(a as i64), Value::Int(p as i64)])
+                .unwrap();
+        }
+    }
+    db
+}
+
+#[test]
+fn database_to_rankclus_recovers_planted_areas() {
+    let data = DblpConfig {
+        n_areas: 3,
+        venues_per_area: 5,
+        authors_per_area: 50,
+        n_papers: 900,
+        noise: 0.05,
+        area_mixture_alpha: 0.05,
+        seed: 404,
+        ..Default::default()
+    }
+    .generate();
+
+    // round-trip through the relational engine
+    let db = dblp_into_database(&data);
+    assert_eq!(db.table("paper").unwrap().len(), 900);
+    let ex = extract_network(&db, &ExtractConfig::default()).unwrap();
+    // join table `writes` collapsed: venue, author, paper
+    assert_eq!(ex.hin.type_count(), 3);
+    assert_eq!(ex.hin.total_edges(), data.hin.total_edges() - {
+        // the extracted network has no term relation
+        let pt = data.hin.adjacency(data.paper, data.term).unwrap();
+        pt.nnz()
+    });
+
+    // venue×author bi-typed view through papers, then RankClus
+    let venue_ty = ex.type_of_table["venue"];
+    let author_ty = ex.type_of_table["author"];
+    let paper_ty = ex.type_of_table["paper"];
+    let pv = ex.hin.adjacency(paper_ty, venue_ty).unwrap();
+    let pa = ex.hin.adjacency(paper_ty, author_ty).unwrap();
+    let wxy = hin::core::projection::through_center(pv, pa);
+    let net = hin::core::BiNet::from_matrix(wxy);
+
+    let r = rankclus(&net, &RankClusConfig {
+        k: 3,
+        seed: 5,
+        ..Default::default()
+    });
+    let acc = accuracy_hungarian(&r.assignments, &data.venue_area);
+    assert!(acc > 0.9, "end-to-end RankClus accuracy {acc}");
+}
+
+#[test]
+fn text_serialization_round_trips_through_netclus() {
+    let data = DblpConfig {
+        n_areas: 3,
+        n_papers: 400,
+        authors_per_area: 40,
+        seed: 17,
+        ..Default::default()
+    }
+    .generate();
+    let text = io::to_text(&data.hin);
+    let reloaded = io::from_text(&text).expect("parse back");
+    assert_eq!(reloaded.total_edges(), data.hin.total_edges());
+
+    let star = hin::core::StarNet::from_hin(&reloaded).expect("still a star");
+    let r = netclus(&star, &NetClusConfig {
+        k: 3,
+        seed: 7,
+        ..Default::default()
+    });
+    let score = nmi(&r.assignments, &data.paper_area);
+    assert!(score > 0.6, "NetClus on reloaded network NMI {score}");
+}
+
+#[test]
+fn rankclus_and_netclus_agree_on_venue_semantics() {
+    // both algorithms should see the same planted venue structure
+    let data = DblpConfig {
+        n_areas: 3,
+        n_papers: 700,
+        seed: 99,
+        noise: 0.05,
+        area_mixture_alpha: 0.05,
+        ..Default::default()
+    }
+    .generate();
+    let rc = rankclus(&data.venue_author_binet(), &RankClusConfig {
+        k: 3,
+        seed: 1,
+        ..Default::default()
+    });
+    let venue_acc = accuracy_hungarian(&rc.assignments, &data.venue_area);
+
+    let nc = netclus(&data.star(), &NetClusConfig {
+        k: 3,
+        seed: 1,
+        ..Default::default()
+    });
+    let paper_nmi = nmi(&nc.assignments, &data.paper_area);
+
+    assert!(venue_acc > 0.85, "RankClus venues {venue_acc}");
+    assert!(paper_nmi > 0.6, "NetClus papers {paper_nmi}");
+}
