@@ -1,9 +1,7 @@
 //! E14 (timing) — database → information network extraction throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hin_relational::{
-    extract_network, ColumnType, Database, ExtractConfig, TableSchema, Value,
-};
+use hin_relational::{extract_network, ColumnType, Database, ExtractConfig, TableSchema, Value};
 use hin_synth::DblpConfig;
 
 /// Materialize a synthetic bibliographic world as a relational database.
@@ -54,7 +52,10 @@ fn build_db(n_papers: usize) -> Database {
     for p in 0..n_papers {
         db.insert(
             "paper",
-            vec![Value::Int(p as i64), Value::Int(pv.row_indices(p)[0] as i64)],
+            vec![
+                Value::Int(p as i64),
+                Value::Int(pv.row_indices(p)[0] as i64),
+            ],
         )
         .unwrap();
         for &a in pa.row_indices(p) {

@@ -18,21 +18,27 @@ fn bench_netclus(c: &mut Criterion) {
         let star = data.star();
         group.bench_with_input(BenchmarkId::new("authority", n), &star, |b, star| {
             b.iter(|| {
-                netclus(star, &NetClusConfig {
-                    k: 4,
-                    seed: 1,
-                    ..Default::default()
-                })
+                netclus(
+                    star,
+                    &NetClusConfig {
+                        k: 4,
+                        seed: 1,
+                        ..Default::default()
+                    },
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("simple", n), &star, |b, star| {
             b.iter(|| {
-                netclus(star, &NetClusConfig {
-                    k: 4,
-                    ranking: RankingMethod::Simple,
-                    seed: 1,
-                    ..Default::default()
-                })
+                netclus(
+                    star,
+                    &NetClusConfig {
+                        k: 4,
+                        ranking: RankingMethod::Simple,
+                        seed: 1,
+                        ..Default::default()
+                    },
+                )
             })
         });
     }

@@ -22,12 +22,15 @@ fn bench_scale(c: &mut Criterion) {
         .generate();
         group.bench_with_input(BenchmarkId::new("rankclus", scale), &s.net, |b, net| {
             b.iter(|| {
-                rankclus(net, &RankClusConfig {
-                    k: 3,
-                    seed: 1,
-                    n_restarts: 1,
-                    ..Default::default()
-                })
+                rankclus(
+                    net,
+                    &RankClusConfig {
+                        k: 3,
+                        seed: 1,
+                        n_restarts: 1,
+                        ..Default::default()
+                    },
+                )
             })
         });
         if scale <= 2 {

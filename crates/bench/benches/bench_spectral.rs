@@ -19,21 +19,27 @@ fn bench_spectral(c: &mut Criterion) {
         if n <= 400 {
             group.bench_with_input(BenchmarkId::new("dense_jacobi", n), &g, |b, g| {
                 b.iter(|| {
-                    spectral_clustering(g, &SpectralConfig {
-                        k: 3,
-                        solver: EigenSolver::Dense,
-                        seed: 1,
-                    })
+                    spectral_clustering(
+                        g,
+                        &SpectralConfig {
+                            k: 3,
+                            solver: EigenSolver::Dense,
+                            seed: 1,
+                        },
+                    )
                 })
             });
         }
         group.bench_with_input(BenchmarkId::new("lanczos", n), &g, |b, g| {
             b.iter(|| {
-                spectral_clustering(g, &SpectralConfig {
-                    k: 3,
-                    solver: EigenSolver::Lanczos { steps: 50 },
-                    seed: 1,
-                })
+                spectral_clustering(
+                    g,
+                    &SpectralConfig {
+                        k: 3,
+                        solver: EigenSolver::Lanczos { steps: 50 },
+                        seed: 1,
+                    },
+                )
             })
         });
     }

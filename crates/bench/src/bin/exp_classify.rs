@@ -33,14 +33,18 @@ fn main() {
                 .collect();
             for (p, &area) in data.paper_area.iter().enumerate() {
                 // offset by run so different seeds are labeled each run
-                if (p + run as usize) % every == 0 {
+                if (p + run as usize).is_multiple_of(every) {
                     seeds[data.paper.0][p] = Some(area);
                 }
             }
-            let g = gnetmine(&data.hin, &seeds, &GNetMineConfig {
-                n_classes: 3,
-                ..Default::default()
-            });
+            let g = gnetmine(
+                &data.hin,
+                &seeds,
+                &GNetMineConfig {
+                    n_classes: 3,
+                    ..Default::default()
+                },
+            );
             het.push(holdout_accuracy(
                 &g.labels[data.paper.0],
                 &data.paper_area,
@@ -50,7 +54,11 @@ fn main() {
             let pa = data.hin.adjacency(data.paper, data.author).expect("rel");
             let paper_graph = hin_core::projection::project(&pa.transpose());
             let wv = wvrn(&paper_graph, &seeds[data.paper.0], 3, 50);
-            homo.push(holdout_accuracy(&wv, &data.paper_area, &seeds[data.paper.0]));
+            homo.push(holdout_accuracy(
+                &wv,
+                &data.paper_area,
+                &seeds[data.paper.0],
+            ));
         }
         let (hm, hs) = mean_std(&het);
         let (wm, ws) = mean_std(&homo);
@@ -60,7 +68,10 @@ fn main() {
             fmt_ms(wm, ws),
         ]);
     }
-    markdown_table(&["labeled papers", "GNetMine-style", "wvRN (co-author)"], &rows);
+    markdown_table(
+        &["labeled papers", "GNetMine-style", "wvRN (co-author)"],
+        &rows,
+    );
     println!(
         "\nexpected shape (per GNetMine): heterogeneous propagation dominates \
          at every label rate, with the largest margin when labels are \

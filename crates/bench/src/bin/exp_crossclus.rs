@@ -30,39 +30,42 @@ fn main() {
     let pt = data.hin.adjacency(data.paper, data.term).expect("rel");
 
     let from_adj = |name: &str, adj: &hin_linalg::Csr| {
-        Feature::from_observations(
-            name,
-            n,
-            adj.ncols(),
-            adj.iter(),
-        )
+        Feature::from_observations(name, n, adj.ncols(), adj.iter())
     };
     let venue_f = from_adj("paper→venue", pv);
     let author_f = from_adj("paper→authors", pa);
     let term_f = from_adj("paper→terms", pt);
     // a pure-noise feature: publication parity (uncorrelated with areas)
-    let parity = Feature::from_observations(
-        "paper→parity",
-        n,
-        2,
-        (0..n as u32).map(|p| (p, p % 2, 1.0)),
-    );
+    let parity =
+        Feature::from_observations("paper→parity", n, 2, (0..n as u32).map(|p| (p, p % 2, 1.0)));
     // year feature: correlated with nothing but time
     let year = Feature::from_observations(
         "paper→year",
         n,
         data.config.years,
-        data.paper_year.iter().enumerate().map(|(p, &y)| (p as u32, y, 1.0)),
+        data.paper_year
+            .iter()
+            .enumerate()
+            .map(|(p, &y)| (p as u32, y, 1.0)),
     );
 
     println!("## E15a — feature pertinence under venue guidance\n");
-    let candidates = [author_f.clone(), term_f.clone(), parity.clone(), year.clone()];
-    let r = crossclus(&venue_f, &candidates, &CrossClusConfig {
-        k: 3,
-        min_pertinence: 0.0, // report everything
-        seed: 5,
-        ..Default::default()
-    });
+    let candidates = [
+        author_f.clone(),
+        term_f.clone(),
+        parity.clone(),
+        year.clone(),
+    ];
+    let r = crossclus(
+        &venue_f,
+        &candidates,
+        &CrossClusConfig {
+            k: 3,
+            min_pertinence: 0.0, // report everything
+            seed: 5,
+            ..Default::default()
+        },
+    );
     let rows: Vec<Vec<String>> = r
         .selected
         .iter()
@@ -76,13 +79,16 @@ fn main() {
         ("venue", &venue_f, &data.paper_area, "planted area"),
         ("year", &year, &data.paper_area, "planted area"),
     ] {
-        let r = crossclus(guidance, &[author_f.clone(), term_f.clone(), parity.clone()],
+        let r = crossclus(
+            guidance,
+            &[author_f.clone(), term_f.clone(), parity.clone()],
             &CrossClusConfig {
                 k: 3,
                 min_pertinence: 0.1,
                 seed: 5,
                 ..Default::default()
-            });
+            },
+        );
         rows.push(vec![
             gname.to_string(),
             format!("{:.3}", nmi(&r.assignments, truth)),

@@ -15,13 +15,7 @@ use hin_synth::{AmbiguousConfig, DblpConfig};
 fn contexts(data: &hin_synth::AmbiguousData) -> Vec<ReferenceContext> {
     data.refs
         .iter()
-        .map(|r| {
-            ReferenceContext::new(vec![
-                r.coauthors.clone(),
-                vec![r.venue],
-                r.terms.clone(),
-            ])
-        })
+        .map(|r| ReferenceContext::new(vec![r.coauthors.clone(), vec![r.venue], r.terms.clone()]))
         .collect()
 }
 
@@ -49,16 +43,22 @@ fn main() {
                 .generate();
                 let refs = contexts(&data);
                 // full context, identity count known (the paper's protocol)
-                let labels = distinct(&refs, &DistinctConfig {
-                    weights: vec![0.5, 0.3, 0.2],
-                    stop: AgglomerativeStop::NumClusters(k),
-                });
+                let labels = distinct(
+                    &refs,
+                    &DistinctConfig {
+                        weights: vec![0.5, 0.3, 0.2],
+                        stop: AgglomerativeStop::NumClusters(k),
+                    },
+                );
                 full.push(pairwise_f1(&labels, &data.truth).f1);
                 // ablation: coauthors only
-                let labels = distinct(&refs, &DistinctConfig {
-                    weights: vec![1.0, 0.0, 0.0],
-                    stop: AgglomerativeStop::NumClusters(k),
-                });
+                let labels = distinct(
+                    &refs,
+                    &DistinctConfig {
+                        weights: vec![1.0, 0.0, 0.0],
+                        stop: AgglomerativeStop::NumClusters(k),
+                    },
+                );
                 coauthor_only.push(pairwise_f1(&labels, &data.truth).f1);
             }
             let (fm, fs) = mean_std(&full);
@@ -72,7 +72,12 @@ fn main() {
         }
     }
     markdown_table(
-        &["identities", "regime", "full-context F1", "coauthor-only F1"],
+        &[
+            "identities",
+            "regime",
+            "full-context F1",
+            "coauthor-only F1",
+        ],
         &rows,
     );
     println!(

@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release -p hin-bench --bin exp_homoclus`
 
 use hin_bench::markdown_table;
-use hin_clustering::{
-    nmi, scan, spectral_clustering, ScanConfig, SpectralConfig,
-};
+use hin_clustering::{nmi, scan, spectral_clustering, ScanConfig, SpectralConfig};
 use hin_synth::{planted_partition, PlantedConfig};
 
 fn main() {
@@ -24,11 +22,14 @@ fn main() {
             p_out,
             seed: 7,
         });
-        let sp = spectral_clustering(&g, &SpectralConfig {
-            k: 3,
-            seed: 1,
-            ..Default::default()
-        });
+        let sp = spectral_clustering(
+            &g,
+            &SpectralConfig {
+                k: 3,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         let sc = scan(&g, &ScanConfig { eps: 0.35, mu: 4 });
         let sc_labels = sc.labels_with_singletons();
         let n_members = sc

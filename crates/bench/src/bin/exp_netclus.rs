@@ -29,19 +29,25 @@ fn main() {
         .generate();
         let star = data.star();
 
-        let auth = netclus(&star, &NetClusConfig {
-            k: 4,
-            seed: run,
-            ..Default::default()
-        });
+        let auth = netclus(
+            &star,
+            &NetClusConfig {
+                k: 4,
+                seed: run,
+                ..Default::default()
+            },
+        );
         method_scores[0].push(nmi(&auth.assignments, &data.paper_area));
 
-        let simple = netclus(&star, &NetClusConfig {
-            k: 4,
-            ranking: RankingMethod::Simple,
-            seed: run,
-            ..Default::default()
-        });
+        let simple = netclus(
+            &star,
+            &NetClusConfig {
+                k: 4,
+                ranking: RankingMethod::Simple,
+                seed: run,
+                ..Default::default()
+            },
+        );
         method_scores[1].push(nmi(&simple.assignments, &data.paper_area));
 
         let pt = data.hin.adjacency(data.paper, data.term).expect("terms");
@@ -49,11 +55,14 @@ fn main() {
         method_scores[2].push(nmi(&plsa, &data.paper_area));
 
         // RankClus clusters venues; papers inherit their venue's cluster
-        let rc = rankclus(&data.venue_author_binet(), &RankClusConfig {
-            k: 4,
-            seed: run,
-            ..Default::default()
-        });
+        let rc = rankclus(
+            &data.venue_author_binet(),
+            &RankClusConfig {
+                k: 4,
+                seed: run,
+                ..Default::default()
+            },
+        );
         let pv = data.hin.adjacency(data.paper, data.venue).expect("venues");
         let inherited: Vec<usize> = (0..data.paper_area.len())
             .map(|p| rc.assignments[pv.row_indices(p)[0] as usize])
@@ -87,12 +96,15 @@ fn main() {
     let star = data.star();
     let mut rows = Vec::new();
     for &lambda in &[0.0, 0.1, 0.2, 0.4, 0.7, 0.95] {
-        let r = netclus(&star, &NetClusConfig {
-            k: 4,
-            lambda,
-            seed: 1,
-            ..Default::default()
-        });
+        let r = netclus(
+            &star,
+            &NetClusConfig {
+                k: 4,
+                lambda,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         rows.push(vec![
             format!("{lambda:.2}"),
             format!("{:.3}", nmi(&r.assignments, &data.paper_area)),

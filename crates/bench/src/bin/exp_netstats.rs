@@ -67,10 +67,7 @@ fn main() {
             ]);
         }
     }
-    markdown_table(
-        &["network", "C", "C_rand", "L", "L_rand", "sigma"],
-        &rows,
-    );
+    markdown_table(&["network", "C", "C_rand", "L", "L_rand", "sigma"], &rows);
 
     println!("\n## E1c — densification power law (E ∝ N^a)\n");
     let mut rows = Vec::new();

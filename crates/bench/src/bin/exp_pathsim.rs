@@ -11,8 +11,8 @@
 use hin_bench::markdown_table;
 use hin_ranking::PageRankConfig;
 use hin_similarity::{
-    commuting_matrix, path_count, ppr_similarity_from, random_walk_measure, simrank,
-    top_k_pathsim, MetaPath, SimRankConfig,
+    commuting_matrix, path_count, ppr_similarity_from, random_walk_measure, simrank, top_k_pathsim,
+    MetaPath, SimRankConfig,
 };
 use hin_synth::DblpConfig;
 
@@ -46,10 +46,13 @@ fn main() {
 
     // homogeneous co-author graph for SimRank / PPR
     let co = data.coauthor_network();
-    let sr = simrank(&co, &SimRankConfig {
-        max_iters: 5,
-        ..Default::default()
-    });
+    let sr = simrank(
+        &co,
+        &SimRankConfig {
+            max_iters: 5,
+            ..Default::default()
+        },
+    );
 
     // query set: mid-tier authors (not hubs, not one-hit) from each area
     let queries: Vec<usize> = (0..n_authors)

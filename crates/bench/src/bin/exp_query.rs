@@ -1,0 +1,95 @@
+//! Query-engine experiment: cold vs warm-cache latency of an overlapping
+//! meta-path workload, plus the planner's chosen multiplication orders.
+//!
+//! Emits a single JSON object so downstream tooling (and the eventual
+//! serving-layer dashboard) can track the numbers.
+//!
+//! Run with: `cargo run --release -p hin-bench --bin exp_query`
+
+use std::time::Instant;
+
+use hin_query::Engine;
+use hin_synth::DblpConfig;
+
+fn workload() -> Vec<String> {
+    let mut queries = Vec::new();
+    for a in 0..8 {
+        let anchor = format!("author_a{}_{}", a % 4, a);
+        queries.push(format!(
+            "pathsim author-paper-venue-paper-author from {anchor}"
+        ));
+        queries.push(format!("pathsim author-paper-author from {anchor}"));
+        queries.push(format!("pathcount author-paper-venue from {anchor}"));
+    }
+    queries.push("rank venue-paper-author limit 10".to_string());
+    queries.push("pathcount venue-paper-author from venue_a0_0 limit 10".to_string());
+    queries.push("pathcount paper-author-paper-venue from paper_0 limit 10".to_string());
+    queries
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let data = DblpConfig {
+        n_areas: 4,
+        authors_per_area: 60,
+        n_papers: 2_000,
+        noise: 0.05,
+        seed: 11,
+        ..Default::default()
+    }
+    .generate();
+    let queries = workload();
+
+    // cold: fresh engine, every product computed
+    let mut cold_engine = Engine::new(data.hin.clone());
+    let t = Instant::now();
+    for q in &queries {
+        cold_engine.execute(q).expect("cold query");
+    }
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let cold_misses = cold_engine.cache_misses();
+    let cold_hits = cold_engine.cache_hits();
+
+    // warm: same engine again — everything served from the cache
+    cold_engine.reset_cache_stats();
+    let t = Instant::now();
+    for q in &queries {
+        cold_engine.execute(q).expect("warm query");
+    }
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let warm_hits = cold_engine.cache_hits();
+    let warm_misses = cold_engine.cache_misses();
+
+    // the planner on the bench case that punishes left-to-right evaluation
+    let plan_engine = Engine::new(data.hin.clone());
+    let plan = plan_engine
+        .plan("pathcount paper-author-paper-venue from paper_0")
+        .expect("plan");
+
+    println!("{{");
+    println!("  \"workload_queries\": {},", queries.len());
+    println!("  \"cold_ms\": {cold_ms:.3},");
+    println!("  \"warm_ms\": {warm_ms:.3},");
+    println!("  \"speedup\": {:.2},", cold_ms / warm_ms.max(1e-9));
+    println!("  \"cold_products_computed\": {cold_misses},");
+    println!("  \"cold_cache_hits\": {cold_hits},");
+    println!("  \"warm_cache_hits\": {warm_hits},");
+    println!("  \"warm_products_computed\": {warm_misses},");
+    println!("  \"cache_entries\": {},", cold_engine.cache_len());
+    println!("  \"papv_plan\": \"{}\",", json_escape(&plan.describe()));
+    println!("  \"papv_left_deep\": {},", plan.root.is_left_deep());
+    println!("  \"papv_est_flops\": {:.0},", plan.est_flops);
+    println!(
+        "  \"papv_left_to_right_flops\": {:.0}",
+        plan.left_to_right_flops
+    );
+    println!("}}");
+
+    assert!(
+        warm_misses == 0,
+        "warm pass must be fully served from cache"
+    );
+}

@@ -9,7 +9,9 @@
 //!
 //! Run with: `cargo run --release -p hin-bench --bin exp_rankclus_accuracy`
 
-use hin_bench::{fmt_ms, kmeans_links_baseline, markdown_table, mean_std, simrank_spectral_baseline};
+use hin_bench::{
+    fmt_ms, kmeans_links_baseline, markdown_table, mean_std, simrank_spectral_baseline,
+};
 use hin_clustering::nmi;
 use hin_rankclus::{rankclus, RankClusConfig, RankingMethod};
 use hin_synth::BiNetConfig;
@@ -44,19 +46,25 @@ fn main() {
             }
             .generate();
 
-            let auth = rankclus(&s.net, &RankClusConfig {
-                k: K,
-                seed: run,
-                ..Default::default()
-            });
+            let auth = rankclus(
+                &s.net,
+                &RankClusConfig {
+                    k: K,
+                    seed: run,
+                    ..Default::default()
+                },
+            );
             scores[0].push(nmi(&auth.assignments, &s.x_labels));
 
-            let simple = rankclus(&s.net, &RankClusConfig {
-                k: K,
-                ranking: RankingMethod::Simple,
-                seed: run,
-                ..Default::default()
-            });
+            let simple = rankclus(
+                &s.net,
+                &RankClusConfig {
+                    k: K,
+                    ranking: RankingMethod::Simple,
+                    seed: run,
+                    ..Default::default()
+                },
+            );
             scores[1].push(nmi(&simple.assignments, &s.x_labels));
 
             let sr = simrank_spectral_baseline(&s.net, K, run);

@@ -5,8 +5,8 @@
 
 use hin_bench::markdown_table;
 use hin_clustering::accuracy_hungarian;
-use hin_ranking::top_k;
 use hin_rankclus::{rankclus, RankClusConfig};
+use hin_ranking::top_k;
 use hin_synth::DblpConfig;
 
 fn main() {
@@ -21,11 +21,14 @@ fn main() {
     }
     .generate();
     let net = data.venue_author_binet();
-    let r = rankclus(&net, &RankClusConfig {
-        k: 4,
-        seed: 11,
-        ..Default::default()
-    });
+    let r = rankclus(
+        &net,
+        &RankClusConfig {
+            k: 4,
+            seed: 11,
+            ..Default::default()
+        },
+    );
 
     println!(
         "## E6 — per-cluster conditional ranking (venue accuracy {:.3}, {} iters, converged: {})\n",

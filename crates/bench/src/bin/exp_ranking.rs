@@ -49,9 +49,7 @@ fn main() {
     markdown_table(&["rank", "PageRank", "HITS authority", "degree"], &rows);
 
     // overlap measures
-    let overlap = |a: &[usize], b: &[usize]| {
-        a.iter().filter(|x| b.contains(x)).count()
-    };
+    let overlap = |a: &[usize], b: &[usize]| a.iter().filter(|x| b.contains(x)).count();
     println!(
         "\ntop-10 overlap: PR∩HITS = {}, PR∩degree = {}, HITS∩degree = {}",
         overlap(&pr_top, &hits_top),

@@ -39,12 +39,15 @@ fn main() {
         let nnz = s.net.wxy.nnz();
 
         let t0 = Instant::now();
-        let _ = rankclus(&s.net, &RankClusConfig {
-            k: 3,
-            seed: 1,
-            n_restarts: 1,
-            ..Default::default()
-        });
+        let _ = rankclus(
+            &s.net,
+            &RankClusConfig {
+                k: 3,
+                seed: 1,
+                n_restarts: 1,
+                ..Default::default()
+            },
+        );
         let rc = t0.elapsed();
 
         // the baseline is quadratic: skip it once it stops being fun

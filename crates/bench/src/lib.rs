@@ -14,7 +14,10 @@ use hin_similarity::{simrank, SimRankConfig};
 /// Print a GitHub-flavoured markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -54,10 +57,13 @@ pub fn simrank_spectral_baseline(net: &BiNet, k: usize, seed: u64) -> Vec<usize>
         })
         .collect::<Vec<_>>();
     let g = Csr::from_triplets(n, n, edges);
-    let s = simrank(&g, &SimRankConfig {
-        max_iters: 5,
-        ..Default::default()
-    });
+    let s = simrank(
+        &g,
+        &SimRankConfig {
+            max_iters: 5,
+            ..Default::default()
+        },
+    );
     // target-target similarity as a weighted graph for spectral clustering
     let mut triplets = Vec::new();
     for i in 0..net.nx {
@@ -71,11 +77,14 @@ pub fn simrank_spectral_baseline(net: &BiNet, k: usize, seed: u64) -> Vec<usize>
         }
     }
     let sim = Csr::from_triplets(net.nx, net.nx, triplets);
-    spectral_clustering(&sim, &SpectralConfig {
-        k,
-        seed,
-        ..Default::default()
-    })
+    spectral_clustering(
+        &sim,
+        &SpectralConfig {
+            k,
+            seed,
+            ..Default::default()
+        },
+    )
 }
 
 /// Baseline: cosine k-means directly on the raw target link vectors
@@ -91,12 +100,15 @@ pub fn kmeans_links_baseline(net: &BiNet, k: usize, seed: u64) -> Vec<usize> {
             row
         })
         .collect();
-    kmeans(&points, &KMeansConfig {
-        k,
-        distance: Distance::Cosine,
-        max_iters: 100,
-        seed,
-    })
+    kmeans(
+        &points,
+        &KMeansConfig {
+            k,
+            distance: Distance::Cosine,
+            max_iters: 100,
+            seed,
+        },
+    )
     .assignments
 }
 
@@ -113,12 +125,15 @@ pub fn term_kmeans_baseline(center_term: &Csr, k: usize, seed: u64) -> Vec<usize
             row
         })
         .collect();
-    kmeans(&points, &KMeansConfig {
-        k,
-        distance: Distance::Cosine,
-        max_iters: 100,
-        seed,
-    })
+    kmeans(
+        &points,
+        &KMeansConfig {
+            k,
+            distance: Distance::Cosine,
+            max_iters: 100,
+            seed,
+        },
+    )
     .assignments
 }
 

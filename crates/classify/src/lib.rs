@@ -213,12 +213,7 @@ fn predictions(scores: &[Vec<Vec<f64>>], seeds: &[Seeds]) -> Vec<Vec<usize>> {
 /// iterative averaging of neighbor class distributions with clamped seeds.
 /// Returns predicted class per vertex (seeds keep their label; isolated
 /// unlabeled vertices default to class 0).
-pub fn wvrn(
-    adj: &Csr,
-    seeds: &[Option<usize>],
-    n_classes: usize,
-    max_iters: usize,
-) -> Vec<usize> {
+pub fn wvrn(adj: &Csr, seeds: &[Option<usize>], n_classes: usize, max_iters: usize) -> Vec<usize> {
     let n = adj.nrows();
     assert_eq!(seeds.len(), n, "seed length must match graph");
     let mut f: Vec<Vec<f64>> = seeds
@@ -270,11 +265,7 @@ pub fn wvrn(
 }
 
 /// Classification accuracy over the *unlabeled* objects only.
-pub fn holdout_accuracy(
-    predicted: &[usize],
-    truth: &[usize],
-    seeds: &[Option<usize>],
-) -> f64 {
+pub fn holdout_accuracy(predicted: &[usize], truth: &[usize], seeds: &[Option<usize>]) -> f64 {
     assert_eq!(predicted.len(), truth.len());
     assert_eq!(predicted.len(), seeds.len());
     let mut correct = 0usize;
@@ -330,10 +321,14 @@ mod tests {
     fn propagation_recovers_areas_from_sparse_seeds() {
         let d = world();
         let seeds = paper_seeds(&d, 10); // 10% labeled
-        let r = gnetmine(&d.hin, &seeds, &GNetMineConfig {
-            n_classes: 3,
-            ..Default::default()
-        });
+        let r = gnetmine(
+            &d.hin,
+            &seeds,
+            &GNetMineConfig {
+                n_classes: 3,
+                ..Default::default()
+            },
+        );
         let acc = holdout_accuracy(&r.labels[d.paper.0], &d.paper_area, &seeds[d.paper.0]);
         assert!(acc > 0.8, "paper holdout accuracy {acc}");
         // attribute types get classified too, without any seeds of their own
@@ -351,10 +346,14 @@ mod tests {
     fn beats_homogeneous_baseline_at_low_label_rate() {
         let d = world();
         let seeds = paper_seeds(&d, 33); // ~3% labeled
-        let het = gnetmine(&d.hin, &seeds, &GNetMineConfig {
-            n_classes: 3,
-            ..Default::default()
-        });
+        let het = gnetmine(
+            &d.hin,
+            &seeds,
+            &GNetMineConfig {
+                n_classes: 3,
+                ..Default::default()
+            },
+        );
         let het_acc = holdout_accuracy(&het.labels[d.paper.0], &d.paper_area, &seeds[d.paper.0]);
 
         // wvRN on the paper–paper shared-author projection
@@ -376,10 +375,14 @@ mod tests {
         let mut seeds = paper_seeds(&d, 5);
         // deliberately mislabel one seed; prediction must keep it
         seeds[d.paper.0][0] = Some(2);
-        let r = gnetmine(&d.hin, &seeds, &GNetMineConfig {
-            n_classes: 3,
-            ..Default::default()
-        });
+        let r = gnetmine(
+            &d.hin,
+            &seeds,
+            &GNetMineConfig {
+                n_classes: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.labels[d.paper.0][0], 2);
     }
 
@@ -404,9 +407,13 @@ mod tests {
         let d = world();
         let mut seeds = paper_seeds(&d, 10);
         seeds[d.paper.0][0] = Some(99);
-        let _ = gnetmine(&d.hin, &seeds, &GNetMineConfig {
-            n_classes: 3,
-            ..Default::default()
-        });
+        let _ = gnetmine(
+            &d.hin,
+            &seeds,
+            &GNetMineConfig {
+                n_classes: 3,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -164,10 +164,13 @@ mod tests {
     #[test]
     fn separates_identities_with_k() {
         let refs = two_identities();
-        let labels = distinct(&refs, &DistinctConfig {
-            weights: vec![0.5, 0.5],
-            stop: AgglomerativeStop::NumClusters(2),
-        });
+        let labels = distinct(
+            &refs,
+            &DistinctConfig {
+                weights: vec![0.5, 0.5],
+                stop: AgglomerativeStop::NumClusters(2),
+            },
+        );
         let truth = vec![0, 0, 0, 1, 1];
         let f1 = pairwise_f1(&labels, &truth).f1;
         assert!((f1 - 1.0).abs() < 1e-12, "F1 {f1}");
@@ -190,16 +193,22 @@ mod tests {
             ReferenceContext::new(vec![vec![2], vec![10]]),
         ];
         // venue-only weighting merges them
-        let merged = distinct(&refs, &DistinctConfig {
-            weights: vec![0.0, 1.0],
-            stop: AgglomerativeStop::Threshold(0.5),
-        });
+        let merged = distinct(
+            &refs,
+            &DistinctConfig {
+                weights: vec![0.0, 1.0],
+                stop: AgglomerativeStop::Threshold(0.5),
+            },
+        );
         assert_eq!(merged[0], merged[1]);
         // coauthor-only weighting keeps them apart
-        let split = distinct(&refs, &DistinctConfig {
-            weights: vec![1.0, 0.0],
-            stop: AgglomerativeStop::Threshold(0.5),
-        });
+        let split = distinct(
+            &refs,
+            &DistinctConfig {
+                weights: vec![1.0, 0.0],
+                stop: AgglomerativeStop::Threshold(0.5),
+            },
+        );
         assert_ne!(split[0], split[1]);
     }
 

@@ -16,6 +16,4 @@ pub mod truthfinder;
 
 pub use distinct::{distinct, reference_similarity, DistinctConfig, ReferenceContext};
 pub use reconcile::{reconcile, MatchPair, ReconcileConfig};
-pub use truthfinder::{
-    majority_vote, truthfinder, Claim, TruthFinderConfig, TruthFinderResult,
-};
+pub use truthfinder::{majority_vote, truthfinder, Claim, TruthFinderConfig, TruthFinderResult};

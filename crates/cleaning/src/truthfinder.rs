@@ -180,13 +180,11 @@ pub fn truthfinder(
     let predicted: Vec<Option<usize>> = object_facts
         .iter()
         .map(|fs| {
-            fs.iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    confidence[a]
-                        .partial_cmp(&confidence[b])
-                        .expect("finite confidence")
-                })
+            fs.iter().copied().max_by(|&a, &b| {
+                confidence[a]
+                    .partial_cmp(&confidence[b])
+                    .expect("finite confidence")
+            })
         })
         .collect();
 
@@ -231,12 +229,36 @@ mod tests {
     /// disagrees everywhere.
     fn toy_claims() -> Vec<Claim> {
         vec![
-            Claim { source: 0, object: 0, value: 1.0 },
-            Claim { source: 1, object: 0, value: 1.0 },
-            Claim { source: 2, object: 0, value: 9.0 },
-            Claim { source: 0, object: 1, value: 2.0 },
-            Claim { source: 1, object: 1, value: 2.0 },
-            Claim { source: 2, object: 1, value: 7.0 },
+            Claim {
+                source: 0,
+                object: 0,
+                value: 1.0,
+            },
+            Claim {
+                source: 1,
+                object: 0,
+                value: 1.0,
+            },
+            Claim {
+                source: 2,
+                object: 0,
+                value: 9.0,
+            },
+            Claim {
+                source: 0,
+                object: 1,
+                value: 2.0,
+            },
+            Claim {
+                source: 1,
+                object: 1,
+                value: 2.0,
+            },
+            Claim {
+                source: 2,
+                object: 1,
+                value: 7.0,
+            },
         ]
     }
 
@@ -270,24 +292,64 @@ mod tests {
         // ties) picks the wrong 13.0.
         let mut claims = Vec::new();
         for o in 1..20u32 {
-            claims.push(Claim { source: 0, object: o, value: o as f64 });
-            claims.push(Claim { source: 1, object: o, value: o as f64 });
-            claims.push(Claim { source: 2, object: o, value: 100.0 + o as f64 });
-            claims.push(Claim { source: 3, object: o, value: 200.0 + o as f64 });
+            claims.push(Claim {
+                source: 0,
+                object: o,
+                value: o as f64,
+            });
+            claims.push(Claim {
+                source: 1,
+                object: o,
+                value: o as f64,
+            });
+            claims.push(Claim {
+                source: 2,
+                object: o,
+                value: 100.0 + o as f64,
+            });
+            claims.push(Claim {
+                source: 3,
+                object: o,
+                value: 200.0 + o as f64,
+            });
         }
-        claims.push(Claim { source: 0, object: 0, value: 42.0 });
-        claims.push(Claim { source: 1, object: 0, value: 42.0 });
-        claims.push(Claim { source: 2, object: 0, value: 13.0 });
-        claims.push(Claim { source: 3, object: 0, value: 13.0 });
+        claims.push(Claim {
+            source: 0,
+            object: 0,
+            value: 42.0,
+        });
+        claims.push(Claim {
+            source: 1,
+            object: 0,
+            value: 42.0,
+        });
+        claims.push(Claim {
+            source: 2,
+            object: 0,
+            value: 13.0,
+        });
+        claims.push(Claim {
+            source: 3,
+            object: 0,
+            value: 13.0,
+        });
         let r = truthfinder(4, 20, &claims, &TruthFinderConfig::default());
         assert!(
             r.source_trust[0] > r.source_trust[2],
             "consistent source should earn trust: {:?}",
             r.source_trust
         );
-        assert_eq!(r.predicted_value(0), Some(42.0), "trust should break the tie");
+        assert_eq!(
+            r.predicted_value(0),
+            Some(42.0),
+            "trust should break the tie"
+        );
         let vote = majority_vote(20, &claims);
-        assert_eq!(vote[0], Some(13.0), "vote baseline ties toward the wrong value");
+        assert_eq!(
+            vote[0],
+            Some(13.0),
+            "vote baseline ties toward the wrong value"
+        );
     }
 
     #[test]
@@ -296,9 +358,21 @@ mod tests {
         // facts tie; with it, the mutually supporting 10-camp must beat the
         // isolated 50.
         let claims = vec![
-            Claim { source: 0, object: 0, value: 10.0 },
-            Claim { source: 1, object: 0, value: 10.1 },
-            Claim { source: 2, object: 0, value: 50.0 },
+            Claim {
+                source: 0,
+                object: 0,
+                value: 10.0,
+            },
+            Claim {
+                source: 1,
+                object: 0,
+                value: 10.1,
+            },
+            Claim {
+                source: 2,
+                object: 0,
+                value: 50.0,
+            },
         ];
         let with = truthfinder(3, 1, &claims, &TruthFinderConfig::default());
         let fid_10 = with.facts.iter().position(|&(_, v)| v == 10.0).unwrap();
@@ -309,13 +383,21 @@ mod tests {
             with.fact_confidence
         );
         let predicted = with.predicted_value(0).unwrap();
-        assert!(predicted < 11.0, "prediction {predicted} should be in the 10-camp");
+        assert!(
+            predicted < 11.0,
+            "prediction {predicted} should be in the 10-camp"
+        );
 
         // ablation: with ρ = 0 the three facts are symmetric
-        let without = truthfinder(3, 1, &claims, &TruthFinderConfig {
-            rho: 0.0,
-            ..Default::default()
-        });
+        let without = truthfinder(
+            3,
+            1,
+            &claims,
+            &TruthFinderConfig {
+                rho: 0.0,
+                ..Default::default()
+            },
+        );
         let spread = without
             .fact_confidence
             .iter()
@@ -329,8 +411,16 @@ mod tests {
 
     #[test]
     fn objects_without_claims() {
-        let r = truthfinder(1, 3, &[Claim { source: 0, object: 1, value: 5.0 }],
-            &TruthFinderConfig::default());
+        let r = truthfinder(
+            1,
+            3,
+            &[Claim {
+                source: 0,
+                object: 1,
+                value: 5.0,
+            }],
+            &TruthFinderConfig::default(),
+        );
         assert_eq!(r.predicted[0], None);
         assert!(r.predicted[1].is_some());
         assert_eq!(r.predicted[2], None);

@@ -53,7 +53,7 @@ pub fn agglomerative_average_link(sim: &DMat, stop: AgglomerativeStop) -> Vec<us
                     }
                 }
                 let avg = total / (ca.len() * cb.len()) as f64;
-                if best.map_or(true, |(_, _, v)| avg > v) {
+                if best.is_none_or(|(_, _, v)| avg > v) {
                     best = Some((a, b, avg));
                 }
             }
@@ -65,20 +65,15 @@ pub fn agglomerative_average_link(sim: &DMat, stop: AgglomerativeStop) -> Vec<us
             }
         }
         let merged = clusters[b].take().expect("b is active");
-        clusters[a]
-            .as_mut()
-            .expect("a is active")
-            .extend(merged);
+        clusters[a].as_mut().expect("a is active").extend(merged);
         active -= 1;
     }
 
     let mut labels = vec![0usize; n];
-    let mut next = 0usize;
-    for c in clusters.iter().flatten() {
+    for (next, c) in clusters.iter().flatten().enumerate() {
         for &i in c {
             labels[i] = next;
         }
-        next += 1;
     }
     labels
 }

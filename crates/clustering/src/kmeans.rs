@@ -203,10 +203,13 @@ mod tests {
 
     #[test]
     fn separates_two_blobs() {
-        let r = kmeans(&two_blobs(), &KMeansConfig {
-            k: 2,
-            ..Default::default()
-        });
+        let r = kmeans(
+            &two_blobs(),
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         // points alternate blob membership by construction
         for i in (0..20).step_by(2) {
             assert_eq!(r.assignments[i], r.assignments[0]);
@@ -227,11 +230,14 @@ mod tests {
             vec![0.05, 7.0],
             vec![0.1, 20.0],
         ];
-        let r = kmeans(&pts, &KMeansConfig {
-            k: 2,
-            distance: Distance::Cosine,
-            ..Default::default()
-        });
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                distance: Distance::Cosine,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.assignments[0], r.assignments[1]);
         assert_eq!(r.assignments[1], r.assignments[2]);
         assert_eq!(r.assignments[3], r.assignments[4]);
@@ -241,20 +247,26 @@ mod tests {
     #[test]
     fn k_clamped_to_n() {
         let pts = vec![vec![0.0], vec![1.0]];
-        let r = kmeans(&pts, &KMeansConfig {
-            k: 5,
-            ..Default::default()
-        });
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.centroids.len(), 2);
     }
 
     #[test]
     fn inertia_zero_for_k_equals_n() {
         let pts = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![9.0, 1.0]];
-        let r = kmeans(&pts, &KMeansConfig {
-            k: 3,
-            ..Default::default()
-        });
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         assert!(r.inertia < 1e-12);
     }
 
@@ -266,7 +278,10 @@ mod tests {
             seed: 9,
             ..Default::default()
         };
-        assert_eq!(kmeans(&pts, &cfg).assignments, kmeans(&pts, &cfg).assignments);
+        assert_eq!(
+            kmeans(&pts, &cfg).assignments,
+            kmeans(&pts, &cfg).assignments
+        );
     }
 
     #[test]

@@ -125,8 +125,16 @@ pub fn pairwise_f1(pred: &[usize], truth: &[usize]) -> PairwiseF1 {
             tp += (same_pred && same_true) as u8 as f64;
         }
     }
-    let precision = if pred_pairs > 0.0 { tp / pred_pairs } else { 0.0 };
-    let recall = if true_pairs > 0.0 { tp / true_pairs } else { 0.0 };
+    let precision = if pred_pairs > 0.0 {
+        tp / pred_pairs
+    } else {
+        0.0
+    };
+    let recall = if true_pairs > 0.0 {
+        tp / true_pairs
+    } else {
+        0.0
+    };
     let f1 = if precision + recall > 0.0 {
         2.0 * precision * recall / (precision + recall)
     } else {
@@ -323,7 +331,7 @@ mod tests {
     fn accuracy_with_more_clusters_than_labels() {
         let truth = vec![0, 0, 0, 1, 1, 1];
         let pred = vec![0, 0, 1, 2, 2, 2]; // 3 predicted clusters, 2 labels
-        // best matching: cluster0→label0 (2), cluster2→label1 (3) = 5/6
+                                           // best matching: cluster0→label0 (2), cluster2→label1 (3) = 5/6
         assert!((accuracy_hungarian(&pred, &truth) - 5.0 / 6.0).abs() < 1e-12);
     }
 

@@ -94,7 +94,10 @@ pub fn structural_similarity(adj: &Csr, u: usize, v: usize) -> f64 {
 
 /// Run SCAN on a symmetric adjacency matrix.
 pub fn scan(adj: &Csr, config: &ScanConfig) -> ScanResult {
-    assert!(config.eps > 0.0 && config.eps <= 1.0, "eps must be in (0,1]");
+    assert!(
+        config.eps > 0.0 && config.eps <= 1.0,
+        "eps must be in (0,1]"
+    );
     let n = adj.nrows();
 
     // ε-neighborhoods (vertex itself always qualifies: σ(v,v) = 1 ≥ ε)
@@ -242,10 +245,7 @@ mod tests {
         let g = two_cliques_hub_outlier();
         let r = scan(&g, &ScanConfig { eps: 0.1, mu: 2 });
         assert_eq!(r.cluster_count, 1);
-        assert!(r
-            .roles
-            .iter()
-            .all(|&x| matches!(x, ScanRole::Member(0))));
+        assert!(r.roles.iter().all(|&x| matches!(x, ScanRole::Member(0))));
     }
 
     #[test]

@@ -94,11 +94,7 @@ pub fn spectral_clustering(adj: &Csr, config: &SpectralConfig) -> Vec<usize> {
         };
         let pairs = lanczos_symmetric(n, steps.min(n), k, config.seed, |x| {
             // y = L x = x_deg − D^{-1/2} W D^{-1/2} x
-            let scaled: Vec<f64> = x
-                .iter()
-                .zip(&inv_sqrt_deg)
-                .map(|(xi, s)| xi * s)
-                .collect();
+            let scaled: Vec<f64> = x.iter().zip(&inv_sqrt_deg).map(|(xi, s)| xi * s).collect();
             let mut y = adj.matvec(&scaled);
             for ((yi, s), (xi, d)) in y
                 .iter_mut()
@@ -120,12 +116,15 @@ pub fn spectral_clustering(adj: &Csr, config: &SpectralConfig) -> Vec<usize> {
     for row in &mut rows {
         normalize_l2(row);
     }
-    let km = kmeans(&rows, &KMeansConfig {
-        k,
-        distance: Distance::Euclidean,
-        max_iters: 200,
-        seed: config.seed,
-    });
+    let km = kmeans(
+        &rows,
+        &KMeansConfig {
+            k,
+            distance: Distance::Euclidean,
+            max_iters: 200,
+            seed: config.seed,
+        },
+    );
     km.assignments
 }
 
@@ -147,11 +146,14 @@ mod tests {
             }
         }
         let g = Csr::from_triplets(8, 8, t);
-        let labels = spectral_clustering(&g, &SpectralConfig {
-            k: 2,
-            solver: EigenSolver::Dense,
-            seed: 3,
-        });
+        let labels = spectral_clustering(
+            &g,
+            &SpectralConfig {
+                k: 2,
+                solver: EigenSolver::Dense,
+                seed: 3,
+            },
+        );
         let truth = vec![0, 0, 0, 0, 1, 1, 1, 1];
         assert!((accuracy_hungarian(&labels, &truth) - 1.0).abs() < 1e-12);
     }
@@ -165,11 +167,14 @@ mod tests {
             p_out: 0.02,
             seed: 4,
         });
-        let labels = spectral_clustering(&g, &SpectralConfig {
-            k: 3,
-            solver: EigenSolver::Dense,
-            seed: 5,
-        });
+        let labels = spectral_clustering(
+            &g,
+            &SpectralConfig {
+                k: 3,
+                solver: EigenSolver::Dense,
+                seed: 5,
+            },
+        );
         let acc = accuracy_hungarian(&labels, &truth);
         assert!(acc > 0.95, "dense spectral accuracy {acc}");
     }
@@ -183,11 +188,14 @@ mod tests {
             p_out: 0.01,
             seed: 6,
         });
-        let labels = spectral_clustering(&g, &SpectralConfig {
-            k: 2,
-            solver: EigenSolver::Lanczos { steps: 60 },
-            seed: 7,
-        });
+        let labels = spectral_clustering(
+            &g,
+            &SpectralConfig {
+                k: 2,
+                solver: EigenSolver::Lanczos { steps: 60 },
+                seed: 7,
+            },
+        );
         let acc = accuracy_hungarian(&labels, &truth);
         assert!(acc > 0.9, "lanczos spectral accuracy {acc}");
     }
@@ -195,22 +203,28 @@ mod tests {
     #[test]
     fn handles_isolated_vertices() {
         let g = Csr::from_triplets(4, 4, [(0u32, 1u32, 1.0), (1, 0, 1.0)]);
-        let labels = spectral_clustering(&g, &SpectralConfig {
-            k: 2,
-            solver: EigenSolver::Dense,
-            seed: 1,
-        });
+        let labels = spectral_clustering(
+            &g,
+            &SpectralConfig {
+                k: 2,
+                solver: EigenSolver::Dense,
+                seed: 1,
+            },
+        );
         assert_eq!(labels.len(), 4);
     }
 
     #[test]
     fn k_one_trivial() {
         let g = Csr::from_triplets(3, 3, [(0u32, 1u32, 1.0), (1, 0, 1.0)]);
-        let labels = spectral_clustering(&g, &SpectralConfig {
-            k: 1,
-            solver: EigenSolver::Dense,
-            seed: 1,
-        });
+        let labels = spectral_clustering(
+            &g,
+            &SpectralConfig {
+                k: 1,
+                solver: EigenSolver::Dense,
+                seed: 1,
+            },
+        );
         assert!(labels.iter().all(|&l| l == 0));
     }
 }

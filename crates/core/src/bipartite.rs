@@ -137,12 +137,7 @@ mod tests {
         BiNet::from_matrix(Csr::from_triplets(
             2,
             3,
-            [
-                (0u32, 0u32, 2.0),
-                (0, 1, 1.0),
-                (1, 1, 3.0),
-                (1, 2, 1.0),
-            ],
+            [(0u32, 0u32, 2.0), (0, 1, 1.0), (1, 1, 3.0), (1, 2, 1.0)],
         ))
     }
 

@@ -117,12 +117,16 @@ impl HinBuilder {
                 let ncols = types[p.dst.0].node_names.len();
                 let fwd = Csr::from_triplets(nrows, ncols, p.edges);
                 let bwd = fwd.transpose();
+                // `bwd` *is* the transpose, so symmetry is a plain equality
+                // check here — done once so query resolution can ask in O(1)
+                let symmetric = p.src == p.dst && fwd == bwd;
                 RelationInfo {
                     name: p.name,
                     src: p.src,
                     dst: p.dst,
                     fwd,
                     bwd,
+                    symmetric,
                 }
             })
             .collect();

@@ -43,6 +43,10 @@ pub struct RelationInfo {
     /// Backward adjacency: `fwd` transposed, kept materialized because every
     /// ranking/clustering algorithm walks both directions.
     pub bwd: Csr,
+    /// `true` for a self-relation whose adjacency equals its transpose
+    /// (e.g. co-authorship). Precomputed at build time; always `false`
+    /// for cross-type relations.
+    pub symmetric: bool,
 }
 
 /// An immutable heterogeneous information network.
@@ -144,6 +148,28 @@ impl Hin {
                 None
             }
         })
+    }
+
+    /// All relations connecting `src` to `dst` in either direction, each
+    /// with `forward == true` when stored as `src → dst`.
+    ///
+    /// [`Hin::relation_between`] returns only the first match; query
+    /// planning uses this full list to *detect* ambiguity and demand an
+    /// explicit relation name instead of silently picking one.
+    pub fn relations_between(&self, src: TypeId, dst: TypeId) -> Vec<(RelationId, bool)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                if r.src == src && r.dst == dst {
+                    Some((RelationId(i), true))
+                } else if r.src == dst && r.dst == src {
+                    Some((RelationId(i), false))
+                } else {
+                    None
+                }
+            })
+            .collect()
     }
 
     /// Relation by name.
@@ -277,6 +303,24 @@ mod tests {
 
         let dot = hin.schema_dot();
         assert!(dot.contains("\"author\" -> \"paper\""));
+    }
+
+    #[test]
+    fn relations_between_lists_all_candidates() {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let writes = b.add_relation("writes", author, paper);
+        let reviews = b.add_relation("reviews", author, paper);
+        b.add_node(paper, "p0");
+        b.add_node(author, "a0");
+        let hin = b.build();
+
+        let both = hin.relations_between(author, paper);
+        assert_eq!(both, vec![(writes, true), (reviews, true)]);
+        let flipped = hin.relations_between(paper, author);
+        assert_eq!(flipped, vec![(writes, false), (reviews, false)]);
+        assert!(hin.relations_between(paper, paper).is_empty());
     }
 
     #[test]

@@ -54,10 +54,7 @@ pub fn to_text(hin: &Hin) -> String {
     }
     for ty in hin.type_ids() {
         for id in 0..hin.node_count(ty) {
-            let node = NodeRef {
-                ty,
-                id: id as u32,
-            };
+            let node = NodeRef { ty, id: id as u32 };
             out.push_str(&format!(
                 "node {} {}\n",
                 escape(hin.type_name(ty)),

@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn weighted_projection_counts_multiplicity() {
-        let a = Csr::from_triplets(2, 2, [(0u32, 0u32, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        let a = Csr::from_triplets(
+            2,
+            2,
+            [(0u32, 0u32, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
+        );
         // both "papers" shared by both "authors" → weight 2
         let co = project(&a);
         assert_eq!(co.get(0, 1), 2.0);

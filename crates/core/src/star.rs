@@ -108,11 +108,8 @@ impl StarNet {
 fn node_names(hin: &Hin, ty: TypeId) -> Vec<String> {
     (0..hin.node_count(ty))
         .map(|i| {
-            hin.node_name(crate::graph::NodeRef {
-                ty,
-                id: i as u32,
-            })
-            .to_string()
+            hin.node_name(crate::graph::NodeRef { ty, id: i as u32 })
+                .to_string()
         })
         .collect()
 }

@@ -170,11 +170,7 @@ pub fn crossclus(
 /// act on comparable scales.
 fn induced_similarity(f: &Csr, w: f64) -> Csr {
     let s = f.spgemm(&f.transpose());
-    let off = Csr::from_triplets(
-        s.nrows(),
-        s.ncols(),
-        s.iter().filter(|&(r, c, _)| r != c),
-    );
+    let off = Csr::from_triplets(s.nrows(), s.ncols(), s.iter().filter(|&(r, c, _)| r != c));
     let total = off.total();
     let mut out = off;
     if total > 0.0 {
@@ -308,11 +304,15 @@ mod tests {
         let guidance = one_hot("guide", &[0, 0, 0, 1, 1, 1, 2, 2, 2], 3);
         let aligned = one_hot("aligned", &[1, 1, 1, 2, 2, 2, 0, 0, 0], 3);
         let noise = one_hot("noise", &[0, 1, 2, 0, 1, 2, 0, 1, 2], 3);
-        let r = crossclus(&guidance, &[noise.clone(), aligned.clone()], &CrossClusConfig {
-            k: 3,
-            min_pertinence: 0.5,
-            ..Default::default()
-        });
+        let r = crossclus(
+            &guidance,
+            &[noise.clone(), aligned.clone()],
+            &CrossClusConfig {
+                k: 3,
+                min_pertinence: 0.5,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.selected.len(), 1);
         assert_eq!(r.selected[0].0, "aligned");
         let truth = vec![0usize, 0, 0, 1, 1, 1, 2, 2, 2];
@@ -354,22 +354,21 @@ mod tests {
                 .foreign_key("vid", "venue"),
         )
         .unwrap();
-        db.insert("area", vec![Value::Int(0), Value::str("DB")]).unwrap();
-        db.insert("area", vec![Value::Int(1), Value::str("ML")]).unwrap();
-        db.insert("venue", vec![Value::Int(0), Value::Int(0)]).unwrap();
-        db.insert("venue", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        db.insert("area", vec![Value::Int(0), Value::str("DB")])
+            .unwrap();
+        db.insert("area", vec![Value::Int(1), Value::str("ML")])
+            .unwrap();
+        db.insert("venue", vec![Value::Int(0), Value::Int(0)])
+            .unwrap();
+        db.insert("venue", vec![Value::Int(1), Value::Int(1)])
+            .unwrap();
         for (p, v) in [(0, 0), (1, 0), (2, 1)] {
-            db.insert("paper", vec![Value::Int(p), Value::Int(v)]).unwrap();
+            db.insert("paper", vec![Value::Int(p), Value::Int(v)])
+                .unwrap();
         }
 
         // two-hop chain paper→venue→area, value = area name
-        let f = fk_feature(
-            &db,
-            "paper",
-            &[("venue", "vid"), ("area", "aid")],
-            "name",
-        )
-        .unwrap();
+        let f = fk_feature(&db, "paper", &[("venue", "vid"), ("area", "aid")], "name").unwrap();
         assert_eq!(f.n_tuples(), 3);
         // papers 0,1 share a value; paper 2 differs
         assert_eq!(f.matrix.row_indices(0), f.matrix.row_indices(1));
@@ -416,23 +415,29 @@ mod tests {
         for p in 0..300 {
             db.insert(
                 "paper",
-                vec![Value::Int(p as i64), Value::Int(pv.row_indices(p)[0] as i64)],
+                vec![
+                    Value::Int(p as i64),
+                    Value::Int(pv.row_indices(p)[0] as i64),
+                ],
             )
             .unwrap();
         }
         let guidance = fk_feature(&db, "paper", &[("venue", "vid")], "vid").unwrap();
         // author/term features straight from the network (multi-valued)
-        let multi = |name: &str, adj: &Csr| {
-            Feature::from_observations(name, 300, adj.ncols(), adj.iter())
-        };
+        let multi =
+            |name: &str, adj: &Csr| Feature::from_observations(name, 300, adj.ncols(), adj.iter());
         let authors = multi("paper→authors", pa);
         let terms = multi("paper→terms", pt);
-        let r = crossclus(&guidance, &[authors, terms], &CrossClusConfig {
-            k: 3,
-            min_pertinence: 0.05,
-            seed: 4,
-            ..Default::default()
-        });
+        let r = crossclus(
+            &guidance,
+            &[authors, terms],
+            &CrossClusConfig {
+                k: 3,
+                min_pertinence: 0.05,
+                seed: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.selected.len(), 2, "author and term features pertinent");
         // Simplified CrossClus (fixed pertinence weights, spectral instead
         // of CLARANS) recovers most but not all of the planted structure on

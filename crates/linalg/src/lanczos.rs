@@ -8,7 +8,7 @@
 
 use crate::dense::DMat;
 use crate::eigen::jacobi_eigen;
-use crate::vector::{axpy, dot, normalize_l2, norm2};
+use crate::vector::{axpy, dot, norm2, normalize_l2};
 
 /// Extremal Ritz pairs returned by [`lanczos_symmetric`].
 #[derive(Clone, Debug)]

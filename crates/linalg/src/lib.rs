@@ -10,12 +10,15 @@
 //! * [`DMat`] — row-major dense matrices with the usual arithmetic,
 //! * [`Csr`] — compressed sparse row matrices with `matvec`, transpose and
 //!   sparse×sparse products,
+//! * [`chain`] — sparse product cost model (`spmm_flops_estimate`,
+//!   `spmm_nnz_estimate`) and matrix-chain multiplication-order planning,
 //! * [`eigen::jacobi_eigen`] — cyclic Jacobi eigendecomposition for symmetric
 //!   dense matrices,
 //! * [`lanczos::lanczos_symmetric`] — Lanczos iteration for large sparse
 //!   symmetric operators,
 //! * [`solve::solve_linear`] — Gaussian elimination with partial pivoting.
 
+pub mod chain;
 pub mod csr;
 pub mod dense;
 pub mod eigen;
@@ -23,5 +26,9 @@ pub mod lanczos;
 pub mod solve;
 pub mod vector;
 
+pub use chain::{
+    spmm_chain, spmm_chain_order, spmm_chain_order_priced, spmm_flops_estimate, spmm_nnz_estimate,
+    ChainPlan, MatSummary, PlanTree,
+};
 pub use csr::Csr;
 pub use dense::DMat;

@@ -72,9 +72,7 @@ pub fn normalize_l1(x: &mut [f64]) -> f64 {
 #[inline]
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .fold(0.0, |m, (x, y)| m.max((x - y).abs()))
+    a.iter().zip(b).fold(0.0, |m, (x, y)| m.max((x - y).abs()))
 }
 
 /// Cosine similarity; 0 when either vector is all-zero.

@@ -8,10 +8,7 @@ use hin_linalg::vector::dot;
 use hin_linalg::{Csr, DMat};
 
 fn triplets(n: usize, max: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
-    prop::collection::vec(
-        (0..n as u32, 0..n as u32, -10.0f64..10.0),
-        0..max,
-    )
+    prop::collection::vec((0..n as u32, 0..n as u32, -10.0f64..10.0), 0..max)
 }
 
 proptest! {

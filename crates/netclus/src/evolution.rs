@@ -59,9 +59,7 @@ pub fn track_clusters(prev: &[usize], next: &[usize]) -> EvolutionStep {
             continues[b] = Some(a);
         }
     }
-    let dissolved: Vec<usize> = (0..kp)
-        .filter(|&a| !continues.iter().any(|c| *c == Some(a)))
-        .collect();
+    let dissolved: Vec<usize> = (0..kp).filter(|&a| !continues.contains(&Some(a))).collect();
 
     // churn under the matching: objects whose next cluster does not
     // continue their previous cluster

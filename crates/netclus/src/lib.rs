@@ -331,11 +331,14 @@ mod tests {
     fn recovers_planted_areas() {
         let d = world();
         let star = d.star();
-        let r = netclus(&star, &NetClusConfig {
-            k: 4,
-            seed: 3,
-            ..Default::default()
-        });
+        let r = netclus(
+            &star,
+            &NetClusConfig {
+                k: 4,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let score = nmi(&r.assignments, &d.paper_area);
         assert!(score > 0.7, "NetClus NMI {score}");
     }
@@ -344,12 +347,15 @@ mod tests {
     fn simple_ranking_also_works() {
         let d = world();
         let star = d.star();
-        let r = netclus(&star, &NetClusConfig {
-            k: 4,
-            ranking: RankingMethod::Simple,
-            seed: 4,
-            ..Default::default()
-        });
+        let r = netclus(
+            &star,
+            &NetClusConfig {
+                k: 4,
+                ranking: RankingMethod::Simple,
+                seed: 4,
+                ..Default::default()
+            },
+        );
         let acc = accuracy_hungarian(&r.assignments, &d.paper_area);
         assert!(acc > 0.6, "simple-ranking accuracy {acc}");
     }
@@ -357,11 +363,14 @@ mod tests {
     #[test]
     fn posteriors_and_priors_are_distributions() {
         let d = world();
-        let r = netclus(&d.star(), &NetClusConfig {
-            k: 4,
-            seed: 5,
-            ..Default::default()
-        });
+        let r = netclus(
+            &d.star(),
+            &NetClusConfig {
+                k: 4,
+                seed: 5,
+                ..Default::default()
+            },
+        );
         for row in &r.posteriors {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
@@ -378,22 +387,24 @@ mod tests {
     fn top_ranked_attributes_match_cluster_area() {
         let d = world();
         let star = d.star();
-        let r = netclus(&star, &NetClusConfig {
-            k: 4,
-            seed: 6,
-            ..Default::default()
-        });
+        let r = netclus(
+            &star,
+            &NetClusConfig {
+                k: 4,
+                seed: 6,
+                ..Default::default()
+            },
+        );
         let venue_arm = star.arm_by_name("venue").expect("venue arm");
         for c in 0..4 {
             // dominant planted area of the cluster's papers
-            let mut counts = vec![0usize; 4];
+            let mut counts = [0usize; 4];
             for (p, &a) in r.assignments.iter().enumerate() {
                 if a == c {
                     counts[d.paper_area[p]] += 1;
                 }
             }
-            let Some((planted, &cnt)) = counts.iter().enumerate().max_by_key(|&(_, &v)| v)
-            else {
+            let Some((planted, &cnt)) = counts.iter().enumerate().max_by_key(|&(_, &v)| v) else {
                 continue;
             };
             if cnt < 20 {
@@ -413,22 +424,30 @@ mod tests {
     fn attribute_posterior_identifies_area() {
         let d = world();
         let star = d.star();
-        let r = netclus(&star, &NetClusConfig {
-            k: 4,
-            seed: 7,
-            ..Default::default()
-        });
+        let r = netclus(
+            &star,
+            &NetClusConfig {
+                k: 4,
+                seed: 7,
+                ..Default::default()
+            },
+        );
         let venue_arm = star.arm_by_name("venue").expect("venue arm");
         // dominant planted area per cluster
         let cluster_area: Vec<usize> = (0..4)
             .map(|c| {
-                let mut counts = vec![0usize; 4];
+                let mut counts = [0usize; 4];
                 for (p, &a) in r.assignments.iter().enumerate() {
                     if a == c {
                         counts[d.paper_area[p]] += 1;
                     }
                 }
-                counts.iter().enumerate().max_by_key(|&(_, &v)| v).unwrap().0
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &v)| v)
+                    .unwrap()
+                    .0
             })
             .collect();
         // the most-published venue of each cluster should have a posterior
@@ -457,12 +476,15 @@ mod tests {
         // λ = 1: every cluster sees the global distribution; posteriors
         // become uniform-ish and the algorithm must still terminate
         let d = world();
-        let r = netclus(&d.star(), &NetClusConfig {
-            k: 4,
-            lambda: 1.0,
-            seed: 8,
-            ..Default::default()
-        });
+        let r = netclus(
+            &d.star(),
+            &NetClusConfig {
+                k: 4,
+                lambda: 1.0,
+                seed: 8,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.assignments.len(), 800);
         for row in &r.posteriors {
             assert!(row.iter().all(|p| p.is_finite()));

@@ -1,0 +1,174 @@
+//! The commuting-matrix cache.
+//!
+//! Keys are canonical sub-path step sequences; values are shared
+//! [`Csr`] products. Two forms of reuse:
+//!
+//! * **exact** — the same contiguous step sequence appears again (within a
+//!   longer query, or across queries), and
+//! * **symmetry** — the *reversed* sequence is cached: the commuting
+//!   matrix of `P⁻¹` is the transpose of the matrix of `P`
+//!   (`(M₁·…·Mₙ)ᵀ = Mₙᵀ·…·M₁ᵀ`, and each reversed step's matrix is the
+//!   stored transpose of the forward step). The transpose is materialized
+//!   once, then cached under its own key.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hin_linalg::Csr;
+use hin_similarity::PathStep;
+
+/// One relation step as a hashable key component: `(relation id, forward)`.
+pub(crate) type StepKey = (usize, bool);
+
+/// A contiguous sub-path as a cache key.
+pub(crate) type PathKey = Vec<StepKey>;
+
+/// Turn resolved steps into key form.
+pub(crate) fn key_of(steps: &[PathStep]) -> PathKey {
+    steps
+        .iter()
+        .map(|s| match *s {
+            PathStep::Forward(r) => (r.0, true),
+            PathStep::Backward(r) => (r.0, false),
+        })
+        .collect()
+}
+
+/// The key of the reversed sub-path (reverse order, flip directions).
+pub(crate) fn reversed_key(key: &[StepKey]) -> PathKey {
+    key.iter().rev().map(|&(r, fwd)| (r, !fwd)).collect()
+}
+
+/// Memoizing store of commuting matrices with hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct MatrixCache {
+    map: HashMap<PathKey, Arc<Csr>>,
+    hits: u64,
+    symmetry_hits: u64,
+    misses: u64,
+}
+
+impl MatrixCache {
+    /// Number of stored matrices.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Products served from cache (exact + symmetry).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// The subset of [`MatrixCache::hits`] served by transposing a cached
+    /// reversed sub-path.
+    pub fn symmetry_hits(&self) -> u64 {
+        self.symmetry_hits
+    }
+
+    /// Products that had to be computed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Zero the counters (the stored matrices stay).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.symmetry_hits = 0;
+        self.misses = 0;
+    }
+
+    /// Non-counting lookup used by the planner: is this sub-path (or its
+    /// reversal) available, and at what nnz?
+    pub(crate) fn peek(&self, key: &[StepKey]) -> Option<&Arc<Csr>> {
+        self.map
+            .get(key)
+            .or_else(|| self.map.get(&reversed_key(key)))
+    }
+
+    /// Counting lookup used by the executor. Serves the reversed entry by
+    /// materializing (and caching) its transpose.
+    pub(crate) fn get(&mut self, key: &[StepKey]) -> Option<Arc<Csr>> {
+        if let Some(m) = self.map.get(key) {
+            self.hits += 1;
+            return Some(Arc::clone(m));
+        }
+        let rev = reversed_key(key);
+        if let Some(m) = self.map.get(&rev) {
+            let t = Arc::new(m.transpose());
+            self.map.insert(key.to_vec(), Arc::clone(&t));
+            self.hits += 1;
+            self.symmetry_hits += 1;
+            return Some(t);
+        }
+        None
+    }
+
+    /// Record a computed product.
+    pub(crate) fn put(&mut self, key: PathKey, value: Arc<Csr>) {
+        self.misses += 1;
+        self.map.insert(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Arc<Csr> {
+        Arc::new(Csr::from_triplets(2, 3, [(0u32, 1u32, 2.0), (1, 2, 5.0)]))
+    }
+
+    #[test]
+    fn exact_and_symmetry_reuse() {
+        let mut cache = MatrixCache::default();
+        let key: PathKey = vec![(0, true), (1, false)];
+        assert!(cache.get(&key).is_none());
+        cache.put(key.clone(), sample());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        // exact hit
+        let m = cache.get(&key).expect("cached");
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.symmetry_hits(), 0);
+
+        // reversed key served through a transpose
+        let rev = reversed_key(&key);
+        assert_eq!(rev, vec![(1, true), (0, false)]);
+        let t = cache.get(&rev).expect("transpose reuse");
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.get(1, 0), 2.0);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.symmetry_hits(), 1);
+
+        // the transpose is now cached under its own key: hit, not symmetry
+        let _ = cache.get(&rev).expect("now exact");
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.symmetry_hits(), 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut cache = MatrixCache::default();
+        let key: PathKey = vec![(3, true)];
+        cache.put(key.clone(), sample());
+        assert!(cache.peek(&key).is_some());
+        assert!(cache.peek(&reversed_key(&key)).is_some());
+        assert!(cache.peek(&[(9, true)]).is_none());
+        assert_eq!(cache.hits(), 0, "peek never counts a hit");
+        assert_eq!(cache.misses(), 1, "only the initial put counted");
+    }
+
+    #[test]
+    fn palindromic_keys_are_their_own_reversal() {
+        let key: PathKey = vec![(0, true), (0, false)];
+        assert_eq!(reversed_key(&key), key);
+    }
+}

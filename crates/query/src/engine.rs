@@ -1,0 +1,480 @@
+//! The query engine: parse → resolve → plan → execute, with a shared
+//! commuting-matrix cache.
+
+use std::sync::Arc;
+
+use hin_core::{Hin, NodeRef};
+use hin_linalg::Csr;
+use hin_similarity::{top_k_pathsim, MetaPath, PathStep};
+
+use crate::cache::{key_of, MatrixCache};
+use crate::error::QueryError;
+use crate::parse::{parse, Verb};
+use crate::plan::{plan_steps, PlanNode, QueryPlan};
+use crate::resolve::{resolve, ResolvedQuery};
+
+/// Default result-size cap for verbs that don't specify one.
+const DEFAULT_LIMIT: usize = 10;
+
+/// The result of one query: scored, named objects of one type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryOutput {
+    /// The verb that produced this output.
+    pub verb: Verb,
+    /// Type name of the returned objects.
+    pub object_type: String,
+    /// `(node name, score)` pairs, best first. Scores are PathSim values,
+    /// path counts, rank mass, or edge weights depending on the verb.
+    pub items: Vec<(String, f64)>,
+}
+
+/// A meta-path query engine over one loaded network.
+///
+/// The engine owns (a share of) the network and a memoizing
+/// commuting-matrix cache keyed by canonical sub-path. Queries are parsed,
+/// resolved against the schema, planned by a cost-based optimizer that
+/// treats cached sub-products as free leaves, and executed; every
+/// intermediate product lands in the cache, so repeated and overlapping
+/// queries get cheaper over time. [`Engine::execute_many`] is the batched
+/// entry point a future serving layer will drive.
+#[derive(Debug)]
+pub struct Engine {
+    hin: Arc<Hin>,
+    cache: MatrixCache,
+}
+
+impl Engine {
+    /// Build an engine owning `hin`.
+    pub fn new(hin: Hin) -> Self {
+        Self::from_arc(Arc::new(hin))
+    }
+
+    /// Build an engine sharing an already-`Arc`ed network.
+    pub fn from_arc(hin: Arc<Hin>) -> Self {
+        Self {
+            hin,
+            cache: MatrixCache::default(),
+        }
+    }
+
+    /// The underlying network.
+    pub fn hin(&self) -> &Hin {
+        &self.hin
+    }
+
+    /// Parse, resolve and plan `query` without executing it — the engine's
+    /// `EXPLAIN`. Does not touch cache statistics.
+    pub fn plan(&self, query: &str) -> Result<QueryPlan, QueryError> {
+        let resolved = resolve(&self.hin, &parse(query)?)?;
+        Ok(plan_steps(&self.hin, resolved.path.steps(), &self.cache))
+    }
+
+    /// Execute one query.
+    pub fn execute(&mut self, query: &str) -> Result<QueryOutput, QueryError> {
+        let resolved = resolve(&self.hin, &parse(query)?)?;
+        // Borrow-only evaluation: single-step paths read the relation
+        // matrix in place instead of copying it.
+        let hin = Arc::clone(&self.hin);
+        let plan = plan_steps(&hin, resolved.path.steps(), &self.cache);
+        let matrix = Self::eval(&hin, resolved.path.steps(), &mut self.cache, &plan.root);
+        self.assemble(&resolved, matrix.as_csr())
+    }
+
+    /// Execute a batch of queries against the shared cache, returning one
+    /// result per query in order.
+    ///
+    /// This is the seam for a serving layer: a front end collects inflight
+    /// requests, hands them here as a batch, and the cache turns
+    /// overlapping meta-paths across the batch into shared sub-products.
+    pub fn execute_many<S: AsRef<str>>(
+        &mut self,
+        queries: &[S],
+    ) -> Vec<Result<QueryOutput, QueryError>> {
+        queries.iter().map(|q| self.execute(q.as_ref())).collect()
+    }
+
+    /// The commuting matrix of an already-resolved meta-path, computed
+    /// through the planner and cache. Exposed for callers that want the
+    /// matrix itself rather than a verb's view of it.
+    pub fn commuting_matrix(&mut self, path: &MetaPath) -> Result<Arc<Csr>, QueryError> {
+        path.validate(&self.hin)?;
+        Ok(self.commuting_of(path))
+    }
+
+    /// Products served from cache so far (exact + symmetry).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// The subset of hits served by transposing a cached reversed path.
+    pub fn cache_symmetry_hits(&self) -> u64 {
+        self.cache.symmetry_hits()
+    }
+
+    /// Products computed (and cached) so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Number of cached matrices.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Zero the hit/miss counters, keeping cached matrices.
+    pub fn reset_cache_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+
+    fn commuting_of(&mut self, path: &MetaPath) -> Arc<Csr> {
+        let hin = Arc::clone(&self.hin);
+        let plan = plan_steps(&hin, path.steps(), &self.cache);
+        match Self::eval(&hin, path.steps(), &mut self.cache, &plan.root) {
+            Mat::Shared(m) => m,
+            Mat::Borrowed(m) => {
+                // Single-step path: the plan is a bare relation matrix.
+                // Cache the one-time copy so repeated calls share the Arc.
+                let key = key_of(path.steps());
+                if let Some(cached) = self.cache.get(&key) {
+                    return cached;
+                }
+                let arc = Arc::new(m.clone());
+                self.cache.put(key, Arc::clone(&arc));
+                arc
+            }
+        }
+    }
+
+    fn eval<'a>(
+        hin: &'a Hin,
+        steps: &[PathStep],
+        cache: &mut MatrixCache,
+        node: &PlanNode,
+    ) -> Mat<'a> {
+        match node {
+            PlanNode::Leaf { step } => Mat::Borrowed(steps[*step].matrix(hin)),
+            PlanNode::Cached { lo, hi } => {
+                let key = key_of(&steps[*lo..=*hi]);
+                match cache.get(&key) {
+                    Some(m) => Mat::Shared(m),
+                    None => {
+                        // The planner only emits `Cached` for spans it saw in
+                        // the cache, and nothing evicts between plan and
+                        // execution; recompute defensively if that ever drifts.
+                        debug_assert!(false, "cached span vanished before execution");
+                        let mats: Vec<&Csr> =
+                            steps[*lo..=*hi].iter().map(|s| s.matrix(hin)).collect();
+                        let m = Arc::new(hin_linalg::spmm_chain(&mats));
+                        cache.put(key, Arc::clone(&m));
+                        Mat::Shared(m)
+                    }
+                }
+            }
+            PlanNode::Mul {
+                left,
+                right,
+                lo,
+                hi,
+            } => {
+                // The plan was made against the cache as it stood, but
+                // evaluating a sibling may have just cached this very span
+                // (or its reversal — common in symmetric paths, where the
+                // right half is the left half transposed). Check again
+                // before paying for a sparse product.
+                let key = key_of(&steps[*lo..=*hi]);
+                if let Some(m) = cache.get(&key) {
+                    return Mat::Shared(m);
+                }
+                let l = Self::eval(hin, steps, cache, left);
+                let r = Self::eval(hin, steps, cache, right);
+                let product = Arc::new(l.as_csr().spgemm(r.as_csr()));
+                cache.put(key, Arc::clone(&product));
+                Mat::Shared(product)
+            }
+        }
+    }
+
+    fn assemble(&self, resolved: &ResolvedQuery, matrix: &Csr) -> Result<QueryOutput, QueryError> {
+        let hin = &self.hin;
+        let end_name = hin.type_name(resolved.end).to_string();
+        let named = |items: Vec<(usize, f64)>| -> Vec<(String, f64)> {
+            items
+                .into_iter()
+                .map(|(id, score)| {
+                    (
+                        hin.node_name(NodeRef {
+                            ty: resolved.end,
+                            id: id as u32,
+                        })
+                        .to_string(),
+                        score,
+                    )
+                })
+                .collect()
+        };
+
+        let items = match resolved.verb {
+            Verb::PathSim | Verb::TopK => {
+                let x = resolved.from.expect("resolver enforces `from`").id as usize;
+                let k = resolved.limit.unwrap_or(DEFAULT_LIMIT);
+                named(top_k_pathsim(matrix, x, k))
+            }
+            // Both verbs read the anchor's row of the commuting matrix.
+            // `path_count` from `hin_similarity` is not used here: it always
+            // excludes the entry whose index equals the anchor's, which is
+            // only meaningful when start and end types coincide — on a
+            // cross-type path it would silently drop an unrelated object
+            // that happens to share the anchor's numeric id.
+            Verb::PathCount | Verb::Neighbors => {
+                let x = resolved.from.expect("resolver enforces `from`").id as usize;
+                let exclude_self = resolved.start == resolved.end;
+                let (idx, vals) = matrix.row(x);
+                let mut row: Vec<(usize, f64)> = idx
+                    .iter()
+                    .map(|&y| y as usize)
+                    .zip(vals.iter().copied())
+                    .filter(|&(y, _)| !(exclude_self && y == x))
+                    .collect();
+                row.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+                let default_limit = match resolved.verb {
+                    Verb::PathCount => DEFAULT_LIMIT,
+                    _ => usize::MAX,
+                };
+                row.truncate(resolved.limit.unwrap_or(default_limit));
+                named(row)
+            }
+            Verb::Rank => {
+                let mut sums: Vec<(usize, f64)> = matrix
+                    .row_sums()
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, s)| s > 0.0)
+                    .collect();
+                sums.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+                sums.truncate(resolved.limit.unwrap_or(DEFAULT_LIMIT));
+                // rank verb scores objects of the *start* type by row sums
+                return Ok(QueryOutput {
+                    verb: resolved.verb,
+                    object_type: hin.type_name(resolved.start).to_string(),
+                    items: sums
+                        .into_iter()
+                        .map(|(id, score)| {
+                            (
+                                hin.node_name(NodeRef {
+                                    ty: resolved.start,
+                                    id: id as u32,
+                                })
+                                .to_string(),
+                                score,
+                            )
+                        })
+                        .collect(),
+                });
+            }
+        };
+
+        Ok(QueryOutput {
+            verb: resolved.verb,
+            object_type: end_name,
+            items,
+        })
+    }
+}
+
+enum Mat<'a> {
+    Borrowed(&'a Csr),
+    Shared(Arc<Csr>),
+}
+
+impl Mat<'_> {
+    fn as_csr(&self) -> &Csr {
+        match self {
+            Mat::Borrowed(m) => m,
+            Mat::Shared(m) => m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_core::HinBuilder;
+    use hin_similarity::commuting_matrix;
+
+    /// papers p0{a0,a1}@v0, p1{a1}@v0, p2{a2}@v1 — the metapath fixture.
+    fn bib() -> Hin {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let venue = b.add_type("venue");
+        let pa = b.add_relation("written_by", paper, author);
+        let pv = b.add_relation("published_in", paper, venue);
+        b.link(pa, "p0", "a0", 1.0);
+        b.link(pa, "p0", "a1", 1.0);
+        b.link(pa, "p1", "a1", 1.0);
+        b.link(pa, "p2", "a2", 1.0);
+        b.link(pv, "p0", "v0", 1.0);
+        b.link(pv, "p1", "v0", 1.0);
+        b.link(pv, "p2", "v1", 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn pathsim_matches_direct_computation() {
+        let hin = bib();
+        let apa = MetaPath::from_type_names(&hin, &["author", "paper", "author"]).unwrap();
+        let m = commuting_matrix(&hin, &apa).unwrap();
+        let direct = top_k_pathsim(&m, 0, 5);
+
+        let mut engine = Engine::new(hin);
+        let out = engine
+            .execute("pathsim author-paper-author from a0")
+            .unwrap();
+        assert_eq!(out.object_type, "author");
+        assert_eq!(out.items.len(), direct.len());
+        for ((name, score), (id, want)) in out.items.iter().zip(&direct) {
+            assert_eq!(
+                name,
+                engine.hin().node_name(NodeRef {
+                    ty: engine.hin().type_by_name("author").unwrap(),
+                    id: *id as u32,
+                })
+            );
+            assert!((score - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let mut engine = Engine::new(bib());
+        let q = "pathsim author-paper-venue-paper-author from a0";
+        let first = engine.execute(q).unwrap();
+        let computed = engine.cache_misses();
+        assert!(computed > 0);
+        // even the cold run reuses across the palindrome: the second half
+        // of A-P-V-P-A is the transpose of the first half
+        assert!(
+            engine.cache_symmetry_hits() >= 1,
+            "symmetric halves must share work within one query"
+        );
+        let cold_hits = engine.cache_hits();
+
+        let second = engine.execute(q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            engine.cache_misses(),
+            computed,
+            "no recomputation on the warm path"
+        );
+        assert!(engine.cache_hits() > cold_hits);
+    }
+
+    #[test]
+    fn overlapping_queries_share_subproducts_via_transpose() {
+        let mut engine = Engine::new(bib());
+        // Warm the A→P→V half-path…
+        engine
+            .execute("pathcount author-paper-venue from a0")
+            .unwrap();
+        let warm_misses = engine.cache_misses();
+        // …then its reversal must be served by transposing, not recomputing.
+        engine
+            .execute("pathcount venue-paper-author from v0")
+            .unwrap();
+        assert_eq!(engine.cache_misses(), warm_misses);
+        assert!(engine.cache_symmetry_hits() >= 1);
+    }
+
+    #[test]
+    fn verbs_agree_on_the_commuting_matrix() {
+        let hin = bib();
+        let mut engine = Engine::new(hin);
+
+        let count = engine
+            .execute("pathcount author-paper-author from a1 limit 5")
+            .unwrap();
+        // a1 co-authored p0 with a0 → 1 shared paper
+        assert_eq!(count.items, vec![("a0".to_string(), 1.0)]);
+
+        let peers = engine
+            .execute("topk 1 author-paper-author from a1")
+            .unwrap();
+        assert_eq!(peers.items.len(), 1);
+        assert_eq!(peers.items[0].0, "a0");
+
+        let venues = engine.execute("rank venue-paper-author limit 2").unwrap();
+        assert_eq!(venues.object_type, "venue");
+        // v0 hosts 3 author-paper incidences, v1 hosts 1
+        assert_eq!(venues.items[0], ("v0".to_string(), 3.0));
+        assert_eq!(venues.items[1], ("v1".to_string(), 1.0));
+
+        let authors = engine.execute("neighbors ^written_by from a1").unwrap();
+        assert_eq!(authors.object_type, "paper");
+        assert_eq!(authors.items.len(), 2, "a1 wrote p0 and p1");
+    }
+
+    #[test]
+    fn cross_type_pathcount_keeps_id_coincident_objects() {
+        // p0 and a0 share numeric id 0; a cross-type count from p0 must
+        // still report a0 (regression: a same-type-only self-exclusion
+        // used to drop it).
+        let mut engine = Engine::new(bib());
+        let out = engine.execute("pathcount written_by from p0").unwrap();
+        assert_eq!(out.object_type, "author");
+        assert!(
+            out.items.iter().any(|(name, _)| name == "a0"),
+            "a0 (id 0) must appear in counts from p0 (id 0): {:?}",
+            out.items
+        );
+    }
+
+    #[test]
+    fn neighbors_excludes_self_on_round_trips() {
+        let mut engine = Engine::new(bib());
+        let out = engine
+            .execute("neighbors author-paper-author from a0")
+            .unwrap();
+        assert!(out.items.iter().all(|(name, _)| name != "a0"));
+    }
+
+    #[test]
+    fn execute_many_reports_per_query_results() {
+        let mut engine = Engine::new(bib());
+        let results = engine.execute_many(&[
+            "pathsim author-paper-author from a0",
+            "pathsim author-paper-author from nobody",
+            "rank venue-paper-author",
+        ]);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(QueryError::Hin(hin_core::HinError::UnknownNode { .. }))
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn commuting_matrix_api_shares_the_cache() {
+        let hin = bib();
+        let apa = MetaPath::from_type_names(&hin, &["author", "paper", "author"]).unwrap();
+        let direct = commuting_matrix(&hin, &apa).unwrap();
+        let mut engine = Engine::new(hin);
+        let cached = engine.commuting_matrix(&apa).unwrap();
+        assert_eq!(*cached, direct);
+        let again = engine.commuting_matrix(&apa).unwrap();
+        assert!(Arc::ptr_eq(&cached, &again), "second call is the same Arc");
+        assert!(engine.cache_hits() >= 1);
+    }
+
+    #[test]
+    fn plan_is_inspectable_without_execution() {
+        let engine = Engine::new(bib());
+        let plan = engine
+            .plan("pathsim author-paper-venue-paper-author from a0")
+            .unwrap();
+        assert_eq!(plan.root.span(), (0, 3));
+        assert!(plan.describe().contains("author→paper"));
+        assert_eq!(engine.cache_misses(), 0, "planning computes nothing");
+    }
+}

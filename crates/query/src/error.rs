@@ -1,0 +1,99 @@
+//! Query-engine errors.
+
+use std::fmt;
+
+use hin_core::HinError;
+
+/// Everything that can go wrong between query text and query result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text does not match the grammar.
+    Parse(String),
+    /// A path segment names neither a node type nor a relation.
+    UnknownName(String),
+    /// More than one relation connects a consecutive type pair; the query
+    /// must name one explicitly (`…-^written_by-…`) instead of having the
+    /// engine guess.
+    AmbiguousRelation {
+        /// Source type name.
+        src: String,
+        /// Destination type name.
+        dst: String,
+        /// The candidate relation names.
+        candidates: Vec<String>,
+    },
+    /// A relation step's source type does not match the path position.
+    IncompatibleStep {
+        /// The relation named by the step.
+        relation: String,
+        /// Type the path is at.
+        at: String,
+        /// Type the step expects.
+        expects: String,
+        /// Whether the step was written `^relation` (backward).
+        backward: bool,
+    },
+    /// `pathsim`/`topk` require a symmetric (palindromic) meta-path.
+    NotSymmetric {
+        /// Rendering of the offending path.
+        path: String,
+    },
+    /// The path resolved to zero steps.
+    EmptyPath,
+    /// An error surfaced by the underlying network.
+    Hin(HinError),
+}
+
+impl From<HinError> for QueryError {
+    fn from(e: HinError) -> Self {
+        QueryError::Hin(e)
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
+            QueryError::UnknownName(name) => {
+                write!(f, "`{name}` names neither a node type nor a relation")
+            }
+            QueryError::AmbiguousRelation {
+                src,
+                dst,
+                candidates,
+            } => write!(
+                f,
+                "ambiguous step `{src}`-`{dst}`: multiple relations connect these types \
+                 ({}); name one explicitly, e.g. `-{}-…`",
+                candidates.join(", "),
+                candidates.first().map(String::as_str).unwrap_or("rel")
+            ),
+            QueryError::IncompatibleStep {
+                relation,
+                at,
+                expects,
+                backward,
+            } => {
+                let hint = if *backward {
+                    format!("drop the `^` to traverse `{relation}` forward")
+                } else {
+                    format!("use `^{relation}` for the reverse direction")
+                };
+                write!(
+                    f,
+                    "relation `{relation}` expects source type `{expects}` but the path is at \
+                     `{at}` ({hint})"
+                )
+            }
+            QueryError::NotSymmetric { path } => write!(
+                f,
+                "`{path}` is not a symmetric meta-path; pathsim/topk need a palindrome \
+                 such as `author-paper-author`"
+            ),
+            QueryError::EmptyPath => write!(f, "the path resolves to zero relation steps"),
+            QueryError::Hin(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,60 @@
+//! `hin-query` — a meta-path query engine with a cost-based planner and a
+//! commuting-matrix cache.
+//!
+//! The SIGMOD'10 tutorial's thesis is that a database viewed as a
+//! heterogeneous information network becomes *queryable for knowledge*:
+//! similarity, ranking and neighborhood questions are all functions of
+//! meta-path commuting matrices. This crate turns that observation into an
+//! engine:
+//!
+//! * [`parse`] — a small textual query language: verbs `pathsim`,
+//!   `pathcount`, `rank`, `topk`, `neighbors` over meta-path expressions
+//!   (`author-paper-venue` type paths, `^written_by` explicit relation
+//!   steps, `^` = reverse traversal);
+//! * [`resolve`] — binding expressions to a concrete
+//!   [`hin_core::Hin`] schema, with ambiguity *detection* (two relations
+//!   between a type pair is an error naming the candidates, never a silent
+//!   guess);
+//! * [`plan`] — matrix-chain cost-based planning using the sparse flop and
+//!   nnz estimates from [`hin_linalg::chain`], extended so contiguous
+//!   sub-paths already in the cache become free plan leaves;
+//! * [`engine`] — [`Engine`]: executes plans, memoizes every intermediate
+//!   commuting matrix keyed by canonical sub-path (with transpose reuse:
+//!   the matrix of a reversed path is served by transposing the cached
+//!   forward one), and exposes hit/miss counters.
+//!
+//! # Example
+//!
+//! ```
+//! use hin_core::HinBuilder;
+//! use hin_query::Engine;
+//!
+//! let mut b = HinBuilder::new();
+//! let paper = b.add_type("paper");
+//! let author = b.add_type("author");
+//! let wrote = b.add_relation("written_by", paper, author);
+//! b.link(wrote, "net-clus", "sun", 1.0);
+//! b.link(wrote, "net-clus", "han", 1.0);
+//! b.link(wrote, "rank-clus", "sun", 1.0);
+//!
+//! let mut engine = Engine::new(b.build());
+//! let peers = engine.execute("pathsim author-paper-author from sun").unwrap();
+//! assert_eq!(peers.items[0].0, "han");
+//!
+//! // same path again: served from the commuting-matrix cache
+//! engine.execute("pathsim author-paper-author from han").unwrap();
+//! assert!(engine.cache_hits() >= 1);
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod parse;
+pub mod plan;
+pub mod resolve;
+
+pub use engine::{Engine, QueryOutput};
+pub use error::QueryError;
+pub use parse::{parse, ParsedQuery, PathExpr, PathSegment, Verb};
+pub use plan::{plan_steps, PlanNode, QueryPlan};
+pub use resolve::{resolve, resolve_path, ResolvedQuery};

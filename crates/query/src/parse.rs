@@ -1,0 +1,335 @@
+//! Query text → abstract syntax.
+//!
+//! Grammar (whitespace-separated; `"…"` quotes names containing spaces):
+//!
+//! ```text
+//! query     := "pathsim"   path "from" node [limit]
+//!            | "pathcount" path "from" node [limit]
+//!            | "topk" INT  path "from" node
+//!            | "rank"      path [limit]
+//!            | "neighbors" path "from" node [limit]
+//! limit     := "limit" INT
+//! path      := segment ("-" segment)*
+//! segment   := TYPE_NAME | ["^"] RELATION_NAME
+//! ```
+//!
+//! A path mixes type waypoints (`author-paper-venue`) and explicit relation
+//! steps (`^written_by-published_in`); `^` traverses a relation against its
+//! stored direction. Resolution against a concrete network happens later,
+//! in [`crate::resolve`].
+
+use crate::error::QueryError;
+
+/// The operation a query requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verb {
+    /// PathSim peer scores from an anchor object (symmetric paths only).
+    PathSim,
+    /// Raw commuting-matrix path counts from an anchor object.
+    PathCount,
+    /// Rank all start-type objects by total path volume (row sums).
+    Rank,
+    /// Top-k PathSim neighbors — `pathsim` with a mandatory k.
+    TopK,
+    /// Objects reachable from an anchor with nonzero path weight.
+    Neighbors,
+}
+
+impl Verb {
+    /// The keyword form.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verb::PathSim => "pathsim",
+            Verb::PathCount => "pathcount",
+            Verb::Rank => "rank",
+            Verb::TopK => "topk",
+            Verb::Neighbors => "neighbors",
+        }
+    }
+}
+
+/// One `-`-separated element of a path expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathSegment {
+    /// Type or relation name.
+    pub name: String,
+    /// `true` when written `^name` (reverse relation traversal).
+    pub backward: bool,
+}
+
+/// An unresolved meta-path expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathExpr {
+    /// The segments in order.
+    pub segments: Vec<PathSegment>,
+}
+
+impl std::fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-")?;
+            }
+            if s.backward {
+                write!(f, "^")?;
+            }
+            write!(f, "{}", s.name)?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed (but not yet schema-resolved) query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedQuery {
+    /// Requested operation.
+    pub verb: Verb,
+    /// The meta-path expression.
+    pub path: PathExpr,
+    /// Anchor node name (`from …`), when the verb takes one.
+    pub from: Option<String>,
+    /// Result-size limit (`limit …`, or the k of `topk`).
+    pub limit: Option<usize>,
+}
+
+/// Parse one query string.
+pub fn parse(input: &str) -> Result<ParsedQuery, QueryError> {
+    let tokens = tokenize(input)?;
+    let mut pos = 0usize;
+    let next = |pos: &mut usize, what: &str| -> Result<Token, QueryError> {
+        let t = tokens
+            .get(*pos)
+            .cloned()
+            .ok_or_else(|| QueryError::Parse(format!("expected {what}, found end of query")))?;
+        *pos += 1;
+        Ok(t)
+    };
+
+    let verb_tok = next(&mut pos, "a verb (pathsim|pathcount|rank|topk|neighbors)")?;
+    let verb = match verb_tok.text.as_str() {
+        "pathsim" => Verb::PathSim,
+        "pathcount" => Verb::PathCount,
+        "rank" => Verb::Rank,
+        "topk" => Verb::TopK,
+        "neighbors" => Verb::Neighbors,
+        other => {
+            return Err(QueryError::Parse(format!(
+                "unknown verb `{other}`; expected pathsim, pathcount, rank, topk or neighbors"
+            )))
+        }
+    };
+
+    let mut limit = None;
+    if verb == Verb::TopK {
+        let k = next(&mut pos, "k after `topk`")?;
+        limit = Some(parse_int(&k)?);
+    }
+
+    let path_tok = next(&mut pos, "a meta-path expression")?;
+    let path = parse_path(&path_tok.text)?;
+
+    let mut from = None;
+    if matches!(
+        verb,
+        Verb::PathSim | Verb::PathCount | Verb::TopK | Verb::Neighbors
+    ) {
+        let kw = next(&mut pos, "`from <node>`")?;
+        if kw.text != "from" || kw.quoted {
+            return Err(QueryError::Parse(format!(
+                "{} needs `from <node>`, found `{}`",
+                verb.as_str(),
+                kw.text
+            )));
+        }
+        from = Some(next(&mut pos, "a node name after `from`")?.text);
+    }
+
+    if pos < tokens.len() && tokens[pos].text == "limit" && !tokens[pos].quoted {
+        if verb == Verb::TopK {
+            return Err(QueryError::Parse(
+                "`topk` already carries its k; `limit` is not allowed".to_string(),
+            ));
+        }
+        pos += 1;
+        let k = next(&mut pos, "a count after `limit`")?;
+        limit = Some(parse_int(&k)?);
+    }
+
+    if pos < tokens.len() {
+        return Err(QueryError::Parse(format!(
+            "unexpected trailing input starting at `{}`",
+            tokens[pos].text
+        )));
+    }
+
+    Ok(ParsedQuery {
+        verb,
+        path,
+        from,
+        limit,
+    })
+}
+
+/// Parse a `-`-separated path expression.
+pub fn parse_path(text: &str) -> Result<PathExpr, QueryError> {
+    let mut segments = Vec::new();
+    for raw in text.split('-') {
+        if raw.is_empty() {
+            return Err(QueryError::Parse(format!(
+                "empty segment in path `{text}` (stray or trailing `-`)"
+            )));
+        }
+        let (backward, name) = match raw.strip_prefix('^') {
+            Some(rest) => (true, rest),
+            None => (false, raw),
+        };
+        if name.is_empty() {
+            return Err(QueryError::Parse(format!(
+                "`^` without a relation name in path `{text}`"
+            )));
+        }
+        segments.push(PathSegment {
+            name: name.to_string(),
+            backward,
+        });
+    }
+    if segments.is_empty() {
+        return Err(QueryError::Parse("empty path expression".to_string()));
+    }
+    Ok(PathExpr { segments })
+}
+
+#[derive(Clone, Debug)]
+struct Token {
+    text: String,
+    quoted: bool,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut text = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some(ch) => text.push(ch),
+                    None => {
+                        return Err(QueryError::Parse(format!(
+                            "unterminated quoted name in `{input}`"
+                        )))
+                    }
+                }
+            }
+            tokens.push(Token { text, quoted: true });
+        } else {
+            let mut text = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() || ch == '"' {
+                    break;
+                }
+                text.push(ch);
+                chars.next();
+            }
+            tokens.push(Token {
+                text,
+                quoted: false,
+            });
+        }
+    }
+    if tokens.is_empty() {
+        return Err(QueryError::Parse("empty query".to_string()));
+    }
+    Ok(tokens)
+}
+
+fn parse_int(tok: &Token) -> Result<usize, QueryError> {
+    tok.text
+        .parse::<usize>()
+        .map_err(|_| QueryError::Parse(format!("expected a number, found `{}`", tok.text)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        let q = parse("pathsim author-paper-author from author_a0_0").unwrap();
+        assert_eq!(q.verb, Verb::PathSim);
+        assert_eq!(q.path.segments.len(), 3);
+        assert_eq!(q.from.as_deref(), Some("author_a0_0"));
+        assert_eq!(q.limit, None);
+
+        let q = parse("pathcount author-paper-venue from \"ann b\" limit 3").unwrap();
+        assert_eq!(q.verb, Verb::PathCount);
+        assert_eq!(q.from.as_deref(), Some("ann b"));
+        assert_eq!(q.limit, Some(3));
+
+        let q = parse("topk 7 author-paper-author from a0").unwrap();
+        assert_eq!(q.verb, Verb::TopK);
+        assert_eq!(q.limit, Some(7));
+
+        let q = parse("rank venue-paper-author limit 5").unwrap();
+        assert_eq!(q.verb, Verb::Rank);
+        assert!(q.from.is_none());
+        assert_eq!(q.limit, Some(5));
+
+        let q = parse("neighbors ^written_by from paper_0").unwrap();
+        assert_eq!(q.verb, Verb::Neighbors);
+        assert!(q.path.segments[0].backward);
+        assert_eq!(q.path.segments[0].name, "written_by");
+    }
+
+    #[test]
+    fn path_round_trips_through_display() {
+        for text in [
+            "author-paper-author",
+            "^written_by-published_in",
+            "author-^written_by-paper-venue",
+        ] {
+            let path = parse_path(text).unwrap();
+            assert_eq!(path.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn malformed_queries_are_rejected() {
+        // every case: (input, substring expected in the error)
+        let cases = [
+            ("", "empty query"),
+            ("pathsim", "meta-path"),
+            ("frobnicate a-b from x", "unknown verb"),
+            ("pathsim author-paper-author", "from"),
+            ("pathsim author-paper-author from", "node name"),
+            ("topk author-paper-author from x", "number"),
+            (
+                "topk 3 author-paper-author from x limit 4",
+                "already carries",
+            ),
+            ("pathsim a--b from x", "empty segment"),
+            ("pathsim a-b- from x", "empty segment"),
+            ("pathsim ^-b from x", "`^` without"),
+            ("pathsim a-b from x extra", "trailing"),
+            ("pathsim a-b from \"unterminated", "unterminated"),
+            ("rank a-b limit many", "number"),
+        ];
+        for (input, want) in cases {
+            let err = parse(input).expect_err(input).to_string();
+            assert!(
+                err.contains(want),
+                "`{input}` → `{err}` (expected to mention `{want}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn quoted_from_names_keep_spaces() {
+        let q = parse("neighbors written_by from \"Jeffrey D. Ullman\"").unwrap();
+        assert_eq!(q.from.as_deref(), Some("Jeffrey D. Ullman"));
+    }
+}

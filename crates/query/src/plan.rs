@@ -1,0 +1,254 @@
+//! Cost-based planning of commuting-matrix evaluation.
+//!
+//! A resolved meta-path is a chain of sparse adjacency matrices. The
+//! planner runs the classic matrix-chain dynamic program with the sparse
+//! cost model from [`hin_linalg::chain`], extended with one extra leaf
+//! kind: a contiguous sub-path already present in the engine's
+//! [`MatrixCache`](crate::cache::MatrixCache) (directly or as its
+//! reversal) costs nothing and contributes its exact nnz. Cached spans
+//! therefore attract the optimizer — repeated and overlapping queries
+//! converge onto shared sub-products instead of recomputing them.
+
+use hin_core::Hin;
+use hin_linalg::{spmm_chain_order_priced, Csr, MatSummary, PlanTree};
+use hin_similarity::PathStep;
+
+use crate::cache::{key_of, MatrixCache};
+
+/// One node of a query's evaluation plan, over step indices `lo..=hi`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanNode {
+    /// A single relation adjacency matrix, used as stored (free).
+    Leaf {
+        /// Step index.
+        step: usize,
+    },
+    /// A sub-path product served from the commuting-matrix cache.
+    Cached {
+        /// First step of the span.
+        lo: usize,
+        /// Last step of the span (inclusive).
+        hi: usize,
+    },
+    /// A sparse product of two sub-plans.
+    Mul {
+        /// Left operand.
+        left: Box<PlanNode>,
+        /// Right operand.
+        right: Box<PlanNode>,
+        /// First step covered.
+        lo: usize,
+        /// Last step covered (inclusive).
+        hi: usize,
+    },
+}
+
+impl PlanNode {
+    /// Covered span `(lo, hi)`, inclusive.
+    pub fn span(&self) -> (usize, usize) {
+        match self {
+            PlanNode::Leaf { step } => (*step, *step),
+            PlanNode::Cached { lo, hi } => (*lo, *hi),
+            PlanNode::Mul { lo, hi, .. } => (*lo, *hi),
+        }
+    }
+
+    /// `true` when every product multiplies an accumulated left operand by
+    /// an atomic right operand — the naive left-to-right shape.
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            PlanNode::Leaf { .. } | PlanNode::Cached { .. } => true,
+            PlanNode::Mul { left, right, .. } => {
+                matches!(**right, PlanNode::Leaf { .. } | PlanNode::Cached { .. })
+                    && left.is_left_deep()
+            }
+        }
+    }
+
+    /// Number of sparse products this plan will execute.
+    pub fn product_count(&self) -> usize {
+        match self {
+            PlanNode::Leaf { .. } | PlanNode::Cached { .. } => 0,
+            PlanNode::Mul { left, right, .. } => 1 + left.product_count() + right.product_count(),
+        }
+    }
+
+    fn render(&self, labels: &[String]) -> String {
+        match self {
+            PlanNode::Leaf { step } => labels[*step].clone(),
+            PlanNode::Cached { lo, hi } => {
+                format!("cache[{}]", labels[*lo..=*hi].join("·"))
+            }
+            PlanNode::Mul { left, right, .. } => {
+                format!("({}·{})", left.render(labels), right.render(labels))
+            }
+        }
+    }
+}
+
+/// A planned query: evaluation tree plus cost diagnostics.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// The evaluation tree.
+    pub root: PlanNode,
+    /// Estimated multiply-adds under the chosen order (cached spans cost 0).
+    pub est_flops: f64,
+    /// Estimated multiply-adds of naive left-to-right evaluation with no
+    /// cache, for comparison.
+    pub left_to_right_flops: f64,
+    /// Human-readable step labels (`src→dst` type names), for rendering.
+    labels: Vec<String>,
+}
+
+impl QueryPlan {
+    /// Render the tree with type-level step labels, e.g.
+    /// `((author→paper·paper→venue)·cache[venue→paper·paper→author])`.
+    pub fn describe(&self) -> String {
+        self.root.render(&self.labels)
+    }
+}
+
+impl std::fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (est {:.0} flops; left-to-right {:.0})",
+            self.describe(),
+            self.est_flops,
+            self.left_to_right_flops
+        )
+    }
+}
+
+/// Plan the evaluation of `steps` against the current cache contents.
+///
+/// Delegates the dynamic program to
+/// [`hin_linalg::chain::spmm_chain_order_priced`], pricing every contiguous
+/// sub-path found in the cache (directly or reversed) as a free leaf with
+/// exact nnz.
+pub fn plan_steps(hin: &Hin, steps: &[PathStep], cache: &MatrixCache) -> QueryPlan {
+    assert!(!steps.is_empty(), "plan_steps: empty step chain");
+    let mats: Vec<&Csr> = steps.iter().map(|s| s.matrix(hin)).collect();
+    let full_key = key_of(steps);
+
+    let labels: Vec<String> = steps
+        .iter()
+        .map(|s| {
+            let (src, dst) = s.endpoints(hin);
+            format!("{}→{}", hin.type_name(src), hin.type_name(dst))
+        })
+        .collect();
+
+    let summaries: Vec<MatSummary> = mats.iter().map(|m| MatSummary::from(*m)).collect();
+    let chain = spmm_chain_order_priced(&summaries, |lo, hi| {
+        cache.peek(&full_key[lo..=hi]).map(|m| m.nnz())
+    });
+
+    fn convert(tree: &PlanTree) -> PlanNode {
+        match tree {
+            PlanTree::Leaf(i) => PlanNode::Leaf { step: *i },
+            PlanTree::Span(lo, hi) => PlanNode::Cached { lo: *lo, hi: *hi },
+            PlanTree::Mul(l, r) => {
+                let (lo, _) = l.span();
+                let (_, hi) = r.span();
+                PlanNode::Mul {
+                    left: Box::new(convert(l)),
+                    right: Box::new(convert(r)),
+                    lo,
+                    hi,
+                }
+            }
+        }
+    }
+
+    QueryPlan {
+        root: convert(&chain.tree),
+        est_flops: chain.est_flops,
+        left_to_right_flops: chain.left_to_right_flops,
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::key_of;
+    use hin_core::HinBuilder;
+    use std::sync::Arc;
+
+    /// A star network with a deliberately hub-heavy center so that the
+    /// middle-out association wins: many papers, few authors, very few
+    /// venues.
+    fn skewed() -> (Hin, Vec<PathStep>) {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let venue = b.add_type("venue");
+        let pa = b.add_relation("written_by", paper, author);
+        let pv = b.add_relation("published_in", paper, venue);
+        for p in 0..300 {
+            let pn = format!("p{p}");
+            b.link(pa, &pn, &format!("a{}", p % 12), 1.0);
+            b.link(pa, &pn, &format!("a{}", (p * 7 + 1) % 12), 1.0);
+            b.link(pv, &pn, &format!("v{}", p % 3), 1.0);
+        }
+        let hin = b.build();
+        // P-A-P-V: left-to-right materializes the 300×300 co-author overlap
+        let steps = vec![
+            PathStep::Forward(pa),
+            PathStep::Backward(pa),
+            PathStep::Forward(pv),
+        ];
+        (hin, steps)
+    }
+
+    #[test]
+    fn planner_avoids_the_dense_intermediate() {
+        let (hin, steps) = skewed();
+        let cache = MatrixCache::default();
+        let plan = plan_steps(&hin, &steps, &cache);
+        assert!(
+            !plan.root.is_left_deep(),
+            "expected middle-out association, got {}",
+            plan.describe()
+        );
+        assert!(plan.est_flops < plan.left_to_right_flops);
+        assert_eq!(plan.root.span(), (0, 2));
+        assert_eq!(plan.root.product_count(), 2);
+    }
+
+    #[test]
+    fn cached_spans_become_plan_leaves() {
+        let (hin, steps) = skewed();
+        let mut cache = MatrixCache::default();
+        // Preload the tail pair A-P·P-V as if a previous query computed it.
+        let tail = key_of(&steps[1..=2]);
+        let m = steps[1].matrix(&hin).spgemm(steps[2].matrix(&hin));
+        cache.put(tail, Arc::new(m));
+
+        let plan = plan_steps(&hin, &steps, &cache);
+        assert_eq!(
+            plan.root,
+            PlanNode::Mul {
+                left: Box::new(PlanNode::Leaf { step: 0 }),
+                right: Box::new(PlanNode::Cached { lo: 1, hi: 2 }),
+                lo: 0,
+                hi: 2,
+            },
+            "plan should lean on the cached tail: {}",
+            plan.describe()
+        );
+        assert!(plan.describe().contains("cache["));
+        assert_eq!(plan.root.product_count(), 1);
+    }
+
+    #[test]
+    fn single_step_plans_are_leaves() {
+        let (hin, steps) = skewed();
+        let cache = MatrixCache::default();
+        let plan = plan_steps(&hin, &steps[..1], &cache);
+        assert_eq!(plan.root, PlanNode::Leaf { step: 0 });
+        assert_eq!(plan.est_flops, 0.0);
+        assert!(plan.root.is_left_deep());
+    }
+}

@@ -174,10 +174,13 @@ mod tests {
             [(1u32, 3u32, 1.0), (3, 1, 1.0), (0, 1, 1.0), (1, 0, 1.0)],
         );
         let net = BiNet::from_matrix(wxy.clone()).with_wyy(wyy);
-        let with = authority_rank(&net, &AuthorityConfig {
-            alpha: 0.7,
-            ..Default::default()
-        });
+        let with = authority_rank(
+            &net,
+            &AuthorityConfig {
+                alpha: 0.7,
+                ..Default::default()
+            },
+        );
         let without = authority_rank(&BiNet::from_matrix(wxy), &AuthorityConfig::default());
         assert_eq!(without.ry[3], 0.0);
         assert!(with.ry[3] > 0.0, "smoothing should reach author 3");

@@ -35,12 +35,12 @@ impl Database {
             )));
         }
         for fk in &schema.foreign_keys {
-            let target = self
-                .table(&fk.ref_table)
-                .map_err(|_| DbError::Schema(format!(
+            let target = self.table(&fk.ref_table).map_err(|_| {
+                DbError::Schema(format!(
                     "foreign key `{}` references missing table `{}`",
                     fk.column, fk.ref_table
-                )))?;
+                ))
+            })?;
             if target.schema().primary_key.is_none() {
                 return Err(DbError::Schema(format!(
                     "foreign key target `{}` has no primary key",
@@ -104,11 +104,7 @@ impl Database {
         let schema = t.schema();
         Ok((0..t.len())
             .filter(|&i| {
-                predicate.eval(&|col| {
-                    schema
-                        .column_index(col)
-                        .map(|c| t.row(i)[c].clone())
-                })
+                predicate.eval(&|col| schema.column_index(col).map(|c| t.row(i)[c].clone()))
             })
             .collect())
     }
@@ -212,12 +208,22 @@ mod tests {
             .unwrap();
         db.insert(
             "paper",
-            vec![Value::Int(10), Value::str("RankClus"), Value::Int(1), Value::Int(2009)],
+            vec![
+                Value::Int(10),
+                Value::str("RankClus"),
+                Value::Int(1),
+                Value::Int(2009),
+            ],
         )
         .unwrap();
         db.insert(
             "paper",
-            vec![Value::Int(11), Value::str("NetClus"), Value::Int(2), Value::Int(2009)],
+            vec![
+                Value::Int(11),
+                Value::str("NetClus"),
+                Value::Int(2),
+                Value::Int(2009),
+            ],
         )
         .unwrap();
         db
@@ -229,14 +235,24 @@ mod tests {
         let err = db
             .insert(
                 "paper",
-                vec![Value::Int(12), Value::str("X"), Value::Int(99), Value::Int(2010)],
+                vec![
+                    Value::Int(12),
+                    Value::str("X"),
+                    Value::Int(99),
+                    Value::Int(2010),
+                ],
             )
             .unwrap_err();
         assert!(matches!(err, DbError::BrokenReference { .. }));
         // null FK is allowed
         db.insert(
             "paper",
-            vec![Value::Int(12), Value::str("X"), Value::Null, Value::Int(2010)],
+            vec![
+                Value::Int(12),
+                Value::str("X"),
+                Value::Null,
+                Value::Int(2010),
+            ],
         )
         .unwrap();
     }

@@ -93,12 +93,11 @@ pub fn extract_network(db: &Database, config: &ExtractConfig) -> Result<Extracti
     for table in db.tables() {
         let schema = table.schema();
         let name = &schema.name;
-        let collapsed = !config.keep_join_tables
-            && schema.primary_key.is_some()
-            && is_join_table(db, name)
-            || (schema.primary_key.is_none() && schema.foreign_keys.len() == 2);
+        let collapsed =
+            !config.keep_join_tables && schema.primary_key.is_some() && is_join_table(db, name)
+                || (schema.primary_key.is_none() && schema.foreign_keys.len() == 2);
 
-        if collapsed || (schema.primary_key.is_none() && schema.foreign_keys.len() == 2) {
+        if collapsed {
             // many-to-many edges between the two referenced types
             let fk_a = &schema.foreign_keys[0];
             let fk_b = &schema.foreign_keys[1];
@@ -196,18 +195,27 @@ mod tests {
                 .foreign_key("pid", "paper"),
         )
         .unwrap();
-        db.insert("venue", vec![Value::Int(1), Value::str("EDBT")]).unwrap();
-        db.insert("author", vec![Value::Int(1), Value::str("Sun")]).unwrap();
-        db.insert("author", vec![Value::Int(2), Value::str("Han")]).unwrap();
+        db.insert("venue", vec![Value::Int(1), Value::str("EDBT")])
+            .unwrap();
+        db.insert("author", vec![Value::Int(1), Value::str("Sun")])
+            .unwrap();
+        db.insert("author", vec![Value::Int(2), Value::str("Han")])
+            .unwrap();
         db.insert(
             "paper",
             vec![Value::Int(10), Value::str("RankClus"), Value::Int(1)],
         )
         .unwrap();
-        db.insert("writes", vec![Value::Int(100), Value::Int(1), Value::Int(10)])
-            .unwrap();
-        db.insert("writes", vec![Value::Int(101), Value::Int(2), Value::Int(10)])
-            .unwrap();
+        db.insert(
+            "writes",
+            vec![Value::Int(100), Value::Int(1), Value::Int(10)],
+        )
+        .unwrap();
+        db.insert(
+            "writes",
+            vec![Value::Int(101), Value::Int(2), Value::Int(10)],
+        )
+        .unwrap();
         db
     }
 
@@ -246,10 +254,13 @@ mod tests {
     #[test]
     fn keep_join_tables_mode() {
         let db = bib_db();
-        let ex = extract_network(&db, &ExtractConfig {
-            keep_join_tables: true,
-            ..Default::default()
-        })
+        let ex = extract_network(
+            &db,
+            &ExtractConfig {
+                keep_join_tables: true,
+                ..Default::default()
+            },
+        )
         .unwrap();
         assert_eq!(ex.hin.type_count(), 4);
         let writes = ex.type_of_table["writes"];

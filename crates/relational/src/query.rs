@@ -37,13 +37,9 @@ impl Predicate {
     /// (three-valued logic collapsed to `false`, as scans expect).
     pub fn eval(&self, get: &dyn Fn(&str) -> Option<Value>) -> bool {
         match self {
-            Predicate::Eq(col, v) => get(col).map_or(false, |x| &x == v),
-            Predicate::Lt(col, v) => get(col)
-                .and_then(|x| x.as_float())
-                .map_or(false, |x| x < *v),
-            Predicate::Gt(col, v) => get(col)
-                .and_then(|x| x.as_float())
-                .map_or(false, |x| x > *v),
+            Predicate::Eq(col, v) => get(col).is_some_and(|x| &x == v),
+            Predicate::Lt(col, v) => get(col).and_then(|x| x.as_float()).is_some_and(|x| x < *v),
+            Predicate::Gt(col, v) => get(col).and_then(|x| x.as_float()).is_some_and(|x| x > *v),
             Predicate::And(a, b) => a.eval(get) && b.eval(get),
             Predicate::Or(a, b) => a.eval(get) || b.eval(get),
             Predicate::Not(a) => !a.eval(get),
@@ -79,8 +75,7 @@ mod tests {
         let p = Predicate::Eq("venue".into(), Value::str("EDBT"))
             .and(Predicate::Gt("year".into(), 2000.0));
         assert!(p.eval(&r));
-        let q = Predicate::Eq("venue".into(), Value::str("KDD"))
-            .or(Predicate::True);
+        let q = Predicate::Eq("venue".into(), Value::str("KDD")).or(Predicate::True);
         assert!(q.eval(&r));
         assert!(!Predicate::Not(Box::new(Predicate::True)).eval(&r));
     }

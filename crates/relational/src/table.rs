@@ -164,10 +164,13 @@ mod tests {
             t.insert(vec![Value::Int(3)]),
             Err(DbError::TypeMismatch { .. })
         ));
-        assert!(matches!(
-            t.insert(vec![Value::Null, Value::str("X")]),
-            Err(DbError::TypeMismatch { .. }),
-        ), "null primary key rejected");
+        assert!(
+            matches!(
+                t.insert(vec![Value::Null, Value::str("X")]),
+                Err(DbError::TypeMismatch { .. }),
+            ),
+            "null primary key rejected"
+        );
     }
 
     #[test]

@@ -16,5 +16,5 @@ pub mod simrank;
 
 pub use metapath::{commuting_matrix, MetaPath, PathStep};
 pub use pathsim::{path_count, pathsim_matrix, pathsim_pair, random_walk_measure, top_k_pathsim};
-pub use ppr::{ppr_similarity_matrix, ppr_similarity_from};
+pub use ppr::{ppr_similarity_from, ppr_similarity_matrix};
 pub use simrank::{simrank, simrank_naive, SimRankConfig, SimRankResult};

@@ -19,7 +19,8 @@ pub enum PathStep {
 }
 
 impl PathStep {
-    fn endpoints(&self, hin: &Hin) -> (TypeId, TypeId) {
+    /// `(source, destination)` types of this step as traversed.
+    pub fn endpoints(&self, hin: &Hin) -> (TypeId, TypeId) {
         match *self {
             PathStep::Forward(r) => {
                 let rel = hin.relation(r);
@@ -32,14 +33,16 @@ impl PathStep {
         }
     }
 
-    fn matrix<'a>(&self, hin: &'a Hin) -> &'a Csr {
+    /// The adjacency matrix of this step in its traversal direction.
+    pub fn matrix<'a>(&self, hin: &'a Hin) -> &'a Csr {
         match *self {
             PathStep::Forward(r) => &hin.relation(r).fwd,
             PathStep::Backward(r) => &hin.relation(r).bwd,
         }
     }
 
-    fn reversed(&self) -> PathStep {
+    /// The same relation traversed the other way.
+    pub fn reversed(&self) -> PathStep {
         match *self {
             PathStep::Forward(r) => PathStep::Backward(r),
             PathStep::Backward(r) => PathStep::Forward(r),
@@ -145,17 +148,16 @@ impl MetaPath {
 ///
 /// Entry `(x, y)` counts the (weighted) path instances from `x` (of the
 /// start type) to `y` (of the end type).
+///
+/// The multiplication order is chosen by the matrix-chain planner in
+/// [`hin_linalg::chain`] rather than naively left-to-right, so long paths
+/// through a small "waist" type avoid materializing near-dense
+/// intermediates. `hin_query`'s engine adds a commuting-matrix cache on
+/// top of the same planner for repeated and overlapping queries.
 pub fn commuting_matrix(hin: &Hin, path: &MetaPath) -> Result<Csr, HinError> {
     path.validate(hin)?;
-    let mut acc: Option<Csr> = None;
-    for step in path.steps() {
-        let m = step.matrix(hin);
-        acc = Some(match acc {
-            None => m.clone(),
-            Some(a) => a.spgemm(m),
-        });
-    }
-    Ok(acc.expect("meta-path is non-empty"))
+    let mats: Vec<&Csr> = path.steps().iter().map(|s| s.matrix(hin)).collect();
+    Ok(hin_linalg::spmm_chain(&mats))
 }
 
 #[cfg(test)]
@@ -221,11 +223,9 @@ mod tests {
     #[test]
     fn apvpa_counts_venue_coappearance() {
         let hin = bib();
-        let apvpa = MetaPath::from_type_names(
-            &hin,
-            &["author", "paper", "venue", "paper", "author"],
-        )
-        .unwrap();
+        let apvpa =
+            MetaPath::from_type_names(&hin, &["author", "paper", "venue", "paper", "author"])
+                .unwrap();
         let m = commuting_matrix(&hin, &apvpa).unwrap();
         // a0 (1 paper at v0) vs a1 (2 papers at v0): 1×2 = 2 paths
         assert_eq!(m.get(0, 1), 2.0);
@@ -243,11 +243,9 @@ mod tests {
         let apvpa = apv.symmetric_closure();
         assert_eq!(apvpa.len(), 4);
         assert!(apvpa.is_palindrome());
-        let direct = MetaPath::from_type_names(
-            &hin,
-            &["author", "paper", "venue", "paper", "author"],
-        )
-        .unwrap();
+        let direct =
+            MetaPath::from_type_names(&hin, &["author", "paper", "venue", "paper", "author"])
+                .unwrap();
         assert_eq!(
             commuting_matrix(&hin, &apvpa).unwrap(),
             commuting_matrix(&hin, &direct).unwrap()

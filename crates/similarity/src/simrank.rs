@@ -155,10 +155,13 @@ mod tests {
         // Path 0-1-2: s(0,2) converges towards C·s(1,1)=C (both have the
         // single in-neighbor 1); after one iteration s(0,2)=0.8.
         let g = sym(&[(0, 1), (1, 2)], 3);
-        let r = simrank(&g, &SimRankConfig {
-            max_iters: 1,
-            ..Default::default()
-        });
+        let r = simrank(
+            &g,
+            &SimRankConfig {
+                max_iters: 1,
+                ..Default::default()
+            },
+        );
         assert!((r.scores.get(0, 2) - 0.8).abs() < 1e-12);
         // s(0,1): neighbors {1} × {0,2}: (s(1,0)+s(1,2))·0.8/2 = 0 at t=0
         assert_eq!(r.scores.get(0, 1), 0.0);
@@ -167,7 +170,16 @@ mod tests {
     #[test]
     fn partial_sums_equals_naive() {
         let g = sym(
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 4), (4, 5), (5, 1)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (0, 2),
+                (1, 4),
+                (4, 5),
+                (5, 1),
+            ],
             6,
         );
         let config = SimRankConfig {

@@ -91,7 +91,9 @@ mod tests {
         let mut state = seed;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 11) as f64) / (1u64 << 53) as f64;
             let x = xmin as f64 * (1.0 - u).powf(-1.0 / (alpha - 1.0));
             out.push(x.round() as usize);
@@ -138,7 +140,7 @@ mod tests {
     #[test]
     fn zeros_ignored() {
         let mut samples = power_law_samples(5000, 2.5, 1, 9);
-        samples.extend(std::iter::repeat(0).take(1000));
+        samples.extend(std::iter::repeat_n(0, 1000));
         let fit = fit_power_law(&samples, 50).expect("fit");
         assert!((fit.alpha - 2.5).abs() < 0.2);
     }

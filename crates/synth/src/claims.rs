@@ -82,7 +82,10 @@ pub struct ClaimsData {
 impl ClaimsConfig {
     /// Generate a corpus.
     pub fn generate(&self) -> ClaimsData {
-        assert!(self.n_objects > 0 && self.n_sources > 0, "degenerate config");
+        assert!(
+            self.n_objects > 0 && self.n_sources > 0,
+            "degenerate config"
+        );
         let mut rng = SmallRng::seed_from_u64(self.seed);
 
         // true values well separated on a grid so "wild" alternatives are
@@ -158,7 +161,11 @@ mod tests {
         assert_eq!(d.source_is_good.len(), 40);
         assert_eq!(d.source_is_good.iter().filter(|&&g| g).count(), 20);
         // coverage 0.35 over 40*200 pairs → roughly 2800 claims
-        assert!(d.claims.len() > 2000 && d.claims.len() < 3600, "{}", d.claims.len());
+        assert!(
+            d.claims.len() > 2000 && d.claims.len() < 3600,
+            "{}",
+            d.claims.len()
+        );
         for c in &d.claims {
             assert!((c.source as usize) < 40 && (c.object as usize) < 200);
         }

@@ -159,8 +159,8 @@ impl DblpConfig {
         let venue_zipf = Zipf::new(self.venues_per_area, self.zipf_exponent);
         let author_zipf = Zipf::new(self.authors_per_area, self.zipf_exponent);
         let term_zipf = Zipf::new(self.terms_per_area, self.zipf_exponent);
-        let shared_zipf = (self.shared_terms > 0)
-            .then(|| Zipf::new(self.shared_terms, self.zipf_exponent));
+        let shared_zipf =
+            (self.shared_terms > 0).then(|| Zipf::new(self.shared_terms, self.zipf_exponent));
 
         let mut paper_area = Vec::with_capacity(self.n_papers);
         let mut paper_year = Vec::with_capacity(self.n_papers);

@@ -159,7 +159,12 @@ mod tests {
             seed: 2,
             ..Default::default()
         });
-        assert!(g_hi.nnz() > g_lo.nnz() * 2, "{} vs {}", g_hi.nnz(), g_lo.nnz());
+        assert!(
+            g_hi.nnz() > g_lo.nnz() * 2,
+            "{} vs {}",
+            g_hi.nnz(),
+            g_lo.nnz()
+        );
     }
 
     #[test]

@@ -139,6 +139,9 @@ mod tests {
             acc[l] += 1;
             acc
         });
-        assert_eq!(counts.iter().max().unwrap() - counts.iter().min().unwrap(), 1);
+        assert_eq!(
+            counts.iter().max().unwrap() - counts.iter().min().unwrap(),
+            1
+        );
     }
 }

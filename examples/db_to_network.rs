@@ -5,9 +5,7 @@
 //! Run with: `cargo run --example db_to_network`
 
 use hin::olap::{Dimension, NetworkCube};
-use hin::relational::{
-    extract_network, ColumnType, Database, ExtractConfig, TableSchema, Value,
-};
+use hin::relational::{extract_network, ColumnType, Database, ExtractConfig, TableSchema, Value};
 use hin::stats;
 
 fn main() {
@@ -50,11 +48,13 @@ fn main() {
 
     let venues = ["EDBT", "KDD", "VLDB"];
     for (i, v) in venues.iter().enumerate() {
-        db.insert("venue", vec![Value::Int(i as i64), Value::str(v)]).unwrap();
+        db.insert("venue", vec![Value::Int(i as i64), Value::str(v)])
+            .unwrap();
     }
     let authors = ["sun", "han", "yan", "yu", "yin", "xu"];
     for (i, a) in authors.iter().enumerate() {
-        db.insert("author", vec![Value::Int(i as i64), Value::str(a)]).unwrap();
+        db.insert("author", vec![Value::Int(i as i64), Value::str(a)])
+            .unwrap();
     }
     let papers: [(&str, i64, i64, &[i64]); 6] = [
         ("rankclus", 0, 2009, &[0, 1]),
@@ -89,7 +89,10 @@ fn main() {
     // ---- extraction -------------------------------------------------------
     let mut config = ExtractConfig::default();
     for t in ["venue", "author", "paper"] {
-        config.label_columns.insert(t.to_string(), if t == "paper" { "title" } else { "name" }.to_string());
+        config.label_columns.insert(
+            t.to_string(),
+            if t == "paper" { "title" } else { "name" }.to_string(),
+        );
     }
     let ex = extract_network(&db, &config).unwrap();
     println!("extracted network:\n{}", ex.hin.schema_dot());
@@ -102,20 +105,37 @@ fn main() {
     let comps = stats::connected_components(&co);
     println!("connected components:    {}", comps.count);
     let bc = stats::betweenness(&co, true);
-    let star = (0..co.nrows()).max_by(|&a, &b| bc[a].partial_cmp(&bc[b]).unwrap()).unwrap();
+    let star = (0..co.nrows())
+        .max_by(|&a, &b| bc[a].partial_cmp(&bc[b]).unwrap())
+        .unwrap();
     println!(
         "highest betweenness:     {}",
-        ex.hin.node_name(hin::core::NodeRef { ty: author_ty, id: star as u32 })
+        ex.hin.node_name(hin::core::NodeRef {
+            ty: author_ty,
+            id: star as u32
+        })
     );
 
     // ---- OLAP cube over (venue, year) ------------------------------------
     let star_net = hin::core::StarNet::from_hin_with_center(&ex.hin, paper_ty).unwrap();
     let year_of = |p: usize| -> u32 {
-        db.table("paper").unwrap().value(p, "year").unwrap().as_int().unwrap() as u32 - 2007
+        db.table("paper")
+            .unwrap()
+            .value(p, "year")
+            .unwrap()
+            .as_int()
+            .unwrap() as u32
+            - 2007
     };
     let years = Dimension::new(
         "year",
-        vec!["2007".into(), "2008".into(), "2009".into(), "2010".into(), "2011".into()],
+        vec![
+            "2007".into(),
+            "2008".into(),
+            "2009".into(),
+            "2010".into(),
+            "2011".into(),
+        ],
         (0..star_net.n_center).map(year_of).collect(),
     );
     let cube = NetworkCube::build(star_net, vec![years]);
@@ -123,6 +143,10 @@ fn main() {
     let mut cells: Vec<_> = cube.cells().map(|(c, v)| (c.clone(), v.size())).collect();
     cells.sort();
     for (coords, size) in cells {
-        println!("  {}: {} paper(s)", cube.dimensions()[0].values[coords[0] as usize], size);
+        println!(
+            "  {}: {} paper(s)",
+            cube.dimensions()[0].values[coords[0] as usize],
+            size
+        );
     }
 }

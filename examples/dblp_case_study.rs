@@ -6,8 +6,8 @@
 
 use hin::clustering::{accuracy_hungarian, nmi};
 use hin::netclus::{netclus, NetClusConfig};
-use hin::ranking::top_k;
 use hin::rankclus::{rankclus, RankClusConfig};
+use hin::ranking::top_k;
 use hin::similarity::{commuting_matrix, top_k_pathsim, MetaPath};
 use hin::synth::DblpConfig;
 
@@ -32,7 +32,14 @@ fn main() {
 
     // ---- NetClus on the star network -------------------------------------
     let star = data.star();
-    let nc = netclus(&star, &NetClusConfig { k: 4, seed: 42, ..Default::default() });
+    let nc = netclus(
+        &star,
+        &NetClusConfig {
+            k: 4,
+            seed: 42,
+            ..Default::default()
+        },
+    );
     println!(
         "\nNetClus: NMI vs planted areas = {:.3} (accuracy {:.3}), {} iterations",
         nmi(&nc.assignments, &data.paper_area),
@@ -56,7 +63,14 @@ fn main() {
 
     // ---- RankClus on the venue×author bi-typed view ---------------------
     let binet = data.venue_author_binet();
-    let rc = rankclus(&binet, &RankClusConfig { k: 4, seed: 42, ..Default::default() });
+    let rc = rankclus(
+        &binet,
+        &RankClusConfig {
+            k: 4,
+            seed: 42,
+            ..Default::default()
+        },
+    );
     let venue_acc = accuracy_hungarian(&rc.assignments, &data.venue_area);
     println!("\nRankClus venue clustering accuracy: {:.3}", venue_acc);
     for c in 0..4 {
@@ -68,18 +82,19 @@ fn main() {
     }
 
     // ---- PathSim: peers of a prolific author under A-P-V-P-A ------------
-    let apvpa = MetaPath::from_type_names(
-        &data.hin,
-        &["author", "paper", "venue", "paper", "author"],
-    )
-    .expect("valid meta-path");
+    let apvpa =
+        MetaPath::from_type_names(&data.hin, &["author", "paper", "venue", "paper", "author"])
+            .expect("valid meta-path");
     let m = commuting_matrix(&data.hin, &apvpa).expect("commuting matrix");
     let query = 0usize; // author_a0_0: the most prolific author of area 0
     println!("\nPathSim peers of author_a0_0 (A-P-V-P-A):");
     for (peer, score) in top_k_pathsim(&m, query, 5) {
         println!(
             "  {:<16} {:.3}  (planted area {})",
-            data.hin.node_name(hin::core::NodeRef { ty: data.author, id: peer as u32 }),
+            data.hin.node_name(hin::core::NodeRef {
+                ty: data.author,
+                id: peer as u32
+            }),
             score,
             data.author_area[peer],
         );

@@ -28,7 +28,14 @@ fn main() {
 
     // ---- NetClus: topic net-clusters -------------------------------------
     let star = data.star();
-    let nc = netclus(&star, &NetClusConfig { k: 4, seed: 9, ..Default::default() });
+    let nc = netclus(
+        &star,
+        &NetClusConfig {
+            k: 4,
+            seed: 9,
+            ..Default::default()
+        },
+    );
     println!(
         "\nNetClus topic recovery: NMI = {:.3} over {} photos",
         nmi(&nc.assignments, &data.photo_topic),
@@ -57,8 +64,19 @@ fn main() {
             seeds[data.photo.0][p] = Some(topic);
         }
     }
-    let cls = gnetmine(&data.hin, &seeds, &GNetMineConfig { n_classes: 4, ..Default::default() });
-    let acc = holdout_accuracy(&cls.labels[data.photo.0], &data.photo_topic, &seeds[data.photo.0]);
+    let cls = gnetmine(
+        &data.hin,
+        &seeds,
+        &GNetMineConfig {
+            n_classes: 4,
+            ..Default::default()
+        },
+    );
+    let acc = holdout_accuracy(
+        &cls.labels[data.photo.0],
+        &data.photo_topic,
+        &seeds[data.photo.0],
+    );
     println!("\nGNetMine with 5% photo labels: holdout accuracy = {acc:.3}");
 
     // tags get classified for free (no tag was ever labeled)

@@ -36,7 +36,11 @@ fn main() {
         b.link(published, p, v, 1.0);
     }
     let hin = b.build();
-    println!("network: {} nodes, {} edges", hin.total_nodes(), hin.total_edges());
+    println!(
+        "network: {} nodes, {} edges",
+        hin.total_nodes(),
+        hin.total_edges()
+    );
     println!("{}", hin.schema_dot());
 
     // --- 2. ranking: who matters in the co-author graph? ------------------
@@ -44,7 +48,10 @@ fn main() {
     let ranks = pagerank(&coauthor, &PageRankConfig::default());
     println!("top authors by co-authorship PageRank:");
     for a in top_k(&ranks.scores, 5) {
-        let node = hin::core::NodeRef { ty: author, id: a as u32 };
+        let node = hin::core::NodeRef {
+            ty: author,
+            id: a as u32,
+        };
         println!("  {:<10} {:.4}", hin.node_name(node), ranks.scores[a]);
     }
 
@@ -54,21 +61,29 @@ fn main() {
     let han = hin.node_by_name(author, "han").expect("exists");
     println!("\nhan's peers under the A-P-A meta-path:");
     for (peer, score) in top_k_pathsim(&m, han.id as usize, 3) {
-        let node = hin::core::NodeRef { ty: author, id: peer as u32 };
+        let node = hin::core::NodeRef {
+            ty: author,
+            id: peer as u32,
+        };
         println!("  {:<10} {:.3}", hin.node_name(node), score);
     }
 
     // --- 4. clustering: structural groups in the co-author graph ---------
     let result = scan(&coauthor, &ScanConfig { eps: 0.4, mu: 2 });
-    println!("\nSCAN finds {} structural cluster(s):", result.cluster_count);
+    println!(
+        "\nSCAN finds {} structural cluster(s):",
+        result.cluster_count
+    );
     for c in 0..result.cluster_count {
         let members: Vec<&str> = result
             .roles
             .iter()
             .enumerate()
-            .filter_map(|(v, role)| {
-                matches!(role, hin::clustering::ScanRole::Member(k) if *k == c).then(|| {
-                    hin.node_name(hin::core::NodeRef { ty: author, id: v as u32 })
+            .filter(|(_, role)| matches!(role, hin::clustering::ScanRole::Member(k) if *k == c))
+            .map(|(v, _)| {
+                hin.node_name(hin::core::NodeRef {
+                    ty: author,
+                    id: v as u32,
                 })
             })
             .collect();

@@ -9,7 +9,10 @@ use hin::synth::ClaimsConfig;
 
 fn main() {
     println!("bad-source reliability sweep (40 sources, half unreliable):\n");
-    println!("{:<12} {:>10} {:>12} {:>12}", "rel(bad)", "claims", "voting", "truthfinder");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12}",
+        "rel(bad)", "claims", "voting", "truthfinder"
+    );
     for &rel_bad in &[0.45, 0.35, 0.25, 0.15] {
         let data = ClaimsConfig {
             n_objects: 300,
@@ -24,7 +27,11 @@ fn main() {
         let claims: Vec<Claim> = data
             .claims
             .iter()
-            .map(|c| Claim { source: c.source, object: c.object, value: c.value })
+            .map(|c| Claim {
+                source: c.source,
+                object: c.object,
+                value: c.value,
+            })
             .collect();
 
         let vote = majority_vote(data.n_objects, &claims);

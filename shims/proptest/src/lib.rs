@@ -1,0 +1,264 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset of proptest's API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`strategy::Strategy`] with `prop_map` and `prop_filter`,
+//! * range, tuple, char-class string, and [`collection::vec`] strategies.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed derived from the test name (no persisted failure
+//! files), and failing inputs are **not shrunk** — the panic message
+//! carries the assertion text and case number instead of a minimal
+//! counterexample. That trade keeps the dependency offline while the
+//! invariants themselves stay fully checked.
+
+pub mod collection;
+pub mod strategy;
+
+/// Modules re-exported under the `prop` paths the real crate exposes.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-test random source handed to strategies.
+pub struct TestRunner {
+    base: u64,
+    state: u64,
+}
+
+impl TestRunner {
+    /// Seed deterministically from the test name.
+    pub fn new(_config: &ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test stream.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { base: h, state: h }
+    }
+
+    /// Restart the stream for the given case index.
+    pub fn begin_case(&mut self, case: u32) {
+        self.state = self
+            .base
+            .wrapping_add((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, span)`; `span` must be nonzero.
+    pub fn next_below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Run one property over `config.cases` random cases.
+///
+/// Prefer the [`proptest!`] macro, which expands to calls of this function.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut runner = $crate::TestRunner::new(&config, stringify!($name));
+                for case in 0..config.cases {
+                    runner.begin_case(case);
+                    $(
+                        let $parm = $crate::strategy::Strategy::new_value(
+                            &($strategy),
+                            &mut runner,
+                        );
+                    )+
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "property `{}` failed on case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                lhs,
+                rhs
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}: `{:?}` != `{:?}`",
+                ::std::format!($($fmt)+),
+                lhs,
+                rhs
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if *lhs == *rhs {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                lhs,
+                rhs
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -2.5f64..2.5, z in 0u32..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!(z < 5);
+        }
+
+        #[test]
+        fn tuples_and_vecs((a, b) in (0u32..4, 0u32..4),
+                           v in prop::collection::vec(0usize..10, 1..8)) {
+            prop_assert!(a < 4 && b < 4);
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn map_and_filter(n in (1usize..6).prop_map(|n| n * 2),
+                          m in (0i32..100).prop_filter("even", |m| m % 2 == 0)) {
+            prop_assert!(n % 2 == 0 && (2..12).contains(&n));
+            prop_assert_eq!(m % 2, 0);
+        }
+
+        #[test]
+        fn string_char_classes(s in "[a-c ]{2,5}") {
+            prop_assert!((2..=5).contains(&s.chars().count()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| c == ' ' || ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let config = ProptestConfig::default();
+        let mut runner = crate::TestRunner::new(&config, "exact_size_vec");
+        let v = Strategy::new_value(&prop::collection::vec(0.0f64..1.0, 5), &mut runner);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let config = ProptestConfig::default();
+        let mut r1 = crate::TestRunner::new(&config, "t");
+        let mut r2 = crate::TestRunner::new(&config, "t");
+        r1.begin_case(3);
+        r2.begin_case(3);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+}

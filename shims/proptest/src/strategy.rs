@@ -1,0 +1,286 @@
+//! Value-generation strategies.
+
+use crate::TestRunner;
+
+/// How many draws a filter may reject before the test aborts.
+const MAX_FILTER_RETRIES: usize = 10_000;
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`, retrying rejected draws.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+}
+
+/// A strategy yielding one fixed (cloned) value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// Result of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..MAX_FILTER_RETRIES {
+            let candidate = self.inner.new_value(runner);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected {} consecutive draws",
+            self.reason, MAX_FILTER_RETRIES
+        );
+    }
+}
+
+/// Strategies may be used behind references.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> S::Value {
+        (**self).new_value(runner)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(runner.next_below(span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return runner.next_u64() as $t;
+                }
+                lo.wrapping_add(runner.next_below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + runner.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + runner.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategy from a regex-like pattern.
+///
+/// Supported subset: a single character class with optional repetition —
+/// `"[a-z \\\\]{min,max}"`-style patterns (ranges, escaped characters, and
+/// literal characters inside `[...]`, `{n}` / `{min,max}` counts). This is
+/// what the workspace's property tests use; anything richer panics with a
+/// clear message rather than silently generating the wrong language.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        let (alphabet, min, max) = parse_char_class_pattern(self);
+        let len = min + runner.next_below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[runner.next_below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_char_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let mut chars = pattern.chars().peekable();
+    assert_eq!(
+        chars.next(),
+        Some('['),
+        "proptest shim: only `[class]{{min,max}}` string patterns are supported, got `{pattern}`"
+    );
+    let mut alphabet: Vec<char> = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in `{pattern}`"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in `{pattern}`"));
+                alphabet.push(escaped);
+                prev = Some(escaped);
+            }
+            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let hi = chars.next().expect("peeked");
+                let lo = prev.take().expect("range needs a start");
+                assert!(lo <= hi, "descending range `{lo}-{hi}` in `{pattern}`");
+                // `lo` itself is already in the alphabet
+                let mut cur = lo as u32 + 1;
+                while cur <= hi as u32 {
+                    alphabet.push(char::from_u32(cur).expect("valid scalar"));
+                    cur += 1;
+                }
+            }
+            other => {
+                alphabet.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in `{pattern}`");
+    alphabet.sort_unstable();
+    alphabet.dedup();
+
+    let rest: String = chars.collect();
+    if rest.is_empty() {
+        return (alphabet, 1, 1);
+    }
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported pattern suffix `{rest}` in `{pattern}`"));
+    let (min, max) = match counts.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().expect("repetition lower bound"),
+            hi.parse().expect("repetition upper bound"),
+        ),
+        None => {
+            let n: usize = counts.parse().expect("repetition count");
+            (n, n)
+        }
+    };
+    assert!(min <= max, "bad repetition `{{{counts}}}` in `{pattern}`");
+    (alphabet, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProptestConfig;
+
+    #[test]
+    fn char_class_parsing() {
+        let (alpha, min, max) = parse_char_class_pattern("[a-c]{2,4}");
+        assert_eq!(alpha, vec!['a', 'b', 'c']);
+        assert_eq!((min, max), (2, 4));
+
+        let (alpha, min, max) = parse_char_class_pattern("[a-z\\ ]{1,12}");
+        assert!(alpha.contains(&' ') && alpha.contains(&'a') && alpha.contains(&'z'));
+        assert_eq!((min, max), (1, 12));
+
+        let (alpha, min, max) = parse_char_class_pattern("[xy]");
+        assert_eq!(alpha, vec!['x', 'y']);
+        assert_eq!((min, max), (1, 1));
+
+        let (alpha, _, _) = parse_char_class_pattern("[a\\-b]{3}");
+        assert_eq!(alpha, vec!['-', 'a', 'b']);
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        let mut runner = TestRunner::new(&ProptestConfig::default(), "just");
+        assert_eq!(Just(7usize).new_value(&mut runner), 7);
+    }
+}

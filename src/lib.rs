@@ -15,6 +15,7 @@
 //! | [`stats`] | density, centrality, components, power laws, densification |
 //! | [`ranking`] | PageRank, Personalized PageRank, HITS, authority ranking |
 //! | [`similarity`] | SimRank, PPR similarity, meta-paths, PathSim |
+//! | [`query`] | meta-path query engine: parser, cost-based planner, commuting-matrix cache |
 //! | [`clustering`] | k-means, spectral, SCAN, agglomerative + NMI/ARI/F1 |
 //! | [`rankclus`] | RankClus (EDBT'09) |
 //! | [`netclus`] | NetClus (KDD'09) |
@@ -43,17 +44,32 @@
 //!     assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-6);
 //! }
 //! ```
+//!
+//! Or query the same network directly — the engine parses meta-path
+//! queries, plans the sparse matrix-chain products, and caches every
+//! commuting matrix it computes:
+//!
+//! ```
+//! use hin::{query::Engine, synth::DblpConfig};
+//!
+//! let data = DblpConfig { n_papers: 300, seed: 7, ..Default::default() }.generate();
+//! let mut engine = Engine::new(data.hin);
+//! let peers = engine.execute("topk 5 author-paper-venue-paper-author from author_a0_0").unwrap();
+//! assert!(peers.items.len() <= 5);
+//! assert!(engine.cache_misses() > 0); // computed once; repeats would be cache hits
+//! ```
 
 pub use hin_classify as classify;
 pub use hin_cleaning as cleaning;
 pub use hin_clustering as clustering;
-pub use hin_crossclus as crossclus;
 pub use hin_core as core;
+pub use hin_crossclus as crossclus;
 pub use hin_linalg as linalg;
 pub use hin_netclus as netclus;
 pub use hin_olap as olap;
-pub use hin_ranking as ranking;
+pub use hin_query as query;
 pub use hin_rankclus as rankclus;
+pub use hin_ranking as ranking;
 pub use hin_relational as relational;
 pub use hin_similarity as similarity;
 pub use hin_stats as stats;

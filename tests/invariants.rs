@@ -65,7 +65,7 @@ proptest! {
         let m = a.spgemm(&a.transpose());
         let s = pathsim_matrix(&m);
         for (r, c, v) in s.iter() {
-            prop_assert!(v >= -1e-12 && v <= 1.0 + 1e-12, "s({r},{c})={v}");
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v), "s({r},{c})={v}");
             prop_assert!((v - s.get(c as usize, r as usize)).abs() < 1e-12);
             if r == c {
                 prop_assert!((v - 1.0).abs() < 1e-12, "diagonal must be 1");

@@ -5,9 +5,7 @@ use hin::clustering::{accuracy_hungarian, nmi};
 use hin::core::io;
 use hin::netclus::{netclus, NetClusConfig};
 use hin::rankclus::{rankclus, RankClusConfig};
-use hin::relational::{
-    extract_network, ColumnType, Database, ExtractConfig, TableSchema, Value,
-};
+use hin::relational::{extract_network, ColumnType, Database, ExtractConfig, TableSchema, Value};
 use hin::synth::DblpConfig;
 
 /// Load a synthetic bibliographic world into the relational engine, row by
@@ -93,11 +91,14 @@ fn database_to_rankclus_recovers_planted_areas() {
     let ex = extract_network(&db, &ExtractConfig::default()).unwrap();
     // join table `writes` collapsed: venue, author, paper
     assert_eq!(ex.hin.type_count(), 3);
-    assert_eq!(ex.hin.total_edges(), data.hin.total_edges() - {
-        // the extracted network has no term relation
-        let pt = data.hin.adjacency(data.paper, data.term).unwrap();
-        pt.nnz()
-    });
+    assert_eq!(
+        ex.hin.total_edges(),
+        data.hin.total_edges() - {
+            // the extracted network has no term relation
+            let pt = data.hin.adjacency(data.paper, data.term).unwrap();
+            pt.nnz()
+        }
+    );
 
     // venue×author bi-typed view through papers, then RankClus
     let venue_ty = ex.type_of_table["venue"];
@@ -108,11 +109,14 @@ fn database_to_rankclus_recovers_planted_areas() {
     let wxy = hin::core::projection::through_center(pv, pa);
     let net = hin::core::BiNet::from_matrix(wxy);
 
-    let r = rankclus(&net, &RankClusConfig {
-        k: 3,
-        seed: 5,
-        ..Default::default()
-    });
+    let r = rankclus(
+        &net,
+        &RankClusConfig {
+            k: 3,
+            seed: 5,
+            ..Default::default()
+        },
+    );
     let acc = accuracy_hungarian(&r.assignments, &data.venue_area);
     assert!(acc > 0.9, "end-to-end RankClus accuracy {acc}");
 }
@@ -132,11 +136,14 @@ fn text_serialization_round_trips_through_netclus() {
     assert_eq!(reloaded.total_edges(), data.hin.total_edges());
 
     let star = hin::core::StarNet::from_hin(&reloaded).expect("still a star");
-    let r = netclus(&star, &NetClusConfig {
-        k: 3,
-        seed: 7,
-        ..Default::default()
-    });
+    let r = netclus(
+        &star,
+        &NetClusConfig {
+            k: 3,
+            seed: 7,
+            ..Default::default()
+        },
+    );
     let score = nmi(&r.assignments, &data.paper_area);
     assert!(score > 0.6, "NetClus on reloaded network NMI {score}");
 }
@@ -153,18 +160,24 @@ fn rankclus_and_netclus_agree_on_venue_semantics() {
         ..Default::default()
     }
     .generate();
-    let rc = rankclus(&data.venue_author_binet(), &RankClusConfig {
-        k: 3,
-        seed: 1,
-        ..Default::default()
-    });
+    let rc = rankclus(
+        &data.venue_author_binet(),
+        &RankClusConfig {
+            k: 3,
+            seed: 1,
+            ..Default::default()
+        },
+    );
     let venue_acc = accuracy_hungarian(&rc.assignments, &data.venue_area);
 
-    let nc = netclus(&data.star(), &NetClusConfig {
-        k: 3,
-        seed: 1,
-        ..Default::default()
-    });
+    let nc = netclus(
+        &data.star(),
+        &NetClusConfig {
+            k: 3,
+            seed: 1,
+            ..Default::default()
+        },
+    );
     let paper_nmi = nmi(&nc.assignments, &data.paper_area);
 
     assert!(venue_acc > 0.85, "RankClus venues {venue_acc}");
