@@ -50,7 +50,7 @@ fn bench_query(c: &mut Criterion) {
         |b, queries| {
             b.iter(|| {
                 // fresh engine every run: every query recomputes its products
-                let mut engine = Engine::from_arc(Arc::clone(&hin));
+                let engine = Engine::from_arc(Arc::clone(&hin));
                 for q in queries {
                     engine.execute(q).expect("workload query");
                 }
@@ -59,7 +59,7 @@ fn bench_query(c: &mut Criterion) {
         },
     );
 
-    let mut warm = Engine::from_arc(Arc::clone(&hin));
+    let warm = Engine::from_arc(Arc::clone(&hin));
     for q in &queries {
         warm.execute(q).expect("warmup query");
     }

@@ -1,0 +1,91 @@
+//! Serving-layer benchmark: query throughput at 1 vs N workers, with a
+//! bounded vs unbounded commuting-matrix cache.
+//!
+//! The workload mixes repeated hot paths (cache hits, cheap) with a
+//! rotating set of longer paths (computed, expensive) across many anchors,
+//! which is what a serving cache actually sees. With 4 workers the
+//! throughput should be well over 2x the single-worker figure, and a
+//! bounded cache must stay correct while evicting.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_query::{CacheConfig, Engine};
+use hin_serve::{ServeConfig, Server};
+use hin_synth::DblpConfig;
+
+fn serve_all(hin: &Arc<hin_core::Hin>, workers: usize, cache: CacheConfig, queries: &[String]) {
+    let server = Server::start(
+        Arc::clone(hin),
+        ServeConfig {
+            workers,
+            batch_max: 32,
+            cache,
+        },
+    );
+    for result in server.execute_many(queries) {
+        result.expect("workload query");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served as usize, queries.len());
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let data = DblpConfig {
+        n_areas: 4,
+        authors_per_area: 60,
+        n_papers: 2_000,
+        seed: 11,
+        ..Default::default()
+    }
+    .generate();
+    let hin = Arc::new(data.hin);
+    let queries = hin_bench::serve_workload(24);
+
+    // sanity: served results must equal the single-threaded engine's
+    let reference = Engine::from_arc(Arc::clone(&hin));
+    let server = Server::start(
+        Arc::clone(&hin),
+        ServeConfig {
+            workers: 4,
+            batch_max: 32,
+            cache: CacheConfig::bounded(1 << 20),
+        },
+    );
+    for (q, served) in queries.iter().zip(server.execute_many(&queries)) {
+        assert_eq!(
+            served,
+            reference.execute(q),
+            "served result diverged on {q}"
+        );
+    }
+    let stats = server.shutdown();
+    assert!(
+        stats.cache_evictions > 0,
+        "the 1 MiB bounded cache must evict on this workload"
+    );
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("unbounded", workers),
+            &queries,
+            |b, queries| {
+                b.iter(|| serve_all(&hin, workers, CacheConfig::default(), queries));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bounded-1MiB", workers),
+            &queries,
+            |b, queries| {
+                b.iter(|| serve_all(&hin, workers, CacheConfig::bounded(1 << 20), queries));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

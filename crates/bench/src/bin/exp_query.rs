@@ -44,7 +44,7 @@ fn main() {
     let queries = workload();
 
     // cold: fresh engine, every product computed
-    let mut cold_engine = Engine::new(data.hin.clone());
+    let cold_engine = Engine::new(data.hin.clone());
     let t = Instant::now();
     for q in &queries {
         cold_engine.execute(q).expect("cold query");

@@ -11,6 +11,41 @@ use hin_core::BiNet;
 use hin_linalg::Csr;
 use hin_similarity::{simrank, SimRankConfig};
 
+/// The serving workload shared by `bench_serve` and `exp_serve`: many
+/// anchors across many meta-path families (venue- and term-mediated
+/// similarity, counts, ranks), so the product working set is larger than
+/// a bounded cache and both the engine's compute path and its eviction
+/// path stay busy. Keeping the bench and the JSON emitter on one builder
+/// keeps the recorded perf trajectory comparable to the benchmark.
+pub fn serve_workload(anchors: usize) -> Vec<String> {
+    let mut queries = Vec::new();
+    for a in 0..anchors {
+        let anchor = format!("author_a{}_{}", a % 4, a);
+        queries.push(format!(
+            "pathsim author-paper-venue-paper-author from {anchor}"
+        ));
+        queries.push(format!(
+            "pathsim author-paper-term-paper-author from {anchor}"
+        ));
+        queries.push(format!("topk 8 author-paper-author from {anchor}"));
+        queries.push(format!("pathcount author-paper-venue from {anchor}"));
+        queries.push(format!(
+            "pathcount author-paper-term from {anchor} limit 10"
+        ));
+        queries.push(format!(
+            "topk 8 author-paper-venue-paper-author from {anchor}"
+        ));
+    }
+    for p in 0..8 {
+        queries.push(format!(
+            "pathcount paper-author-paper-venue from paper_{p} limit 10"
+        ));
+    }
+    queries.push("rank venue-paper-author limit 10".to_string());
+    queries.push("rank venue-paper-term limit 10".to_string());
+    queries
+}
+
 /// Print a GitHub-flavoured markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("| {} |", headers.join(" | "));

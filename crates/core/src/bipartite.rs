@@ -168,10 +168,10 @@ mod tests {
         let author = b.add_type("author");
         let pub_rel = b.add_relation("publishes", venue, author);
         let co = b.add_relation("coauthor", author, author);
-        b.link(pub_rel, "EDBT", "sun", 1.0);
-        b.link(pub_rel, "KDD", "han", 2.0);
-        b.link(co, "sun", "han", 1.0);
-        b.link(co, "han", "sun", 1.0);
+        b.link(pub_rel, "EDBT", "sun", 1.0).unwrap();
+        b.link(pub_rel, "KDD", "han", 2.0).unwrap();
+        b.link(co, "sun", "han", 1.0).unwrap();
+        b.link(co, "han", "sun", 1.0).unwrap();
         let hin = b.build();
         let net = BiNet::from_hin(&hin, venue, author).unwrap();
         assert_eq!((net.nx, net.ny), (2, 2));
@@ -187,7 +187,7 @@ mod tests {
         let venue = b.add_type("venue");
         let author = b.add_type("author");
         let writes = b.add_relation("writes_in", author, venue);
-        b.link(writes, "sun", "EDBT", 1.0);
+        b.link(writes, "sun", "EDBT", 1.0).unwrap();
         let hin = b.build();
         let net = BiNet::from_hin(&hin, venue, author).unwrap();
         assert_eq!(net.wxy.get(0, 0), 1.0);

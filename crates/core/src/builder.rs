@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use hin_linalg::Csr;
 
+use crate::error::HinError;
 use crate::graph::{Hin, NodeRef, RelationId, RelationInfo, TypeId, TypeInfo};
 
 /// Builder accumulating types, interned nodes and weighted edges, then
@@ -17,7 +18,7 @@ use crate::graph::{Hin, NodeRef, RelationId, RelationInfo, TypeId, TypeInfo};
 /// let published_in = b.add_relation("published_in", paper, venue);
 /// let p = b.intern(paper, "RankClus");
 /// let v = b.intern(venue, "EDBT");
-/// b.add_edge(published_in, p.id, v.id, 1.0);
+/// b.add_edge(published_in, p.id, v.id, 1.0).unwrap();
 /// let hin = b.build();
 /// assert_eq!(hin.total_edges(), 1);
 /// ```
@@ -88,21 +89,59 @@ impl HinBuilder {
 
     /// Add a weighted edge; duplicate `(src, dst)` pairs accumulate.
     ///
+    /// Non-finite weights (NaN, ±∞) are rejected with
+    /// [`HinError::NonFiniteWeight`]: a single dirty row would otherwise
+    /// poison every commuting matrix computed from the network and turn
+    /// per-request score comparisons into process-wide hazards.
+    ///
     /// # Panics
     /// Panics at [`HinBuilder::build`] time when ids are out of range.
-    pub fn add_edge(&mut self, rel: RelationId, src_id: u32, dst_id: u32, weight: f64) {
+    pub fn add_edge(
+        &mut self,
+        rel: RelationId,
+        src_id: u32,
+        dst_id: u32,
+        weight: f64,
+    ) -> Result<(), HinError> {
+        if !weight.is_finite() {
+            return Err(HinError::NonFiniteWeight {
+                relation: self.relations[rel.0].name.clone(),
+                src: src_id.to_string(),
+                dst: dst_id.to_string(),
+                weight: weight.to_string(),
+            });
+        }
         self.relations[rel.0].edges.push((src_id, dst_id, weight));
+        Ok(())
     }
 
     /// Convenience: intern both endpoints by name and add an edge.
-    pub fn link(&mut self, rel: RelationId, src_name: &str, dst_name: &str, weight: f64) {
+    ///
+    /// Like [`HinBuilder::add_edge`], rejects non-finite weights — and does
+    /// so *before* interning either endpoint, so a rejected row leaves no
+    /// orphan nodes behind.
+    pub fn link(
+        &mut self,
+        rel: RelationId,
+        src_name: &str,
+        dst_name: &str,
+        weight: f64,
+    ) -> Result<(), HinError> {
+        if !weight.is_finite() {
+            return Err(HinError::NonFiniteWeight {
+                relation: self.relations[rel.0].name.clone(),
+                src: src_name.to_string(),
+                dst: dst_name.to_string(),
+                weight: weight.to_string(),
+            });
+        }
         let (src_ty, dst_ty) = {
             let r = &self.relations[rel.0];
             (r.src, r.dst)
         };
         let s = self.intern(src_ty, src_name);
         let d = self.intern(dst_ty, dst_name);
-        self.add_edge(rel, s.id, d.id, weight);
+        self.add_edge(rel, s.id, d.id, weight)
     }
 
     /// Freeze into an immutable [`Hin`], materializing CSR adjacency in both
@@ -156,14 +195,40 @@ mod tests {
         let x = b.add_type("x");
         let y = b.add_type("y");
         let r = b.add_relation("r", x, y);
-        b.link(r, "x1", "y1", 2.0);
-        b.link(r, "x1", "y1", 3.0);
-        b.link(r, "x2", "y1", 1.0);
+        b.link(r, "x1", "y1", 2.0).unwrap();
+        b.link(r, "x1", "y1", 3.0).unwrap();
+        b.link(r, "x2", "y1", 1.0).unwrap();
         let hin = b.build();
         assert_eq!(hin.node_count(x), 2);
         assert_eq!(hin.node_count(y), 1);
         assert_eq!(hin.relation(r).fwd.get(0, 0), 5.0);
         assert_eq!(hin.relation(r).bwd.row_sum(0), 6.0);
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_at_ingestion() {
+        let mut b = HinBuilder::new();
+        let x = b.add_type("x");
+        let y = b.add_type("y");
+        let r = b.add_relation("r", x, y);
+        b.link(r, "x0", "y0", 1.0).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = b.link(r, "x1", "y9", bad).unwrap_err();
+            assert!(
+                matches!(err, crate::HinError::NonFiniteWeight { .. }),
+                "{err}"
+            );
+            let err = b.add_edge(r, 0, 0, bad).unwrap_err();
+            assert!(
+                matches!(err, crate::HinError::NonFiniteWeight { .. }),
+                "{err}"
+            );
+        }
+        // the rejected rows left no trace: no orphan nodes, no edges
+        assert_eq!(b.node_count(x), 1);
+        assert_eq!(b.node_count(y), 1);
+        let hin = b.build();
+        assert_eq!(hin.total_edges(), 1);
     }
 
     #[test]
@@ -179,7 +244,7 @@ mod tests {
         let mut b = HinBuilder::new();
         let p = b.add_type("paper");
         let cites = b.add_relation("cites", p, p);
-        b.link(cites, "p0", "p1", 1.0);
+        b.link(cites, "p0", "p1", 1.0).unwrap();
         let hin = b.build();
         assert_eq!(hin.relation(cites).fwd.nrows(), 2);
         assert_eq!(hin.relation(cites).fwd.get(0, 1), 1.0);

@@ -17,6 +17,18 @@ pub enum HinError {
     SchemaShape(String),
     /// A parse error while reading the text serialization.
     Parse { line: usize, message: String },
+    /// An edge weight was NaN or infinite. Rejected at ingestion so one bad
+    /// row cannot poison every commuting matrix computed from the network.
+    NonFiniteWeight {
+        /// Relation the edge was added to.
+        relation: String,
+        /// Source endpoint (name or numeric id, as supplied).
+        src: String,
+        /// Destination endpoint (name or numeric id, as supplied).
+        dst: String,
+        /// Rendering of the offending weight (`NaN`, `inf`, `-inf`).
+        weight: String,
+    },
 }
 
 impl fmt::Display for HinError {
@@ -33,6 +45,15 @@ impl fmt::Display for HinError {
             HinError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            HinError::NonFiniteWeight {
+                relation,
+                src,
+                dst,
+                weight,
+            } => write!(
+                f,
+                "non-finite weight {weight} on edge `{src}`→`{dst}` of relation `{relation}`"
+            ),
         }
     }
 }
@@ -61,5 +82,13 @@ mod tests {
         }
         .to_string()
         .contains("line 3"));
+        let e = HinError::NonFiniteWeight {
+            relation: "written_by".into(),
+            src: "p0".into(),
+            dst: "a0".into(),
+            weight: "NaN".into(),
+        };
+        assert!(e.to_string().contains("NaN"));
+        assert!(e.to_string().contains("written_by"));
     }
 }

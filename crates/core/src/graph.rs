@@ -267,9 +267,9 @@ mod tests {
         let p1 = b.add_node(paper, "p1");
         let a0 = b.add_node(author, "alice");
         let a1 = b.add_node(author, "bob");
-        b.add_edge(writes, a0.id, p0.id, 1.0);
-        b.add_edge(writes, a0.id, p1.id, 1.0);
-        b.add_edge(writes, a1.id, p1.id, 1.0);
+        b.add_edge(writes, a0.id, p0.id, 1.0).unwrap();
+        b.add_edge(writes, a0.id, p1.id, 1.0).unwrap();
+        b.add_edge(writes, a1.id, p1.id, 1.0).unwrap();
         let hin = b.build();
 
         assert_eq!(hin.type_count(), 2);
@@ -331,8 +331,8 @@ mod tests {
         let r = b.add_relation("r", x, y);
         b.add_node(x, "x0");
         b.add_node(y, "y0");
-        b.add_edge(r, 0, 0, 1.0);
-        b.add_edge(r, 0, 0, 2.5);
+        b.add_edge(r, 0, 0, 1.0).unwrap();
+        b.add_edge(r, 0, 0, 2.5).unwrap();
         let hin = b.build();
         assert_eq!(hin.relation(r).fwd.get(0, 0), 3.5);
         assert_eq!(hin.relation(r).bwd.get(0, 0), 3.5);

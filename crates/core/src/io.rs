@@ -143,7 +143,9 @@ pub fn from_text(text: &str) -> Result<Hin, HinError> {
                 let rel = *rels
                     .get(&rel_name)
                     .ok_or_else(|| err(&format!("unknown relation `{rel_name}`")))?;
-                builder.link(rel, &src, &dst, w);
+                builder
+                    .link(rel, &src, &dst, w)
+                    .map_err(|_| err(&format!("non-finite weight `{w}`")))?;
             }
             Some(other) => return Err(err(&format!("unknown directive `{other}`"))),
             None => unreachable!("empty lines are skipped"),
@@ -161,8 +163,8 @@ mod tests {
         let paper = b.add_type("paper");
         let venue = b.add_type("venue");
         let r = b.add_relation("published in", paper, venue);
-        b.link(r, "RankClus paper", "EDBT 2009", 1.0);
-        b.link(r, "NetClus paper", "KDD 2009", 2.5);
+        b.link(r, "RankClus paper", "EDBT 2009", 1.0).unwrap();
+        b.link(r, "NetClus paper", "KDD 2009", 2.5).unwrap();
         b.build()
     }
 

@@ -64,11 +64,11 @@ mod tests {
         let paper = b.add_type("paper");
         let author = b.add_type("author");
         let writes = b.add_relation("written_by", paper, author);
-        b.link(writes, "p0", "a0", 1.0);
-        b.link(writes, "p0", "a1", 1.0);
-        b.link(writes, "p1", "a1", 1.0);
-        b.link(writes, "p1", "a2", 1.0);
-        b.link(writes, "p2", "a1", 1.0);
+        b.link(writes, "p0", "a0", 1.0).unwrap();
+        b.link(writes, "p0", "a1", 1.0).unwrap();
+        b.link(writes, "p1", "a1", 1.0).unwrap();
+        b.link(writes, "p1", "a2", 1.0).unwrap();
+        b.link(writes, "p2", "a1", 1.0).unwrap();
         let hin = b.build();
 
         let co = co_occurrence(&hin, author, paper).unwrap();

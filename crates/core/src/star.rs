@@ -127,11 +127,11 @@ mod tests {
         let wa = b.add_relation("written_by", paper, author);
         // venue arm stored in the *reverse* direction on purpose
         let vp = b.add_relation("publishes", venue, paper);
-        b.link(wa, "p0", "sun", 1.0);
-        b.link(wa, "p0", "han", 1.0);
-        b.link(wa, "p1", "han", 1.0);
-        b.link(vp, "EDBT", "p0", 1.0);
-        b.link(vp, "KDD", "p1", 1.0);
+        b.link(wa, "p0", "sun", 1.0).unwrap();
+        b.link(wa, "p0", "han", 1.0).unwrap();
+        b.link(wa, "p1", "han", 1.0).unwrap();
+        b.link(vp, "EDBT", "p0", 1.0).unwrap();
+        b.link(vp, "KDD", "p1", 1.0).unwrap();
         b.build()
     }
 

@@ -22,7 +22,7 @@ proptest! {
         let y = b.add_type("y type");
         let rel = b.add_relation("links to", x, y);
         for (s, d, w) in &edges {
-            b.link(rel, s, d, *w);
+            b.link(rel, s, d, *w).unwrap();
         }
         let hin = b.build();
         let text = io::to_text(&hin);
@@ -48,7 +48,7 @@ proptest! {
             b.add_node(y, &format!("y{i}"));
         }
         for &(s, d, w) in &edges {
-            b.add_edge(rel, s, d, w);
+            b.add_edge(rel, s, d, w).unwrap();
         }
         let hin = b.build();
         let fwd = hin.adjacency(x, y).unwrap();

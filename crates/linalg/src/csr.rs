@@ -111,6 +111,17 @@ impl Csr {
         self.indices.len()
     }
 
+    /// Heap bytes this matrix logically occupies: the `indptr`, `indices`
+    /// and `data` arrays at their stored lengths (excess `Vec` capacity is
+    /// ignored). This is the cost model used by byte-budgeted caches of
+    /// commuting matrices.
+    #[inline]
+    pub fn nbytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.data.len() * std::mem::size_of::<f64>()
+    }
+
     /// Column indices of row `r`.
     #[inline]
     pub fn row_indices(&self, r: usize) -> &[u32] {
@@ -357,6 +368,17 @@ mod tests {
         // [ 0 0 0 ]
         // [ 3 4 0 ]
         Csr::from_triplets(3, 3, [(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn nbytes_tracks_structure() {
+        let m = sample();
+        let want = 4 * std::mem::size_of::<usize>() // indptr: nrows + 1
+            + 4 * std::mem::size_of::<u32>() // indices: nnz
+            + 4 * std::mem::size_of::<f64>(); // data: nnz
+        assert_eq!(m.nbytes(), want);
+        // an empty matrix still pays for its indptr
+        assert_eq!(Csr::zeros(7, 3).nbytes(), 8 * std::mem::size_of::<usize>());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The commuting-matrix cache.
+//! The commuting-matrix cache: sharded, bounded, concurrent.
 //!
 //! Keys are canonical sub-path step sequences; values are shared
 //! [`Csr`] products. Two forms of reuse:
@@ -10,9 +10,38 @@
 //!   (`(M₁·…·Mₙ)ᵀ = Mₙᵀ·…·M₁ᵀ`, and each reversed step's matrix is the
 //!   stored transpose of the forward step). The transpose is materialized
 //!   once, then cached under its own key.
+//!
+//! # Concurrency
+//!
+//! The cache is safe to share across threads behind a plain `Arc` — this
+//! is what lets a pool of serving workers (see `hin_serve`) drive one
+//! engine concurrently. Keys are hashed onto `N` shards, each guarded by
+//! its own [`RwLock`], so lookups of different sub-paths proceed in
+//! parallel and a store only stalls readers of one shard. Hit/miss/
+//! eviction counters are relaxed atomics aggregated across shards.
+//!
+//! Two workers may race to compute the same product; both results are
+//! identical (sparse products are deterministic), the second store simply
+//! replaces the first, and correctness never depends on an entry staying
+//! resident. Shard locks recover from poisoning (`PoisonError::into_inner`)
+//! rather than propagating it: cache contents are deterministic and
+//! re-derivable, so a panic elsewhere must not turn one shard's keyspace
+//! into a permanent error zone for a long-lived server.
+//!
+//! # Bounding
+//!
+//! With a [`CacheConfig::byte_budget`], each shard evicts its
+//! least-recently-used entries (cost = [`Csr::nbytes`], the actual heap
+//! footprint) until it is back under `budget / shards`. Recency is a
+//! monotone tick stamped on every counting lookup. Eviction means the
+//! planner can price a span as cached and find it gone at execution time —
+//! the engine treats that as an ordinary miss and recomputes (see
+//! `Engine`), so a bounded cache only ever costs time, never correctness.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{BuildHasher, Hasher, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use hin_linalg::Csr;
 use hin_similarity::PathStep;
@@ -39,79 +68,307 @@ pub(crate) fn reversed_key(key: &[StepKey]) -> PathKey {
     key.iter().rev().map(|&(r, fwd)| (r, !fwd)).collect()
 }
 
-/// Memoizing store of commuting matrices with hit/miss accounting.
-#[derive(Debug, Default)]
+/// Sizing and sharding knobs for a [`MatrixCache`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Number of independently locked shards; rounded up to a power of
+    /// two, minimum 1. More shards = less lock contention, slightly more
+    /// fixed overhead.
+    pub shards: usize,
+    /// Total byte budget across all shards (`None` = unbounded). Each
+    /// shard independently enforces `byte_budget / shards` with LRU
+    /// eviction (no cross-shard coordination, so a store never stalls
+    /// other shards).
+    ///
+    /// Granularity caveat: a single product larger than `byte_budget /
+    /// shards` is never retained, even if it would fit in the total
+    /// budget. Size the budget so the largest expected commuting matrix
+    /// fits in one shard's slice — or lower `shards` (with `shards: 1`
+    /// the budget is exact and global).
+    pub byte_budget: Option<usize>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            byte_budget: None,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An unbounded cache with the default shard count.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A cache bounded to `bytes` across the default shard count.
+    pub fn bounded(bytes: usize) -> Self {
+        Self {
+            byte_budget: Some(bytes),
+            ..Self::default()
+        }
+    }
+}
+
+/// One stored product plus its bookkeeping.
+struct Entry {
+    value: Arc<Csr>,
+    bytes: usize,
+    /// Recency stamp from the cache-wide tick; atomic so counting lookups
+    /// can refresh it under the shard's *read* lock.
+    last_used: AtomicU64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<PathKey, Entry>,
+    bytes: usize,
+}
+
+impl Shard {
+    /// Evict least-recently-used entries until `bytes <= budget`. The
+    /// just-inserted entry is fair game too: a single product larger than
+    /// the whole shard budget is stored nowhere rather than blowing it.
+    ///
+    /// Victim selection is an O(entries) scan per eviction, under the
+    /// shard's write lock. Commuting-matrix caches hold few, large
+    /// entries (tens to hundreds, keyed by sub-path), so a scan beats the
+    /// constant factors of an intrusive LRU list at this population; if a
+    /// workload ever holds many thousands of entries per shard, revisit.
+    fn evict_to(&mut self, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget && !self.map.is_empty() {
+            let coldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty shard has a minimum");
+            let gone = self.map.remove(&coldest).expect("key just observed");
+            self.bytes -= gone.bytes;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// Memoizing store of commuting matrices: sharded for concurrency, bounded
+/// by bytes with LRU eviction, with hit/miss/eviction accounting.
+///
+/// All methods take `&self`; share it across threads with `Arc`.
 pub struct MatrixCache {
-    map: HashMap<PathKey, Arc<Csr>>,
-    hits: u64,
-    symmetry_hits: u64,
-    misses: u64,
+    shards: Box<[RwLock<Shard>]>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    shard_mask: usize,
+    budget_per_shard: Option<usize>,
+    hasher: RandomState,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    symmetry_hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for MatrixCache {
+    fn default() -> Self {
+        Self::new(CacheConfig::default())
+    }
+}
+
+impl std::fmt::Debug for MatrixCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatrixCache")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("bytes", &self.bytes())
+            .field("byte_budget", &self.byte_budget())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
+            .finish()
+    }
 }
 
 impl MatrixCache {
-    /// Number of stored matrices.
+    /// Build a cache from sizing knobs.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..shards)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            shard_mask: shards - 1,
+            budget_per_shard: config.byte_budget.map(|b| b / shards),
+            hasher: RandomState::new(),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            symmetry_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of stored matrices, across all shards.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
+                    .len()
+            })
+            .sum()
     }
 
     /// `true` when nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
+    }
+
+    /// Resident bytes across all shards ([`Csr::nbytes`] of every entry).
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .bytes
+            })
+            .sum()
+    }
+
+    /// The configured total byte budget (`None` = unbounded).
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.budget_per_shard.map(|b| b * self.shards.len())
     }
 
     /// Products served from cache (exact + symmetry).
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// The subset of [`MatrixCache::hits`] served by transposing a cached
     /// reversed sub-path.
     pub fn symmetry_hits(&self) -> u64 {
-        self.symmetry_hits
+        self.symmetry_hits.load(Ordering::Relaxed)
     }
 
     /// Products that had to be computed.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay under the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Zero the counters (the stored matrices stay).
-    pub fn reset_stats(&mut self) {
-        self.hits = 0;
-        self.symmetry_hits = 0;
-        self.misses = 0;
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.symmetry_hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    fn shard_of(&self, key: &[StepKey]) -> &RwLock<Shard> {
+        let mut h = self.hasher.build_hasher();
+        for &(r, fwd) in key {
+            h.write_usize(r);
+            h.write_u8(fwd as u8);
+        }
+        &self.shards[(h.finish() as usize) & self.shard_mask]
+    }
+
+    /// Counting lookup of exactly `key` (no symmetry), refreshing recency.
+    fn lookup(&self, key: &[StepKey]) -> Option<Arc<Csr>> {
+        let shard = self
+            .shard_of(key)
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = shard.map.get(key)?;
+        entry.last_used.store(
+            self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Store without touching the miss counter; evicts if over budget.
+    fn insert(&self, key: PathKey, value: Arc<Csr>) {
+        let bytes = value.nbytes();
+        let mut shard = self
+            .shard_of(&key)
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = Entry {
+            value,
+            bytes,
+            last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed) + 1),
+        };
+        if let Some(old) = shard.map.insert(key, entry) {
+            shard.bytes -= old.bytes;
+        }
+        shard.bytes += bytes;
+        if let Some(budget) = self.budget_per_shard {
+            let evicted = shard.evict_to(budget);
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Non-counting lookup used by the planner: is this sub-path (or its
-    /// reversal) available, and at what nnz?
-    pub(crate) fn peek(&self, key: &[StepKey]) -> Option<&Arc<Csr>> {
-        self.map
-            .get(key)
-            .or_else(|| self.map.get(&reversed_key(key)))
+    /// reversal) available, and at what nnz? Does not refresh recency — a
+    /// plan is a forecast, not a use.
+    pub(crate) fn peek_nnz(&self, key: &[StepKey]) -> Option<usize> {
+        let direct = {
+            let shard = self
+                .shard_of(key)
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            shard.map.get(key).map(|e| e.value.nnz())
+        };
+        direct.or_else(|| {
+            let rev = reversed_key(key);
+            let shard = self
+                .shard_of(&rev)
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            shard.map.get(&rev).map(|e| e.value.nnz())
+        })
     }
 
     /// Counting lookup used by the executor. Serves the reversed entry by
-    /// materializing (and caching) its transpose.
-    pub(crate) fn get(&mut self, key: &[StepKey]) -> Option<Arc<Csr>> {
-        if let Some(m) = self.map.get(key) {
-            self.hits += 1;
-            return Some(Arc::clone(m));
+    /// materializing (and caching) its transpose. Never holds two shard
+    /// locks at once.
+    pub(crate) fn get(&self, key: &[StepKey]) -> Option<Arc<Csr>> {
+        if let Some(m) = self.lookup(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(m);
         }
         let rev = reversed_key(key);
-        if let Some(m) = self.map.get(&rev) {
+        if rev == key {
+            return None; // palindromic key: the reversal is itself
+        }
+        if let Some(m) = self.lookup(&rev) {
             let t = Arc::new(m.transpose());
-            self.map.insert(key.to_vec(), Arc::clone(&t));
-            self.hits += 1;
-            self.symmetry_hits += 1;
+            self.insert(key.to_vec(), Arc::clone(&t));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.symmetry_hits.fetch_add(1, Ordering::Relaxed);
             return Some(t);
         }
         None
     }
 
-    /// Record a computed product.
-    pub(crate) fn put(&mut self, key: PathKey, value: Arc<Csr>) {
-        self.misses += 1;
-        self.map.insert(key, value);
+    /// Record a computed product (counted as a miss).
+    pub(crate) fn put(&self, key: PathKey, value: Arc<Csr>) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.insert(key, value);
     }
 }
 
@@ -125,7 +382,7 @@ mod tests {
 
     #[test]
     fn exact_and_symmetry_reuse() {
-        let mut cache = MatrixCache::default();
+        let cache = MatrixCache::default();
         let key: PathKey = vec![(0, true), (1, false)];
         assert!(cache.get(&key).is_none());
         cache.put(key.clone(), sample());
@@ -156,12 +413,13 @@ mod tests {
 
     #[test]
     fn peek_does_not_count() {
-        let mut cache = MatrixCache::default();
+        let cache = MatrixCache::default();
         let key: PathKey = vec![(3, true)];
         cache.put(key.clone(), sample());
-        assert!(cache.peek(&key).is_some());
-        assert!(cache.peek(&reversed_key(&key)).is_some());
-        assert!(cache.peek(&[(9, true)]).is_none());
+        assert!(cache.peek_nnz(&key).is_some());
+        assert_eq!(cache.peek_nnz(&key), Some(2));
+        assert!(cache.peek_nnz(&reversed_key(&key)).is_some());
+        assert!(cache.peek_nnz(&[(9, true)]).is_none());
         assert_eq!(cache.hits(), 0, "peek never counts a hit");
         assert_eq!(cache.misses(), 1, "only the initial put counted");
     }
@@ -170,5 +428,80 @@ mod tests {
     fn palindromic_keys_are_their_own_reversal() {
         let key: PathKey = vec![(0, true), (0, false)];
         assert_eq!(reversed_key(&key), key);
+        // and looking one up must not hit the symmetry path
+        let cache = MatrixCache::default();
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.symmetry_hits(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_stays_under_budget() {
+        // one shard so the budget applies to one LRU sequence
+        let m = sample();
+        let per_entry = m.nbytes();
+        let cache = MatrixCache::new(CacheConfig {
+            shards: 1,
+            byte_budget: Some(per_entry * 2),
+        });
+        cache.put(vec![(0, true)], Arc::clone(&m));
+        cache.put(vec![(1, true)], Arc::clone(&m));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+
+        // touch key 0 so key 1 is the LRU victim
+        assert!(cache.get(&[(0, true)]).is_some());
+        cache.put(vec![(2, true)], Arc::clone(&m));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.bytes() <= per_entry * 2);
+        assert!(cache.get(&[(0, true)]).is_some(), "recently used survives");
+        assert!(cache.get(&[(1, true)]).is_none(), "LRU entry evicted");
+        assert!(cache.get(&[(2, true)]).is_some());
+    }
+
+    #[test]
+    fn oversized_entry_is_not_retained() {
+        let m = sample();
+        let cache = MatrixCache::new(CacheConfig {
+            shards: 1,
+            byte_budget: Some(m.nbytes() / 2),
+        });
+        cache.put(vec![(0, true)], m);
+        assert_eq!(cache.len(), 0, "entry larger than the budget is dropped");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_agree() {
+        use std::sync::Barrier;
+
+        let cache = Arc::new(MatrixCache::new(CacheConfig {
+            shards: 4,
+            byte_budget: None,
+        }));
+        let n_threads = 8;
+        let barrier = Arc::new(Barrier::new(n_threads));
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..200usize {
+                        let key: PathKey = vec![(i % 16, t % 2 == 0)];
+                        match cache.get(&key) {
+                            Some(m) => assert_eq!(m.nnz(), 2),
+                            None => cache.put(key, sample()),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics under concurrency");
+        }
+        assert!(cache.len() <= 32, "16 keys × 2 directions at most");
+        assert!(cache.hits() + cache.misses() >= 200);
     }
 }

@@ -7,7 +7,7 @@ use hin_core::{Hin, NodeRef};
 use hin_linalg::Csr;
 use hin_similarity::{top_k_pathsim, MetaPath, PathStep};
 
-use crate::cache::{key_of, MatrixCache};
+use crate::cache::{key_of, CacheConfig, MatrixCache};
 use crate::error::QueryError;
 use crate::parse::{parse, Verb};
 use crate::plan::{plan_steps, PlanNode, QueryPlan};
@@ -35,31 +35,57 @@ pub struct QueryOutput {
 /// resolved against the schema, planned by a cost-based optimizer that
 /// treats cached sub-products as free leaves, and executed; every
 /// intermediate product lands in the cache, so repeated and overlapping
-/// queries get cheaper over time. [`Engine::execute_many`] is the batched
-/// entry point a future serving layer will drive.
+/// queries get cheaper over time.
+///
+/// Every method takes `&self` and the cache is sharded and lock-guarded,
+/// so one engine behind an `Arc` serves any number of threads — this is
+/// what `hin_serve`'s worker pool drives. [`Engine::execute_many`] is the
+/// batched single-thread entry point.
+///
+/// The cache may be bounded ([`Engine::with_cache_config`]); a span the
+/// planner priced as cached can then be evicted before execution, in which
+/// case the engine recomputes it as an ordinary miss — eviction costs
+/// time, never correctness.
 #[derive(Debug)]
 pub struct Engine {
     hin: Arc<Hin>,
-    cache: MatrixCache,
+    cache: Arc<MatrixCache>,
 }
 
 impl Engine {
-    /// Build an engine owning `hin`.
+    /// Build an engine owning `hin`, with an unbounded cache.
     pub fn new(hin: Hin) -> Self {
         Self::from_arc(Arc::new(hin))
     }
 
-    /// Build an engine sharing an already-`Arc`ed network.
+    /// Build an engine sharing an already-`Arc`ed network, with an
+    /// unbounded cache.
     pub fn from_arc(hin: Arc<Hin>) -> Self {
+        Self::with_cache_config(hin, CacheConfig::default())
+    }
+
+    /// Build an engine with explicit cache sizing (shard count, byte
+    /// budget) — the serving configuration.
+    pub fn with_cache_config(hin: Arc<Hin>, config: CacheConfig) -> Self {
         Self {
             hin,
-            cache: MatrixCache::default(),
+            cache: Arc::new(MatrixCache::new(config)),
         }
     }
 
     /// The underlying network.
     pub fn hin(&self) -> &Hin {
         &self.hin
+    }
+
+    /// The shared network handle.
+    pub fn hin_arc(&self) -> &Arc<Hin> {
+        &self.hin
+    }
+
+    /// The commuting-matrix cache (shared, thread-safe).
+    pub fn cache(&self) -> &MatrixCache {
+        &self.cache
     }
 
     /// Parse, resolve and plan `query` without executing it — the engine's
@@ -69,25 +95,25 @@ impl Engine {
         Ok(plan_steps(&self.hin, resolved.path.steps(), &self.cache))
     }
 
-    /// Execute one query.
-    pub fn execute(&mut self, query: &str) -> Result<QueryOutput, QueryError> {
+    /// Execute one query. Thread-safe: any number of threads may call this
+    /// on one shared engine.
+    pub fn execute(&self, query: &str) -> Result<QueryOutput, QueryError> {
         let resolved = resolve(&self.hin, &parse(query)?)?;
         // Borrow-only evaluation: single-step paths read the relation
         // matrix in place instead of copying it.
-        let hin = Arc::clone(&self.hin);
-        let plan = plan_steps(&hin, resolved.path.steps(), &self.cache);
-        let matrix = Self::eval(&hin, resolved.path.steps(), &mut self.cache, &plan.root);
+        let plan = plan_steps(&self.hin, resolved.path.steps(), &self.cache);
+        let matrix = Self::eval(&self.hin, resolved.path.steps(), &self.cache, &plan.root);
         self.assemble(&resolved, matrix.as_csr())
     }
 
     /// Execute a batch of queries against the shared cache, returning one
     /// result per query in order.
     ///
-    /// This is the seam for a serving layer: a front end collects inflight
-    /// requests, hands them here as a batch, and the cache turns
-    /// overlapping meta-paths across the batch into shared sub-products.
+    /// This is the seam `hin_serve` drives: its front end collects inflight
+    /// requests, micro-batches them, and the cache turns overlapping
+    /// meta-paths across the batch into shared sub-products.
     pub fn execute_many<S: AsRef<str>>(
-        &mut self,
+        &self,
         queries: &[S],
     ) -> Vec<Result<QueryOutput, QueryError>> {
         queries.iter().map(|q| self.execute(q.as_ref())).collect()
@@ -96,7 +122,7 @@ impl Engine {
     /// The commuting matrix of an already-resolved meta-path, computed
     /// through the planner and cache. Exposed for callers that want the
     /// matrix itself rather than a verb's view of it.
-    pub fn commuting_matrix(&mut self, path: &MetaPath) -> Result<Arc<Csr>, QueryError> {
+    pub fn commuting_matrix(&self, path: &MetaPath) -> Result<Arc<Csr>, QueryError> {
         path.validate(&self.hin)?;
         Ok(self.commuting_of(path))
     }
@@ -116,20 +142,29 @@ impl Engine {
         self.cache.misses()
     }
 
+    /// Entries evicted so far to keep the cache under its byte budget.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
     /// Number of cached matrices.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
     }
 
+    /// Resident cache bytes.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.bytes()
+    }
+
     /// Zero the hit/miss counters, keeping cached matrices.
-    pub fn reset_cache_stats(&mut self) {
+    pub fn reset_cache_stats(&self) {
         self.cache.reset_stats();
     }
 
-    fn commuting_of(&mut self, path: &MetaPath) -> Arc<Csr> {
-        let hin = Arc::clone(&self.hin);
-        let plan = plan_steps(&hin, path.steps(), &self.cache);
-        match Self::eval(&hin, path.steps(), &mut self.cache, &plan.root) {
+    fn commuting_of(&self, path: &MetaPath) -> Arc<Csr> {
+        let plan = plan_steps(&self.hin, path.steps(), &self.cache);
+        match Self::eval(&self.hin, path.steps(), &self.cache, &plan.root) {
             Mat::Shared(m) => m,
             Mat::Borrowed(m) => {
                 // Single-step path: the plan is a bare relation matrix.
@@ -145,12 +180,7 @@ impl Engine {
         }
     }
 
-    fn eval<'a>(
-        hin: &'a Hin,
-        steps: &[PathStep],
-        cache: &mut MatrixCache,
-        node: &PlanNode,
-    ) -> Mat<'a> {
+    fn eval<'a>(hin: &'a Hin, steps: &[PathStep], cache: &MatrixCache, node: &PlanNode) -> Mat<'a> {
         match node {
             PlanNode::Leaf { step } => Mat::Borrowed(steps[*step].matrix(hin)),
             PlanNode::Cached { lo, hi } => {
@@ -158,10 +188,11 @@ impl Engine {
                 match cache.get(&key) {
                     Some(m) => Mat::Shared(m),
                     None => {
-                        // The planner only emits `Cached` for spans it saw in
-                        // the cache, and nothing evicts between plan and
-                        // execution; recompute defensively if that ever drifts.
-                        debug_assert!(false, "cached span vanished before execution");
+                        // The planner priced this span as cached, but a
+                        // bounded cache may have evicted it since (and under
+                        // concurrency another thread's store can trigger that
+                        // between plan and execution). Recompute: the legal
+                        // slow path, counted as an ordinary miss by `put`.
                         let mats: Vec<&Csr> =
                             steps[*lo..=*hi].iter().map(|s| s.matrix(hin)).collect();
                         let m = Arc::new(hin_linalg::spmm_chain(&mats));
@@ -235,7 +266,10 @@ impl Engine {
                     .zip(vals.iter().copied())
                     .filter(|&(y, _)| !(exclude_self && y == x))
                     .collect();
-                row.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+                // total_cmp: a NaN score (possible only in matrices built
+                // outside the validated ingestion path) orders
+                // deterministically instead of panicking a serving process.
+                row.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 let default_limit = match resolved.verb {
                     Verb::PathCount => DEFAULT_LIMIT,
                     _ => usize::MAX,
@@ -250,7 +284,7 @@ impl Engine {
                     .enumerate()
                     .filter(|&(_, s)| s > 0.0)
                     .collect();
-                sums.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+                sums.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 sums.truncate(resolved.limit.unwrap_or(DEFAULT_LIMIT));
                 // rank verb scores objects of the *start* type by row sums
                 return Ok(QueryOutput {
@@ -309,13 +343,13 @@ mod tests {
         let venue = b.add_type("venue");
         let pa = b.add_relation("written_by", paper, author);
         let pv = b.add_relation("published_in", paper, venue);
-        b.link(pa, "p0", "a0", 1.0);
-        b.link(pa, "p0", "a1", 1.0);
-        b.link(pa, "p1", "a1", 1.0);
-        b.link(pa, "p2", "a2", 1.0);
-        b.link(pv, "p0", "v0", 1.0);
-        b.link(pv, "p1", "v0", 1.0);
-        b.link(pv, "p2", "v1", 1.0);
+        b.link(pa, "p0", "a0", 1.0).unwrap();
+        b.link(pa, "p0", "a1", 1.0).unwrap();
+        b.link(pa, "p1", "a1", 1.0).unwrap();
+        b.link(pa, "p2", "a2", 1.0).unwrap();
+        b.link(pv, "p0", "v0", 1.0).unwrap();
+        b.link(pv, "p1", "v0", 1.0).unwrap();
+        b.link(pv, "p2", "v1", 1.0).unwrap();
         b.build()
     }
 
@@ -326,7 +360,7 @@ mod tests {
         let m = commuting_matrix(&hin, &apa).unwrap();
         let direct = top_k_pathsim(&m, 0, 5);
 
-        let mut engine = Engine::new(hin);
+        let engine = Engine::new(hin);
         let out = engine
             .execute("pathsim author-paper-author from a0")
             .unwrap();
@@ -346,7 +380,7 @@ mod tests {
 
     #[test]
     fn repeated_queries_hit_the_cache() {
-        let mut engine = Engine::new(bib());
+        let engine = Engine::new(bib());
         let q = "pathsim author-paper-venue-paper-author from a0";
         let first = engine.execute(q).unwrap();
         let computed = engine.cache_misses();
@@ -371,7 +405,7 @@ mod tests {
 
     #[test]
     fn overlapping_queries_share_subproducts_via_transpose() {
-        let mut engine = Engine::new(bib());
+        let engine = Engine::new(bib());
         // Warm the A→P→V half-path…
         engine
             .execute("pathcount author-paper-venue from a0")
@@ -388,7 +422,7 @@ mod tests {
     #[test]
     fn verbs_agree_on_the_commuting_matrix() {
         let hin = bib();
-        let mut engine = Engine::new(hin);
+        let engine = Engine::new(hin);
 
         let count = engine
             .execute("pathcount author-paper-author from a1 limit 5")
@@ -418,7 +452,7 @@ mod tests {
         // p0 and a0 share numeric id 0; a cross-type count from p0 must
         // still report a0 (regression: a same-type-only self-exclusion
         // used to drop it).
-        let mut engine = Engine::new(bib());
+        let engine = Engine::new(bib());
         let out = engine.execute("pathcount written_by from p0").unwrap();
         assert_eq!(out.object_type, "author");
         assert!(
@@ -430,7 +464,7 @@ mod tests {
 
     #[test]
     fn neighbors_excludes_self_on_round_trips() {
-        let mut engine = Engine::new(bib());
+        let engine = Engine::new(bib());
         let out = engine
             .execute("neighbors author-paper-author from a0")
             .unwrap();
@@ -439,7 +473,7 @@ mod tests {
 
     #[test]
     fn execute_many_reports_per_query_results() {
-        let mut engine = Engine::new(bib());
+        let engine = Engine::new(bib());
         let results = engine.execute_many(&[
             "pathsim author-paper-author from a0",
             "pathsim author-paper-author from nobody",
@@ -455,11 +489,91 @@ mod tests {
     }
 
     #[test]
+    fn bounded_cache_evicts_but_stays_correct() {
+        let hin = Arc::new(bib());
+        let reference = Engine::from_arc(Arc::clone(&hin));
+        // a budget of a couple of entries: the workload's products churn
+        let budget = 256;
+        let engine = Engine::with_cache_config(
+            Arc::clone(&hin),
+            CacheConfig {
+                shards: 1,
+                byte_budget: Some(budget),
+            },
+        );
+        let queries = [
+            "pathsim author-paper-venue-paper-author from a0",
+            "pathsim author-paper-author from a1",
+            "pathcount author-paper-venue from a0",
+            "pathcount venue-paper-author from v0",
+            "rank venue-paper-author limit 2",
+        ];
+        for _ in 0..3 {
+            for q in queries {
+                assert_eq!(
+                    engine.execute(q).unwrap(),
+                    reference.execute(q).unwrap(),
+                    "bounded-cache result must match unbounded reference: {q}"
+                );
+            }
+        }
+        assert!(engine.cache_evictions() > 0, "tiny budget must evict");
+        assert!(
+            engine.cache_bytes() <= budget,
+            "resident {} bytes exceeds budget {budget}",
+            engine.cache_bytes()
+        );
+    }
+
+    #[test]
+    fn shared_engine_serves_threads_identically() {
+        let hin = Arc::new(bib());
+        let reference = Engine::from_arc(Arc::clone(&hin));
+        let shared = Arc::new(Engine::with_cache_config(
+            Arc::clone(&hin),
+            CacheConfig {
+                shards: 4,
+                byte_budget: Some(4096),
+            },
+        ));
+        let queries: Vec<&str> = vec![
+            "pathsim author-paper-venue-paper-author from a0",
+            "pathsim author-paper-author from a1",
+            "pathcount author-paper-venue from a0",
+            "pathcount venue-paper-author from v0",
+            "rank venue-paper-author limit 2",
+            "neighbors written_by from p0",
+        ];
+        let want: Vec<_> = queries.iter().map(|q| reference.execute(q)).collect();
+
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let engine = Arc::clone(&shared);
+                let queries: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..queries.len() * 4 {
+                        let q = &queries[(i + t) % queries.len()];
+                        got.push((q.clone(), engine.execute(q)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (q, result) in h.join().expect("worker thread must not panic") {
+                let idx = queries.iter().position(|x| *x == q).unwrap();
+                assert_eq!(result, want[idx], "thread result diverged on {q}");
+            }
+        }
+    }
+
+    #[test]
     fn commuting_matrix_api_shares_the_cache() {
         let hin = bib();
         let apa = MetaPath::from_type_names(&hin, &["author", "paper", "author"]).unwrap();
         let direct = commuting_matrix(&hin, &apa).unwrap();
-        let mut engine = Engine::new(hin);
+        let engine = Engine::new(hin);
         let cached = engine.commuting_matrix(&apa).unwrap();
         assert_eq!(*cached, direct);
         let again = engine.commuting_matrix(&apa).unwrap();

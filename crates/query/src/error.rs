@@ -40,6 +40,12 @@ pub enum QueryError {
     },
     /// The path resolved to zero steps.
     EmptyPath,
+    /// The query was accepted by a serving layer but its worker went away
+    /// before producing a result (shutdown mid-flight).
+    Canceled,
+    /// The query made its worker panic; the panic was contained and the
+    /// worker kept serving. Carries the panic message.
+    Internal(String),
     /// An error surfaced by the underlying network.
     Hin(HinError),
 }
@@ -91,6 +97,10 @@ impl fmt::Display for QueryError {
                  such as `author-paper-author`"
             ),
             QueryError::EmptyPath => write!(f, "the path resolves to zero relation steps"),
+            QueryError::Canceled => {
+                write!(f, "query canceled: the serving worker went away mid-flight")
+            }
+            QueryError::Internal(msg) => write!(f, "internal error executing the query: {msg}"),
             QueryError::Hin(e) => write!(f, "{e}"),
         }
     }

@@ -21,7 +21,15 @@
 //! * [`engine`] — [`Engine`]: executes plans, memoizes every intermediate
 //!   commuting matrix keyed by canonical sub-path (with transpose reuse:
 //!   the matrix of a reversed path is served by transposing the cached
-//!   forward one), and exposes hit/miss counters.
+//!   forward one), and exposes hit/miss/eviction counters;
+//! * [`cache`] — the [`MatrixCache`] behind the engine: sharded across
+//!   independently locked segments so threads sharing one engine don't
+//!   contend, and optionally bounded by a byte budget
+//!   ([`CacheConfig`]) with LRU eviction priced by actual heap bytes.
+//!
+//! Every [`Engine`] method takes `&self`, so one engine behind an `Arc`
+//! serves any number of threads; the `hin-serve` crate builds a
+//! thread-pool serving layer on exactly that.
 //!
 //! # Example
 //!
@@ -33,11 +41,11 @@
 //! let paper = b.add_type("paper");
 //! let author = b.add_type("author");
 //! let wrote = b.add_relation("written_by", paper, author);
-//! b.link(wrote, "net-clus", "sun", 1.0);
-//! b.link(wrote, "net-clus", "han", 1.0);
-//! b.link(wrote, "rank-clus", "sun", 1.0);
+//! b.link(wrote, "net-clus", "sun", 1.0).unwrap();
+//! b.link(wrote, "net-clus", "han", 1.0).unwrap();
+//! b.link(wrote, "rank-clus", "sun", 1.0).unwrap();
 //!
-//! let mut engine = Engine::new(b.build());
+//! let engine = Engine::new(b.build());
 //! let peers = engine.execute("pathsim author-paper-author from sun").unwrap();
 //! assert_eq!(peers.items[0].0, "han");
 //!
@@ -53,6 +61,7 @@ pub mod parse;
 pub mod plan;
 pub mod resolve;
 
+pub use cache::{CacheConfig, MatrixCache};
 pub use engine::{Engine, QueryOutput};
 pub use error::QueryError;
 pub use parse::{parse, ParsedQuery, PathExpr, PathSegment, Verb};

@@ -122,7 +122,7 @@ pub fn parse(input: &str) -> Result<ParsedQuery, QueryError> {
     let mut limit = None;
     if verb == Verb::TopK {
         let k = next(&mut pos, "k after `topk`")?;
-        limit = Some(parse_int(&k)?);
+        limit = Some(parse_count(&k, "topk")?);
     }
 
     let path_tok = next(&mut pos, "a meta-path expression")?;
@@ -152,7 +152,7 @@ pub fn parse(input: &str) -> Result<ParsedQuery, QueryError> {
         }
         pos += 1;
         let k = next(&mut pos, "a count after `limit`")?;
-        limit = Some(parse_int(&k)?);
+        limit = Some(parse_count(&k, "limit")?);
     }
 
     if pos < tokens.len() {
@@ -253,6 +253,19 @@ fn parse_int(tok: &Token) -> Result<usize, QueryError> {
         .map_err(|_| QueryError::Parse(format!("expected a number, found `{}`", tok.text)))
 }
 
+/// Parse a result count, rejecting zero: `topk 0` / `limit 0` would parse
+/// fine and then silently return empty results for every query — in a
+/// serving context that reads as "no matches", not "you asked for none".
+fn parse_count(tok: &Token, what: &str) -> Result<usize, QueryError> {
+    match parse_int(tok)? {
+        0 => Err(QueryError::Parse(format!(
+            "`{what} {}` asks for zero results; the count after `{what}` must be at least 1",
+            tok.text
+        ))),
+        n => Ok(n),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +330,9 @@ mod tests {
             ("pathsim a-b from x extra", "trailing"),
             ("pathsim a-b from \"unterminated", "unterminated"),
             ("rank a-b limit many", "number"),
+            ("topk 0 a-b-a from x", "`topk 0` asks for zero results"),
+            ("rank a-b limit 0", "`limit 0` asks for zero results"),
+            ("pathsim a-b-a from x limit 0", "at least 1"),
         ];
         for (input, want) in cases {
             let err = parse(input).expect_err(input).to_string();

@@ -126,6 +126,11 @@ impl std::fmt::Display for QueryPlan {
 /// [`hin_linalg::chain::spmm_chain_order_priced`], pricing every contiguous
 /// sub-path found in the cache (directly or reversed) as a free leaf with
 /// exact nnz.
+///
+/// The plan is a *forecast*: with a bounded (or concurrently shared) cache
+/// a span priced here can be evicted before execution. The engine treats a
+/// vanished `Cached` leaf as an ordinary miss and recomputes it, so a
+/// stale plan costs time, never correctness.
 pub fn plan_steps(hin: &Hin, steps: &[PathStep], cache: &MatrixCache) -> QueryPlan {
     assert!(!steps.is_empty(), "plan_steps: empty step chain");
     let mats: Vec<&Csr> = steps.iter().map(|s| s.matrix(hin)).collect();
@@ -140,9 +145,7 @@ pub fn plan_steps(hin: &Hin, steps: &[PathStep], cache: &MatrixCache) -> QueryPl
         .collect();
 
     let summaries: Vec<MatSummary> = mats.iter().map(|m| MatSummary::from(*m)).collect();
-    let chain = spmm_chain_order_priced(&summaries, |lo, hi| {
-        cache.peek(&full_key[lo..=hi]).map(|m| m.nnz())
-    });
+    let chain = spmm_chain_order_priced(&summaries, |lo, hi| cache.peek_nnz(&full_key[lo..=hi]));
 
     fn convert(tree: &PlanTree) -> PlanNode {
         match tree {
@@ -188,9 +191,10 @@ mod tests {
         let pv = b.add_relation("published_in", paper, venue);
         for p in 0..300 {
             let pn = format!("p{p}");
-            b.link(pa, &pn, &format!("a{}", p % 12), 1.0);
-            b.link(pa, &pn, &format!("a{}", (p * 7 + 1) % 12), 1.0);
-            b.link(pv, &pn, &format!("v{}", p % 3), 1.0);
+            b.link(pa, &pn, &format!("a{}", p % 12), 1.0).unwrap();
+            b.link(pa, &pn, &format!("a{}", (p * 7 + 1) % 12), 1.0)
+                .unwrap();
+            b.link(pv, &pn, &format!("v{}", p % 3), 1.0).unwrap();
         }
         let hin = b.build();
         // P-A-P-V: left-to-right materializes the 300×300 co-author overlap
@@ -220,7 +224,7 @@ mod tests {
     #[test]
     fn cached_spans_become_plan_leaves() {
         let (hin, steps) = skewed();
-        let mut cache = MatrixCache::default();
+        let cache = MatrixCache::default();
         // Preload the tail pair A-P·P-V as if a previous query computed it.
         let tail = key_of(&steps[1..=2]);
         let m = steps[1].matrix(&hin).spgemm(steps[2].matrix(&hin));

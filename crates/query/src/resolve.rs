@@ -173,11 +173,11 @@ mod tests {
         b.add_relation("reviewed_by", paper, author);
         let pv = b.add_relation("published_in", paper, venue);
         let links = b.add_relation("links", page, page);
-        b.link(wr, "p0", "a0", 1.0);
-        b.link(pv, "p0", "v0", 1.0);
+        b.link(wr, "p0", "a0", 1.0).unwrap();
+        b.link(pv, "p0", "v0", 1.0).unwrap();
         // symmetric self-relation on pages
-        b.link(links, "g0", "g1", 1.0);
-        b.link(links, "g1", "g0", 1.0);
+        b.link(links, "g0", "g1", 1.0).unwrap();
+        b.link(links, "g1", "g0", 1.0).unwrap();
         b.build()
     }
 
@@ -291,7 +291,7 @@ mod tests {
         let mut b = HinBuilder::new();
         let paper = b.add_type("paper");
         let cites = b.add_relation("cites", paper, paper);
-        b.link(cites, "p0", "p1", 1.0); // p0 cites p1; no reverse edge
+        b.link(cites, "p0", "p1", 1.0).unwrap(); // p0 cites p1; no reverse edge
         let hin = b.build();
 
         // `paper-paper` could mean out- or in-citations: refuse to guess

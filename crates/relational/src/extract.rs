@@ -115,7 +115,8 @@ pub fn extract_network(db: &Database, config: &ExtractConfig) -> Result<Extracti
                     row_ref(db, &fk_a.ref_table, &table.row(i)[col_a]),
                     row_ref(db, &fk_b.ref_table, &table.row(i)[col_b]),
                 ) {
-                    b.add_edge(rel, src, dst, 1.0);
+                    b.add_edge(rel, src, dst, 1.0)
+                        .expect("unit edge weights are finite");
                 }
             }
             continue;
@@ -133,7 +134,8 @@ pub fn extract_network(db: &Database, config: &ExtractConfig) -> Result<Extracti
             let col = schema.column_index(&fk.column).expect("validated");
             for i in 0..table.len() {
                 if let Some(dst) = row_ref(db, &fk.ref_table, &table.row(i)[col]) {
-                    b.add_edge(rel, i as u32, dst, 1.0);
+                    b.add_edge(rel, i as u32, dst, 1.0)
+                        .expect("unit edge weights are finite");
                 }
             }
         }

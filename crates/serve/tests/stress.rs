@@ -1,0 +1,184 @@
+//! Multi-threaded stress tests for the serving layer: many client threads
+//! hammering one server (and one shared sharded/bounded cache) must get
+//! byte-identical answers to a single-threaded reference engine.
+//!
+//! CI runs this file in release mode so the interleavings are the
+//! optimized ones a production server would see.
+
+use std::sync::Arc;
+
+use hin_query::{CacheConfig, Engine};
+use hin_serve::{ServeConfig, Server};
+use hin_synth::DblpConfig;
+
+fn world() -> Arc<hin_core::Hin> {
+    Arc::new(
+        DblpConfig {
+            n_areas: 3,
+            venues_per_area: 4,
+            authors_per_area: 40,
+            n_papers: 600,
+            seed: 21,
+            ..Default::default()
+        }
+        .generate()
+        .hin,
+    )
+}
+
+/// An overlapping workload: symmetric paths, their halves, reversals and
+/// ranks, across a set of anchors — plus a sprinkling of invalid queries
+/// whose errors must stay per-request.
+fn workload() -> Vec<String> {
+    let mut queries = Vec::new();
+    for a in 0..12 {
+        let anchor = format!("author_a{}_{}", a % 3, a);
+        queries.push(format!(
+            "pathsim author-paper-venue-paper-author from {anchor}"
+        ));
+        queries.push(format!("pathsim author-paper-author from {anchor}"));
+        queries.push(format!("pathcount author-paper-venue from {anchor}"));
+        queries.push(format!("topk 3 author-paper-author from {anchor}"));
+    }
+    queries.push("rank venue-paper-author limit 10".to_string());
+    queries.push("pathcount venue-paper-author from venue_a0_0 limit 10".to_string());
+    queries.push("pathsim author-paper-author from nobody".to_string()); // UnknownNode
+    queries.push("rank author-conference".to_string()); // UnknownName
+    queries
+}
+
+/// M client threads × K overlapping queries against one server: every
+/// result must equal the single-threaded reference.
+#[test]
+fn threaded_results_match_single_threaded_reference() {
+    let hin = world();
+    let queries = workload();
+
+    let reference = Engine::from_arc(Arc::clone(&hin));
+    let want: Vec<_> = queries.iter().map(|q| reference.execute(q)).collect();
+
+    let server = Server::start(
+        Arc::clone(&hin),
+        ServeConfig {
+            workers: 4,
+            batch_max: 16,
+            cache: CacheConfig::default(),
+        },
+    );
+
+    let m_threads = 6;
+    let rounds = 3;
+    let handles: Vec<_> = (0..m_threads)
+        .map(|t| {
+            let handle = server.handle();
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for r in 0..rounds {
+                    // each thread walks the workload at a different offset
+                    // so distinct queries overlap in flight
+                    for i in 0..queries.len() {
+                        let idx = (i + t * 7 + r * 3) % queries.len();
+                        got.push((idx, queries[idx].clone()));
+                    }
+                }
+                let tickets: Vec<_> = got.iter().map(|(_, q)| handle.submit(q.clone())).collect();
+                got.into_iter()
+                    .zip(tickets)
+                    .map(|((idx, _), ticket)| (idx, ticket.wait()))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+
+    for h in handles {
+        for (idx, result) in h.join().expect("client thread must not panic") {
+            assert_eq!(
+                result, want[idx],
+                "concurrent result diverged from reference on `{}`",
+                queries[idx]
+            );
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.served as usize, m_threads * rounds * queries.len());
+    assert_eq!(
+        stats.errors as usize,
+        m_threads * rounds * 2,
+        "exactly the two invalid queries error, every round"
+    );
+    assert!(stats.cache_hits > 0, "overlap must be served from cache");
+    assert!(
+        stats.batches < stats.served,
+        "micro-batching must coalesce in-flight requests \
+         ({} batches for {} queries)",
+        stats.batches,
+        stats.served
+    );
+}
+
+/// Same workload against a deliberately tiny cache budget: eviction churns
+/// constantly (planner prices spans that vanish before execution — the old
+/// `debug_assert!(false)` path) and results must still match the
+/// reference, with memory staying under budget.
+#[test]
+fn eviction_under_concurrency_stays_correct_and_bounded() {
+    let hin = world();
+    let queries = workload();
+
+    let reference = Engine::from_arc(Arc::clone(&hin));
+    let want: Vec<_> = queries.iter().map(|q| reference.execute(q)).collect();
+
+    // Unbounded, this workload caches ~hundreds of KB; 32 KiB forces churn.
+    let budget = 32 * 1024;
+    let server = Server::start(
+        Arc::clone(&hin),
+        ServeConfig {
+            workers: 4,
+            batch_max: 16,
+            cache: CacheConfig {
+                shards: 4,
+                byte_budget: Some(budget),
+            },
+        },
+    );
+
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let handle = server.handle();
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for r in 0..2 {
+                    for i in 0..queries.len() {
+                        let idx = (i * 5 + t + r) % queries.len();
+                        got.push((idx, handle.submit(queries[idx].clone()).wait()));
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+
+    for h in handles {
+        for (idx, result) in h.join().expect("client thread must not panic") {
+            assert_eq!(
+                result, want[idx],
+                "bounded-cache result diverged on `{}`",
+                queries[idx]
+            );
+        }
+    }
+
+    let stats = server.shutdown();
+    assert!(
+        stats.cache_evictions > 0,
+        "a {budget}-byte budget must evict on this workload"
+    );
+    assert!(
+        stats.cache_bytes <= budget,
+        "resident {} bytes exceeds the {budget}-byte budget",
+        stats.cache_bytes
+    );
+}

@@ -173,13 +173,13 @@ mod tests {
         let venue = b.add_type("venue");
         let pa = b.add_relation("written_by", paper, author);
         let pv = b.add_relation("published_in", paper, venue);
-        b.link(pa, "p0", "a0", 1.0);
-        b.link(pa, "p0", "a1", 1.0);
-        b.link(pa, "p1", "a1", 1.0);
-        b.link(pa, "p2", "a2", 1.0);
-        b.link(pv, "p0", "v0", 1.0);
-        b.link(pv, "p1", "v0", 1.0);
-        b.link(pv, "p2", "v1", 1.0);
+        b.link(pa, "p0", "a0", 1.0).unwrap();
+        b.link(pa, "p0", "a1", 1.0).unwrap();
+        b.link(pa, "p1", "a1", 1.0).unwrap();
+        b.link(pa, "p2", "a2", 1.0).unwrap();
+        b.link(pv, "p0", "v0", 1.0).unwrap();
+        b.link(pv, "p1", "v0", 1.0).unwrap();
+        b.link(pv, "p2", "v1", 1.0).unwrap();
         b.build()
     }
 

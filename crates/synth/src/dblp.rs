@@ -194,7 +194,8 @@ impl DblpConfig {
             // venue
             let va = link_area(&mut rng);
             let v = (va * self.venues_per_area + venue_zipf.sample(&mut rng)) as u32;
-            b.add_edge(published_in, pid, v, 1.0);
+            b.add_edge(published_in, pid, v, 1.0)
+                .expect("unit edge weights are finite");
 
             // authors: distinct within the paper
             let n_auth = rng.gen_range(self.authors_per_paper.0..=self.authors_per_paper.1);
@@ -209,7 +210,8 @@ impl DblpConfig {
                 guard += 1;
             }
             for &a_id in &chosen {
-                b.add_edge(written_by, pid, a_id, 1.0);
+                b.add_edge(written_by, pid, a_id, 1.0)
+                    .expect("unit edge weights are finite");
             }
 
             // terms
@@ -225,7 +227,8 @@ impl DblpConfig {
                     let ta = link_area(&mut rng);
                     (ta * self.terms_per_area + term_zipf.sample(&mut rng)) as u32
                 };
-                b.add_edge(mentions, pid, t, 1.0);
+                b.add_edge(mentions, pid, t, 1.0)
+                    .expect("unit edge weights are finite");
             }
         }
 

@@ -151,7 +151,8 @@ impl FlickrConfig {
             };
             photo_topic.push(topic);
             let pid = b.add_node(photo, &format!("photo_{p}")).id;
-            b.add_edge(uploaded_by, pid, uploader as u32, 1.0);
+            b.add_edge(uploaded_by, pid, uploader as u32, 1.0)
+                .expect("unit edge weights are finite");
 
             let n_tags = rng.gen_range(self.tags_per_photo.0..=self.tags_per_photo.1);
             for _ in 0..n_tags {
@@ -161,7 +162,8 @@ impl FlickrConfig {
                     topic
                 };
                 let t = (tt * self.tags_per_topic + tag_zipf.sample(&mut rng)) as u32;
-                b.add_edge(tagged, pid, t, 1.0);
+                b.add_edge(tagged, pid, t, 1.0)
+                    .expect("unit edge weights are finite");
             }
 
             if rng.gen::<f64>() < self.group_rate {
@@ -171,7 +173,8 @@ impl FlickrConfig {
                     topic
                 };
                 let g = (gt * self.groups_per_topic + group_zipf.sample(&mut rng)) as u32;
-                b.add_edge(in_group, pid, g, 1.0);
+                b.add_edge(in_group, pid, g, 1.0)
+                    .expect("unit edge weights are finite");
             }
         }
 

@@ -24,7 +24,7 @@ fn main() {
         data.hin.total_edges()
     );
 
-    let mut engine = Engine::new(data.hin);
+    let engine = Engine::new(data.hin);
 
     // EXPLAIN before executing: the planner chooses the multiplication
     // order from sparse cost estimates, not left-to-right.

@@ -31,9 +31,9 @@ fn main() {
         ("crossmine", vec!["yin", "han", "yang", "yu"], "TKDE"),
     ] {
         for a in &authors {
-            b.link(writes, p, a, 1.0);
+            b.link(writes, p, a, 1.0).unwrap();
         }
-        b.link(published, p, v, 1.0);
+        b.link(published, p, v, 1.0).unwrap();
     }
     let hin = b.build();
     println!(

@@ -16,6 +16,7 @@
 //! | [`ranking`] | PageRank, Personalized PageRank, HITS, authority ranking |
 //! | [`similarity`] | SimRank, PPR similarity, meta-paths, PathSim |
 //! | [`query`] | meta-path query engine: parser, cost-based planner, commuting-matrix cache |
+//! | [`serve`] | concurrent serving layer: request queue, micro-batcher, worker pool over one engine |
 //! | [`clustering`] | k-means, spectral, SCAN, agglomerative + NMI/ARI/F1 |
 //! | [`rankclus`] | RankClus (EDBT'09) |
 //! | [`netclus`] | NetClus (KDD'09) |
@@ -53,10 +54,47 @@
 //! use hin::{query::Engine, synth::DblpConfig};
 //!
 //! let data = DblpConfig { n_papers: 300, seed: 7, ..Default::default() }.generate();
-//! let mut engine = Engine::new(data.hin);
+//! let engine = Engine::new(data.hin);
 //! let peers = engine.execute("topk 5 author-paper-venue-paper-author from author_a0_0").unwrap();
 //! assert!(peers.items.len() <= 5);
 //! assert!(engine.cache_misses() > 0); // computed once; repeats would be cache hits
+//! ```
+//!
+//! ## Serving quickstart
+//!
+//! To serve queries from many threads, wrap the dataset in a
+//! [`serve::Server`]: a request queue feeds a micro-batching dispatcher
+//! that fans out to a worker pool sharing one engine — and one sharded
+//! commuting-matrix cache, optionally bounded by a byte budget so a
+//! long-lived server's memory stays fixed while hot paths stay resident:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hin::query::CacheConfig;
+//! use hin::serve::{ServeConfig, Server};
+//! use hin::synth::DblpConfig;
+//!
+//! let data = DblpConfig { n_papers: 300, seed: 7, ..Default::default() }.generate();
+//! let server = Server::start(Arc::new(data.hin), ServeConfig {
+//!     workers: 2,
+//!     cache: CacheConfig::bounded(16 << 20), // 16 MiB across shards
+//!     ..ServeConfig::default()
+//! });
+//!
+//! // hand a cloneable handle to each client thread…
+//! let handle = server.handle();
+//! let ticket = handle.submit("topk 5 author-paper-author from author_a0_0");
+//! assert!(ticket.wait().is_ok());
+//!
+//! // …or drive a whole batch and collect ordered results
+//! let results = server.execute_many(&[
+//!     "pathsim author-paper-author from author_a0_0",
+//!     "rank venue-paper-author limit 3",
+//! ]);
+//! assert!(results.iter().all(|r| r.is_ok()));
+//!
+//! let stats = server.shutdown();
+//! assert_eq!(stats.served, 3);
 //! ```
 
 pub use hin_classify as classify;
@@ -71,6 +109,7 @@ pub use hin_query as query;
 pub use hin_rankclus as rankclus;
 pub use hin_ranking as ranking;
 pub use hin_relational as relational;
+pub use hin_serve as serve;
 pub use hin_similarity as similarity;
 pub use hin_stats as stats;
 pub use hin_synth as synth;

@@ -26,7 +26,7 @@ fn pathsim_agrees_with_direct_computation() {
             .unwrap();
     let m = commuting_matrix(&data.hin, &apvpa).unwrap();
 
-    let mut engine = Engine::new(data.hin.clone());
+    let engine = Engine::new(data.hin.clone());
     for author in ["author_a0_0", "author_a1_7", "author_a2_19"] {
         let x = data.hin.node_by_name(data.author, author).unwrap().id as usize;
         let direct = top_k_pathsim(&m, x, 10);
@@ -59,7 +59,7 @@ fn topk_and_pathcount_agree_with_direct_computation() {
         .unwrap()
         .id as usize;
 
-    let mut engine = Engine::new(data.hin.clone());
+    let engine = Engine::new(data.hin.clone());
     let top = engine
         .execute("topk 4 author-paper-author from author_a0_0")
         .unwrap();
@@ -88,7 +88,7 @@ fn topk_and_pathcount_agree_with_direct_computation() {
 #[test]
 fn repeated_and_overlapping_queries_are_served_from_cache() {
     let data = world();
-    let mut engine = Engine::new(data.hin);
+    let engine = Engine::new(data.hin);
 
     let q = "pathsim author-paper-venue-paper-author from author_a0_0";
     let first = engine.execute(q).unwrap();
@@ -123,7 +123,7 @@ fn repeated_and_overlapping_queries_are_served_from_cache() {
 #[test]
 fn reversed_half_paths_reuse_cached_transposes() {
     let data = world();
-    let mut engine = Engine::new(data.hin);
+    let engine = Engine::new(data.hin);
     engine
         .execute("pathcount author-paper-venue from author_a0_0")
         .unwrap();
@@ -161,7 +161,7 @@ fn planner_picks_a_non_left_to_right_order() {
 #[test]
 fn execute_many_batches_against_one_cache() {
     let data = world();
-    let mut engine = Engine::new(data.hin);
+    let engine = Engine::new(data.hin);
     let queries = [
         "pathcount author-paper-venue from author_a0_0",
         "pathcount author-paper-venue from author_a0_1",
@@ -182,7 +182,7 @@ fn execute_many_batches_against_one_cache() {
 #[test]
 fn schema_errors_surface_cleanly() {
     let data = world();
-    let mut engine = Engine::new(data.hin);
+    let engine = Engine::new(data.hin);
     // unknown type
     assert!(engine.execute("rank author-conference").is_err());
     // unknown node
