@@ -1,0 +1,120 @@
+//! Router benchmark: multi-dataset serving throughput vs a direct
+//! single-dataset server, and the cost of cache thrash with vs without
+//! the admission/dedup stack engaged.
+//!
+//! The interesting comparisons:
+//! * `direct-server` vs `router-1`: the routing layer's overhead on a
+//!   single dataset (one striped-map lookup + Arc clone per submit) —
+//!   should be noise;
+//! * `router-2`: two datasets served side by side, workload interleaved —
+//!   isolation means neither dataset's cache evicts the other's products;
+//! * `router-2/thrash`: tiny per-dataset budgets, overlapping spans — the
+//!   regime where the in-flight dedup table pays for itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hin_query::CacheConfig;
+use hin_serve::{Router, RouterConfig, ServeConfig, Server};
+use hin_synth::DblpConfig;
+
+fn world(seed: u64) -> Arc<hin_core::Hin> {
+    Arc::new(
+        DblpConfig {
+            n_areas: 3,
+            venues_per_area: 4,
+            authors_per_area: 40,
+            n_papers: 800,
+            seed,
+            ..Default::default()
+        }
+        .generate()
+        .hin,
+    )
+}
+
+fn config(budget: Option<usize>) -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        batch_max: 16,
+        queue_depth: None,
+        cache: CacheConfig {
+            shards: 4,
+            byte_budget: budget,
+        },
+    }
+}
+
+fn route_all(router: &Router, keys: &[&str], queries: &[String]) {
+    let tickets: Vec<_> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| router.submit(keys[i % keys.len()], q.clone()))
+        .collect();
+    for t in tickets {
+        t.wait().expect("workload query");
+    }
+}
+
+fn bench_router(c: &mut Criterion) {
+    let worlds = [world(11), world(29)];
+    let queries = hin_bench::serve_workload(12);
+
+    let mut group = c.benchmark_group("router");
+    group.sample_size(10);
+
+    group.bench_function("direct-server", |b| {
+        b.iter(|| {
+            let server = Server::start(Arc::clone(&worlds[0]), config(None));
+            for result in server.execute_many(&queries) {
+                result.expect("workload query");
+            }
+            server.shutdown()
+        });
+    });
+
+    group.bench_function("router-1", |b| {
+        b.iter(|| {
+            let router = Router::new(RouterConfig {
+                stripes: 2,
+                serve: config(None),
+            });
+            router.register("a", Arc::clone(&worlds[0]));
+            route_all(&router, &["a"], &queries);
+            router.shutdown()
+        });
+    });
+
+    group.bench_function("router-2", |b| {
+        b.iter(|| {
+            let router = Router::new(RouterConfig {
+                stripes: 2,
+                serve: config(None),
+            });
+            router.register("a", Arc::clone(&worlds[0]));
+            router.register("b", Arc::clone(&worlds[1]));
+            route_all(&router, &["a", "b"], &queries);
+            router.shutdown()
+        });
+    });
+
+    group.bench_function("router-2/thrash", |b| {
+        b.iter(|| {
+            let router = Router::new(RouterConfig {
+                stripes: 2,
+                serve: config(Some(48 * 1024)),
+            });
+            router.register("a", Arc::clone(&worlds[0]));
+            router.register("b", Arc::clone(&worlds[1]));
+            route_all(&router, &["a", "b"], &queries);
+            let fleet = router.shutdown().aggregate();
+            assert_eq!(fleet.cache_dup_computes, 0);
+            fleet
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

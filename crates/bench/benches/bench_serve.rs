@@ -21,6 +21,7 @@ fn serve_all(hin: &Arc<hin_core::Hin>, workers: usize, cache: CacheConfig, queri
             workers,
             batch_max: 32,
             cache,
+            ..ServeConfig::default()
         },
     );
     for result in server.execute_many(queries) {
@@ -50,6 +51,7 @@ fn bench_serve(c: &mut Criterion) {
             workers: 4,
             batch_max: 32,
             cache: CacheConfig::bounded(1 << 20),
+            ..ServeConfig::default()
         },
     );
     for (q, served) in queries.iter().zip(server.execute_many(&queries)) {

@@ -1,0 +1,268 @@
+//! Router experiment: multi-dataset serving under cache thrash and queue
+//! overload, measuring what the PR-3 serving refactor is for —
+//!
+//! * **correctness**: a multi-dataset router run is byte-identical to each
+//!   dataset's own single-threaded reference engine;
+//! * **work deduplication**: with a bounded cache forcing evictions and M
+//!   client threads requesting overlapping spans, concurrent misses on one
+//!   key coalesce (coalesced-wait count > 0) and duplicate concurrent
+//!   computations of the same key stay at exactly 0;
+//! * **admission control**: with the queue depth capped, a flood sheds
+//!   requests with `QueryError::Overloaded` instead of growing memory,
+//!   and everything admitted still answers correctly.
+//!
+//! Emits a single JSON object (also written to `BENCH_router.json` at the
+//! repo root) so the router perf trajectory is recorded from the first PR
+//! that has a router.
+//!
+//! Run with: `cargo run --release -p hin-bench --bin exp_router`
+//! CI smoke: `cargo run --release -p hin-bench --bin exp_router -- --smoke`
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use hin_core::Hin;
+use hin_query::{CacheConfig, Engine, QueryError};
+use hin_serve::{Router, RouterConfig, ServeConfig};
+use hin_synth::DblpConfig;
+
+fn world(seed: u64, n_papers: usize) -> Arc<Hin> {
+    Arc::new(
+        DblpConfig {
+            n_areas: 3,
+            venues_per_area: 4,
+            authors_per_area: 40,
+            n_papers,
+            noise: 0.05,
+            seed,
+            ..Default::default()
+        }
+        .generate()
+        .hin,
+    )
+}
+
+/// Expensive overlapping spans: long symmetric paths whose halves are the
+/// shared sub-products that eviction and dedup fight over.
+fn thrash_queries(anchors: usize) -> Vec<String> {
+    let mut queries = Vec::new();
+    for a in 0..anchors {
+        let anchor = format!("author_a{}_{}", a % 3, a);
+        queries.push(format!(
+            "pathsim author-paper-venue-paper-author from {anchor}"
+        ));
+        queries.push(format!(
+            "pathsim author-paper-term-paper-author from {anchor}"
+        ));
+        queries.push(format!(
+            "topk 8 author-paper-venue-paper-author from {anchor}"
+        ));
+    }
+    queries
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_papers, anchors, client_threads, flood_per_client) = if smoke {
+        (500, 6, 4, 80)
+    } else {
+        (1_500, 12, 6, 200)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let datasets: Vec<(String, Arc<Hin>)> = vec![
+        ("dblp-a".to_string(), world(11, n_papers)),
+        ("dblp-b".to_string(), world(29, n_papers)),
+    ];
+    let queries = thrash_queries(anchors);
+
+    // per-dataset single-threaded unbounded references
+    let references: Vec<Vec<_>> = datasets
+        .iter()
+        .map(|(_, hin)| {
+            let engine = Engine::from_arc(Arc::clone(hin));
+            queries.iter().map(|q| engine.execute(q)).collect()
+        })
+        .collect();
+
+    // ── phase 1: dedup + correctness under thrash ────────────────────────
+    // a budget far below the working set: the planner's cached spans are
+    // evicted between plan and execute, and concurrent misses pile onto
+    // the same keys — the thundering-herd shape the in-flight table kills
+    let thrash_budget = 48 * 1024;
+    let router = Arc::new(Router::new(RouterConfig {
+        stripes: 2,
+        serve: ServeConfig {
+            workers: 4,
+            batch_max: 16,
+            queue_depth: None,
+            cache: CacheConfig {
+                shards: 4,
+                byte_budget: Some(thrash_budget),
+            },
+        },
+    }));
+    for (key, hin) in &datasets {
+        assert!(router.register(key.clone(), Arc::clone(hin)));
+    }
+
+    let rounds = 2usize;
+    let barrier = Arc::new(Barrier::new(client_threads));
+    let t = Instant::now();
+    let clients: Vec<_> = (0..client_threads)
+        .map(|_| {
+            let router = Arc::clone(&router);
+            let barrier = Arc::clone(&barrier);
+            let queries = queries.clone();
+            let keys: Vec<String> = datasets.iter().map(|(k, _)| k.clone()).collect();
+            std::thread::spawn(move || {
+                let mut results = Vec::new();
+                for r in 0..rounds {
+                    for (i, _) in queries.iter().enumerate() {
+                        // all threads release onto the same (dataset, query)
+                        // at once: concurrent overlapping spans by design
+                        barrier.wait();
+                        let d = (i + r) % keys.len();
+                        let result = router.submit(&keys[d], queries[i].clone()).wait();
+                        results.push((d, i, result));
+                    }
+                }
+                results
+            })
+        })
+        .collect();
+    let mut mismatches = 0usize;
+    for c in clients {
+        for (d, i, result) in c.join().expect("client thread") {
+            if result != references[d][i] {
+                mismatches += 1;
+            }
+        }
+    }
+    let thrash_ms = t.elapsed().as_secs_f64() * 1e3;
+    let served_thrash = (client_threads * rounds * queries.len()) as f64;
+    let thrash_qps = served_thrash / (thrash_ms / 1e3);
+
+    let stats = router.stats();
+    let fleet = stats.aggregate();
+    let coalesced = fleet.cache_coalesced_waits;
+    let dup = fleet.cache_dup_computes;
+    let evictions = fleet.cache_evictions;
+    let misses = fleet.cache_misses;
+    // of all the times a worker needed a product it had to wait/compute
+    // for, what fraction was satisfied by another worker's in-flight
+    // computation instead of a fresh SpMM chain?
+    let dedup_hit_rate = coalesced as f64 / (coalesced + misses).max(1) as f64;
+    let routed = stats.routed;
+    let _ = Arc::try_unwrap(router)
+        .map_err(|_| "router still shared")
+        .unwrap()
+        .shutdown();
+
+    // ── phase 2: admission control under flood ───────────────────────────
+    let capped = Router::new(RouterConfig {
+        stripes: 2,
+        serve: ServeConfig {
+            workers: 2,
+            batch_max: 4,
+            queue_depth: Some(8),
+            cache: CacheConfig::bounded(thrash_budget),
+        },
+    });
+    capped.register("dblp-a", Arc::clone(&datasets[0].1));
+    let flood_query = "pathsim author-paper-venue-paper-author from author_a0_0";
+    let flood_want = references[0][0].clone();
+    let t = Instant::now();
+    let flooders: Vec<_> = (0..client_threads)
+        .map(|_| {
+            let handle = capped.handle("dblp-a").expect("registered");
+            let want = flood_want.clone();
+            std::thread::spawn(move || {
+                let tickets: Vec<_> = (0..flood_per_client)
+                    .map(|_| handle.submit(flood_query))
+                    .collect();
+                let (mut ok, mut shed) = (0u64, 0u64);
+                for ticket in tickets {
+                    match ticket.wait() {
+                        Ok(out) => {
+                            assert_eq!(Ok(out), want, "admitted result diverged");
+                            ok += 1;
+                        }
+                        Err(QueryError::Overloaded) => shed += 1,
+                        Err(e) => panic!("unexpected flood error: {e}"),
+                    }
+                }
+                (ok, shed)
+            })
+        })
+        .collect();
+    let (mut flood_ok, mut flood_shed) = (0u64, 0u64);
+    for f in flooders {
+        let (o, s) = f.join().expect("flooder thread");
+        flood_ok += o;
+        flood_shed += s;
+    }
+    let flood_ms = t.elapsed().as_secs_f64() * 1e3;
+    let flood_total = (client_threads * flood_per_client) as u64;
+    let shed_rate = flood_shed as f64 / flood_total as f64;
+    let capped_stats = capped.shutdown();
+    let capped_fleet = capped_stats.aggregate();
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"datasets\": {},\n", datasets.len()));
+    json.push_str(&format!("  \"client_threads\": {client_threads},\n"));
+    json.push_str(&format!("  \"thrash_queries\": {},\n", queries.len()));
+    json.push_str(&format!(
+        "  \"thrash_cache_budget_bytes\": {thrash_budget},\n"
+    ));
+    json.push_str(&format!("  \"thrash_ms\": {thrash_ms:.3},\n"));
+    json.push_str(&format!("  \"thrash_qps\": {thrash_qps:.1},\n"));
+    json.push_str(&format!("  \"result_mismatches\": {mismatches},\n"));
+    json.push_str(&format!("  \"routed\": {routed},\n"));
+    json.push_str(&format!("  \"cache_misses\": {misses},\n"));
+    json.push_str(&format!("  \"cache_evictions\": {evictions},\n"));
+    json.push_str(&format!("  \"dedup_coalesced_waits\": {coalesced},\n"));
+    json.push_str(&format!("  \"dedup_hit_rate\": {dedup_hit_rate:.4},\n"));
+    json.push_str(&format!("  \"dup_concurrent_computes\": {dup},\n"));
+    json.push_str(&format!("  \"flood_total\": {flood_total},\n"));
+    json.push_str("  \"flood_queue_depth_cap\": 8,\n");
+    json.push_str(&format!("  \"flood_served\": {flood_ok},\n"));
+    json.push_str(&format!("  \"flood_shed\": {flood_shed},\n"));
+    json.push_str(&format!("  \"flood_shed_rate\": {shed_rate:.4},\n"));
+    json.push_str(&format!("  \"flood_ms\": {flood_ms:.3}\n"));
+    json.push_str("}\n");
+    print!("{json}");
+    let path = hin_bench::write_bench_json("BENCH_router.json", &json);
+    eprintln!("wrote {}", path.display());
+
+    // ── acceptance gates ─────────────────────────────────────────────────
+    assert_eq!(
+        mismatches, 0,
+        "multi-dataset router results must be byte-identical to the \
+         per-dataset single-threaded references"
+    );
+    assert!(
+        evictions > 0,
+        "a {thrash_budget}-byte budget must evict on this workload"
+    );
+    assert!(
+        coalesced > 0,
+        "{client_threads} threads × overlapping spans under thrash must \
+         produce coalesced waits"
+    );
+    assert_eq!(
+        dup, 0,
+        "duplicate concurrent computations of one key must be exactly zero"
+    );
+    assert!(
+        flood_shed > 0,
+        "a {flood_total}-query flood over a depth cap of 8 must shed"
+    );
+    assert_eq!(capped_fleet.served, flood_ok);
+    assert_eq!(capped_fleet.shed, flood_shed);
+    assert_eq!(flood_ok + flood_shed, flood_total);
+}

@@ -36,6 +36,7 @@ fn run(
             workers,
             batch_max: 32,
             cache,
+            ..ServeConfig::default()
         },
     );
     let t = Instant::now();
@@ -79,6 +80,7 @@ fn main() {
             workers: 4,
             batch_max: 32,
             cache: CacheConfig::bounded(budget),
+            ..ServeConfig::default()
         },
     );
     let mut mismatches = 0usize;
@@ -108,28 +110,52 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
-    println!("{{");
-    println!("  \"smoke\": {smoke},");
-    println!("  \"available_parallelism\": {cores},");
-    println!("  \"workload_queries\": {},", queries.len());
-    println!("  \"rounds\": {rounds},");
-    println!("  \"cache_budget_bytes\": {budget},");
-    println!("  \"result_mismatches\": {mismatches},");
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"workload_queries\": {},\n", queries.len()));
+    json.push_str(&format!("  \"rounds\": {rounds},\n"));
+    json.push_str(&format!("  \"cache_budget_bytes\": {budget},\n"));
+    json.push_str(&format!("  \"result_mismatches\": {mismatches},\n"));
     for (w, r) in &bounded {
-        println!("  \"bounded_{w}w_ms\": {:.3},", r.ms);
-        println!("  \"bounded_{w}w_qps\": {:.1},", r.qps);
-        println!("  \"bounded_{w}w_evictions\": {},", r.stats.cache_evictions);
-        println!("  \"bounded_{w}w_cache_bytes\": {},", r.stats.cache_bytes);
-        println!("  \"bounded_{w}w_batches\": {},", r.stats.batches);
+        json.push_str(&format!("  \"bounded_{w}w_ms\": {:.3},\n", r.ms));
+        json.push_str(&format!("  \"bounded_{w}w_qps\": {:.1},\n", r.qps));
+        json.push_str(&format!(
+            "  \"bounded_{w}w_evictions\": {},\n",
+            r.stats.cache_evictions
+        ));
+        json.push_str(&format!(
+            "  \"bounded_{w}w_cache_bytes\": {},\n",
+            r.stats.cache_bytes
+        ));
+        json.push_str(&format!(
+            "  \"bounded_{w}w_coalesced_waits\": {},\n",
+            r.stats.cache_coalesced_waits
+        ));
+        json.push_str(&format!(
+            "  \"bounded_{w}w_dup_computes\": {},\n",
+            r.stats.cache_dup_computes
+        ));
+        json.push_str(&format!(
+            "  \"bounded_{w}w_batches\": {},\n",
+            r.stats.batches
+        ));
     }
-    println!("  \"unbounded_4w_ms\": {:.3},", unbounded4.ms);
-    println!("  \"unbounded_4w_qps\": {:.1},", unbounded4.qps);
-    println!(
-        "  \"unbounded_4w_cache_bytes\": {},",
+    json.push_str(&format!("  \"unbounded_4w_ms\": {:.3},\n", unbounded4.ms));
+    json.push_str(&format!("  \"unbounded_4w_qps\": {:.1},\n", unbounded4.qps));
+    json.push_str(&format!(
+        "  \"unbounded_4w_cache_bytes\": {},\n",
         unbounded4.stats.cache_bytes
-    );
-    println!("  \"speedup_4w_vs_1w\": {:.2}", qps4 / qps1.max(1e-9));
-    println!("}}");
+    ));
+    json.push_str(&format!(
+        "  \"speedup_4w_vs_1w\": {:.2}\n",
+        qps4 / qps1.max(1e-9)
+    ));
+    json.push_str("}\n");
+    print!("{json}");
+    // record the serving perf trajectory at the repo root (CI uploads it)
+    let path = hin_bench::write_bench_json("BENCH_serve.json", &json);
+    eprintln!("wrote {}", path.display());
 
     let (_, four) = &bounded[2];
     assert!(
@@ -139,6 +165,10 @@ fn main() {
     assert!(
         four.stats.cache_bytes <= budget,
         "resident bytes must respect the budget"
+    );
+    assert_eq!(
+        four.stats.cache_dup_computes, 0,
+        "the in-flight table must prevent duplicate concurrent computations"
     );
     // The scaling assertion needs hardware that can actually run 4
     // workers in parallel; on fewer cores the run still verifies

@@ -46,6 +46,19 @@ pub fn serve_workload(anchors: usize) -> Vec<String> {
     queries
 }
 
+/// Record one perf-trajectory JSON blob at the repository root (e.g.
+/// `BENCH_serve.json`), so successive PRs accumulate comparable serving
+/// numbers. The path is derived from this crate's manifest dir, not the
+/// cwd, so the emitters land the file in the same place no matter where
+/// they are invoked from. Returns the written path.
+pub fn write_bench_json(file_name: &str, json: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name);
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
 /// Print a GitHub-flavoured markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("| {} |", headers.join(" | "));

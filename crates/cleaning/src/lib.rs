@@ -1,13 +1,13 @@
 //! Data cleaning, integration and validation by link analysis (tutorial
 //! §3): the "information networks improve data quality" half of the story.
 //!
-//! * [`truthfinder`] — veracity analysis: which of many conflicting claims
+//! * [`mod@truthfinder`] — veracity analysis: which of many conflicting claims
 //!   is true, inferred from the source–fact bipartite network
 //!   (Yin, Han & Yu, TKDE'08),
-//! * [`distinct`] — object distinction: partitioning references that share
+//! * [`mod@distinct`] — object distinction: partitioning references that share
 //!   a name back into real-world identities using their link context
 //!   (Yin, Han & Yu, ICDE'07),
-//! * [`reconcile`] — object reconciliation: matching records across two
+//! * [`mod@reconcile`] — object reconciliation: matching records across two
 //!   sources by neighborhood similarity.
 
 pub mod distinct;

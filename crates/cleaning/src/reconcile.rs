@@ -17,7 +17,7 @@ pub struct MatchPair {
     pub score: f64,
 }
 
-/// Configuration for [`reconcile`].
+/// Configuration for [`fn@reconcile`].
 #[derive(Clone, Copy, Debug)]
 pub struct ReconcileConfig {
     /// Minimum similarity for an acceptable match.

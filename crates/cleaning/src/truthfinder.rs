@@ -22,7 +22,7 @@ pub struct Claim {
     pub value: f64,
 }
 
-/// Configuration for [`truthfinder`].
+/// Configuration for [`fn@truthfinder`].
 #[derive(Clone, Copy, Debug)]
 pub struct TruthFinderConfig {
     /// Initial source trustworthiness t₀ (paper: 0.9).

@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use hin_linalg::vector::{cosine, sq_dist};
 
-/// Distance used by [`kmeans`].
+/// Distance used by [`fn@kmeans`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Distance {
     /// Squared Euclidean distance.
@@ -15,7 +15,7 @@ pub enum Distance {
     Cosine,
 }
 
-/// Configuration for [`kmeans`].
+/// Configuration for [`fn@kmeans`].
 #[derive(Clone, Copy, Debug)]
 pub struct KMeansConfig {
     /// Number of clusters.

@@ -2,12 +2,12 @@
 //! §2(b)i), plus the quality metrics every clustering experiment in the
 //! workspace reports.
 //!
-//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding, Euclidean or
+//! * [`mod@kmeans`] — Lloyd's algorithm with k-means++ seeding, Euclidean or
 //!   cosine distance (RankClus re-assigns targets by cosine k-means in its
 //!   mixture-coefficient space),
 //! * [`spectral`] — normalized-cut spectral clustering on the symmetric
 //!   Laplacian, dense (Jacobi) or matrix-free (Lanczos) eigensolver,
-//! * [`scan`] — SCAN structural clustering (KDD'07) with hub and outlier
+//! * [`mod@scan`] — SCAN structural clustering (KDD'07) with hub and outlier
 //!   detection,
 //! * [`agglomerative`] — average-linkage hierarchical clustering over a
 //!   precomputed similarity matrix (the engine behind DISTINCT),

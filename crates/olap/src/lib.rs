@@ -1,5 +1,5 @@
 //! OLAP on heterogeneous information networks (tutorial §7(c); the
-//! iNextCube direction, VLDB'09 demo [15]).
+//! iNextCube direction, VLDB'09 demo \[15\]).
 //!
 //! A [`NetworkCube`] dices the *center* objects of a star network along
 //! informational dimensions (year, research area, …). Unlike a classic data

@@ -20,13 +20,20 @@
 //! parallel and a store only stalls readers of one shard. Hit/miss/
 //! eviction counters are relaxed atomics aggregated across shards.
 //!
-//! Two workers may race to compute the same product; both results are
-//! identical (sparse products are deterministic), the second store simply
-//! replaces the first, and correctness never depends on an entry staying
-//! resident. Shard locks recover from poisoning (`PoisonError::into_inner`)
-//! rather than propagating it: cache contents are deterministic and
-//! re-derivable, so a panic elsewhere must not turn one shard's keyspace
-//! into a permanent error zone for a long-lived server.
+//! Concurrent misses on one key are **deduplicated** by a per-key
+//! in-flight table ([`MatrixCache::get_or_compute`]): the first thread to
+//! miss claims the key and computes, every other thread blocks on a
+//! `Condvar` and is handed the finished `Arc` — compute once, wait many.
+//! Under cache thrash (bounded budget, overlapping queries) this turns N
+//! concurrent SpMM chains over the same span into one chain plus N−1
+//! cheap waits, which is what keeps tail latency flat when eviction and
+//! demand fight over the same keys. A computing thread that unwinds
+//! abandons its claim (waiters wake and retry, one of them re-claims), so
+//! a panic can never wedge the table. Shard locks recover from poisoning
+//! (`PoisonError::into_inner`) rather than propagating it: cache contents
+//! are deterministic and re-derivable, so a panic elsewhere must not turn
+//! one shard's keyspace into a permanent error zone for a long-lived
+//! server.
 //!
 //! # Bounding
 //!
@@ -38,10 +45,11 @@
 //! the engine treats that as an ordinary miss and recomputes (see
 //! `Engine`), so a bounded cache only ever costs time, never correctness.
 
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher, RandomState};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 
 use hin_linalg::Csr;
 use hin_similarity::PathStep;
@@ -154,8 +162,83 @@ impl Shard {
     }
 }
 
+/// One in-flight computation: the first thread to claim a key computes;
+/// everyone else blocks on the condvar until the slot is filled (or
+/// abandoned by a panicking computer, in which case waiters retry).
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+enum SlotState {
+    Pending,
+    /// `Some` = the computed product; `None` = the computing thread went
+    /// away without a result (unwound) — waiters must retry.
+    Done(Option<Arc<Csr>>),
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Self {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Scope guard for a claimed in-flight slot: guarantees the slot is
+/// resolved and unregistered exactly once, even if the compute closure
+/// panics (drop during unwind ⇒ abandoned, waiters retry).
+struct InflightGuard<'a> {
+    cache: &'a MatrixCache,
+    key: &'a [StepKey],
+    slot: Arc<Slot>,
+    resolved: bool,
+}
+
+impl InflightGuard<'_> {
+    fn fulfill(mut self, value: Arc<Csr>) {
+        self.resolve(Some(value));
+    }
+
+    fn resolve(&mut self, value: Option<Arc<Csr>>) {
+        if self.resolved {
+            return;
+        }
+        self.resolved = true;
+        {
+            let mut state = self
+                .slot
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *state = SlotState::Done(value);
+        }
+        self.slot.cv.notify_all();
+        let mut inflight = self
+            .cache
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Remove only our own registration: after an abandon, a retrying
+        // waiter may already have claimed the key with a fresh slot.
+        if let Some(current) = inflight.get(self.key) {
+            if Arc::ptr_eq(current, &self.slot) {
+                inflight.remove(self.key);
+            }
+        }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.resolve(None);
+    }
+}
+
 /// Memoizing store of commuting matrices: sharded for concurrency, bounded
-/// by bytes with LRU eviction, with hit/miss/eviction accounting.
+/// by bytes with LRU eviction, with hit/miss/eviction accounting and a
+/// per-key in-flight table deduplicating concurrent computations.
 ///
 /// All methods take `&self`; share it across threads with `Arc`.
 pub struct MatrixCache {
@@ -164,11 +247,18 @@ pub struct MatrixCache {
     shard_mask: usize,
     budget_per_shard: Option<usize>,
     hasher: RandomState,
+    /// Keys currently being computed by some thread (compute-once,
+    /// wait-many). One global mutex, not sharded: it is touched only on
+    /// the miss path, held only for a map probe/insert/remove, and never
+    /// while computing or while holding a shard lock.
+    inflight: Mutex<HashMap<PathKey, Arc<Slot>>>,
     tick: AtomicU64,
     hits: AtomicU64,
     symmetry_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    coalesced_waits: AtomicU64,
+    dup_computes: AtomicU64,
 }
 
 impl Default for MatrixCache {
@@ -187,6 +277,8 @@ impl std::fmt::Debug for MatrixCache {
             .field("hits", &self.hits())
             .field("misses", &self.misses())
             .field("evictions", &self.evictions())
+            .field("coalesced_waits", &self.coalesced_waits())
+            .field("dup_computes", &self.dup_computes())
             .finish()
     }
 }
@@ -203,11 +295,14 @@ impl MatrixCache {
             shard_mask: shards - 1,
             budget_per_shard: config.byte_budget.map(|b| b / shards),
             hasher: RandomState::new(),
+            inflight: Mutex::new(HashMap::new()),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             symmetry_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
+            dup_computes: AtomicU64::new(0),
         }
     }
 
@@ -267,12 +362,34 @@ impl MatrixCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Threads served by waiting for another thread's in-flight
+    /// computation of the same key ([`MatrixCache::get_or_compute`])
+    /// instead of computing it themselves. Each one is a whole SpMM chain
+    /// that was *not* run.
+    pub fn coalesced_waits(&self) -> u64 {
+        self.coalesced_waits.load(Ordering::Relaxed)
+    }
+
+    /// Computed products that landed for a key a *different* thread had
+    /// claimed in the in-flight table at that moment — i.e. duplicate
+    /// concurrent computations the table failed to coalesce. Structurally
+    /// zero while every computation goes through
+    /// [`MatrixCache::get_or_compute`] (a claim covers the whole
+    /// computation); exposed so stress tests and experiments can assert it
+    /// stays that way. Symmetry transposes are reuse, not duplicated
+    /// chains, and are never counted.
+    pub fn dup_computes(&self) -> u64 {
+        self.dup_computes.load(Ordering::Relaxed)
+    }
+
     /// Zero the counters (the stored matrices stay).
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.symmetry_hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.coalesced_waits.store(0, Ordering::Relaxed);
+        self.dup_computes.store(0, Ordering::Relaxed);
     }
 
     fn shard_of(&self, key: &[StepKey]) -> &RwLock<Shard> {
@@ -365,10 +482,107 @@ impl MatrixCache {
         None
     }
 
-    /// Record a computed product (counted as a miss).
+    /// Record a computed product (counted as a miss). Production code
+    /// computes through [`MatrixCache::get_or_compute`] instead, which
+    /// holds an in-flight claim; this claim-less entry point remains for
+    /// tests preloading cache state (and is itself subject to duplicate
+    /// detection, like any computation that bypasses the claim protocol).
+    #[cfg(test)]
     pub(crate) fn put(&self, key: PathKey, value: Arc<Csr>) {
+        self.put_computed(key, value, None);
+    }
+
+    /// Record a computed product, optionally identifying the in-flight
+    /// claim the computer holds.
+    ///
+    /// This is where duplicate concurrent computations are detected: a
+    /// claim covers the whole computation, so a product landing for a key
+    /// that someone *else* currently has claimed means two computations of
+    /// that key ran at once — exactly what the in-flight table exists to
+    /// prevent. Cheap symmetry transposes ([`MatrixCache::get`]) go
+    /// through `insert` and are deliberately not counted: they are reuse,
+    /// not duplicated chains.
+    fn put_computed(&self, key: PathKey, value: Arc<Csr>, claim: Option<&Arc<Slot>>) {
+        {
+            let inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(current) = inflight.get(&key) {
+                let is_own_claim = claim.is_some_and(|c| Arc::ptr_eq(current, c));
+                if !is_own_claim {
+                    self.dup_computes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.insert(key, value);
+    }
+
+    /// Serve `key` from cache, or compute it **exactly once** across all
+    /// concurrent callers.
+    ///
+    /// The miss path claims `key` in the in-flight table; every other
+    /// thread that misses the same key while the computation runs blocks
+    /// on its condvar and is handed the finished `Arc` (counted in
+    /// [`MatrixCache::coalesced_waits`], and as a hit — it was served
+    /// without computing). This is what prevents a thundering herd of
+    /// workers from running N identical SpMM chains after an eviction.
+    ///
+    /// `compute` runs with **no cache or table locks held**, so it may
+    /// recurse into the cache for sub-products; a computation only ever
+    /// waits on strictly shorter keys (its plan children), so wait chains
+    /// are acyclic and cannot deadlock. If `compute` unwinds, the claim is
+    /// abandoned and one of the waiters re-claims the key.
+    pub fn get_or_compute(&self, key: &[StepKey], compute: impl FnOnce() -> Csr) -> Arc<Csr> {
+        let mut compute = Some(compute);
+        loop {
+            if let Some(m) = self.get(key) {
+                return m;
+            }
+            let claimed = {
+                let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+                match inflight.entry(key.to_vec()) {
+                    MapEntry::Occupied(e) => Err(Arc::clone(e.get())),
+                    MapEntry::Vacant(v) => {
+                        let slot = Arc::new(Slot::default());
+                        v.insert(Arc::clone(&slot));
+                        Ok(slot)
+                    }
+                }
+            };
+            match claimed {
+                Err(slot) => {
+                    // Someone else is computing this key: wait for their
+                    // result instead of duplicating the work.
+                    self.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                    let mut state = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    while matches!(*state, SlotState::Pending) {
+                        state = slot.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+                    }
+                    if let SlotState::Done(Some(m)) = &*state {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::clone(m);
+                    }
+                    // Abandoned (computer unwound): retry; we may claim.
+                }
+                Ok(slot) => {
+                    let guard = InflightGuard {
+                        cache: self,
+                        key,
+                        slot,
+                        resolved: false,
+                    };
+                    // Double-check under the claim: a racing computation
+                    // may have finished between our miss and our claim.
+                    if let Some(m) = self.get(key) {
+                        guard.fulfill(Arc::clone(&m));
+                        return m;
+                    }
+                    let value = Arc::new((compute.take().expect("compute runs at most once"))());
+                    self.put_computed(key.to_vec(), Arc::clone(&value), Some(&guard.slot));
+                    guard.fulfill(Arc::clone(&value));
+                    return value;
+                }
+            }
+        }
     }
 }
 
@@ -470,6 +684,73 @@ mod tests {
         assert_eq!(cache.len(), 0, "entry larger than the budget is dropped");
         assert_eq!(cache.evictions(), 1);
         assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn get_or_compute_computes_once_and_coalesces_waiters() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        let cache = Arc::new(MatrixCache::default());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let n_threads = 8;
+        let barrier = Arc::new(Barrier::new(n_threads));
+        let key: PathKey = vec![(7, true), (3, false)];
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                let barrier = Arc::clone(&barrier);
+                let key = key.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let m = cache.get_or_compute(&key, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // long enough that the other threads arrive while
+                        // the computation is still in flight
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        Csr::from_triplets(2, 3, [(0u32, 1u32, 2.0), (1, 2, 5.0)])
+                    });
+                    assert_eq!(m.nnz(), 2);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.dup_computes(), 0);
+        assert_eq!(
+            cache.coalesced_waits(),
+            (n_threads - 1) as u64,
+            "everyone else waited on the one in-flight computation"
+        );
+    }
+
+    #[test]
+    fn get_or_compute_survives_a_panicking_computer() {
+        let cache = Arc::new(MatrixCache::default());
+        let key: PathKey = vec![(1, true)];
+        let panicker = {
+            let cache = Arc::clone(&cache);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_compute(&key, || panic!("compute failed"))
+                }));
+            })
+        };
+        panicker.join().expect("outer thread survives");
+        // the claim must have been abandoned, not leaked: a later caller
+        // claims the key afresh and computes normally
+        let m = cache.get_or_compute(&key, sample_csr);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    fn sample_csr() -> Csr {
+        Csr::from_triplets(2, 3, [(0u32, 1u32, 2.0), (1, 2, 5.0)])
     }
 
     #[test]

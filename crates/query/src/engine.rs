@@ -147,6 +147,19 @@ impl Engine {
         self.cache.evictions()
     }
 
+    /// Threads served by waiting on another thread's in-flight computation
+    /// of the same product (compute-once, wait-many) instead of running a
+    /// duplicate SpMM chain.
+    pub fn cache_coalesced_waits(&self) -> u64 {
+        self.cache.coalesced_waits()
+    }
+
+    /// Duplicate concurrent computations of one key that slipped past the
+    /// in-flight table. Should be zero; see [`MatrixCache::dup_computes`].
+    pub fn cache_dup_computes(&self) -> u64 {
+        self.cache.dup_computes()
+    }
+
     /// Number of cached matrices.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
@@ -170,12 +183,7 @@ impl Engine {
                 // Single-step path: the plan is a bare relation matrix.
                 // Cache the one-time copy so repeated calls share the Arc.
                 let key = key_of(path.steps());
-                if let Some(cached) = self.cache.get(&key) {
-                    return cached;
-                }
-                let arc = Arc::new(m.clone());
-                self.cache.put(key, Arc::clone(&arc));
-                arc
+                self.cache.get_or_compute(&key, || m.clone())
             }
         }
     }
@@ -183,23 +191,19 @@ impl Engine {
     fn eval<'a>(hin: &'a Hin, steps: &[PathStep], cache: &MatrixCache, node: &PlanNode) -> Mat<'a> {
         match node {
             PlanNode::Leaf { step } => Mat::Borrowed(steps[*step].matrix(hin)),
+            // Both span kinds resolve through `get_or_compute`: serve from
+            // cache when resident (a `Cached` leaf usually is — but a
+            // bounded cache may have evicted it between plan and execution,
+            // and a `Mul` span may have just been cached by a sibling or by
+            // symmetry), and otherwise compute it exactly once no matter
+            // how many workers miss the same span concurrently — the
+            // others block until the first one's product lands.
             PlanNode::Cached { lo, hi } => {
                 let key = key_of(&steps[*lo..=*hi]);
-                match cache.get(&key) {
-                    Some(m) => Mat::Shared(m),
-                    None => {
-                        // The planner priced this span as cached, but a
-                        // bounded cache may have evicted it since (and under
-                        // concurrency another thread's store can trigger that
-                        // between plan and execution). Recompute: the legal
-                        // slow path, counted as an ordinary miss by `put`.
-                        let mats: Vec<&Csr> =
-                            steps[*lo..=*hi].iter().map(|s| s.matrix(hin)).collect();
-                        let m = Arc::new(hin_linalg::spmm_chain(&mats));
-                        cache.put(key, Arc::clone(&m));
-                        Mat::Shared(m)
-                    }
-                }
+                Mat::Shared(cache.get_or_compute(&key, || {
+                    let mats: Vec<&Csr> = steps[*lo..=*hi].iter().map(|s| s.matrix(hin)).collect();
+                    hin_linalg::spmm_chain(&mats)
+                }))
             }
             PlanNode::Mul {
                 left,
@@ -207,20 +211,12 @@ impl Engine {
                 lo,
                 hi,
             } => {
-                // The plan was made against the cache as it stood, but
-                // evaluating a sibling may have just cached this very span
-                // (or its reversal — common in symmetric paths, where the
-                // right half is the left half transposed). Check again
-                // before paying for a sparse product.
                 let key = key_of(&steps[*lo..=*hi]);
-                if let Some(m) = cache.get(&key) {
-                    return Mat::Shared(m);
-                }
-                let l = Self::eval(hin, steps, cache, left);
-                let r = Self::eval(hin, steps, cache, right);
-                let product = Arc::new(l.as_csr().spgemm(r.as_csr()));
-                cache.put(key, Arc::clone(&product));
-                Mat::Shared(product)
+                Mat::Shared(cache.get_or_compute(&key, || {
+                    let l = Self::eval(hin, steps, cache, left);
+                    let r = Self::eval(hin, steps, cache, right);
+                    l.as_csr().spgemm(r.as_csr())
+                }))
             }
         }
     }

@@ -43,6 +43,16 @@ pub enum QueryError {
     /// The query was accepted by a serving layer but its worker went away
     /// before producing a result (shutdown mid-flight).
     Canceled,
+    /// A serving layer refused the query at admission time because its
+    /// request queue was at the configured depth cap. Shed load, not an
+    /// execution failure: back off and resubmit.
+    Overloaded,
+    /// A bounded wait for a serving-layer result elapsed before the result
+    /// arrived (`Ticket::wait_timeout`). The query itself may still
+    /// complete and warm the cache; only this wait gave up.
+    TimedOut,
+    /// A routing layer had no dataset registered under this key.
+    UnknownDataset(String),
     /// The query made its worker panic; the panic was contained and the
     /// worker kept serving. Carries the panic message.
     Internal(String),
@@ -99,6 +109,16 @@ impl fmt::Display for QueryError {
             QueryError::EmptyPath => write!(f, "the path resolves to zero relation steps"),
             QueryError::Canceled => {
                 write!(f, "query canceled: the serving worker went away mid-flight")
+            }
+            QueryError::Overloaded => write!(
+                f,
+                "server overloaded: request queue at its depth cap; back off and resubmit"
+            ),
+            QueryError::TimedOut => {
+                write!(f, "timed out waiting for the query result")
+            }
+            QueryError::UnknownDataset(name) => {
+                write!(f, "no dataset registered under `{name}`")
             }
             QueryError::Internal(msg) => write!(f, "internal error executing the query: {msg}"),
             QueryError::Hin(e) => write!(f, "{e}"),

@@ -7,11 +7,11 @@
 //! meta-path commuting matrices. This crate turns that observation into an
 //! engine:
 //!
-//! * [`parse`] — a small textual query language: verbs `pathsim`,
+//! * [`mod@parse`] — a small textual query language: verbs `pathsim`,
 //!   `pathcount`, `rank`, `topk`, `neighbors` over meta-path expressions
 //!   (`author-paper-venue` type paths, `^written_by` explicit relation
 //!   steps, `^` = reverse traversal);
-//! * [`resolve`] — binding expressions to a concrete
+//! * [`mod@resolve`] — binding expressions to a concrete
 //!   [`hin_core::Hin`] schema, with ambiguity *detection* (two relations
 //!   between a type pair is an error naming the candidates, never a silent
 //!   guess);

@@ -16,7 +16,7 @@
 //! A path mixes type waypoints (`author-paper-venue`) and explicit relation
 //! steps (`^written_by-published_in`); `^` traverses a relation against its
 //! stored direction. Resolution against a concrete network happens later,
-//! in [`crate::resolve`].
+//! in [`mod@crate::resolve`].
 
 use crate::error::QueryError;
 

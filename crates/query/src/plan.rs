@@ -4,7 +4,7 @@
 //! planner runs the classic matrix-chain dynamic program with the sparse
 //! cost model from [`hin_linalg::chain`], extended with one extra leaf
 //! kind: a contiguous sub-path already present in the engine's
-//! [`MatrixCache`](crate::cache::MatrixCache) (directly or as its
+//! [`MatrixCache`] (directly or as its
 //! reversal) costs nothing and contributes its exact nnz. Cached spans
 //! therefore attract the optimizer — repeated and overlapping queries
 //! converge onto shared sub-products instead of recomputing them.

@@ -1,10 +1,10 @@
 //! Ranking on information networks (tutorial §2(b)ii and the ranking half
 //! of RankClus/NetClus).
 //!
-//! * [`pagerank`] / [`personalized_pagerank`] — random-walk importance on
+//! * [`fn@pagerank`] / [`personalized_pagerank`] — random-walk importance on
 //!   homogeneous networks,
 //! * [`hits`] — Kleinberg's hubs and authorities,
-//! * [`authority`] — *authority ranking* on bi-typed networks: the
+//! * [`mod@authority`] — *authority ranking* on bi-typed networks: the
 //!   rank-propagation primitive RankClus (EDBT'09, Eq. 4–6) alternates with
 //!   clustering; includes the simple (degree-proportional) ranking used as
 //!   its baseline.

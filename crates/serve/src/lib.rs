@@ -1,41 +1,65 @@
-//! `hin-serve` — a concurrent serving layer over the meta-path query
-//! engine.
+//! `hin-serve` — a concurrent, multi-dataset serving layer over the
+//! meta-path query engine.
 //!
 //! The SIGMOD'10 thesis only pays off when meta-path queries are cheap
-//! enough to serve interactively; this crate is the front end that turns
-//! one [`Engine`] into a server. The architecture is deliberately plain
-//! `std`: no async runtime, just threads and channels, because query
-//! evaluation is CPU-bound sparse linear algebra — an OS thread per worker
-//! *is* the right execution model.
+//! enough to serve interactively, to many users, over many networks; this
+//! crate is the front end that turns [`Engine`](hin_query::Engine)s into a
+//! serving fleet. The architecture is deliberately plain `std`: no async
+//! runtime, just threads and channels, because query evaluation is
+//! CPU-bound sparse linear algebra — an OS thread per worker *is* the
+//! right execution model.
 //!
 //! ```text
-//!  clients ──▶ mpsc request queue ──▶ dispatcher (micro-batcher)
-//!                                         │ shared work queue
-//!                          ┌──────────────┼──────────────┐
-//!                       worker 0       worker 1  …    worker N-1
-//!                          └──────── Arc<Engine> ────────┘
-//!                          (one shared sharded/bounded MatrixCache)
+//!  clients ──▶ Router ── register / evict datasets at runtime
+//!                │  hash(dataset key) → lock stripe → per-dataset Server
+//!                ▼
+//!  ┌─ Server (one dataset) ─────────────────────────────────────────┐
+//!  │ fair queue (per-client lanes, depth cap → shed `Overloaded`)   │
+//!  │        │ round-robin micro-batches                             │
+//!  │        ▼                                                       │
+//!  │ dispatcher ──▶ bounded hand-off channel                        │
+//!  │        ┌──────────────┼──────────────┐                         │
+//!  │     worker 0       worker 1  …    worker N-1                   │
+//!  │        └──────── Arc<Engine> ────────┘                         │
+//!  │   (sharded/bounded MatrixCache + in-flight dedup table)        │
+//!  └────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! * **Request queue** — [`Server::submit`] enqueues a query and returns a
-//!   [`Ticket`]; [`Ticket::wait`] blocks for that query's result. Cloned
-//!   [`ServerHandle`]s let any number of client threads submit.
-//! * **Micro-batching** — the dispatcher drains whatever is in flight (up
-//!   to [`ServeConfig::batch_max`]) before forwarding to the work queue,
-//!   recording batch shape (`batches`, `max_batch`) so operators can see
-//!   burstiness. Batching is a scheduling/observability seam today — the
-//!   place where admission control and per-key work deduplication land
-//!   (see ROADMAP); it does not yet dedupe identical in-flight products,
-//!   so two workers can still race to compute the same matrix (benign:
-//!   results are identical, the cache keeps one).
-//! * **Worker pool** — N threads pull from one shared work queue
+//! * **Router** — [`Router`] fronts any number of per-dataset [`Server`]
+//!   shards: datasets register and evict at runtime, dataset keys hash
+//!   across striped locks, and [`Router::stats`] rolls per-dataset
+//!   [`ServerStats`] up into a fleet view. Isolation is the point: each
+//!   dataset has its own worker pool, cache budget, and admission control,
+//!   so one thrashing dataset cannot evict another's hot products or
+//!   starve its clients.
+//! * **Admission control & fairness** — [`Server::submit`] admits into a
+//!   fair queue: one lane per client handle, drained
+//!   round-robin (a flooding client delays its own tail, nobody else's),
+//!   with an optional [`ServeConfig::queue_depth`] cap. At the cap,
+//!   shedding is longest-queue-drop: the request answered with
+//!   [`QueryError`](hin_query::QueryError)`::Overloaded` comes from the
+//!   fattest lane, so overload cost lands on the client causing it —
+//!   bounded memory and an explicit back-off signal instead of silent
+//!   queue growth.
+//! * **Micro-batching** — the dispatcher drains up to
+//!   [`ServeConfig::batch_max`] requests per rotation into a *bounded*
+//!   hand-off channel (blocking when workers lag, which is what pushes
+//!   overload back onto admission control), recording batch shape
+//!   (`batches`, `max_batch`) so operators can see burstiness.
+//! * **Worker pool** — N threads pull from the shared hand-off channel
 //!   (work-conserving: a slow query never blocks cheap ones while other
-//!   workers idle) and share one engine through `Arc`; the engine's
+//!   workers idle) and share one engine through `Arc`. The engine's
 //!   sharded [`MatrixCache`](hin_query::MatrixCache) keeps them from
-//!   serializing on a single lock, and its byte budget
-//!   ([`ServeConfig::cache`]) keeps a long-lived server's memory bounded.
+//!   serializing on a single lock, its byte budget
+//!   ([`ServeConfig::cache`]) keeps a long-lived server's memory bounded,
+//!   and its per-key **in-flight table** deduplicates concurrent misses:
+//!   when two workers need the same evicted commuting matrix, one
+//!   computes and the other waits for the result (compute-once,
+//!   wait-many) instead of burning a core on an identical SpMM chain.
 //!   Per-request failures — query errors and even panics — are answered
 //!   on that request's ticket and never take a worker down.
+//! * **Bounded waits** — [`Ticket::wait_timeout`] puts a deadline on any
+//!   result instead of blocking forever on a wedged request.
 //!
 //! # Quickstart
 //!
@@ -53,6 +77,7 @@
 //!
 //! let server = Server::start(std::sync::Arc::new(b.build()), ServeConfig {
 //!     workers: 2,
+//!     queue_depth: Some(1024), // shed (don't queue) past this depth
 //!     ..ServeConfig::default()
 //! });
 //! let ticket = server.submit("pathsim author-paper-author from sun");
@@ -62,475 +87,35 @@
 //! let stats = server.shutdown();
 //! assert_eq!(stats.served, 1);
 //! ```
+//!
+//! # Serving several datasets
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hin_core::HinBuilder;
+//! use hin_serve::Router;
+//!
+//! let mut b = HinBuilder::new();
+//! let paper = b.add_type("paper");
+//! let author = b.add_type("author");
+//! let wrote = b.add_relation("written_by", paper, author);
+//! b.link(wrote, "p", "sun", 1.0).unwrap();
+//! b.link(wrote, "p", "han", 1.0).unwrap();
+//!
+//! let router = Router::default();
+//! router.register("dblp", Arc::new(b.build()));
+//! let peers = router
+//!     .submit("dblp", "pathsim author-paper-author from sun")
+//!     .wait()
+//!     .unwrap();
+//! assert_eq!(peers.items[0].0, "han");
+//! let fleet = router.shutdown();
+//! assert_eq!(fleet.aggregate().served, 1);
+//! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+mod queue;
+mod router;
+mod server;
 
-use hin_core::Hin;
-use hin_query::{CacheConfig, Engine, QueryError, QueryOutput};
-
-/// Sizing knobs for a [`Server`].
-#[derive(Clone, Copy, Debug)]
-pub struct ServeConfig {
-    /// Worker threads sharing the engine. Default: available parallelism,
-    /// capped at 8.
-    pub workers: usize,
-    /// Largest micro-batch the dispatcher drains before distributing.
-    pub batch_max: usize,
-    /// Commuting-matrix cache sizing (shards, byte budget).
-    pub cache: CacheConfig,
-}
-
-impl Default for ServeConfig {
-    fn default() -> Self {
-        Self {
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get().min(8))
-                .unwrap_or(4),
-            batch_max: 32,
-            cache: CacheConfig::default(),
-        }
-    }
-}
-
-/// One in-flight query: the text plus the channel its result goes back on.
-struct Request {
-    query: String,
-    reply: Sender<Result<QueryOutput, QueryError>>,
-}
-
-/// What travels on the request queue. Shutdown is an explicit message, not
-/// a sender-drop: the server and every cloned [`ServerHandle`] hold
-/// senders, so the channel would otherwise stay open as long as any client
-/// thread keeps its handle.
-enum Msg {
-    Req(Request),
-    Shutdown,
-}
-
-/// Counters shared by dispatcher and workers.
-#[derive(Default)]
-struct Counters {
-    served: AtomicU64,
-    errors: AtomicU64,
-    batches: AtomicU64,
-    max_batch: AtomicU64,
-}
-
-/// A snapshot of a server's lifetime statistics.
-#[derive(Clone, Copy, Debug)]
-pub struct ServerStats {
-    /// Queries answered (ok or error).
-    pub served: u64,
-    /// The subset of `served` that returned an error.
-    pub errors: u64,
-    /// Micro-batches dispatched.
-    pub batches: u64,
-    /// Largest micro-batch seen.
-    pub max_batch: u64,
-    /// Worker threads.
-    pub workers: usize,
-    /// Cache: products served from cache.
-    pub cache_hits: u64,
-    /// Cache: the subset of hits served by transposing a reversed path.
-    pub cache_symmetry_hits: u64,
-    /// Cache: products computed.
-    pub cache_misses: u64,
-    /// Cache: entries evicted to stay under the byte budget.
-    pub cache_evictions: u64,
-    /// Cache: resident entries.
-    pub cache_len: usize,
-    /// Cache: resident bytes.
-    pub cache_bytes: usize,
-}
-
-/// The pending result of a submitted query.
-///
-/// Dropping a ticket is fine — the worker's send just fails silently and
-/// the query's work still warms the shared cache.
-pub struct Ticket {
-    state: TicketState,
-}
-
-enum TicketState {
-    Pending(Receiver<Result<QueryOutput, QueryError>>),
-    /// The server was already shut down at submit time.
-    Rejected,
-}
-
-impl Ticket {
-    /// Block until the query's result arrives.
-    ///
-    /// Returns [`QueryError::Canceled`] when the server shut down before
-    /// this query was answered.
-    pub fn wait(self) -> Result<QueryOutput, QueryError> {
-        match self.state {
-            TicketState::Pending(rx) => rx.recv().unwrap_or(Err(QueryError::Canceled)),
-            TicketState::Rejected => Err(QueryError::Canceled),
-        }
-    }
-}
-
-/// A cloneable submission handle: give one to each client thread.
-#[derive(Clone)]
-pub struct ServerHandle {
-    tx: Sender<Msg>,
-}
-
-impl ServerHandle {
-    /// Enqueue a query; the returned [`Ticket`] resolves to its result.
-    ///
-    /// After [`Server::shutdown`] the queue is closed and the ticket
-    /// resolves immediately to [`QueryError::Canceled`].
-    pub fn submit(&self, query: impl Into<String>) -> Ticket {
-        let (reply, rx) = channel();
-        let req = Request {
-            query: query.into(),
-            reply,
-        };
-        match self.tx.send(Msg::Req(req)) {
-            Ok(()) => Ticket {
-                state: TicketState::Pending(rx),
-            },
-            Err(_) => Ticket {
-                state: TicketState::Rejected,
-            },
-        }
-    }
-}
-
-/// A running query server: request queue, micro-batching dispatcher, and a
-/// worker pool sharing one [`Engine`] (and therefore one sharded, bounded
-/// commuting-matrix cache) over one dataset.
-pub struct Server {
-    handle: ServerHandle,
-    engine: Arc<Engine>,
-    counters: Arc<Counters>,
-    workers: usize,
-    /// `Some` while running; taken by shutdown/Drop.
-    threads: Option<Threads>,
-}
-
-struct Threads {
-    dispatcher: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl Server {
-    /// Spawn the dispatcher and worker pool over `hin`.
-    pub fn start(hin: Arc<Hin>, config: ServeConfig) -> Server {
-        let engine = Arc::new(Engine::with_cache_config(hin, config.cache));
-        let counters = Arc::new(Counters::default());
-        let n_workers = config.workers.max(1);
-        let batch_max = config.batch_max.max(1);
-
-        let (submit_tx, submit_rx) = channel::<Msg>();
-        // One shared work queue all workers pull from: work-conserving, so
-        // a slow query on one worker never blocks cheap queries queued
-        // behind it while other workers idle (no head-of-line blocking).
-        let (work_tx, work_rx) = channel::<Request>();
-        let work_rx = Arc::new(Mutex::new(work_rx));
-        let mut worker_handles = Vec::with_capacity(n_workers);
-        for w in 0..n_workers {
-            let work_rx = Arc::clone(&work_rx);
-            let engine = Arc::clone(&engine);
-            let counters = Arc::clone(&counters);
-            worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("hin-serve-worker-{w}"))
-                    .spawn(move || worker_loop(&work_rx, &engine, &counters))
-                    .expect("spawn worker thread"),
-            );
-        }
-
-        let dispatcher = {
-            let counters = Arc::clone(&counters);
-            std::thread::Builder::new()
-                .name("hin-serve-dispatch".to_string())
-                .spawn(move || dispatch_loop(submit_rx, work_tx, batch_max, counters))
-                .expect("spawn dispatcher thread")
-        };
-
-        Server {
-            handle: ServerHandle { tx: submit_tx },
-            engine,
-            counters,
-            workers: n_workers,
-            threads: Some(Threads {
-                dispatcher,
-                workers: worker_handles,
-            }),
-        }
-    }
-
-    /// A cloneable submission handle for client threads.
-    pub fn handle(&self) -> ServerHandle {
-        self.handle.clone()
-    }
-
-    /// Enqueue one query (see [`ServerHandle::submit`]).
-    pub fn submit(&self, query: impl Into<String>) -> Ticket {
-        self.handle.submit(query)
-    }
-
-    /// Submit a whole batch and block for all results, in order — the
-    /// concurrent counterpart of [`Engine::execute_many`].
-    pub fn execute_many<S: AsRef<str>>(
-        &self,
-        queries: &[S],
-    ) -> Vec<Result<QueryOutput, QueryError>> {
-        let tickets: Vec<Ticket> = queries.iter().map(|q| self.submit(q.as_ref())).collect();
-        tickets.into_iter().map(Ticket::wait).collect()
-    }
-
-    /// The shared engine (for plan inspection or direct in-thread queries).
-    pub fn engine(&self) -> &Engine {
-        &self.engine
-    }
-
-    /// Current lifetime statistics.
-    pub fn stats(&self) -> ServerStats {
-        let cache = self.engine.cache();
-        ServerStats {
-            served: self.counters.served.load(Ordering::Relaxed),
-            errors: self.counters.errors.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            max_batch: self.counters.max_batch.load(Ordering::Relaxed),
-            workers: self.workers,
-            cache_hits: cache.hits(),
-            cache_symmetry_hits: cache.symmetry_hits(),
-            cache_misses: cache.misses(),
-            cache_evictions: cache.evictions(),
-            cache_len: cache.len(),
-            cache_bytes: cache.bytes(),
-        }
-    }
-
-    /// Stop accepting queries, drain everything in flight, join all
-    /// threads, and return the final statistics.
-    pub fn shutdown(mut self) -> ServerStats {
-        self.join_threads();
-        self.stats()
-    }
-
-    fn join_threads(&mut self) {
-        if let Some(threads) = self.threads.take() {
-            // FIFO means everything submitted before this marker is still
-            // dispatched and answered; the dispatcher exits at the marker
-            // (closing its receiver, so later submits are rejected), drops
-            // the worker senders, and each worker drains its queue.
-            let _ = self.handle.tx.send(Msg::Shutdown);
-            let _ = threads.dispatcher.join();
-            for w in threads.workers {
-                let _ = w.join();
-            }
-        }
-    }
-}
-
-impl Drop for Server {
-    fn drop(&mut self) {
-        self.join_threads();
-    }
-}
-
-/// Collect in-flight requests into micro-batches and feed them to the
-/// shared worker queue, until the shutdown marker arrives.
-fn dispatch_loop(
-    rx: Receiver<Msg>,
-    work_tx: Sender<Request>,
-    batch_max: usize,
-    counters: Arc<Counters>,
-) {
-    let mut stop = false;
-    // blocking recv for the first request of each batch: idle costs nothing
-    while !stop {
-        let mut batch = match rx.recv() {
-            Ok(Msg::Req(first)) => vec![first],
-            // Shutdown, or every sender (server + all handles) dropped
-            Ok(Msg::Shutdown) | Err(_) => break,
-        };
-        while batch.len() < batch_max {
-            match rx.try_recv() {
-                Ok(Msg::Req(req)) => batch.push(req),
-                Ok(Msg::Shutdown) => {
-                    // dispatch what was already in flight, then exit
-                    stop = true;
-                    break;
-                }
-                Err(_) => break,
-            }
-        }
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters
-            .max_batch
-            .fetch_max(batch.len() as u64, Ordering::Relaxed);
-        for req in batch {
-            // fails only if every worker is gone; the dropped reply
-            // sender then surfaces as Canceled at the ticket
-            let _ = work_tx.send(req);
-        }
-    }
-    // exiting drops rx (later submits are rejected) and work_tx (workers
-    // drain the shared queue, then exit)
-}
-
-/// Execute requests against the shared engine until the queue closes.
-///
-/// Panics are contained per request: a query that panics its worker (an
-/// engine bug, a poisoned lock) is answered with
-/// [`QueryError::Internal`] and the worker keeps serving — one poisoned
-/// request must not silently retire 1/N of the pool for the rest of the
-/// server's life.
-fn worker_loop(work_rx: &Mutex<Receiver<Request>>, engine: &Engine, counters: &Counters) {
-    loop {
-        // Hold the lock only for the dequeue itself. One idle worker
-        // blocks in recv holding the lock; the others queue on the mutex
-        // and each wakes to take exactly the next request.
-        let req = match work_rx.lock().expect("work queue lock").recv() {
-            Ok(req) => req,
-            Err(_) => break, // dispatcher gone and queue drained
-        };
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.execute(&req.query)))
-                .unwrap_or_else(|payload| {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "query execution panicked".to_string());
-                    Err(QueryError::Internal(msg))
-                });
-        counters.served.fetch_add(1, Ordering::Relaxed);
-        if result.is_err() {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        // the client may have dropped its ticket; that's not an error
-        let _ = req.reply.send(result);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use hin_core::HinBuilder;
-
-    /// papers p0{a0,a1}@v0, p1{a1}@v0, p2{a2}@v1 — the metapath fixture.
-    fn bib() -> Arc<Hin> {
-        let mut b = HinBuilder::new();
-        let paper = b.add_type("paper");
-        let author = b.add_type("author");
-        let venue = b.add_type("venue");
-        let pa = b.add_relation("written_by", paper, author);
-        let pv = b.add_relation("published_in", paper, venue);
-        b.link(pa, "p0", "a0", 1.0).unwrap();
-        b.link(pa, "p0", "a1", 1.0).unwrap();
-        b.link(pa, "p1", "a1", 1.0).unwrap();
-        b.link(pa, "p2", "a2", 1.0).unwrap();
-        b.link(pv, "p0", "v0", 1.0).unwrap();
-        b.link(pv, "p1", "v0", 1.0).unwrap();
-        b.link(pv, "p2", "v1", 1.0).unwrap();
-        Arc::new(b.build())
-    }
-
-    #[test]
-    fn serves_results_identical_to_direct_execution() {
-        let hin = bib();
-        let reference = Engine::from_arc(Arc::clone(&hin));
-        let server = Server::start(
-            Arc::clone(&hin),
-            ServeConfig {
-                workers: 3,
-                ..ServeConfig::default()
-            },
-        );
-        let queries = [
-            "pathsim author-paper-author from a0",
-            "pathcount author-paper-venue from a1",
-            "rank venue-paper-author limit 2",
-            "neighbors written_by from p0",
-        ];
-        let got = server.execute_many(&queries);
-        for (q, result) in queries.iter().zip(got) {
-            assert_eq!(result, reference.execute(q), "served result differs: {q}");
-        }
-        let stats = server.shutdown();
-        assert_eq!(stats.served, 4);
-        assert_eq!(stats.errors, 0);
-    }
-
-    #[test]
-    fn per_query_errors_do_not_poison_the_pool() {
-        let server = Server::start(bib(), ServeConfig::default());
-        let bad = server.submit("pathsim author-paper-author from nobody");
-        let worse = server.submit("topk 0 author-paper-author from a0");
-        let good = server.submit("pathsim author-paper-author from a0");
-        assert!(bad.wait().is_err());
-        assert!(matches!(worse.wait(), Err(QueryError::Parse(_))));
-        assert_eq!(good.wait().unwrap().items[0].0, "a1");
-        let stats = server.shutdown();
-        assert_eq!(stats.served, 3);
-        assert_eq!(stats.errors, 2);
-    }
-
-    #[test]
-    fn submit_after_shutdown_is_rejected_not_hung() {
-        let server = Server::start(bib(), ServeConfig::default());
-        let handle = server.handle();
-        let _ = server.shutdown();
-        assert!(matches!(
-            handle.submit("rank venue-paper-author").wait(),
-            Err(QueryError::Canceled)
-        ));
-    }
-
-    #[test]
-    fn many_client_threads_share_one_server() {
-        let hin = bib();
-        let reference = Engine::from_arc(Arc::clone(&hin));
-        let want = reference
-            .execute("pathsim author-paper-venue-paper-author from a0")
-            .unwrap();
-        let server = Server::start(
-            hin,
-            ServeConfig {
-                workers: 4,
-                batch_max: 8,
-                cache: CacheConfig::bounded(64 * 1024),
-            },
-        );
-        let handles: Vec<_> = (0..6)
-            .map(|_| {
-                let h = server.handle();
-                std::thread::spawn(move || {
-                    (0..20)
-                        .map(|_| {
-                            h.submit("pathsim author-paper-venue-paper-author from a0")
-                                .wait()
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            for result in h.join().expect("client thread") {
-                assert_eq!(result.as_ref().unwrap(), &want);
-            }
-        }
-        let stats = server.shutdown();
-        assert_eq!(stats.served, 120);
-        assert!(stats.cache_hits > 0, "repeats must be cache hits");
-    }
-
-    #[test]
-    fn dropping_a_ticket_does_not_wedge_the_server() {
-        let server = Server::start(bib(), ServeConfig::default());
-        drop(server.submit("pathsim author-paper-author from a0"));
-        let follow_up = server.submit("rank venue-paper-author").wait();
-        assert!(follow_up.is_ok());
-        let stats = server.shutdown();
-        assert_eq!(stats.served, 2, "dropped ticket's query still executed");
-    }
-}
+pub use router::{Router, RouterConfig, RouterStats};
+pub use server::{ServeConfig, Server, ServerHandle, ServerStats, Ticket};

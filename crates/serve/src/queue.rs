@@ -1,0 +1,299 @@
+//! The admission-controlled, client-fair request queue.
+//!
+//! Replaces the unbounded mpsc channel of the first serving layer with a
+//! structure that makes the two overload policies explicit:
+//!
+//! * **Admission control** — an optional depth cap on total queued
+//!   requests. At the cap the queue *sheds* (the caller answers the shed
+//!   client with `QueryError::Overloaded`) instead of growing without
+//!   bound. Backpressure beats latent memory growth for a long-lived
+//!   server: a client that is told "overloaded" can back off; a client
+//!   whose request sits in a kilometre-deep queue just times out later
+//!   with the memory already spent. Shedding is **longest-queue-drop**:
+//!   when a push finds the queue full, the victim is the tail of the
+//!   *fattest* lane — the arrival itself if its own lane is (joint-)
+//!   longest, otherwise the flooding client's most recent request is
+//!   displaced to admit the newcomer. The cap therefore bounds memory
+//!   globally while overload cost still lands on whoever caused it.
+//! * **Per-client round-robin fairness** — each client handle gets its own
+//!   lane, and the dispatcher drains lanes in rotation. One hot client
+//!   submitting thousands of queries delays its *own* tail, not every
+//!   other client's: a newcomer's first request is at most one rotation
+//!   away from dispatch regardless of how deep the hot lane is, and under
+//!   a full queue the newcomer is still admitted at the flooder's expense.
+//!
+//! The queue is generic over the request type so it can be unit-tested
+//! with plain values; the server instantiates it with its `Request`.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Outcome of [`FairQueue::push`].
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Push<T> {
+    /// Accepted; a dispatcher will pick it up.
+    Queued,
+    /// Rejected by admission control: the queue is at its depth cap and
+    /// the pushing client's own lane is the (joint-)longest.
+    Shed,
+    /// Accepted at the depth cap by displacing the tail of the longest
+    /// lane — the victim is returned so the caller can answer it with an
+    /// overload error rather than silently dropping it.
+    Displaced(T),
+    /// Rejected because the queue was closed (server shutting down).
+    Closed,
+}
+
+struct QueueState<T> {
+    /// One FIFO lane per client, keyed by client id.
+    lanes: HashMap<u64, VecDeque<T>>,
+    /// Clients with a non-empty lane, in round-robin rotation order.
+    rotation: VecDeque<u64>,
+    /// Total queued requests across all lanes.
+    queued: usize,
+    /// No further pushes are admitted; pops drain what remains.
+    closing: bool,
+}
+
+/// A multi-lane FIFO with round-robin draining, an optional depth cap, and
+/// blocking batch pop. All methods take `&self`; share behind an `Arc`.
+pub(crate) struct FairQueue<T> {
+    state: Mutex<QueueState<T>>,
+    nonempty: Condvar,
+    depth_cap: Option<usize>,
+}
+
+impl<T> FairQueue<T> {
+    pub(crate) fn new(depth_cap: Option<usize>) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                lanes: HashMap::new(),
+                rotation: VecDeque::new(),
+                queued: 0,
+                closing: false,
+            }),
+            nonempty: Condvar::new(),
+            depth_cap,
+        }
+    }
+
+    /// Enqueue onto `client`'s lane, subject to admission control
+    /// (longest-queue-drop at the depth cap; see the module docs).
+    pub(crate) fn push(&self, client: u64, item: T) -> Push<T> {
+        let displaced = {
+            let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let state = &mut *guard;
+            if state.closing {
+                return Push::Closed;
+            }
+            let mut displaced = None;
+            if let Some(cap) = self.depth_cap {
+                if state.queued >= cap {
+                    // Longest-queue drop: the victim is the tail of the
+                    // fattest lane. If the pusher's own lane is already
+                    // (joint-)longest, that victim is the arrival itself —
+                    // shed it. Otherwise displace the flooder's most
+                    // recent request so the quieter client is admitted:
+                    // overload cost lands on whoever caused it.
+                    let longest = state
+                        .lanes
+                        .iter()
+                        .max_by_key(|(c, lane)| (lane.len(), *c))
+                        .map(|(&c, lane)| (c, lane.len()))
+                        .expect("queued >= cap >= 1 implies a non-empty lane");
+                    let own_len = state.lanes.get(&client).map_or(0, VecDeque::len);
+                    if own_len >= longest.1 {
+                        return Push::Shed;
+                    }
+                    let victim_lane = state
+                        .lanes
+                        .get_mut(&longest.0)
+                        .expect("longest lane exists");
+                    displaced = victim_lane.pop_back();
+                    state.queued -= 1;
+                    if victim_lane.is_empty() {
+                        state.lanes.remove(&longest.0);
+                        state.rotation.retain(|&c| c != longest.0);
+                    }
+                }
+            }
+            let lane = state.lanes.entry(client).or_default();
+            if lane.is_empty() {
+                state.rotation.push_back(client);
+            }
+            lane.push_back(item);
+            state.queued += 1;
+            displaced
+        };
+        self.nonempty.notify_one();
+        match displaced {
+            Some(victim) => Push::Displaced(victim),
+            None => Push::Queued,
+        }
+    }
+
+    /// Dequeue up to `max` requests, visiting non-empty client lanes in
+    /// round-robin rotation (each visit takes one request). Blocks while
+    /// the queue is empty; an empty batch means the queue was closed *and*
+    /// fully drained — the dispatcher's signal to exit.
+    pub(crate) fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if guard.queued > 0 {
+                break;
+            }
+            if guard.closing {
+                return Vec::new();
+            }
+            guard = self
+                .nonempty
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let state = &mut *guard;
+        let mut batch = Vec::new();
+        while batch.len() < max && state.queued > 0 {
+            let client = state
+                .rotation
+                .pop_front()
+                .expect("queued > 0 implies a non-empty lane in rotation");
+            let lane = state
+                .lanes
+                .get_mut(&client)
+                .expect("rotation entries have lanes");
+            batch.push(lane.pop_front().expect("lanes in rotation are non-empty"));
+            state.queued -= 1;
+            if lane.is_empty() {
+                // drop the empty lane so one-shot clients don't accumulate
+                state.lanes.remove(&client);
+            } else {
+                state.rotation.push_back(client);
+            }
+        }
+        batch
+    }
+
+    /// Close the queue: subsequent pushes return [`Push::Closed`], and
+    /// once the remaining requests are drained, `pop_batch` returns empty.
+    pub(crate) fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closing = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Requests currently queued (for observability; racy by nature).
+    pub(crate) fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        let q = FairQueue::new(None);
+        for i in 0..5 {
+            assert_eq!(q.push(1, format!("a{i}")), Push::Queued);
+        }
+        for i in 0..2 {
+            assert_eq!(q.push(2, format!("b{i}")), Push::Queued);
+        }
+        // the hot client's 5 queued requests cannot starve client 2
+        assert_eq!(
+            q.pop_batch(10),
+            vec!["a0", "b0", "a1", "b1", "a2", "a3", "a4"]
+        );
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn late_client_is_one_rotation_from_dispatch() {
+        let q = FairQueue::new(None);
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        q.push(8, 1000);
+        let batch = q.pop_batch(2);
+        assert_eq!(batch, vec![0, 1000], "newcomer served in the next slot");
+    }
+
+    #[test]
+    fn depth_cap_sheds_not_queues() {
+        let q = FairQueue::new(Some(2));
+        assert_eq!(q.push(1, "x"), Push::Queued);
+        assert_eq!(q.push(2, "y"), Push::Queued);
+        assert_eq!(q.push(1, "z"), Push::Shed, "own lane is joint-longest");
+        assert_eq!(q.depth(), 2, "shed requests take no memory");
+        // draining reopens admission
+        assert_eq!(q.pop_batch(1), vec!["x"]);
+        assert_eq!(q.push(1, "z"), Push::Queued);
+    }
+
+    #[test]
+    fn full_queue_displaces_the_flooder_not_the_newcomer() {
+        let q = FairQueue::new(Some(3));
+        for i in 0..3 {
+            assert_eq!(q.push(7, i), Push::Queued);
+        }
+        // the flooder's own next push is shed…
+        assert_eq!(q.push(7, 3), Push::Shed);
+        // …but a newcomer is admitted by displacing the flooder's tail
+        assert_eq!(q.push(8, 100), Push::Displaced(2));
+        assert_eq!(q.depth(), 3, "cap still holds after displacement");
+        assert_eq!(
+            q.pop_batch(4),
+            vec![0, 100, 1],
+            "newcomer dispatches within one rotation; flooder keeps FIFO order"
+        );
+    }
+
+    #[test]
+    fn displacing_a_single_entry_lane_keeps_rotation_consistent() {
+        let q = FairQueue::new(Some(1));
+        assert_eq!(q.push(1, "a"), Push::Queued);
+        assert_eq!(q.push(2, "b"), Push::Displaced("a"));
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.pop_batch(4), vec!["b"], "emptied lane left the rotation");
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = FairQueue::new(None);
+        q.push(1, "a");
+        q.push(1, "b");
+        q.close();
+        assert_eq!(q.push(1, "c"), Push::Closed);
+        assert_eq!(q.pop_batch(10), vec!["a", "b"], "pre-close work drains");
+        assert!(q.pop_batch(10).is_empty(), "then the empty batch = exit");
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_on_close() {
+        use std::sync::Arc;
+
+        let q = Arc::new(FairQueue::new(None));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(3, 42);
+        assert_eq!(popper.join().unwrap(), vec![42]);
+
+        let q2 = Arc::new(FairQueue::<u32>::new(None));
+        let popper = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop_batch(4))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert!(popper.join().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,450 @@
+//! The multi-dataset router: one front door over N per-dataset
+//! [`Server`] shards.
+//!
+//! The paper's setting is a *database* of information networks — DBLP,
+//! Flickr, a claims corpus — interrogated by many users at once. One
+//! process, one dataset was the PR-2 shape; the router closes the gap:
+//! datasets register and evict **at runtime**, each behind its own
+//! [`Server`] (own worker pool, own bounded deduplicating cache, own
+//! admission control), and the router hashes dataset keys across sharded
+//! lock stripes so lookups on different datasets never contend on one
+//! map lock.
+//!
+//! ```text
+//!   clients ──▶ Router::submit("dblp", query)
+//!                  │  hash("dblp") → lock stripe → Arc<Server>
+//!         ┌────────┴─────────┬──────────────────┐
+//!     Server "dblp"     Server "flickr"    Server "claims"
+//!     (workers+cache)   (workers+cache)    (workers+cache)
+//! ```
+//!
+//! Isolation is the point of per-dataset servers: a thrashing cache or a
+//! flooded queue on one dataset cannot evict another dataset's hot
+//! products or starve its clients, and [`Router::evict`] tears one
+//! dataset down (draining its in-flight queries) without touching the
+//! rest. [`Router::stats`] rolls every shard's [`ServerStats`] up into
+//! one fleet view.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use hin_core::Hin;
+use hin_query::{QueryError, QueryOutput};
+
+use crate::server::{ServeConfig, Server, ServerHandle, ServerStats, Ticket};
+
+/// One lock stripe of the dataset registry.
+type Stripe = RwLock<HashMap<String, Arc<Server>>>;
+
+/// Sizing knobs for a [`Router`].
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    /// Lock stripes the dataset map is hashed across; rounded up to a
+    /// power of two, minimum 1. Registration/eviction on one stripe never
+    /// blocks routing on another.
+    pub stripes: usize,
+    /// Serving configuration applied to each dataset registered through
+    /// [`Router::register`] (use [`Router::register_with`] to override
+    /// per dataset).
+    pub serve: ServeConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            stripes: 4,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// Aggregated router statistics: per-dataset [`ServerStats`] plus routing
+/// counters.
+#[derive(Clone, Debug, Default)]
+pub struct RouterStats {
+    /// One snapshot per registered dataset, sorted by key.
+    pub datasets: Vec<(String, ServerStats)>,
+    /// Queries routed to a registered dataset.
+    pub routed: u64,
+    /// Queries refused with [`QueryError::UnknownDataset`].
+    pub misrouted: u64,
+}
+
+impl RouterStats {
+    /// Fleet-wide rollup: the element-wise merge of every dataset's stats.
+    pub fn aggregate(&self) -> ServerStats {
+        self.datasets
+            .iter()
+            .fold(ServerStats::default(), |acc, (_, s)| acc.merge(s))
+    }
+}
+
+/// A runtime-mutable registry of dataset servers with hashed lock
+/// striping. All methods take `&self`; share behind an `Arc`.
+pub struct Router {
+    stripes: Box<[Stripe]>,
+    /// `stripes.len() - 1`; the stripe count is a power of two.
+    stripe_mask: usize,
+    hasher: RandomState,
+    serve: ServeConfig,
+    routed: AtomicU64,
+    misrouted: AtomicU64,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Self::new(RouterConfig::default())
+    }
+}
+
+impl Router {
+    /// An empty router; register datasets with [`Router::register`].
+    pub fn new(config: RouterConfig) -> Self {
+        let stripes = config.stripes.max(1).next_power_of_two();
+        Self {
+            stripes: (0..stripes)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            stripe_mask: stripes - 1,
+            hasher: RandomState::new(),
+            serve: config.serve,
+            routed: AtomicU64::new(0),
+            misrouted: AtomicU64::new(0),
+        }
+    }
+
+    fn stripe_of(&self, key: &str) -> &Stripe {
+        &self.stripes[(self.hasher.hash_one(key) as usize) & self.stripe_mask]
+    }
+
+    /// Start a [`Server`] for `hin` under `key` with the router's default
+    /// serving config. Returns `false` (and starts nothing) if the key is
+    /// already registered — evict first to replace a dataset.
+    pub fn register(&self, key: impl Into<String>, hin: Arc<Hin>) -> bool {
+        self.register_with(key, hin, self.serve)
+    }
+
+    /// [`Router::register`] with a per-dataset serving configuration
+    /// (worker count, queue depth, cache budget).
+    pub fn register_with(
+        &self,
+        key: impl Into<String>,
+        hin: Arc<Hin>,
+        config: ServeConfig,
+    ) -> bool {
+        let key = key.into();
+        // Refuse duplicates cheaply, then build the server (engine
+        // construction + thread spawning) with no lock held — holding the
+        // stripe write lock through Server::start would stall routing for
+        // every dataset sharing the stripe.
+        if self
+            .stripe_of(&key)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(&key)
+        {
+            return false;
+        }
+        let server = Arc::new(Server::start(hin, config));
+        {
+            let mut stripe = self
+                .stripe_of(&key)
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            match stripe.entry(key) {
+                MapEntry::Occupied(_) => {} // lost a registration race
+                MapEntry::Vacant(slot) => {
+                    slot.insert(server);
+                    return true;
+                }
+            }
+        }
+        // tear our unused (and sole-owned, so try_unwrap cannot fail)
+        // server back down outside the lock
+        if let Ok(server) = Arc::try_unwrap(server) {
+            let _ = server.shutdown();
+        }
+        false
+    }
+
+    /// Tear down `key`'s server: unregister it, drain its in-flight
+    /// queries, and return its final statistics. `None` if the key was
+    /// not registered. Handles already given out for this dataset get
+    /// [`QueryError::Canceled`] on their next submit.
+    ///
+    /// Blocks until the drain completes — on *this* thread. Concurrent
+    /// [`Router::submit`]/[`Router::stats`] calls hold their `Arc<Server>`
+    /// clone only for the duration of the call (client handles reference
+    /// the server's internals, not the server), so eviction spins those
+    /// transient clones out rather than ever letting a client's clone be
+    /// the last owner and run the blocking join inline in `submit`.
+    pub fn evict(&self, key: &str) -> Option<ServerStats> {
+        let mut server = self
+            .stripe_of(key)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(key)?;
+        loop {
+            match Arc::try_unwrap(server) {
+                Ok(server) => return Some(server.shutdown()),
+                Err(still_shared) => {
+                    server = still_shared;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Is a dataset registered under `key`?
+    pub fn contains(&self, key: &str) -> bool {
+        self.stripe_of(key)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(key)
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// `true` when no dataset is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registered dataset keys, sorted.
+    pub fn datasets(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .stripes
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn server(&self, key: &str) -> Option<Arc<Server>> {
+        self.stripe_of(key)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .map(Arc::clone)
+    }
+
+    /// A submission handle (a fresh fairness lane) on `key`'s server, or
+    /// `None` if the dataset is not registered. The handle stays valid
+    /// across a later [`Router::evict`] — submits then resolve to
+    /// [`QueryError::Canceled`] rather than dangling.
+    pub fn handle(&self, key: &str) -> Option<ServerHandle> {
+        self.server(key).map(|s| s.handle())
+    }
+
+    /// Route one query to `dataset`. Unknown datasets resolve immediately
+    /// to [`QueryError::UnknownDataset`]; registered ones inherit that
+    /// server's admission control ([`QueryError::Overloaded`] when its
+    /// queue is at the depth cap).
+    ///
+    /// This convenience entry point shares the server's single internal
+    /// fairness lane across all its callers. Clients that should be
+    /// isolated from each other's bursts must each hold their own
+    /// [`Router::handle`] — lanes (handles), not call sites, are the unit
+    /// the scheduler is fair across.
+    pub fn submit(&self, dataset: &str, query: impl Into<String>) -> Ticket {
+        match self.server(dataset) {
+            Some(server) => {
+                self.routed.fetch_add(1, Ordering::Relaxed);
+                server.submit(query)
+            }
+            None => {
+                self.misrouted.fetch_add(1, Ordering::Relaxed);
+                Ticket::refused(QueryError::UnknownDataset(dataset.to_string()))
+            }
+        }
+    }
+
+    /// Submit a batch to one dataset and block for ordered results.
+    pub fn execute_many<S: AsRef<str>>(
+        &self,
+        dataset: &str,
+        queries: &[S],
+    ) -> Vec<Result<QueryOutput, QueryError>> {
+        let tickets: Vec<Ticket> = queries
+            .iter()
+            .map(|q| self.submit(dataset, q.as_ref()))
+            .collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Snapshot every dataset's statistics plus the routing counters.
+    pub fn stats(&self) -> RouterStats {
+        let mut datasets: Vec<(String, ServerStats)> = self
+            .stripes
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .iter()
+                    .map(|(k, server)| (k.clone(), server.stats()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        datasets.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        RouterStats {
+            datasets,
+            routed: self.routed.load(Ordering::Relaxed),
+            misrouted: self.misrouted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evict every dataset (draining each server) and return the final
+    /// per-dataset statistics.
+    pub fn shutdown(self) -> RouterStats {
+        let mut datasets = Vec::new();
+        for key in self.datasets() {
+            if let Some(stats) = self.evict(&key) {
+                datasets.push((key, stats));
+            }
+        }
+        datasets.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        RouterStats {
+            datasets,
+            routed: self.routed.load(Ordering::Relaxed),
+            misrouted: self.misrouted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_core::HinBuilder;
+
+    fn tiny(authors: &[(&str, &str)]) -> Arc<Hin> {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let pa = b.add_relation("written_by", paper, author);
+        for (p, a) in authors {
+            b.link(pa, p, a, 1.0).unwrap();
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn routes_by_dataset_key() {
+        let router = Router::default();
+        assert!(router.register("left", tiny(&[("p0", "ann"), ("p0", "bo")])));
+        assert!(router.register("right", tiny(&[("q0", "cy"), ("q0", "di")])));
+        assert_eq!(router.datasets(), vec!["left", "right"]);
+
+        let q = "pathsim author-paper-author from ";
+        let l = router.submit("left", format!("{q}ann")).wait().unwrap();
+        assert_eq!(l.items[0].0, "bo");
+        let r = router.submit("right", format!("{q}cy")).wait().unwrap();
+        assert_eq!(r.items[0].0, "di");
+
+        let stats = router.shutdown();
+        assert_eq!(stats.routed, 2);
+        assert_eq!(stats.misrouted, 0);
+        assert_eq!(stats.aggregate().served, 2);
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_immediate_error() {
+        let router = Router::default();
+        let err = router.submit("nope", "rank venue-paper-author").wait();
+        assert!(matches!(err, Err(QueryError::UnknownDataset(ref k)) if k == "nope"));
+        assert_eq!(router.stats().misrouted, 1);
+    }
+
+    #[test]
+    fn duplicate_registration_is_refused() {
+        let router = Router::default();
+        let hin = tiny(&[("p0", "ann")]);
+        assert!(router.register("d", Arc::clone(&hin)));
+        assert!(!router.register("d", hin), "second registration refused");
+        assert_eq!(router.len(), 1);
+    }
+
+    #[test]
+    fn evict_drains_and_unregisters() {
+        let router = Router::default();
+        router.register("d", tiny(&[("p0", "ann"), ("p0", "bo")]));
+        let ok = router
+            .submit("d", "pathsim author-paper-author from ann")
+            .wait();
+        assert!(ok.is_ok());
+
+        let stats = router.evict("d").expect("was registered");
+        assert_eq!(stats.served, 1);
+        assert!(!router.contains("d"));
+        assert!(router.evict("d").is_none(), "second evict is a no-op");
+
+        // routing to the evicted key now misroutes…
+        assert!(matches!(
+            router.submit("d", "x").wait(),
+            Err(QueryError::UnknownDataset(_))
+        ));
+        // …and a re-registered dataset serves fresh
+        assert!(router.register("d", tiny(&[("p0", "cy"), ("p0", "di")])));
+        let fresh = router
+            .submit("d", "pathsim author-paper-author from cy")
+            .wait()
+            .unwrap();
+        assert_eq!(fresh.items[0].0, "di");
+    }
+
+    #[test]
+    fn stale_handles_cancel_after_evict() {
+        let router = Router::default();
+        router.register("d", tiny(&[("p0", "ann")]));
+        let handle = router.handle("d").expect("registered");
+        router.evict("d");
+        assert!(matches!(
+            handle.submit("pathsim author-paper-author from ann").wait(),
+            Err(QueryError::Canceled)
+        ));
+    }
+
+    #[test]
+    fn stats_roll_up_across_datasets() {
+        let router = Router::default();
+        router.register("a", tiny(&[("p0", "x"), ("p0", "y")]));
+        router.register("b", tiny(&[("p0", "x"), ("p0", "y")]));
+        for _ in 0..3 {
+            router
+                .submit("a", "pathsim author-paper-author from x")
+                .wait()
+                .unwrap();
+        }
+        router
+            .submit("b", "pathsim author-paper-author from x")
+            .wait()
+            .unwrap();
+        let stats = router.stats();
+        assert_eq!(stats.datasets.len(), 2);
+        let by_key: HashMap<_, _> = stats
+            .datasets
+            .iter()
+            .map(|(k, s)| (k.as_str(), s))
+            .collect();
+        assert_eq!(by_key["a"].served, 3);
+        assert_eq!(by_key["b"].served, 1);
+        assert_eq!(stats.aggregate().served, 4);
+        assert_eq!(stats.routed, 4);
+    }
+}

@@ -1,0 +1,656 @@
+//! One dataset's serving stack: admission-controlled fair request queue →
+//! micro-batching dispatcher → worker pool over one shared [`Engine`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hin_core::Hin;
+use hin_query::{CacheConfig, Engine, QueryError, QueryOutput};
+
+use crate::queue::{FairQueue, Push};
+
+/// Sizing knobs for a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads sharing the engine. Default: available parallelism,
+    /// capped at 8.
+    pub workers: usize,
+    /// Largest micro-batch the dispatcher drains before distributing.
+    pub batch_max: usize,
+    /// Admission control: the most requests the queue holds. At the cap,
+    /// shedding is longest-queue-drop: the request answered with
+    /// [`QueryError::Overloaded`] is the newest request of the *fattest*
+    /// client lane (the arrival itself when its own lane is joint-longest),
+    /// so overload cost lands on the flooding client while quieter clients
+    /// stay admitted. `None` (the default) admits everything — fine for
+    /// trusted in-process callers, wrong for a server exposed to
+    /// open-ended clients, whose queue (and memory) then grows without
+    /// bound under overload.
+    pub queue_depth: Option<usize>,
+    /// Commuting-matrix cache sizing (shards, byte budget).
+    pub cache: CacheConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            batch_max: 32,
+            queue_depth: None,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// One in-flight query: the text plus the channel its result goes back on.
+struct Request {
+    query: String,
+    reply: Sender<Result<QueryOutput, QueryError>>,
+}
+
+/// Counters shared by dispatcher and workers.
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+/// State shared between the server, every client handle, and the pipeline
+/// threads: the fair queue requests are admitted into, plus accounting.
+struct Shared {
+    queue: FairQueue<Request>,
+    counters: Counters,
+    /// Client-lane id allocator; see [`Server::handle`].
+    next_client: AtomicU64,
+}
+
+/// A snapshot of a server's lifetime statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Queries answered (ok or error).
+    pub served: u64,
+    /// The subset of `served` that returned an error.
+    pub errors: u64,
+    /// Queries rejected at admission time ([`QueryError::Overloaded`]);
+    /// disjoint from `served`.
+    pub shed: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Largest micro-batch seen.
+    pub max_batch: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Cache: products served from cache.
+    pub cache_hits: u64,
+    /// Cache: the subset of hits served by transposing a reversed path.
+    pub cache_symmetry_hits: u64,
+    /// Cache: products computed.
+    pub cache_misses: u64,
+    /// Cache: entries evicted to stay under the byte budget.
+    pub cache_evictions: u64,
+    /// Cache: workers served by waiting on another worker's in-flight
+    /// computation of the same product (compute-once, wait-many).
+    pub cache_coalesced_waits: u64,
+    /// Cache: duplicate concurrent computations of one key that slipped
+    /// past the in-flight table (should stay 0).
+    pub cache_dup_computes: u64,
+    /// Cache: resident entries.
+    pub cache_len: usize,
+    /// Cache: resident bytes.
+    pub cache_bytes: usize,
+}
+
+impl ServerStats {
+    /// Element-wise sum, for rolling shard snapshots up into a fleet view
+    /// (`workers` adds; gauges `cache_len`/`cache_bytes` add across
+    /// disjoint caches; `max_batch` takes the max).
+    pub fn merge(&self, other: &ServerStats) -> ServerStats {
+        ServerStats {
+            served: self.served + other.served,
+            errors: self.errors + other.errors,
+            shed: self.shed + other.shed,
+            batches: self.batches + other.batches,
+            max_batch: self.max_batch.max(other.max_batch),
+            workers: self.workers + other.workers,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_symmetry_hits: self.cache_symmetry_hits + other.cache_symmetry_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
+            cache_coalesced_waits: self.cache_coalesced_waits + other.cache_coalesced_waits,
+            cache_dup_computes: self.cache_dup_computes + other.cache_dup_computes,
+            cache_len: self.cache_len + other.cache_len,
+            cache_bytes: self.cache_bytes + other.cache_bytes,
+        }
+    }
+}
+
+/// The pending result of a submitted query.
+///
+/// Dropping a ticket is fine — the worker's send just fails silently and
+/// the query's work still warms the shared cache.
+pub struct Ticket {
+    state: TicketState,
+}
+
+enum TicketState {
+    Pending(Receiver<Result<QueryOutput, QueryError>>),
+    /// Refused before reaching the queue (shutdown, overload, or an
+    /// unknown dataset at a router); resolves immediately to this error.
+    Refused(QueryError),
+}
+
+impl Ticket {
+    pub(crate) fn refused(err: QueryError) -> Ticket {
+        Ticket {
+            state: TicketState::Refused(err),
+        }
+    }
+
+    /// Block until the query's result arrives.
+    ///
+    /// Returns [`QueryError::Canceled`] when the server shut down before
+    /// this query was answered, [`QueryError::Overloaded`] when admission
+    /// control shed it.
+    pub fn wait(self) -> Result<QueryOutput, QueryError> {
+        match self.state {
+            TicketState::Pending(rx) => rx.recv().unwrap_or(Err(QueryError::Canceled)),
+            TicketState::Refused(err) => Err(err),
+        }
+    }
+
+    /// Block for at most `timeout`, then give up with
+    /// [`QueryError::TimedOut`] — the bounded-latency alternative to
+    /// [`Ticket::wait`] for callers that must not hang on a wedged or
+    /// deeply queued request. Giving up abandons only this wait: the query
+    /// still executes, its work still warms the shared cache, and its
+    /// result is discarded on arrival.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<QueryOutput, QueryError> {
+        match self.state {
+            TicketState::Pending(rx) => match rx.recv_timeout(timeout) {
+                Ok(result) => result,
+                Err(RecvTimeoutError::Timeout) => Err(QueryError::TimedOut),
+                Err(RecvTimeoutError::Disconnected) => Err(QueryError::Canceled),
+            },
+            TicketState::Refused(err) => Err(err),
+        }
+    }
+}
+
+/// A cloneable submission handle — one fairness lane.
+///
+/// Each call to [`Server::handle`] opens a *new* client lane in the fair
+/// queue; *cloning* a handle shares its lane. Give each logical client its
+/// own handle: the dispatcher round-robins across lanes, so a client
+/// flooding its lane delays its own tail, never another client's.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    client: u64,
+}
+
+impl ServerHandle {
+    /// Enqueue a query; the returned [`Ticket`] resolves to its result.
+    ///
+    /// Admission control applies here: at the configured
+    /// [`ServeConfig::queue_depth`], either this ticket resolves
+    /// immediately to [`QueryError::Overloaded`] (this lane is the
+    /// fattest) or the newest request of the fattest lane is displaced
+    /// and *its* ticket resolves `Overloaded` instead. After
+    /// [`Server::shutdown`] the ticket resolves to
+    /// [`QueryError::Canceled`].
+    pub fn submit(&self, query: impl Into<String>) -> Ticket {
+        let (reply, rx) = channel();
+        let req = Request {
+            query: query.into(),
+            reply,
+        };
+        match self.shared.queue.push(self.client, req) {
+            Push::Queued => Ticket {
+                state: TicketState::Pending(rx),
+            },
+            Push::Shed => {
+                self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                Ticket::refused(QueryError::Overloaded)
+            }
+            Push::Displaced(victim) => {
+                // admitted at the cap by displacing the tail of the
+                // fattest lane; the flooder's ticket resolves Overloaded
+                self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = victim.reply.send(Err(QueryError::Overloaded));
+                Ticket {
+                    state: TicketState::Pending(rx),
+                }
+            }
+            Push::Closed => Ticket::refused(QueryError::Canceled),
+        }
+    }
+}
+
+/// A running query server over one dataset: admission-controlled fair
+/// request queue, micro-batching dispatcher, and a worker pool sharing one
+/// [`Engine`] (and therefore one sharded, bounded, work-deduplicating
+/// commuting-matrix cache).
+pub struct Server {
+    handle: ServerHandle,
+    engine: Arc<Engine>,
+    shared: Arc<Shared>,
+    workers: usize,
+    /// `Some` while running; taken by shutdown/Drop.
+    threads: Option<Threads>,
+}
+
+struct Threads {
+    dispatcher: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawn the dispatcher and worker pool over `hin`.
+    pub fn start(hin: Arc<Hin>, config: ServeConfig) -> Server {
+        let engine = Arc::new(Engine::with_cache_config(hin, config.cache));
+        let n_workers = config.workers.max(1);
+        let batch_max = config.batch_max.max(1);
+        let shared = Arc::new(Shared {
+            queue: FairQueue::new(config.queue_depth),
+            counters: Counters::default(),
+            next_client: AtomicU64::new(1),
+        });
+
+        // A *bounded* hand-off channel: the dispatcher blocks once the
+        // workers are this far behind, so excess demand stays in the fair
+        // queue where admission control can see (and shed) it. End-to-end
+        // memory is bounded by queue_depth + this capacity + workers.
+        let (work_tx, work_rx) = sync_channel::<Request>(n_workers.max(batch_max));
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let mut worker_handles = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let work_rx = Arc::clone(&work_rx);
+            let engine = Arc::clone(&engine);
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("hin-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&work_rx, &engine, &shared.counters))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hin-serve-dispatch".to_string())
+                .spawn(move || dispatch_loop(&shared, work_tx, batch_max))
+                .expect("spawn dispatcher thread")
+        };
+
+        Server {
+            handle: ServerHandle {
+                shared: Arc::clone(&shared),
+                client: 0,
+            },
+            engine,
+            shared,
+            workers: n_workers,
+            threads: Some(Threads {
+                dispatcher,
+                workers: worker_handles,
+            }),
+        }
+    }
+
+    /// A submission handle on a **fresh fairness lane**. Call once per
+    /// logical client (and clone the handle within that client): lanes are
+    /// drained round-robin, so handles — not threads — are the unit the
+    /// scheduler is fair across.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            client: self.shared.next_client.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Enqueue one query on the server's own lane (see
+    /// [`ServerHandle::submit`]).
+    pub fn submit(&self, query: impl Into<String>) -> Ticket {
+        self.handle.submit(query)
+    }
+
+    /// Submit a whole batch and block for all results, in order — the
+    /// concurrent counterpart of [`Engine::execute_many`].
+    pub fn execute_many<S: AsRef<str>>(
+        &self,
+        queries: &[S],
+    ) -> Vec<Result<QueryOutput, QueryError>> {
+        let tickets: Vec<Ticket> = queries.iter().map(|q| self.submit(q.as_ref())).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// The shared engine (for plan inspection or direct in-thread queries).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Requests currently queued awaiting dispatch (racy by nature).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Current lifetime statistics.
+    pub fn stats(&self) -> ServerStats {
+        let counters = &self.shared.counters;
+        let cache = self.engine.cache();
+        ServerStats {
+            served: counters.served.load(Ordering::Relaxed),
+            errors: counters.errors.load(Ordering::Relaxed),
+            shed: counters.shed.load(Ordering::Relaxed),
+            batches: counters.batches.load(Ordering::Relaxed),
+            max_batch: counters.max_batch.load(Ordering::Relaxed),
+            workers: self.workers,
+            cache_hits: cache.hits(),
+            cache_symmetry_hits: cache.symmetry_hits(),
+            cache_misses: cache.misses(),
+            cache_evictions: cache.evictions(),
+            cache_coalesced_waits: cache.coalesced_waits(),
+            cache_dup_computes: cache.dup_computes(),
+            cache_len: cache.len(),
+            cache_bytes: cache.bytes(),
+        }
+    }
+
+    /// Stop accepting queries, drain everything in flight, join all
+    /// threads, and return the final statistics.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.join_threads();
+        self.stats()
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(threads) = self.threads.take() {
+            // Closing the queue rejects later submits; everything already
+            // admitted is still dispatched and answered. The dispatcher
+            // exits on the drained queue, dropping the work sender, and
+            // each worker drains the hand-off channel before exiting.
+            self.shared.queue.close();
+            let _ = threads.dispatcher.join();
+            for w in threads.workers {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join_threads();
+    }
+}
+
+/// Collect admitted requests into micro-batches (drawn round-robin across
+/// client lanes) and feed them to the bounded worker hand-off channel,
+/// until the queue is closed and drained.
+fn dispatch_loop(shared: &Shared, work_tx: SyncSender<Request>, batch_max: usize) {
+    loop {
+        let batch = shared.queue.pop_batch(batch_max);
+        if batch.is_empty() {
+            break; // closed and fully drained
+        }
+        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        for req in batch {
+            // blocks when workers are behind (that is the backpressure);
+            // fails only if every worker is gone — the dropped reply
+            // sender then surfaces as Canceled at the ticket
+            let _ = work_tx.send(req);
+        }
+    }
+    // exiting drops work_tx: workers drain the hand-off channel, then exit
+}
+
+/// Execute requests against the shared engine until the queue closes.
+///
+/// Panics are contained per request: a query that panics its worker (an
+/// engine bug, a poisoned lock) is answered with
+/// [`QueryError::Internal`] and the worker keeps serving — one poisoned
+/// request must not silently retire 1/N of the pool for the rest of the
+/// server's life.
+fn worker_loop(work_rx: &Mutex<Receiver<Request>>, engine: &Engine, counters: &Counters) {
+    loop {
+        // Hold the lock only for the dequeue itself. One idle worker
+        // blocks in recv holding the lock; the others queue on the mutex
+        // and each wakes to take exactly the next request.
+        let req = match work_rx.lock().expect("work queue lock").recv() {
+            Ok(req) => req,
+            Err(_) => break, // dispatcher gone and queue drained
+        };
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.execute(&req.query)))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "query execution panicked".to_string());
+                    Err(QueryError::Internal(msg))
+                });
+        counters.served.fetch_add(1, Ordering::Relaxed);
+        if result.is_err() {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        // the client may have dropped its ticket; that's not an error
+        let _ = req.reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_core::HinBuilder;
+
+    /// papers p0{a0,a1}@v0, p1{a1}@v0, p2{a2}@v1 — the metapath fixture.
+    fn bib() -> Arc<Hin> {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let venue = b.add_type("venue");
+        let pa = b.add_relation("written_by", paper, author);
+        let pv = b.add_relation("published_in", paper, venue);
+        b.link(pa, "p0", "a0", 1.0).unwrap();
+        b.link(pa, "p0", "a1", 1.0).unwrap();
+        b.link(pa, "p1", "a1", 1.0).unwrap();
+        b.link(pa, "p2", "a2", 1.0).unwrap();
+        b.link(pv, "p0", "v0", 1.0).unwrap();
+        b.link(pv, "p1", "v0", 1.0).unwrap();
+        b.link(pv, "p2", "v1", 1.0).unwrap();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn serves_results_identical_to_direct_execution() {
+        let hin = bib();
+        let reference = Engine::from_arc(Arc::clone(&hin));
+        let server = Server::start(
+            Arc::clone(&hin),
+            ServeConfig {
+                workers: 3,
+                ..ServeConfig::default()
+            },
+        );
+        let queries = [
+            "pathsim author-paper-author from a0",
+            "pathcount author-paper-venue from a1",
+            "rank venue-paper-author limit 2",
+            "neighbors written_by from p0",
+        ];
+        let got = server.execute_many(&queries);
+        for (q, result) in queries.iter().zip(got) {
+            assert_eq!(result, reference.execute(q), "served result differs: {q}");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 4);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn per_query_errors_do_not_poison_the_pool() {
+        let server = Server::start(bib(), ServeConfig::default());
+        let bad = server.submit("pathsim author-paper-author from nobody");
+        let worse = server.submit("topk 0 author-paper-author from a0");
+        let good = server.submit("pathsim author-paper-author from a0");
+        assert!(bad.wait().is_err());
+        assert!(matches!(worse.wait(), Err(QueryError::Parse(_))));
+        assert_eq!(good.wait().unwrap().items[0].0, "a1");
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 3);
+        assert_eq!(stats.errors, 2);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected_not_hung() {
+        let server = Server::start(bib(), ServeConfig::default());
+        let handle = server.handle();
+        let _ = server.shutdown();
+        assert!(matches!(
+            handle.submit("rank venue-paper-author").wait(),
+            Err(QueryError::Canceled)
+        ));
+    }
+
+    #[test]
+    fn many_client_threads_share_one_server() {
+        let hin = bib();
+        let reference = Engine::from_arc(Arc::clone(&hin));
+        let want = reference
+            .execute("pathsim author-paper-venue-paper-author from a0")
+            .unwrap();
+        let server = Server::start(
+            hin,
+            ServeConfig {
+                workers: 4,
+                batch_max: 8,
+                cache: CacheConfig::bounded(64 * 1024),
+                ..ServeConfig::default()
+            },
+        );
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let h = server.handle();
+                std::thread::spawn(move || {
+                    (0..20)
+                        .map(|_| {
+                            h.submit("pathsim author-paper-venue-paper-author from a0")
+                                .wait()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for result in h.join().expect("client thread") {
+                assert_eq!(result.as_ref().unwrap(), &want);
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 120);
+        assert!(stats.cache_hits > 0, "repeats must be cache hits");
+        assert_eq!(
+            stats.cache_dup_computes, 0,
+            "identical in-flight queries must never compute one key twice"
+        );
+    }
+
+    #[test]
+    fn dropping_a_ticket_does_not_wedge_the_server() {
+        let server = Server::start(bib(), ServeConfig::default());
+        drop(server.submit("pathsim author-paper-author from a0"));
+        let follow_up = server.submit("rank venue-paper-author").wait();
+        assert!(follow_up.is_ok());
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 2, "dropped ticket's query still executed");
+    }
+
+    #[test]
+    fn overload_sheds_with_overloaded_error() {
+        // one worker + a depth cap of 1: a burst must overflow admission
+        let server = Server::start(
+            bib(),
+            ServeConfig {
+                workers: 1,
+                batch_max: 1,
+                queue_depth: Some(1),
+                ..ServeConfig::default()
+            },
+        );
+        let burst = 200;
+        let tickets: Vec<Ticket> = (0..burst)
+            .map(|_| server.submit("pathsim author-paper-venue-paper-author from a0"))
+            .collect();
+        let mut ok = 0u64;
+        let mut shed = 0u64;
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => ok += 1,
+                Err(QueryError::Overloaded) => shed += 1,
+                Err(e) => panic!("unexpected error under overload: {e}"),
+            }
+        }
+        assert!(shed > 0, "a {burst}-deep burst over a cap of 1 must shed");
+        let stats = server.shutdown();
+        assert_eq!(stats.served, ok);
+        assert_eq!(stats.shed, shed);
+        assert_eq!(ok + shed, burst);
+    }
+
+    #[test]
+    fn wait_timeout_bounds_latency_and_reports_timeout() {
+        let server = Server::start(bib(), ServeConfig::default());
+        // a satisfiable query resolves well within a generous timeout
+        let quick = server
+            .submit("pathsim author-paper-author from a0")
+            .wait_timeout(Duration::from_secs(30));
+        assert_eq!(quick.unwrap().items[0].0, "a1");
+
+        // an immediately refused ticket also resolves through wait_timeout
+        let handle = server.handle();
+        let _ = server.shutdown();
+        assert!(matches!(
+            handle
+                .submit("rank venue-paper-author")
+                .wait_timeout(Duration::from_secs(30)),
+            Err(QueryError::Canceled)
+        ));
+
+        // a ticket whose reply never comes times out instead of hanging:
+        // fabricate one by dropping the reply sender's server mid-wait
+        let (reply, rx) = channel();
+        let ticket = Ticket {
+            state: TicketState::Pending(rx),
+        };
+        let waiter = std::thread::spawn(move || ticket.wait_timeout(Duration::from_millis(50)));
+        let wedged: Sender<Result<QueryOutput, QueryError>> = reply;
+        let result = waiter.join().expect("waiter thread");
+        assert!(matches!(result, Err(QueryError::TimedOut)));
+        drop(wedged);
+    }
+
+    #[test]
+    fn handles_are_fairness_lanes() {
+        let server = Server::start(bib(), ServeConfig::default());
+        let a = server.handle();
+        let b = a.clone();
+        let c = server.handle();
+        assert_eq!(a.client, b.client, "clones share the lane");
+        assert_ne!(a.client, c.client, "handle() opens a fresh lane");
+    }
+}

@@ -7,8 +7,8 @@
 
 use std::sync::Arc;
 
-use hin_query::{CacheConfig, Engine};
-use hin_serve::{ServeConfig, Server};
+use hin_query::{CacheConfig, Engine, QueryError};
+use hin_serve::{Router, RouterConfig, ServeConfig, Server};
 use hin_synth::DblpConfig;
 
 fn world() -> Arc<hin_core::Hin> {
@@ -63,6 +63,7 @@ fn threaded_results_match_single_threaded_reference() {
             workers: 4,
             batch_max: 16,
             cache: CacheConfig::default(),
+            ..ServeConfig::default()
         },
     );
 
@@ -141,6 +142,7 @@ fn eviction_under_concurrency_stays_correct_and_bounded() {
                 shards: 4,
                 byte_budget: Some(budget),
             },
+            ..ServeConfig::default()
         },
     );
 
@@ -181,4 +183,173 @@ fn eviction_under_concurrency_stays_correct_and_bounded() {
         "resident {} bytes exceeds the {budget}-byte budget",
         stats.cache_bytes
     );
+    assert_eq!(
+        stats.cache_dup_computes, 0,
+        "the in-flight table must prevent duplicate concurrent computations \
+         even while eviction churns"
+    );
+}
+
+/// A multi-dataset router under concurrent clients: every dataset's
+/// results must be byte-identical to that dataset's own single-threaded
+/// reference engine, with no cross-dataset leakage, while both servers'
+/// bounded caches churn.
+#[test]
+fn router_results_match_per_dataset_references() {
+    // two genuinely different worlds under the same schema
+    let worlds: Vec<(String, Arc<hin_core::Hin>)> = [(11u64, "dblp-a"), (29, "dblp-b")]
+        .into_iter()
+        .map(|(seed, key)| {
+            (
+                key.to_string(),
+                Arc::new(
+                    DblpConfig {
+                        n_areas: 3,
+                        venues_per_area: 4,
+                        authors_per_area: 40,
+                        n_papers: 500,
+                        seed,
+                        ..Default::default()
+                    }
+                    .generate()
+                    .hin,
+                ),
+            )
+        })
+        .collect();
+    let queries = workload();
+
+    let references: Vec<Vec<_>> = worlds
+        .iter()
+        .map(|(_, hin)| {
+            let engine = Engine::from_arc(Arc::clone(hin));
+            queries.iter().map(|q| engine.execute(q)).collect()
+        })
+        .collect();
+
+    let router = Arc::new(Router::new(RouterConfig {
+        stripes: 2,
+        serve: ServeConfig {
+            workers: 3,
+            batch_max: 16,
+            cache: CacheConfig {
+                shards: 4,
+                byte_budget: Some(32 * 1024),
+            },
+            ..ServeConfig::default()
+        },
+    }));
+    for (key, hin) in &worlds {
+        assert!(router.register(key.clone(), Arc::clone(hin)));
+    }
+
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let router = Arc::clone(&router);
+            let queries = queries.clone();
+            let keys: Vec<String> = worlds.iter().map(|(k, _)| k.clone()).collect();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for r in 0..2 {
+                    for i in 0..queries.len() {
+                        let idx = (i * 3 + t + r) % queries.len();
+                        // alternate datasets so both servers are hot at once
+                        let d = (i + t) % keys.len();
+                        got.push((d, idx, router.submit(&keys[d], queries[idx].clone()).wait()));
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    for h in handles {
+        for (d, idx, result) in h.join().expect("client thread must not panic") {
+            assert_eq!(
+                result, references[d][idx],
+                "dataset {} diverged from its reference on `{}`",
+                worlds[d].0, queries[idx]
+            );
+        }
+    }
+
+    let stats = router.stats();
+    assert_eq!(stats.routed, 4 * 2 * queries.len() as u64);
+    assert_eq!(stats.misrouted, 0);
+    let fleet = Arc::try_unwrap(router)
+        .map_err(|_| "router still shared")
+        .unwrap()
+        .shutdown();
+    assert_eq!(fleet.datasets.len(), 2);
+    let total = fleet.aggregate();
+    assert_eq!(total.served, 4 * 2 * queries.len() as u64);
+    assert_eq!(
+        total.cache_dup_computes, 0,
+        "no duplicate concurrent computations across either dataset"
+    );
+}
+
+/// Overload a capped queue from many flooding clients: excess demand must
+/// shed with `Overloaded` (not queue without bound), every admitted query
+/// must still answer correctly, and accounting must balance exactly.
+#[test]
+fn overload_sheds_and_admitted_queries_stay_correct() {
+    let hin = world();
+    let reference = Engine::from_arc(Arc::clone(&hin));
+    let q = "pathsim author-paper-venue-paper-author from author_a0_0";
+    let want = reference.execute(q);
+
+    let server = Arc::new(Server::start(
+        Arc::clone(&hin),
+        ServeConfig {
+            workers: 2,
+            batch_max: 4,
+            queue_depth: Some(8),
+            cache: CacheConfig::bounded(32 * 1024),
+        },
+    ));
+
+    let per_client = 150usize;
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let handle = server.handle();
+            let want = want.clone();
+            std::thread::spawn(move || {
+                // burst-submit, then wait: the queue sees the full flood
+                let tickets: Vec<_> = (0..per_client).map(|_| handle.submit(q)).collect();
+                let mut ok = 0u64;
+                let mut shed = 0u64;
+                for t in tickets {
+                    match t.wait() {
+                        Ok(out) => {
+                            ok += 1;
+                            assert_eq!(Ok(out), want, "admitted result diverged");
+                        }
+                        Err(QueryError::Overloaded) => shed += 1,
+                        Err(e) => panic!("unexpected error under overload: {e}"),
+                    }
+                }
+                (ok, shed)
+            })
+        })
+        .collect();
+
+    let (mut ok, mut shed) = (0u64, 0u64);
+    for c in clients {
+        let (o, s) = c.join().expect("client thread");
+        ok += o;
+        shed += s;
+    }
+    assert_eq!(ok + shed, 4 * per_client as u64);
+    assert!(
+        shed > 0,
+        "a 600-query flood over a depth cap of 8 must shed"
+    );
+    assert!(ok > 0, "admission control must still serve admitted work");
+
+    let stats = Arc::try_unwrap(server)
+        .map_err(|_| "server still shared")
+        .unwrap()
+        .shutdown();
+    assert_eq!(stats.served, ok);
+    assert_eq!(stats.shed, shed);
 }

@@ -1,7 +1,7 @@
 //! Similarity measures on information networks (tutorial §2(b)iii and the
 //! top-k similarity search frontier of §7(b)).
 //!
-//! * [`simrank`] — SimRank (KDD'02), both the naive fixed-point iteration
+//! * [`mod@simrank`] — SimRank (KDD'02), both the naive fixed-point iteration
 //!   and the partial-sums optimization, for homogeneous networks,
 //! * [`ppr`] — Personalized-PageRank similarity,
 //! * [`metapath`] — meta-path machinery over heterogeneous schemas:

@@ -1,4 +1,4 @@
-//! PathSim and the competing meta-path measures (Sun et al., reference [6]
+//! PathSim and the competing meta-path measures (Sun et al., reference \[6\]
 //! of the tutorial; tutorial §7(b) "top-k similarity search in
 //! heterogeneous information networks").
 //!

@@ -4,7 +4,7 @@
 //! Both implementations iterate the fixed point
 //! `s(a,b) = C/(|I(a)||I(b)|) · Σ_{i∈I(a)} Σ_{j∈I(b)} s(i,j)` with
 //! `s(a,a) = 1`, where `I(v)` are in-neighbors. [`simrank_naive`] is the
-//! textbook `O(n² d²)` per iteration; [`simrank`] applies the partial-sums
+//! textbook `O(n² d²)` per iteration; [`fn@simrank`] applies the partial-sums
 //! memoization (`O(n² d)`) that LinkClus-era work popularized — E13 in the
 //! experiment index benchmarks the two against each other.
 

@@ -34,6 +34,7 @@ fn main() {
             workers: 4,
             batch_max: 32,
             cache: CacheConfig::bounded(4 << 20), // 4 MiB
+            ..ServeConfig::default()
         },
     );
     println!("server: 4 workers, 4 MiB bounded cache\n");

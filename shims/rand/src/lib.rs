@@ -42,7 +42,7 @@ pub trait SeedableRng: Sized {
 
 /// User-facing sampling methods, blanket-implemented for every [`RngCore`].
 pub trait Rng: RngCore {
-    /// Sample a value of a [`Standard`]-distributed type (`f64` in `[0,1)`,
+    /// Sample a value of a `Standard`-distributed type (`f64` in `[0,1)`,
     /// uniform `bool`/integers).
     fn gen<T>(&mut self) -> T
     where

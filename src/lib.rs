@@ -15,8 +15,8 @@
 //! | [`stats`] | density, centrality, components, power laws, densification |
 //! | [`ranking`] | PageRank, Personalized PageRank, HITS, authority ranking |
 //! | [`similarity`] | SimRank, PPR similarity, meta-paths, PathSim |
-//! | [`query`] | meta-path query engine: parser, cost-based planner, commuting-matrix cache |
-//! | [`serve`] | concurrent serving layer: request queue, micro-batcher, worker pool over one engine |
+//! | [`query`] | meta-path query engine: parser, cost-based planner, commuting-matrix cache with in-flight work dedup |
+//! | [`serve`] | concurrent serving layer: multi-dataset router, admission-controlled fair queue, worker pools |
 //! | [`clustering`] | k-means, spectral, SCAN, agglomerative + NMI/ARI/F1 |
 //! | [`rankclus`] | RankClus (EDBT'09) |
 //! | [`netclus`] | NetClus (KDD'09) |
@@ -63,10 +63,14 @@
 //! ## Serving quickstart
 //!
 //! To serve queries from many threads, wrap the dataset in a
-//! [`serve::Server`]: a request queue feeds a micro-batching dispatcher
-//! that fans out to a worker pool sharing one engine — and one sharded
-//! commuting-matrix cache, optionally bounded by a byte budget so a
-//! long-lived server's memory stays fixed while hot paths stay resident:
+//! [`serve::Server`]: an admission-controlled fair request queue (one
+//! round-robin lane per client handle, optional depth cap that sheds
+//! overload with `QueryError::Overloaded`) feeds a micro-batching
+//! dispatcher that fans out to a worker pool sharing one engine — and one
+//! sharded commuting-matrix cache, optionally bounded by a byte budget so
+//! a long-lived server's memory stays fixed, with a per-key in-flight
+//! table so concurrent misses on one product compute it once and wait
+//! many:
 //!
 //! ```
 //! use std::sync::Arc;
@@ -77,11 +81,12 @@
 //! let data = DblpConfig { n_papers: 300, seed: 7, ..Default::default() }.generate();
 //! let server = Server::start(Arc::new(data.hin), ServeConfig {
 //!     workers: 2,
+//!     queue_depth: Some(1024),               // shed, don't queue, past this
 //!     cache: CacheConfig::bounded(16 << 20), // 16 MiB across shards
 //!     ..ServeConfig::default()
 //! });
 //!
-//! // hand a cloneable handle to each client thread…
+//! // hand each client its own handle (= its own fairness lane)…
 //! let handle = server.handle();
 //! let ticket = handle.submit("topk 5 author-paper-author from author_a0_0");
 //! assert!(ticket.wait().is_ok());
@@ -95,6 +100,30 @@
 //!
 //! let stats = server.shutdown();
 //! assert_eq!(stats.served, 3);
+//! ```
+//!
+//! To serve **many datasets from one process**, front the servers with a
+//! [`serve::Router`]: datasets register and evict at runtime, each behind
+//! its own worker pool, cache budget, and admission control, and
+//! per-dataset statistics roll up into one fleet view:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hin::serve::Router;
+//! use hin::synth::DblpConfig;
+//!
+//! let router = Router::default();
+//! for (key, seed) in [("dblp-a", 7), ("dblp-b", 13)] {
+//!     let data = DblpConfig { n_papers: 200, seed, ..Default::default() }.generate();
+//!     assert!(router.register(key, Arc::new(data.hin)));
+//! }
+//! let peers = router
+//!     .submit("dblp-b", "topk 5 author-paper-author from author_a0_0")
+//!     .wait();
+//! assert!(peers.is_ok());
+//!
+//! let fleet = router.shutdown();
+//! assert_eq!(fleet.aggregate().served, 1);
 //! ```
 
 pub use hin_classify as classify;
