@@ -42,6 +42,7 @@ fn config(budget: Option<usize>) -> ServeConfig {
             shards: 4,
             byte_budget: budget,
         },
+        ..ServeConfig::default()
     }
 }
 

@@ -102,6 +102,7 @@ fn main() {
                 shards: 4,
                 byte_budget: Some(thrash_budget),
             },
+            ..ServeConfig::default()
         },
     }));
     for (key, hin) in &datasets {
@@ -169,6 +170,7 @@ fn main() {
             batch_max: 4,
             queue_depth: Some(8),
             cache: CacheConfig::bounded(thrash_budget),
+            ..ServeConfig::default()
         },
     });
     capped.register("dblp-a", Arc::clone(&datasets[0].1));
@@ -210,34 +212,29 @@ fn main() {
     let capped_stats = capped.shutdown();
     let capped_fleet = capped_stats.aggregate();
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
-    json.push_str(&format!("  \"datasets\": {},\n", datasets.len()));
-    json.push_str(&format!("  \"client_threads\": {client_threads},\n"));
-    json.push_str(&format!("  \"thrash_queries\": {},\n", queries.len()));
-    json.push_str(&format!(
-        "  \"thrash_cache_budget_bytes\": {thrash_budget},\n"
-    ));
-    json.push_str(&format!("  \"thrash_ms\": {thrash_ms:.3},\n"));
-    json.push_str(&format!("  \"thrash_qps\": {thrash_qps:.1},\n"));
-    json.push_str(&format!("  \"result_mismatches\": {mismatches},\n"));
-    json.push_str(&format!("  \"routed\": {routed},\n"));
-    json.push_str(&format!("  \"cache_misses\": {misses},\n"));
-    json.push_str(&format!("  \"cache_evictions\": {evictions},\n"));
-    json.push_str(&format!("  \"dedup_coalesced_waits\": {coalesced},\n"));
-    json.push_str(&format!("  \"dedup_hit_rate\": {dedup_hit_rate:.4},\n"));
-    json.push_str(&format!("  \"dup_concurrent_computes\": {dup},\n"));
-    json.push_str(&format!("  \"flood_total\": {flood_total},\n"));
-    json.push_str("  \"flood_queue_depth_cap\": 8,\n");
-    json.push_str(&format!("  \"flood_served\": {flood_ok},\n"));
-    json.push_str(&format!("  \"flood_shed\": {flood_shed},\n"));
-    json.push_str(&format!("  \"flood_shed_rate\": {shed_rate:.4},\n"));
-    json.push_str(&format!("  \"flood_ms\": {flood_ms:.3}\n"));
-    json.push_str("}\n");
-    print!("{json}");
-    let path = hin_bench::write_bench_json("BENCH_router.json", &json);
-    eprintln!("wrote {}", path.display());
+    let mut report = hin_bench::JsonReport::new();
+    report.set("smoke", smoke);
+    report.set("available_parallelism", cores);
+    report.set("datasets", datasets.len());
+    report.set("client_threads", client_threads);
+    report.set("thrash_queries", queries.len());
+    report.set("thrash_cache_budget_bytes", thrash_budget);
+    report.set("thrash_ms", format!("{thrash_ms:.3}"));
+    report.set("thrash_qps", format!("{thrash_qps:.1}"));
+    report.set("result_mismatches", mismatches);
+    report.set("routed", routed);
+    report.set("cache_misses", misses);
+    report.set("cache_evictions", evictions);
+    report.set("dedup_coalesced_waits", coalesced);
+    report.set("dedup_hit_rate", format!("{dedup_hit_rate:.4}"));
+    report.set("dup_concurrent_computes", dup);
+    report.set("flood_total", flood_total);
+    report.set("flood_queue_depth_cap", 8);
+    report.set("flood_served", flood_ok);
+    report.set("flood_shed", flood_shed);
+    report.set("flood_shed_rate", format!("{shed_rate:.4}"));
+    report.set("flood_ms", format!("{flood_ms:.3}"));
+    report.print_and_write("BENCH_router.json");
 
     // ── acceptance gates ─────────────────────────────────────────────────
     assert_eq!(

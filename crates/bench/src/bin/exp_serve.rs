@@ -110,52 +110,34 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
-    json.push_str(&format!("  \"workload_queries\": {},\n", queries.len()));
-    json.push_str(&format!("  \"rounds\": {rounds},\n"));
-    json.push_str(&format!("  \"cache_budget_bytes\": {budget},\n"));
-    json.push_str(&format!("  \"result_mismatches\": {mismatches},\n"));
+    let mut report = hin_bench::JsonReport::new();
+    report.set("smoke", smoke);
+    report.set("available_parallelism", cores);
+    report.set("workload_queries", queries.len());
+    report.set("rounds", rounds);
+    report.set("cache_budget_bytes", budget);
+    report.set("result_mismatches", mismatches);
     for (w, r) in &bounded {
-        json.push_str(&format!("  \"bounded_{w}w_ms\": {:.3},\n", r.ms));
-        json.push_str(&format!("  \"bounded_{w}w_qps\": {:.1},\n", r.qps));
-        json.push_str(&format!(
-            "  \"bounded_{w}w_evictions\": {},\n",
-            r.stats.cache_evictions
-        ));
-        json.push_str(&format!(
-            "  \"bounded_{w}w_cache_bytes\": {},\n",
-            r.stats.cache_bytes
-        ));
-        json.push_str(&format!(
-            "  \"bounded_{w}w_coalesced_waits\": {},\n",
-            r.stats.cache_coalesced_waits
-        ));
-        json.push_str(&format!(
-            "  \"bounded_{w}w_dup_computes\": {},\n",
-            r.stats.cache_dup_computes
-        ));
-        json.push_str(&format!(
-            "  \"bounded_{w}w_batches\": {},\n",
-            r.stats.batches
-        ));
+        report.set(&format!("bounded_{w}w_ms"), format!("{:.3}", r.ms));
+        report.set(&format!("bounded_{w}w_qps"), format!("{:.1}", r.qps));
+        report.set(&format!("bounded_{w}w_evictions"), r.stats.cache_evictions);
+        report.set(&format!("bounded_{w}w_cache_bytes"), r.stats.cache_bytes);
+        report.set(
+            &format!("bounded_{w}w_coalesced_waits"),
+            r.stats.cache_coalesced_waits,
+        );
+        report.set(
+            &format!("bounded_{w}w_dup_computes"),
+            r.stats.cache_dup_computes,
+        );
+        report.set(&format!("bounded_{w}w_batches"), r.stats.batches);
     }
-    json.push_str(&format!("  \"unbounded_4w_ms\": {:.3},\n", unbounded4.ms));
-    json.push_str(&format!("  \"unbounded_4w_qps\": {:.1},\n", unbounded4.qps));
-    json.push_str(&format!(
-        "  \"unbounded_4w_cache_bytes\": {},\n",
-        unbounded4.stats.cache_bytes
-    ));
-    json.push_str(&format!(
-        "  \"speedup_4w_vs_1w\": {:.2}\n",
-        qps4 / qps1.max(1e-9)
-    ));
-    json.push_str("}\n");
-    print!("{json}");
+    report.set("unbounded_4w_ms", format!("{:.3}", unbounded4.ms));
+    report.set("unbounded_4w_qps", format!("{:.1}", unbounded4.qps));
+    report.set("unbounded_4w_cache_bytes", unbounded4.stats.cache_bytes);
+    report.set("speedup_4w_vs_1w", format!("{:.2}", qps4 / qps1.max(1e-9)));
     // record the serving perf trajectory at the repo root (CI uploads it)
-    let path = hin_bench::write_bench_json("BENCH_serve.json", &json);
-    eprintln!("wrote {}", path.display());
+    report.print_and_write("BENCH_serve.json");
 
     let (_, four) = &bounded[2];
     assert!(

@@ -59,6 +59,52 @@ pub fn write_bench_json(file_name: &str, json: &str) -> std::path::PathBuf {
     path
 }
 
+/// The flat `"key": value` JSON object every serving experiment records —
+/// the one report writer `exp_serve`, `exp_router` and `exp_snapshot`
+/// share instead of each hand-assembling braces and trailing commas.
+///
+/// Values are rendered with `Display`, so integers and bools pass
+/// directly; pre-format floats to fix their precision
+/// (`report.set("ms", format!("{ms:.3}"))`). Keys appear in insertion
+/// order, keeping successive PRs' blobs diffable.
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one `"key": value` field (unquoted value — numbers/bools).
+    pub fn set(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.fields.push((key.to_string(), value.to_string()));
+    }
+
+    /// Render the JSON object.
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 == self.fields.len() { "" } else { "," };
+            json.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+        }
+        json.push_str("}\n");
+        json
+    }
+
+    /// Print the JSON to stdout and record it at the repository root via
+    /// [`write_bench_json`]; returns the written path.
+    pub fn print_and_write(&self, file_name: &str) -> std::path::PathBuf {
+        let json = self.to_json();
+        print!("{json}");
+        let path = write_bench_json(file_name, &json);
+        eprintln!("wrote {}", path.display());
+        path
+    }
+}
+
 /// Print a GitHub-flavoured markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("| {} |", headers.join(" | "));
@@ -189,6 +235,19 @@ pub fn term_kmeans_baseline(center_term: &Csr, k: usize, seed: u64) -> Vec<usize
 mod tests {
     use super::*;
     use hin_synth::BiNetConfig;
+
+    #[test]
+    fn json_report_renders_ordered_flat_objects() {
+        let mut r = JsonReport::new();
+        r.set("smoke", true);
+        r.set("served", 42u64);
+        r.set("qps", format!("{:.1}", 1234.5678));
+        assert_eq!(
+            r.to_json(),
+            "{\n  \"smoke\": true,\n  \"served\": 42,\n  \"qps\": 1234.6\n}\n"
+        );
+        assert_eq!(JsonReport::new().to_json(), "{\n}\n");
+    }
 
     #[test]
     fn stats_helpers() {

@@ -357,6 +357,32 @@ impl Csr {
     pub fn is_symmetric(&self) -> bool {
         self.nrows == self.ncols && *self == self.transpose()
     }
+
+    /// The raw `(indptr, indices, data)` arrays — the codec's view.
+    pub(crate) fn parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.indptr, &self.indices, &self.data)
+    }
+
+    /// Assemble from raw arrays whose invariants the caller has already
+    /// verified (the codec validates everything it decodes before calling
+    /// this).
+    pub(crate) fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        data: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), nrows + 1);
+        debug_assert_eq!(indices.len(), data.len());
+        Self {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
 }
 
 #[cfg(test)]

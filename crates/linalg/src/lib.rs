@@ -12,6 +12,9 @@
 //!   sparse×sparse products,
 //! * [`chain`] — sparse product cost model (`spmm_flops_estimate`,
 //!   `spmm_nnz_estimate`) and matrix-chain multiplication-order planning,
+//! * [`codec`] — a versioned, checksummed binary wire format for [`Csr`]
+//!   (`Csr::to_writer` / `Csr::from_reader`), the persistence boundary
+//!   cache snapshots and warm starts stand on,
 //! * [`eigen::jacobi_eigen`] — cyclic Jacobi eigendecomposition for symmetric
 //!   dense matrices,
 //! * [`lanczos::lanczos_symmetric`] — Lanczos iteration for large sparse
@@ -19,6 +22,7 @@
 //! * [`solve::solve_linear`] — Gaussian elimination with partial pivoting.
 
 pub mod chain;
+pub mod codec;
 pub mod csr;
 pub mod dense;
 pub mod eigen;

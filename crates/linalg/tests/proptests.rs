@@ -113,6 +113,34 @@ proptest! {
     }
 
     #[test]
+    fn codec_round_trip_is_byte_identical(ts in triplets(9, 40)) {
+        let m = Csr::from_triplets(9, 9, ts);
+        let mut bytes = Vec::new();
+        m.to_writer(&mut bytes).expect("vec writes cannot fail");
+        assert_eq!(bytes.len(), m.encoded_len());
+        let back = Csr::from_reader(&mut bytes.as_slice()).expect("own output decodes");
+        prop_assert_eq!(&back, &m);
+        // and re-encoding is deterministic: Csr → bytes → Csr → bytes fixed point
+        let mut again = Vec::new();
+        back.to_writer(&mut again).expect("vec writes cannot fail");
+        prop_assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn codec_rejects_any_single_byte_corruption_or_truncation(ts in triplets(5, 12),
+                                                              cut in 0usize..1000) {
+        let m = Csr::from_triplets(5, 5, ts);
+        let mut bytes = Vec::new();
+        m.to_writer(&mut bytes).expect("vec writes cannot fail");
+        // truncation anywhere is a typed error, never a panic
+        let cut = cut % bytes.len();
+        prop_assert!(Csr::from_reader(&mut &bytes[..cut]).is_err());
+        // flipping one byte is caught (magic/version/checksum/validation)
+        bytes[cut] = bytes[cut].wrapping_add(1);
+        prop_assert!(Csr::from_reader(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
     fn row_normalized_preserves_sparsity(ts in triplets(6, 20)) {
         let m = Csr::from_triplets(6, 6, ts);
         let n = m.row_normalized();

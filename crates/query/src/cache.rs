@@ -259,6 +259,8 @@ pub struct MatrixCache {
     evictions: AtomicU64,
     coalesced_waits: AtomicU64,
     dup_computes: AtomicU64,
+    warm_loaded: AtomicU64,
+    warm_rejected: AtomicU64,
 }
 
 impl Default for MatrixCache {
@@ -279,6 +281,8 @@ impl std::fmt::Debug for MatrixCache {
             .field("evictions", &self.evictions())
             .field("coalesced_waits", &self.coalesced_waits())
             .field("dup_computes", &self.dup_computes())
+            .field("warm_loaded", &self.warm_loaded())
+            .field("warm_rejected", &self.warm_rejected())
             .finish()
     }
 }
@@ -303,6 +307,8 @@ impl MatrixCache {
             evictions: AtomicU64::new(0),
             coalesced_waits: AtomicU64::new(0),
             dup_computes: AtomicU64::new(0),
+            warm_loaded: AtomicU64::new(0),
+            warm_rejected: AtomicU64::new(0),
         }
     }
 
@@ -382,6 +388,19 @@ impl MatrixCache {
         self.dup_computes.load(Ordering::Relaxed)
     }
 
+    /// Entries admitted from a snapshot import
+    /// ([`MatrixCache::import_snapshot`]). An admitted entry is priced
+    /// through the ordinary LRU, so it may still be evicted later.
+    pub fn warm_loaded(&self) -> u64 {
+        self.warm_loaded.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot entries rejected at import time because their key or
+    /// matrix dimensions did not match the dataset schema.
+    pub fn warm_rejected(&self) -> u64 {
+        self.warm_rejected.load(Ordering::Relaxed)
+    }
+
     /// Zero the counters (the stored matrices stay).
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
@@ -390,6 +409,40 @@ impl MatrixCache {
         self.evictions.store(0, Ordering::Relaxed);
         self.coalesced_waits.store(0, Ordering::Relaxed);
         self.dup_computes.store(0, Ordering::Relaxed);
+        self.warm_loaded.store(0, Ordering::Relaxed);
+        self.warm_rejected.store(0, Ordering::Relaxed);
+    }
+
+    /// Every resident entry with its recency tick, hottest first — the
+    /// traversal order snapshot export uses. Takes each shard's read lock
+    /// in turn (the same locks the serving path takes), never two at once.
+    pub(crate) fn entries_by_recency(&self) -> Vec<(PathKey, Arc<Csr>, u64)> {
+        let mut entries: Vec<(PathKey, Arc<Csr>, u64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .map
+                    .iter()
+                    .map(|(k, e)| {
+                        (
+                            k.clone(),
+                            Arc::clone(&e.value),
+                            e.last_used.load(Ordering::Relaxed),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        entries
+    }
+
+    /// Bump the warm-import counters (used by the snapshot module).
+    pub(crate) fn note_warm(&self, loaded: u64, rejected: u64) {
+        self.warm_loaded.fetch_add(loaded, Ordering::Relaxed);
+        self.warm_rejected.fetch_add(rejected, Ordering::Relaxed);
     }
 
     fn shard_of(&self, key: &[StepKey]) -> &RwLock<Shard> {
@@ -416,7 +469,9 @@ impl MatrixCache {
     }
 
     /// Store without touching the miss counter; evicts if over budget.
-    fn insert(&self, key: PathKey, value: Arc<Csr>) {
+    /// Also the snapshot-import path: a warm entry is priced through this
+    /// exact LRU, so a snapshot can never blow the cache budget.
+    pub(crate) fn insert(&self, key: PathKey, value: Arc<Csr>) {
         let bytes = value.nbytes();
         let mut shard = self
             .shard_of(&key)

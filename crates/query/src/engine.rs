@@ -12,6 +12,7 @@ use crate::error::QueryError;
 use crate::parse::{parse, Verb};
 use crate::plan::{plan_steps, PlanNode, QueryPlan};
 use crate::resolve::{resolve, ResolvedQuery};
+use crate::snapshot::{CacheSnapshot, SnapshotImport};
 
 /// Default result-size cap for verbs that don't specify one.
 const DEFAULT_LIMIT: usize = 10;
@@ -50,6 +51,11 @@ pub struct QueryOutput {
 pub struct Engine {
     hin: Arc<Hin>,
     cache: Arc<MatrixCache>,
+    /// Lazily computed [`crate::snapshot::dataset_fingerprint`] of `hin`.
+    /// The network is immutable after build, so one full-adjacency scan
+    /// serves every later snapshot/restore — a periodic checkpoint loop
+    /// must not re-hash a multi-GB dataset per tick.
+    fingerprint: std::sync::OnceLock<u64>,
 }
 
 impl Engine {
@@ -70,7 +76,16 @@ impl Engine {
         Self {
             hin,
             cache: Arc::new(MatrixCache::new(config)),
+            fingerprint: std::sync::OnceLock::new(),
         }
+    }
+
+    /// This dataset's [`crate::snapshot::dataset_fingerprint`], computed
+    /// on first use and cached for the engine's lifetime.
+    pub fn dataset_fingerprint(&self) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| crate::snapshot::dataset_fingerprint(&self.hin))
     }
 
     /// The underlying network.
@@ -86,6 +101,35 @@ impl Engine {
     /// The commuting-matrix cache (shared, thread-safe).
     pub fn cache(&self) -> &MatrixCache {
         &self.cache
+    }
+
+    /// Export the commuting-matrix cache's hottest entries, stopping at
+    /// `budget_bytes` of matrix payload (`None` = everything) — the
+    /// engine's side of warm-start and failover hand-off. The snapshot is
+    /// stamped with this dataset's
+    /// [`dataset_fingerprint`](crate::snapshot::dataset_fingerprint), so a
+    /// later [`Engine::restore`] into different (or rebuilt) data rejects
+    /// it wholesale instead of silently serving stale matrices.
+    ///
+    /// Safe to call on a live, serving engine: the export takes the same
+    /// shard read locks the query path takes, one shard at a time.
+    pub fn snapshot(&self, budget_bytes: Option<usize>) -> CacheSnapshot {
+        let mut snapshot = self.cache.export_snapshot(budget_bytes);
+        snapshot.set_fingerprint(self.dataset_fingerprint());
+        snapshot
+    }
+
+    /// Restore a snapshot into this engine's cache. Every entry is
+    /// validated against this engine's dataset schema and priced through
+    /// the ordinary LRU (a snapshot can never blow the cache budget);
+    /// outcomes are reported and recorded in
+    /// [`Engine::cache_warm_loaded`] / [`Engine::cache_warm_rejected`].
+    ///
+    /// Safe to call on a live, serving engine: admissions take the same
+    /// shard write locks an ordinary store takes.
+    pub fn restore(&self, snapshot: &CacheSnapshot) -> SnapshotImport {
+        self.cache
+            .import_validated(snapshot, &self.hin, Some(self.dataset_fingerprint()))
     }
 
     /// Parse, resolve and plan `query` without executing it — the engine's
@@ -158,6 +202,17 @@ impl Engine {
     /// in-flight table. Should be zero; see [`MatrixCache::dup_computes`].
     pub fn cache_dup_computes(&self) -> u64 {
         self.cache.dup_computes()
+    }
+
+    /// Snapshot entries admitted by [`Engine::restore`].
+    pub fn cache_warm_loaded(&self) -> u64 {
+        self.cache.warm_loaded()
+    }
+
+    /// Snapshot entries rejected by [`Engine::restore`] as not fitting
+    /// this dataset's schema.
+    pub fn cache_warm_rejected(&self) -> u64 {
+        self.cache.warm_rejected()
     }
 
     /// Number of cached matrices.
@@ -575,6 +630,74 @@ mod tests {
         let again = engine.commuting_matrix(&apa).unwrap();
         assert!(Arc::ptr_eq(&cached, &again), "second call is the same Arc");
         assert!(engine.cache_hits() >= 1);
+    }
+
+    #[test]
+    fn snapshot_restores_a_warm_cache_into_a_cold_engine() {
+        let hin = Arc::new(bib());
+        let donor = Engine::from_arc(Arc::clone(&hin));
+        let q = "pathsim author-paper-venue-paper-author from a0";
+        let want = donor.execute(q).unwrap();
+        let snap = donor.snapshot(None);
+        assert!(!snap.is_empty(), "executed queries populate the snapshot");
+
+        let cold = Engine::from_arc(Arc::clone(&hin));
+        let report = cold.restore(&snap);
+        assert_eq!(report.loaded as usize, snap.len());
+        assert_eq!(report.rejected, 0);
+        assert_eq!(cold.cache_warm_loaded() as usize, snap.len());
+
+        let got = cold.execute(q).unwrap();
+        assert_eq!(got, want, "warm engine answers byte-identically");
+        assert_eq!(
+            cold.cache_misses(),
+            0,
+            "a full snapshot leaves nothing to recompute"
+        );
+    }
+
+    #[test]
+    fn restore_into_different_data_rejects_wholesale() {
+        let donor = Engine::new(bib());
+        donor
+            .execute("pathsim author-paper-venue-paper-author from a0")
+            .unwrap();
+        let snap = donor.snapshot(None);
+        assert!(
+            snap.fingerprint().is_some(),
+            "engine snapshots carry identity"
+        );
+
+        // the same schema *shape* but different edges: per-entry dim
+        // checks can't tell, the dataset fingerprint must
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let venue = b.add_type("venue");
+        let pa = b.add_relation("written_by", paper, author);
+        let pv = b.add_relation("published_in", paper, venue);
+        b.link(pa, "p0", "a0", 1.0).unwrap();
+        b.link(pa, "p0", "a1", 2.0).unwrap(); // changed weight vs bib()
+        b.link(pa, "p1", "a1", 1.0).unwrap();
+        b.link(pa, "p2", "a2", 1.0).unwrap();
+        b.link(pv, "p0", "v0", 1.0).unwrap();
+        b.link(pv, "p1", "v0", 1.0).unwrap();
+        b.link(pv, "p2", "v1", 1.0).unwrap();
+        let other = Engine::new(b.build());
+        let report = other.restore(&snap);
+        assert!(report.fingerprint_mismatch, "rebuilt data must not pass");
+        assert_eq!(report.loaded, 0, "no stale matrix may load");
+        assert_eq!(report.rejected as usize, snap.len());
+        assert_eq!(other.cache_warm_rejected(), report.rejected);
+        // the engine stays correct — cold, but correct
+        let out = other
+            .execute("pathsim author-paper-author from a1")
+            .unwrap();
+        assert_eq!(out.items[0].0, "a0");
+        assert!(
+            other.cache_misses() > 0,
+            "served by computing, not stale cache"
+        );
     }
 
     #[test]

@@ -25,7 +25,13 @@
 //! * [`cache`] — the [`MatrixCache`] behind the engine: sharded across
 //!   independently locked segments so threads sharing one engine don't
 //!   contend, and optionally bounded by a byte budget
-//!   ([`CacheConfig`]) with LRU eviction priced by actual heap bytes.
+//!   ([`CacheConfig`]) with LRU eviction priced by actual heap bytes;
+//! * [`mod@snapshot`] — cache state as a first-class value:
+//!   [`CacheSnapshot`] exports the hottest entries (optionally under a
+//!   byte budget), restores into a replacement engine with schema
+//!   validation ([`Engine::restore`]), and round-trips through a
+//!   versioned, checksummed on-disk container — the warm-start /
+//!   failover boundary `hin-serve` builds on.
 //!
 //! Every [`Engine`] method takes `&self`, so one engine behind an `Arc`
 //! serves any number of threads; the `hin-serve` crate builds a
@@ -60,6 +66,7 @@ pub mod error;
 pub mod parse;
 pub mod plan;
 pub mod resolve;
+pub mod snapshot;
 
 pub use cache::{CacheConfig, MatrixCache};
 pub use engine::{Engine, QueryOutput};
@@ -67,3 +74,4 @@ pub use error::QueryError;
 pub use parse::{parse, ParsedQuery, PathExpr, PathSegment, Verb};
 pub use plan::{plan_steps, PlanNode, QueryPlan};
 pub use resolve::{resolve, resolve_path, ResolvedQuery};
+pub use snapshot::{dataset_fingerprint, CacheSnapshot, CodecError, SnapshotImport};

@@ -1,0 +1,660 @@
+//! Snapshot persistence for the commuting-matrix cache.
+//!
+//! Commuting matrices are expensive to materialize and endlessly
+//! reusable — the whole point of the cache — but until now that reuse
+//! died with the process: an evicted or crashed server's replacement
+//! started cold and re-paid every SpMM chain under live traffic. A
+//! [`CacheSnapshot`] is the deliberate state-out/state-in boundary that
+//! fixes this: an ordered export of `(canonical sub-path key, Csr)`
+//! entries, hottest first, that can be
+//!
+//! * handed directly to a replacement engine in-process
+//!   ([`crate::Engine::restore`] — the failover hand-off), or
+//! * serialized to disk ([`CacheSnapshot::to_writer`]) in a versioned,
+//!   checksummed container built on the [`hin_linalg::codec`] wire format
+//!   (the checkpoint path, and the seed of any future cross-process
+//!   transport).
+//!
+//! # Safety properties
+//!
+//! * **Export** walks entries hottest-first by recency tick and stops at
+//!   an optional byte budget, taking the same shard read locks the
+//!   serving path takes — no stop-the-world.
+//! * **Import** validates every key against the destination dataset's
+//!   schema (relation ids in range, steps chaining type-to-type, matrix
+//!   dims matching the endpoint node counts) and prices admitted entries
+//!   through the ordinary LRU, so a snapshot — even a hostile one — can
+//!   never blow the cache budget or plant a mis-shaped product. Outcomes
+//!   are recorded in the `warm_loaded` / `warm_rejected` counters.
+//! * **Decoding** is as paranoid as the underlying matrix codec: corrupt
+//!   or truncated containers return typed [`CodecError`]s, never panic.
+//!
+//! # Container wire format (version 1)
+//!
+//! ```text
+//! magic        4 bytes   b"HSNP"
+//! version      u32 LE    1
+//! has_fp       u8        1 = a dataset fingerprint follows, 0 = none
+//! fingerprint  u64 LE    present only when has_fp = 1
+//! count        u64 LE    number of entries
+//! entry ×count:
+//!   key_len u32 LE       number of path steps
+//!   step ×key_len:     relation id u64 LE, direction u8 (1 = forward)
+//!   matrix  one hin_linalg::codec Csr blob (self-checksummed)
+//! checksum     u64 LE    FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! The fingerprint ([`dataset_fingerprint`]) digests the full dataset —
+//! type names, node counts, relation endpoints, and every relation's
+//! adjacency bytes — so a snapshot taken from dataset *A* refuses to
+//! restore into a rebuilt or different dataset *B* even when *B*'s schema
+//! *shape* happens to match: per-entry dim checks cannot see changed edge
+//! weights, the fingerprint can. Engine-level snapshots carry one;
+//! cache-level exports (no dataset in scope) may not, and then import
+//! falls back to per-entry validation alone.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use hin_core::{Hin, RelationId};
+use hin_linalg::codec::{read_hashed, write_hashed, Fnv64};
+use hin_linalg::Csr;
+
+pub use hin_linalg::codec::CodecError;
+
+use crate::cache::{MatrixCache, PathKey, StepKey};
+
+/// The snapshot container's magic bytes.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"HSNP";
+
+/// Current snapshot container version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Longest admissible key, in steps. Real meta-paths are a handful of
+/// steps; the cap keeps a hostile `key_len` from driving allocation.
+const MAX_KEY_STEPS: u32 = 4096;
+
+/// An ordered export of cache state: `(sub-path key, commuting matrix)`
+/// entries, hottest first by recency tick.
+///
+/// Obtain one from [`crate::Engine::snapshot`] (or
+/// [`MatrixCache::export_snapshot`]); feed it to a replacement via
+/// [`crate::Engine::restore`], or persist it with
+/// [`CacheSnapshot::to_writer`] / [`CacheSnapshot::write_to_file`].
+#[derive(Clone, Default)]
+pub struct CacheSnapshot {
+    /// [`dataset_fingerprint`] of the network the entries were computed
+    /// from, when known (engine-level snapshots always set it).
+    fingerprint: Option<u64>,
+    /// Hottest first.
+    entries: Vec<(PathKey, Arc<Csr>)>,
+}
+
+impl std::fmt::Debug for CacheSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheSnapshot")
+            .field("entries", &self.len())
+            .field("bytes", &self.bytes())
+            .field("fingerprint", &self.fingerprint)
+            .finish()
+    }
+}
+
+/// Outcome of restoring a snapshot into a cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotImport {
+    /// Entries that passed schema validation and were admitted (each is
+    /// still subject to ordinary LRU eviction afterwards).
+    pub loaded: u64,
+    /// Entries rejected because their key or dimensions did not match the
+    /// destination dataset's schema — or all of them, when the snapshot's
+    /// dataset fingerprint did not match.
+    pub rejected: u64,
+    /// `true` when the snapshot carried a [`dataset_fingerprint`] that
+    /// does not match the destination dataset: the data the entries were
+    /// computed from differs (even if the schema shape matches), so every
+    /// entry was rejected wholesale — serving stale matrices silently is
+    /// the one failure mode a warm start must never have.
+    pub fingerprint_mismatch: bool,
+}
+
+/// Content fingerprint of a dataset: type names and node counts, relation
+/// names and endpoints, and every relation's forward adjacency digested
+/// through the deterministic codec encoding. Two networks with equal
+/// fingerprints hold byte-identical relation matrices, so their commuting
+/// matrices — and therefore their cache entries — are interchangeable.
+pub fn dataset_fingerprint(hin: &Hin) -> u64 {
+    /// `Write` sink that folds everything into the running hash.
+    struct HashWriter<'a>(&'a mut Fnv64);
+    impl Write for HashWriter<'_> {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.update(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let mut hash = Fnv64::new();
+    hash.update(&(hin.type_count() as u64).to_le_bytes());
+    for ty in hin.type_ids() {
+        hash.update(hin.type_name(ty).as_bytes());
+        hash.update(&[0]);
+        hash.update(&(hin.node_count(ty) as u64).to_le_bytes());
+    }
+    hash.update(&(hin.relation_count() as u64).to_le_bytes());
+    for rel in hin.relation_ids() {
+        let info = hin.relation(rel);
+        hash.update(info.name.as_bytes());
+        hash.update(&[0]);
+        hash.update(&(info.src.0 as u64).to_le_bytes());
+        hash.update(&(info.dst.0 as u64).to_le_bytes());
+        info.fwd
+            .to_writer(&mut HashWriter(&mut hash))
+            .expect("hash sink writes cannot fail");
+    }
+    hash.finish()
+}
+
+impl CacheSnapshot {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the snapshot carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resident heap bytes of the carried matrices ([`Csr::nbytes`]) —
+    /// the same pricing the cache budget uses.
+    pub fn bytes(&self) -> usize {
+        self.entries.iter().map(|(_, m)| m.nbytes()).sum()
+    }
+
+    /// The carried keys in export order (hottest first), as
+    /// `(relation id, forward)` step sequences.
+    pub fn keys(&self) -> Vec<Vec<(usize, bool)>> {
+        self.entries.iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// The [`dataset_fingerprint`] of the source dataset, when the
+    /// snapshot carries one (engine-level snapshots always do).
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
+    /// Stamp the source dataset's fingerprint (done by
+    /// [`crate::Engine::snapshot`]).
+    pub(crate) fn set_fingerprint(&mut self, fingerprint: u64) {
+        self.fingerprint = Some(fingerprint);
+    }
+
+    /// Serialize into the versioned container format (see module docs).
+    pub fn to_writer<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        let mut hash = Fnv64::new();
+        write_hashed(w, &mut hash, &SNAPSHOT_MAGIC)?;
+        write_hashed(w, &mut hash, &SNAPSHOT_VERSION.to_le_bytes())?;
+        match self.fingerprint {
+            Some(fp) => {
+                write_hashed(w, &mut hash, &[1u8])?;
+                write_hashed(w, &mut hash, &fp.to_le_bytes())?;
+            }
+            None => write_hashed(w, &mut hash, &[0u8])?,
+        }
+        write_hashed(w, &mut hash, &(self.entries.len() as u64).to_le_bytes())?;
+        let mut blob = Vec::new();
+        for (key, matrix) in &self.entries {
+            write_hashed(w, &mut hash, &(key.len() as u32).to_le_bytes())?;
+            for &(rel, fwd) in key {
+                write_hashed(w, &mut hash, &(rel as u64).to_le_bytes())?;
+                write_hashed(w, &mut hash, &[fwd as u8])?;
+            }
+            blob.clear();
+            matrix
+                .to_writer(&mut blob)
+                .expect("writes to a Vec cannot fail");
+            write_hashed(w, &mut hash, &blob)?;
+        }
+        w.write_all(&hash.finish().to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Decode a container previously written by [`CacheSnapshot::to_writer`].
+    ///
+    /// Every corruption mode — wrong magic, unknown version, truncation,
+    /// bit flips, hostile lengths — returns a typed [`CodecError`];
+    /// schema fit against a concrete dataset is checked later, at import.
+    pub fn from_reader<R: Read>(r: &mut R) -> Result<CacheSnapshot, CodecError> {
+        let mut hash = Fnv64::new();
+        let mut magic = [0u8; 4];
+        read_hashed(r, &mut hash, &mut magic)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(CodecError::BadMagic { found: magic });
+        }
+        let mut word = [0u8; 4];
+        read_hashed(r, &mut hash, &mut word)?;
+        let version = u32::from_le_bytes(word);
+        if version != SNAPSHOT_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let mut flag = [0u8; 1];
+        read_hashed(r, &mut hash, &mut flag)?;
+        let mut word8 = [0u8; 8];
+        let fingerprint = match flag[0] {
+            0 => None,
+            1 => {
+                read_hashed(r, &mut hash, &mut word8)?;
+                Some(u64::from_le_bytes(word8))
+            }
+            d => {
+                return Err(CodecError::Malformed(format!(
+                    "fingerprint flag byte {d} is neither 0 nor 1"
+                )))
+            }
+        };
+        let mut count_bytes = [0u8; 8];
+        read_hashed(r, &mut hash, &mut count_bytes)?;
+        let count = u64::from_le_bytes(count_bytes);
+
+        let mut entries = Vec::new();
+        for _ in 0..count {
+            read_hashed(r, &mut hash, &mut word)?;
+            let key_len = u32::from_le_bytes(word);
+            if key_len == 0 || key_len > MAX_KEY_STEPS {
+                return Err(CodecError::Malformed(format!(
+                    "snapshot key length {key_len} outside 1..={MAX_KEY_STEPS}"
+                )));
+            }
+            let mut key: PathKey = Vec::with_capacity(key_len as usize);
+            let mut step = [0u8; 9];
+            for _ in 0..key_len {
+                read_hashed(r, &mut hash, &mut step)?;
+                let rel = u64::from_le_bytes(step[0..8].try_into().expect("8 bytes"));
+                let rel = usize::try_from(rel).map_err(|_| CodecError::DimOverflow {
+                    field: "relation id",
+                    value: rel,
+                })?;
+                let fwd = match step[8] {
+                    0 => false,
+                    1 => true,
+                    d => {
+                        return Err(CodecError::Malformed(format!(
+                            "step direction byte {d} is neither 0 nor 1"
+                        )))
+                    }
+                };
+                key.push((rel, fwd));
+            }
+            // The matrix blob is self-checksummed; tee its bytes into the
+            // container hash as the inner decoder consumes them.
+            let mut tee = Tee {
+                inner: r,
+                hash: &mut hash,
+            };
+            let matrix = Csr::from_reader(&mut tee)?;
+            entries.push((key, Arc::new(matrix)));
+        }
+
+        let mut stored = [0u8; 8];
+        hin_linalg::codec::read_exact_or_truncated(r, &mut stored)?;
+        let stored = u64::from_le_bytes(stored);
+        let computed = hash.finish();
+        if stored != computed {
+            return Err(CodecError::ChecksumMismatch { stored, computed });
+        }
+        Ok(CacheSnapshot {
+            fingerprint,
+            entries,
+        })
+    }
+
+    /// [`CacheSnapshot::to_writer`] to a (buffered) file.
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), CodecError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.to_writer(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// [`CacheSnapshot::from_reader`] from a (buffered) file.
+    pub fn read_from_file(path: impl AsRef<Path>) -> Result<CacheSnapshot, CodecError> {
+        CacheSnapshot::from_reader(&mut BufReader::new(File::open(path)?))
+    }
+}
+
+/// Reader adapter folding everything the inner decoder consumes into the
+/// container checksum.
+struct Tee<'a, R: Read> {
+    inner: &'a mut R,
+    hash: &'a mut Fnv64,
+}
+
+impl<R: Read> Read for Tee<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+/// The `(rows, cols)` a commuting matrix over `key` must have in `hin`'s
+/// schema, or `None` when the key does not fit the schema at all (relation
+/// id out of range, or consecutive steps that don't chain type-to-type).
+fn expected_dims(hin: &Hin, key: &[StepKey]) -> Option<(usize, usize)> {
+    let endpoints = |&(rel, fwd): &StepKey| {
+        if rel >= hin.relation_count() {
+            return None;
+        }
+        let info = hin.relation(RelationId(rel));
+        Some(if fwd {
+            (info.src, info.dst)
+        } else {
+            (info.dst, info.src)
+        })
+    };
+    let (first, rest) = key.split_first()?;
+    let (start, mut at) = endpoints(first)?;
+    for step in rest {
+        let (src, dst) = endpoints(step)?;
+        if src != at {
+            return None;
+        }
+        at = dst;
+    }
+    Some((hin.node_count(start), hin.node_count(at)))
+}
+
+impl MatrixCache {
+    /// Export resident entries hottest-first by recency tick, stopping at
+    /// `budget_bytes` of matrix payload (`None` = everything). Takes the
+    /// same shard read locks the serving path takes, one at a time — a
+    /// live server can be snapshotted without stalling its workers.
+    ///
+    /// The walk stops at the first entry that would exceed the budget
+    /// (rather than skipping ahead to smaller, colder entries), so the
+    /// exported prefix is exactly the hottest slice of the cache.
+    pub fn export_snapshot(&self, budget_bytes: Option<usize>) -> CacheSnapshot {
+        let mut entries = Vec::new();
+        let mut total = 0usize;
+        for (key, matrix, _tick) in self.entries_by_recency() {
+            let cost = matrix.nbytes();
+            if let Some(budget) = budget_bytes {
+                if total + cost > budget {
+                    break;
+                }
+            }
+            total += cost;
+            entries.push((key, matrix));
+        }
+        CacheSnapshot {
+            fingerprint: None,
+            entries,
+        }
+    }
+
+    /// Restore a snapshot into this cache, validating every entry against
+    /// `hin`'s schema and pricing admissions through the ordinary LRU (so
+    /// the byte budget holds no matter what the snapshot claims).
+    ///
+    /// When the snapshot carries a [`dataset_fingerprint`] that does not
+    /// match `hin`, **every** entry is rejected
+    /// ([`SnapshotImport::fingerprint_mismatch`]): the entries were
+    /// computed from different data, and per-entry dim checks cannot tell
+    /// a stale matrix from a fresh one. A snapshot without a fingerprint
+    /// (cache-level export) falls back to per-entry validation alone.
+    ///
+    /// Entries are inserted coldest-first so the snapshot's hottest
+    /// entries carry the newest recency ticks — a bounded cache keeps the
+    /// hot prefix and sheds the cold tail, matching export order.
+    /// Outcomes land in the [`MatrixCache::warm_loaded`] /
+    /// [`MatrixCache::warm_rejected`] counters and the returned report.
+    pub fn import_snapshot(&self, snapshot: &CacheSnapshot, hin: &Hin) -> SnapshotImport {
+        self.import_validated(snapshot, hin, None)
+    }
+
+    /// [`MatrixCache::import_snapshot`] with the destination's fingerprint
+    /// already known (`None` = compute it here). `Engine` caches the
+    /// fingerprint for its lifetime and passes it in, so repeated restores
+    /// don't re-hash the whole dataset.
+    pub(crate) fn import_validated(
+        &self,
+        snapshot: &CacheSnapshot,
+        hin: &Hin,
+        known_fingerprint: Option<u64>,
+    ) -> SnapshotImport {
+        let mut report = SnapshotImport::default();
+        if snapshot
+            .fingerprint
+            .is_some_and(|fp| fp != known_fingerprint.unwrap_or_else(|| dataset_fingerprint(hin)))
+        {
+            report.rejected = snapshot.len() as u64;
+            report.fingerprint_mismatch = true;
+            self.note_warm(0, report.rejected);
+            return report;
+        }
+        for (key, matrix) in snapshot.entries.iter().rev() {
+            let fits = expected_dims(hin, key)
+                .is_some_and(|(rows, cols)| matrix.nrows() == rows && matrix.ncols() == cols);
+            if fits {
+                self.insert(key.clone(), Arc::clone(matrix));
+                report.loaded += 1;
+            } else {
+                report.rejected += 1;
+            }
+        }
+        self.note_warm(report.loaded, report.rejected);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use hin_core::HinBuilder;
+
+    /// papers p0{a0,a1}@v0, p1{a1}@v0, p2{a2}@v1 — the metapath fixture.
+    fn bib() -> Hin {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let venue = b.add_type("venue");
+        let pa = b.add_relation("written_by", paper, author);
+        let pv = b.add_relation("published_in", paper, venue);
+        b.link(pa, "p0", "a0", 1.0).unwrap();
+        b.link(pa, "p0", "a1", 1.0).unwrap();
+        b.link(pa, "p1", "a1", 1.0).unwrap();
+        b.link(pa, "p2", "a2", 1.0).unwrap();
+        b.link(pv, "p0", "v0", 1.0).unwrap();
+        b.link(pv, "p1", "v0", 1.0).unwrap();
+        b.link(pv, "p2", "v1", 1.0).unwrap();
+        b.build()
+    }
+
+    /// The written_by forward adjacency (3 papers × 3 authors).
+    fn pa_matrix(hin: &Hin) -> Arc<Csr> {
+        Arc::new(hin.relation(RelationId(0)).fwd.clone())
+    }
+
+    #[test]
+    fn export_orders_hottest_first_and_respects_the_budget() {
+        let hin = bib();
+        let m = pa_matrix(&hin);
+        let per_entry = m.nbytes();
+        let cache = MatrixCache::new(CacheConfig {
+            shards: 1,
+            byte_budget: None,
+        });
+        cache.put(vec![(0, true)], Arc::clone(&m));
+        cache.put(vec![(0, false)], Arc::clone(&m));
+        cache.put(vec![(1, true)], Arc::clone(&m));
+        // touch (0,true) so it is hottest
+        assert!(cache.get(&[(0, true)]).is_some());
+
+        let all = cache.export_snapshot(None);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all.bytes(), 3 * per_entry);
+        assert_eq!(
+            all.keys()[0],
+            vec![(0, true)],
+            "hottest entry exported first"
+        );
+
+        let budgeted = cache.export_snapshot(Some(per_entry));
+        assert_eq!(budgeted.len(), 1, "budget admits exactly one entry");
+        assert_eq!(budgeted.keys()[0], vec![(0, true)]);
+
+        assert!(cache.export_snapshot(Some(0)).is_empty());
+    }
+
+    #[test]
+    fn container_round_trips_and_rejects_corruption() {
+        let hin = bib();
+        let cache = MatrixCache::default();
+        cache.put(vec![(0, true)], pa_matrix(&hin));
+        cache.put(vec![(1, true), (1, false)], pa_matrix(&hin));
+        let snap = cache.export_snapshot(None);
+
+        let mut bytes = Vec::new();
+        snap.to_writer(&mut bytes).expect("vec writes cannot fail");
+        let back = CacheSnapshot::from_reader(&mut bytes.as_slice()).expect("round trip");
+        assert_eq!(back.len(), snap.len());
+        assert_eq!(back.keys(), snap.keys());
+        assert_eq!(back.bytes(), snap.bytes());
+
+        // wrong magic
+        let mut bad = bytes.clone();
+        bad[0] = b'Z';
+        assert!(matches!(
+            CacheSnapshot::from_reader(&mut bad.as_slice()),
+            Err(CodecError::BadMagic { .. })
+        ));
+        // truncation anywhere is an error, never a panic
+        for cut in 0..bytes.len() {
+            assert!(CacheSnapshot::from_reader(&mut &bytes[..cut]).is_err());
+        }
+        // a payload bit flip is caught by a checksum (inner or outer)
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(CacheSnapshot::from_reader(&mut flipped.as_slice()).is_err());
+    }
+
+    #[test]
+    fn import_validates_against_the_schema() {
+        let hin = bib();
+        let donor = MatrixCache::default();
+        donor.put(vec![(0, true)], pa_matrix(&hin)); // fits: paper→author is 3×3
+        donor.put(vec![(7, true)], pa_matrix(&hin)); // relation id out of range
+        donor.put(vec![(0, true), (1, true)], pa_matrix(&hin)); // doesn't chain
+        donor.put(vec![(1, true)], pa_matrix(&hin)); // paper→venue is 3×2, blob is 3×3
+        let snap = donor.export_snapshot(None);
+        assert_eq!(snap.len(), 4);
+
+        let cache = MatrixCache::default();
+        let report = cache.import_snapshot(&snap, &hin);
+        assert_eq!(
+            report,
+            SnapshotImport {
+                loaded: 1,
+                rejected: 3,
+                fingerprint_mismatch: false
+            }
+        );
+        assert_eq!(cache.warm_loaded(), 1);
+        assert_eq!(cache.warm_rejected(), 3);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&[(0, true)]).is_some());
+        assert_eq!(cache.misses(), 0, "warm loads are not misses");
+    }
+
+    #[test]
+    fn import_prices_through_the_lru_and_keeps_the_hot_prefix() {
+        let hin = bib();
+        let m = pa_matrix(&hin);
+        let per_entry = m.nbytes();
+        let donor = MatrixCache::new(CacheConfig {
+            shards: 1,
+            byte_budget: None,
+        });
+        // three schema-valid keys over written_by (all 3×3 in `bib`)
+        donor.put(vec![(0, true)], Arc::clone(&m));
+        donor.put(vec![(0, false)], Arc::clone(&m));
+        donor.put(vec![(0, true), (0, false)], Arc::clone(&m));
+        // heat ranking: the round trip hottest, then (0,false), then (0,true)
+        assert!(donor.get(&[(0, false)]).is_some());
+        assert!(donor.get(&[(0, true), (0, false)]).is_some());
+        let snap = donor.export_snapshot(None);
+
+        // a destination that only fits one entry keeps the hottest one
+        let cache = MatrixCache::new(CacheConfig {
+            shards: 1,
+            byte_budget: Some(per_entry),
+        });
+        let report = cache.import_snapshot(&snap, &hin);
+        assert_eq!(report.loaded, 3, "all entries fit the schema");
+        assert_eq!(cache.len(), 1, "LRU enforces the budget during import");
+        assert!(cache.bytes() <= per_entry);
+        assert!(
+            cache.get(&[(0, true), (0, false)]).is_some(),
+            "the snapshot's hottest entry survives the budget squeeze"
+        );
+    }
+
+    #[test]
+    fn fingerprint_round_trips_and_gates_imports() {
+        let hin = bib();
+        let fp = dataset_fingerprint(&hin);
+        assert_eq!(fp, dataset_fingerprint(&bib()), "deterministic");
+
+        let cache = MatrixCache::default();
+        cache.put(vec![(0, true)], pa_matrix(&hin));
+        let mut snap = cache.export_snapshot(None);
+        assert_eq!(
+            snap.fingerprint(),
+            None,
+            "cache-level export has no identity"
+        );
+        snap.set_fingerprint(fp);
+
+        // the fingerprint survives the container round trip
+        let mut bytes = Vec::new();
+        snap.to_writer(&mut bytes).expect("vec writes cannot fail");
+        let back = CacheSnapshot::from_reader(&mut bytes.as_slice()).expect("round trip");
+        assert_eq!(back.fingerprint(), Some(fp));
+
+        // matching fingerprint: entries load as usual
+        let dst = MatrixCache::default();
+        let ok = dst.import_snapshot(&back, &hin);
+        assert_eq!(ok.loaded, 1);
+        assert!(!ok.fingerprint_mismatch);
+
+        // mismatched fingerprint: wholesale rejection, nothing admitted —
+        // even though every entry would pass per-entry dim validation
+        let mut stale = back.clone();
+        stale.set_fingerprint(fp ^ 1);
+        let dst = MatrixCache::default();
+        let bad = dst.import_snapshot(&stale, &hin);
+        assert!(bad.fingerprint_mismatch);
+        assert_eq!((bad.loaded, bad.rejected), (0, 1));
+        assert_eq!(dst.len(), 0);
+        assert_eq!(dst.warm_rejected(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips_and_imports_cleanly() {
+        let snap = CacheSnapshot::default();
+        let mut bytes = Vec::new();
+        snap.to_writer(&mut bytes).expect("vec writes cannot fail");
+        let back = CacheSnapshot::from_reader(&mut bytes.as_slice()).expect("empty container");
+        assert!(back.is_empty());
+        let cache = MatrixCache::default();
+        let report = cache.import_snapshot(&back, &bib());
+        assert_eq!(report, SnapshotImport::default());
+    }
+}

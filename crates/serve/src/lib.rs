@@ -60,6 +60,15 @@
 //!   on that request's ticket and never take a worker down.
 //! * **Bounded waits** — [`Ticket::wait_timeout`] puts a deadline on any
 //!   result instead of blocking forever on a wedged request.
+//! * **Snapshot / warm start** — commuting matrices outlive the server
+//!   that computed them: [`Router::evict`] drains a dataset and hands its
+//!   cache back as a [`CacheSnapshot`](hin_query::CacheSnapshot)
+//!   ([`Evicted`]), [`Router::register_warm`] (or
+//!   [`ServeConfig::warm_start`]) restores one into a replacement before
+//!   it takes traffic, and [`Router::checkpoint`] persists every live
+//!   dataset's cache to disk in a versioned, checksummed binary container
+//!   (`hin-linalg`'s codec) — so failover costs a restore, not a
+//!   re-computation of every hot SpMM chain under live load.
 //!
 //! # Quickstart
 //!
@@ -117,5 +126,5 @@ mod queue;
 mod router;
 mod server;
 
-pub use router::{Router, RouterConfig, RouterStats};
+pub use router::{Evicted, Router, RouterConfig, RouterStats};
 pub use server::{ServeConfig, Server, ServerHandle, ServerStats, Ticket};

@@ -190,6 +190,22 @@ impl<T> FairQueue<T> {
             .unwrap_or_else(PoisonError::into_inner)
             .queued
     }
+
+    /// Per-lane queue depths `(client id, queued)`, sorted by client id
+    /// (for observability; racy by nature). Empty lanes are dropped from
+    /// the map on drain, so every listed lane has at least one request —
+    /// this is the signal adaptive admission needs to see *whose* backlog
+    /// the queue is carrying.
+    pub(crate) fn lane_depths(&self) -> Vec<(u64, usize)> {
+        let guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut depths: Vec<(u64, usize)> = guard
+            .lanes
+            .iter()
+            .map(|(&client, lane)| (client, lane.len()))
+            .collect();
+        depths.sort_unstable_by_key(|&(client, _)| client);
+        depths
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +277,21 @@ mod tests {
         assert_eq!(q.push(2, "b"), Push::Displaced("a"));
         assert_eq!(q.depth(), 1);
         assert_eq!(q.pop_batch(4), vec!["b"], "emptied lane left the rotation");
+    }
+
+    #[test]
+    fn lane_depths_report_per_client_backlog() {
+        let q = FairQueue::new(None);
+        assert!(q.lane_depths().is_empty());
+        for i in 0..3 {
+            q.push(9, i);
+        }
+        q.push(2, 100);
+        assert_eq!(q.lane_depths(), vec![(2, 1), (9, 3)]);
+        assert_eq!(q.depth(), 4);
+        // draining a lane empty removes it from the report
+        let _ = q.pop_batch(2); // takes one from each lane, round-robin
+        assert_eq!(q.lane_depths(), vec![(9, 2)]);
     }
 
     #[test]

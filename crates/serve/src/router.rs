@@ -28,11 +28,12 @@
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, RandomState};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 use hin_core::Hin;
-use hin_query::{QueryError, QueryOutput};
+use hin_query::{CacheSnapshot, CodecError, QueryError, QueryOutput};
 
 use crate::server::{ServeConfig, Server, ServerHandle, ServerStats, Ticket};
 
@@ -40,7 +41,7 @@ use crate::server::{ServeConfig, Server, ServerHandle, ServerStats, Ticket};
 type Stripe = RwLock<HashMap<String, Arc<Server>>>;
 
 /// Sizing knobs for a [`Router`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RouterConfig {
     /// Lock stripes the dataset map is hashed across; rounded up to a
     /// power of two, minimum 1. Registration/eviction on one stripe never
@@ -59,6 +60,43 @@ impl Default for RouterConfig {
             serve: ServeConfig::default(),
         }
     }
+}
+
+/// What [`Router::evict`] hands back: the drained server's final
+/// statistics and its cache as a snapshot, ready for a replacement's warm
+/// start ([`Router::register_warm`]).
+#[derive(Debug)]
+pub struct Evicted {
+    /// Final lifetime statistics of the drained server.
+    pub stats: ServerStats,
+    /// The drained cache, hottest entries first.
+    pub snapshot: CacheSnapshot,
+}
+
+/// `<key>` made filesystem-safe for checkpoint file names.
+fn sanitize_key(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Stable FNV-1a 64 digest of a dataset key — the disambiguator appended
+/// to checkpoint file names when two keys sanitize identically. Key-only
+/// (no random seed), so the name for a given key set is the same across
+/// processes and restarts.
+fn key_digest(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Aggregated router statistics: per-dataset [`ServerStats`] plus routing
@@ -125,18 +163,53 @@ impl Router {
     /// serving config. Returns `false` (and starts nothing) if the key is
     /// already registered — evict first to replace a dataset.
     pub fn register(&self, key: impl Into<String>, hin: Arc<Hin>) -> bool {
-        self.register_with(key, hin, self.serve)
+        self.register_with(key, hin, self.serve.clone())
+    }
+
+    /// Register a replacement that takes traffic **warm**: the snapshot
+    /// (typically [`Evicted::snapshot`] from the predecessor, or one read
+    /// back from a [`Router::checkpoint`] file) is restored into the new
+    /// server's cache before it serves its first query. Uses the router's
+    /// default serving config; use [`Router::register_with`] and
+    /// [`ServeConfig::warm_start`] to override sizing per dataset.
+    ///
+    /// Returns the restore outcome on success (`None` = the key was
+    /// already registered, nothing started). **Check `loaded`**: a report
+    /// with `loaded == 0` (wrong snapshot for this dataset, or a
+    /// [`fingerprint mismatch`](hin_query::SnapshotImport::fingerprint_mismatch))
+    /// means the server registered but is effectively cold.
+    pub fn register_warm(
+        &self,
+        key: impl Into<String>,
+        hin: Arc<Hin>,
+        snapshot: CacheSnapshot,
+    ) -> Option<hin_query::SnapshotImport> {
+        let config = ServeConfig {
+            warm_start: Some(Arc::new(snapshot)),
+            ..self.serve.clone()
+        };
+        let server = self.register_server(key.into(), hin, config)?;
+        Some(server.warm_import().unwrap_or_default())
     }
 
     /// [`Router::register`] with a per-dataset serving configuration
-    /// (worker count, queue depth, cache budget).
+    /// (worker count, queue depth, cache budget, warm start).
     pub fn register_with(
         &self,
         key: impl Into<String>,
         hin: Arc<Hin>,
         config: ServeConfig,
     ) -> bool {
-        let key = key.into();
+        self.register_server(key.into(), hin, config).is_some()
+    }
+
+    /// Start and register a server, returning a handle to it on success.
+    fn register_server(
+        &self,
+        key: String,
+        hin: Arc<Hin>,
+        config: ServeConfig,
+    ) -> Option<Arc<Server>> {
         // Refuse duplicates cheaply, then build the server (engine
         // construction + thread spawning) with no lock held — holding the
         // stripe write lock through Server::start would stall routing for
@@ -147,7 +220,7 @@ impl Router {
             .unwrap_or_else(PoisonError::into_inner)
             .contains_key(&key)
         {
-            return false;
+            return None;
         }
         let server = Arc::new(Server::start(hin, config));
         {
@@ -158,8 +231,8 @@ impl Router {
             match stripe.entry(key) {
                 MapEntry::Occupied(_) => {} // lost a registration race
                 MapEntry::Vacant(slot) => {
-                    slot.insert(server);
-                    return true;
+                    slot.insert(Arc::clone(&server));
+                    return Some(server);
                 }
             }
         }
@@ -168,12 +241,14 @@ impl Router {
         if let Ok(server) = Arc::try_unwrap(server) {
             let _ = server.shutdown();
         }
-        false
+        None
     }
 
     /// Tear down `key`'s server: unregister it, drain its in-flight
-    /// queries, and return its final statistics. `None` if the key was
-    /// not registered. Handles already given out for this dataset get
+    /// queries, and return its final statistics **plus a snapshot of its
+    /// drained cache** — everything the dataset's traffic warmed, ready to
+    /// hand a replacement via [`Router::register_warm`]. `None` if the key
+    /// was not registered. Handles already given out for this dataset get
     /// [`QueryError::Canceled`] on their next submit.
     ///
     /// Blocks until the drain completes — on *this* thread. Concurrent
@@ -182,7 +257,7 @@ impl Router {
     /// the server's internals, not the server), so eviction spins those
     /// transient clones out rather than ever letting a client's clone be
     /// the last owner and run the blocking join inline in `submit`.
-    pub fn evict(&self, key: &str) -> Option<ServerStats> {
+    pub fn evict(&self, key: &str) -> Option<Evicted> {
         let mut server = self
             .stripe_of(key)
             .write()
@@ -190,13 +265,58 @@ impl Router {
             .remove(key)?;
         loop {
             match Arc::try_unwrap(server) {
-                Ok(server) => return Some(server.shutdown()),
+                Ok(server) => {
+                    let (stats, snapshot) = server.retire(None);
+                    return Some(Evicted { stats, snapshot });
+                }
                 Err(still_shared) => {
                     server = still_shared;
                     std::thread::yield_now();
                 }
             }
         }
+    }
+
+    /// Snapshot every registered dataset's cache to `dir` (created if
+    /// missing), one file per dataset — the periodic checkpoint that makes
+    /// a crash (not just a graceful evict) recoverable warm. Servers stay
+    /// live throughout: each snapshot takes the same shard read locks the
+    /// serving path takes.
+    ///
+    /// Files are named `<sanitized key>-<key digest>.hinsnap`:
+    /// sanitization maps anything outside `[A-Za-z0-9._-]` to `_` for
+    /// readability, and the stable FNV digest of the *raw* key makes the
+    /// name a pure function of the key — two keys that sanitize
+    /// identically (`"dblp/full"` vs `"dblp full"`) never clobber each
+    /// other's recovery file, and a dataset's filename never changes with
+    /// the rest of the registered set. Each file is written to a `.tmp`
+    /// sibling and atomically renamed into place, so a crash mid-write
+    /// leaves the previous good checkpoint intact — the exact failure a
+    /// checkpoint exists to survive. Returns the `(dataset key, file
+    /// path)` pairs written. Read one back with
+    /// [`hin_query::CacheSnapshot::read_from_file`] and hand it to
+    /// [`Router::register_warm`].
+    pub fn checkpoint(&self, dir: impl AsRef<Path>) -> Result<Vec<(String, PathBuf)>, CodecError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for key in self.datasets() {
+            // a concurrent evict may have removed the key; skip, don't fail
+            let Some(server) = self.server(&key) else {
+                continue;
+            };
+            let snapshot = server.snapshot(None);
+            let path = dir.join(format!(
+                "{}-{:016x}.hinsnap",
+                sanitize_key(&key),
+                key_digest(&key)
+            ));
+            let tmp = path.with_extension("hinsnap.tmp");
+            snapshot.write_to_file(&tmp)?;
+            std::fs::rename(&tmp, &path)?;
+            written.push((key, path));
+        }
+        Ok(written)
     }
 
     /// Is a dataset registered under `key`?
@@ -315,8 +435,8 @@ impl Router {
     pub fn shutdown(self) -> RouterStats {
         let mut datasets = Vec::new();
         for key in self.datasets() {
-            if let Some(stats) = self.evict(&key) {
-                datasets.push((key, stats));
+            if let Some(evicted) = self.evict(&key) {
+                datasets.push((key, evicted.stats));
             }
         }
         datasets.sort_unstable_by(|a, b| a.0.cmp(&b.0));
@@ -389,8 +509,12 @@ mod tests {
             .wait();
         assert!(ok.is_ok());
 
-        let stats = router.evict("d").expect("was registered");
-        assert_eq!(stats.served, 1);
+        let evicted = router.evict("d").expect("was registered");
+        assert_eq!(evicted.stats.served, 1);
+        assert!(
+            !evicted.snapshot.is_empty(),
+            "the served query's products come back in the snapshot"
+        );
         assert!(!router.contains("d"));
         assert!(router.evict("d").is_none(), "second evict is a no-op");
 
@@ -418,6 +542,103 @@ mod tests {
             handle.submit("pathsim author-paper-author from ann").wait(),
             Err(QueryError::Canceled)
         ));
+    }
+
+    #[test]
+    fn evicted_snapshot_warms_the_replacement() {
+        let hin = tiny(&[("p0", "ann"), ("p0", "bo"), ("p1", "bo")]);
+        let router = Router::default();
+        router.register("d", Arc::clone(&hin));
+        let q = "pathsim author-paper-author from ann";
+        let want = router.submit("d", q).wait().unwrap();
+
+        let evicted = router.evict("d").expect("registered");
+        let report = router
+            .register_warm("d", hin, evicted.snapshot)
+            .expect("key free after evict");
+        assert!(report.loaded > 0, "hand-off restored entries: {report:?}");
+        assert!(!report.fingerprint_mismatch, "same dataset, same data");
+        let got = router.submit("d", q).wait().unwrap();
+        assert_eq!(got, want, "warm replacement answers byte-identically");
+
+        let stats = router.stats();
+        let (_, d) = &stats.datasets[0];
+        assert!(d.cache_warm_loaded > 0, "warm start admitted entries");
+        assert_eq!(
+            d.cache_misses, 0,
+            "the warm replacement recomputed nothing for a repeated query"
+        );
+    }
+
+    #[test]
+    fn checkpoint_files_restore_a_dataset_warm() {
+        let dir = std::env::temp_dir().join(format!(
+            "hin-router-checkpoint-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let hin = tiny(&[("p0", "ann"), ("p0", "bo")]);
+        let router = Router::default();
+        router.register("dblp/full", Arc::clone(&hin));
+        let q = "pathsim author-paper-author from ann";
+        let want = router.submit("dblp/full", q).wait().unwrap();
+
+        let written = router.checkpoint(&dir).expect("checkpoint writes");
+        assert_eq!(written.len(), 1);
+        assert_eq!(written[0].0, "dblp/full");
+        let name = written[0].1.file_name().and_then(|n| n.to_str()).unwrap();
+        assert!(
+            name.starts_with("dblp_full-") && name.ends_with(".hinsnap"),
+            "sanitized key + stable digest: {name}"
+        );
+        // the name is a pure function of the key: a second checkpoint
+        // atomically replaces the same file
+        let again = router.checkpoint(&dir).expect("re-checkpoint");
+        assert_eq!(again[0].1, written[0].1);
+        assert!(
+            !written[0].1.with_extension("hinsnap.tmp").exists(),
+            "temp file renamed away"
+        );
+
+        let snap = hin_query::CacheSnapshot::read_from_file(&written[0].1).expect("read back");
+        assert!(!snap.is_empty());
+        assert!(snap.fingerprint().is_some(), "checkpoints carry identity");
+        router.evict("dblp/full");
+        let report = router
+            .register_warm("dblp/full", hin, snap)
+            .expect("key free after evict");
+        assert!(report.loaded > 0);
+        assert_eq!(router.submit("dblp/full", q).wait().unwrap(), want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn colliding_checkpoint_names_are_disambiguated_not_clobbered() {
+        let dir = std::env::temp_dir().join(format!(
+            "hin-router-collide-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let router = Router::default();
+        // both keys sanitize to "dblp_full"
+        router.register("dblp/full", tiny(&[("p0", "ann"), ("p0", "bo")]));
+        router.register("dblp full", tiny(&[("q0", "cy"), ("q0", "di")]));
+        for key in ["dblp/full", "dblp full"] {
+            router
+                .submit(key, "pathsim author-paper-author from ann")
+                .wait()
+                .ok();
+        }
+        let written = router.checkpoint(&dir).expect("checkpoint");
+        assert_eq!(written.len(), 2);
+        assert_ne!(
+            written[0].1, written[1].1,
+            "colliding keys must not share a checkpoint file"
+        );
+        for (_, path) in &written {
+            assert!(path.exists(), "{} written", path.display());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

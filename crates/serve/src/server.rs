@@ -8,12 +8,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hin_core::Hin;
-use hin_query::{CacheConfig, Engine, QueryError, QueryOutput};
+use hin_query::{CacheConfig, CacheSnapshot, Engine, QueryError, QueryOutput, SnapshotImport};
 
 use crate::queue::{FairQueue, Push};
 
 /// Sizing knobs for a [`Server`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Worker threads sharing the engine. Default: available parallelism,
     /// capped at 8.
@@ -32,6 +32,13 @@ pub struct ServeConfig {
     pub queue_depth: Option<usize>,
     /// Commuting-matrix cache sizing (shards, byte budget).
     pub cache: CacheConfig,
+    /// Warm start: a cache snapshot restored into the engine *before* the
+    /// server takes traffic, so a replacement re-takes a failed-over
+    /// dataset warm instead of re-paying every SpMM chain under load.
+    /// Entries are schema-validated and priced through the cache's LRU
+    /// (see [`hin_query::Engine::restore`]); `None` (the default) starts
+    /// cold.
+    pub warm_start: Option<Arc<CacheSnapshot>>,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +50,7 @@ impl Default for ServeConfig {
             batch_max: 32,
             queue_depth: None,
             cache: CacheConfig::default(),
+            warm_start: None,
         }
     }
 }
@@ -73,7 +81,7 @@ struct Shared {
 }
 
 /// A snapshot of a server's lifetime statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ServerStats {
     /// Queries answered (ok or error).
     pub served: u64,
@@ -88,6 +96,14 @@ pub struct ServerStats {
     pub max_batch: u64,
     /// Worker threads.
     pub workers: usize,
+    /// Requests queued awaiting dispatch at the moment of the stats call
+    /// (racy by nature).
+    pub queue_depth: usize,
+    /// Per-lane queue depths at the moment of the stats call, as
+    /// `(client lane id, queued requests)` sorted by lane id — the
+    /// observability adaptive admission needs: it shows *who* the queued
+    /// work belongs to, not just how much there is.
+    pub lane_depths: Vec<(u64, usize)>,
     /// Cache: products served from cache.
     pub cache_hits: u64,
     /// Cache: the subset of hits served by transposing a reversed path.
@@ -102,6 +118,11 @@ pub struct ServerStats {
     /// Cache: duplicate concurrent computations of one key that slipped
     /// past the in-flight table (should stay 0).
     pub cache_dup_computes: u64,
+    /// Cache: snapshot entries admitted at warm start / restore.
+    pub cache_warm_loaded: u64,
+    /// Cache: snapshot entries rejected at warm start as not fitting this
+    /// dataset's schema.
+    pub cache_warm_rejected: u64,
     /// Cache: resident entries.
     pub cache_len: usize,
     /// Cache: resident bytes.
@@ -110,9 +131,13 @@ pub struct ServerStats {
 
 impl ServerStats {
     /// Element-wise sum, for rolling shard snapshots up into a fleet view
-    /// (`workers` adds; gauges `cache_len`/`cache_bytes` add across
-    /// disjoint caches; `max_batch` takes the max).
+    /// (`workers` adds; gauges `queue_depth`/`cache_len`/`cache_bytes` add
+    /// across disjoint servers; `max_batch` takes the max; `lane_depths`
+    /// concatenates — lane ids are per-server, so the fleet view simply
+    /// lists every lane).
     pub fn merge(&self, other: &ServerStats) -> ServerStats {
+        let mut lane_depths = self.lane_depths.clone();
+        lane_depths.extend(other.lane_depths.iter().copied());
         ServerStats {
             served: self.served + other.served,
             errors: self.errors + other.errors,
@@ -120,12 +145,16 @@ impl ServerStats {
             batches: self.batches + other.batches,
             max_batch: self.max_batch.max(other.max_batch),
             workers: self.workers + other.workers,
+            queue_depth: self.queue_depth + other.queue_depth,
+            lane_depths,
             cache_hits: self.cache_hits + other.cache_hits,
             cache_symmetry_hits: self.cache_symmetry_hits + other.cache_symmetry_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             cache_evictions: self.cache_evictions + other.cache_evictions,
             cache_coalesced_waits: self.cache_coalesced_waits + other.cache_coalesced_waits,
             cache_dup_computes: self.cache_dup_computes + other.cache_dup_computes,
+            cache_warm_loaded: self.cache_warm_loaded + other.cache_warm_loaded,
+            cache_warm_rejected: self.cache_warm_rejected + other.cache_warm_rejected,
             cache_len: self.cache_len + other.cache_len,
             cache_bytes: self.cache_bytes + other.cache_bytes,
         }
@@ -243,6 +272,8 @@ pub struct Server {
     engine: Arc<Engine>,
     shared: Arc<Shared>,
     workers: usize,
+    /// Outcome of the [`ServeConfig::warm_start`] restore, when one ran.
+    warm_import: Option<SnapshotImport>,
     /// `Some` while running; taken by shutdown/Drop.
     threads: Option<Threads>,
 }
@@ -254,8 +285,13 @@ struct Threads {
 
 impl Server {
     /// Spawn the dispatcher and worker pool over `hin`.
+    ///
+    /// With [`ServeConfig::warm_start`] set, the snapshot is restored into
+    /// the engine *before* any worker thread exists, so the first admitted
+    /// query already sees the warm cache.
     pub fn start(hin: Arc<Hin>, config: ServeConfig) -> Server {
         let engine = Arc::new(Engine::with_cache_config(hin, config.cache));
+        let warm_import = config.warm_start.as_ref().map(|s| engine.restore(s));
         let n_workers = config.workers.max(1);
         let batch_max = config.batch_max.max(1);
         let shared = Arc::new(Shared {
@@ -299,11 +335,22 @@ impl Server {
             engine,
             shared,
             workers: n_workers,
+            warm_import,
             threads: Some(Threads {
                 dispatcher,
                 workers: worker_handles,
             }),
         }
+    }
+
+    /// Outcome of the [`ServeConfig::warm_start`] restore: `None` when no
+    /// snapshot was configured, otherwise how many entries loaded vs were
+    /// rejected. A warm start that loaded nothing (`loaded == 0` —
+    /// mismatched dataset, or a fingerprint mismatch) means this server
+    /// is effectively cold; check this at the call site instead of
+    /// discovering it from first-query latency under live traffic.
+    pub fn warm_import(&self) -> Option<SnapshotImport> {
+        self.warm_import
     }
 
     /// A submission handle on a **fresh fairness lane**. Call once per
@@ -343,6 +390,15 @@ impl Server {
         self.shared.queue.depth()
     }
 
+    /// Export the engine's hottest cache entries, stopping at
+    /// `budget_bytes` of matrix payload (`None` = everything). Safe on a
+    /// live server: the export takes the same shard read locks the
+    /// workers take — this is what [`crate::Router::checkpoint`] calls
+    /// while traffic flows.
+    pub fn snapshot(&self, budget_bytes: Option<usize>) -> CacheSnapshot {
+        self.engine.snapshot(budget_bytes)
+    }
+
     /// Current lifetime statistics.
     pub fn stats(&self) -> ServerStats {
         let counters = &self.shared.counters;
@@ -354,12 +410,16 @@ impl Server {
             batches: counters.batches.load(Ordering::Relaxed),
             max_batch: counters.max_batch.load(Ordering::Relaxed),
             workers: self.workers,
+            queue_depth: self.shared.queue.depth(),
+            lane_depths: self.shared.queue.lane_depths(),
             cache_hits: cache.hits(),
             cache_symmetry_hits: cache.symmetry_hits(),
             cache_misses: cache.misses(),
             cache_evictions: cache.evictions(),
             cache_coalesced_waits: cache.coalesced_waits(),
             cache_dup_computes: cache.dup_computes(),
+            cache_warm_loaded: cache.warm_loaded(),
+            cache_warm_rejected: cache.warm_rejected(),
             cache_len: cache.len(),
             cache_bytes: cache.bytes(),
         }
@@ -370,6 +430,17 @@ impl Server {
     pub fn shutdown(mut self) -> ServerStats {
         self.join_threads();
         self.stats()
+    }
+
+    /// [`Server::shutdown`], also handing back the drained cache as a
+    /// snapshot (`budget_bytes` as in [`Server::snapshot`]) — the failover
+    /// hand-off: everything the dying server's in-flight queries warmed is
+    /// in the snapshot, ready for a replacement's
+    /// [`ServeConfig::warm_start`].
+    pub fn retire(mut self, budget_bytes: Option<usize>) -> (ServerStats, CacheSnapshot) {
+        self.join_threads();
+        let snapshot = self.engine.snapshot(budget_bytes);
+        (self.stats(), snapshot)
     }
 
     fn join_threads(&mut self) {

@@ -1,0 +1,197 @@
+//! Failover stress: evict a dataset under load, hand its snapshot to a
+//! replacement, and prove the replacement is *warm* — byte-identical
+//! answers with strictly fewer cache misses over the first queries than a
+//! cold server pays on the same workload.
+//!
+//! CI runs this file in release mode so the interleavings are the
+//! optimized ones a production failover would see.
+
+use std::sync::Arc;
+
+use hin_query::{CacheConfig, Engine};
+use hin_serve::{Router, RouterConfig, ServeConfig};
+use hin_synth::DblpConfig;
+
+fn world() -> Arc<hin_core::Hin> {
+    Arc::new(
+        DblpConfig {
+            n_areas: 3,
+            venues_per_area: 4,
+            authors_per_area: 40,
+            n_papers: 600,
+            seed: 33,
+            ..Default::default()
+        }
+        .generate()
+        .hin,
+    )
+}
+
+/// Overlapping heavy queries: long symmetric paths whose halves are the
+/// sub-products a warm snapshot should carry across the failover.
+fn workload() -> Vec<String> {
+    let mut queries = Vec::new();
+    for a in 0..10 {
+        let anchor = format!("author_a{}_{}", a % 3, a);
+        queries.push(format!(
+            "pathsim author-paper-venue-paper-author from {anchor}"
+        ));
+        queries.push(format!(
+            "pathsim author-paper-term-paper-author from {anchor}"
+        ));
+        queries.push(format!("pathcount author-paper-venue from {anchor}"));
+    }
+    queries.push("rank venue-paper-author limit 10".to_string());
+    queries
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: 3,
+        batch_max: 8,
+        cache: CacheConfig {
+            shards: 4,
+            byte_budget: None,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// The heart of the tentpole: evict under load, re-register from the
+/// snapshot, and the warm server must (a) answer byte-identically to the
+/// single-threaded reference and (b) pay strictly fewer misses over the
+/// first N queries than a cold server on the same workload.
+#[test]
+fn evicted_dataset_re_registers_warm_under_load() {
+    let hin = world();
+    let queries = workload();
+    let reference = Engine::from_arc(Arc::clone(&hin));
+    let want: Vec<_> = queries.iter().map(|q| reference.execute(q)).collect();
+
+    let router = Arc::new(Router::new(RouterConfig {
+        stripes: 2,
+        serve: serve_config(),
+    }));
+    assert!(router.register("dblp", Arc::clone(&hin)));
+
+    // load phase: client threads hammer the dataset while it is alive…
+    let loaders: Vec<_> = (0..4)
+        .map(|t| {
+            let router = Arc::clone(&router);
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                for i in 0..queries.len() {
+                    let q = &queries[(i + t) % queries.len()];
+                    // eviction may race a submit: Canceled is acceptable
+                    // mid-failover, a wrong answer never is
+                    if let Ok(out) = router.submit("dblp", q.clone()).wait() {
+                        assert!(!out.object_type.is_empty());
+                    }
+                }
+            })
+        })
+        .collect();
+    for l in loaders {
+        l.join().expect("loader thread");
+    }
+
+    // …then the dataset fails over: evict (drains in-flight work) and
+    // re-register a replacement from the snapshot
+    let evicted = router.evict("dblp").expect("registered");
+    assert!(evicted.stats.served > 0, "load phase served queries");
+    assert!(!evicted.snapshot.is_empty(), "load warmed the cache");
+    let report = router
+        .register_warm("dblp", Arc::clone(&hin), evicted.snapshot)
+        .expect("key free after evict");
+    assert!(report.loaded > 0, "hand-off restored entries: {report:?}");
+    assert!(!report.fingerprint_mismatch);
+
+    // a cold control server on the same dataset, same config, no snapshot
+    let cold = Router::new(RouterConfig {
+        stripes: 2,
+        serve: serve_config(),
+    });
+    assert!(cold.register("dblp", Arc::clone(&hin)));
+
+    let first_n = queries.len();
+    let warm_results = router.execute_many("dblp", &queries[..first_n]);
+    let cold_results = cold.execute_many("dblp", &queries[..first_n]);
+
+    for ((q, warm), (cold_r, reference)) in queries
+        .iter()
+        .zip(&warm_results)
+        .zip(cold_results.iter().zip(&want))
+    {
+        assert_eq!(warm, reference, "warm result diverged on {q}");
+        assert_eq!(cold_r, reference, "cold result diverged on {q}");
+    }
+
+    let warm_stats = router.stats().datasets[0].1.clone();
+    let cold_stats = cold.shutdown().datasets[0].1.clone();
+    assert!(
+        warm_stats.cache_warm_loaded > 0,
+        "snapshot entries admitted"
+    );
+    assert!(
+        warm_stats.cache_misses < cold_stats.cache_misses,
+        "warm server must recompute strictly less than cold \
+         (warm {} vs cold {} misses over the first {first_n} queries)",
+        warm_stats.cache_misses,
+        cold_stats.cache_misses
+    );
+
+    let _ = Arc::try_unwrap(router)
+        .map_err(|_| "router still shared")
+        .unwrap()
+        .shutdown();
+}
+
+/// A snapshot must survive the disk round trip mid-failover: checkpoint a
+/// live dataset, kill it, restore the file into the replacement.
+#[test]
+fn checkpoint_file_survives_a_crash_style_failover() {
+    let dir = std::env::temp_dir().join(format!("hin-failover-{}", std::process::id()));
+    let hin = world();
+    let queries = workload();
+    let reference = Engine::from_arc(Arc::clone(&hin));
+    let want: Vec<_> = queries.iter().map(|q| reference.execute(q)).collect();
+
+    let router = Router::new(RouterConfig {
+        stripes: 2,
+        serve: serve_config(),
+    });
+    assert!(router.register("dblp", Arc::clone(&hin)));
+    let _ = router.execute_many("dblp", &queries);
+
+    // checkpoint while the server is live and serving
+    let written = router.checkpoint(&dir).expect("checkpoint");
+    assert_eq!(written.len(), 1);
+
+    // "crash": evict and deliberately drop the in-memory snapshot
+    drop(router.evict("dblp").expect("registered"));
+
+    let snap = hin_query::CacheSnapshot::read_from_file(&written[0].1).expect("read checkpoint");
+    assert!(!snap.is_empty());
+    let loaded = snap.len();
+    let report = router
+        .register_warm("dblp", Arc::clone(&hin), snap)
+        .expect("key free after evict");
+    assert_eq!(report.loaded as usize, loaded, "no entry was rejected");
+
+    let results = router.execute_many("dblp", &queries);
+    for ((q, got), reference) in queries.iter().zip(&results).zip(&want) {
+        assert_eq!(got, reference, "restored result diverged on {q}");
+    }
+    let stats = router.shutdown();
+    let d = &stats.datasets[0].1;
+    assert_eq!(
+        d.cache_warm_loaded as usize, loaded,
+        "every entry fit the schema"
+    );
+    assert_eq!(d.cache_warm_rejected, 0);
+    assert_eq!(
+        d.cache_misses, 0,
+        "a full checkpoint leaves nothing to recompute on a repeated workload"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

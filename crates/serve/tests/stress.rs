@@ -305,6 +305,7 @@ fn overload_sheds_and_admitted_queries_stay_correct() {
             batch_max: 4,
             queue_depth: Some(8),
             cache: CacheConfig::bounded(32 * 1024),
+            ..ServeConfig::default()
         },
     ));
 

@@ -72,11 +72,19 @@ fn main() {
         Err(QueryError::UnknownDataset(_))
     ));
 
-    // evict one dataset at runtime; the other keeps serving
-    let final_a = router.evict("dblp-a").expect("dblp-a was registered");
+    // evict one dataset at runtime; the other keeps serving. The evicted
+    // dataset's cache comes back as a snapshot — see examples/failover.rs
+    // for handing it to a warm replacement.
+    let evicted = router.evict("dblp-a").expect("dblp-a was registered");
+    let final_a = &evicted.stats;
     println!(
-        "\nevicted dblp-a: served {} (cache: {} hits, {} computed, {} coalesced waits)",
-        final_a.served, final_a.cache_hits, final_a.cache_misses, final_a.cache_coalesced_waits,
+        "\nevicted dblp-a: served {} (cache: {} hits, {} computed, {} coalesced waits; \
+         snapshot carries {} matrices)",
+        final_a.served,
+        final_a.cache_hits,
+        final_a.cache_misses,
+        final_a.cache_coalesced_waits,
+        evicted.snapshot.len(),
     );
     let still_up = router
         .submit("dblp-b", "rank venue-paper-author limit 3")
