@@ -1,0 +1,65 @@
+//! Anchored-query benchmark: cold sparse-row propagation vs cold full
+//! materialization vs the warm cached path.
+//!
+//! `cold_lazy` should sit far (≥ 5×) below `cold_full` — that gap is the
+//! anchored fast path's reason to exist — while `warm_cached` shows what
+//! heat-based promotion converges to once a span is hot.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_query::{CacheConfig, Engine, ExecPolicy};
+use hin_synth::DblpConfig;
+
+const QUERY: &str = "pathsim author-paper-venue-paper-author from author_a0_0";
+
+fn bench_anchored(c: &mut Criterion) {
+    let data = DblpConfig {
+        n_areas: 4,
+        authors_per_area: 60,
+        n_papers: 2_000,
+        seed: 17,
+        ..Default::default()
+    }
+    .generate();
+    let hin = Arc::new(data.hin);
+
+    let mut group = c.benchmark_group("anchored");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("cold_lazy", 1), &hin, |b, hin| {
+        b.iter(|| {
+            // fresh engine per run: genuinely cold, promotion out of reach
+            let engine = Engine::with_config(
+                Arc::clone(hin),
+                CacheConfig::default(),
+                ExecPolicy::promote_after(u32::MAX),
+            );
+            engine.execute(QUERY).expect("anchored query")
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("cold_full", 1), &hin, |b, hin| {
+        b.iter(|| {
+            let engine =
+                Engine::with_config(Arc::clone(hin), CacheConfig::default(), ExecPolicy::eager());
+            engine.execute(QUERY).expect("anchored query")
+        })
+    });
+
+    // one shared engine whose span has been promoted: the steady state a
+    // hot span converges to
+    let warm = Engine::from_arc(Arc::clone(&hin));
+    for _ in 0..4 {
+        warm.execute(QUERY).expect("warm-up query");
+    }
+    assert!(warm.promotions() >= 1, "warm-up must cross promote_after");
+    group.bench_with_input(BenchmarkId::new("warm_cached", 1), &warm, |b, warm| {
+        b.iter(|| warm.execute(QUERY).expect("anchored query"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_anchored);
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! Anchored-query experiment: what does the sparse-row fast path buy, and
+//! where does heat-based promotion cross back to the cache?
+//!
+//! Three phases over a non-trivial synthetic DBLP world:
+//!
+//! 1. **Cold anchored latency, lazy vs full** — fresh engines answer one
+//!    anchored PathSim query either by row propagation (lazy) or by
+//!    materializing the commuting chain (eager). The acceptance gate is
+//!    lazy ≥ 5× cheaper at the median.
+//! 2. **Promotion crossover** — one engine with the default policy serves
+//!    the same span repeatedly: the first queries ride the fast path, the
+//!    `promote_after`-th materializes the span through the deduplicated
+//!    cache, and every later query is a plain cache hit — the pre-fast-path
+//!    warm path, byte-identically.
+//! 3. **Concurrent serving** — a worker pool hammers overlapping anchored
+//!    queries through a `Server`; promotions must coalesce through the
+//!    in-flight table (`dup_computes == 0` stays the law).
+//!
+//! Emits a single JSON object (also written to `BENCH_anchored.json` at the
+//! repo root) so the anchored-latency trajectory is recorded.
+//!
+//! Run with: `cargo run --release -p hin-bench --bin exp_anchored`
+//! CI smoke: `cargo run --release -p hin-bench --bin exp_anchored -- --smoke`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hin_core::Hin;
+use hin_query::{CacheConfig, Engine, ExecPolicy};
+use hin_serve::{ServeConfig, Server};
+use hin_synth::DblpConfig;
+
+/// Median of `reps` timings of `run` against a fresh engine each time —
+/// cold-start latency, robust to a noisy shared runner.
+fn median_cold_ms(reps: usize, mut make: impl FnMut() -> Engine, query: &str) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let engine = make();
+            let t = Instant::now();
+            engine.execute(query).expect("anchored query");
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_papers, cold_reps) = if smoke { (800, 5) } else { (2_500, 9) };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let data = DblpConfig {
+        n_areas: 4,
+        authors_per_area: 60,
+        n_papers,
+        noise: 0.05,
+        seed: 17,
+        ..Default::default()
+    }
+    .generate();
+    let hin: Arc<Hin> = Arc::new(data.hin);
+    let q = "pathsim author-paper-venue-paper-author from author_a0_0";
+
+    // ── phase 1: cold anchored latency, lazy vs full ─────────────────────
+    let lazy_cold_ms = median_cold_ms(
+        cold_reps,
+        || {
+            Engine::with_config(
+                Arc::clone(&hin),
+                CacheConfig::default(),
+                // promotion out of reach: measure pure row propagation
+                ExecPolicy::promote_after(u32::MAX),
+            )
+        },
+        q,
+    );
+    let full_cold_ms = median_cold_ms(
+        cold_reps,
+        || {
+            Engine::with_config(
+                Arc::clone(&hin),
+                CacheConfig::default(),
+                ExecPolicy::eager(),
+            )
+        },
+        q,
+    );
+    let cold_speedup = full_cold_ms / lazy_cold_ms.max(1e-9);
+
+    // identical answers on identical data (unit weights ⇒ exact arithmetic)
+    let reference = Engine::with_config(
+        Arc::clone(&hin),
+        CacheConfig::default(),
+        ExecPolicy::eager(),
+    );
+    let lazy_probe = Engine::with_config(
+        Arc::clone(&hin),
+        CacheConfig::default(),
+        ExecPolicy::promote_after(u32::MAX),
+    );
+    let want = reference.execute(q).expect("reference");
+    assert_eq!(
+        lazy_probe.execute(q).expect("lazy"),
+        want,
+        "fast-path result must be identical to the materialized one"
+    );
+    assert_eq!(lazy_probe.anchored_fast_paths(), 1);
+    assert_eq!(lazy_probe.cache_misses(), 0, "the fast path caches nothing");
+
+    // ── phase 2: promotion crossover on one hot span ─────────────────────
+    let engine = Engine::from_arc(Arc::clone(&hin)); // default: promote_after 3
+    let promote_after = engine.policy().promote_after;
+    let runs = 10usize;
+    let mut per_run_ms = Vec::with_capacity(runs);
+    let mut promoted_at = 0usize;
+    for run in 1..=runs {
+        let t = Instant::now();
+        let got = engine.execute(q).expect("promotion-phase query");
+        per_run_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(got, want, "run {run} diverged");
+        if promoted_at == 0 && engine.promotions() == 1 {
+            promoted_at = run;
+        }
+    }
+    assert_eq!(
+        promoted_at, promote_after as usize,
+        "the promote_after-th query on the span must materialize it"
+    );
+    assert_eq!(engine.promotions(), 1, "one hot span, one promotion");
+    assert_eq!(
+        engine.anchored_fast_paths(),
+        promote_after as u64 - 1,
+        "runs before the crossover ride the fast path"
+    );
+    let misses_after_promotion = engine.cache_misses();
+    assert!(misses_after_promotion > 0, "promotion ran the SpMM chain");
+    engine.execute(q).expect("post-promotion query");
+    assert_eq!(
+        engine.cache_misses(),
+        misses_after_promotion,
+        "post-promotion queries are pure cache hits"
+    );
+    // the pre-fast-path warm baseline: an eager engine's repeat latency
+    let t = Instant::now();
+    reference.execute(q).expect("eager warm repeat");
+    let eager_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let post_promotion_ms = per_run_ms[promoted_at..]
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+
+    // ── phase 3: concurrent serving keeps dup_computes at 0 ──────────────
+    let server = Server::start(Arc::clone(&hin), ServeConfig::default());
+    let mut queries = Vec::new();
+    for a in 0..16 {
+        // many anchors, few spans: exactly the shape promotion exists for
+        queries.push(format!(
+            "pathsim author-paper-venue-paper-author from author_a{}_{a}",
+            a % 4
+        ));
+        queries.push(format!(
+            "pathcount author-paper-term from author_a{}_{a} limit 10",
+            a % 4
+        ));
+        queries.push(format!(
+            "topk 8 author-paper-author from author_a{}_{a}",
+            a % 4
+        ));
+    }
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let handle = server.handle();
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                for (i, q) in queries.iter().enumerate() {
+                    if i % 4 == c {
+                        continue; // offset the clients so submissions overlap
+                    }
+                    if handle.submit(q.clone()).wait().is_ok() {
+                        ok += 1;
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    let served_ok: usize = clients.into_iter().map(|h| h.join().expect("client")).sum();
+    let stats = server.shutdown();
+
+    let mut report = hin_bench::JsonReport::new();
+    report.set("smoke", smoke);
+    report.set("available_parallelism", cores);
+    report.set("n_papers", n_papers);
+    report.set("cold_reps", cold_reps);
+    report.set("lazy_cold_ms", format!("{lazy_cold_ms:.4}"));
+    report.set("full_cold_ms", format!("{full_cold_ms:.4}"));
+    report.set("cold_speedup", format!("{cold_speedup:.2}"));
+    report.set("promote_after", promote_after);
+    report.set("promoted_at_query", promoted_at);
+    report.set("post_promotion_warm_ms", format!("{post_promotion_ms:.4}"));
+    report.set("eager_warm_ms", format!("{eager_warm_ms:.4}"));
+    report.set("serve_ok", served_ok);
+    report.set("serve_anchored_fast_paths", stats.anchored_fast_paths);
+    report.set("serve_promotions", stats.promotions);
+    report.set("serve_cache_hits", stats.cache_hits);
+    report.set("serve_cache_misses", stats.cache_misses);
+    report.set("serve_dup_computes", stats.cache_dup_computes);
+    report.print_and_write("BENCH_anchored.json");
+
+    // ── acceptance gates ─────────────────────────────────────────────────
+    assert!(
+        cold_speedup >= 5.0,
+        "cold anchored-query latency in lazy mode must be ≥ 5× lower than \
+         full materialization (lazy {lazy_cold_ms:.4} ms vs full \
+         {full_cold_ms:.4} ms = {cold_speedup:.2}×)"
+    );
+    assert!(
+        stats.anchored_fast_paths > 0,
+        "concurrent anchored traffic must ride the fast path"
+    );
+    assert!(
+        stats.promotions > 0,
+        "hot spans under concurrent traffic must promote"
+    );
+    assert_eq!(
+        stats.cache_dup_computes, 0,
+        "promotions must coalesce through the in-flight table — \
+         dup_computes stays 0"
+    );
+    assert_eq!(stats.errors, 0, "all serving-phase queries must succeed");
+}

@@ -22,7 +22,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use hin_core::Hin;
-use hin_query::{CacheConfig, Engine, QueryError};
+use hin_query::{CacheConfig, Engine, ExecPolicy, QueryError};
 use hin_serve::{Router, RouterConfig, ServeConfig};
 use hin_synth::DblpConfig;
 
@@ -102,6 +102,11 @@ fn main() {
                 shards: 4,
                 byte_budget: Some(thrash_budget),
             },
+            // this phase gates the materialization path's in-flight dedup
+            // (coalesced > 0, dup == 0); the anchored fast path would
+            // route around the very misses being measured — exp_anchored
+            // covers the lazy side
+            exec: ExecPolicy::eager(),
             ..ServeConfig::default()
         },
     }));

@@ -259,6 +259,11 @@ pub fn spmm_chain_order_priced(
 
 /// Multiply a chain of sparse matrices in the planner-chosen order.
 ///
+/// One [`ScatterScratch`](crate::csr::ScatterScratch) (dense accumulator +
+/// touched-column buffer) is shared across every product in the chain, so
+/// an n-link chain pays for the accumulator allocation once instead of per
+/// link.
+///
 /// # Panics
 /// Panics when `mats` is empty or consecutive dimensions mismatch.
 pub fn spmm_chain(mats: &[&Csr]) -> Csr {
@@ -268,19 +273,24 @@ pub fn spmm_chain(mats: &[&Csr]) -> Csr {
             .map(|m| MatSummary::from(*m))
             .collect::<Vec<_>>(),
     );
-    eval_tree(mats, &plan.tree).into_owned()
+    let mut scratch = crate::csr::ScatterScratch::new();
+    eval_tree(mats, &plan.tree, &mut scratch).into_owned()
 }
 
-fn eval_tree<'a>(mats: &[&'a Csr], tree: &PlanTree) -> Cow<'a, Csr> {
+fn eval_tree<'a>(
+    mats: &[&'a Csr],
+    tree: &PlanTree,
+    scratch: &mut crate::csr::ScatterScratch,
+) -> Cow<'a, Csr> {
     match tree {
         PlanTree::Leaf(i) => Cow::Borrowed(mats[*i]),
         PlanTree::Span(..) => {
             unreachable!("spmm_chain plans without pre-priced spans")
         }
         PlanTree::Mul(l, r) => {
-            let left = eval_tree(mats, l);
-            let right = eval_tree(mats, r);
-            Cow::Owned(left.spgemm(&right))
+            let left = eval_tree(mats, l, scratch);
+            let right = eval_tree(mats, r, scratch);
+            Cow::Owned(left.spgemm_with(&right, scratch))
         }
     }
 }

@@ -7,6 +7,39 @@
 
 use crate::dense::DMat;
 
+/// Reusable dense-accumulator scratch for the scatter/gather sparse
+/// kernels ([`Csr::spgemm_with`], [`crate::spvec::spvm_with`]).
+///
+/// Both kernels expand one sparse row (or vector) into a dense accumulator,
+/// tracking which columns were touched, then gather the touched columns
+/// back out in sorted order. The accumulator is as wide as the widest
+/// operand seen, so chained products (`spmm_chain`, `spvm_chain`) reuse one
+/// allocation across every link instead of paying a fresh `vec![0.0; ncols]`
+/// per product.
+///
+/// Invariant between uses: `acc` is all zeros and `touched` is empty —
+/// every kernel restores this as it gathers, so a scratch can be shared
+/// freely across calls (but not across threads).
+#[derive(Debug, Default)]
+pub struct ScatterScratch {
+    pub(crate) acc: Vec<f64>,
+    pub(crate) touched: Vec<u32>,
+}
+
+impl ScatterScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow the accumulator to at least `ncols` zeroed slots.
+    pub(crate) fn prepare(&mut self, ncols: usize) {
+        if self.acc.len() < ncols {
+            self.acc.resize(ncols, 0.0);
+        }
+    }
+}
+
 /// A compressed sparse row `f64` matrix.
 ///
 /// Row `i`'s nonzeros live in `indices[indptr[i]..indptr[i+1]]` (column ids)
@@ -256,17 +289,38 @@ impl Csr {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn spgemm(&self, rhs: &Csr) -> Csr {
+        self.spgemm_with(rhs, &mut ScatterScratch::new())
+    }
+
+    /// [`Csr::spgemm`] reusing a caller-owned [`ScatterScratch`], so chained
+    /// products ([`crate::spmm_chain`]) pay for the accumulator once instead
+    /// of per link.
+    ///
+    /// Output `indices`/`data` capacity is pre-reserved from
+    /// [`crate::spmm_nnz_estimate`] (clamped by the exact flop count, which
+    /// bounds the true nnz from above), so rows append without the repeated
+    /// doubling reallocations an unsized `Vec` pays on large products.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn spgemm_with(&self, rhs: &Csr, scratch: &mut ScatterScratch) -> Csr {
         assert_eq!(
             self.ncols, rhs.nrows,
             "Csr::spgemm: inner dimensions {}x{} * {}x{}",
             self.nrows, self.ncols, rhs.nrows, rhs.ncols
         );
+        let flops = crate::chain::spmm_flops_estimate(self, rhs);
+        // The estimate is already ≤ rows·cols; the flop count is a hard
+        // upper bound on output nnz (each multiply-add touches one cell).
+        let reserve = crate::chain::spmm_nnz_estimate(self.nrows, rhs.ncols, flops)
+            .ceil()
+            .min(flops) as usize;
         let mut indptr = Vec::with_capacity(self.nrows + 1);
         indptr.push(0usize);
-        let mut indices: Vec<u32> = Vec::new();
-        let mut data: Vec<f64> = Vec::new();
-        let mut acc = vec![0.0f64; rhs.ncols];
-        let mut touched: Vec<u32> = Vec::new();
+        let mut indices: Vec<u32> = Vec::with_capacity(reserve);
+        let mut data: Vec<f64> = Vec::with_capacity(reserve);
+        scratch.prepare(rhs.ncols);
+        let ScatterScratch { acc, touched } = scratch;
         for r in 0..self.nrows {
             for (&k, &va) in self.row_indices(r).iter().zip(self.row_values(r)) {
                 for (&c, &vb) in rhs
@@ -281,7 +335,11 @@ impl Csr {
                 }
             }
             touched.sort_unstable();
-            for &c in &touched {
+            // `acc == 0.0` can re-mark a column whose partial sums cancelled
+            // back to zero (possible only with negative weights); dedup so a
+            // cancelled-and-revived column cannot emit twice.
+            touched.dedup();
+            for &c in touched.iter() {
                 indices.push(c);
                 data.push(acc[c as usize]);
                 acc[c as usize] = 0.0;
@@ -454,6 +512,31 @@ mod tests {
         let sparse = a.spgemm(&b).to_dense();
         let dense = a.to_dense().matmul(&b.to_dense());
         assert!(sparse.max_abs_diff(&dense) < 1e-12);
+    }
+
+    #[test]
+    fn spgemm_scratch_reuse_matches_fresh() {
+        let a = sample();
+        let b = a.transpose();
+        let mut scratch = ScatterScratch::new();
+        // two products of different output widths through one scratch: the
+        // accumulator must come back zeroed between them
+        let first = a.spgemm_with(&b, &mut scratch);
+        let second = b.spgemm_with(&a, &mut scratch);
+        assert_eq!(first, a.spgemm(&b));
+        assert_eq!(second, b.spgemm(&a));
+    }
+
+    #[test]
+    fn spgemm_cancellation_does_not_duplicate_columns() {
+        // row 0 of a reaches rows 0,1,2 of b; their contributions to
+        // column 0 go 1 → 0 (cancelled) → 1, re-marking the column
+        let a = Csr::from_triplets(1, 3, [(0u32, 0u32, 1.0), (0, 1, 1.0), (0, 2, 1.0)]);
+        let b = Csr::from_triplets(3, 2, [(0u32, 0u32, 1.0), (1, 0, -1.0), (2, 0, 1.0)]);
+        let p = a.spgemm(&b);
+        assert_eq!(p.row_indices(0), &[0], "cancelled column emits once");
+        assert_eq!(p.row_values(0), &[1.0]);
+        assert_eq!(p.nnz(), 1);
     }
 
     #[test]

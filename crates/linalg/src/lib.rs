@@ -12,6 +12,9 @@
 //!   sparse×sparse products,
 //! * [`chain`] — sparse product cost model (`spmm_flops_estimate`,
 //!   `spmm_nnz_estimate`) and matrix-chain multiplication-order planning,
+//! * [`spvec`] — [`SparseVec`] and the `spvm`/[`spvm_chain`] row-propagation
+//!   kernels (plus their cost model), the sparse-row execution mode
+//!   anchored meta-path queries run on,
 //! * [`codec`] — a versioned, checksummed binary wire format for [`Csr`]
 //!   (`Csr::to_writer` / `Csr::from_reader`), the persistence boundary
 //!   cache snapshots and warm starts stand on,
@@ -28,11 +31,16 @@ pub mod dense;
 pub mod eigen;
 pub mod lanczos;
 pub mod solve;
+pub mod spvec;
 pub mod vector;
 
 pub use chain::{
     spmm_chain, spmm_chain_order, spmm_chain_order_priced, spmm_flops_estimate, spmm_nnz_estimate,
     ChainPlan, MatSummary, PlanTree,
 };
-pub use csr::Csr;
+pub use csr::{Csr, ScatterScratch};
 pub use dense::DMat;
+pub use spvec::{
+    spvm, spvm_chain, spvm_chain_flops_estimate, spvm_chain_with, spvm_flops_estimate, spvm_with,
+    SparseVec, SpvmChainEstimate,
+};

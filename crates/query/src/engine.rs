@@ -1,21 +1,95 @@
 //! The query engine: parse → resolve → plan → execute, with a shared
-//! commuting-matrix cache.
+//! commuting-matrix cache and a cost-planned anchored fast path.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
-use hin_core::{Hin, NodeRef};
-use hin_linalg::Csr;
+use hin_core::{Hin, NodeRef, TypeId};
+use hin_linalg::{spvm_chain_with, spvm_with, Csr, ScatterScratch, SparseVec};
 use hin_similarity::{top_k_pathsim, MetaPath, PathStep};
 
-use crate::cache::{key_of, CacheConfig, MatrixCache};
+use crate::cache::{key_of, reversed_key, CacheConfig, MatrixCache, PathKey};
 use crate::error::QueryError;
 use crate::parse::{parse, Verb};
-use crate::plan::{plan_steps, PlanNode, QueryPlan};
+use crate::plan::{plan_exec_mode, plan_steps, ExecMode, PlanNode, QueryPlan};
 use crate::resolve::{resolve, ResolvedQuery};
 use crate::snapshot::{CacheSnapshot, SnapshotImport};
 
 /// Default result-size cap for verbs that don't specify one.
+///
+/// Applies to `pathsim`, `topk` (whose `k` is mandatory anyway), `rank`
+/// and `pathcount`: these are *ranking* verbs, so an unlimited answer on a
+/// hub anchor would be an unreadable wall of scores.
 const DEFAULT_LIMIT: usize = 10;
+
+/// `neighbors` without an explicit `limit` returns the **entire** reachable
+/// set. This asymmetry with [`DEFAULT_LIMIT`] is deliberate and pinned by
+/// regression test: `neighbors` is an *enumeration* verb ("what can I reach
+/// along this path"), where a silent top-10 cut would make the answer
+/// wrong, not just long. `pathcount` over the same row stays a ranking verb
+/// and keeps the top-[`DEFAULT_LIMIT`] default.
+const NEIGHBORS_DEFAULT_LIMIT: usize = usize::MAX;
+
+/// The default result cap of an anchored row verb (see
+/// [`NEIGHBORS_DEFAULT_LIMIT`] for why `neighbors` differs). Shared by the
+/// full-matrix and sparse-row execution paths so the two can never drift.
+fn default_row_limit(verb: Verb) -> usize {
+    match verb {
+        Verb::Neighbors => NEIGHBORS_DEFAULT_LIMIT,
+        _ => DEFAULT_LIMIT,
+    }
+}
+
+/// Heat entries tracked before the table is reset wholesale — a memory
+/// bound, not a policy: realistic workloads hold far fewer distinct spans.
+const HEAT_CAP: usize = 4096;
+
+/// Execution-policy knobs: how the engine trades per-query latency against
+/// cache amortization for anchored queries.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecPolicy {
+    /// Enable the anchored sparse-row fast path
+    /// ([`ExecMode::SparseRow`]). Off = every query materializes
+    /// commuting matrices through the cache, the pre-fast-path behavior.
+    pub lazy: bool,
+    /// Lazy executions of one span before it is **promoted** to full
+    /// materialization (the `promote_after`-th anchored query on a span
+    /// computes the matrix through the ordinary deduplicated cache path;
+    /// later queries are cache hits). `0` promotes immediately —
+    /// equivalent to `lazy: false` in effect, but still counted as a
+    /// promotion. Per *span*, not per anchor: many users probing one hot
+    /// meta-path from different anchors heat it together.
+    pub promote_after: u32,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self {
+            lazy: true,
+            promote_after: 3,
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// Always materialize — the pre-fast-path behavior. What tests and
+    /// experiments that specifically exercise cache warming use.
+    pub fn eager() -> Self {
+        Self {
+            lazy: false,
+            promote_after: 0,
+        }
+    }
+
+    /// Fast path on, promoting a span after `n` lazy executions.
+    pub fn promote_after(n: u32) -> Self {
+        Self {
+            lazy: true,
+            promote_after: n,
+        }
+    }
+}
 
 /// The result of one query: scored, named objects of one type.
 #[derive(Clone, Debug, PartialEq)]
@@ -34,9 +108,17 @@ pub struct QueryOutput {
 /// The engine owns (a share of) the network and a memoizing
 /// commuting-matrix cache keyed by canonical sub-path. Queries are parsed,
 /// resolved against the schema, planned by a cost-based optimizer that
-/// treats cached sub-products as free leaves, and executed; every
-/// intermediate product lands in the cache, so repeated and overlapping
-/// queries get cheaper over time.
+/// treats cached sub-products as free leaves, and executed; on the
+/// materializing path every intermediate product lands in the cache, so
+/// repeated and overlapping queries get cheaper over time.
+///
+/// Anchored verbs additionally get a second execution mode
+/// ([`ExecMode::SparseRow`]): when propagating one sparse row from the
+/// anchor is forecast cheaper than materializing the chain, the query runs
+/// in row time and computes nothing it doesn't read. Heat-based promotion
+/// ([`ExecPolicy::promote_after`]) materializes a span once it keeps being
+/// queried lazily, so hot spans still amortize through the cache (and
+/// appear in snapshots).
 ///
 /// Every method takes `&self` and the cache is sharded and lock-guarded,
 /// so one engine behind an `Arc` serves any number of threads — this is
@@ -51,6 +133,17 @@ pub struct QueryOutput {
 pub struct Engine {
     hin: Arc<Hin>,
     cache: Arc<MatrixCache>,
+    policy: ExecPolicy,
+    /// Per-span lazy-execution counters driving heat-based promotion.
+    /// Keyed by the lexicographically smaller of a span's key and its
+    /// reversal, so a path and its mirror heat one counter (a promotion
+    /// serves both through the cache's transpose reuse).
+    heat: Mutex<HashMap<PathKey, u32>>,
+    /// Queries answered by sparse-row propagation instead of matrix
+    /// materialization.
+    anchored_fast_paths: AtomicU64,
+    /// Spans promoted from lazy propagation to full materialization.
+    promotions: AtomicU64,
     /// Lazily computed [`crate::snapshot::dataset_fingerprint`] of `hin`.
     /// The network is immutable after build, so one full-adjacency scan
     /// serves every later snapshot/restore — a periodic checkpoint loop
@@ -71,13 +164,28 @@ impl Engine {
     }
 
     /// Build an engine with explicit cache sizing (shard count, byte
-    /// budget) — the serving configuration.
+    /// budget) and the default execution policy.
     pub fn with_cache_config(hin: Arc<Hin>, config: CacheConfig) -> Self {
+        Self::with_config(hin, config, ExecPolicy::default())
+    }
+
+    /// Build an engine with explicit cache sizing and execution policy —
+    /// the full serving configuration.
+    pub fn with_config(hin: Arc<Hin>, config: CacheConfig, policy: ExecPolicy) -> Self {
         Self {
             hin,
             cache: Arc::new(MatrixCache::new(config)),
+            policy,
+            heat: Mutex::new(HashMap::new()),
+            anchored_fast_paths: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
             fingerprint: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The engine's execution policy.
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
     }
 
     /// This dataset's [`crate::snapshot::dataset_fingerprint`], computed
@@ -133,19 +241,39 @@ impl Engine {
     }
 
     /// Parse, resolve and plan `query` without executing it — the engine's
-    /// `EXPLAIN`. Does not touch cache statistics.
+    /// `EXPLAIN`, including the chosen [`ExecMode`]. Does not touch cache
+    /// statistics or span heat.
     pub fn plan(&self, query: &str) -> Result<QueryPlan, QueryError> {
         let resolved = resolve(&self.hin, &parse(query)?)?;
-        Ok(plan_steps(&self.hin, resolved.path.steps(), &self.cache))
+        let mut plan = plan_steps(&self.hin, resolved.path.steps(), &self.cache);
+        plan.mode = self.exec_mode(&resolved, plan.est_flops);
+        Ok(plan)
     }
 
     /// Execute one query. Thread-safe: any number of threads may call this
     /// on one shared engine.
+    ///
+    /// Anchored verbs (`pathsim`, `topk`, `pathcount`, `neighbors`) are
+    /// cost-routed: when sparse-row propagation from the anchor is forecast
+    /// cheaper than (cache-aware) matrix materialization, the query runs on
+    /// the fast path and computes nothing it doesn't read — unless the
+    /// span's heat has crossed [`ExecPolicy::promote_after`], in which case
+    /// this query materializes the span through the ordinary deduplicated
+    /// cache path so the *next* ones are plain hits.
     pub fn execute(&self, query: &str) -> Result<QueryOutput, QueryError> {
         let resolved = resolve(&self.hin, &parse(query)?)?;
         // Borrow-only evaluation: single-step paths read the relation
         // matrix in place instead of copying it.
         let plan = plan_steps(&self.hin, resolved.path.steps(), &self.cache);
+        if let ExecMode::SparseRow { .. } = self.exec_mode(&resolved, plan.est_flops) {
+            if self.note_lazy_and_should_promote(resolved.path.steps()) {
+                self.promotions.fetch_add(1, Ordering::Relaxed);
+                // fall through: materialize like any full execution
+            } else {
+                self.anchored_fast_paths.fetch_add(1, Ordering::Relaxed);
+                return self.execute_row(&resolved);
+            }
+        }
         let matrix = Self::eval(&self.hin, resolved.path.steps(), &self.cache, &plan.root);
         self.assemble(&resolved, matrix.as_csr())
     }
@@ -225,9 +353,173 @@ impl Engine {
         self.cache.bytes()
     }
 
-    /// Zero the hit/miss counters, keeping cached matrices.
+    /// Queries answered by the anchored sparse-row fast path (no matrix
+    /// materialized, nothing cached).
+    pub fn anchored_fast_paths(&self) -> u64 {
+        self.anchored_fast_paths.load(Ordering::Relaxed)
+    }
+
+    /// Spans promoted from lazy propagation to full materialization after
+    /// crossing [`ExecPolicy::promote_after`] lazy executions.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Zero the hit/miss/fast-path counters, keeping cached matrices (and
+    /// span heat).
     pub fn reset_cache_stats(&self) {
         self.cache.reset_stats();
+        self.anchored_fast_paths.store(0, Ordering::Relaxed);
+        self.promotions.store(0, Ordering::Relaxed);
+    }
+
+    /// The execution mode this query would run under right now (cache
+    /// contents move, so this is a forecast like the rest of the plan).
+    fn exec_mode(&self, resolved: &ResolvedQuery, full_est_flops: f64) -> ExecMode {
+        if !self.policy.lazy || resolved.from.is_none() || matches!(resolved.verb, Verb::Rank) {
+            return ExecMode::Full;
+        }
+        // PathSim-shaped verbs pay per-candidate half-path propagations
+        // for their normalizers; that cost is part of the comparison.
+        let normalizer_half = match resolved.verb {
+            Verb::PathSim | Verb::TopK => Some(resolved.path.len() / 2),
+            _ => None,
+        };
+        plan_exec_mode(
+            &self.hin,
+            resolved.path.steps(),
+            &self.cache,
+            full_est_flops,
+            normalizer_half,
+        )
+    }
+
+    /// Record one lazy execution of `steps`' span and report whether it
+    /// just crossed the promotion threshold. A span and its reversal share
+    /// one counter; a promoted span's counter resets, so if the matrix is
+    /// later evicted the span cools down and re-heats honestly.
+    fn note_lazy_and_should_promote(&self, steps: &[PathStep]) -> bool {
+        if self.policy.promote_after == 0 {
+            return true;
+        }
+        let key = key_of(steps);
+        let rev = reversed_key(&key);
+        let heat_key = if rev < key { rev } else { key };
+        let mut heat = self.heat.lock().unwrap_or_else(PoisonError::into_inner);
+        if heat.len() >= HEAT_CAP && !heat.contains_key(&heat_key) {
+            // bounded memory: a reset only delays promotions, never
+            // breaks correctness
+            heat.clear();
+        }
+        let count = heat.entry(heat_key.clone()).or_insert(0);
+        *count += 1;
+        if *count >= self.policy.promote_after {
+            heat.remove(&heat_key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resolve where an anchored propagation over `steps` starts: the
+    /// longest cache-resident prefix product (probed longest-first,
+    /// counting like any cache use — this is where a plan-time seed that
+    /// was evicted in the meantime silently degrades to propagating from
+    /// the anchor's relation row), plus the remaining link matrices.
+    fn propagation_seed<'a>(&'a self, steps: &'a [PathStep]) -> (Seed<'a>, Vec<&'a Csr>) {
+        let key = key_of(steps);
+        for hi in (1..steps.len()).rev() {
+            if let Some(m) = self.cache.get(&key[..=hi]) {
+                let rest = steps[hi + 1..]
+                    .iter()
+                    .map(|s| s.matrix(&self.hin))
+                    .collect();
+                return (Seed::Cached(m), rest);
+            }
+        }
+        (
+            Seed::First(steps[0].matrix(&self.hin)),
+            steps[1..].iter().map(|s| s.matrix(&self.hin)).collect(),
+        )
+    }
+
+    /// Execute an anchored verb by sparse-row propagation: one row of the
+    /// commuting matrix, computed as `eₓᵀ·M₁·…·Mₙ` without materializing
+    /// any product. Scores, candidate sets, ordering and limits are
+    /// identical to the full-matrix path whenever the arithmetic is exact
+    /// (integer-valued weights — see the anchored property tests).
+    fn execute_row(&self, resolved: &ResolvedQuery) -> Result<QueryOutput, QueryError> {
+        let steps = resolved.path.steps();
+        let x = resolved.from.expect("anchored verbs carry `from`").id as usize;
+        let mut scratch = ScatterScratch::new();
+        let (seed, rest) = self.propagation_seed(steps);
+        let row = spvm_chain_with(&seed.row(x), &rest, &mut scratch);
+
+        let items = match resolved.verb {
+            Verb::PathSim | Verb::TopK => {
+                // PathSim(x,y) = 2·M[x,y] / (M[x,x] + M[y,y]). The row
+                // gives M[x,·]; each candidate's M[y,y] comes from its
+                // half-path row u = eᵧᵀ·H: an even palindrome is M = H·Hᵀ
+                // with diagonal ‖u‖², an odd one (self-relation middle
+                // step L, which `is_palindrome` leaves unconstrained) is
+                // M = H·L·Hᵀ with diagonal (u·L)·uᵀ. Either way the
+                // normalizers cost |candidates| half propagations —
+                // priced into the mode decision — instead of a full matrix.
+                let h = steps.len() / 2;
+                let (half_seed, half_rest) = self.propagation_seed(&steps[..h]);
+                let mid = (steps.len() % 2 == 1).then(|| steps[h].matrix(&self.hin));
+                let mxx = row.get(x);
+                let mut scored: Vec<(usize, f64)> = row
+                    .iter()
+                    .filter(|&(y, _)| y != x)
+                    .map(|(y, mxy)| {
+                        let u = spvm_chain_with(&half_seed.row(y), &half_rest, &mut scratch);
+                        let myy = match mid {
+                            Some(l) => spvm_with(&u, l, &mut scratch).dot(&u),
+                            None => u.dot_self(),
+                        };
+                        let denom = mxx + myy;
+                        let score = if denom <= 0.0 { 0.0 } else { 2.0 * mxy / denom };
+                        (y, score)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                scored.truncate(resolved.limit.unwrap_or(DEFAULT_LIMIT));
+                scored
+            }
+            Verb::PathCount | Verb::Neighbors => {
+                let exclude_self = resolved.start == resolved.end;
+                let mut counts: Vec<(usize, f64)> = row
+                    .iter()
+                    .filter(|&(y, _)| !(exclude_self && y == x))
+                    .collect();
+                counts.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                counts.truncate(resolved.limit.unwrap_or(default_row_limit(resolved.verb)));
+                counts
+            }
+            Verb::Rank => unreachable!("rank is not anchored; exec_mode keeps it Full"),
+        };
+
+        Ok(QueryOutput {
+            verb: resolved.verb,
+            object_type: self.hin.type_name(resolved.end).to_string(),
+            items: self.named(resolved.end, items),
+        })
+    }
+
+    /// Map `(node id, score)` pairs to `(node name, score)` for `ty`.
+    fn named(&self, ty: TypeId, items: Vec<(usize, f64)>) -> Vec<(String, f64)> {
+        items
+            .into_iter()
+            .map(|(id, score)| {
+                (
+                    self.hin
+                        .node_name(NodeRef { ty, id: id as u32 })
+                        .to_string(),
+                    score,
+                )
+            })
+            .collect()
     }
 
     fn commuting_of(&self, path: &MetaPath) -> Arc<Csr> {
@@ -279,27 +571,12 @@ impl Engine {
     fn assemble(&self, resolved: &ResolvedQuery, matrix: &Csr) -> Result<QueryOutput, QueryError> {
         let hin = &self.hin;
         let end_name = hin.type_name(resolved.end).to_string();
-        let named = |items: Vec<(usize, f64)>| -> Vec<(String, f64)> {
-            items
-                .into_iter()
-                .map(|(id, score)| {
-                    (
-                        hin.node_name(NodeRef {
-                            ty: resolved.end,
-                            id: id as u32,
-                        })
-                        .to_string(),
-                        score,
-                    )
-                })
-                .collect()
-        };
 
         let items = match resolved.verb {
             Verb::PathSim | Verb::TopK => {
                 let x = resolved.from.expect("resolver enforces `from`").id as usize;
                 let k = resolved.limit.unwrap_or(DEFAULT_LIMIT);
-                named(top_k_pathsim(matrix, x, k))
+                self.named(resolved.end, top_k_pathsim(matrix, x, k))
             }
             // Both verbs read the anchor's row of the commuting matrix.
             // `path_count` from `hin_similarity` is not used here: it always
@@ -321,12 +598,8 @@ impl Engine {
                 // outside the validated ingestion path) orders
                 // deterministically instead of panicking a serving process.
                 row.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-                let default_limit = match resolved.verb {
-                    Verb::PathCount => DEFAULT_LIMIT,
-                    _ => usize::MAX,
-                };
-                row.truncate(resolved.limit.unwrap_or(default_limit));
-                named(row)
+                row.truncate(resolved.limit.unwrap_or(default_row_limit(resolved.verb)));
+                self.named(resolved.end, row)
             }
             Verb::Rank => {
                 let mut sums: Vec<(usize, f64)> = matrix
@@ -341,19 +614,7 @@ impl Engine {
                 return Ok(QueryOutput {
                     verb: resolved.verb,
                     object_type: hin.type_name(resolved.start).to_string(),
-                    items: sums
-                        .into_iter()
-                        .map(|(id, score)| {
-                            (
-                                hin.node_name(NodeRef {
-                                    ty: resolved.start,
-                                    id: id as u32,
-                                })
-                                .to_string(),
-                                score,
-                            )
-                        })
-                        .collect(),
+                    items: self.named(resolved.start, sums),
                 });
             }
         };
@@ -363,6 +624,25 @@ impl Engine {
             object_type: end_name,
             items,
         })
+    }
+}
+
+/// Where an anchored propagation reads its seed row from.
+enum Seed<'a> {
+    /// A cache-resident prefix product: its row replaces the head of the
+    /// chain outright.
+    Cached(Arc<Csr>),
+    /// Nothing resident: the first step's relation adjacency (always free —
+    /// `eₓᵀ·M₁` *is* row `x` of `M₁`).
+    First(&'a Csr),
+}
+
+impl Seed<'_> {
+    fn row(&self, r: usize) -> SparseVec {
+        match self {
+            Seed::Cached(m) => SparseVec::from_csr_row(m, r),
+            Seed::First(m) => SparseVec::from_csr_row(m, r),
+        }
     }
 }
 
@@ -404,6 +684,13 @@ mod tests {
         b.build()
     }
 
+    /// An engine that always materializes — for tests whose subject is the
+    /// cache path itself (warming, eviction, snapshots), which the anchored
+    /// fast path would otherwise bypass.
+    fn eager_engine(hin: Arc<Hin>) -> Engine {
+        Engine::with_config(hin, CacheConfig::default(), ExecPolicy::eager())
+    }
+
     #[test]
     fn pathsim_matches_direct_computation() {
         let hin = bib();
@@ -431,7 +718,7 @@ mod tests {
 
     #[test]
     fn repeated_queries_hit_the_cache() {
-        let engine = Engine::new(bib());
+        let engine = eager_engine(Arc::new(bib()));
         let q = "pathsim author-paper-venue-paper-author from a0";
         let first = engine.execute(q).unwrap();
         let computed = engine.cache_misses();
@@ -456,7 +743,7 @@ mod tests {
 
     #[test]
     fn overlapping_queries_share_subproducts_via_transpose() {
-        let engine = Engine::new(bib());
+        let engine = eager_engine(Arc::new(bib()));
         // Warm the A→P→V half-path…
         engine
             .execute("pathcount author-paper-venue from a0")
@@ -635,7 +922,7 @@ mod tests {
     #[test]
     fn snapshot_restores_a_warm_cache_into_a_cold_engine() {
         let hin = Arc::new(bib());
-        let donor = Engine::from_arc(Arc::clone(&hin));
+        let donor = eager_engine(Arc::clone(&hin));
         let q = "pathsim author-paper-venue-paper-author from a0";
         let want = donor.execute(q).unwrap();
         let snap = donor.snapshot(None);
@@ -658,7 +945,7 @@ mod tests {
 
     #[test]
     fn restore_into_different_data_rejects_wholesale() {
-        let donor = Engine::new(bib());
+        let donor = eager_engine(Arc::new(bib()));
         donor
             .execute("pathsim author-paper-venue-paper-author from a0")
             .unwrap();
@@ -683,7 +970,7 @@ mod tests {
         b.link(pv, "p0", "v0", 1.0).unwrap();
         b.link(pv, "p1", "v0", 1.0).unwrap();
         b.link(pv, "p2", "v1", 1.0).unwrap();
-        let other = Engine::new(b.build());
+        let other = eager_engine(Arc::new(b.build()));
         let report = other.restore(&snap);
         assert!(report.fingerprint_mismatch, "rebuilt data must not pass");
         assert_eq!(report.loaded, 0, "no stale matrix may load");
@@ -709,5 +996,288 @@ mod tests {
         assert_eq!(plan.root.span(), (0, 3));
         assert!(plan.describe().contains("author→paper"));
         assert_eq!(engine.cache_misses(), 0, "planning computes nothing");
+    }
+
+    /// A network heavy enough that row propagation decisively beats
+    /// materialization: many papers, few authors, very few venues.
+    fn skewed_bib() -> Arc<Hin> {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let venue = b.add_type("venue");
+        let pa = b.add_relation("written_by", paper, author);
+        let pv = b.add_relation("published_in", paper, venue);
+        for p in 0..300 {
+            let pn = format!("p{p}");
+            b.link(pa, &pn, &format!("a{}", p % 12), 1.0).unwrap();
+            b.link(pa, &pn, &format!("a{}", (p * 7 + 1) % 12), 1.0)
+                .unwrap();
+            b.link(pv, &pn, &format!("v{}", p % 3), 1.0).unwrap();
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn anchored_fast_path_matches_materialized_results() {
+        let hin = skewed_bib();
+        let eager = eager_engine(Arc::clone(&hin));
+        // promotion pushed out of reach: every query stays on the fast path
+        let lazy = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        let queries = [
+            "pathsim author-paper-author from a3",
+            "pathsim author-paper-venue-paper-author from a0",
+            "topk 5 author-paper-author from a7",
+            "pathcount author-paper-venue from a1",
+            "pathcount venue-paper-author from v0 limit 7",
+            "neighbors author-paper-venue from a2",
+        ];
+        for q in queries {
+            assert_eq!(
+                lazy.execute(q).unwrap(),
+                eager.execute(q).unwrap(),
+                "fast path result diverged: {q}"
+            );
+        }
+        assert_eq!(
+            lazy.anchored_fast_paths(),
+            queries.len() as u64,
+            "every anchored query on this data should win the cost race"
+        );
+        assert_eq!(lazy.cache_misses(), 0, "the fast path materializes nothing");
+        assert_eq!(lazy.cache_len(), 0);
+        assert_eq!(lazy.promotions(), 0);
+    }
+
+    #[test]
+    fn hot_spans_promote_to_materialization() {
+        let hin = skewed_bib();
+        let reference = eager_engine(Arc::clone(&hin));
+        let engine = Engine::from_arc(Arc::clone(&hin)); // promote_after: 3
+        let q = "pathsim author-paper-venue-paper-author from a0";
+        let want = reference.execute(q).unwrap();
+
+        for run in 1..=2 {
+            assert_eq!(engine.execute(q).unwrap(), want);
+            assert_eq!(engine.anchored_fast_paths(), run);
+            assert_eq!(engine.cache_misses(), 0, "still lazy on run {run}");
+        }
+        // third query on the span crosses promote_after and materializes
+        assert_eq!(engine.execute(q).unwrap(), want);
+        assert_eq!(engine.promotions(), 1);
+        assert_eq!(engine.anchored_fast_paths(), 2);
+        let misses_after_promotion = engine.cache_misses();
+        assert!(misses_after_promotion > 0, "promotion ran the SpMM chain");
+
+        // from here on: plain cache hits, no recomputation, no more lazy runs
+        let hits = engine.cache_hits();
+        assert_eq!(engine.execute(q).unwrap(), want);
+        assert_eq!(engine.cache_misses(), misses_after_promotion);
+        assert!(engine.cache_hits() > hits);
+        assert_eq!(engine.anchored_fast_paths(), 2);
+        assert_eq!(engine.promotions(), 1);
+    }
+
+    #[test]
+    fn reversed_spans_share_heat() {
+        let hin = skewed_bib();
+        let engine = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(2),
+        );
+        // a span and its reversal heat one counter: the second query —
+        // on the mirrored path — crosses the threshold
+        engine
+            .execute("pathcount author-paper-venue from a0")
+            .unwrap();
+        assert_eq!(engine.promotions(), 0);
+        engine
+            .execute("pathcount venue-paper-author from v0")
+            .unwrap();
+        assert_eq!(engine.promotions(), 1, "mirror query promotes the span");
+    }
+
+    #[test]
+    fn promote_after_zero_materializes_immediately() {
+        let hin = skewed_bib();
+        let engine = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(0),
+        );
+        engine
+            .execute("pathcount author-paper-venue from a0")
+            .unwrap();
+        assert_eq!(engine.anchored_fast_paths(), 0);
+        assert_eq!(engine.promotions(), 1);
+        assert!(engine.cache_misses() > 0);
+    }
+
+    #[test]
+    fn evicted_seed_degrades_to_propagating_from_the_anchor() {
+        let hin = skewed_bib();
+        let reference = eager_engine(Arc::clone(&hin));
+        let engine = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig {
+                shards: 1,
+                byte_budget: Some(64 * 1024),
+            },
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        // Materialize the A-P-V prefix so the planner offers it as a seed.
+        // The queried path extends it by one step only (A-P-V-P, not the
+        // full palindrome: a cached A-P-V also makes the palindrome's
+        // second half free by transposition, and Full would rightly win).
+        let apv = MetaPath::from_type_names(engine.hin(), &["author", "paper", "venue"]).unwrap();
+        engine.commuting_matrix(&apv).unwrap();
+        let q = "pathcount author-paper-venue-paper from a0 limit 12";
+        let plan = engine.plan(q).unwrap();
+        match plan.mode {
+            crate::plan::ExecMode::SparseRow { seed, .. } => {
+                assert_eq!(seed, Some((0, 1)), "resident prefix offered as seed")
+            }
+            crate::plan::ExecMode::Full => panic!("anchored query must plan lazy"),
+        }
+
+        // evict the prefix between plan and execute: an oversized insert
+        // sweeps the single-shard LRU clean
+        let big = Csr::from_triplets(
+            400,
+            400,
+            (0..400u32).flat_map(|r| (0..30u32).map(move |c| (r, c * 13 % 400, 1.0))),
+        );
+        engine.cache().insert(vec![(42, true)], Arc::new(big));
+        assert!(
+            engine.cache().peek_nnz(&key_of(apv.steps())).is_none(),
+            "prefix must actually be gone"
+        );
+
+        // execution falls back to propagating from the anchor — correct,
+        // just colder
+        assert_eq!(engine.execute(q).unwrap(), reference.execute(q).unwrap());
+        assert_eq!(engine.anchored_fast_paths(), 1);
+    }
+
+    #[test]
+    fn odd_palindrome_pathsim_normalizers_match_full_matrix() {
+        // user-page-page-user is a 3-step palindrome (the middle step is a
+        // self-relation `is_palindrome` leaves unconstrained): M = V·L·Vᵀ,
+        // whose diagonal is (u·L)·uᵀ, NOT the half-row self-dot ‖u‖² —
+        // regression for the fast path silently dropping L from every
+        // normalizer. Skewed enough that the lazy mode wins the cost race.
+        let mut b = HinBuilder::new();
+        let user = b.add_type("user");
+        let page = b.add_type("page");
+        let viewed = b.add_relation("viewed", user, page);
+        let links = b.add_relation("links", page, page);
+        for u in 0..40 {
+            for k in 0..3 {
+                b.link(
+                    viewed,
+                    &format!("u{u}"),
+                    &format!("g{}", (u * 5 + k * 7) % 30),
+                    1.0,
+                )
+                .unwrap();
+            }
+        }
+        for g in 0..30 {
+            // symmetric page-page links, so the type-name path resolves
+            let other = format!("g{}", (g + 1) % 30);
+            b.link(links, &format!("g{g}"), &other, 1.0).unwrap();
+            b.link(links, &other, &format!("g{g}"), 1.0).unwrap();
+        }
+        let hin = Arc::new(b.build());
+        let eager = eager_engine(Arc::clone(&hin));
+        let lazy = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        for q in [
+            "pathsim user-page-page-user from u0",
+            "pathsim user-page-page-user from u7",
+            "topk 5 user-page-page-user from u3",
+            // directed middle through explicit relation steps: the same
+            // u·L·uᵀ diagonal formula must hold for an asymmetric L
+            "pathsim viewed-links-^viewed from u0",
+        ] {
+            assert_eq!(lazy.execute(q).unwrap(), eager.execute(q).unwrap(), "{q}");
+        }
+        assert!(
+            lazy.anchored_fast_paths() > 0,
+            "the odd-palindrome queries must actually exercise the fast path"
+        );
+    }
+
+    #[test]
+    fn pathcount_and_neighbors_default_limits_are_pinned() {
+        // a0 co-authored one paper with each of 15 distinct peers: the
+        // anchored row has 15 candidates
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let pa = b.add_relation("written_by", paper, author);
+        for i in 0..15 {
+            let pn = format!("p{i}");
+            b.link(pa, &pn, "a0", 1.0).unwrap();
+            b.link(pa, &pn, &format!("peer{i}"), 1.0).unwrap();
+        }
+        let hin = Arc::new(b.build());
+
+        for (label, engine) in [
+            ("lazy", Engine::from_arc(Arc::clone(&hin))),
+            ("eager", eager_engine(Arc::clone(&hin))),
+        ] {
+            // pathcount is a ranking verb: top-DEFAULT_LIMIT by default
+            let counts = engine
+                .execute("pathcount author-paper-author from a0")
+                .unwrap();
+            assert_eq!(counts.items.len(), DEFAULT_LIMIT, "{label} pathcount");
+            // neighbors is an enumeration verb: the whole reachable set
+            let all = engine
+                .execute("neighbors author-paper-author from a0")
+                .unwrap();
+            assert_eq!(all.items.len(), 15, "{label} neighbors");
+            // explicit limits override both defaults
+            let counts = engine
+                .execute("pathcount author-paper-author from a0 limit 12")
+                .unwrap();
+            assert_eq!(counts.items.len(), 12, "{label} pathcount limit");
+            let some = engine
+                .execute("neighbors author-paper-author from a0 limit 3")
+                .unwrap();
+            assert_eq!(some.items.len(), 3, "{label} neighbors limit");
+        }
+    }
+
+    #[test]
+    fn plan_reports_the_execution_mode() {
+        let hin = skewed_bib();
+        let engine = Engine::from_arc(Arc::clone(&hin));
+        let plan = engine
+            .plan("pathcount author-paper-venue-paper-author from a0")
+            .unwrap();
+        assert!(
+            matches!(plan.mode, crate::plan::ExecMode::SparseRow { .. }),
+            "cold anchored query plans the fast path: {plan}"
+        );
+        assert!(plan.to_string().contains("row-propagate"));
+        assert_eq!(engine.cache_misses(), 0, "planning computes nothing");
+        assert_eq!(engine.anchored_fast_paths(), 0, "planning executes nothing");
+
+        // non-anchored verbs and eager engines always plan Full
+        let rank = engine.plan("rank venue-paper-author").unwrap();
+        assert_eq!(rank.mode, crate::plan::ExecMode::Full);
+        let eager = eager_engine(Arc::clone(&hin));
+        let full = eager
+            .plan("pathcount author-paper-venue-paper-author from a0")
+            .unwrap();
+        assert_eq!(full.mode, crate::plan::ExecMode::Full);
     }
 }

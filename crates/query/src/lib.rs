@@ -17,11 +17,19 @@
 //!   guess);
 //! * [`plan`] — matrix-chain cost-based planning using the sparse flop and
 //!   nnz estimates from [`hin_linalg::chain`], extended so contiguous
-//!   sub-paths already in the cache become free plan leaves;
+//!   sub-paths already in the cache become free plan leaves — plus the
+//!   [`ExecMode`] decision: anchored queries (single `from` node) are
+//!   cost-routed between full materialization and **sparse-row
+//!   propagation** (`eₓᵀ·M₁·…·Mₙ` as chained [`hin_linalg::spvm_chain`]
+//!   products), seeded from the longest cache-resident prefix;
 //! * [`engine`] — [`Engine`]: executes plans, memoizes every intermediate
 //!   commuting matrix keyed by canonical sub-path (with transpose reuse:
 //!   the matrix of a reversed path is served by transposing the cached
-//!   forward one), and exposes hit/miss/eviction counters;
+//!   forward one), exposes hit/miss/eviction counters, and layers
+//!   **heat-based promotion** over the fast path: per-span counters
+//!   ([`ExecPolicy::promote_after`]) materialize a span through the
+//!   deduplicated cache path once it keeps being queried, so cold anchored
+//!   queries stay cheap and hot spans still amortize;
 //! * [`cache`] — the [`MatrixCache`] behind the engine: sharded across
 //!   independently locked segments so threads sharing one engine don't
 //!   contend, and optionally bounded by a byte budget
@@ -55,9 +63,12 @@
 //! let peers = engine.execute("pathsim author-paper-author from sun").unwrap();
 //! assert_eq!(peers.items[0].0, "han");
 //!
-//! // same path again: served from the commuting-matrix cache
+//! // anchored queries run either lazily (sparse-row propagation from the
+//! // anchor — nothing materialized) or through the commuting-matrix
+//! // cache, whichever the cost model picks; repeated spans get promoted
+//! // to the cache once hot
 //! engine.execute("pathsim author-paper-author from han").unwrap();
-//! assert!(engine.cache_hits() >= 1);
+//! assert!(engine.anchored_fast_paths() + engine.cache_hits() + engine.cache_misses() >= 1);
 //! ```
 
 pub mod cache;
@@ -69,9 +80,9 @@ pub mod resolve;
 pub mod snapshot;
 
 pub use cache::{CacheConfig, MatrixCache};
-pub use engine::{Engine, QueryOutput};
+pub use engine::{Engine, ExecPolicy, QueryOutput};
 pub use error::QueryError;
 pub use parse::{parse, ParsedQuery, PathExpr, PathSegment, Verb};
-pub use plan::{plan_steps, PlanNode, QueryPlan};
+pub use plan::{plan_steps, ExecMode, PlanNode, QueryPlan};
 pub use resolve::{resolve, resolve_path, ResolvedQuery};
 pub use snapshot::{dataset_fingerprint, CacheSnapshot, CodecError, SnapshotImport};

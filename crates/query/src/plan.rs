@@ -10,10 +10,13 @@
 //! converge onto shared sub-products instead of recomputing them.
 
 use hin_core::Hin;
-use hin_linalg::{spmm_chain_order_priced, Csr, MatSummary, PlanTree};
+use hin_linalg::{
+    spmm_chain_order_priced, spvm_chain_flops_estimate, spvm_flops_estimate, Csr, MatSummary,
+    PlanTree, SpvmChainEstimate,
+};
 use hin_similarity::PathStep;
 
-use crate::cache::{key_of, MatrixCache};
+use crate::cache::{key_of, MatrixCache, StepKey};
 
 /// One node of a query's evaluation plan, over step indices `lo..=hi`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,11 +89,46 @@ impl PlanNode {
     }
 }
 
+/// How an anchored query will be executed — the second axis of planning,
+/// orthogonal to the multiplication-order tree.
+///
+/// Every anchored verb (`pathsim`, `topk`, `pathcount`, `neighbors`)
+/// ultimately reads one row of the commuting matrix, so the engine can
+/// either materialize the matrix (sharing it with every later query via the
+/// cache) or propagate a sparse row from the anchor and share nothing.
+/// The planner cost-compares the two per query; the engine layers
+/// heat-based promotion on top so spans that keep being queried lazily get
+/// materialized after all.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExecMode {
+    /// Materialize the commuting matrix through the plan tree (cache-aware)
+    /// and read the anchor's row from it. Non-anchored verbs (`rank`) and
+    /// cache-resident spans always execute this way.
+    Full,
+    /// Propagate `eₓᵀ` through the chain as sparse-vector × CSR products —
+    /// the anchored fast path. Cold cost is proportional to the rows
+    /// actually reached instead of the whole product chain.
+    SparseRow {
+        /// Longest cache-resident prefix span `(0, hi)` to seed the
+        /// propagation from (its row replaces `eₓᵀ·M₁·…` up to `hi`), if
+        /// any was resident at plan time. A forecast, like cached plan
+        /// leaves: the executor re-probes and falls back to propagating
+        /// from the anchor when the span has been evicted since.
+        seed: Option<(usize, usize)>,
+        /// Estimated propagation multiply-adds (including PathSim
+        /// normalizer propagations where applicable).
+        est_flops: f64,
+    },
+}
+
 /// A planned query: evaluation tree plus cost diagnostics.
 #[derive(Clone, Debug)]
 pub struct QueryPlan {
     /// The evaluation tree.
     pub root: PlanNode,
+    /// How the engine will execute this query ([`ExecMode::Full`] unless
+    /// the anchored sparse-row fast path wins the cost comparison).
+    pub mode: ExecMode,
     /// Estimated multiply-adds under the chosen order (cached spans cost 0).
     pub est_flops: f64,
     /// Estimated multiply-adds of naive left-to-right evaluation with no
@@ -110,13 +148,27 @@ impl QueryPlan {
 
 impl std::fmt::Display for QueryPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} (est {:.0} flops; left-to-right {:.0})",
-            self.describe(),
-            self.est_flops,
-            self.left_to_right_flops
-        )
+        match self.mode {
+            ExecMode::Full => write!(
+                f,
+                "{} (est {:.0} flops; left-to-right {:.0})",
+                self.describe(),
+                self.est_flops,
+                self.left_to_right_flops
+            ),
+            ExecMode::SparseRow { seed, est_flops } => {
+                write!(
+                    f,
+                    "row-propagate[{}] (est {est_flops:.0} flops; full {:.0}",
+                    self.describe(),
+                    self.est_flops,
+                )?;
+                if let Some((lo, hi)) = seed {
+                    write!(f, "; seeded from cache[{lo}..{hi}]")?;
+                }
+                write!(f, ")")
+            }
+        }
     }
 }
 
@@ -166,9 +218,107 @@ pub fn plan_steps(hin: &Hin, steps: &[PathStep], cache: &MatrixCache) -> QueryPl
 
     QueryPlan {
         root: convert(&chain.tree),
+        mode: ExecMode::Full,
         est_flops: chain.est_flops,
         left_to_right_flops: chain.left_to_right_flops,
         labels,
+    }
+}
+
+/// Longest cache-resident prefix span `(0, hi)` of `key`, searching longest
+/// first, with `hi` at most `max_hi`. Non-counting ([`MatrixCache::peek_nnz`]
+/// also sees reversals): a plan is a forecast, not a use.
+fn longest_cached_prefix(
+    cache: &MatrixCache,
+    key: &[StepKey],
+    max_hi: usize,
+) -> Option<(usize, usize)> {
+    (1..=max_hi)
+        .rev()
+        .find_map(|hi| cache.peek_nnz(&key[..=hi]).map(|nnz| (hi, nnz)))
+}
+
+/// Estimated flops of propagating one anchor row through `steps`, seeding
+/// from the longest cached prefix when one is resident. Returns the seed
+/// span, the cost, and the expected nnz of the propagated row.
+fn row_propagation_estimate(
+    summaries: &[MatSummary],
+    cache: &MatrixCache,
+    key: &[StepKey],
+) -> (Option<(usize, usize)>, SpvmChainEstimate) {
+    // Prefix spans of length ≥ 2 only: the first step's matrix is already
+    // resident as the relation adjacency, so propagation starts from its
+    // row for free in any case. The full span is the caller's concern
+    // (a resident full span means ExecMode::Full, a pure cache hit).
+    let seed = longest_cached_prefix(cache, key, summaries.len().saturating_sub(2));
+    let (start, start_nnz) = match seed {
+        Some((hi, nnz)) => {
+            // expected nnz of one row of the cached prefix product
+            let rows = summaries[0].rows.max(1);
+            (hi + 1, (nnz as f64 / rows as f64).max(1.0))
+        }
+        None => {
+            let rows = summaries[0].rows.max(1);
+            (1, (summaries[0].nnz as f64 / rows as f64).max(1.0))
+        }
+    };
+    // (an empty remainder — e.g. a single-step half path — estimates to
+    // zero flops with `out_nnz = start_nnz`, exactly the free row read)
+    let est = spvm_chain_flops_estimate(start_nnz, &summaries[start..]);
+    (seed.map(|(hi, _)| (0, hi)), est)
+}
+
+/// Decide how an anchored query should execute: materialize the commuting
+/// matrix (`full_est_flops`, the cache-aware cost [`plan_steps`] computed)
+/// or propagate a sparse row from the anchor.
+///
+/// `normalizer_half` is `Some(h)` for PathSim-shaped verbs on a palindromic
+/// path of half-length `h`: their scores need the diagonal entries
+/// `M[y][y]` for every candidate `y`, which the fast path computes as
+/// self-dots of per-candidate half-path propagations — that per-candidate
+/// work is part of the lazy cost and is what makes dense-row anchors
+/// naturally fall back to full materialization.
+///
+/// The decision is greedy per query; amortization across future queries on
+/// the same span is the engine's heat-based promotion, not the planner's
+/// guess.
+pub(crate) fn plan_exec_mode(
+    hin: &Hin,
+    steps: &[PathStep],
+    cache: &MatrixCache,
+    full_est_flops: f64,
+    normalizer_half: Option<usize>,
+) -> ExecMode {
+    if steps.len() < 2 {
+        // a single-step query reads a row of the relation adjacency in
+        // place; both modes are free, Full avoids even the row copy
+        return ExecMode::Full;
+    }
+    let full_key = key_of(steps);
+    if cache.peek_nnz(&full_key).is_some() {
+        return ExecMode::Full; // resident: reading the row is a pure hit
+    }
+    let summaries: Vec<MatSummary> = steps
+        .iter()
+        .map(|s| MatSummary::from(s.matrix(hin)))
+        .collect();
+    let (seed, row_est) = row_propagation_estimate(&summaries, cache, &full_key);
+    let mut est_flops = row_est.flops;
+    if let Some(h) = normalizer_half {
+        // one half-path propagation + (self-)dot per candidate; an odd
+        // palindrome additionally pushes each half row through the middle
+        // matrix before the dot (see the engine's normalizer computation)
+        let (_, half_est) = row_propagation_estimate(&summaries[..h], cache, &full_key[..h]);
+        let mut per_candidate = half_est.flops + half_est.out_nnz;
+        if steps.len() % 2 == 1 {
+            per_candidate += spvm_flops_estimate(half_est.out_nnz, &summaries[h]);
+        }
+        est_flops += row_est.out_nnz * per_candidate;
+    }
+    if est_flops < full_est_flops {
+        ExecMode::SparseRow { seed, est_flops }
+    } else {
+        ExecMode::Full
     }
 }
 
@@ -244,6 +394,74 @@ mod tests {
         );
         assert!(plan.describe().contains("cache["));
         assert_eq!(plan.root.product_count(), 1);
+    }
+
+    #[test]
+    fn cold_anchored_queries_choose_row_propagation() {
+        let (hin, steps) = skewed();
+        let cache = MatrixCache::default();
+        let plan = plan_steps(&hin, &steps, &cache);
+        let mode = plan_exec_mode(&hin, &steps, &cache, plan.est_flops, None);
+        match mode {
+            ExecMode::SparseRow { seed, est_flops } => {
+                assert_eq!(seed, None, "nothing cached to seed from");
+                assert!(
+                    est_flops < plan.est_flops,
+                    "lazy {est_flops} must beat full {}",
+                    plan.est_flops
+                );
+            }
+            ExecMode::Full => panic!("cold anchored query must propagate"),
+        }
+        // the PathSim-normalizer variant also wins on this skewed chain
+        // (per-candidate half propagations are cheap next to the chain)
+        assert!(matches!(
+            plan_exec_mode(&hin, &steps, &cache, plan.est_flops, Some(1)),
+            ExecMode::SparseRow { .. }
+        ));
+    }
+
+    #[test]
+    fn resident_spans_short_circuit_to_full() {
+        let (hin, steps) = skewed();
+        let cache = MatrixCache::default();
+        // materialize the whole span: reading a row of it is a pure hit
+        let m = steps[0]
+            .matrix(&hin)
+            .spgemm(steps[1].matrix(&hin))
+            .spgemm(steps[2].matrix(&hin));
+        cache.put(key_of(&steps), Arc::new(m));
+        let plan = plan_steps(&hin, &steps, &cache);
+        assert_eq!(plan.est_flops, 0.0);
+        assert_eq!(
+            plan_exec_mode(&hin, &steps, &cache, plan.est_flops, None),
+            ExecMode::Full
+        );
+        // single steps read a relation row in place — always Full
+        assert_eq!(
+            plan_exec_mode(&hin, &steps[..1], &cache, 0.0, None),
+            ExecMode::Full
+        );
+    }
+
+    #[test]
+    fn cached_prefixes_seed_the_propagation() {
+        let (hin, steps) = skewed();
+        let cache = MatrixCache::default();
+        // Preload the head pair P-A·A-P as if a previous query computed it.
+        let head = key_of(&steps[0..=1]);
+        let m = steps[0].matrix(&hin).spgemm(steps[1].matrix(&hin));
+        cache.put(head, Arc::new(m));
+
+        let plan = plan_steps(&hin, &steps, &cache);
+        match plan_exec_mode(&hin, &steps, &cache, plan.est_flops, None) {
+            ExecMode::SparseRow { seed, .. } => {
+                assert_eq!(seed, Some((0, 1)), "longest resident prefix seeds");
+            }
+            ExecMode::Full => {
+                panic!("a seeded propagation is one free row read plus one link")
+            }
+        }
     }
 
     #[test]

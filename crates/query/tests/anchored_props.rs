@@ -1,0 +1,221 @@
+//! Property tests for the anchored sparse-row fast path: on random
+//! heterogeneous networks, row propagation must produce **numerically
+//! identical** results to the full-matrix path — `total_cmp`-equal scores
+//! (compared by bit pattern) in the same order — including under cache
+//! eviction between plan and execute and after a warm-start restore.
+//!
+//! Edge weights are drawn from small integers, so every commuting-matrix
+//! entry is an exactly-representable integer well below 2⁵³ and every
+//! PathSim score is the same division of the same integers on both paths:
+//! any multiplication order (the planner's full-matrix association, the
+//! fast path's left-to-right propagation) yields bit-identical floats.
+//! This is the realistic regime — path counts on real HINs are integral —
+//! and the one where "identical" is a meaningful, non-flaky contract.
+
+use std::sync::Arc;
+
+use hin_core::{Hin, HinBuilder};
+use hin_query::{CacheConfig, Engine, ExecPolicy};
+use proptest::prelude::*;
+
+/// A random bibliographic world: `(paper→author edges, paper→venue edges,
+/// weights in 1..=3)`, with every node pre-interned so anchors exist even
+/// when the edge draw leaves some isolated.
+#[derive(Clone, Debug)]
+struct World {
+    n_papers: usize,
+    n_authors: usize,
+    n_venues: usize,
+    pa: Vec<(usize, usize, u32)>,
+    pv: Vec<(usize, usize, u32)>,
+}
+
+impl World {
+    fn build(&self) -> Arc<Hin> {
+        let mut b = HinBuilder::new();
+        let paper = b.add_type("paper");
+        let author = b.add_type("author");
+        let venue = b.add_type("venue");
+        let pa = b.add_relation("written_by", paper, author);
+        let pv = b.add_relation("published_in", paper, venue);
+        for p in 0..self.n_papers {
+            b.intern(paper, &format!("p{p}"));
+        }
+        for a in 0..self.n_authors {
+            b.intern(author, &format!("a{a}"));
+        }
+        for v in 0..self.n_venues {
+            b.intern(venue, &format!("v{v}"));
+        }
+        for &(p, a, w) in &self.pa {
+            b.link(pa, &format!("p{p}"), &format!("a{a}"), w as f64)
+                .unwrap();
+        }
+        for &(p, v, w) in &self.pv {
+            b.link(pv, &format!("p{p}"), &format!("v{v}"), w as f64)
+                .unwrap();
+        }
+        Arc::new(b.build())
+    }
+}
+
+fn worlds() -> impl Strategy<Value = World> {
+    (
+        3usize..16,
+        2usize..10,
+        1usize..5,
+        prop::collection::vec((0usize..16, 0usize..10, 1u32..4), 1..64),
+        prop::collection::vec((0usize..16, 0usize..5, 1u32..4), 1..48),
+    )
+        .prop_map(|(n_papers, n_authors, n_venues, pa, pv)| World {
+            n_papers,
+            n_authors,
+            n_venues,
+            pa: pa
+                .into_iter()
+                .map(|(p, a, w)| (p % n_papers, a % n_authors, w))
+                .collect(),
+            pv: pv
+                .into_iter()
+                .map(|(p, v, w)| (p % n_papers, v % n_venues, w))
+                .collect(),
+        })
+}
+
+/// The anchored queries under test, across every author anchor: palindromic
+/// PathSim paths (normalizers via half-path self-dots), raw counts, and
+/// enumeration, with and without explicit limits.
+fn anchored_queries(world: &World) -> Vec<String> {
+    let mut queries = Vec::new();
+    for a in 0..world.n_authors {
+        queries.push(format!("pathsim author-paper-author from a{a}"));
+        queries.push(format!("pathsim author-paper-venue-paper-author from a{a}"));
+        queries.push(format!("topk 3 author-paper-author from a{a}"));
+        queries.push(format!("pathcount author-paper-venue from a{a}"));
+        queries.push(format!("neighbors author-paper-venue from a{a} limit 2"));
+    }
+    for v in 0..world.n_venues {
+        queries.push(format!("pathcount venue-paper-author from v{v} limit 4"));
+    }
+    queries
+}
+
+/// Assert two outputs are identical to the bit: same names in the same
+/// order, scores equal under `total_cmp` (bit-pattern comparison — stricter
+/// than `==`, which would let `-0.0 == 0.0` slide).
+fn assert_bit_identical(
+    got: &hin_query::QueryOutput,
+    want: &hin_query::QueryOutput,
+    context: &str,
+) -> Result<(), String> {
+    if got.object_type != want.object_type || got.items.len() != want.items.len() {
+        return Err(format!("{context}: shape mismatch {got:?} vs {want:?}"));
+    }
+    for (i, ((gn, gs), (wn, ws))) in got.items.iter().zip(&want.items).enumerate() {
+        if gn != wn {
+            return Err(format!("{context}: item {i} name {gn} vs {wn}"));
+        }
+        if gs.to_bits() != ws.to_bits() {
+            return Err(format!(
+                "{context}: item {i} score {gs:?} vs {ws:?} (bits differ)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Row propagation ≡ the full-matrix row, on cold engines.
+    #[test]
+    fn row_propagation_matches_full_matrix(world in worlds()) {
+        let hin = world.build();
+        let full = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::eager(),
+        );
+        // promotion pushed out of reach: every anchored query that wins
+        // the cost race stays on the fast path
+        let lazy = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        for q in anchored_queries(&world) {
+            let want = full.execute(&q).expect("full-matrix execution");
+            let got = lazy.execute(&q).expect("fast-path execution");
+            if let Err(msg) = assert_bit_identical(&got, &want, &q) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+
+    /// The same identity under a thrashing bounded cache: plan-time seeds
+    /// are repeatedly evicted before execution (interleaved materializing
+    /// queries churn a tiny LRU), and the fast path must silently fall
+    /// back to propagating from the anchor.
+    #[test]
+    fn row_propagation_survives_eviction_thrash(world in worlds()) {
+        let hin = world.build();
+        let full = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::eager(),
+        );
+        // a budget of roughly one small product: almost every store evicts
+        let lazy = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig { shards: 1, byte_budget: Some(2048) },
+            ExecPolicy::promote_after(2),
+        );
+        for (i, q) in anchored_queries(&world).iter().enumerate() {
+            // interleave rank queries so the bounded cache keeps churning
+            // (rank always materializes its chain)
+            if i % 3 == 0 {
+                lazy.execute("rank venue-paper-author limit 3").expect("rank");
+            }
+            let want = full.execute(q).expect("full-matrix execution");
+            let got = lazy.execute(q).expect("fast-path execution");
+            if let Err(msg) = assert_bit_identical(&got, &want, q) {
+                prop_assert!(false, "{} (under eviction thrash)", msg);
+            }
+        }
+    }
+
+    /// The same identity after a warm-start restore: a donor's snapshot
+    /// seeds the replacement's cache, so anchored queries run against a
+    /// mix of restored full spans (pure hits) and propagation.
+    #[test]
+    fn row_propagation_matches_after_warm_restore(world in worlds()) {
+        let hin = world.build();
+        let full = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::eager(),
+        );
+        let queries = anchored_queries(&world);
+        // donor materializes a subset of spans, then hands its cache over
+        let donor = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::eager(),
+        );
+        for q in queries.iter().step_by(3) {
+            donor.execute(q).expect("donor query");
+        }
+        let snapshot = donor.snapshot(None);
+
+        let warm = Engine::from_arc(Arc::clone(&hin)); // default lazy policy
+        let report = warm.restore(&snapshot);
+        prop_assert_eq!(report.rejected, 0, "same dataset must restore fully");
+        for q in &queries {
+            let want = full.execute(q).expect("full-matrix execution");
+            let got = warm.execute(q).expect("warm-engine execution");
+            if let Err(msg) = assert_bit_identical(&got, &want, q) {
+                prop_assert!(false, "{} (after warm restore)", msg);
+            }
+        }
+    }
+}

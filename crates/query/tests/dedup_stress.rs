@@ -107,7 +107,7 @@ fn concurrent_thrash_computes_each_key_at_most_once_per_generation() {
 #[test]
 fn engine_level_dedup_keeps_misses_at_single_thread_count() {
     use hin_core::HinBuilder;
-    use hin_query::Engine;
+    use hin_query::{Engine, ExecPolicy};
 
     let mut b = HinBuilder::new();
     let paper = b.add_type("paper");
@@ -124,12 +124,23 @@ fn engine_level_dedup_keeps_misses_at_single_thread_count() {
     }
     let hin = Arc::new(b.build());
 
-    let reference = Engine::from_arc(Arc::clone(&hin));
+    // Eager policy on both engines: this test's subject is the
+    // materialization path's in-flight dedup, which the anchored fast
+    // path would otherwise sidestep (it computes no shared products).
+    let reference = Engine::with_config(
+        Arc::clone(&hin),
+        CacheConfig::default(),
+        ExecPolicy::eager(),
+    );
     let q = "pathsim author-paper-venue-paper-author from a0";
     let want = reference.execute(q).unwrap();
     let single_thread_misses = reference.cache_misses();
 
-    let engine = Arc::new(Engine::from_arc(Arc::clone(&hin)));
+    let engine = Arc::new(Engine::with_config(
+        Arc::clone(&hin),
+        CacheConfig::default(),
+        ExecPolicy::eager(),
+    ));
     let n_threads = 8;
     let barrier = Arc::new(Barrier::new(n_threads));
     let handles: Vec<_> = (0..n_threads)

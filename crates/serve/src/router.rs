@@ -464,6 +464,19 @@ mod tests {
         Arc::new(b.build())
     }
 
+    /// A router whose servers always materialize: the snapshot/warm-start
+    /// tests below need a *single* query to land products in the cache,
+    /// which the anchored fast path (by design) does not.
+    fn eager_router() -> Router {
+        Router::new(RouterConfig {
+            serve: ServeConfig {
+                exec: hin_query::ExecPolicy::eager(),
+                ..ServeConfig::default()
+            },
+            ..RouterConfig::default()
+        })
+    }
+
     #[test]
     fn routes_by_dataset_key() {
         let router = Router::default();
@@ -502,7 +515,7 @@ mod tests {
 
     #[test]
     fn evict_drains_and_unregisters() {
-        let router = Router::default();
+        let router = eager_router();
         router.register("d", tiny(&[("p0", "ann"), ("p0", "bo")]));
         let ok = router
             .submit("d", "pathsim author-paper-author from ann")
@@ -547,7 +560,7 @@ mod tests {
     #[test]
     fn evicted_snapshot_warms_the_replacement() {
         let hin = tiny(&[("p0", "ann"), ("p0", "bo"), ("p1", "bo")]);
-        let router = Router::default();
+        let router = eager_router();
         router.register("d", Arc::clone(&hin));
         let q = "pathsim author-paper-author from ann";
         let want = router.submit("d", q).wait().unwrap();
@@ -578,7 +591,7 @@ mod tests {
             std::thread::current().id()
         ));
         let hin = tiny(&[("p0", "ann"), ("p0", "bo")]);
-        let router = Router::default();
+        let router = eager_router();
         router.register("dblp/full", Arc::clone(&hin));
         let q = "pathsim author-paper-author from ann";
         let want = router.submit("dblp/full", q).wait().unwrap();

@@ -8,7 +8,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hin_core::Hin;
-use hin_query::{CacheConfig, CacheSnapshot, Engine, QueryError, QueryOutput, SnapshotImport};
+use hin_query::{
+    CacheConfig, CacheSnapshot, Engine, ExecPolicy, QueryError, QueryOutput, SnapshotImport,
+};
 
 use crate::queue::{FairQueue, Push};
 
@@ -32,6 +34,14 @@ pub struct ServeConfig {
     pub queue_depth: Option<usize>,
     /// Commuting-matrix cache sizing (shards, byte budget).
     pub cache: CacheConfig,
+    /// Execution policy: whether anchored queries may take the sparse-row
+    /// fast path, and how many lazy executions of one span trigger
+    /// heat-based promotion to full materialization
+    /// ([`ExecPolicy::promote_after`]). The default keeps the fast path on
+    /// — cold anchored traffic after a register/failover answers in row
+    /// time instead of first paying whole SpMM chains — while hot spans
+    /// still land in the cache (and therefore in snapshots).
+    pub exec: ExecPolicy,
     /// Warm start: a cache snapshot restored into the engine *before* the
     /// server takes traffic, so a replacement re-takes a failed-over
     /// dataset warm instead of re-paying every SpMM chain under load.
@@ -50,6 +60,7 @@ impl Default for ServeConfig {
             batch_max: 32,
             queue_depth: None,
             cache: CacheConfig::default(),
+            exec: ExecPolicy::default(),
             warm_start: None,
         }
     }
@@ -112,6 +123,12 @@ pub struct ServerStats {
     pub cache_misses: u64,
     /// Cache: entries evicted to stay under the byte budget.
     pub cache_evictions: u64,
+    /// Queries answered by anchored sparse-row propagation instead of
+    /// matrix materialization (the cost-routed fast path).
+    pub anchored_fast_paths: u64,
+    /// Spans promoted from lazy propagation to full materialization after
+    /// crossing [`ExecPolicy::promote_after`] lazy executions.
+    pub promotions: u64,
     /// Cache: workers served by waiting on another worker's in-flight
     /// computation of the same product (compute-once, wait-many).
     pub cache_coalesced_waits: u64,
@@ -151,6 +168,8 @@ impl ServerStats {
             cache_symmetry_hits: self.cache_symmetry_hits + other.cache_symmetry_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             cache_evictions: self.cache_evictions + other.cache_evictions,
+            anchored_fast_paths: self.anchored_fast_paths + other.anchored_fast_paths,
+            promotions: self.promotions + other.promotions,
             cache_coalesced_waits: self.cache_coalesced_waits + other.cache_coalesced_waits,
             cache_dup_computes: self.cache_dup_computes + other.cache_dup_computes,
             cache_warm_loaded: self.cache_warm_loaded + other.cache_warm_loaded,
@@ -290,7 +309,7 @@ impl Server {
     /// the engine *before* any worker thread exists, so the first admitted
     /// query already sees the warm cache.
     pub fn start(hin: Arc<Hin>, config: ServeConfig) -> Server {
-        let engine = Arc::new(Engine::with_cache_config(hin, config.cache));
+        let engine = Arc::new(Engine::with_config(hin, config.cache, config.exec));
         let warm_import = config.warm_start.as_ref().map(|s| engine.restore(s));
         let n_workers = config.workers.max(1);
         let batch_max = config.batch_max.max(1);
@@ -416,6 +435,8 @@ impl Server {
             cache_symmetry_hits: cache.symmetry_hits(),
             cache_misses: cache.misses(),
             cache_evictions: cache.evictions(),
+            anchored_fast_paths: self.engine.anchored_fast_paths(),
+            promotions: self.engine.promotions(),
             cache_coalesced_waits: cache.coalesced_waits(),
             cache_dup_computes: cache.dup_computes(),
             cache_warm_loaded: cache.warm_loaded(),

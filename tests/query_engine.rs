@@ -2,9 +2,18 @@
 //! must agree with direct `hin::similarity` computation, serve repeats from
 //! its commuting-matrix cache, and plan non-trivial multiplication orders.
 
-use hin::query::Engine;
+use std::sync::Arc;
+
+use hin::query::{CacheConfig, Engine, ExecPolicy};
 use hin::similarity::{commuting_matrix, path_count, top_k_pathsim, MetaPath};
 use hin::synth::{DblpConfig, DblpData};
+
+/// An engine that always materializes — for the tests below whose subject
+/// is the commuting-matrix cache, which the anchored sparse-row fast path
+/// (the default policy) deliberately bypasses until promotion.
+fn eager_engine(hin: hin::core::Hin) -> Engine {
+    Engine::with_config(Arc::new(hin), CacheConfig::default(), ExecPolicy::eager())
+}
 
 fn world() -> DblpData {
     DblpConfig {
@@ -88,7 +97,7 @@ fn topk_and_pathcount_agree_with_direct_computation() {
 #[test]
 fn repeated_and_overlapping_queries_are_served_from_cache() {
     let data = world();
-    let engine = Engine::new(data.hin);
+    let engine = eager_engine(data.hin);
 
     let q = "pathsim author-paper-venue-paper-author from author_a0_0";
     let first = engine.execute(q).unwrap();
@@ -123,7 +132,7 @@ fn repeated_and_overlapping_queries_are_served_from_cache() {
 #[test]
 fn reversed_half_paths_reuse_cached_transposes() {
     let data = world();
-    let engine = Engine::new(data.hin);
+    let engine = eager_engine(data.hin);
     engine
         .execute("pathcount author-paper-venue from author_a0_0")
         .unwrap();
@@ -161,7 +170,7 @@ fn planner_picks_a_non_left_to_right_order() {
 #[test]
 fn execute_many_batches_against_one_cache() {
     let data = world();
-    let engine = Engine::new(data.hin);
+    let engine = eager_engine(data.hin);
     let queries = [
         "pathcount author-paper-venue from author_a0_0",
         "pathcount author-paper-venue from author_a0_1",
@@ -177,6 +186,39 @@ fn execute_many_batches_against_one_cache() {
     // the second A-P-V query shares the first's commuting matrix, and the
     // V-P-A rank reuses it transposed
     assert!(engine.cache_hits() >= 1);
+}
+
+#[test]
+fn anchored_fast_path_and_promotion_end_to_end() {
+    let data = world();
+    let hin = Arc::new(data.hin);
+    let reference = Engine::with_config(
+        Arc::clone(&hin),
+        CacheConfig::default(),
+        ExecPolicy::eager(),
+    );
+    // default policy: lazy fast path on, promote_after = 3
+    let engine = Engine::from_arc(Arc::clone(&hin));
+    let q = "pathsim author-paper-venue-paper-author from author_a0_0";
+    let want = reference.execute(q).unwrap();
+
+    // cold queries ride the sparse-row fast path: same answer, nothing
+    // materialized (unit-weight data ⇒ exact arithmetic ⇒ identical floats)
+    for run in 1..=2 {
+        assert_eq!(engine.execute(q).unwrap(), want, "lazy run {run}");
+    }
+    assert_eq!(engine.anchored_fast_paths(), 2);
+    assert_eq!(engine.cache_misses(), 0);
+
+    // the third query on the span crosses promote_after: the span is
+    // materialized through the cache and later queries are plain hits
+    assert_eq!(engine.execute(q).unwrap(), want);
+    assert_eq!(engine.promotions(), 1);
+    let misses = engine.cache_misses();
+    assert!(misses > 0);
+    assert_eq!(engine.execute(q).unwrap(), want);
+    assert_eq!(engine.cache_misses(), misses, "post-promotion repeat hits");
+    assert_eq!(engine.anchored_fast_paths(), 2);
 }
 
 #[test]
