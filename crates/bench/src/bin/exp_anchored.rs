@@ -48,9 +48,6 @@ fn median_cold_ms(reps: usize, mut make: impl FnMut() -> Engine, query: &str) ->
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (n_papers, cold_reps) = if smoke { (800, 5) } else { (2_500, 9) };
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
     let data = DblpConfig {
         n_areas: 4,
@@ -193,7 +190,7 @@ fn main() {
 
     let mut report = hin_bench::JsonReport::new();
     report.set("smoke", smoke);
-    report.set("available_parallelism", cores);
+    report.stamp_env(None);
     report.set("n_papers", n_papers);
     report.set("cold_reps", cold_reps);
     report.set("lazy_cold_ms", format!("{lazy_cold_ms:.4}"));

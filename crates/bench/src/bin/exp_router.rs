@@ -68,10 +68,6 @@ fn main() {
     } else {
         (1_500, 12, 6, 200)
     };
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-
     let datasets: Vec<(String, Arc<Hin>)> = vec![
         ("dblp-a".to_string(), world(11, n_papers)),
         ("dblp-b".to_string(), world(29, n_papers)),
@@ -219,7 +215,7 @@ fn main() {
 
     let mut report = hin_bench::JsonReport::new();
     report.set("smoke", smoke);
-    report.set("available_parallelism", cores);
+    report.stamp_env(Some(thrash_budget));
     report.set("datasets", datasets.len());
     report.set("client_threads", client_threads);
     report.set("thrash_queries", queries.len());

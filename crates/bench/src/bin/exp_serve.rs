@@ -112,10 +112,9 @@ fn main() {
 
     let mut report = hin_bench::JsonReport::new();
     report.set("smoke", smoke);
-    report.set("available_parallelism", cores);
+    report.stamp_env(Some(budget));
     report.set("workload_queries", queries.len());
     report.set("rounds", rounds);
-    report.set("cache_budget_bytes", budget);
     report.set("result_mismatches", mismatches);
     for (w, r) in &bounded {
         report.set(&format!("bounded_{w}w_ms"), format!("{:.3}", r.ms));

@@ -53,9 +53,6 @@ fn run(server: Server, queries: &[String]) -> Run {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (n_papers, anchors) = if smoke { (600, 8) } else { (2_000, 24) };
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
 
     let data = DblpConfig {
         n_areas: 4,
@@ -123,7 +120,7 @@ fn main() {
 
     let mut report = hin_bench::JsonReport::new();
     report.set("smoke", smoke);
-    report.set("available_parallelism", cores);
+    report.stamp_env(None);
     report.set("workload_queries", queries.len());
     report.set("result_mismatches", mismatches);
     report.set("donor_misses", donor_stats.cache_misses);

@@ -83,6 +83,47 @@ impl JsonReport {
         self.fields.push((key.to_string(), value.to_string()));
     }
 
+    /// Append one `"key": "value"` **string** field, quoted and escaped.
+    pub fn set_str(&mut self, key: &str, value: &str) {
+        let escaped: String = value
+            .chars()
+            .flat_map(|c| match c {
+                '\\' => vec!['\\', '\\'],
+                '"' => vec!['\\', '"'],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect();
+        self.fields
+            .push((key.to_string(), format!("\"{escaped}\"")));
+    }
+
+    /// Stamp the environment the experiment ran under — available
+    /// parallelism, the `rustc` on `PATH`, the cache byte budget in effect
+    /// (`None` renders as `null` = unbounded), and a wall-clock timestamp —
+    /// so a trajectory of `BENCH_*.json` blobs across PRs records *where*
+    /// each number came from, not just the number.
+    pub fn stamp_env(&mut self, cache_budget_bytes: Option<usize>) {
+        self.set(
+            "available_parallelism",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        );
+        self.set_str("rustc_version", &rustc_version());
+        match cache_budget_bytes {
+            Some(bytes) => self.set("cache_budget_bytes", bytes),
+            None => self.set("cache_budget_bytes", "null"),
+        }
+        self.set(
+            "unix_time_s",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        );
+    }
+
     /// Render the JSON object.
     pub fn to_json(&self) -> String {
         let mut json = String::from("{\n");
@@ -103,6 +144,19 @@ impl JsonReport {
         eprintln!("wrote {}", path.display());
         path
     }
+}
+
+/// `rustc --version` of the toolchain on `PATH` (which built the
+/// experiment under every supported invocation), or `"unknown"`.
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Print a GitHub-flavoured markdown table.
@@ -247,6 +301,31 @@ mod tests {
             "{\n  \"smoke\": true,\n  \"served\": 42,\n  \"qps\": 1234.6\n}\n"
         );
         assert_eq!(JsonReport::new().to_json(), "{\n}\n");
+    }
+
+    #[test]
+    fn string_fields_are_quoted_and_escaped() {
+        let mut r = JsonReport::new();
+        r.set_str("v", "rustc 1.80.0 \"quoted\\path\"\nnext");
+        assert_eq!(
+            r.to_json(),
+            "{\n  \"v\": \"rustc 1.80.0 \\\"quoted\\\\path\\\"\\nnext\"\n}\n"
+        );
+    }
+
+    #[test]
+    fn env_stamp_records_parallelism_toolchain_budget_and_time() {
+        let mut r = JsonReport::new();
+        r.stamp_env(Some(1 << 20));
+        let json = r.to_json();
+        assert!(json.contains("\"available_parallelism\": "));
+        assert!(json.contains("\"rustc_version\": \""));
+        assert!(json.contains("\"cache_budget_bytes\": 1048576"));
+        assert!(json.contains("\"unix_time_s\": "));
+
+        let mut unbounded = JsonReport::new();
+        unbounded.stamp_env(None);
+        assert!(unbounded.to_json().contains("\"cache_budget_bytes\": null"));
     }
 
     #[test]

@@ -36,6 +36,15 @@ impl ScatterScratch {
     pub(crate) fn prepare(&mut self, ncols: usize) {
         if self.acc.len() < ncols {
             self.acc.resize(ncols, 0.0);
+            crate::counters::with(|c| {
+                c.scratch_allocs
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        } else {
+            crate::counters::with(|c| {
+                c.scratch_reuses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
         }
     }
 }
@@ -310,6 +319,14 @@ impl Csr {
             self.nrows, self.ncols, rhs.nrows, rhs.ncols
         );
         let flops = crate::chain::spmm_flops_estimate(self, rhs);
+        // `flops` is the exact multiply-add count for this product (one per
+        // (A-nonzero, matching B-row-nonzero) pair), so it doubles as the
+        // profiling figure.
+        crate::counters::with(|c| {
+            use std::sync::atomic::Ordering::Relaxed;
+            c.spgemm_calls.fetch_add(1, Relaxed);
+            c.spgemm_flops.fetch_add(flops as u64, Relaxed);
+        });
         // The estimate is already ≤ rows·cols; the flop count is a hard
         // upper bound on output nnz (each multiply-add touches one cell).
         let reserve = crate::chain::spmm_nnz_estimate(self.nrows, rhs.ncols, flops)

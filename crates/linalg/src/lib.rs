@@ -22,10 +22,14 @@
 //!   dense matrices,
 //! * [`lanczos::lanczos_symmetric`] — Lanczos iteration for large sparse
 //!   symmetric operators,
-//! * [`solve::solve_linear`] — Gaussian elimination with partial pivoting.
+//! * [`solve::solve_linear`] — Gaussian elimination with partial pivoting,
+//! * [`counters`] — injectable process-wide kernel profiling counters
+//!   (multiply-adds performed, scratch reuse) the serving-stack telemetry
+//!   reads.
 
 pub mod chain;
 pub mod codec;
+pub mod counters;
 pub mod csr;
 pub mod dense;
 pub mod eigen;
@@ -38,6 +42,7 @@ pub use chain::{
     spmm_chain, spmm_chain_order, spmm_chain_order_priced, spmm_flops_estimate, spmm_nnz_estimate,
     ChainPlan, MatSummary, PlanTree,
 };
+pub use counters::{KernelCounters, KernelCountersSnapshot};
 pub use csr::{Csr, ScatterScratch};
 pub use dense::DMat;
 pub use spvec::{

@@ -220,6 +220,16 @@ pub fn spvm_with(v: &SparseVec, m: &Csr, scratch: &mut ScatterScratch) -> Sparse
         v.dim(),
         m.nrows()
     );
+    crate::counters::with(|c| {
+        use std::sync::atomic::Ordering::Relaxed;
+        let ops: usize = v
+            .indices
+            .iter()
+            .map(|&k| m.row_indices(k as usize).len())
+            .sum();
+        c.spvm_calls.fetch_add(1, Relaxed);
+        c.spvm_flops.fetch_add(ops as u64, Relaxed);
+    });
     scratch.prepare(m.ncols());
     let ScatterScratch { acc, touched } = scratch;
     for (k, vk) in v.iter() {

@@ -587,10 +587,31 @@ impl MatrixCache {
     /// are acyclic and cannot deadlock. If `compute` unwinds, the claim is
     /// abandoned and one of the waiters re-claims the key.
     pub fn get_or_compute(&self, key: &[StepKey], compute: impl FnOnce() -> Csr) -> Arc<Csr> {
+        self.get_or_compute_traced(key, compute).0
+    }
+
+    /// [`MatrixCache::get_or_compute`] that also reports *how* this caller
+    /// was served — the per-query signal the serving stack's telemetry
+    /// aggregates (the global hit/miss counters can't attribute an outcome
+    /// to one caller under concurrency).
+    pub fn get_or_compute_traced(
+        &self,
+        key: &[StepKey],
+        compute: impl FnOnce() -> Csr,
+    ) -> (Arc<Csr>, CacheOutcome) {
         let mut compute = Some(compute);
+        // A caller that ever waited on someone else's computation reports
+        // CoalescedWait even if it is finally served by a plain lookup on
+        // retry — the wait is what its latency is made of.
+        let mut waited = false;
         loop {
             if let Some(m) = self.get(key) {
-                return m;
+                let outcome = if waited {
+                    CacheOutcome::CoalescedWait
+                } else {
+                    CacheOutcome::Hit
+                };
+                return (m, outcome);
             }
             let claimed = {
                 let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
@@ -608,13 +629,14 @@ impl MatrixCache {
                     // Someone else is computing this key: wait for their
                     // result instead of duplicating the work.
                     self.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                    waited = true;
                     let mut state = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
                     while matches!(*state, SlotState::Pending) {
                         state = slot.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
                     }
                     if let SlotState::Done(Some(m)) = &*state {
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Arc::clone(m);
+                        return (Arc::clone(m), CacheOutcome::CoalescedWait);
                     }
                     // Abandoned (computer unwound): retry; we may claim.
                 }
@@ -629,14 +651,51 @@ impl MatrixCache {
                     // may have finished between our miss and our claim.
                     if let Some(m) = self.get(key) {
                         guard.fulfill(Arc::clone(&m));
-                        return m;
+                        let outcome = if waited {
+                            CacheOutcome::CoalescedWait
+                        } else {
+                            CacheOutcome::Hit
+                        };
+                        return (m, outcome);
                     }
                     let value = Arc::new((compute.take().expect("compute runs at most once"))());
                     self.put_computed(key.to_vec(), Arc::clone(&value), Some(&guard.slot));
                     guard.fulfill(Arc::clone(&value));
-                    return value;
+                    return (value, CacheOutcome::MissCompute);
                 }
             }
+        }
+    }
+}
+
+/// How one [`MatrixCache::get_or_compute_traced`] caller was served —
+/// ordered from cheapest to most expensive, so [`CacheOutcome::worst`] can
+/// summarize a whole plan tree's cache interaction as its slowest kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheOutcome {
+    /// Served from resident cache (exact or transpose). The default — a
+    /// query that touched no product has had the cheapest possible cache
+    /// interaction.
+    #[default]
+    Hit,
+    /// Served by blocking on another thread's in-flight computation.
+    CoalescedWait,
+    /// This caller ran the computation itself (and cached the result).
+    MissCompute,
+}
+
+impl CacheOutcome {
+    /// The more expensive of the two outcomes.
+    pub fn worst(self, other: CacheOutcome) -> CacheOutcome {
+        self.max(other)
+    }
+
+    /// Stable lowercase label for metrics and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::CoalescedWait => "coalesced_wait",
+            CacheOutcome::MissCompute => "miss_compute",
         }
     }
 }

@@ -1,15 +1,17 @@
 //! The query engine: parse → resolve → plan → execute, with a shared
 //! commuting-matrix cache and a cost-planned anchored fast path.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 use hin_core::{Hin, NodeRef, TypeId};
 use hin_linalg::{spvm_chain_with, spvm_with, Csr, ScatterScratch, SparseVec};
 use hin_similarity::{top_k_pathsim, MetaPath, PathStep};
 
-use crate::cache::{key_of, reversed_key, CacheConfig, MatrixCache, PathKey};
+use crate::cache::{key_of, reversed_key, CacheConfig, CacheOutcome, MatrixCache, PathKey};
 use crate::error::QueryError;
 use crate::parse::{parse, Verb};
 use crate::plan::{plan_exec_mode, plan_steps, ExecMode, PlanNode, QueryPlan};
@@ -246,7 +248,9 @@ impl Engine {
     pub fn plan(&self, query: &str) -> Result<QueryPlan, QueryError> {
         let resolved = resolve(&self.hin, &parse(query)?)?;
         let mut plan = plan_steps(&self.hin, resolved.path.steps(), &self.cache);
-        plan.mode = self.exec_mode(&resolved, plan.est_flops);
+        let (mode, lazy_est) = self.exec_mode(&resolved, plan.est_flops);
+        plan.mode = mode;
+        plan.lazy_est_flops = lazy_est;
         Ok(plan)
     }
 
@@ -265,17 +269,73 @@ impl Engine {
         // Borrow-only evaluation: single-step paths read the relation
         // matrix in place instead of copying it.
         let plan = plan_steps(&self.hin, resolved.path.steps(), &self.cache);
-        if let ExecMode::SparseRow { .. } = self.exec_mode(&resolved, plan.est_flops) {
+        let (mode, _) = self.exec_mode(&resolved, plan.est_flops);
+        self.run_planned(&resolved, &plan, mode, None)
+    }
+
+    /// [`Engine::execute`] plus a [`QueryTrace`]: where the time went
+    /// (plan vs execute), which execution mode actually ran, and how the
+    /// cache served this query. This is the entry point `hin_serve`'s
+    /// workers drive when telemetry is on; [`Engine::execute`] itself stays
+    /// probe-free so the untraced path pays nothing.
+    pub fn execute_traced(&self, query: &str) -> (Result<QueryOutput, QueryError>, QueryTrace) {
+        let mut trace = QueryTrace::default();
+        let t0 = Instant::now();
+        let resolved = match parse(query).and_then(|p| resolve(&self.hin, &p)) {
+            Ok(r) => r,
+            Err(e) => {
+                trace.plan_ns = elapsed_ns(t0);
+                return (Err(e), trace);
+            }
+        };
+        let plan = plan_steps(&self.hin, resolved.path.steps(), &self.cache);
+        let (mode, _) = self.exec_mode(&resolved, plan.est_flops);
+        trace.plan_ns = elapsed_ns(t0);
+
+        let probe = ExecProbe::default();
+        let t1 = Instant::now();
+        let result = self.run_planned(&resolved, &plan, mode, Some(&probe));
+        trace.exec_ns = elapsed_ns(t1);
+        trace.mode = if probe.sparse_row.get() {
+            TraceMode::SparseRow
+        } else {
+            TraceMode::Full
+        };
+        trace.outcome = probe.outcome.get();
+        (result, trace)
+    }
+
+    /// The shared back half of [`Engine::execute`] and
+    /// [`Engine::execute_traced`]: promotion accounting, mode dispatch,
+    /// evaluation, assembly. `probe` is `None` on the untraced path.
+    fn run_planned(
+        &self,
+        resolved: &ResolvedQuery,
+        plan: &QueryPlan,
+        mode: ExecMode,
+        probe: Option<&ExecProbe>,
+    ) -> Result<QueryOutput, QueryError> {
+        if let ExecMode::SparseRow { .. } = mode {
             if self.note_lazy_and_should_promote(resolved.path.steps()) {
                 self.promotions.fetch_add(1, Ordering::Relaxed);
-                // fall through: materialize like any full execution
+                // fall through: materialize like any full execution (and
+                // trace as Full — that is the work this query actually did)
             } else {
                 self.anchored_fast_paths.fetch_add(1, Ordering::Relaxed);
-                return self.execute_row(&resolved);
+                if let Some(p) = probe {
+                    p.sparse_row.set(true);
+                }
+                return self.execute_row(resolved, probe);
             }
         }
-        let matrix = Self::eval(&self.hin, resolved.path.steps(), &self.cache, &plan.root);
-        self.assemble(&resolved, matrix.as_csr())
+        let matrix = Self::eval(
+            &self.hin,
+            resolved.path.steps(),
+            &self.cache,
+            &plan.root,
+            probe,
+        );
+        self.assemble(resolved, matrix.as_csr())
     }
 
     /// Execute a batch of queries against the shared cache, returning one
@@ -374,10 +434,12 @@ impl Engine {
     }
 
     /// The execution mode this query would run under right now (cache
-    /// contents move, so this is a forecast like the rest of the plan).
-    fn exec_mode(&self, resolved: &ResolvedQuery, full_est_flops: f64) -> ExecMode {
+    /// contents move, so this is a forecast like the rest of the plan),
+    /// plus the sparse-row candidate's estimated flops whenever the mode
+    /// race actually ran (see [`plan_exec_mode`]).
+    fn exec_mode(&self, resolved: &ResolvedQuery, full_est_flops: f64) -> (ExecMode, Option<f64>) {
         if !self.policy.lazy || resolved.from.is_none() || matches!(resolved.verb, Verb::Rank) {
-            return ExecMode::Full;
+            return (ExecMode::Full, None);
         }
         // PathSim-shaped verbs pay per-candidate half-path propagations
         // for their normalizers; that cost is part of the comparison.
@@ -448,11 +510,24 @@ impl Engine {
     /// any product. Scores, candidate sets, ordering and limits are
     /// identical to the full-matrix path whenever the arithmetic is exact
     /// (integer-valued weights — see the anchored property tests).
-    fn execute_row(&self, resolved: &ResolvedQuery) -> Result<QueryOutput, QueryError> {
+    fn execute_row(
+        &self,
+        resolved: &ResolvedQuery,
+        probe: Option<&ExecProbe>,
+    ) -> Result<QueryOutput, QueryError> {
         let steps = resolved.path.steps();
         let x = resolved.from.expect("anchored verbs carry `from`").id as usize;
         let mut scratch = ScatterScratch::new();
         let (seed, rest) = self.propagation_seed(steps);
+        if let Some(p) = probe {
+            // The fast path caches nothing; its cache interaction is
+            // whether the propagation started from a resident prefix
+            // product or had to chain from the anchor's relation row.
+            p.note(match seed {
+                Seed::Cached(_) => CacheOutcome::Hit,
+                Seed::First(_) => CacheOutcome::MissCompute,
+            });
+        }
         let row = spvm_chain_with(&seed.row(x), &rest, &mut scratch);
 
         let items = match resolved.verb {
@@ -524,7 +599,7 @@ impl Engine {
 
     fn commuting_of(&self, path: &MetaPath) -> Arc<Csr> {
         let plan = plan_steps(&self.hin, path.steps(), &self.cache);
-        match Self::eval(&self.hin, path.steps(), &self.cache, &plan.root) {
+        match Self::eval(&self.hin, path.steps(), &self.cache, &plan.root, None) {
             Mat::Shared(m) => m,
             Mat::Borrowed(m) => {
                 // Single-step path: the plan is a bare relation matrix.
@@ -535,7 +610,13 @@ impl Engine {
         }
     }
 
-    fn eval<'a>(hin: &'a Hin, steps: &[PathStep], cache: &MatrixCache, node: &PlanNode) -> Mat<'a> {
+    fn eval<'a>(
+        hin: &'a Hin,
+        steps: &[PathStep],
+        cache: &MatrixCache,
+        node: &PlanNode,
+        probe: Option<&ExecProbe>,
+    ) -> Mat<'a> {
         match node {
             PlanNode::Leaf { step } => Mat::Borrowed(steps[*step].matrix(hin)),
             // Both span kinds resolve through `get_or_compute`: serve from
@@ -547,10 +628,14 @@ impl Engine {
             // others block until the first one's product lands.
             PlanNode::Cached { lo, hi } => {
                 let key = key_of(&steps[*lo..=*hi]);
-                Mat::Shared(cache.get_or_compute(&key, || {
+                let (m, outcome) = cache.get_or_compute_traced(&key, || {
                     let mats: Vec<&Csr> = steps[*lo..=*hi].iter().map(|s| s.matrix(hin)).collect();
                     hin_linalg::spmm_chain(&mats)
-                }))
+                });
+                if let Some(p) = probe {
+                    p.note(outcome);
+                }
+                Mat::Shared(m)
             }
             PlanNode::Mul {
                 left,
@@ -559,11 +644,15 @@ impl Engine {
                 hi,
             } => {
                 let key = key_of(&steps[*lo..=*hi]);
-                Mat::Shared(cache.get_or_compute(&key, || {
-                    let l = Self::eval(hin, steps, cache, left);
-                    let r = Self::eval(hin, steps, cache, right);
+                let (m, outcome) = cache.get_or_compute_traced(&key, || {
+                    let l = Self::eval(hin, steps, cache, left, probe);
+                    let r = Self::eval(hin, steps, cache, right, probe);
                     l.as_csr().spgemm(r.as_csr())
-                }))
+                });
+                if let Some(p) = probe {
+                    p.note(outcome);
+                }
+                Mat::Shared(m)
             }
         }
     }
@@ -624,6 +713,71 @@ impl Engine {
             object_type: end_name,
             items,
         })
+    }
+}
+
+/// Nanoseconds since `t0`, saturating (a query cannot run 584 years).
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Which execution mode a query *actually ran* — unlike
+/// [`ExecMode`], which is the plan-time forecast, this reflects promotion:
+/// a lazy-eligible query that crossed [`ExecPolicy::promote_after`]
+/// materialized and reports [`TraceMode::Full`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Materialized (or read) the commuting matrix through the cache.
+    #[default]
+    Full,
+    /// Propagated a sparse row from the anchor; nothing materialized.
+    SparseRow,
+}
+
+impl TraceMode {
+    /// Stable lowercase label for metrics and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceMode::Full => "full",
+            TraceMode::SparseRow => "sparse_row",
+        }
+    }
+}
+
+/// Per-query execution trace from [`Engine::execute_traced`]: stage
+/// timings plus the mode/cache classification the serving stack's
+/// histograms are labeled by.
+///
+/// The default value (mode `Full`, outcome `Hit`, zero times) is what a
+/// query that failed before execution (parse/resolve error) reports beyond
+/// its `plan_ns`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryTrace {
+    /// How the query actually executed.
+    pub mode: TraceMode,
+    /// The most expensive way the cache served any product this query
+    /// needed (worst-wins across the plan tree). For sparse-row queries:
+    /// `Hit` when the propagation was seeded from a resident prefix,
+    /// `MissCompute` when it chained from the anchor's relation row.
+    pub outcome: CacheOutcome,
+    /// Time spent in parse + resolve + plan + mode decision.
+    pub plan_ns: u64,
+    /// Time spent executing (evaluation + assembly).
+    pub exec_ns: u64,
+}
+
+/// Interior-mutable per-query observation the engine threads through one
+/// execution. `Cell`-based: a probe lives and dies on one worker's stack.
+#[derive(Default)]
+struct ExecProbe {
+    sparse_row: Cell<bool>,
+    outcome: Cell<CacheOutcome>,
+}
+
+impl ExecProbe {
+    /// Fold one product's outcome into the query's summary, worst-wins.
+    fn note(&self, outcome: CacheOutcome) {
+        self.outcome.set(self.outcome.get().worst(outcome));
     }
 }
 
@@ -1254,6 +1408,45 @@ mod tests {
                 .unwrap();
             assert_eq!(some.items.len(), 3, "{label} neighbors limit");
         }
+    }
+
+    #[test]
+    fn traced_execution_reports_mode_and_outcome() {
+        let hin = skewed_bib();
+        let q = "pathcount author-paper-venue from a0";
+
+        // lazy, never promoted: sparse-row, chained from the anchor's row
+        let lazy = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        let (result, trace) = lazy.execute_traced(q);
+        assert_eq!(result.unwrap(), lazy.execute(q).unwrap());
+        assert_eq!(trace.mode, TraceMode::SparseRow);
+        assert_eq!(trace.outcome, CacheOutcome::MissCompute, "no seed resident");
+        assert!(trace.plan_ns > 0 && trace.exec_ns > 0);
+
+        // a resident prefix turns the fast path's outcome into a hit
+        let apv = MetaPath::from_type_names(lazy.hin(), &["author", "paper", "venue"]).unwrap();
+        lazy.commuting_matrix(&apv).unwrap();
+        let (_, seeded) = lazy.execute_traced("pathcount author-paper-venue-paper from a0");
+        assert_eq!(seeded.mode, TraceMode::SparseRow);
+        assert_eq!(seeded.outcome, CacheOutcome::Hit, "seeded from cache");
+
+        // eager: full materialization, then a pure hit on the warm run
+        let eager = eager_engine(Arc::clone(&hin));
+        let (_, cold) = eager.execute_traced(q);
+        assert_eq!(cold.mode, TraceMode::Full);
+        assert_eq!(cold.outcome, CacheOutcome::MissCompute);
+        let (_, warm) = eager.execute_traced(q);
+        assert_eq!(warm.outcome, CacheOutcome::Hit);
+
+        // a query that fails resolution still reports its planning time
+        let (err, trace) = eager.execute_traced("pathcount author-paper-venue from nobody");
+        assert!(err.is_err());
+        assert_eq!(trace.exec_ns, 0, "nothing executed");
+        assert!(trace.plan_ns > 0);
     }
 
     #[test]

@@ -79,8 +79,8 @@ pub mod plan;
 pub mod resolve;
 pub mod snapshot;
 
-pub use cache::{CacheConfig, MatrixCache};
-pub use engine::{Engine, ExecPolicy, QueryOutput};
+pub use cache::{CacheConfig, CacheOutcome, MatrixCache};
+pub use engine::{Engine, ExecPolicy, QueryOutput, QueryTrace, TraceMode};
 pub use error::QueryError;
 pub use parse::{parse, ParsedQuery, PathExpr, PathSegment, Verb};
 pub use plan::{plan_steps, ExecMode, PlanNode, QueryPlan};

@@ -134,6 +134,11 @@ pub struct QueryPlan {
     /// Estimated multiply-adds of naive left-to-right evaluation with no
     /// cache, for comparison.
     pub left_to_right_flops: f64,
+    /// Estimated multiply-adds of the sparse-row propagation candidate,
+    /// whenever the query was eligible for the mode decision (anchored,
+    /// multi-step, not already resident) — `Some` even when
+    /// [`ExecMode::Full`] won, so `EXPLAIN` shows both candidates' costs.
+    pub lazy_est_flops: Option<f64>,
     /// Human-readable step labels (`src→dst` type names), for rendering.
     labels: Vec<String>,
 }
@@ -149,13 +154,21 @@ impl QueryPlan {
 impl std::fmt::Display for QueryPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.mode {
-            ExecMode::Full => write!(
-                f,
-                "{} (est {:.0} flops; left-to-right {:.0})",
-                self.describe(),
-                self.est_flops,
-                self.left_to_right_flops
-            ),
+            ExecMode::Full => {
+                write!(
+                    f,
+                    "{} (est {:.0} flops; left-to-right {:.0}",
+                    self.describe(),
+                    self.est_flops,
+                    self.left_to_right_flops
+                )?;
+                if let Some(lazy) = self.lazy_est_flops {
+                    // the losing candidate's forecast, so EXPLAIN shows why
+                    // the mode race went the way it did
+                    write!(f, "; row-propagate rejected at {lazy:.0}")?;
+                }
+                write!(f, ")")
+            }
             ExecMode::SparseRow { seed, est_flops } => {
                 write!(
                     f,
@@ -221,6 +234,7 @@ pub fn plan_steps(hin: &Hin, steps: &[PathStep], cache: &MatrixCache) -> QueryPl
         mode: ExecMode::Full,
         est_flops: chain.est_flops,
         left_to_right_flops: chain.left_to_right_flops,
+        lazy_est_flops: None,
         labels,
     }
 }
@@ -282,21 +296,27 @@ fn row_propagation_estimate(
 /// The decision is greedy per query; amortization across future queries on
 /// the same span is the engine's heat-based promotion, not the planner's
 /// guess.
+///
+/// Returns the chosen mode plus the sparse-row candidate's estimated flops
+/// whenever the comparison actually ran (`None` when the query was never
+/// eligible: single-step, or the full span is resident) — the losing
+/// estimate feeds `EXPLAIN`.
 pub(crate) fn plan_exec_mode(
     hin: &Hin,
     steps: &[PathStep],
     cache: &MatrixCache,
     full_est_flops: f64,
     normalizer_half: Option<usize>,
-) -> ExecMode {
+) -> (ExecMode, Option<f64>) {
     if steps.len() < 2 {
         // a single-step query reads a row of the relation adjacency in
         // place; both modes are free, Full avoids even the row copy
-        return ExecMode::Full;
+        return (ExecMode::Full, None);
     }
     let full_key = key_of(steps);
     if cache.peek_nnz(&full_key).is_some() {
-        return ExecMode::Full; // resident: reading the row is a pure hit
+        // resident: reading the row is a pure hit
+        return (ExecMode::Full, None);
     }
     let summaries: Vec<MatSummary> = steps
         .iter()
@@ -315,11 +335,12 @@ pub(crate) fn plan_exec_mode(
         }
         est_flops += row_est.out_nnz * per_candidate;
     }
-    if est_flops < full_est_flops {
+    let mode = if est_flops < full_est_flops {
         ExecMode::SparseRow { seed, est_flops }
     } else {
         ExecMode::Full
-    }
+    };
+    (mode, Some(est_flops))
 }
 
 #[cfg(test)]
@@ -401,7 +422,7 @@ mod tests {
         let (hin, steps) = skewed();
         let cache = MatrixCache::default();
         let plan = plan_steps(&hin, &steps, &cache);
-        let mode = plan_exec_mode(&hin, &steps, &cache, plan.est_flops, None);
+        let (mode, lazy) = plan_exec_mode(&hin, &steps, &cache, plan.est_flops, None);
         match mode {
             ExecMode::SparseRow { seed, est_flops } => {
                 assert_eq!(seed, None, "nothing cached to seed from");
@@ -410,13 +431,14 @@ mod tests {
                     "lazy {est_flops} must beat full {}",
                     plan.est_flops
                 );
+                assert_eq!(lazy, Some(est_flops), "candidate estimate is reported");
             }
             ExecMode::Full => panic!("cold anchored query must propagate"),
         }
         // the PathSim-normalizer variant also wins on this skewed chain
         // (per-candidate half propagations are cheap next to the chain)
         assert!(matches!(
-            plan_exec_mode(&hin, &steps, &cache, plan.est_flops, Some(1)),
+            plan_exec_mode(&hin, &steps, &cache, plan.est_flops, Some(1)).0,
             ExecMode::SparseRow { .. }
         ));
     }
@@ -435,12 +457,13 @@ mod tests {
         assert_eq!(plan.est_flops, 0.0);
         assert_eq!(
             plan_exec_mode(&hin, &steps, &cache, plan.est_flops, None),
-            ExecMode::Full
+            (ExecMode::Full, None),
+            "a resident span skips the mode race entirely"
         );
         // single steps read a relation row in place — always Full
         assert_eq!(
             plan_exec_mode(&hin, &steps[..1], &cache, 0.0, None),
-            ExecMode::Full
+            (ExecMode::Full, None)
         );
     }
 
@@ -454,7 +477,7 @@ mod tests {
         cache.put(head, Arc::new(m));
 
         let plan = plan_steps(&hin, &steps, &cache);
-        match plan_exec_mode(&hin, &steps, &cache, plan.est_flops, None) {
+        match plan_exec_mode(&hin, &steps, &cache, plan.est_flops, None).0 {
             ExecMode::SparseRow { seed, .. } => {
                 assert_eq!(seed, Some((0, 1)), "longest resident prefix seeds");
             }

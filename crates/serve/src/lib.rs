@@ -60,6 +60,15 @@
 //!   on that request's ticket and never take a worker down.
 //! * **Bounded waits** — [`Ticket::wait_timeout`] puts a deadline on any
 //!   result instead of blocking forever on a wedged request.
+//! * **Telemetry** — with [`TelemetryConfig`] enabled (the default), every
+//!   query records per-stage latency (admission, queue wait, dispatch,
+//!   plan, execute split by execution mode × cache outcome, end-to-end)
+//!   into lock-free histograms surfaced as quantile-queryable snapshots on
+//!   [`ServerStats`]; queries past a latency threshold are captured — with
+//!   their EXPLAIN plan and stage breakdown — into a bounded slow-query
+//!   ring ([`Server::slow_queries`] / [`Router::slow_queries`]); and
+//!   [`RouterStats::render_metrics`] renders the whole fleet as a
+//!   Prometheus-style text page.
 //! * **Snapshot / warm start** — commuting matrices outlive the server
 //!   that computed them: [`Router::evict`] drains a dataset and hands its
 //!   cache back as a [`CacheSnapshot`](hin_query::CacheSnapshot)
@@ -127,4 +136,7 @@ mod router;
 mod server;
 
 pub use router::{Evicted, Router, RouterConfig, RouterStats};
-pub use server::{ServeConfig, Server, ServerHandle, ServerStats, Ticket};
+pub use server::{
+    ServeConfig, Server, ServerHandle, ServerStats, SlowQuery, TelemetryConfig, Ticket, EXEC_MODES,
+    EXEC_OUTCOMES,
+};

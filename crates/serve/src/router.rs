@@ -34,8 +34,11 @@ use std::sync::{Arc, PoisonError, RwLock};
 
 use hin_core::Hin;
 use hin_query::{CacheSnapshot, CodecError, QueryError, QueryOutput};
+use hin_telemetry::MetricsWriter;
 
-use crate::server::{ServeConfig, Server, ServerHandle, ServerStats, Ticket};
+use crate::server::{
+    ServeConfig, Server, ServerHandle, ServerStats, SlowQuery, Ticket, EXEC_MODES, EXEC_OUTCOMES,
+};
 
 /// One lock stripe of the dataset registry.
 type Stripe = RwLock<HashMap<String, Arc<Server>>>;
@@ -117,6 +120,72 @@ impl RouterStats {
         self.datasets
             .iter()
             .fold(ServerStats::default(), |acc, (_, s)| acc.merge(s))
+    }
+
+    /// The whole fleet as a Prometheus-style text page: router routing
+    /// counters, then — one labeled series per dataset — every
+    /// [`ServerStats`] counter, gauge and stage-latency histogram.
+    /// Nanosecond histograms are exposed in seconds (the Prometheus base
+    /// unit); execute-stage series carry `mode` and `outcome` labels per
+    /// [`EXEC_MODES`] × [`EXEC_OUTCOMES`].
+    pub fn render_metrics(&self) -> String {
+        let mut w = MetricsWriter::new();
+        w.counter("hin_router_routed_total", &[], self.routed);
+        w.counter("hin_router_misrouted_total", &[], self.misrouted);
+        for (key, s) in &self.datasets {
+            let ds = [("dataset", key.as_str())];
+            w.counter("hin_served_total", &ds, s.served);
+            w.counter("hin_errors_total", &ds, s.errors);
+            w.counter("hin_shed_total", &ds, s.shed);
+            w.counter("hin_batches_total", &ds, s.batches);
+            w.counter("hin_anchored_fast_paths_total", &ds, s.anchored_fast_paths);
+            w.counter("hin_promotions_total", &ds, s.promotions);
+            w.counter("hin_cache_hits_total", &ds, s.cache_hits);
+            w.counter("hin_cache_symmetry_hits_total", &ds, s.cache_symmetry_hits);
+            w.counter("hin_cache_misses_total", &ds, s.cache_misses);
+            w.counter("hin_cache_evictions_total", &ds, s.cache_evictions);
+            w.counter(
+                "hin_cache_coalesced_waits_total",
+                &ds,
+                s.cache_coalesced_waits,
+            );
+            w.counter("hin_cache_dup_computes_total", &ds, s.cache_dup_computes);
+            w.counter("hin_cache_warm_loaded_total", &ds, s.cache_warm_loaded);
+            w.counter("hin_cache_warm_rejected_total", &ds, s.cache_warm_rejected);
+            w.counter("hin_slow_queries_total", &ds, s.slow_queries);
+            w.gauge("hin_max_batch", &ds, s.max_batch as f64);
+            w.gauge("hin_workers", &ds, s.workers as f64);
+            w.gauge("hin_queue_depth", &ds, s.queue_depth as f64);
+            w.gauge("hin_cache_len", &ds, s.cache_len as f64);
+            w.gauge("hin_cache_bytes", &ds, s.cache_bytes as f64);
+            for &(lane, depth) in &s.lane_depths {
+                let lane = lane.to_string();
+                w.gauge(
+                    "hin_lane_depth",
+                    &[("dataset", key.as_str()), ("lane", lane.as_str())],
+                    depth as f64,
+                );
+            }
+            w.histogram_seconds("hin_stage_admission_seconds", &ds, &s.admission_ns);
+            w.histogram_seconds("hin_stage_queue_wait_seconds", &ds, &s.queue_wait_ns);
+            w.histogram_seconds("hin_stage_dispatch_seconds", &ds, &s.dispatch_ns);
+            w.histogram_seconds("hin_stage_plan_seconds", &ds, &s.plan_ns);
+            for (m, mode) in EXEC_MODES.iter().enumerate() {
+                for (o, outcome) in EXEC_OUTCOMES.iter().enumerate() {
+                    w.histogram_seconds(
+                        "hin_stage_exec_seconds",
+                        &[
+                            ("dataset", key.as_str()),
+                            ("mode", mode),
+                            ("outcome", outcome),
+                        ],
+                        &s.exec_ns[m][o],
+                    );
+                }
+            }
+            w.histogram_seconds("hin_e2e_seconds", &ds, &s.e2e_ns);
+        }
+        w.finish()
     }
 }
 
@@ -371,6 +440,13 @@ impl Router {
     /// [`QueryError::Canceled`] rather than dangling.
     pub fn handle(&self, key: &str) -> Option<ServerHandle> {
         self.server(key).map(|s| s.handle())
+    }
+
+    /// The newest slow queries captured on `key`'s server (oldest first),
+    /// or `None` if the dataset is not registered. Empty when the server's
+    /// telemetry is disabled — see [`crate::TelemetryConfig`].
+    pub fn slow_queries(&self, key: &str) -> Option<Vec<SlowQuery>> {
+        self.server(key).map(|s| s.slow_queries())
     }
 
     /// Route one query to `dataset`. Unknown datasets resolve immediately

@@ -5,12 +5,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hin_core::Hin;
 use hin_query::{
-    CacheConfig, CacheSnapshot, Engine, ExecPolicy, QueryError, QueryOutput, SnapshotImport,
+    CacheConfig, CacheOutcome, CacheSnapshot, Engine, ExecPolicy, QueryError, QueryOutput,
+    QueryTrace, SnapshotImport, TraceMode,
 };
+use hin_telemetry::{HistSnapshot, Histogram, RingLog};
 
 use crate::queue::{FairQueue, Push};
 
@@ -49,6 +51,8 @@ pub struct ServeConfig {
     /// (see [`hin_query::Engine::restore`]); `None` (the default) starts
     /// cold.
     pub warm_start: Option<Arc<CacheSnapshot>>,
+    /// Observability: per-stage latency histograms and the slow-query log.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServeConfig {
@@ -62,14 +66,131 @@ impl Default for ServeConfig {
             cache: CacheConfig::default(),
             exec: ExecPolicy::default(),
             warm_start: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
+}
+
+/// Observability knobs for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Master switch. On (the default), workers execute through
+    /// [`Engine::execute_traced`] and every stage records into its
+    /// histogram; off, the pipeline runs the untraced execution path and
+    /// touches no histogram at all, and [`ServerStats`] reports empty
+    /// snapshots.
+    pub enabled: bool,
+    /// End-to-end latency (admission to answer) at or above which a query
+    /// is captured — with its EXPLAIN plan and stage breakdown — into the
+    /// slow-query log. `Duration::ZERO` captures everything (useful in
+    /// tests; ruinous in production only in log volume, the ring is
+    /// bounded).
+    pub slow_query: Duration,
+    /// Capacity of the slow-query ring: only the newest this-many captures
+    /// are retained.
+    pub slow_log: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            slow_query: Duration::from_millis(100),
+            slow_log: 32,
+        }
+    }
+}
+
+/// Label order of the execution-mode axis of [`ServerStats::exec_ns`];
+/// matches [`TraceMode::as_str`].
+pub const EXEC_MODES: [&str; 2] = ["full", "sparse_row"];
+
+/// Label order of the cache-outcome axis of [`ServerStats::exec_ns`];
+/// matches [`CacheOutcome::as_str`].
+pub const EXEC_OUTCOMES: [&str; 3] = ["hit", "coalesced_wait", "miss_compute"];
+
+fn mode_idx(m: TraceMode) -> usize {
+    match m {
+        TraceMode::Full => 0,
+        TraceMode::SparseRow => 1,
+    }
+}
+
+fn outcome_idx(o: CacheOutcome) -> usize {
+    match o {
+        CacheOutcome::Hit => 0,
+        CacheOutcome::CoalescedWait => 1,
+        CacheOutcome::MissCompute => 2,
+    }
+}
+
+/// One query captured by the slow-query log: what ran, the plan it ran
+/// under, and where its latency went.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// The query text as submitted.
+    pub query: String,
+    /// Its EXPLAIN plan (re-derived at capture time — the hot path carries
+    /// no plan string), or empty if the query failed before planning.
+    pub plan: String,
+    /// Execution mode that actually ran (see [`EXEC_MODES`]).
+    pub mode: &'static str,
+    /// Worst cache outcome across the plan tree (see [`EXEC_OUTCOMES`]).
+    pub outcome: &'static str,
+    /// Admission to dispatcher pick-up.
+    pub queue_wait_ns: u64,
+    /// Dispatcher pick-up to worker dequeue (hand-off channel wait).
+    pub dispatch_ns: u64,
+    /// Parse + resolve + plan + mode decision.
+    pub plan_ns: u64,
+    /// Plan execution.
+    pub exec_ns: u64,
+    /// Admission to answer.
+    pub total_ns: u64,
+}
+
+/// The per-stage latency recorders, shared by submitters and workers.
+struct StageHists {
+    /// Time spent inside `submit` reaching an admission decision.
+    admission: Histogram,
+    queue_wait: Histogram,
+    dispatch: Histogram,
+    plan: Histogram,
+    /// Execute-stage latency, `[mode][cache outcome]` per
+    /// [`EXEC_MODES`] × [`EXEC_OUTCOMES`].
+    exec: [[Histogram; 3]; 2],
+    e2e: Histogram,
+}
+
+impl StageHists {
+    fn new() -> Self {
+        Self {
+            admission: Histogram::new(),
+            queue_wait: Histogram::new(),
+            dispatch: Histogram::new(),
+            plan: Histogram::new(),
+            exec: std::array::from_fn(|_| std::array::from_fn(|_| Histogram::new())),
+            e2e: Histogram::new(),
+        }
+    }
+}
+
+/// Telemetry state hung off [`Shared`] when enabled.
+struct Telemetry {
+    stages: StageHists,
+    slow: RingLog<SlowQuery>,
+    slow_threshold: Duration,
 }
 
 /// One in-flight query: the text plus the channel its result goes back on.
 struct Request {
     query: String,
     reply: Sender<Result<QueryOutput, QueryError>>,
+    /// When admission queued it — the epoch all stage timings count from.
+    queued_at: Instant,
+    /// When the dispatcher drained it from the fair queue; initialized to
+    /// `queued_at` and overwritten at dispatch.
+    dispatched_at: Instant,
 }
 
 /// Counters shared by dispatcher and workers.
@@ -89,6 +210,8 @@ struct Shared {
     counters: Counters,
     /// Client-lane id allocator; see [`Server::handle`].
     next_client: AtomicU64,
+    /// `Some` when [`TelemetryConfig::enabled`].
+    telemetry: Option<Telemetry>,
 }
 
 /// A snapshot of a server's lifetime statistics.
@@ -144,6 +267,24 @@ pub struct ServerStats {
     pub cache_len: usize,
     /// Cache: resident bytes.
     pub cache_bytes: usize,
+    /// Stage latency (ns): `submit` call to admission decision. Empty when
+    /// telemetry is disabled, like every histogram below.
+    pub admission_ns: HistSnapshot,
+    /// Stage latency (ns): admission to dispatcher pick-up.
+    pub queue_wait_ns: HistSnapshot,
+    /// Stage latency (ns): dispatcher pick-up to worker dequeue.
+    pub dispatch_ns: HistSnapshot,
+    /// Stage latency (ns): parse + resolve + plan + mode decision.
+    pub plan_ns: HistSnapshot,
+    /// Execute-stage latency (ns) split `[mode][cache outcome]`, label
+    /// order [`EXEC_MODES`] × [`EXEC_OUTCOMES`] — e.g.
+    /// `exec_ns[1][0]` is sparse-row execution served from cache.
+    pub exec_ns: [[HistSnapshot; 3]; 2],
+    /// End-to-end latency (ns): admission to answer.
+    pub e2e_ns: HistSnapshot,
+    /// Queries captured by the slow-query log over the server's lifetime
+    /// (the ring retains only the newest [`TelemetryConfig::slow_log`]).
+    pub slow_queries: u64,
 }
 
 impl ServerStats {
@@ -151,7 +292,8 @@ impl ServerStats {
     /// (`workers` adds; gauges `queue_depth`/`cache_len`/`cache_bytes` add
     /// across disjoint servers; `max_batch` takes the max; `lane_depths`
     /// concatenates — lane ids are per-server, so the fleet view simply
-    /// lists every lane).
+    /// lists every lane; histograms merge bucket-wise, so fleet quantiles
+    /// read from the merged snapshot exactly as per-server ones do).
     pub fn merge(&self, other: &ServerStats) -> ServerStats {
         let mut lane_depths = self.lane_depths.clone();
         lane_depths.extend(other.lane_depths.iter().copied());
@@ -176,6 +318,15 @@ impl ServerStats {
             cache_warm_rejected: self.cache_warm_rejected + other.cache_warm_rejected,
             cache_len: self.cache_len + other.cache_len,
             cache_bytes: self.cache_bytes + other.cache_bytes,
+            admission_ns: self.admission_ns.merge(&other.admission_ns),
+            queue_wait_ns: self.queue_wait_ns.merge(&other.queue_wait_ns),
+            dispatch_ns: self.dispatch_ns.merge(&other.dispatch_ns),
+            plan_ns: self.plan_ns.merge(&other.plan_ns),
+            exec_ns: std::array::from_fn(|m| {
+                std::array::from_fn(|o| self.exec_ns[m][o].merge(&other.exec_ns[m][o]))
+            }),
+            e2e_ns: self.e2e_ns.merge(&other.e2e_ns),
+            slow_queries: self.slow_queries + other.slow_queries,
         }
     }
 }
@@ -255,12 +406,21 @@ impl ServerHandle {
     /// [`Server::shutdown`] the ticket resolves to
     /// [`QueryError::Canceled`].
     pub fn submit(&self, query: impl Into<String>) -> Ticket {
+        let t0 = Instant::now();
         let (reply, rx) = channel();
         let req = Request {
             query: query.into(),
             reply,
+            queued_at: t0,
+            dispatched_at: t0,
         };
-        match self.shared.queue.push(self.client, req) {
+        let push = self.shared.queue.push(self.client, req);
+        if let (Some(tel), Push::Queued | Push::Displaced(_)) = (&self.shared.telemetry, &push) {
+            // admitted (possibly by displacing someone else) — time spent
+            // reaching that decision is the admission stage
+            tel.stages.admission.record_duration(t0.elapsed());
+        }
+        match push {
             Push::Queued => Ticket {
                 state: TicketState::Pending(rx),
             },
@@ -279,6 +439,20 @@ impl ServerHandle {
             }
             Push::Closed => Ticket::refused(QueryError::Canceled),
         }
+    }
+
+    /// The newest captured slow queries, oldest first. Empty when
+    /// telemetry is disabled. Stays readable after [`Server::shutdown`]
+    /// through handles taken earlier — and since a capture lands *after*
+    /// its query's reply is sent (the client never waits on its own
+    /// autopsy), a live read may trail an answer by a moment; a
+    /// post-shutdown read sees every capture.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared
+            .telemetry
+            .as_ref()
+            .map(|t| t.slow.entries())
+            .unwrap_or_default()
     }
 }
 
@@ -317,6 +491,11 @@ impl Server {
             queue: FairQueue::new(config.queue_depth),
             counters: Counters::default(),
             next_client: AtomicU64::new(1),
+            telemetry: config.telemetry.enabled.then(|| Telemetry {
+                stages: StageHists::new(),
+                slow: RingLog::new(config.telemetry.slow_log),
+                slow_threshold: config.telemetry.slow_query,
+            }),
         });
 
         // A *bounded* hand-off channel: the dispatcher blocks once the
@@ -333,7 +512,7 @@ impl Server {
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("hin-serve-worker-{w}"))
-                    .spawn(move || worker_loop(&work_rx, &engine, &shared.counters))
+                    .spawn(move || worker_loop(&work_rx, &engine, &shared))
                     .expect("spawn worker thread"),
             );
         }
@@ -418,11 +597,17 @@ impl Server {
         self.engine.snapshot(budget_bytes)
     }
 
+    /// The newest captured slow queries, oldest first; empty when
+    /// telemetry is disabled (see [`TelemetryConfig::slow_query`]).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.handle.slow_queries()
+    }
+
     /// Current lifetime statistics.
     pub fn stats(&self) -> ServerStats {
         let counters = &self.shared.counters;
         let cache = self.engine.cache();
-        ServerStats {
+        let mut stats = ServerStats {
             served: counters.served.load(Ordering::Relaxed),
             errors: counters.errors.load(Ordering::Relaxed),
             shed: counters.shed.load(Ordering::Relaxed),
@@ -443,7 +628,20 @@ impl Server {
             cache_warm_rejected: cache.warm_rejected(),
             cache_len: cache.len(),
             cache_bytes: cache.bytes(),
+            ..ServerStats::default()
+        };
+        if let Some(tel) = &self.shared.telemetry {
+            let s = &tel.stages;
+            stats.admission_ns = s.admission.snapshot();
+            stats.queue_wait_ns = s.queue_wait.snapshot();
+            stats.dispatch_ns = s.dispatch.snapshot();
+            stats.plan_ns = s.plan.snapshot();
+            stats.exec_ns =
+                std::array::from_fn(|m| std::array::from_fn(|o| s.exec[m][o].snapshot()));
+            stats.e2e_ns = s.e2e.snapshot();
+            stats.slow_queries = tel.slow.total();
         }
+        stats
     }
 
     /// Stop accepting queries, drain everything in flight, join all
@@ -499,7 +697,8 @@ fn dispatch_loop(shared: &Shared, work_tx: SyncSender<Request>, batch_max: usize
             .counters
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
-        for req in batch {
+        for mut req in batch {
+            req.dispatched_at = Instant::now();
             // blocks when workers are behind (that is the backpressure);
             // fails only if every worker is gone — the dropped reply
             // sender then surfaces as Canceled at the ticket
@@ -516,7 +715,8 @@ fn dispatch_loop(shared: &Shared, work_tx: SyncSender<Request>, batch_max: usize
 /// [`QueryError::Internal`] and the worker keeps serving — one poisoned
 /// request must not silently retire 1/N of the pool for the rest of the
 /// server's life.
-fn worker_loop(work_rx: &Mutex<Receiver<Request>>, engine: &Engine, counters: &Counters) {
+fn worker_loop(work_rx: &Mutex<Receiver<Request>>, engine: &Engine, shared: &Shared) {
+    let counters = &shared.counters;
     loop {
         // Hold the lock only for the dequeue itself. One idle worker
         // blocks in recv holding the lock; the others queue on the mutex
@@ -525,23 +725,82 @@ fn worker_loop(work_rx: &Mutex<Receiver<Request>>, engine: &Engine, counters: &C
             Ok(req) => req,
             Err(_) => break, // dispatcher gone and queue drained
         };
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.execute(&req.query)))
-                .unwrap_or_else(|payload| {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "query execution panicked".to_string());
-                    Err(QueryError::Internal(msg))
-                });
+        let taken = Instant::now();
+        // With telemetry on, execute traced; off, the untraced path — no
+        // Instant reads, no probe, no histogram touches on any query.
+        let (result, trace) = match &shared.telemetry {
+            Some(_) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.execute_traced(&req.query)
+            }))
+            .unwrap_or_else(|payload| {
+                (
+                    Err(QueryError::Internal(panic_message(&payload))),
+                    QueryTrace::default(),
+                )
+            }),
+            None => (
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    engine.execute(&req.query)
+                }))
+                .unwrap_or_else(|payload| Err(QueryError::Internal(panic_message(&payload)))),
+                QueryTrace::default(),
+            ),
+        };
         counters.served.fetch_add(1, Ordering::Relaxed);
         if result.is_err() {
             counters.errors.fetch_add(1, Ordering::Relaxed);
         }
+        let stage = shared.telemetry.as_ref().map(|tel| {
+            let queue_wait = req.dispatched_at.duration_since(req.queued_at);
+            let dispatch = taken.duration_since(req.dispatched_at);
+            let total = req.queued_at.elapsed();
+            let s = &tel.stages;
+            s.queue_wait.record_duration(queue_wait);
+            s.dispatch.record_duration(dispatch);
+            s.plan.record(trace.plan_ns);
+            s.exec[mode_idx(trace.mode)][outcome_idx(trace.outcome)].record(trace.exec_ns);
+            s.e2e.record_duration(total);
+            (queue_wait, dispatch, total)
+        });
         // the client may have dropped its ticket; that's not an error
         let _ = req.reply.send(result);
+        // Slow-query capture happens *after* the reply: re-deriving the
+        // EXPLAIN plan costs a parse+resolve+plan, and an already-slow
+        // query's client should not wait on its own autopsy.
+        if let (Some(tel), Some((queue_wait, dispatch, total))) = (&shared.telemetry, stage) {
+            if total >= tel.slow_threshold {
+                let plan = engine
+                    .plan(&req.query)
+                    .map(|p| p.to_string())
+                    .unwrap_or_default();
+                tel.slow.push(SlowQuery {
+                    query: req.query,
+                    plan,
+                    mode: trace.mode.as_str(),
+                    outcome: trace.outcome.as_str(),
+                    queue_wait_ns: duration_ns(queue_wait),
+                    dispatch_ns: duration_ns(dispatch),
+                    plan_ns: trace.plan_ns,
+                    exec_ns: trace.exec_ns,
+                    total_ns: duration_ns(total),
+                });
+            }
+        }
     }
+}
+
+/// Duration as saturating nanoseconds.
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Best-effort text of a worker panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "query execution panicked".to_string())
 }
 
 #[cfg(test)]

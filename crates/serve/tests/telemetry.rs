@@ -1,0 +1,356 @@
+//! Telemetry integration tests: the slow-query log, stat-merge edge
+//! semantics, and the Prometheus metrics page.
+//!
+//! The slow-query capture test carries extra assertions under
+//! `cfg(not(debug_assertions))` — CI runs this suite in release mode,
+//! where warm-path latencies are stable enough to check the threshold
+//! filters as well as captures.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hin_core::Hin;
+use hin_query::ExecPolicy;
+use hin_serve::{
+    Router, RouterConfig, RouterStats, ServeConfig, Server, ServerStats, TelemetryConfig,
+    EXEC_MODES, EXEC_OUTCOMES,
+};
+use hin_synth::DblpConfig;
+use hin_telemetry::{HistSnapshot, Histogram};
+
+fn world(n_papers: usize) -> Arc<Hin> {
+    Arc::new(
+        DblpConfig {
+            n_areas: 4,
+            authors_per_area: 60,
+            n_papers,
+            noise: 0.05,
+            seed: 41,
+            ..Default::default()
+        }
+        .generate()
+        .hin,
+    )
+}
+
+fn snap(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn slow_query_log_captures_plan_and_stage_breakdown() {
+    // An eager engine pays the whole SpMM chain on the first anchored
+    // query — artificially slow relative to a 200 µs threshold (the cold
+    // chain takes ≥ half a millisecond even in release on this dataset).
+    let server = Server::start(
+        world(800),
+        ServeConfig {
+            workers: 2,
+            exec: ExecPolicy::eager(),
+            telemetry: TelemetryConfig {
+                enabled: true,
+                slow_query: Duration::from_micros(200),
+                slow_log: 8,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let heavy = "pathsim author-paper-venue-paper-author from author_a0_0";
+    server.submit(heavy).wait().expect("cold heavy query");
+    // warm repeat: same query, now a pure cache hit, far under threshold
+    server.submit(heavy).wait().expect("warm repeat");
+
+    // Capture lands *after* the reply is sent (the client never waits on
+    // its own autopsy), so read the log through a handle after shutdown —
+    // workers are joined, every capture is complete.
+    let handle = server.handle();
+    let stats = server.shutdown();
+    let slow = handle.slow_queries();
+    let entry = slow
+        .iter()
+        .find(|s| s.query == heavy)
+        .expect("the cold heavy query must be captured");
+    assert!(
+        entry.plan.contains("flops"),
+        "capture carries the EXPLAIN plan with cost estimates, got: {:?}",
+        entry.plan
+    );
+    assert_eq!(entry.mode, "full", "eager engine materializes");
+    assert_eq!(entry.outcome, "miss_compute", "cold chain computes");
+    assert!(entry.exec_ns > 0, "execute stage timed");
+    assert!(entry.plan_ns > 0, "plan stage timed");
+    assert!(
+        entry.total_ns >= entry.exec_ns,
+        "stage breakdown nests inside the total"
+    );
+
+    // Release mode only: warm-path latency is stable enough to assert the
+    // threshold *filters* — the warm repeat (~tens of µs) is not captured.
+    #[cfg(not(debug_assertions))]
+    assert_eq!(
+        slow.len(),
+        1,
+        "the warm repeat must stay under the threshold: {slow:?}"
+    );
+
+    assert_eq!(stats.slow_queries, slow.len() as u64);
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let server = Server::start(
+        world(300),
+        ServeConfig {
+            telemetry: TelemetryConfig {
+                enabled: false,
+                slow_query: Duration::ZERO,
+                slow_log: 8,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    server
+        .submit("pathsim author-paper-author from author_a0_0")
+        .wait()
+        .expect("query");
+    assert!(server.slow_queries().is_empty());
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 1);
+    assert!(stats.e2e_ns.is_empty());
+    assert!(stats.queue_wait_ns.is_empty());
+    assert!(stats.exec_ns.iter().flatten().all(HistSnapshot::is_empty));
+    assert_eq!(stats.slow_queries, 0);
+}
+
+#[test]
+fn merge_edge_semantics() {
+    let a = ServerStats {
+        served: 10,
+        max_batch: 7,
+        workers: 4,
+        queue_depth: 3,
+        cache_len: 5,
+        cache_bytes: 1000,
+        lane_depths: vec![(1, 2), (2, 0)],
+        queue_wait_ns: snap(&[100, 200]),
+        slow_queries: 2,
+        ..ServerStats::default()
+    };
+    let b = ServerStats {
+        served: 5,
+        max_batch: 3,
+        workers: 2,
+        queue_depth: 1,
+        cache_len: 2,
+        cache_bytes: 400,
+        lane_depths: vec![(1, 9)],
+        queue_wait_ns: snap(&[300]),
+        slow_queries: 1,
+        ..ServerStats::default()
+    };
+    let m = a.merge(&b);
+    assert_eq!(m.served, 15, "counters add");
+    assert_eq!(m.max_batch, 7, "max_batch takes the max");
+    assert_eq!(m.workers, 6, "workers add");
+    assert_eq!(m.queue_depth, 4, "gauges add across disjoint servers");
+    assert_eq!(m.cache_len, 7);
+    assert_eq!(m.cache_bytes, 1400);
+    assert_eq!(
+        m.lane_depths,
+        vec![(1, 2), (2, 0), (1, 9)],
+        "lane_depths concatenate — lane ids are per-server"
+    );
+    assert_eq!(m.slow_queries, 3);
+    // histograms merge like recording into one histogram
+    assert_eq!(m.queue_wait_ns, snap(&[100, 200, 300]));
+    // merge is symmetric up to lane order
+    let n = b.merge(&a);
+    assert_eq!(n.served, m.served);
+    assert_eq!(n.max_batch, m.max_batch);
+    assert_eq!(n.queue_wait_ns, m.queue_wait_ns);
+}
+
+#[test]
+fn router_stats_expose_stage_quantiles_per_mode_and_outcome() {
+    let router = Router::new(RouterConfig {
+        serve: ServeConfig {
+            telemetry: TelemetryConfig {
+                enabled: true,
+                slow_query: Duration::from_secs(3600),
+                slow_log: 4,
+            },
+            ..ServeConfig::default()
+        },
+        ..RouterConfig::default()
+    });
+    router.register("dblp", world(400));
+    let queries: Vec<String> = (0..6)
+        .flat_map(|a| {
+            [
+                format!(
+                    "pathsim author-paper-venue-paper-author from author_a{}_{a}",
+                    a % 4
+                ),
+                format!("pathcount author-paper-venue from author_a{}_{a}", a % 4),
+            ]
+        })
+        .collect();
+    for q in &queries {
+        router.submit("dblp", q.clone()).wait().expect("query");
+    }
+    assert_eq!(
+        router.slow_queries("dblp").expect("registered").len(),
+        0,
+        "an hour-long threshold captures nothing"
+    );
+    assert!(router.slow_queries("nope").is_none());
+
+    let stats = router.stats();
+    let (_, d) = &stats.datasets[0];
+    let served = d.served;
+    assert_eq!(served, queries.len() as u64);
+    assert_eq!(d.e2e_ns.count(), served);
+    assert_eq!(d.queue_wait_ns.count(), served);
+    assert!(d.queue_wait_ns.quantile(0.50) <= d.queue_wait_ns.quantile(0.99));
+    let exec_total: u64 = d.exec_ns.iter().flatten().map(HistSnapshot::count).sum();
+    assert_eq!(
+        exec_total, served,
+        "exec histograms partition served queries by mode × outcome"
+    );
+    // every populated series answers quantiles, and p50 ≤ p99
+    for row in &d.exec_ns {
+        for h in row {
+            if !h.is_empty() {
+                assert!(h.quantile(0.50) <= h.quantile(0.99));
+            }
+        }
+    }
+    // the fleet rollup preserves the counts
+    assert_eq!(stats.aggregate().e2e_ns.count(), served);
+    router.shutdown();
+}
+
+#[test]
+fn metrics_page_round_trips_every_counter_and_histogram() {
+    // A hand-built RouterStats with a distinct value in every field, so a
+    // forgotten series can't hide behind a shared zero.
+    let mut s = ServerStats {
+        served: 101,
+        errors: 102,
+        shed: 103,
+        batches: 104,
+        max_batch: 105,
+        workers: 106,
+        queue_depth: 107,
+        lane_depths: vec![(7, 108)],
+        cache_hits: 109,
+        cache_symmetry_hits: 110,
+        cache_misses: 111,
+        cache_evictions: 112,
+        anchored_fast_paths: 113,
+        promotions: 114,
+        cache_coalesced_waits: 115,
+        cache_dup_computes: 116,
+        cache_warm_loaded: 117,
+        cache_warm_rejected: 118,
+        cache_len: 119,
+        cache_bytes: 120,
+        admission_ns: snap(&[1_000]),
+        queue_wait_ns: snap(&[2_000, 2_000]),
+        dispatch_ns: snap(&[3_000, 3_000, 3_000]),
+        plan_ns: snap(&[4_000; 4]),
+        e2e_ns: snap(&[5_000; 5]),
+        slow_queries: 121,
+        ..ServerStats::default()
+    };
+    for (m, row) in s.exec_ns.iter_mut().enumerate() {
+        for (o, h) in row.iter_mut().enumerate() {
+            *h = snap(&vec![6_000; 10 * m + o + 1]);
+        }
+    }
+    let stats = RouterStats {
+        datasets: vec![("db".to_string(), s)],
+        routed: 201,
+        misrouted: 202,
+    };
+    let page = stats.render_metrics();
+
+    for (name, value) in [
+        ("hin_router_routed_total", 201u64),
+        ("hin_router_misrouted_total", 202),
+    ] {
+        assert!(
+            page.contains(&format!("{name} {value}\n")),
+            "{name}: {page}"
+        );
+    }
+    for (name, value) in [
+        ("hin_served_total", 101u64),
+        ("hin_errors_total", 102),
+        ("hin_shed_total", 103),
+        ("hin_batches_total", 104),
+        ("hin_cache_hits_total", 109),
+        ("hin_cache_symmetry_hits_total", 110),
+        ("hin_cache_misses_total", 111),
+        ("hin_cache_evictions_total", 112),
+        ("hin_anchored_fast_paths_total", 113),
+        ("hin_promotions_total", 114),
+        ("hin_cache_coalesced_waits_total", 115),
+        ("hin_cache_dup_computes_total", 116),
+        ("hin_cache_warm_loaded_total", 117),
+        ("hin_cache_warm_rejected_total", 118),
+        ("hin_slow_queries_total", 121),
+    ] {
+        assert!(
+            page.contains(&format!("{name}{{dataset=\"db\"}} {value}\n")),
+            "counter {name} must round-trip: {page}"
+        );
+    }
+    for (name, value) in [
+        ("hin_max_batch", 105u64),
+        ("hin_workers", 106),
+        ("hin_queue_depth", 107),
+        ("hin_cache_len", 119),
+        ("hin_cache_bytes", 120),
+    ] {
+        assert!(
+            page.contains(&format!("{name}{{dataset=\"db\"}} {value}\n")),
+            "gauge {name} must round-trip: {page}"
+        );
+    }
+    assert!(page.contains("hin_lane_depth{dataset=\"db\",lane=\"7\"} 108\n"));
+    for (name, count) in [
+        ("hin_stage_admission_seconds", 1u64),
+        ("hin_stage_queue_wait_seconds", 2),
+        ("hin_stage_dispatch_seconds", 3),
+        ("hin_stage_plan_seconds", 4),
+        ("hin_e2e_seconds", 5),
+    ] {
+        assert!(
+            page.contains(&format!("{name}_count{{dataset=\"db\"}} {count}\n")),
+            "histogram {name} must round-trip: {page}"
+        );
+        assert!(page.contains(&format!("# TYPE {name} histogram")));
+    }
+    for (m, mode) in EXEC_MODES.iter().enumerate() {
+        for (o, outcome) in EXEC_OUTCOMES.iter().enumerate() {
+            let count = 10 * m + o + 1;
+            assert!(
+                page.contains(&format!(
+                    "hin_stage_exec_seconds_count{{dataset=\"db\",mode=\"{mode}\",outcome=\"{outcome}\"}} {count}\n"
+                )),
+                "exec series {mode}/{outcome} must round-trip: {page}"
+            );
+        }
+    }
+    assert_eq!(
+        page.matches("# TYPE hin_stage_exec_seconds histogram")
+            .count(),
+        1,
+        "one TYPE header no matter how many labeled series"
+    );
+}

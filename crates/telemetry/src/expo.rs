@@ -1,0 +1,188 @@
+//! Prometheus-style text exposition.
+//!
+//! [`MetricsWriter`] renders counters, gauges and histograms in the
+//! Prometheus text format (`name{label="value"} 42`, histogram
+//! `_bucket`/`_sum`/`_count` triples with cumulative `le` buckets). One
+//! `# TYPE` header is emitted per metric name no matter how many labeled
+//! series share it, so a router rendering one series per dataset produces
+//! a scrape-valid page.
+//!
+//! Histogram values recorded as nanoseconds are exposed in **seconds**
+//! (the Prometheus base unit for time); counters and gauges pass through
+//! unscaled.
+
+use std::collections::HashSet;
+
+use crate::hist::HistSnapshot;
+
+const NS_PER_SEC: f64 = 1e9;
+
+/// Escape a label value per the exposition format: backslash, quote, and
+/// newline.
+fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a label set as `{k="v",…}`, with an extra pair appended (used
+/// for histogram `le`). Empty input and no extra renders as nothing.
+fn label_block(labels: &[(&str, &str)], extra: Option<(&str, String)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Render an `f64` the way Prometheus expects: `+Inf`/`-Inf`/`NaN`
+/// spellings, plain decimal otherwise.
+fn number(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Incremental builder of a metrics page.
+#[derive(Debug, Default)]
+pub struct MetricsWriter {
+    out: String,
+    typed: HashSet<String>,
+}
+
+impl MetricsWriter {
+    /// An empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn type_header(&mut self, name: &str, kind: &str) {
+        if self.typed.insert(name.to_string()) {
+            self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+        }
+    }
+
+    /// One counter sample: `name{labels} value`.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.type_header(name, "counter");
+        self.out
+            .push_str(&format!("{name}{} {value}\n", label_block(labels, None)));
+    }
+
+    /// One gauge sample: `name{labels} value`.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.type_header(name, "gauge");
+        self.out.push_str(&format!(
+            "{name}{} {}\n",
+            label_block(labels, None),
+            number(value)
+        ));
+    }
+
+    /// One histogram series, nanosecond-recorded, exposed in seconds:
+    /// cumulative `name_bucket{…,le="…"}` lines for every occupied bucket
+    /// plus `le="+Inf"`, then `name_sum` and `name_count`.
+    pub fn histogram_seconds(&mut self, name: &str, labels: &[(&str, &str)], h: &HistSnapshot) {
+        self.type_header(name, "histogram");
+        let mut cumulative = 0u64;
+        for (bound_ns, count) in h.buckets() {
+            cumulative += count;
+            let le = number(bound_ns as f64 / NS_PER_SEC);
+            self.out.push_str(&format!(
+                "{name}_bucket{} {cumulative}\n",
+                label_block(labels, Some(("le", le)))
+            ));
+        }
+        self.out.push_str(&format!(
+            "{name}_bucket{} {}\n",
+            label_block(labels, Some(("le", "+Inf".to_string()))),
+            h.count()
+        ));
+        self.out.push_str(&format!(
+            "{name}_sum{} {}\n",
+            label_block(labels, None),
+            number(h.sum() as f64 / NS_PER_SEC)
+        ));
+        self.out.push_str(&format!(
+            "{name}_count{} {}\n",
+            label_block(labels, None),
+            h.count()
+        ));
+    }
+
+    /// The rendered page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counters_and_gauges_render_with_one_type_header() {
+        let mut w = MetricsWriter::new();
+        w.counter("hin_served_total", &[("dataset", "dblp")], 42);
+        w.counter("hin_served_total", &[("dataset", "flickr")], 7);
+        w.gauge("hin_queue_depth", &[], 3.0);
+        let page = w.finish();
+        assert_eq!(
+            page.matches("# TYPE hin_served_total counter").count(),
+            1,
+            "one TYPE header per name: {page}"
+        );
+        assert!(page.contains("hin_served_total{dataset=\"dblp\"} 42\n"));
+        assert!(page.contains("hin_served_total{dataset=\"flickr\"} 7\n"));
+        assert!(page.contains("hin_queue_depth 3\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_in_seconds() {
+        let h = Histogram::new();
+        h.record(1_000_000); // 1 ms
+        h.record(1_000_000);
+        h.record(2_000_000_000); // 2 s
+        let mut w = MetricsWriter::new();
+        w.histogram_seconds("hin_e2e_seconds", &[("dataset", "d")], &h.snapshot());
+        let page = w.finish();
+        assert!(page.contains("# TYPE hin_e2e_seconds histogram"));
+        assert!(page.contains("le=\"+Inf\"} 3\n"), "total count: {page}");
+        assert!(page.contains("hin_e2e_seconds_count{dataset=\"d\"} 3\n"));
+        // sum = 2.002 s
+        assert!(page.contains("hin_e2e_seconds_sum{dataset=\"d\"} 2.002\n"));
+        // cumulative: the 1 ms bucket line carries count 2
+        assert!(
+            page.lines().any(|l| l.starts_with("hin_e2e_seconds_bucket")
+                && l.ends_with(" 2")
+                && l.contains("le=\"0.001")),
+            "1ms bucket cumulative count: {page}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = MetricsWriter::new();
+        w.counter("m", &[("k", "a\"b\\c\nd")], 1);
+        assert!(w.finish().contains("m{k=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+}

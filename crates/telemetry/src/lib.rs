@@ -1,0 +1,31 @@
+//! `hin-telemetry` — observability primitives for the serving stack.
+//!
+//! An online analytics service over information networks lives or dies on
+//! tail latency, and tuning one (admission thresholds, promotion policies,
+//! cache budgets) requires knowing *where* time goes, not just how many
+//! queries went through. This crate holds the dependency-free measurement
+//! substrate the rest of the workspace records into:
+//!
+//! * [`Histogram`] — lock-free log-bucketed latency histograms: wait-free
+//!   allocation-free [`Histogram::record`] on the hot path, plain-data
+//!   [`HistSnapshot`]s that merge element-wise (a fleet rollup is exactly
+//!   a merge) and answer p50/p95/p99/max within 12.5% relative error;
+//! * [`RingLog`] — a bounded ring-buffer log, the storage behind the
+//!   serving stack's slow-query log: newest-N retention, bounded memory,
+//!   total-captured accounting;
+//! * [`MetricsWriter`] — Prometheus-style text exposition for counters,
+//!   gauges, and histograms (`_bucket`/`_sum`/`_count` with cumulative
+//!   `le` edges, seconds as the time unit), which
+//!   `hin_serve::RouterStats::render_metrics` renders a scrape page with.
+//!
+//! The crate deliberately depends on nothing in the workspace (it sits
+//! below `hin-linalg`), so any layer — kernels, engine, serving — can
+//! record without dependency cycles.
+
+pub mod expo;
+pub mod hist;
+pub mod ring;
+
+pub use expo::MetricsWriter;
+pub use hist::{bucket_bound, HistSnapshot, Histogram};
+pub use ring::RingLog;

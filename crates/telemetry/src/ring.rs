@@ -1,0 +1,120 @@
+//! A bounded ring-buffer log: the newest `capacity` entries win.
+//!
+//! This is the storage behind the serving stack's slow-query log: pushes
+//! are cheap and never block on readers for long (one mutex held for a
+//! deque push), memory is bounded by construction, and the total number of
+//! entries ever captured is tracked separately so an operator can tell
+//! "64 slow queries resident" apart from "64 resident out of 40 000
+//! captured since start".
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// A bounded FIFO log. All methods take `&self`; share behind an `Arc`.
+#[derive(Debug)]
+pub struct RingLog<T> {
+    capacity: usize,
+    state: Mutex<RingState<T>>,
+}
+
+#[derive(Debug)]
+struct RingState<T> {
+    entries: VecDeque<T>,
+    total: u64,
+}
+
+impl<T> RingLog<T> {
+    /// An empty log keeping at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(RingState {
+                entries: VecDeque::new(),
+                total: 0,
+            }),
+        }
+    }
+
+    /// Append an entry, evicting the oldest once at capacity.
+    pub fn push(&self, entry: T) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.entries.len() == self.capacity {
+            state.entries.pop_front();
+        }
+        state.entries.push_back(entry);
+        state.total += 1;
+    }
+
+    /// Entries ever pushed (including those since evicted).
+    pub fn total(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .total
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl<T: Clone> RingLog<T> {
+    /// Copy out the resident entries, oldest first.
+    pub fn entries(&self) -> Vec<T> {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_at_capacity() {
+        let log = RingLog::new(3);
+        for i in 0..7 {
+            log.push(i);
+        }
+        assert_eq!(log.entries(), vec![4, 5, 6]);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total(), 7, "evicted entries still count");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let log = RingLog::new(0);
+        log.push("a");
+        log.push("b");
+        assert_eq!(log.entries(), vec!["b"]);
+        assert_eq!(log.capacity(), 1);
+    }
+
+    #[test]
+    fn empty_log_reports_empty() {
+        let log: RingLog<u8> = RingLog::new(4);
+        assert!(log.is_empty());
+        assert_eq!(log.total(), 0);
+        assert!(log.entries().is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for histogram quantiles and merge semantics.
+
+use proptest::prelude::*;
+
+use hin_telemetry::{HistSnapshot, Histogram};
+
+fn snapshot_of(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// quantile(p) is monotone non-decreasing in p, bounded by the exact
+    /// max, and never under-states the true order statistic.
+    #[test]
+    fn quantile_is_monotone_in_p(
+        mut values in prop::collection::vec(0u64..=u64::MAX / 2, 1..200),
+        ps in prop::collection::vec(0.0f64..=1.0, 2..20),
+    ) {
+        let s = snapshot_of(&values);
+        let mut sorted_ps = ps.clone();
+        sorted_ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0u64;
+        for &p in &sorted_ps {
+            let q = s.quantile(p);
+            prop_assert!(q >= last, "quantile not monotone: q({p}) = {q} < {last}");
+            prop_assert!(q <= s.max(), "quantile above exact max");
+            last = q;
+        }
+        // Against the exact order statistic: the estimate never under-states.
+        values.sort_unstable();
+        for &p in &sorted_ps {
+            let rank = ((p * values.len() as f64).ceil() as usize)
+                .clamp(1, values.len());
+            let exact = values[rank - 1];
+            prop_assert!(
+                s.quantile(p) >= exact,
+                "q({p}) = {} under-states exact order statistic {exact}",
+                s.quantile(p)
+            );
+        }
+    }
+
+    /// Merging two snapshots is exactly equivalent to recording both value
+    /// streams into a single histogram.
+    #[test]
+    fn merge_equals_recording_into_one(
+        a in prop::collection::vec(0u64..=u64::MAX / 2, 0..150),
+        b in prop::collection::vec(0u64..=u64::MAX / 2, 0..150),
+    ) {
+        let merged = snapshot_of(&a).merge(&snapshot_of(&b));
+        let combined: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, snapshot_of(&combined));
+    }
+
+    /// Merge is commutative, and merging with an empty snapshot is identity.
+    #[test]
+    fn merge_is_commutative_with_empty_identity(
+        a in prop::collection::vec(0u64..=u64::MAX / 2, 0..100),
+        b in prop::collection::vec(0u64..=u64::MAX / 2, 0..100),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&HistSnapshot::default()), sa);
+    }
+}

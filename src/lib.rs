@@ -17,6 +17,7 @@
 //! | [`similarity`] | SimRank, PPR similarity, meta-paths, PathSim |
 //! | [`query`] | meta-path query engine: parser, cost-based planner, commuting-matrix cache with in-flight work dedup |
 //! | [`serve`] | concurrent serving layer: multi-dataset router, admission-controlled fair queue, worker pools |
+//! | [`telemetry`] | lock-free latency histograms, bounded ring logs, Prometheus-style metrics exposition |
 //! | [`clustering`] | k-means, spectral, SCAN, agglomerative + NMI/ARI/F1 |
 //! | [`rankclus`] | RankClus (EDBT'09) |
 //! | [`netclus`] | NetClus (KDD'09) |
@@ -57,7 +58,9 @@
 //! let engine = Engine::new(data.hin);
 //! let peers = engine.execute("topk 5 author-paper-venue-paper-author from author_a0_0").unwrap();
 //! assert!(peers.items.len() <= 5);
-//! assert!(engine.cache_misses() > 0); // computed once; repeats would be cache hits
+//! // anchored queries cost-route to sparse-row propagation; unanchored
+//! // ones materialize commuting matrices into the cache
+//! assert!(engine.cache_misses() + engine.anchored_fast_paths() > 0);
 //! ```
 //!
 //! ## Serving quickstart
@@ -142,3 +145,4 @@ pub use hin_serve as serve;
 pub use hin_similarity as similarity;
 pub use hin_stats as stats;
 pub use hin_synth as synth;
+pub use hin_telemetry as telemetry;
