@@ -90,8 +90,54 @@ fn main() {
     let t = Instant::now();
     let restored = CacheSnapshot::read_from_file(&file).expect("read snapshot back");
     let read_ms = t.elapsed().as_secs_f64() * 1e3;
-    let _ = std::fs::remove_file(&file);
     assert_eq!(restored.len(), snapshot.len());
+
+    // ── storage tier: v1 decode-restore vs v2 view-restore ───────────────
+    // Same snapshot, both container generations, best of REPS so one
+    // scheduler hiccup doesn't decide the comparison.
+    const REPS: usize = 5;
+    let v1_file = std::env::temp_dir().join(format!("exp_snapshot_{}_v1.hinsnap", std::process::id()));
+    {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&v1_file).expect("create v1"));
+        snapshot.to_writer_v1(&mut w).expect("write v1 snapshot");
+        std::io::Write::flush(&mut w).expect("flush v1");
+    }
+    let v1_file_bytes = std::fs::metadata(&v1_file).expect("v1 file").len();
+    let mut v1_restore_ms = f64::INFINITY;
+    let mut v2_restore_ms = f64::INFINITY;
+    let mut v2_restored = restored;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let r = CacheSnapshot::read_from_file(&v1_file).expect("v1 decode-restore");
+        v1_restore_ms = v1_restore_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(r.len(), snapshot.len());
+        assert_eq!(r.view_backed(), 0, "v1 entries are heap decodes");
+        let t = Instant::now();
+        let r = CacheSnapshot::read_from_file(&file).expect("v2 view-restore");
+        v2_restore_ms = v2_restore_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(r.len(), snapshot.len());
+        v2_restored = r;
+    }
+    let _ = std::fs::remove_file(&file);
+    let _ = std::fs::remove_file(&v1_file);
+    let (v2_shared, v2_copied) = v2_restored.bytes_shared_copied();
+    let restore_speedup = v1_restore_ms / v2_restore_ms.max(1e-9);
+    // live gauge while the restored arena is actually resident
+    let arena_bytes_live = hin_linalg::arena::arena_bytes();
+    if hin_linalg::arena::ZERO_COPY {
+        assert_eq!(
+            v2_restored.view_backed(),
+            v2_restored.len(),
+            "every v2-restored matrix must be an arena view"
+        );
+        assert_eq!(
+            v2_restored.arena_count(),
+            1,
+            "all v2-restored matrices must share one arena buffer"
+        );
+        assert_eq!(v2_copied, 0, "a v2 restore copies no matrix payload");
+    }
+    let restored = v2_restored;
 
     // ── cold vs warm first contact with the same workload ────────────────
     let cold = run(Server::start(Arc::clone(&hin), config.clone()), &queries);
@@ -129,6 +175,13 @@ fn main() {
     report.set("snapshot_file_bytes", file_bytes);
     report.set("snapshot_write_ms", format!("{write_ms:.3}"));
     report.set("snapshot_read_ms", format!("{read_ms:.3}"));
+    report.set("v1_file_bytes", v1_file_bytes);
+    report.set("v1_decode_restore_ms", format!("{v1_restore_ms:.3}"));
+    report.set("v2_view_restore_ms", format!("{v2_restore_ms:.3}"));
+    report.set("v2_restore_speedup", format!("{restore_speedup:.2}"));
+    report.set("v2_bytes_shared", v2_shared);
+    report.set("v2_bytes_copied", v2_copied);
+    report.set("arena_bytes_live", arena_bytes_live);
     report.set("cold_first_query_ms", format!("{:.3}", cold.first_ms));
     report.set("warm_first_query_ms", format!("{:.3}", warm.first_ms));
     report.set(
@@ -152,6 +205,19 @@ fn main() {
         warm.stats.cache_warm_rejected, 0,
         "a snapshot of the same dataset must fit its schema entirely"
     );
+    // the zero-copy gates: on a big-endian or 32-bit host v2 restores
+    // decode like v1 (the portable fallback), so neither holds there
+    if hin_linalg::arena::ZERO_COPY {
+        assert_eq!(
+            warm.stats.cache_warm_view_backed, warm.stats.cache_warm_loaded,
+            "a v2 warm start admits views straight out of the arena"
+        );
+        assert!(
+            restore_speedup >= 5.0,
+            "v2 view-restore must beat v1 decode-restore at least 5x \
+             (v1 {v1_restore_ms:.3} ms vs v2 {v2_restore_ms:.3} ms = {restore_speedup:.2}x)"
+        );
+    }
     assert!(
         warm.stats.cache_misses < cold.stats.cache_misses,
         "warm server must recompute strictly less (warm {} vs cold {})",

@@ -1,0 +1,514 @@
+//! Shared, aligned arena buffers backing zero-copy [`Csr`] views.
+//!
+//! The snapshot persistence layer (PR 4) decoded every matrix out of its
+//! container into three fresh `Vec`s — O(decode) work per restore, linear
+//! in graph size. The arena storage tier removes that cost: a snapshot
+//! file is laid out as a directory of entry headers plus one 8-byte-
+//! aligned data heap, read into a single [`ArenaBuf`], and every restored
+//! matrix is a [`Csr`] *view* into that one shared allocation
+//! ([`Csr::from_arena`]) — no per-matrix heap decode, no copies, failover
+//! cost collapses from O(decode) to O(read).
+//!
+//! # Alignment and portability
+//!
+//! The on-disk heap stores `indptr` as `u64` LE, `indices` as `u32` LE and
+//! `data` as `f64` LE bit patterns at 8-byte-aligned offsets. [`ArenaBuf`]
+//! is backed by a `u64` allocation, so its base is always 8-byte aligned
+//! and an aligned offset within it can be reinterpreted as `&[u64]`,
+//! `&[u32]` or `&[f64]` directly. Interpreting the stored `u64` row
+//! offsets as in-memory `usize` additionally requires a little-endian
+//! 64-bit host ([`ZERO_COPY`]); on any other target [`Csr::from_arena`]
+//! transparently falls back to decoding an owned copy — same matrices,
+//! same API, just without the sharing.
+//!
+//! # Storage stats
+//!
+//! Process-wide counters record how matrices were materialized from
+//! persistence: [`view_restores`] (zero-copy views handed out),
+//! [`heap_decodes`] (owned decodes, i.e. the v1 compat path or a
+//! non-[`ZERO_COPY`] host), and the live gauge [`arena_bytes`] (bytes of
+//! arena buffers currently resident — decremented when the last view into
+//! a buffer drops). They are global: tests assert deltas, never absolute
+//! values, and the serving layer exposes them as metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::codec::CodecError;
+use crate::csr::Csr;
+
+/// `true` when this target can reinterpret the arena heap in place:
+/// little-endian, 64-bit (so the stored `u64` row offsets *are* `usize`).
+/// When `false`, [`Csr::from_arena`] decodes owned copies instead.
+pub const ZERO_COPY: bool = cfg!(all(target_endian = "little", target_pointer_width = "64"));
+
+static ARENA_BYTES: AtomicU64 = AtomicU64::new(0);
+static VIEW_RESTORES: AtomicU64 = AtomicU64::new(0);
+static HEAP_DECODES: AtomicU64 = AtomicU64::new(0);
+
+/// Live gauge: bytes of [`ArenaBuf`] allocations currently resident in
+/// this process (snapshot arenas kept alive by the views into them).
+pub fn arena_bytes() -> u64 {
+    ARENA_BYTES.load(Ordering::Relaxed)
+}
+
+/// Cumulative count of matrices restored as zero-copy arena views.
+pub fn view_restores() -> u64 {
+    VIEW_RESTORES.load(Ordering::Relaxed)
+}
+
+/// Cumulative count of matrices decoded from persistence into owned
+/// heap storage (the v1 codec path, or any arena restore on a
+/// non-[`ZERO_COPY`] host).
+pub fn heap_decodes() -> u64 {
+    HEAP_DECODES.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_heap_decode() {
+    HEAP_DECODES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// An 8-byte-aligned, immutable-once-built byte buffer shared by every
+/// view restored from one snapshot.
+///
+/// Backed by a `u64` allocation so the base address is always 8-byte
+/// aligned regardless of the allocator's mood — the property that makes
+/// reinterpreting aligned offsets as `&[f64]` / `&[u32]` / `&[usize]`
+/// sound. Construction and drop maintain the [`arena_bytes`] gauge.
+pub struct ArenaBuf {
+    words: Box<[u64]>,
+    /// Valid byte length (≤ `words.len() * 8`).
+    len: usize,
+}
+
+impl std::fmt::Debug for ArenaBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArenaBuf").field("len", &self.len).finish()
+    }
+}
+
+impl ArenaBuf {
+    /// A zeroed buffer of exactly `len` bytes, ready to be filled through
+    /// [`ArenaBuf::as_mut_bytes`] (e.g. one `read_exact` of a whole
+    /// snapshot file). `len` must come from a trusted source such as file
+    /// metadata — this allocates eagerly.
+    pub fn with_len(len: usize) -> ArenaBuf {
+        let words = vec![0u64; len.div_ceil(8)].into_boxed_slice();
+        ARENA_BYTES.fetch_add(len as u64, Ordering::Relaxed);
+        ArenaBuf { words, len }
+    }
+
+    /// Copy `bytes` into a fresh aligned buffer (one `memcpy`).
+    pub fn from_bytes(bytes: &[u8]) -> ArenaBuf {
+        let mut buf = ArenaBuf::with_len(bytes.len());
+        buf.as_mut_bytes().copy_from_slice(bytes);
+        buf
+    }
+
+    /// Valid bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer's bytes (8-byte-aligned base).
+    pub fn as_bytes(&self) -> &[u8] {
+        // Sound: u64 → u8 loosens alignment, every byte is initialized.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+
+    /// Mutable access for filling the buffer after [`ArenaBuf::with_len`].
+    pub fn as_mut_bytes(&mut self) -> &mut [u8] {
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr() as *mut u8, self.len) }
+    }
+
+    /// The buffer as little-endian `u64` words — the unit the arena
+    /// checksum is computed over. Trailing bytes past the last full word
+    /// (never present in a well-formed arena file) are ignored.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words[..self.len / 8]
+    }
+}
+
+impl Drop for ArenaBuf {
+    fn drop(&mut self) {
+        ARENA_BYTES.fetch_sub(self.len as u64, Ordering::Relaxed);
+    }
+}
+
+/// Where one matrix's arrays live inside an [`ArenaBuf`]: the decoded
+/// form of one directory entry of the arena snapshot format. All offsets
+/// are byte offsets from the buffer's base and must be 8-byte aligned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaEntry {
+    /// Matrix rows.
+    pub nrows: usize,
+    /// Matrix columns.
+    pub ncols: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// Byte offset of `(nrows + 1)` little-endian `u64` row offsets.
+    pub indptr_off: usize,
+    /// Byte offset of `nnz` little-endian `u32` column indices.
+    pub indices_off: usize,
+    /// Byte offset of `nnz` little-endian `f64` bit patterns.
+    pub data_off: usize,
+}
+
+/// A validated window into a shared [`ArenaBuf`] serving as a [`Csr`]'s
+/// backing storage. Constructed only by [`Csr::from_arena`], which checks
+/// bounds, alignment, and every CSR structural invariant first — so the
+/// raw-pointer accessors below are sound and the slices they return are
+/// valid CSR arrays.
+#[derive(Clone)]
+pub(crate) struct ArenaView {
+    buf: Arc<ArenaBuf>,
+    entry: ArenaEntry,
+}
+
+impl ArenaView {
+    #[inline]
+    fn base(&self) -> *const u8 {
+        self.buf.as_bytes().as_ptr()
+    }
+
+    /// Row offsets, reinterpreted in place. Requires [`ZERO_COPY`] (the
+    /// constructor never builds a view otherwise).
+    #[inline]
+    pub(crate) fn indptr(&self) -> &[usize] {
+        debug_assert!(ZERO_COPY);
+        unsafe {
+            std::slice::from_raw_parts(
+                self.base().add(self.entry.indptr_off) as *const usize,
+                self.entry.nrows + 1,
+            )
+        }
+    }
+
+    #[inline]
+    pub(crate) fn indices(&self) -> &[u32] {
+        unsafe {
+            std::slice::from_raw_parts(
+                self.base().add(self.entry.indices_off) as *const u32,
+                self.entry.nnz,
+            )
+        }
+    }
+
+    #[inline]
+    pub(crate) fn data(&self) -> &[f64] {
+        unsafe {
+            std::slice::from_raw_parts(
+                self.base().add(self.entry.data_off) as *const f64,
+                self.entry.nnz,
+            )
+        }
+    }
+
+    /// Opaque identity of the backing buffer (pointer-derived): equal for
+    /// views into the same arena.
+    pub(crate) fn arena_id(&self) -> usize {
+        Arc::as_ptr(&self.buf) as usize
+    }
+}
+
+/// Bounds- and alignment-check one array of `count` elements of `elem`
+/// bytes at byte offset `off`, returning its validated byte range.
+fn check_array(
+    buf_len: usize,
+    field: &'static str,
+    off: usize,
+    count: usize,
+    elem: usize,
+) -> Result<(), CodecError> {
+    if off % 8 != 0 {
+        return Err(CodecError::Malformed(format!(
+            "arena {field} offset {off} is not 8-byte aligned"
+        )));
+    }
+    let bytes = count
+        .checked_mul(elem)
+        .and_then(|b| b.checked_add(off))
+        .ok_or(CodecError::DimOverflow {
+            field,
+            value: count as u64,
+        })?;
+    if bytes > buf_len {
+        return Err(CodecError::Malformed(format!(
+            "arena {field} [{off}..{bytes}] exceeds buffer length {buf_len}"
+        )));
+    }
+    Ok(())
+}
+
+impl Csr {
+    /// Materialize one matrix out of a shared arena buffer.
+    ///
+    /// On a [`ZERO_COPY`] host this is allocation-free: the returned
+    /// matrix is a *view* whose three arrays alias `buf` in place, and
+    /// `buf` stays alive (via its `Arc`) as long as any view does. On
+    /// other hosts the arrays are decoded into owned storage instead.
+    ///
+    /// Every structural invariant is validated before the matrix is
+    /// handed out — offsets in bounds and 8-byte aligned, `indptr`
+    /// starting at 0, non-decreasing and ending at `nnz`, column indices
+    /// strictly increasing per row and `< ncols` — so a hostile or
+    /// corrupt directory entry returns a typed [`CodecError`], never a
+    /// panic and never a matrix other code could index out of bounds
+    /// with.
+    pub fn from_arena(buf: &Arc<ArenaBuf>, entry: ArenaEntry) -> Result<Csr, CodecError> {
+        let len = buf.len();
+        let indptr_len = entry
+            .nrows
+            .checked_add(1)
+            .ok_or(CodecError::DimOverflow {
+                field: "nrows",
+                value: entry.nrows as u64,
+            })?;
+        check_array(len, "indptr", entry.indptr_off, indptr_len, 8)?;
+        check_array(len, "indices", entry.indices_off, entry.nnz, 4)?;
+        check_array(len, "data", entry.data_off, entry.nnz, 8)?;
+
+        let view = ArenaView {
+            buf: Arc::clone(buf),
+            entry,
+        };
+        if ZERO_COPY {
+            // Validate through the view's own slices — the same bytes the
+            // kernels will read.
+            validate_csr(view.indptr(), view.indices(), entry.nnz, entry.ncols)?;
+            VIEW_RESTORES.fetch_add(1, Ordering::Relaxed);
+            Ok(Csr::from_arena_view(entry.nrows, entry.ncols, view))
+        } else {
+            // Portable fallback: decode owned copies from the LE bytes.
+            let bytes = buf.as_bytes();
+            let indptr: Vec<usize> = bytes[entry.indptr_off..]
+                .chunks_exact(8)
+                .take(indptr_len)
+                .map(|c| {
+                    let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+                    usize::try_from(v).map_err(|_| CodecError::DimOverflow {
+                        field: "indptr entry",
+                        value: v,
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let indices: Vec<u32> = bytes[entry.indices_off..]
+                .chunks_exact(4)
+                .take(entry.nnz)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                .collect();
+            let data: Vec<f64> = bytes[entry.data_off..]
+                .chunks_exact(8)
+                .take(entry.nnz)
+                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+                .collect();
+            validate_csr(&indptr, &indices, entry.nnz, entry.ncols)?;
+            note_heap_decode();
+            Ok(Csr::from_parts_unchecked(
+                entry.nrows,
+                entry.ncols,
+                indptr,
+                indices,
+                data,
+            ))
+        }
+    }
+}
+
+/// The CSR structural invariants every decoder enforces before a matrix
+/// escapes: shared by the arena constructor above and usable by any other
+/// storage front end.
+pub(crate) fn validate_csr(
+    indptr: &[usize],
+    indices: &[u32],
+    nnz: usize,
+    ncols: usize,
+) -> Result<(), CodecError> {
+    if indptr.first() != Some(&0) {
+        return Err(CodecError::Malformed("indptr[0] must be 0".to_string()));
+    }
+    if indptr.last() != Some(&nnz) {
+        return Err(CodecError::Malformed(format!(
+            "indptr[nrows] = {} but nnz = {nnz}",
+            indptr.last().copied().unwrap_or(0)
+        )));
+    }
+    if indptr.windows(2).any(|w| w[0] > w[1]) {
+        return Err(CodecError::Malformed(
+            "indptr must be non-decreasing".to_string(),
+        ));
+    }
+    // first == 0, last == nnz and monotonicity bound every offset into
+    // [0, nnz], so the row slicing below cannot go out of bounds.
+    for row in 0..indptr.len() - 1 {
+        let cols = &indices[indptr[row]..indptr[row + 1]];
+        if cols.iter().any(|&c| (c as usize) >= ncols) {
+            return Err(CodecError::Malformed(format!(
+                "row {row} holds a column index >= ncols ({ncols})"
+            )));
+        }
+        if cols.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CodecError::Malformed(format!(
+                "row {row} column indices are not strictly increasing"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-build an arena holding one matrix: [indptr | data | indices].
+    fn arena_of(m: &Csr) -> (Arc<ArenaBuf>, ArenaEntry) {
+        let (indptr, indices, data) = m.parts();
+        let indptr_off = 0;
+        let data_off = (indptr.len() * 8).next_multiple_of(8);
+        let indices_off = data_off + data.len() * 8;
+        let total = (indices_off + indices.len() * 4).next_multiple_of(8);
+        let mut buf = ArenaBuf::with_len(total);
+        {
+            let bytes = buf.as_mut_bytes();
+            for (i, &p) in indptr.iter().enumerate() {
+                bytes[indptr_off + i * 8..indptr_off + i * 8 + 8]
+                    .copy_from_slice(&(p as u64).to_le_bytes());
+            }
+            for (i, &v) in data.iter().enumerate() {
+                bytes[data_off + i * 8..data_off + i * 8 + 8]
+                    .copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+            for (i, &c) in indices.iter().enumerate() {
+                bytes[indices_off + i * 4..indices_off + i * 4 + 4]
+                    .copy_from_slice(&c.to_le_bytes());
+            }
+        }
+        (
+            Arc::new(buf),
+            ArenaEntry {
+                nrows: m.nrows(),
+                ncols: m.ncols(),
+                nnz: m.nnz(),
+                indptr_off,
+                indices_off,
+                data_off,
+            },
+        )
+    }
+
+    fn sample() -> Csr {
+        Csr::from_triplets(3, 3, [(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn view_equals_owned_and_shares_the_arena() {
+        let m = sample();
+        let (buf, entry) = arena_of(&m);
+        let before = view_restores();
+        let v = Csr::from_arena(&buf, entry).expect("valid arena entry");
+        assert_eq!(v, m, "views compare equal to owned matrices by content");
+        assert_eq!(v.nbytes(), m.nbytes(), "pricing is backing-independent");
+        if ZERO_COPY {
+            assert!(v.is_view());
+            assert!(view_restores() > before);
+            assert_eq!(v.arena_id(), Some(Arc::as_ptr(&buf) as usize));
+            let w = Csr::from_arena(&buf, entry).expect("second view");
+            assert_eq!(w.arena_id(), v.arena_id(), "one shared arena");
+        }
+    }
+
+    #[test]
+    fn arena_gauge_tracks_buffer_lifetime() {
+        let m = sample();
+        let (buf, entry) = arena_of(&m);
+        let held = arena_bytes();
+        let v = Csr::from_arena(&buf, entry).expect("valid");
+        drop(buf);
+        // the view keeps the arena alive
+        assert_eq!(v.get(2, 1), 4.0);
+        drop(v);
+        assert!(
+            arena_bytes() <= held,
+            "dropping the last view releases the arena bytes"
+        );
+    }
+
+    #[test]
+    fn kernels_run_unchanged_on_views() {
+        let m = sample();
+        let (buf, entry) = arena_of(&m);
+        let v = Csr::from_arena(&buf, entry).expect("valid");
+        assert_eq!(v.spgemm(&v.transpose()), m.spgemm(&m.transpose()));
+        assert_eq!(v.matvec(&[1.0, 2.0, 3.0]), m.matvec(&[1.0, 2.0, 3.0]));
+        assert_eq!(v.row_sums(), m.row_sums());
+    }
+
+    #[test]
+    fn mutation_promotes_a_view_to_owned() {
+        let m = sample();
+        let (buf, entry) = arena_of(&m);
+        let mut v = Csr::from_arena(&buf, entry).expect("valid");
+        v.scale(2.0);
+        assert!(!v.is_view(), "copy-on-write promotion");
+        assert_eq!(v.get(2, 1), 8.0);
+        // the arena itself is untouched
+        let again = Csr::from_arena(&buf, entry).expect("valid");
+        assert_eq!(again.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn misaligned_and_out_of_bounds_offsets_are_rejected() {
+        let m = sample();
+        let (buf, entry) = arena_of(&m);
+        for bad in [
+            ArenaEntry {
+                indptr_off: entry.indptr_off + 4, // misaligned
+                ..entry
+            },
+            ArenaEntry {
+                data_off: buf.len(), // data runs past the buffer
+                ..entry
+            },
+            ArenaEntry {
+                nnz: usize::MAX / 2, // length arithmetic must not overflow
+                ..entry
+            },
+        ] {
+            assert!(
+                Csr::from_arena(&buf, bad).is_err(),
+                "hostile entry {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_invariants_are_enforced_on_view_construction() {
+        let m = sample();
+        // indptr not ending at nnz
+        let (buf, entry) = arena_of(&m);
+        let bad = ArenaEntry {
+            nnz: m.nnz() - 1,
+            ..entry
+        };
+        assert!(matches!(
+            Csr::from_arena(&buf, bad),
+            Err(CodecError::Malformed(_))
+        ));
+        // column index out of range: corrupt the indices array in place
+        let (mut buf, entry) = {
+            let (b, e) = arena_of(&m);
+            (Arc::try_unwrap(b).expect("sole owner"), e)
+        };
+        buf.as_mut_bytes()[entry.indices_off] = 250;
+        let buf = Arc::new(buf);
+        assert!(matches!(
+            Csr::from_arena(&buf, entry),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+}

@@ -159,6 +159,20 @@ impl Fnv64 {
         self.0 = h;
     }
 
+    /// Absorb one little-endian `u64` *word* in a single mix step.
+    ///
+    /// This is the word-granular FNV variant the arena snapshot format
+    /// (v2) uses: its files are 8-byte aligned end to end, so hashing per
+    /// word instead of per byte makes integrity checking ~8× cheaper —
+    /// which matters because the checksum is the only per-byte work left
+    /// on the zero-copy restore path. Note the digest differs from
+    /// [`Fnv64::update`] over the same bytes; the two are distinct hash
+    /// domains and each format specifies which it uses.
+    #[inline]
+    pub fn update_word(&mut self, word: u64) {
+        self.0 = (self.0 ^ word).wrapping_mul(Self::PRIME);
+    }
+
     /// The digest over everything absorbed so far.
     pub fn finish(&self) -> u64 {
         self.0
@@ -357,6 +371,10 @@ impl Csr {
             }
         }
         let data: Vec<f64> = data_bits.into_iter().map(f64::from_bits).collect();
+        // This is the decode-per-matrix path the arena format (v2) exists
+        // to avoid; the storage tier counts it so warm-restore tests can
+        // assert it never runs.
+        crate::arena::note_heap_decode();
         Ok(Csr::from_parts_unchecked(
             nrows, ncols, indptr, indices, data,
         ))

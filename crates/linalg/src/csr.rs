@@ -5,6 +5,7 @@
 //! sparse matrix for the linear-algebra-flavoured algorithms (PathSim
 //! commuting matrices, PageRank transition matrices).
 
+use crate::arena::ArenaView;
 use crate::dense::DMat;
 
 /// Reusable dense-accumulator scratch for the scatter/gather sparse
@@ -55,24 +56,154 @@ impl ScatterScratch {
 /// and `data[indptr[i]..indptr[i+1]]` (values). Column indices within a row
 /// are strictly increasing; duplicate triplets are merged by summation at
 /// construction time.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// # Storage: owned or view
+///
+/// The three arrays live either in matrix-owned `Vec`s (every construction
+/// path in this module) or as a zero-copy *view* into a shared, aligned
+/// [`crate::arena::ArenaBuf`] ([`Csr::from_arena`] — how snapshot restores
+/// avoid per-matrix decodes). Every accessor and kernel reads through
+/// [`Csr::indptr`]/[`Csr::indices`]/[`Csr::data`], so the two backings are
+/// observationally identical: equal content compares equal ([`PartialEq`]
+/// is by content, not by backing), [`Csr::nbytes`] prices both the same,
+/// and the rare in-place mutators ([`Csr::scale`], [`Csr::scale_rows`])
+/// promote a view to owned storage copy-on-write first.
+#[derive(Clone)]
 pub struct Csr {
     nrows: usize,
     ncols: usize,
-    indptr: Vec<usize>,
-    indices: Vec<u32>,
-    data: Vec<f64>,
+    storage: Storage,
+}
+
+/// The own-or-view backing of a [`Csr`].
+#[derive(Clone)]
+enum Storage {
+    Owned {
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        data: Vec<f64>,
+    },
+    View(ArenaView),
+}
+
+impl std::fmt::Debug for Csr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Csr")
+            .field("nrows", &self.nrows)
+            .field("ncols", &self.ncols)
+            .field("nnz", &self.nnz())
+            .field(
+                "backing",
+                &if self.is_view() { "view" } else { "owned" },
+            )
+            .field("indptr", &self.indptr())
+            .field("indices", &self.indices())
+            .field("data", &self.data())
+            .finish()
+    }
+}
+
+impl PartialEq for Csr {
+    /// Content equality: shape and the three arrays, regardless of which
+    /// backing holds them — a restored view equals the owned matrix it
+    /// was snapshotted from.
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.indptr() == other.indptr()
+            && self.indices() == other.indices()
+            && self.data() == other.data()
+    }
 }
 
 impl Csr {
+    /// Row offsets: `indptr[i]..indptr[i+1]` spans row `i`'s entries.
+    #[inline]
+    pub(crate) fn indptr(&self) -> &[usize] {
+        match &self.storage {
+            Storage::Owned { indptr, .. } => indptr,
+            Storage::View(v) => v.indptr(),
+        }
+    }
+
+    /// All stored column indices, concatenated row-major.
+    #[inline]
+    pub(crate) fn indices(&self) -> &[u32] {
+        match &self.storage {
+            Storage::Owned { indices, .. } => indices,
+            Storage::View(v) => v.indices(),
+        }
+    }
+
+    /// All stored values, parallel to [`Csr::indices`].
+    #[inline]
+    pub(crate) fn data(&self) -> &[f64] {
+        match &self.storage {
+            Storage::Owned { data, .. } => data,
+            Storage::View(v) => v.data(),
+        }
+    }
+
+    /// `true` when the arrays are a zero-copy view into a shared arena
+    /// buffer rather than matrix-owned `Vec`s.
+    #[inline]
+    pub fn is_view(&self) -> bool {
+        matches!(self.storage, Storage::View(_))
+    }
+
+    /// Opaque identity of the arena buffer a view-backed matrix aliases
+    /// (`None` for owned storage). Two matrices restored from the same
+    /// snapshot share one arena and report equal ids — the property the
+    /// zero-decode warm-restore tests assert.
+    pub fn arena_id(&self) -> Option<usize> {
+        match &self.storage {
+            Storage::Owned { .. } => None,
+            Storage::View(v) => Some(v.arena_id()),
+        }
+    }
+
+    /// Rebind a view to owned storage (copy once); no-op when already
+    /// owned. The write path of copy-on-write mutation.
+    fn make_owned(&mut self) {
+        if let Storage::View(v) = &self.storage {
+            self.storage = Storage::Owned {
+                indptr: v.indptr().to_vec(),
+                indices: v.indices().to_vec(),
+                data: v.data().to_vec(),
+            };
+        }
+    }
+
+    /// Mutable values, promoting a view to owned storage first.
+    fn data_mut(&mut self) -> &mut [f64] {
+        self.make_owned();
+        match &mut self.storage {
+            Storage::Owned { data, .. } => data,
+            Storage::View(_) => unreachable!("make_owned leaves Owned storage"),
+        }
+    }
+
+    /// Assemble a view-backed matrix over an already-validated arena
+    /// window (only [`Csr::from_arena`] calls this, after checking every
+    /// CSR invariant).
+    pub(crate) fn from_arena_view(nrows: usize, ncols: usize, view: ArenaView) -> Self {
+        Self {
+            nrows,
+            ncols,
+            storage: Storage::View(view),
+        }
+    }
+
     /// Empty matrix with the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
         Self {
             nrows,
             ncols,
-            indptr: vec![0; nrows + 1],
-            indices: Vec::new(),
-            data: Vec::new(),
+            storage: Storage::Owned {
+                indptr: vec![0; nrows + 1],
+                indices: Vec::new(),
+                data: Vec::new(),
+            },
         }
     }
 
@@ -120,9 +251,11 @@ impl Csr {
         Self {
             nrows,
             ncols,
-            indptr,
-            indices,
-            data,
+            storage: Storage::Owned {
+                indptr,
+                indices,
+                data,
+            },
         }
     }
 
@@ -150,30 +283,35 @@ impl Csr {
     /// Number of stored entries.
     #[inline]
     pub fn nnz(&self) -> usize {
-        self.indices.len()
+        self.indices().len()
     }
 
     /// Heap bytes this matrix logically occupies: the `indptr`, `indices`
     /// and `data` arrays at their stored lengths (excess `Vec` capacity is
     /// ignored). This is the cost model used by byte-budgeted caches of
-    /// commuting matrices.
+    /// commuting matrices. Deliberately backing-independent: a view-backed
+    /// matrix prices the same as its owned twin, so cache budgets and
+    /// snapshot export budgets mean the same thing on either side of a
+    /// restore.
     #[inline]
     pub fn nbytes(&self) -> usize {
-        self.indptr.len() * std::mem::size_of::<usize>()
-            + self.indices.len() * std::mem::size_of::<u32>()
-            + self.data.len() * std::mem::size_of::<f64>()
+        (self.nrows + 1) * std::mem::size_of::<usize>()
+            + self.nnz() * std::mem::size_of::<u32>()
+            + self.nnz() * std::mem::size_of::<f64>()
     }
 
     /// Column indices of row `r`.
     #[inline]
     pub fn row_indices(&self, r: usize) -> &[u32] {
-        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+        let indptr = self.indptr();
+        &self.indices()[indptr[r]..indptr[r + 1]]
     }
 
     /// Values of row `r`, parallel to [`Csr::row_indices`].
     #[inline]
     pub fn row_values(&self, r: usize) -> &[f64] {
-        &self.data[self.indptr[r]..self.indptr[r + 1]]
+        let indptr = self.indptr();
+        &self.data()[indptr[r]..indptr[r + 1]]
     }
 
     /// `(indices, values)` of row `r`.
@@ -205,7 +343,8 @@ impl Csr {
     /// adjacency matrix).
     #[inline]
     pub fn row_nnz(&self, r: usize) -> usize {
-        self.indptr[r + 1] - self.indptr[r]
+        let indptr = self.indptr();
+        indptr[r + 1] - indptr[r]
     }
 
     /// Sum of values in row `r` (weighted out-degree).
@@ -220,13 +359,13 @@ impl Csr {
 
     /// Sum of all stored values.
     pub fn total(&self) -> f64 {
-        self.data.iter().sum()
+        self.data().iter().sum()
     }
 
     /// Transpose (CSR of the same data with rows and columns swapped).
     pub fn transpose(&self) -> Csr {
         let mut counts = vec![0usize; self.ncols + 1];
-        for &c in &self.indices {
+        for &c in self.indices() {
             counts[c as usize + 1] += 1;
         }
         for i in 1..=self.ncols {
@@ -247,9 +386,11 @@ impl Csr {
         Csr {
             nrows: self.ncols,
             ncols: self.nrows,
-            indptr,
-            indices,
-            data,
+            storage: Storage::Owned {
+                indptr,
+                indices,
+                data,
+            },
         }
     }
 
@@ -367,18 +508,24 @@ impl Csr {
         Csr {
             nrows: self.nrows,
             ncols: rhs.ncols,
-            indptr,
-            indices,
-            data,
+            storage: Storage::Owned {
+                indptr,
+                indices,
+                data,
+            },
         }
     }
 
-    /// Scale row `r` by `rows[r]` in place.
+    /// Scale row `r` by `rows[r]` in place (a view-backed matrix promotes
+    /// to owned storage first — the shared arena is never written).
     pub fn scale_rows(&mut self, rows: &[f64]) {
         assert_eq!(rows.len(), self.nrows);
-        for r in 0..self.nrows {
-            let s = rows[r];
-            for v in &mut self.data[self.indptr[r]..self.indptr[r + 1]] {
+        self.make_owned();
+        let Storage::Owned { indptr, data, .. } = &mut self.storage else {
+            unreachable!("make_owned leaves Owned storage");
+        };
+        for (r, &s) in rows.iter().enumerate() {
+            for v in &mut data[indptr[r]..indptr[r + 1]] {
                 *v *= s;
             }
         }
@@ -396,9 +543,10 @@ impl Csr {
         out
     }
 
-    /// Multiply every stored value by `alpha`.
+    /// Multiply every stored value by `alpha` (copy-on-write for views,
+    /// like [`Csr::scale_rows`]).
     pub fn scale(&mut self, alpha: f64) {
-        for v in &mut self.data {
+        for v in self.data_mut() {
             *v *= alpha;
         }
     }
@@ -433,14 +581,16 @@ impl Csr {
         self.nrows == self.ncols && *self == self.transpose()
     }
 
-    /// The raw `(indptr, indices, data)` arrays — the codec's view.
-    pub(crate) fn parts(&self) -> (&[usize], &[u32], &[f64]) {
-        (&self.indptr, &self.indices, &self.data)
+    /// The raw `(indptr, indices, data)` arrays — the codec's and the
+    /// snapshot encoder's view. Backing-independent: works identically for
+    /// owned and arena-view matrices.
+    pub fn parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (self.indptr(), self.indices(), self.data())
     }
 
-    /// Assemble from raw arrays whose invariants the caller has already
-    /// verified (the codec validates everything it decodes before calling
-    /// this).
+    /// Assemble owned storage from raw arrays whose invariants the caller
+    /// has already verified (the codec validates everything it decodes
+    /// before calling this).
     pub(crate) fn from_parts_unchecked(
         nrows: usize,
         ncols: usize,
@@ -453,9 +603,11 @@ impl Csr {
         Self {
             nrows,
             ncols,
-            indptr,
-            indices,
-            data,
+            storage: Storage::Owned {
+                indptr,
+                indices,
+                data,
+            },
         }
     }
 }

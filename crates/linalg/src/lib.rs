@@ -18,6 +18,10 @@
 //! * [`codec`] — a versioned, checksummed binary wire format for [`Csr`]
 //!   (`Csr::to_writer` / `Csr::from_reader`), the persistence boundary
 //!   cache snapshots and warm starts stand on,
+//! * [`arena`] — the zero-copy storage tier: shared 8-byte-aligned
+//!   [`ArenaBuf`] buffers and `Csr::from_arena` views into them, so a
+//!   snapshot restore is one read plus zero per-matrix decodes (with
+//!   process-wide view/decode counters and a live arena-bytes gauge),
 //! * [`eigen::jacobi_eigen`] — cyclic Jacobi eigendecomposition for symmetric
 //!   dense matrices,
 //! * [`lanczos::lanczos_symmetric`] — Lanczos iteration for large sparse
@@ -27,6 +31,7 @@
 //!   (multiply-adds performed, scratch reuse) the serving-stack telemetry
 //!   reads.
 
+pub mod arena;
 pub mod chain;
 pub mod codec;
 pub mod counters;
@@ -38,6 +43,7 @@ pub mod solve;
 pub mod spvec;
 pub mod vector;
 
+pub use arena::{ArenaBuf, ArenaEntry};
 pub use chain::{
     spmm_chain, spmm_chain_order, spmm_chain_order_priced, spmm_flops_estimate, spmm_nnz_estimate,
     ChainPlan, MatSummary, PlanTree,

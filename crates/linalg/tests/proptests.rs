@@ -141,6 +141,55 @@ proptest! {
     }
 
     #[test]
+    fn arena_views_are_content_equal_and_kernel_transparent(ts in triplets(8, 30)) {
+        use hin_linalg::{ArenaBuf, ArenaEntry};
+        use std::sync::Arc;
+
+        let m = Csr::from_triplets(8, 8, ts);
+        // hand-build the arena layout: [indptr u64s | data f64 bits | indices u32s]
+        let (indptr, indices, data) = m.parts();
+        let mut bytes = Vec::new();
+        for &p in indptr {
+            bytes.extend_from_slice(&(p as u64).to_le_bytes());
+        }
+        let data_off = bytes.len();
+        for &v in data {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let indices_off = bytes.len();
+        for &c in indices {
+            bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        let entry = ArenaEntry {
+            nrows: 8,
+            ncols: 8,
+            nnz: m.nnz(),
+            indptr_off: 0,
+            indices_off,
+            data_off,
+        };
+        let buf = Arc::new(ArenaBuf::from_bytes(&bytes));
+        let view = Csr::from_arena(&buf, entry).expect("valid layout mounts");
+        prop_assert_eq!(&view, &m, "views compare equal to owned by content");
+        // kernels must not see the backing: same product either way
+        prop_assert_eq!(view.spgemm(&view.transpose()), m.spgemm(&m.transpose()));
+
+        // hostile mutations of the entry are typed errors, never panics
+        for bad in [
+            ArenaEntry { indptr_off: 4, ..entry },             // misaligned
+            ArenaEntry { nnz: entry.nnz + 1, ..entry },        // arrays overrun
+            ArenaEntry { nrows: usize::MAX, ..entry },         // length overflow
+            ArenaEntry { data_off: bytes.len(), ..entry },     // out of bounds
+            ArenaEntry { indices_off: 0, ..entry },            // aliases indptr: cols unsorted unless empty
+        ] {
+            if let Ok(v) = Csr::from_arena(&buf, bad) {
+                // an accepted alias must still satisfy every CSR invariant
+                prop_assert!(v.nnz() == 0 || v.parts().0.len() == v.nrows() + 1);
+            }
+        }
+    }
+
+    #[test]
     fn row_normalized_preserves_sparsity(ts in triplets(6, 20)) {
         let m = Csr::from_triplets(6, 6, ts);
         let n = m.row_normalized();

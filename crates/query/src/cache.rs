@@ -261,6 +261,7 @@ pub struct MatrixCache {
     dup_computes: AtomicU64,
     warm_loaded: AtomicU64,
     warm_rejected: AtomicU64,
+    warm_view_backed: AtomicU64,
 }
 
 impl Default for MatrixCache {
@@ -283,6 +284,7 @@ impl std::fmt::Debug for MatrixCache {
             .field("dup_computes", &self.dup_computes())
             .field("warm_loaded", &self.warm_loaded())
             .field("warm_rejected", &self.warm_rejected())
+            .field("warm_view_backed", &self.warm_view_backed())
             .finish()
     }
 }
@@ -309,6 +311,7 @@ impl MatrixCache {
             dup_computes: AtomicU64::new(0),
             warm_loaded: AtomicU64::new(0),
             warm_rejected: AtomicU64::new(0),
+            warm_view_backed: AtomicU64::new(0),
         }
     }
 
@@ -401,6 +404,14 @@ impl MatrixCache {
         self.warm_rejected.load(Ordering::Relaxed)
     }
 
+    /// The subset of [`MatrixCache::warm_loaded`] admitted as zero-copy
+    /// arena views ([`Csr::is_view`]) rather than owned heap copies — the
+    /// v2 snapshot format's "one read, zero per-matrix decodes" restore
+    /// guarantee, observable as a counter.
+    pub fn warm_view_backed(&self) -> u64 {
+        self.warm_view_backed.load(Ordering::Relaxed)
+    }
+
     /// Zero the counters (the stored matrices stay).
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
@@ -411,6 +422,7 @@ impl MatrixCache {
         self.dup_computes.store(0, Ordering::Relaxed);
         self.warm_loaded.store(0, Ordering::Relaxed);
         self.warm_rejected.store(0, Ordering::Relaxed);
+        self.warm_view_backed.store(0, Ordering::Relaxed);
     }
 
     /// Every resident entry with its recency tick, hottest first — the
@@ -440,9 +452,10 @@ impl MatrixCache {
     }
 
     /// Bump the warm-import counters (used by the snapshot module).
-    pub(crate) fn note_warm(&self, loaded: u64, rejected: u64) {
+    pub(crate) fn note_warm(&self, loaded: u64, rejected: u64, view_backed: u64) {
         self.warm_loaded.fetch_add(loaded, Ordering::Relaxed);
         self.warm_rejected.fetch_add(rejected, Ordering::Relaxed);
+        self.warm_view_backed.fetch_add(view_backed, Ordering::Relaxed);
     }
 
     fn shard_of(&self, key: &[StepKey]) -> &RwLock<Shard> {

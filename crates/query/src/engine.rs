@@ -47,6 +47,11 @@ fn default_row_limit(verb: Verb) -> usize {
 /// bound, not a policy: realistic workloads hold far fewer distinct spans.
 const HEAT_CAP: usize = 4096;
 
+/// Total memoized diagonal entries (`M[y][y]` normalizers across all
+/// half-spans) kept before the table is reset wholesale — a memory bound
+/// like [`HEAT_CAP`], not a policy.
+const DIAG_CAP: usize = 1 << 20;
+
 /// Execution-policy knobs: how the engine trades per-query latency against
 /// cache amortization for anchored queries.
 #[derive(Clone, Copy, Debug)]
@@ -141,6 +146,16 @@ pub struct Engine {
     /// reversal, so a path and its mirror heat one counter (a promotion
     /// serves both through the cache's transpose reuse).
     heat: Mutex<HashMap<PathKey, u32>>,
+    /// Memoized PathSim normalizer diagonals `M[y][y]`, keyed by
+    /// `(half-span key [+ middle step], odd?)`. The diagonal is a property
+    /// of the half-path alone — not of the anchor — so candidates shared
+    /// between consecutive lazy PathSim queries reuse their half
+    /// propagations instead of re-running them (roughly the whole
+    /// normalizer cost, the dominant term, on a repeated query). Bounded
+    /// by [`DIAG_CAP`] total entries.
+    diag_cache: Mutex<HashMap<(PathKey, bool), HashMap<usize, f64>>>,
+    /// Normalizers served from `diag_cache` instead of half propagations.
+    normalizer_memo_hits: AtomicU64,
     /// Queries answered by sparse-row propagation instead of matrix
     /// materialization.
     anchored_fast_paths: AtomicU64,
@@ -179,6 +194,8 @@ impl Engine {
             cache: Arc::new(MatrixCache::new(config)),
             policy,
             heat: Mutex::new(HashMap::new()),
+            diag_cache: Mutex::new(HashMap::new()),
+            normalizer_memo_hits: AtomicU64::new(0),
             anchored_fast_paths: AtomicU64::new(0),
             promotions: AtomicU64::new(0),
             fingerprint: std::sync::OnceLock::new(),
@@ -425,12 +442,19 @@ impl Engine {
         self.promotions.load(Ordering::Relaxed)
     }
 
+    /// PathSim normalizer diagonals `M[y][y]` served from the per-half-span
+    /// memo instead of recomputed half propagations.
+    pub fn normalizer_memo_hits(&self) -> u64 {
+        self.normalizer_memo_hits.load(Ordering::Relaxed)
+    }
+
     /// Zero the hit/miss/fast-path counters, keeping cached matrices (and
     /// span heat).
     pub fn reset_cache_stats(&self) {
         self.cache.reset_stats();
         self.anchored_fast_paths.store(0, Ordering::Relaxed);
         self.promotions.store(0, Ordering::Relaxed);
+        self.normalizer_memo_hits.store(0, Ordering::Relaxed);
     }
 
     /// The execution mode this query would run under right now (cache
@@ -542,22 +566,55 @@ impl Engine {
                 // priced into the mode decision — instead of a full matrix.
                 let h = steps.len() / 2;
                 let (half_seed, half_rest) = self.propagation_seed(&steps[..h]);
-                let mid = (steps.len() % 2 == 1).then(|| steps[h].matrix(&self.hin));
+                let odd = steps.len() % 2 == 1;
+                let mid = odd.then(|| steps[h].matrix(&self.hin));
                 let mxx = row.get(x);
+                // Diagonals are anchor-independent, so consult the
+                // per-half-span memo: clone its map out under a short
+                // lock, fill what's missing, merge back below.
+                let diag_key = (key_of(&steps[..h + odd as usize]), odd);
+                let mut diag = self
+                    .diag_cache
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(&diag_key)
+                    .cloned()
+                    .unwrap_or_default();
+                let mut memo_hits = 0u64;
                 let mut scored: Vec<(usize, f64)> = row
                     .iter()
                     .filter(|&(y, _)| y != x)
                     .map(|(y, mxy)| {
-                        let u = spvm_chain_with(&half_seed.row(y), &half_rest, &mut scratch);
-                        let myy = match mid {
-                            Some(l) => spvm_with(&u, l, &mut scratch).dot(&u),
-                            None => u.dot_self(),
+                        let myy = if let Some(&v) = diag.get(&y) {
+                            memo_hits += 1;
+                            v
+                        } else {
+                            let u = spvm_chain_with(&half_seed.row(y), &half_rest, &mut scratch);
+                            let v = match mid {
+                                Some(l) => spvm_with(&u, l, &mut scratch).dot(&u),
+                                None => u.dot_self(),
+                            };
+                            diag.insert(y, v);
+                            v
                         };
                         let denom = mxx + myy;
                         let score = if denom <= 0.0 { 0.0 } else { 2.0 * mxy / denom };
                         (y, score)
                     })
                     .collect();
+                self.normalizer_memo_hits
+                    .fetch_add(memo_hits, Ordering::Relaxed);
+                let mut memo = self
+                    .diag_cache
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let resident: usize = memo.values().map(HashMap::len).sum();
+                if resident + diag.len() > DIAG_CAP {
+                    // bounded memory: a reset only costs recomputation
+                    memo.clear();
+                }
+                memo.insert(diag_key, diag);
+                drop(memo);
                 scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 scored.truncate(resolved.limit.unwrap_or(DEFAULT_LIMIT));
                 scored
@@ -1204,6 +1261,66 @@ mod tests {
         assert_eq!(lazy.cache_misses(), 0, "the fast path materializes nothing");
         assert_eq!(lazy.cache_len(), 0);
         assert_eq!(lazy.promotions(), 0);
+    }
+
+    #[test]
+    fn repeated_lazy_pathsim_reuses_memoized_normalizers() {
+        let hin = skewed_bib();
+        let eager = eager_engine(Arc::clone(&hin));
+        let lazy = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        // Distinct anchors over one palindrome share candidate sets, so
+        // the second query's normalizer diagonals come from the memo.
+        let (q0, q1) = (
+            "pathsim author-paper-venue-paper-author from a0",
+            "pathsim author-paper-venue-paper-author from a5",
+        );
+        assert_eq!(lazy.execute(q0).unwrap(), eager.execute(q0).unwrap());
+        assert_eq!(lazy.normalizer_memo_hits(), 0, "first query seeds the memo");
+        assert_eq!(lazy.execute(q1).unwrap(), eager.execute(q1).unwrap());
+        assert!(
+            lazy.normalizer_memo_hits() > 0,
+            "second query over the span reuses memoized M[y][y] diagonals"
+        );
+        // an odd palindrome (self-relation middle step) memoizes under a
+        // distinct key — (u·L)·uᵀ diagonals — and stays exact on reuse
+        let mut b = HinBuilder::new();
+        let user = b.add_type("user");
+        let page = b.add_type("page");
+        let viewed = b.add_relation("viewed", user, page);
+        let links = b.add_relation("links", page, page);
+        for u in 0..40 {
+            for k in 0..3 {
+                b.link(
+                    viewed,
+                    &format!("u{u}"),
+                    &format!("g{}", (u * 5 + k * 7) % 30),
+                    1.0,
+                )
+                .unwrap();
+            }
+        }
+        for g in 0..30 {
+            let other = format!("g{}", (g + 1) % 30);
+            b.link(links, &format!("g{g}"), &other, 1.0).unwrap();
+            b.link(links, &other, &format!("g{g}"), 1.0).unwrap();
+        }
+        let hin = Arc::new(b.build());
+        let eager = eager_engine(Arc::clone(&hin));
+        let lazy = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        let q = "pathsim user-page-page-user from u0";
+        assert_eq!(lazy.execute(q).unwrap(), eager.execute(q).unwrap());
+        assert_eq!(lazy.execute(q).unwrap(), eager.execute(q).unwrap());
+        assert!(lazy.normalizer_memo_hits() > 0);
+        lazy.reset_cache_stats();
+        assert_eq!(lazy.normalizer_memo_hits(), 0);
     }
 
     #[test]

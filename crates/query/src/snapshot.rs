@@ -29,7 +29,43 @@
 //! * **Decoding** is as paranoid as the underlying matrix codec: corrupt
 //!   or truncated containers return typed [`CodecError`]s, never panic.
 //!
-//! # Container wire format (version 1)
+//! # Container wire format (version 2 — the arena snapshot format)
+//!
+//! One checksummed file, laid out so a restore is **one read plus zero
+//! per-matrix deserialization**: a fixed-size directory of entry headers
+//! in front of a single 8-byte-aligned data heap. The whole file is read
+//! into one aligned [`hin_linalg::ArenaBuf`] and every matrix is handed
+//! out as a [`Csr`] *view* into that shared buffer
+//! ([`hin_linalg::Csr::from_arena`]) — mmap-ready by construction, since
+//! nothing in the image is rewritten at load time.
+//!
+//! ```text
+//! superheader  64 bytes, 8-byte fields LE unless noted:
+//!   [0..4)    magic       b"HSNP"
+//!   [4..8)    version     u32 LE   2
+//!   [8..16)   flags       bit 0 = a dataset fingerprint is present
+//!   [16..24)  fingerprint (0 when absent)
+//!   [24..32)  count       number of entries
+//!   [32..40)  dir_off     byte offset of the directory (8-aligned)
+//!   [40..48)  heap_off    byte offset of the data heap (8-aligned)
+//!   [48..56)  file_len    total bytes including the trailing checksum
+//!   [56..64)  reserved    0
+//! keys         at 64: per entry key_len u32 LE, then key_len ×
+//!              (relation id u64 LE, direction u8); zero-padded to dir_off
+//! directory    count × 48-byte entries:
+//!              nrows, ncols, nnz, indptr_off, indices_off, data_off
+//!              (offsets absolute, 8-aligned, into the heap)
+//! heap         per entry: indptr (nrows+1)×u64, data nnz×f64 bit
+//!              patterns, indices nnz×u32 zero-padded to 8 bytes
+//! checksum     u64 LE   FNV-1a 64 folded per little-endian u64 *word*
+//!              (see [`Fnv64::update_word`]) over every preceding word
+//! ```
+//!
+//! # Container wire format (version 1 — read back-compat only)
+//!
+//! Still decoded (each matrix heap-decoded through the v1 `Csr` codec),
+//! never written; [`CacheSnapshot::to_writer_v1`] exists for migration
+//! tests and the decode-vs-view benchmark.
 //!
 //! ```text
 //! magic        4 bytes   b"HSNP"
@@ -54,13 +90,13 @@
 //! falls back to per-entry validation alone.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 use std::sync::Arc;
 
 use hin_core::{Hin, RelationId};
-use hin_linalg::codec::{read_hashed, write_hashed, Fnv64};
-use hin_linalg::Csr;
+use hin_linalg::codec::{read_exact_or_truncated, read_hashed, write_hashed, Fnv64};
+use hin_linalg::{ArenaBuf, ArenaEntry, Csr};
 
 pub use hin_linalg::codec::CodecError;
 
@@ -69,8 +105,18 @@ use crate::cache::{MatrixCache, PathKey, StepKey};
 /// The snapshot container's magic bytes.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"HSNP";
 
-/// Current snapshot container version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot container version (the arena format).
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Superheader size of the v2 arena container.
+const V2_HEADER: usize = 64;
+
+/// Bytes per v2 directory entry: 6 × u64.
+const V2_DIR_ENTRY: usize = 48;
+
+/// Bounded chunk size for streaming v2 images from generic readers, so a
+/// hostile `file_len` cannot drive one giant allocation.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// Longest admissible key, in steps. Real meta-paths are a handful of
 /// steps; the cap keeps a hostile `key_len` from driving allocation.
@@ -118,6 +164,12 @@ pub struct SnapshotImport {
     /// entry was rejected wholesale — serving stale matrices silently is
     /// the one failure mode a warm start must never have.
     pub fingerprint_mismatch: bool,
+    /// The subset of `loaded` whose matrices are zero-copy views into a
+    /// shared snapshot arena ([`Csr::is_view`]) rather than owned heap
+    /// copies. A restore from a v2 arena file on a
+    /// [`hin_linalg::arena::ZERO_COPY`] host reports
+    /// `view_backed == loaded`: zero per-matrix heap decodes.
+    pub view_backed: u64,
 }
 
 /// Content fingerprint of a dataset: type names and node counts, relation
@@ -194,11 +246,136 @@ impl CacheSnapshot {
         self.fingerprint = Some(fingerprint);
     }
 
-    /// Serialize into the versioned container format (see module docs).
+    /// Entries whose matrices are zero-copy views into a shared arena
+    /// buffer (every entry of a v2 restore on a zero-copy host; always 0
+    /// for snapshots exported from a live cache of computed products).
+    pub fn view_backed(&self) -> usize {
+        self.entries.iter().filter(|(_, m)| m.is_view()).count()
+    }
+
+    /// Distinct arena buffers backing the view entries — 1 after a v2
+    /// restore: every matrix aliases one shared allocation.
+    pub fn arena_count(&self) -> usize {
+        let mut ids: Vec<usize> = self
+            .entries
+            .iter()
+            .filter_map(|(_, m)| m.arena_id())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Matrix bytes shared in place with an arena buffer vs. held as
+    /// owned heap copies — `(shared, copied)`, both in [`Csr::nbytes`]
+    /// pricing. A v2 view-restore reports everything shared; a v1 decode
+    /// (or a live export) reports everything copied.
+    pub fn bytes_shared_copied(&self) -> (usize, usize) {
+        self.entries.iter().fold((0, 0), |(s, c), (_, m)| {
+            if m.is_view() {
+                (s + m.nbytes(), c)
+            } else {
+                (s, c + m.nbytes())
+            }
+        })
+    }
+
+    /// Serialize into the current (v2 arena) container format: the bytes
+    /// [`CacheSnapshot::from_reader`] restores with zero per-matrix
+    /// decodes. The encoding is deterministic: equal snapshots encode to
+    /// equal bytes.
     pub fn to_writer<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        let image = self.encode_v2();
+        w.write_all(&image).map_err(CodecError::Io)
+    }
+
+    /// Build the complete v2 file image in memory (layout + payload +
+    /// trailing word-checksum).
+    fn encode_v2(&self) -> Vec<u8> {
+        // keys section
+        let mut keys = Vec::new();
+        for (key, _) in &self.entries {
+            keys.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            for &(rel, fwd) in key {
+                keys.extend_from_slice(&(rel as u64).to_le_bytes());
+                keys.push(fwd as u8);
+            }
+        }
+        let dir_off = (V2_HEADER + keys.len()).next_multiple_of(8);
+        let heap_off = dir_off + self.entries.len() * V2_DIR_ENTRY;
+
+        // heap layout: per entry [indptr | data | indices(padded)]
+        let mut dir = Vec::with_capacity(self.entries.len());
+        let mut at = heap_off;
+        for (_, m) in &self.entries {
+            let indptr_off = at;
+            let data_off = indptr_off + (m.nrows() + 1) * 8;
+            let indices_off = data_off + m.nnz() * 8;
+            at = (indices_off + m.nnz() * 4).next_multiple_of(8);
+            dir.push((indptr_off, indices_off, data_off));
+        }
+        let file_len = at + 8;
+
+        let mut image = vec![0u8; file_len];
+        image[0..4].copy_from_slice(&SNAPSHOT_MAGIC);
+        image[4..8].copy_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        let flags: u64 = self.fingerprint.is_some() as u64;
+        image[8..16].copy_from_slice(&flags.to_le_bytes());
+        image[16..24].copy_from_slice(&self.fingerprint.unwrap_or(0).to_le_bytes());
+        image[24..32].copy_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        image[32..40].copy_from_slice(&(dir_off as u64).to_le_bytes());
+        image[40..48].copy_from_slice(&(heap_off as u64).to_le_bytes());
+        image[48..56].copy_from_slice(&(file_len as u64).to_le_bytes());
+        image[V2_HEADER..V2_HEADER + keys.len()].copy_from_slice(&keys);
+
+        for (i, ((_, m), &(indptr_off, indices_off, data_off))) in
+            self.entries.iter().zip(&dir).enumerate()
+        {
+            let d = dir_off + i * V2_DIR_ENTRY;
+            for (j, v) in [
+                m.nrows() as u64,
+                m.ncols() as u64,
+                m.nnz() as u64,
+                indptr_off as u64,
+                indices_off as u64,
+                data_off as u64,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                image[d + j * 8..d + j * 8 + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            let (indptr, indices, data) = m.parts();
+            for (j, &p) in indptr.iter().enumerate() {
+                image[indptr_off + j * 8..indptr_off + j * 8 + 8]
+                    .copy_from_slice(&(p as u64).to_le_bytes());
+            }
+            for (j, &v) in data.iter().enumerate() {
+                image[data_off + j * 8..data_off + j * 8 + 8]
+                    .copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+            for (j, &c) in indices.iter().enumerate() {
+                image[indices_off + j * 4..indices_off + j * 4 + 4]
+                    .copy_from_slice(&c.to_le_bytes());
+            }
+        }
+
+        let mut hash = Fnv64::new();
+        for word in image[..file_len - 8].chunks_exact(8) {
+            hash.update_word(u64::from_le_bytes(word.try_into().expect("8-byte word")));
+        }
+        image[file_len - 8..].copy_from_slice(&hash.finish().to_le_bytes());
+        image
+    }
+
+    /// Serialize into the legacy version-1 container (per-entry
+    /// self-checksummed matrix blobs, byte-granular checksum). Kept for
+    /// migration tests and the decode-restore-vs-view-restore benchmark;
+    /// new checkpoints use [`CacheSnapshot::to_writer`].
+    pub fn to_writer_v1<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
         let mut hash = Fnv64::new();
         write_hashed(w, &mut hash, &SNAPSHOT_MAGIC)?;
-        write_hashed(w, &mut hash, &SNAPSHOT_VERSION.to_le_bytes())?;
+        write_hashed(w, &mut hash, &1u32.to_le_bytes())?;
         match self.fingerprint {
             Some(fp) => {
                 write_hashed(w, &mut hash, &[1u8])?;
@@ -224,24 +401,61 @@ impl CacheSnapshot {
         Ok(())
     }
 
-    /// Decode a container previously written by [`CacheSnapshot::to_writer`].
+    /// Decode a container written by [`CacheSnapshot::to_writer`] (v2
+    /// arena) or any older writer (v1, heap-decoded per entry).
     ///
     /// Every corruption mode — wrong magic, unknown version, truncation,
     /// bit flips, hostile lengths — returns a typed [`CodecError`];
     /// schema fit against a concrete dataset is checked later, at import.
     pub fn from_reader<R: Read>(r: &mut R) -> Result<CacheSnapshot, CodecError> {
-        let mut hash = Fnv64::new();
-        let mut magic = [0u8; 4];
-        read_hashed(r, &mut hash, &mut magic)?;
+        let mut head = [0u8; 8];
+        read_exact_or_truncated(r, &mut head)?;
+        let magic: [u8; 4] = head[0..4].try_into().expect("4 bytes");
         if magic != SNAPSHOT_MAGIC {
             return Err(CodecError::BadMagic { found: magic });
         }
-        let mut word = [0u8; 4];
-        read_hashed(r, &mut hash, &mut word)?;
-        let version = u32::from_le_bytes(word);
-        if version != SNAPSHOT_VERSION {
-            return Err(CodecError::UnsupportedVersion(version));
+        match u32::from_le_bytes(head[4..8].try_into().expect("4 bytes")) {
+            1 => Self::from_reader_v1(r, &head),
+            2 => Self::from_reader_v2(r, &head),
+            v => Err(CodecError::UnsupportedVersion(v)),
         }
+    }
+
+    /// Stream a v2 image from a generic reader (`head` = the 8 bytes of
+    /// magic + version already consumed), then hand off to [`parse_v2`].
+    /// Bytes arrive in [`READ_CHUNK`] pieces so a hostile `file_len`
+    /// cannot force one giant up-front allocation ahead of real data.
+    fn from_reader_v2<R: Read>(r: &mut R, head: &[u8; 8]) -> Result<CacheSnapshot, CodecError> {
+        let mut header = [0u8; V2_HEADER];
+        header[..8].copy_from_slice(head);
+        read_exact_or_truncated(r, &mut header[8..])?;
+        let file_len = u64::from_le_bytes(header[48..56].try_into().expect("8 bytes"));
+        let file_len = usize::try_from(file_len).map_err(|_| CodecError::DimOverflow {
+            field: "snapshot file length",
+            value: file_len,
+        })?;
+        if file_len < V2_HEADER + 8 || file_len % 8 != 0 {
+            return Err(CodecError::Malformed(format!(
+                "v2 snapshot file length {file_len} is shorter than an empty container or not 8-aligned"
+            )));
+        }
+        let mut bytes = Vec::with_capacity(file_len.min(V2_HEADER + READ_CHUNK));
+        bytes.extend_from_slice(&header);
+        let mut chunk = [0u8; READ_CHUNK];
+        while bytes.len() < file_len {
+            let want = READ_CHUNK.min(file_len - bytes.len());
+            read_exact_or_truncated(r, &mut chunk[..want])?;
+            bytes.extend_from_slice(&chunk[..want]);
+        }
+        parse_v2(&Arc::new(ArenaBuf::from_bytes(&bytes)))
+    }
+
+    /// Decode the legacy v1 body (`head` = the 8 bytes of magic + version
+    /// already consumed — they still fold into the container checksum).
+    fn from_reader_v1<R: Read>(r: &mut R, head: &[u8; 8]) -> Result<CacheSnapshot, CodecError> {
+        let mut hash = Fnv64::new();
+        hash.update(head);
+        let mut word = [0u8; 4];
         let mut flag = [0u8; 1];
         read_hashed(r, &mut hash, &mut flag)?;
         let mut word8 = [0u8; 8];
@@ -321,10 +535,189 @@ impl CacheSnapshot {
         Ok(())
     }
 
-    /// [`CacheSnapshot::from_reader`] from a (buffered) file.
+    /// Restore a snapshot file.
+    ///
+    /// For v2 arena files this is the zero-copy fast path the format was
+    /// designed for: the file's length is known up front, so the whole
+    /// image lands in **one read** into one aligned [`ArenaBuf`] that the
+    /// restored matrices then view in place — no per-matrix
+    /// deserialization at all. v1 files (and malformed bytes) fall back to
+    /// the streaming [`CacheSnapshot::from_reader`] over the same buffer.
     pub fn read_from_file(path: impl AsRef<Path>) -> Result<CacheSnapshot, CodecError> {
-        CacheSnapshot::from_reader(&mut BufReader::new(File::open(path)?))
+        let mut file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        let file_len = usize::try_from(file_len).map_err(|_| CodecError::DimOverflow {
+            field: "snapshot file length",
+            value: file_len,
+        })?;
+        let mut buf = ArenaBuf::with_len(file_len);
+        file.read_exact(buf.as_mut_bytes()).map_err(CodecError::Io)?;
+        let bytes = buf.as_bytes();
+        let is_v2 = file_len >= 8
+            && bytes[0..4] == SNAPSHOT_MAGIC
+            && bytes[4..8] == SNAPSHOT_VERSION.to_le_bytes();
+        if is_v2 {
+            parse_v2(&Arc::new(buf))
+        } else {
+            CacheSnapshot::from_reader(&mut buf.as_bytes())
+        }
     }
+}
+
+/// Validate and mount a complete v2 arena image: checksum first (one pass
+/// of word-granular FNV over the whole file), then header / keys /
+/// directory structure, then one [`Csr::from_arena`] view per entry. On a
+/// [`hin_linalg::arena::ZERO_COPY`] host nothing here copies matrix
+/// payload — every returned matrix aliases `buf`.
+fn parse_v2(buf: &Arc<ArenaBuf>) -> Result<CacheSnapshot, CodecError> {
+    let bytes = buf.as_bytes();
+    if bytes.len() < V2_HEADER + 8 || bytes.len() % 8 != 0 {
+        return Err(CodecError::Truncated);
+    }
+    let u64_at = |off: usize| {
+        u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes in bounds"))
+    };
+    let usize_at = |off: usize, field: &'static str| {
+        usize::try_from(u64_at(off)).map_err(|_| CodecError::DimOverflow {
+            field,
+            value: u64_at(off),
+        })
+    };
+
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+    if magic != SNAPSHOT_MAGIC {
+        return Err(CodecError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let file_len = usize_at(48, "snapshot file length")?;
+    if file_len != bytes.len() {
+        return Err(CodecError::Malformed(format!(
+            "v2 header claims {file_len} bytes, buffer holds {}",
+            bytes.len()
+        )));
+    }
+
+    // Checksum before trusting any other field: one linear pass, word
+    // granularity (see `Fnv64::update_word`).
+    let words = buf.as_words();
+    let payload_words = (file_len - 8) / 8;
+    let mut hash = Fnv64::new();
+    for &w in &words[..payload_words] {
+        hash.update_word(u64::from_le(w));
+    }
+    let stored = u64::from_le(words[payload_words]);
+    let computed = hash.finish();
+    if stored != computed {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+
+    let flags = u64_at(8);
+    if flags & !1 != 0 {
+        return Err(CodecError::Malformed(format!(
+            "v2 flags {flags:#x} set bits beyond the fingerprint bit"
+        )));
+    }
+    let fingerprint = (flags & 1 == 1).then(|| u64_at(16));
+    let count = usize_at(24, "snapshot entry count")?;
+    let dir_off = usize_at(32, "directory offset")?;
+    let heap_off = usize_at(40, "heap offset")?;
+    if u64_at(56) != 0 {
+        return Err(CodecError::Malformed(
+            "v2 reserved header word is not zero".into(),
+        ));
+    }
+    let dir_bytes = count
+        .checked_mul(V2_DIR_ENTRY)
+        .ok_or(CodecError::DimOverflow {
+            field: "directory size",
+            value: count as u64,
+        })?;
+    if dir_off % 8 != 0
+        || heap_off % 8 != 0
+        || dir_off < V2_HEADER
+        || dir_off.checked_add(dir_bytes) != Some(heap_off)
+        || heap_off > file_len - 8
+    {
+        return Err(CodecError::Malformed(format!(
+            "v2 layout dir_off={dir_off} heap_off={heap_off} count={count} does not tile file_len={file_len}"
+        )));
+    }
+
+    // Keys live between the superheader and the directory.
+    let mut at = V2_HEADER;
+    let mut keys: Vec<PathKey> = Vec::with_capacity(count);
+    for _ in 0..count {
+        if at + 4 > dir_off {
+            return Err(CodecError::Truncated);
+        }
+        let key_len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        at += 4;
+        if key_len == 0 || key_len > MAX_KEY_STEPS {
+            return Err(CodecError::Malformed(format!(
+                "snapshot key length {key_len} outside 1..={MAX_KEY_STEPS}"
+            )));
+        }
+        if at + key_len as usize * 9 > dir_off {
+            return Err(CodecError::Truncated);
+        }
+        let mut key: PathKey = Vec::with_capacity(key_len as usize);
+        for _ in 0..key_len {
+            let rel = u64_at(at);
+            let rel = usize::try_from(rel).map_err(|_| CodecError::DimOverflow {
+                field: "relation id",
+                value: rel,
+            })?;
+            let fwd = match bytes[at + 8] {
+                0 => false,
+                1 => true,
+                d => {
+                    return Err(CodecError::Malformed(format!(
+                        "step direction byte {d} is neither 0 nor 1"
+                    )))
+                }
+            };
+            key.push((rel, fwd));
+            at += 9;
+        }
+        keys.push(key);
+    }
+
+    let mut entries = Vec::with_capacity(count);
+    for (i, key) in keys.into_iter().enumerate() {
+        let d = dir_off + i * V2_DIR_ENTRY;
+        let entry = ArenaEntry {
+            nrows: usize_at(d, "nrows")?,
+            ncols: usize_at(d + 8, "ncols")?,
+            nnz: usize_at(d + 16, "nnz")?,
+            indptr_off: usize_at(d + 24, "indptr offset")?,
+            indices_off: usize_at(d + 32, "indices offset")?,
+            data_off: usize_at(d + 40, "data offset")?,
+        };
+        // Arrays must live inside the heap (from_arena re-checks bounds
+        // and alignment against the buffer; this pins them past the
+        // directory and short of the checksum word).
+        let heap_end = file_len - 8;
+        let in_heap = |off: usize, len: Option<usize>| {
+            len.is_some_and(|len| off >= heap_off && off.checked_add(len).is_some_and(|e| e <= heap_end))
+        };
+        if !in_heap(entry.indptr_off, entry.nrows.checked_add(1).and_then(|n| n.checked_mul(8)))
+            || !in_heap(entry.data_off, entry.nnz.checked_mul(8))
+            || !in_heap(entry.indices_off, entry.nnz.checked_mul(4))
+        {
+            return Err(CodecError::Malformed(format!(
+                "v2 directory entry {i} points outside the heap"
+            )));
+        }
+        let matrix = Csr::from_arena(buf, entry)?;
+        entries.push((key, Arc::new(matrix)));
+    }
+    Ok(CacheSnapshot {
+        fingerprint,
+        entries,
+    })
 }
 
 /// Reader adapter folding everything the inner decoder consumes into the
@@ -434,7 +827,7 @@ impl MatrixCache {
         {
             report.rejected = snapshot.len() as u64;
             report.fingerprint_mismatch = true;
-            self.note_warm(0, report.rejected);
+            self.note_warm(0, report.rejected, 0);
             return report;
         }
         for (key, matrix) in snapshot.entries.iter().rev() {
@@ -443,11 +836,12 @@ impl MatrixCache {
             if fits {
                 self.insert(key.clone(), Arc::clone(matrix));
                 report.loaded += 1;
+                report.view_backed += matrix.is_view() as u64;
             } else {
                 report.rejected += 1;
             }
         }
-        self.note_warm(report.loaded, report.rejected);
+        self.note_warm(report.loaded, report.rejected, report.view_backed);
         report
     }
 }
@@ -546,6 +940,175 @@ mod tests {
     }
 
     #[test]
+    fn v2_restore_is_view_backed_and_shares_one_arena() {
+        let hin = bib();
+        let cache = MatrixCache::default();
+        cache.put(vec![(0, true)], pa_matrix(&hin));
+        cache.put(vec![(0, false)], pa_matrix(&hin));
+        cache.put(vec![(1, true), (1, false)], pa_matrix(&hin));
+        let snap = cache.export_snapshot(None);
+        assert_eq!(snap.view_backed(), 0, "live exports carry owned matrices");
+
+        let mut bytes = Vec::new();
+        snap.to_writer(&mut bytes).expect("vec writes cannot fail");
+        let decodes_before = hin_linalg::arena::heap_decodes();
+        let back = CacheSnapshot::from_reader(&mut bytes.as_slice()).expect("v2 round trip");
+        assert_eq!(back.keys(), snap.keys());
+        if hin_linalg::arena::ZERO_COPY {
+            assert_eq!(back.view_backed(), back.len(), "every entry is a view");
+            assert_eq!(back.arena_count(), 1, "all views alias one buffer");
+            assert_eq!(
+                hin_linalg::arena::heap_decodes(),
+                decodes_before,
+                "a v2 restore performs zero per-matrix heap decodes"
+            );
+            let (shared, copied) = back.bytes_shared_copied();
+            assert_eq!((shared, copied), (snap.bytes(), 0));
+        }
+        // content identity regardless of backing
+        for ((_, a), (_, b)) in snap.entries.iter().zip(&back.entries) {
+            assert_eq!(**a, **b);
+        }
+        // and the import report says so
+        let dst = MatrixCache::default();
+        let report = dst.import_snapshot(&back, &hin);
+        assert_eq!(report.loaded, 3);
+        if hin_linalg::arena::ZERO_COPY {
+            assert_eq!(report.view_backed, 3);
+            assert_eq!(dst.warm_view_backed(), 3);
+        }
+    }
+
+    #[test]
+    fn v2_encoding_is_deterministic() {
+        let hin = bib();
+        let cache = MatrixCache::default();
+        cache.put(vec![(0, true)], pa_matrix(&hin));
+        let snap = cache.export_snapshot(None);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        snap.to_writer(&mut a).unwrap();
+        snap.to_writer(&mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(&a[0..4], b"HSNP");
+        assert_eq!(a.len() % 8, 0, "v2 images are whole words");
+    }
+
+    #[test]
+    fn v1_containers_still_load_via_the_compat_path() {
+        let hin = bib();
+        let fp = dataset_fingerprint(&hin);
+        let cache = MatrixCache::default();
+        cache.put(vec![(0, true)], pa_matrix(&hin));
+        cache.put(vec![(1, true), (1, false)], pa_matrix(&hin));
+        let mut snap = cache.export_snapshot(None);
+        snap.set_fingerprint(fp);
+
+        let mut bytes = Vec::new();
+        snap.to_writer_v1(&mut bytes).expect("vec writes cannot fail");
+        let back = CacheSnapshot::from_reader(&mut bytes.as_slice()).expect("v1 decodes");
+        assert_eq!(back.keys(), snap.keys());
+        assert_eq!(back.fingerprint(), Some(fp));
+        assert_eq!(back.view_backed(), 0, "v1 entries are heap decodes");
+        for ((_, a), (_, b)) in snap.entries.iter().zip(&back.entries) {
+            assert_eq!(**a, **b);
+        }
+
+        // the v1 body is just as corruption-proof as before
+        for cut in 0..bytes.len() {
+            assert!(CacheSnapshot::from_reader(&mut &bytes[..cut]).is_err());
+        }
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(CacheSnapshot::from_reader(&mut flipped.as_slice()).is_err());
+    }
+
+    #[test]
+    fn hostile_v2_directories_are_rejected() {
+        let hin = bib();
+        let cache = MatrixCache::default();
+        cache.put(vec![(0, true)], pa_matrix(&hin));
+        let snap = cache.export_snapshot(None);
+        let mut bytes = Vec::new();
+        snap.to_writer(&mut bytes).unwrap();
+
+        let reseal = |bytes: &mut Vec<u8>| {
+            let n = bytes.len();
+            let mut hash = Fnv64::new();
+            for word in bytes[..n - 8].chunks_exact(8) {
+                hash.update_word(u64::from_le_bytes(word.try_into().unwrap()));
+            }
+            bytes[n - 8..].copy_from_slice(&hash.finish().to_le_bytes());
+        };
+        let dir_off = u64::from_le_bytes(bytes[32..40].try_into().unwrap()) as usize;
+
+        // indptr_off steered outside the heap (into the superheader),
+        // with the checksum re-sealed so only structural checks stand
+        let mut hostile = bytes.clone();
+        hostile[dir_off + 24..dir_off + 32].copy_from_slice(&8u64.to_le_bytes());
+        reseal(&mut hostile);
+        assert!(matches!(
+            CacheSnapshot::from_reader(&mut hostile.as_slice()),
+            Err(CodecError::Malformed(_))
+        ));
+
+        // nnz inflated so the arrays overrun the heap
+        let mut hostile = bytes.clone();
+        hostile[dir_off + 16..dir_off + 24].copy_from_slice(&u64::MAX.to_le_bytes());
+        reseal(&mut hostile);
+        assert!(CacheSnapshot::from_reader(&mut hostile.as_slice()).is_err());
+
+        // unknown flag bits
+        let mut hostile = bytes.clone();
+        hostile[8] |= 0x02;
+        reseal(&mut hostile);
+        assert!(matches!(
+            CacheSnapshot::from_reader(&mut hostile.as_slice()),
+            Err(CodecError::Malformed(_))
+        ));
+
+        // file_len understated: the image no longer tiles
+        let mut hostile = bytes.clone();
+        let lie = (bytes.len() - 8) as u64;
+        hostile[48..56].copy_from_slice(&lie.to_le_bytes());
+        assert!(CacheSnapshot::from_reader(&mut hostile.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_takes_the_one_read_arena_path() {
+        let hin = bib();
+        let cache = MatrixCache::default();
+        cache.put(vec![(0, true)], pa_matrix(&hin));
+        cache.put(vec![(0, false)], pa_matrix(&hin));
+        let snap = cache.export_snapshot(None);
+
+        let dir = std::env::temp_dir().join(format!(
+            "hin-snapshot-arena-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.hsnp");
+        snap.write_to_file(&path).expect("write");
+        let back = CacheSnapshot::read_from_file(&path).expect("read");
+        assert_eq!(back.keys(), snap.keys());
+        if hin_linalg::arena::ZERO_COPY {
+            assert_eq!(back.view_backed(), back.len());
+            assert_eq!(back.arena_count(), 1);
+        }
+
+        // a v1 file on disk still restores through the same entry point
+        let v1_path = dir.join("cache-v1.hsnp");
+        let mut w = BufWriter::new(File::create(&v1_path).unwrap());
+        snap.to_writer_v1(&mut w).expect("v1 write");
+        w.flush().unwrap();
+        let old = CacheSnapshot::read_from_file(&v1_path).expect("v1 read");
+        assert_eq!(old.keys(), snap.keys());
+        assert_eq!(old.view_backed(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn import_validates_against_the_schema() {
         let hin = bib();
         let donor = MatrixCache::default();
@@ -563,7 +1126,8 @@ mod tests {
             SnapshotImport {
                 loaded: 1,
                 rejected: 3,
-                fingerprint_mismatch: false
+                fingerprint_mismatch: false,
+                view_backed: 0
             }
         );
         assert_eq!(cache.warm_loaded(), 1);

@@ -132,6 +132,23 @@ impl RouterStats {
         let mut w = MetricsWriter::new();
         w.counter("hin_router_routed_total", &[], self.routed);
         w.counter("hin_router_misrouted_total", &[], self.misrouted);
+        // Process-wide storage-tier series (the arena buffers back every
+        // dataset's snapshot views, so they are not per-dataset).
+        w.gauge(
+            "hin_storage_arena_bytes",
+            &[],
+            hin_linalg::arena::arena_bytes() as f64,
+        );
+        w.counter(
+            "hin_storage_view_restores_total",
+            &[],
+            hin_linalg::arena::view_restores(),
+        );
+        w.counter(
+            "hin_storage_heap_decodes_total",
+            &[],
+            hin_linalg::arena::heap_decodes(),
+        );
         for (key, s) in &self.datasets {
             let ds = [("dataset", key.as_str())];
             w.counter("hin_served_total", &ds, s.served);
@@ -152,6 +169,16 @@ impl RouterStats {
             w.counter("hin_cache_dup_computes_total", &ds, s.cache_dup_computes);
             w.counter("hin_cache_warm_loaded_total", &ds, s.cache_warm_loaded);
             w.counter("hin_cache_warm_rejected_total", &ds, s.cache_warm_rejected);
+            w.counter(
+                "hin_cache_warm_view_backed_total",
+                &ds,
+                s.cache_warm_view_backed,
+            );
+            w.counter(
+                "hin_normalizer_memo_hits_total",
+                &ds,
+                s.normalizer_memo_hits,
+            );
             w.counter("hin_slow_queries_total", &ds, s.slow_queries);
             w.gauge("hin_max_batch", &ds, s.max_batch as f64);
             w.gauge("hin_workers", &ds, s.workers as f64);

@@ -263,6 +263,13 @@ pub struct ServerStats {
     /// Cache: snapshot entries rejected at warm start as not fitting this
     /// dataset's schema.
     pub cache_warm_rejected: u64,
+    /// Cache: the subset of `cache_warm_loaded` admitted as zero-copy
+    /// arena views (v2 snapshot restores on a zero-copy host) rather than
+    /// per-matrix heap decodes.
+    pub cache_warm_view_backed: u64,
+    /// PathSim normalizer diagonals served from the engine's per-half-span
+    /// memo instead of recomputed half propagations.
+    pub normalizer_memo_hits: u64,
     /// Cache: resident entries.
     pub cache_len: usize,
     /// Cache: resident bytes.
@@ -316,6 +323,8 @@ impl ServerStats {
             cache_dup_computes: self.cache_dup_computes + other.cache_dup_computes,
             cache_warm_loaded: self.cache_warm_loaded + other.cache_warm_loaded,
             cache_warm_rejected: self.cache_warm_rejected + other.cache_warm_rejected,
+            cache_warm_view_backed: self.cache_warm_view_backed + other.cache_warm_view_backed,
+            normalizer_memo_hits: self.normalizer_memo_hits + other.normalizer_memo_hits,
             cache_len: self.cache_len + other.cache_len,
             cache_bytes: self.cache_bytes + other.cache_bytes,
             admission_ns: self.admission_ns.merge(&other.admission_ns),
@@ -626,6 +635,8 @@ impl Server {
             cache_dup_computes: cache.dup_computes(),
             cache_warm_loaded: cache.warm_loaded(),
             cache_warm_rejected: cache.warm_rejected(),
+            cache_warm_view_backed: cache.warm_view_backed(),
+            normalizer_memo_hits: self.engine.normalizer_memo_hits(),
             cache_len: cache.len(),
             cache_bytes: cache.bytes(),
             ..ServerStats::default()

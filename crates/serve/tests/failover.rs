@@ -170,13 +170,29 @@ fn checkpoint_file_survives_a_crash_style_failover() {
     // "crash": evict and deliberately drop the in-memory snapshot
     drop(router.evict("dblp").expect("registered"));
 
+    let decodes_before = hin_linalg::arena::heap_decodes();
     let snap = hin_query::CacheSnapshot::read_from_file(&written[0].1).expect("read checkpoint");
     assert!(!snap.is_empty());
+    if hin_linalg::arena::ZERO_COPY {
+        assert_eq!(
+            hin_linalg::arena::heap_decodes(),
+            decodes_before,
+            "a v2 checkpoint restore is one read + zero per-matrix decodes"
+        );
+        assert_eq!(snap.view_backed(), snap.len(), "every entry is a view");
+        assert_eq!(snap.arena_count(), 1, "all views share one arena buffer");
+    }
     let loaded = snap.len();
     let report = router
         .register_warm("dblp", Arc::clone(&hin), snap)
         .expect("key free after evict");
     assert_eq!(report.loaded as usize, loaded, "no entry was rejected");
+    if hin_linalg::arena::ZERO_COPY {
+        assert_eq!(
+            report.view_backed, report.loaded,
+            "every admitted entry serves straight out of the arena"
+        );
+    }
 
     let results = router.execute_many("dblp", &queries);
     for ((q, got), reference) in queries.iter().zip(&results).zip(&want) {
