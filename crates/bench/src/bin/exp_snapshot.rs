@@ -96,7 +96,8 @@ fn main() {
     // Same snapshot, both container generations, best of REPS so one
     // scheduler hiccup doesn't decide the comparison.
     const REPS: usize = 5;
-    let v1_file = std::env::temp_dir().join(format!("exp_snapshot_{}_v1.hinsnap", std::process::id()));
+    let v1_file =
+        std::env::temp_dir().join(format!("exp_snapshot_{}_v1.hinsnap", std::process::id()));
     {
         let mut w = std::io::BufWriter::new(std::fs::File::create(&v1_file).expect("create v1"));
         snapshot.to_writer_v1(&mut w).expect("write v1 snapshot");

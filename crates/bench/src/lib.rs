@@ -99,10 +99,13 @@ impl JsonReport {
     }
 
     /// Stamp the environment the experiment ran under — available
-    /// parallelism, the `rustc` on `PATH`, the cache byte budget in effect
-    /// (`None` renders as `null` = unbounded), and a wall-clock timestamp —
-    /// so a trajectory of `BENCH_*.json` blobs across PRs records *where*
-    /// each number came from, not just the number.
+    /// parallelism, the resolved kernel-pool thread count
+    /// ([`hin_linalg::kernel_threads`], which folds in any
+    /// `HIN_KERNEL_THREADS` override), the `rustc` on `PATH`, the cache
+    /// byte budget in effect (`None` renders as `null` = unbounded), and a
+    /// wall-clock timestamp — so a trajectory of `BENCH_*.json` blobs
+    /// across PRs records *where* each number came from, not just the
+    /// number.
     pub fn stamp_env(&mut self, cache_budget_bytes: Option<usize>) {
         self.set(
             "available_parallelism",
@@ -110,6 +113,7 @@ impl JsonReport {
                 .map(|n| n.get())
                 .unwrap_or(1),
         );
+        self.set("kernel_threads", hin_linalg::kernel_threads());
         self.set_str("rustc_version", &rustc_version());
         match cache_budget_bytes {
             Some(bytes) => self.set("cache_budget_bytes", bytes),
@@ -319,6 +323,7 @@ mod tests {
         r.stamp_env(Some(1 << 20));
         let json = r.to_json();
         assert!(json.contains("\"available_parallelism\": "));
+        assert!(json.contains("\"kernel_threads\": "));
         assert!(json.contains("\"rustc_version\": \""));
         assert!(json.contains("\"cache_budget_bytes\": 1048576"));
         assert!(json.contains("\"unix_time_s\": "));

@@ -180,7 +180,10 @@ impl ArenaView {
     /// constructor never builds a view otherwise).
     #[inline]
     pub(crate) fn indptr(&self) -> &[usize] {
-        debug_assert!(ZERO_COPY);
+        #[allow(clippy::assertions_on_constants)]
+        {
+            debug_assert!(ZERO_COPY);
+        }
         unsafe {
             std::slice::from_raw_parts(
                 self.base().add(self.entry.indptr_off) as *const usize,
@@ -225,7 +228,7 @@ fn check_array(
     count: usize,
     elem: usize,
 ) -> Result<(), CodecError> {
-    if off % 8 != 0 {
+    if !off.is_multiple_of(8) {
         return Err(CodecError::Malformed(format!(
             "arena {field} offset {off} is not 8-byte aligned"
         )));
@@ -262,13 +265,10 @@ impl Csr {
     /// with.
     pub fn from_arena(buf: &Arc<ArenaBuf>, entry: ArenaEntry) -> Result<Csr, CodecError> {
         let len = buf.len();
-        let indptr_len = entry
-            .nrows
-            .checked_add(1)
-            .ok_or(CodecError::DimOverflow {
-                field: "nrows",
-                value: entry.nrows as u64,
-            })?;
+        let indptr_len = entry.nrows.checked_add(1).ok_or(CodecError::DimOverflow {
+            field: "nrows",
+            value: entry.nrows as u64,
+        })?;
         check_array(len, "indptr", entry.indptr_off, indptr_len, 8)?;
         check_array(len, "indices", entry.indices_off, entry.nnz, 4)?;
         check_array(len, "data", entry.data_off, entry.nnz, 8)?;

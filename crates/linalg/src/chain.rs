@@ -277,6 +277,30 @@ pub fn spmm_chain(mats: &[&Csr]) -> Csr {
     eval_tree(mats, &plan.tree, &mut scratch).into_owned()
 }
 
+/// [`spmm_chain`] with every product executed by the row-parallel kernel
+/// ([`Csr::spgemm_parallel`]) on `threads` workers.
+///
+/// The multiplication *order* is the same planner-chosen tree as the
+/// serial chain, and the per-row kernel is shared, so the result is
+/// bit-identical to [`spmm_chain`] at any thread count. `threads <= 1`
+/// delegates to the serial chain outright (one shared scratch, no
+/// spawning).
+///
+/// # Panics
+/// Panics when `mats` is empty or consecutive dimensions mismatch.
+pub fn spmm_chain_parallel(mats: &[&Csr], threads: usize) -> Csr {
+    if threads <= 1 {
+        return spmm_chain(mats);
+    }
+    let plan = spmm_chain_order(
+        &mats
+            .iter()
+            .map(|m| MatSummary::from(*m))
+            .collect::<Vec<_>>(),
+    );
+    eval_tree_parallel(mats, &plan.tree, threads).into_owned()
+}
+
 fn eval_tree<'a>(
     mats: &[&'a Csr],
     tree: &PlanTree,
@@ -291,6 +315,20 @@ fn eval_tree<'a>(
             let left = eval_tree(mats, l, scratch);
             let right = eval_tree(mats, r, scratch);
             Cow::Owned(left.spgemm_with(&right, scratch))
+        }
+    }
+}
+
+fn eval_tree_parallel<'a>(mats: &[&'a Csr], tree: &PlanTree, threads: usize) -> Cow<'a, Csr> {
+    match tree {
+        PlanTree::Leaf(i) => Cow::Borrowed(mats[*i]),
+        PlanTree::Span(..) => {
+            unreachable!("spmm_chain plans without pre-priced spans")
+        }
+        PlanTree::Mul(l, r) => {
+            let left = eval_tree_parallel(mats, l, threads);
+            let right = eval_tree_parallel(mats, r, threads);
+            Cow::Owned(left.spgemm_parallel(&right, threads))
         }
     }
 }

@@ -48,6 +48,14 @@ pub struct KernelCounters {
     pub scratch_allocs: AtomicU64,
     /// `ScatterScratch` uses satisfied by an already-wide-enough buffer.
     pub scratch_reuses: AtomicU64,
+    /// Contiguous output-row blocks processed by the row-parallel kernels
+    /// (`Csr::spgemm_parallel` / `spmm_chain_parallel`): one per worker
+    /// block, so a serial-degenerate call still counts 1.
+    pub row_blocks: AtomicU64,
+    /// Anchors propagated through the multi-anchor block kernel
+    /// (`spmm_block_chain`): the batched alternative to one `spvm_chain`
+    /// per anchor.
+    pub block_anchors: AtomicU64,
 }
 
 impl KernelCounters {
@@ -60,6 +68,8 @@ impl KernelCounters {
             spvm_flops: self.spvm_flops.load(Ordering::Relaxed),
             scratch_allocs: self.scratch_allocs.load(Ordering::Relaxed),
             scratch_reuses: self.scratch_reuses.load(Ordering::Relaxed),
+            row_blocks: self.row_blocks.load(Ordering::Relaxed),
+            block_anchors: self.block_anchors.load(Ordering::Relaxed),
         }
     }
 }
@@ -79,6 +89,10 @@ pub struct KernelCountersSnapshot {
     pub scratch_allocs: u64,
     /// See [`KernelCounters::scratch_reuses`].
     pub scratch_reuses: u64,
+    /// See [`KernelCounters::row_blocks`].
+    pub row_blocks: u64,
+    /// See [`KernelCounters::block_anchors`].
+    pub block_anchors: u64,
 }
 
 impl KernelCountersSnapshot {

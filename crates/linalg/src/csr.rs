@@ -63,7 +63,7 @@ impl ScatterScratch {
 /// path in this module) or as a zero-copy *view* into a shared, aligned
 /// [`crate::arena::ArenaBuf`] ([`Csr::from_arena`] — how snapshot restores
 /// avoid per-matrix decodes). Every accessor and kernel reads through
-/// [`Csr::indptr`]/[`Csr::indices`]/[`Csr::data`], so the two backings are
+/// the `indptr`/`indices`/`data` accessors, so the two backings are
 /// observationally identical: equal content compares equal ([`PartialEq`]
 /// is by content, not by backing), [`Csr::nbytes`] prices both the same,
 /// and the rare in-place mutators ([`Csr::scale`], [`Csr::scale_rows`])
@@ -92,10 +92,7 @@ impl std::fmt::Debug for Csr {
             .field("nrows", &self.nrows)
             .field("ncols", &self.ncols)
             .field("nnz", &self.nnz())
-            .field(
-                "backing",
-                &if self.is_view() { "view" } else { "owned" },
-            )
+            .field("backing", &if self.is_view() { "view" } else { "owned" })
             .field("indptr", &self.indptr())
             .field("indices", &self.indices())
             .field("data", &self.data())
@@ -468,18 +465,48 @@ impl Csr {
             c.spgemm_calls.fetch_add(1, Relaxed);
             c.spgemm_flops.fetch_add(flops as u64, Relaxed);
         });
-        // The estimate is already ≤ rows·cols; the flop count is a hard
-        // upper bound on output nnz (each multiply-add touches one cell).
-        let reserve = crate::chain::spmm_nnz_estimate(self.nrows, rhs.ncols, flops)
-            .ceil()
-            .min(flops) as usize;
+        let (row_ends, indices, data) = self.spgemm_rows(rhs, 0..self.nrows, flops, scratch);
         let mut indptr = Vec::with_capacity(self.nrows + 1);
         indptr.push(0usize);
+        indptr.extend(row_ends);
+        Csr {
+            nrows: self.nrows,
+            ncols: rhs.ncols,
+            storage: Storage::Owned {
+                indptr,
+                indices,
+                data,
+            },
+        }
+    }
+
+    /// The scatter/gather row kernel over output rows `rows` — the one
+    /// per-row loop both the serial product ([`Csr::spgemm_with`]) and the
+    /// row-parallel product ([`Csr::spgemm_parallel`]) execute, so the two
+    /// are bit-identical by construction. Returns per-row end offsets
+    /// (relative to the block) plus the block's `indices`/`data` arrays.
+    ///
+    /// `flops_hint` bounds the reservation: the exact multiply-add count of
+    /// the rows in question (or any upper bound — it is clamped by the
+    /// density estimate either way).
+    fn spgemm_rows(
+        &self,
+        rhs: &Csr,
+        rows: std::ops::Range<usize>,
+        flops_hint: f64,
+        scratch: &mut ScatterScratch,
+    ) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+        // The estimate is already ≤ rows·cols; the flop count is a hard
+        // upper bound on output nnz (each multiply-add touches one cell).
+        let reserve = crate::chain::spmm_nnz_estimate(rows.len(), rhs.ncols, flops_hint)
+            .ceil()
+            .min(flops_hint) as usize;
+        let mut row_ends = Vec::with_capacity(rows.len());
         let mut indices: Vec<u32> = Vec::with_capacity(reserve);
         let mut data: Vec<f64> = Vec::with_capacity(reserve);
         scratch.prepare(rhs.ncols);
         let ScatterScratch { acc, touched } = scratch;
-        for r in 0..self.nrows {
+        for r in rows {
             for (&k, &va) in self.row_indices(r).iter().zip(self.row_values(r)) {
                 for (&c, &vb) in rhs
                     .row_indices(k as usize)
@@ -503,17 +530,62 @@ impl Csr {
                 acc[c as usize] = 0.0;
             }
             touched.clear();
-            indptr.push(indices.len());
+            row_ends.push(indices.len());
         }
-        Csr {
-            nrows: self.nrows,
-            ncols: rhs.ncols,
-            storage: Storage::Owned {
-                indptr,
-                indices,
-                data,
-            },
+        (row_ends, indices, data)
+    }
+
+    /// Row-parallel [`Csr::spgemm`]: output rows are partitioned into
+    /// `threads` contiguous blocks balanced by per-row multiply-add counts,
+    /// each block runs the serial row kernel on its own scoped worker with
+    /// its own [`ScatterScratch`], and the disjoint row ranges are stitched
+    /// back in order. Bit-identical to [`Csr::spgemm`] by construction —
+    /// per-row work is untouched and rows never interact.
+    ///
+    /// `threads <= 1` degenerates to the serial kernel on the calling
+    /// thread (still counting its single row block).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn spgemm_parallel(&self, rhs: &Csr, threads: usize) -> Csr {
+        assert_eq!(
+            self.ncols, rhs.nrows,
+            "Csr::spgemm_parallel: inner dimensions {}x{} * {}x{}",
+            self.nrows, self.ncols, rhs.nrows, rhs.ncols
+        );
+        // Exact per-row work: each A-nonzero (r, k) scatters row k of B.
+        let row_flops = |r: usize| -> usize {
+            self.row_indices(r)
+                .iter()
+                .map(|&k| rhs.row_nnz(k as usize))
+                .sum()
+        };
+        let blocks = crate::pool::row_blocks(self.nrows, threads, row_flops);
+        let total_flops: f64 = (0..self.nrows).map(|r| row_flops(r) as f64).sum();
+        crate::counters::with(|c| {
+            use std::sync::atomic::Ordering::Relaxed;
+            c.spgemm_calls.fetch_add(1, Relaxed);
+            c.spgemm_flops.fetch_add(total_flops as u64, Relaxed);
+            c.row_blocks.fetch_add(blocks.len() as u64, Relaxed);
+        });
+        let per_block_hint = total_flops / blocks.len().max(1) as f64;
+        let parts = crate::pool::run_blocks(blocks, |block| {
+            self.spgemm_rows(rhs, block, per_block_hint, &mut ScatterScratch::new())
+        });
+        // Stitch: concatenate per-block arrays in row order, rebasing each
+        // block's row-end offsets onto the running global length.
+        let nnz: usize = parts.iter().map(|(_, i, _)| i.len()).sum();
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::with_capacity(nnz);
+        let mut data: Vec<f64> = Vec::with_capacity(nnz);
+        for (row_ends, block_indices, block_data) in parts {
+            let base = indices.len();
+            indices.extend_from_slice(&block_indices);
+            data.extend_from_slice(&block_data);
+            indptr.extend(row_ends.into_iter().map(|e| base + e));
         }
+        Csr::from_parts_unchecked(self.nrows, rhs.ncols, indptr, indices, data)
     }
 
     /// Scale row `r` by `rows[r]` in place (a view-backed matrix promotes
@@ -694,6 +766,68 @@ mod tests {
         let second = b.spgemm_with(&a, &mut scratch);
         assert_eq!(first, a.spgemm(&b));
         assert_eq!(second, b.spgemm(&a));
+    }
+
+    #[test]
+    fn spgemm_parallel_is_bit_identical_to_serial() {
+        // a deliberately skewed product: heavy rows up front, empty rows in
+        // the middle, so the block partitioner actually has work to balance
+        let a = Csr::from_triplets(
+            40,
+            30,
+            (0..40u32).flat_map(|r| {
+                (0..30u32)
+                    .filter(move |c| (r < 5) || ((r + c) % 7 == 0 && r % 3 != 0))
+                    .map(move |c| (r, c, 1.0 + ((r * 31 + c) % 5) as f64 * 0.25))
+            }),
+        );
+        let b = Csr::from_triplets(
+            30,
+            25,
+            (0..30u32).flat_map(|r| {
+                (0..25u32)
+                    .filter(move |c| (r * 13 + c * 7) % 4 == 0)
+                    .map(move |c| (r, c, 0.5 + ((r + c) % 3) as f64))
+            }),
+        );
+        let serial = a.spgemm(&b);
+        for threads in [1, 2, 4, 9] {
+            let par = a.spgemm_parallel(&b, threads);
+            assert_eq!(par.nrows(), serial.nrows());
+            assert_eq!(par.ncols(), serial.ncols());
+            assert_eq!(par.parts().0, serial.parts().0, "{threads} indptr");
+            assert_eq!(par.parts().1, serial.parts().1, "{threads} indices");
+            let same_bits = par
+                .parts()
+                .2
+                .iter()
+                .zip(serial.parts().2)
+                .all(|(p, s)| p.to_bits() == s.to_bits());
+            assert!(same_bits, "{threads} threads: values diverged");
+        }
+        // degenerate shapes survive the block partitioner
+        let empty = Csr::zeros(0, 4);
+        let tall = Csr::zeros(4, 3);
+        assert_eq!(empty.spgemm_parallel(&tall, 4), empty.spgemm(&tall));
+        assert_eq!(sample().spgemm_parallel(&Csr::zeros(3, 2), 4).nnz(), 0);
+    }
+
+    #[test]
+    fn spgemm_parallel_counts_row_blocks() {
+        let sink = {
+            let sink = std::sync::Arc::new(crate::counters::KernelCounters::default());
+            crate::counters::install(std::sync::Arc::clone(&sink));
+            crate::counters::installed().expect("a sink was just installed")
+        };
+        let before = sink.snapshot();
+        let a = sample();
+        let b = a.transpose();
+        let _ = a.spgemm_parallel(&b, 2);
+        let after = sink.snapshot();
+        assert!(after.spgemm_calls > before.spgemm_calls);
+        assert!(after.row_blocks > before.row_blocks);
+        // parallel records the same exact flop figure the serial kernel would
+        assert!(after.spgemm_flops >= before.spgemm_flops + 4);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! * [`spvec`] — [`SparseVec`] and the `spvm`/[`spvm_chain`] row-propagation
 //!   kernels (plus their cost model), the sparse-row execution mode
 //!   anchored meta-path queries run on,
+//! * [`pool`] — the scoped worker pool behind the row-parallel kernels
+//!   ([`Csr::spgemm_parallel`] / [`spmm_chain_parallel`]): nnz-balanced
+//!   row blocks, per-worker scratch, thread-count resolution
+//!   (`HIN_KERNEL_THREADS` / [`set_kernel_threads`]),
+//! * [`block`] — [`SparseBlock`] and the [`spmm_block_chain`] multi-anchor
+//!   kernel: k same-span anchors propagate as one short fat sparse block,
+//!   amortizing per-link scatter work across the batch,
 //! * [`codec`] — a versioned, checksummed binary wire format for [`Csr`]
 //!   (`Csr::to_writer` / `Csr::from_reader`), the persistence boundary
 //!   cache snapshots and warm starts stand on,
@@ -32,6 +39,7 @@
 //!   reads.
 
 pub mod arena;
+pub mod block;
 pub mod chain;
 pub mod codec;
 pub mod counters;
@@ -39,18 +47,21 @@ pub mod csr;
 pub mod dense;
 pub mod eigen;
 pub mod lanczos;
+pub mod pool;
 pub mod solve;
 pub mod spvec;
 pub mod vector;
 
 pub use arena::{ArenaBuf, ArenaEntry};
+pub use block::{spmm_block_chain, spmm_block_chain_with, spmm_block_with, SparseBlock};
 pub use chain::{
-    spmm_chain, spmm_chain_order, spmm_chain_order_priced, spmm_flops_estimate, spmm_nnz_estimate,
-    ChainPlan, MatSummary, PlanTree,
+    spmm_chain, spmm_chain_order, spmm_chain_order_priced, spmm_chain_parallel,
+    spmm_flops_estimate, spmm_nnz_estimate, ChainPlan, MatSummary, PlanTree,
 };
 pub use counters::{KernelCounters, KernelCountersSnapshot};
 pub use csr::{Csr, ScatterScratch};
 pub use dense::DMat;
+pub use pool::{kernel_threads, set_kernel_threads, ParallelConfig};
 pub use spvec::{
     spvm, spvm_chain, spvm_chain_flops_estimate, spvm_chain_with, spvm_flops_estimate, spvm_with,
     SparseVec, SpvmChainEstimate,

@@ -1,0 +1,229 @@
+//! Scoped worker pool and row-block partitioning for the parallel sparse
+//! kernels.
+//!
+//! Every output row of an SpMM is independent, so the parallel kernels
+//! ([`Csr::spgemm_parallel`](crate::csr::Csr::spgemm_parallel),
+//! [`crate::chain::spmm_chain_parallel`]) partition output rows into
+//! contiguous, work-balanced blocks and hand each block to its own worker
+//! with its own [`ScatterScratch`](crate::csr::ScatterScratch). Workers are
+//! `std::thread::scope` threads — no external threadpool dependency, no
+//! long-lived pool state to manage, and borrowed operands flow into the
+//! workers without `Arc` ceremony. Rows inside a block run the *exact*
+//! serial per-row kernel, and blocks are stitched back in row order, so the
+//! parallel product is bit-identical to the serial one by construction.
+//!
+//! # Thread-count resolution
+//!
+//! The effective worker count is resolved in precedence order:
+//!
+//! 1. an explicit [`set_kernel_threads`] call (how `hin-serve`'s
+//!    `ServeConfig` kernel-threads knob plumbs through),
+//! 2. the `HIN_KERNEL_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! [`kernel_threads`] reports the resolved value; benchmark reports stamp
+//! it so every recorded number names the worker count that produced it.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default kernel worker count.
+pub const KERNEL_THREADS_ENV: &str = "HIN_KERNEL_THREADS";
+
+/// Process-wide explicit worker count; `0` = unset (fall through to the
+/// environment / hardware default).
+static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker-count configuration for the parallel kernels.
+///
+/// A thin value type so callers can resolve, clamp and pass thread counts
+/// explicitly (the proptests force `{1, 2, 4}` through it regardless of the
+/// machine); [`ParallelConfig::default`] resolves the process-wide count
+/// the same way [`kernel_threads`] does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    threads: usize,
+}
+
+impl ParallelConfig {
+    /// Exactly `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Resolve from the environment: `HIN_KERNEL_THREADS` when set to a
+    /// positive integer, otherwise [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        let threads = std::env::var(KERNEL_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self { threads }
+    }
+
+    /// The configured worker count (≥ 1).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ParallelConfig {
+    /// The process-wide resolution: explicit [`set_kernel_threads`] >
+    /// `HIN_KERNEL_THREADS` > hardware parallelism.
+    fn default() -> Self {
+        Self {
+            threads: kernel_threads(),
+        }
+    }
+}
+
+/// Pin the process-wide kernel worker count (the `ServeConfig` plumbing).
+/// `0` clears the override, falling back to environment/hardware
+/// resolution.
+pub fn set_kernel_threads(threads: usize) {
+    KERNEL_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The worker count the parallel kernels use when the caller doesn't pass
+/// one: explicit [`set_kernel_threads`] > `HIN_KERNEL_THREADS` >
+/// [`std::thread::available_parallelism`]. Always ≥ 1.
+pub fn kernel_threads() -> usize {
+    match KERNEL_THREADS.load(Ordering::Relaxed) {
+        0 => ParallelConfig::from_env().threads(),
+        n => n,
+    }
+}
+
+/// Partition `0..nrows` into at most `threads` contiguous blocks balanced
+/// by `row_weight` (typically per-row multiply-add counts, so nnz-heavy
+/// rows don't pile onto one worker). Blocks are non-empty and cover the
+/// range in order; fewer than `threads` blocks come back when there are
+/// fewer rows (or all the weight fits earlier).
+pub fn row_blocks(
+    nrows: usize,
+    threads: usize,
+    mut row_weight: impl FnMut(usize) -> usize,
+) -> Vec<Range<usize>> {
+    let threads = threads.max(1);
+    if nrows == 0 {
+        return Vec::new();
+    }
+    if threads == 1 || nrows == 1 {
+        // one block spanning every row — not a 0..nrows index list
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..nrows];
+    }
+    // Every row weighs at least 1 so empty rows still advance the split
+    // points and no block degenerates to zero rows.
+    let weights: Vec<u64> = (0..nrows).map(|r| row_weight(r).max(1) as u64).collect();
+    let total: u64 = weights.iter().sum();
+    let per_block = total.div_ceil(threads as u64).max(1);
+    let mut blocks = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (r, &w) in weights.iter().enumerate() {
+        acc += w;
+        if acc >= per_block && r + 1 < nrows {
+            blocks.push(start..r + 1);
+            start = r + 1;
+            acc = 0;
+        }
+    }
+    blocks.push(start..nrows);
+    blocks
+}
+
+/// Run `work` over each block on scoped worker threads, returning per-block
+/// results in block order. A single block runs inline on the caller's
+/// thread — the serial path spawns nothing.
+pub fn run_blocks<T: Send>(
+    blocks: Vec<Range<usize>>,
+    work: impl Fn(Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    if blocks.len() <= 1 {
+        return blocks.into_iter().map(work).collect();
+    }
+    let mut slots: Vec<Option<T>> = blocks.iter().map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (slot, block) in slots.iter_mut().zip(blocks) {
+            let work = &work;
+            s.spawn(move || {
+                *slot = Some(work(block));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("scoped worker filled its slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_resolution_and_clamping() {
+        assert_eq!(ParallelConfig::with_threads(0).threads(), 1);
+        assert_eq!(ParallelConfig::with_threads(4).threads(), 4);
+        assert!(ParallelConfig::from_env().threads() >= 1);
+        assert!(kernel_threads() >= 1);
+        // explicit override wins, clearing falls back
+        set_kernel_threads(7);
+        assert_eq!(kernel_threads(), 7);
+        assert_eq!(ParallelConfig::default().threads(), 7);
+        set_kernel_threads(0);
+        assert!(kernel_threads() >= 1);
+    }
+
+    #[test]
+    fn blocks_cover_contiguously_and_balance_weight() {
+        // skewed weights: the heavy head must not drag the whole range
+        // into one block
+        let w = [100usize, 1, 1, 1, 1, 1, 1, 100];
+        let blocks = row_blocks(8, 3, |r| w[r]);
+        assert!(!blocks.is_empty() && blocks.len() <= 3);
+        assert_eq!(blocks[0].start, 0);
+        assert_eq!(blocks.last().unwrap().end, 8);
+        for pair in blocks.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "contiguous cover");
+            assert!(!pair[0].is_empty());
+        }
+        // uniform weights split near-evenly
+        let even = row_blocks(100, 4, |_| 1);
+        assert_eq!(even.len(), 4);
+        assert!(even.iter().all(|b| b.len() >= 20));
+    }
+
+    #[test]
+    fn degenerate_block_shapes() {
+        assert!(row_blocks(0, 4, |_| 1).is_empty());
+        assert_eq!(row_blocks(1, 4, |_| 1), vec![0..1]);
+        assert_eq!(row_blocks(5, 1, |_| 1), vec![0..5]);
+        // more threads than rows: at most one block per row
+        let blocks = row_blocks(3, 8, |_| 1);
+        assert!(blocks.len() <= 3);
+        assert_eq!(blocks.last().unwrap().end, 3);
+    }
+
+    #[test]
+    fn run_blocks_returns_in_block_order() {
+        let blocks = row_blocks(64, 4, |_| 1);
+        let want: Vec<usize> = blocks.iter().map(|b| b.start).collect();
+        let got = run_blocks(blocks, |b| b.start);
+        assert_eq!(got, want);
+        // the single-block inline path
+        #[allow(clippy::single_range_in_vec_init)]
+        let one_block = vec![0..9];
+        assert_eq!(run_blocks(one_block, |b| b.end), vec![9]);
+        assert!(run_blocks(Vec::new(), |b| b.end).is_empty());
+    }
+}

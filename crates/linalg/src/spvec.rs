@@ -65,6 +65,19 @@ impl SparseVec {
         }
     }
 
+    /// Assemble from arrays whose invariants (sorted, in-bounds, parallel)
+    /// the caller has already established — the kernels' output path, which
+    /// produces sorted deduplicated indices by construction.
+    pub(crate) fn from_sorted_unchecked(dim: usize, indices: Vec<u32>, values: Vec<f64>) -> Self {
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        Self {
+            dim,
+            indices,
+            values,
+        }
+    }
+
     /// The empty vector of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
         Self {

@@ -11,6 +11,10 @@ fn triplets(n: usize, max: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>>
     prop::collection::vec((0..n as u32, 0..n as u32, -10.0f64..10.0), 0..max)
 }
 
+fn rect_triplets(nr: usize, nc: usize, max: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec((0..nr as u32, 0..nc as u32, -10.0f64..10.0), 0..max)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -185,6 +189,48 @@ proptest! {
             if let Ok(v) = Csr::from_arena(&buf, bad) {
                 // an accepted alias must still satisfy every CSR invariant
                 prop_assert!(v.nnz() == 0 || v.parts().0.len() == v.nrows() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_spgemm_is_bit_identical_to_serial(ts1 in rect_triplets(9, 7, 40),
+                                                  ts2 in rect_triplets(7, 8, 40)) {
+        let a = Csr::from_triplets(9, 7, ts1);
+        let b = Csr::from_triplets(7, 8, ts2);
+        let serial = a.spgemm(&b);
+        let (si, sj, sv) = serial.parts();
+        for threads in [1usize, 2, 4] {
+            let par = a.spgemm_parallel(&b, threads);
+            let (pi, pj, pv) = par.parts();
+            prop_assert_eq!(pi, si, "indptr differs at {} threads", threads);
+            prop_assert_eq!(pj, sj, "indices differ at {} threads", threads);
+            for (x, y) in sv.iter().zip(pv) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                                "value bits differ at {} threads", threads);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_spmm_chain_is_bit_identical_to_serial(ts1 in rect_triplets(8, 6, 30),
+                                                      ts2 in rect_triplets(6, 7, 30),
+                                                      ts3 in rect_triplets(7, 5, 30)) {
+        use hin_linalg::{spmm_chain, spmm_chain_parallel};
+        let a = Csr::from_triplets(8, 6, ts1);
+        let b = Csr::from_triplets(6, 7, ts2);
+        let c = Csr::from_triplets(7, 5, ts3);
+        let mats = [&a, &b, &c];
+        let serial = spmm_chain(&mats);
+        let (si, sj, sv) = serial.parts();
+        for threads in [1usize, 2, 4] {
+            let par = spmm_chain_parallel(&mats, threads);
+            let (pi, pj, pv) = par.parts();
+            prop_assert_eq!(pi, si, "indptr differs at {} threads", threads);
+            prop_assert_eq!(pj, sj, "indices differ at {} threads", threads);
+            for (x, y) in sv.iter().zip(pv) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                                "value bits differ at {} threads", threads);
             }
         }
     }

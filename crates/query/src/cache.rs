@@ -455,7 +455,8 @@ impl MatrixCache {
     pub(crate) fn note_warm(&self, loaded: u64, rejected: u64, view_backed: u64) {
         self.warm_loaded.fetch_add(loaded, Ordering::Relaxed);
         self.warm_rejected.fetch_add(rejected, Ordering::Relaxed);
-        self.warm_view_backed.fetch_add(view_backed, Ordering::Relaxed);
+        self.warm_view_backed
+            .fetch_add(view_backed, Ordering::Relaxed);
     }
 
     fn shard_of(&self, key: &[StepKey]) -> &RwLock<Shard> {

@@ -8,13 +8,15 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use hin_core::{Hin, NodeRef, TypeId};
-use hin_linalg::{spvm_chain_with, spvm_with, Csr, ScatterScratch, SparseVec};
+use hin_linalg::{
+    spmm_block_chain_with, spvm_chain_with, spvm_with, Csr, ScatterScratch, SparseBlock, SparseVec,
+};
 use hin_similarity::{top_k_pathsim, MetaPath, PathStep};
 
 use crate::cache::{key_of, reversed_key, CacheConfig, CacheOutcome, MatrixCache, PathKey};
 use crate::error::QueryError;
 use crate::parse::{parse, Verb};
-use crate::plan::{plan_exec_mode, plan_steps, ExecMode, PlanNode, QueryPlan};
+use crate::plan::{block_mode_of, plan_exec_mode, plan_steps, ExecMode, PlanNode, QueryPlan};
 use crate::resolve::{resolve, ResolvedQuery};
 use crate::snapshot::{CacheSnapshot, SnapshotImport};
 
@@ -360,12 +362,237 @@ impl Engine {
     ///
     /// This is the seam `hin_serve` drives: its front end collects inflight
     /// requests, micro-batches them, and the cache turns overlapping
-    /// meta-paths across the batch into shared sub-products.
+    /// meta-paths across the batch into shared sub-products. On top of
+    /// that, anchored queries over the *same* span that chose the
+    /// sparse-row fast path are upgraded to [`ExecMode::BlockRow`]: their
+    /// anchors propagate together as one short, fat [`SparseBlock`],
+    /// sharing one scratch pass per link (and, for PathSim verbs, the
+    /// normalizer-diagonal memo). Heat and promotion accounting run per
+    /// member in batch order, exactly as a sequential run would: a member
+    /// that crosses [`ExecPolicy::promote_after`] materializes the span
+    /// individually and the rest ride the block.
     pub fn execute_many<S: AsRef<str>>(
         &self,
         queries: &[S],
     ) -> Vec<Result<QueryOutput, QueryError>> {
-        queries.iter().map(|q| self.execute(q.as_ref())).collect()
+        self.execute_many_impl(queries)
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect()
+    }
+
+    /// [`Engine::execute_many`] plus a [`QueryTrace`] per query — the entry
+    /// point `hin_serve`'s workers drive for whole micro-batches. Block
+    /// members report [`TraceMode::BlockRow`]; their `exec_ns` is the
+    /// shared propagation time amortized over the batch plus their own
+    /// scoring time.
+    pub fn execute_many_traced<S: AsRef<str>>(
+        &self,
+        queries: &[S],
+    ) -> Vec<(Result<QueryOutput, QueryError>, QueryTrace)> {
+        self.execute_many_impl(queries)
+    }
+
+    /// Plan a batch of queries the way [`Engine::execute_many`] will run
+    /// them — the batched `EXPLAIN`. Per-query planning is identical to
+    /// [`Engine::plan`]; afterwards, same-span members that chose the
+    /// sparse-row fast path are upgraded to the shared
+    /// [`ExecMode::BlockRow`]. Does not touch cache statistics or span
+    /// heat.
+    pub fn plan_many<S: AsRef<str>>(&self, queries: &[S]) -> Vec<Result<QueryPlan, QueryError>> {
+        let mut plans: Vec<Result<QueryPlan, QueryError>> = Vec::with_capacity(queries.len());
+        let mut groups: HashMap<PathKey, Vec<usize>> = HashMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            let plan = parse(q.as_ref())
+                .and_then(|p| resolve(&self.hin, &p))
+                .map(|resolved| {
+                    let mut plan = plan_steps(&self.hin, resolved.path.steps(), &self.cache);
+                    let (mode, lazy_est) = self.exec_mode(&resolved, plan.est_flops);
+                    plan.mode = mode;
+                    plan.lazy_est_flops = lazy_est;
+                    if matches!(mode, ExecMode::SparseRow { .. }) {
+                        groups
+                            .entry(key_of(resolved.path.steps()))
+                            .or_default()
+                            .push(i);
+                    }
+                    plan
+                });
+            plans.push(plan);
+        }
+        for members in groups.values().filter(|m| m.len() >= 2) {
+            let modes: Vec<ExecMode> = members
+                .iter()
+                .map(|&i| plans[i].as_ref().expect("grouped plans are Ok").mode)
+                .collect();
+            let block = block_mode_of(&modes).expect("grouped members all chose SparseRow");
+            for &i in members {
+                plans[i].as_mut().expect("grouped plans are Ok").mode = block;
+            }
+        }
+        plans
+    }
+
+    /// The shared body of [`Engine::execute_many`] and
+    /// [`Engine::execute_many_traced`]: plan every query against the
+    /// batch-start cache state, group same-span sparse-row members, then
+    /// execute — groups as one block propagation (at their first member's
+    /// position), everything else exactly as [`Engine::execute`] would.
+    fn execute_many_impl<S: AsRef<str>>(
+        &self,
+        queries: &[S],
+    ) -> Vec<(Result<QueryOutput, QueryError>, QueryTrace)> {
+        struct Prep {
+            resolved: ResolvedQuery,
+            plan: QueryPlan,
+            mode: ExecMode,
+        }
+        let mut results: Vec<Option<Result<QueryOutput, QueryError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let mut traces: Vec<QueryTrace> = vec![QueryTrace::default(); queries.len()];
+        let mut preps: Vec<Option<Prep>> = Vec::with_capacity(queries.len());
+        let mut groups: HashMap<PathKey, Vec<usize>> = HashMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            let t0 = Instant::now();
+            match parse(q.as_ref()).and_then(|p| resolve(&self.hin, &p)) {
+                Ok(resolved) => {
+                    let plan = plan_steps(&self.hin, resolved.path.steps(), &self.cache);
+                    let (mode, _) = self.exec_mode(&resolved, plan.est_flops);
+                    if matches!(mode, ExecMode::SparseRow { .. }) {
+                        groups
+                            .entry(key_of(resolved.path.steps()))
+                            .or_default()
+                            .push(i);
+                    }
+                    preps.push(Some(Prep {
+                        resolved,
+                        plan,
+                        mode,
+                    }));
+                }
+                Err(e) => {
+                    results[i] = Some(Err(e));
+                    preps.push(None);
+                }
+            }
+            traces[i].plan_ns = elapsed_ns(t0);
+        }
+
+        for i in 0..queries.len() {
+            if results[i].is_some() {
+                continue;
+            }
+            let prep = preps[i].as_ref().expect("non-error queries were prepared");
+            let span_group = matches!(prep.mode, ExecMode::SparseRow { .. })
+                .then(|| groups.get(&key_of(prep.resolved.path.steps())))
+                .flatten()
+                .filter(|members| members.len() >= 2);
+            if let Some(members) = span_group {
+                let group: Vec<(usize, &ResolvedQuery)> = members
+                    .iter()
+                    .map(|&j| {
+                        let resolved = &preps[j]
+                            .as_ref()
+                            .expect("grouped queries were prepared")
+                            .resolved;
+                        (j, resolved)
+                    })
+                    .collect();
+                self.execute_span_group(&group, &mut results, &mut traces);
+            } else {
+                let t0 = Instant::now();
+                let probe = ExecProbe::default();
+                let result = self.run_planned(&prep.resolved, &prep.plan, prep.mode, Some(&probe));
+                traces[i].exec_ns = elapsed_ns(t0);
+                traces[i].mode = if probe.sparse_row.get() {
+                    TraceMode::SparseRow
+                } else {
+                    TraceMode::Full
+                };
+                traces[i].outcome = probe.outcome.get();
+                results[i] = Some(result);
+            }
+        }
+        results
+            .into_iter()
+            .zip(traces)
+            .map(|(r, t)| (r.expect("every query executed"), t))
+            .collect()
+    }
+
+    /// Execute one same-span group of lazily-planned anchored queries as a
+    /// batched block propagation. Heat accounting runs per member in batch
+    /// order — members that cross the promotion threshold materialize the
+    /// span through the ordinary deduplicated cache path first (so the
+    /// block, and every later query, can seed from the freshly resident
+    /// span), the rest propagate together as one [`SparseBlock`].
+    fn execute_span_group(
+        &self,
+        group: &[(usize, &ResolvedQuery)],
+        results: &mut [Option<Result<QueryOutput, QueryError>>],
+        traces: &mut [QueryTrace],
+    ) {
+        let steps = group[0].1.path.steps();
+        let mut promoted: Vec<(usize, &ResolvedQuery)> = Vec::new();
+        let mut riders: Vec<(usize, &ResolvedQuery)> = Vec::new();
+        for &(i, resolved) in group {
+            if self.note_lazy_and_should_promote(steps) {
+                promoted.push((i, resolved));
+            } else {
+                riders.push((i, resolved));
+            }
+        }
+        for (i, resolved) in promoted {
+            self.promotions.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let probe = ExecProbe::default();
+            let plan = plan_steps(&self.hin, steps, &self.cache);
+            let matrix = Self::eval(&self.hin, steps, &self.cache, &plan.root, Some(&probe));
+            results[i] = Some(self.assemble(resolved, matrix.as_csr()));
+            traces[i].mode = TraceMode::Full;
+            traces[i].outcome = probe.outcome.get();
+            traces[i].exec_ns = elapsed_ns(t0);
+        }
+        match riders.len() {
+            0 => {}
+            1 => {
+                // a lone rider propagates per-anchor, exactly as `execute`
+                let (i, resolved) = riders[0];
+                self.anchored_fast_paths.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                let probe = ExecProbe::default();
+                results[i] = Some(self.execute_row(resolved, Some(&probe)));
+                traces[i].mode = TraceMode::SparseRow;
+                traces[i].outcome = probe.outcome.get();
+                traces[i].exec_ns = elapsed_ns(t0);
+            }
+            k => {
+                self.anchored_fast_paths
+                    .fetch_add(k as u64, Ordering::Relaxed);
+                let t0 = Instant::now();
+                let (seed, rest) = self.propagation_seed(steps);
+                let outcome = match seed {
+                    Seed::Cached(_) => CacheOutcome::Hit,
+                    Seed::First(_) => CacheOutcome::MissCompute,
+                };
+                let mut scratch = ScatterScratch::new();
+                let anchors: Vec<usize> = riders
+                    .iter()
+                    .map(|&(_, r)| r.from.expect("anchored verbs carry `from`").id as usize)
+                    .collect();
+                let seed_rows: Vec<SparseVec> = anchors.iter().map(|&x| seed.row(x)).collect();
+                let block = SparseBlock::from_rows(&seed_rows);
+                let rows = spmm_block_chain_with(&block, &rest, &mut scratch).into_rows();
+                let prop_ns = elapsed_ns(t0) / k as u64;
+                for (((i, resolved), x), row) in riders.iter().zip(anchors).zip(rows) {
+                    let t1 = Instant::now();
+                    results[*i] = Some(self.finish_row(resolved, x, row, &mut scratch));
+                    traces[*i].mode = TraceMode::BlockRow;
+                    traces[*i].outcome = outcome;
+                    traces[*i].exec_ns = prop_ns + elapsed_ns(t1);
+                }
+            }
+        }
     }
 
     /// The commuting matrix of an already-resolved meta-path, computed
@@ -553,7 +780,21 @@ impl Engine {
             });
         }
         let row = spvm_chain_with(&seed.row(x), &rest, &mut scratch);
+        self.finish_row(resolved, x, row, &mut scratch)
+    }
 
+    /// Score, rank and name one propagated anchor row — the verb-specific
+    /// back half shared by the sparse-row fast path ([`Engine::execute_row`])
+    /// and the batched block propagation, which computes all its members'
+    /// rows in one [`SparseBlock`] chain and finishes them here one by one.
+    fn finish_row(
+        &self,
+        resolved: &ResolvedQuery,
+        x: usize,
+        row: SparseVec,
+        scratch: &mut ScatterScratch,
+    ) -> Result<QueryOutput, QueryError> {
+        let steps = resolved.path.steps();
         let items = match resolved.verb {
             Verb::PathSim | Verb::TopK => {
                 // PathSim(x,y) = 2·M[x,y] / (M[x,x] + M[y,y]). The row
@@ -589,9 +830,9 @@ impl Engine {
                             memo_hits += 1;
                             v
                         } else {
-                            let u = spvm_chain_with(&half_seed.row(y), &half_rest, &mut scratch);
+                            let u = spvm_chain_with(&half_seed.row(y), &half_rest, scratch);
                             let v = match mid {
-                                Some(l) => spvm_with(&u, l, &mut scratch).dot(&u),
+                                Some(l) => spvm_with(&u, l, scratch).dot(&u),
                                 None => u.dot_self(),
                             };
                             diag.insert(y, v);
@@ -687,7 +928,7 @@ impl Engine {
                 let key = key_of(&steps[*lo..=*hi]);
                 let (m, outcome) = cache.get_or_compute_traced(&key, || {
                     let mats: Vec<&Csr> = steps[*lo..=*hi].iter().map(|s| s.matrix(hin)).collect();
-                    hin_linalg::spmm_chain(&mats)
+                    hin_linalg::spmm_chain_parallel(&mats, hin_linalg::kernel_threads())
                 });
                 if let Some(p) = probe {
                     p.note(outcome);
@@ -704,7 +945,8 @@ impl Engine {
                 let (m, outcome) = cache.get_or_compute_traced(&key, || {
                     let l = Self::eval(hin, steps, cache, left, probe);
                     let r = Self::eval(hin, steps, cache, right, probe);
-                    l.as_csr().spgemm(r.as_csr())
+                    l.as_csr()
+                        .spgemm_parallel(r.as_csr(), hin_linalg::kernel_threads())
                 });
                 if let Some(p) = probe {
                     p.note(outcome);
@@ -789,6 +1031,10 @@ pub enum TraceMode {
     Full,
     /// Propagated a sparse row from the anchor; nothing materialized.
     SparseRow,
+    /// Propagated as one member of a same-span multi-anchor
+    /// [`SparseBlock`] batch ([`Engine::execute_many`]); nothing
+    /// materialized.
+    BlockRow,
 }
 
 impl TraceMode {
@@ -797,8 +1043,18 @@ impl TraceMode {
         match self {
             TraceMode::Full => "full",
             TraceMode::SparseRow => "sparse_row",
+            TraceMode::BlockRow => "block_row",
         }
     }
+
+    /// Dense index for per-mode metric arrays (`full`, `sparse_row`,
+    /// `block_row` — in [`TraceMode::ALL`] order).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Every mode, in [`TraceMode::index`] order.
+    pub const ALL: [TraceMode; 3] = [TraceMode::Full, TraceMode::SparseRow, TraceMode::BlockRow];
 }
 
 /// Per-query execution trace from [`Engine::execute_traced`]: stage
@@ -1035,6 +1291,137 @@ mod tests {
             Err(QueryError::Hin(hin_core::HinError::UnknownNode { .. }))
         ));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn batched_same_span_queries_block_propagate() {
+        let hin = skewed_bib();
+        let eager = eager_engine(Arc::clone(&hin));
+        let lazy = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        // three members share the A-P-V-P-A span (mixed verbs), an error
+        // sits in the middle, and one lone rider spans A-P-V
+        let queries = [
+            "pathsim author-paper-venue-paper-author from a0",
+            "pathcount author-paper-venue-paper-author from a3",
+            "pathsim author-paper-venue-paper-author from nobody",
+            "neighbors author-paper-venue-paper-author from a5 limit 8",
+            "pathcount author-paper-venue from a1",
+        ];
+        let batched = lazy.execute_many_traced(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            match eager.execute(q) {
+                Ok(want) => assert_eq!(
+                    *batched[i].0.as_ref().unwrap(),
+                    want,
+                    "batched result diverged: {q}"
+                ),
+                Err(_) => assert!(batched[i].0.is_err(), "error must stay in place: {q}"),
+            }
+        }
+        // the three same-span members rode one block; the lone rider
+        // stayed on the per-anchor fast path
+        assert_eq!(batched[0].1.mode, TraceMode::BlockRow);
+        assert_eq!(batched[1].1.mode, TraceMode::BlockRow);
+        assert_eq!(batched[3].1.mode, TraceMode::BlockRow);
+        assert_eq!(batched[4].1.mode, TraceMode::SparseRow);
+        assert_eq!(lazy.anchored_fast_paths(), 4);
+        assert_eq!(lazy.cache_misses(), 0, "nothing materialized");
+        assert_eq!(lazy.promotions(), 0);
+        // nothing executed for the failed member
+        assert_eq!(batched[2].1.exec_ns, 0);
+    }
+
+    #[test]
+    fn batched_block_results_match_sequential_execution_bitwise() {
+        let hin = skewed_bib();
+        let sequential = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        let batched = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        let queries = [
+            "pathsim author-paper-venue-paper-author from a0",
+            "pathsim author-paper-venue-paper-author from a5",
+            "pathsim author-paper-venue-paper-author from a9",
+        ];
+        let want: Vec<_> = queries.iter().map(|q| sequential.execute(q)).collect();
+        for (got, want) in batched.execute_many(&queries).iter().zip(&want) {
+            let (got, want) = (got.as_ref().unwrap(), want.as_ref().unwrap());
+            assert_eq!(got.items.len(), want.items.len());
+            for ((gn, gs), (wn, ws)) in got.items.iter().zip(&want.items) {
+                assert_eq!(gn, wn);
+                assert_eq!(gs.to_bits(), ws.to_bits(), "score bits diverged for {gn}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_promotion_accounting_is_preserved() {
+        let hin = skewed_bib();
+        let reference = eager_engine(Arc::clone(&hin));
+        let engine = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(3),
+        );
+        let queries = [
+            "pathsim author-paper-venue-paper-author from a0",
+            "pathsim author-paper-venue-paper-author from a5",
+            "pathsim author-paper-venue-paper-author from a9",
+        ];
+        let batched = engine.execute_many_traced(&queries);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(
+                *batched[i].0.as_ref().unwrap(),
+                reference.execute(q).unwrap()
+            );
+        }
+        // heat counts per member in batch order: two ride the block, the
+        // third crosses promote_after and materializes the span
+        assert_eq!(engine.anchored_fast_paths(), 2);
+        assert_eq!(engine.promotions(), 1);
+        assert!(engine.cache_misses() > 0, "promotion ran the SpMM chain");
+        assert_eq!(batched[2].1.mode, TraceMode::Full);
+        // the promoted span is resident now: a later query is a pure hit
+        let hits = engine.cache_hits();
+        engine.execute(queries[0]).unwrap();
+        assert!(engine.cache_hits() > hits);
+        assert_eq!(engine.promotions(), 1);
+    }
+
+    #[test]
+    fn plan_many_reports_the_block_mode() {
+        let hin = skewed_bib();
+        let engine = Engine::from_arc(Arc::clone(&hin));
+        let plans = engine.plan_many(&[
+            "pathcount author-paper-venue-paper-author from a0",
+            "rank venue-paper-author",
+            "pathcount author-paper-venue-paper-author from a3",
+        ]);
+        let first = plans[0].as_ref().unwrap();
+        match first.mode {
+            crate::plan::ExecMode::BlockRow { anchors, .. } => assert_eq!(anchors, 2),
+            ref other => panic!("expected BlockRow, got {other:?}"),
+        }
+        assert!(first.to_string().contains("block-propagate"));
+        assert!(first.to_string().contains("×2"));
+        assert_eq!(plans[1].as_ref().unwrap().mode, crate::plan::ExecMode::Full);
+        assert!(matches!(
+            plans[2].as_ref().unwrap().mode,
+            crate::plan::ExecMode::BlockRow { .. }
+        ));
+        assert_eq!(engine.cache_misses(), 0, "planning computes nothing");
+        assert_eq!(engine.anchored_fast_paths(), 0, "planning executes nothing");
     }
 
     #[test]
@@ -1412,7 +1799,7 @@ mod tests {
             crate::plan::ExecMode::SparseRow { seed, .. } => {
                 assert_eq!(seed, Some((0, 1)), "resident prefix offered as seed")
             }
-            crate::plan::ExecMode::Full => panic!("anchored query must plan lazy"),
+            ref other => panic!("anchored query must plan lazy, got {other:?}"),
         }
 
         // evict the prefix between plan and execute: an oversized insert

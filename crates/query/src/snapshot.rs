@@ -551,7 +551,8 @@ impl CacheSnapshot {
             value: file_len,
         })?;
         let mut buf = ArenaBuf::with_len(file_len);
-        file.read_exact(buf.as_mut_bytes()).map_err(CodecError::Io)?;
+        file.read_exact(buf.as_mut_bytes())
+            .map_err(CodecError::Io)?;
         let bytes = buf.as_bytes();
         let is_v2 = file_len >= 8
             && bytes[0..4] == SNAPSHOT_MAGIC
@@ -571,12 +572,11 @@ impl CacheSnapshot {
 /// payload — every returned matrix aliases `buf`.
 fn parse_v2(buf: &Arc<ArenaBuf>) -> Result<CacheSnapshot, CodecError> {
     let bytes = buf.as_bytes();
-    if bytes.len() < V2_HEADER + 8 || bytes.len() % 8 != 0 {
+    if bytes.len() < V2_HEADER + 8 || !bytes.len().is_multiple_of(8) {
         return Err(CodecError::Truncated);
     }
-    let u64_at = |off: usize| {
-        u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes in bounds"))
-    };
+    let u64_at =
+        |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes in bounds"));
     let usize_at = |off: usize, field: &'static str| {
         usize::try_from(u64_at(off)).map_err(|_| CodecError::DimOverflow {
             field,
@@ -701,10 +701,14 @@ fn parse_v2(buf: &Arc<ArenaBuf>) -> Result<CacheSnapshot, CodecError> {
         // directory and short of the checksum word).
         let heap_end = file_len - 8;
         let in_heap = |off: usize, len: Option<usize>| {
-            len.is_some_and(|len| off >= heap_off && off.checked_add(len).is_some_and(|e| e <= heap_end))
+            len.is_some_and(|len| {
+                off >= heap_off && off.checked_add(len).is_some_and(|e| e <= heap_end)
+            })
         };
-        if !in_heap(entry.indptr_off, entry.nrows.checked_add(1).and_then(|n| n.checked_mul(8)))
-            || !in_heap(entry.data_off, entry.nnz.checked_mul(8))
+        if !in_heap(
+            entry.indptr_off,
+            entry.nrows.checked_add(1).and_then(|n| n.checked_mul(8)),
+        ) || !in_heap(entry.data_off, entry.nnz.checked_mul(8))
             || !in_heap(entry.indices_off, entry.nnz.checked_mul(4))
         {
             return Err(CodecError::Malformed(format!(
@@ -1004,7 +1008,8 @@ mod tests {
         snap.set_fingerprint(fp);
 
         let mut bytes = Vec::new();
-        snap.to_writer_v1(&mut bytes).expect("vec writes cannot fail");
+        snap.to_writer_v1(&mut bytes)
+            .expect("vec writes cannot fail");
         let back = CacheSnapshot::from_reader(&mut bytes.as_slice()).expect("v1 decodes");
         assert_eq!(back.keys(), snap.keys());
         assert_eq!(back.fingerprint(), Some(fp));

@@ -184,6 +184,46 @@ proptest! {
         }
     }
 
+    /// Batched execution ≡ per-anchor sequential execution ≡ eager full
+    /// materialization, to the bit. `execute_many` groups the same-span
+    /// anchored members (every author shares each metapath's span) into
+    /// multi-anchor block propagations; the block kernel must be invisible
+    /// in the output.
+    #[test]
+    fn block_batched_execution_matches_sequential_and_full(world in worlds()) {
+        let hin = world.build();
+        let full = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::eager(),
+        );
+        let sequential = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        let batched = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::promote_after(u32::MAX),
+        );
+        let queries = anchored_queries(&world);
+        let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        let results = batched.execute_many(&refs);
+        prop_assert_eq!(results.len(), queries.len());
+        for (q, result) in queries.iter().zip(results) {
+            let got = result.expect("batched execution");
+            let want = full.execute(q).expect("full-matrix execution");
+            if let Err(msg) = assert_bit_identical(&got, &want, q) {
+                prop_assert!(false, "{} (batched vs eager full)", msg);
+            }
+            let want = sequential.execute(q).expect("per-anchor execution");
+            if let Err(msg) = assert_bit_identical(&got, &want, q) {
+                prop_assert!(false, "{} (batched vs per-anchor)", msg);
+            }
+        }
+    }
+
     /// The same identity after a warm-start restore: a donor's snapshot
     /// seeds the replacement's cache, so anchored queries run against a
     /// mix of restored full spans (pure hits) and propagation.

@@ -93,11 +93,7 @@ fn warming_queries() -> [&'static str; 3] {
 
 /// Donor engine's fingerprinted snapshot after a warming workload.
 fn donor_snapshot(hin: &Arc<Hin>) -> CacheSnapshot {
-    let donor = Engine::with_config(
-        Arc::clone(hin),
-        CacheConfig::default(),
-        ExecPolicy::eager(),
-    );
+    let donor = Engine::with_config(Arc::clone(hin), CacheConfig::default(), ExecPolicy::eager());
     for q in warming_queries() {
         donor.execute(q).expect("donor warming query");
     }

@@ -149,6 +149,14 @@ impl RouterStats {
             &[],
             hin_linalg::arena::heap_decodes(),
         );
+        // Process-wide kernel series (the SpMM kernels and their worker
+        // pool are shared by every dataset's engine), present only when a
+        // counters sink is installed.
+        if let Some(k) = hin_linalg::counters::installed() {
+            let s = k.snapshot();
+            w.counter("hin_kernel_row_blocks_total", &[], s.row_blocks);
+            w.counter("hin_kernel_block_anchors_total", &[], s.block_anchors);
+        }
         for (key, s) in &self.datasets {
             let ds = [("dataset", key.as_str())];
             w.counter("hin_served_total", &ds, s.served);
@@ -211,6 +219,7 @@ impl RouterStats {
                 }
             }
             w.histogram_seconds("hin_e2e_seconds", &ds, &s.e2e_ns);
+            w.histogram_count("hin_batch_anchors", &ds, &s.batch_anchors);
         }
         w.finish()
     }

@@ -51,6 +51,13 @@ pub struct ServeConfig {
     /// (see [`hin_query::Engine::restore`]); `None` (the default) starts
     /// cold.
     pub warm_start: Option<Arc<CacheSnapshot>>,
+    /// Row-parallel kernel threads: `Some(n)` pins the process-wide worker
+    /// pool the SpMM kernels run on ([`hin_linalg::set_kernel_threads`])
+    /// when this server starts. **Process-global**, like the kernels'
+    /// counters: the last server to start with `Some` wins, and `None`
+    /// (the default) leaves the resolution to the `HIN_KERNEL_THREADS`
+    /// environment variable or the machine's available parallelism.
+    pub kernel_threads: Option<usize>,
     /// Observability: per-stage latency histograms and the slow-query log.
     pub telemetry: TelemetryConfig,
 }
@@ -66,6 +73,7 @@ impl Default for ServeConfig {
             cache: CacheConfig::default(),
             exec: ExecPolicy::default(),
             warm_start: None,
+            kernel_threads: None,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -102,18 +110,15 @@ impl Default for TelemetryConfig {
 }
 
 /// Label order of the execution-mode axis of [`ServerStats::exec_ns`];
-/// matches [`TraceMode::as_str`].
-pub const EXEC_MODES: [&str; 2] = ["full", "sparse_row"];
+/// matches [`TraceMode::as_str`] / [`TraceMode::index`].
+pub const EXEC_MODES: [&str; 3] = ["full", "sparse_row", "block_row"];
 
 /// Label order of the cache-outcome axis of [`ServerStats::exec_ns`];
 /// matches [`CacheOutcome::as_str`].
 pub const EXEC_OUTCOMES: [&str; 3] = ["hit", "coalesced_wait", "miss_compute"];
 
 fn mode_idx(m: TraceMode) -> usize {
-    match m {
-        TraceMode::Full => 0,
-        TraceMode::SparseRow => 1,
-    }
+    m.index()
 }
 
 fn outcome_idx(o: CacheOutcome) -> usize {
@@ -158,8 +163,11 @@ struct StageHists {
     plan: Histogram,
     /// Execute-stage latency, `[mode][cache outcome]` per
     /// [`EXEC_MODES`] × [`EXEC_OUTCOMES`].
-    exec: [[Histogram; 3]; 2],
+    exec: [[Histogram; 3]; 3],
     e2e: Histogram,
+    /// Anchors that rode a multi-anchor block propagation, recorded once
+    /// per executed micro-batch (0 for batches with no block members).
+    batch_anchors: Histogram,
 }
 
 impl StageHists {
@@ -171,6 +179,7 @@ impl StageHists {
             plan: Histogram::new(),
             exec: std::array::from_fn(|_| std::array::from_fn(|_| Histogram::new())),
             e2e: Histogram::new(),
+            batch_anchors: Histogram::new(),
         }
     }
 }
@@ -286,9 +295,13 @@ pub struct ServerStats {
     /// Execute-stage latency (ns) split `[mode][cache outcome]`, label
     /// order [`EXEC_MODES`] × [`EXEC_OUTCOMES`] — e.g.
     /// `exec_ns[1][0]` is sparse-row execution served from cache.
-    pub exec_ns: [[HistSnapshot; 3]; 2],
+    pub exec_ns: [[HistSnapshot; 3]; 3],
     /// End-to-end latency (ns): admission to answer.
     pub e2e_ns: HistSnapshot,
+    /// Anchors propagated through the multi-anchor block path per executed
+    /// micro-batch (dimensionless; one sample per batch, 0 when no member
+    /// grouped). Empty when telemetry is disabled.
+    pub batch_anchors: HistSnapshot,
     /// Queries captured by the slow-query log over the server's lifetime
     /// (the ring retains only the newest [`TelemetryConfig::slow_log`]).
     pub slow_queries: u64,
@@ -335,6 +348,7 @@ impl ServerStats {
                 std::array::from_fn(|o| self.exec_ns[m][o].merge(&other.exec_ns[m][o]))
             }),
             e2e_ns: self.e2e_ns.merge(&other.e2e_ns),
+            batch_anchors: self.batch_anchors.merge(&other.batch_anchors),
             slow_queries: self.slow_queries + other.slow_queries,
         }
     }
@@ -492,6 +506,9 @@ impl Server {
     /// the engine *before* any worker thread exists, so the first admitted
     /// query already sees the warm cache.
     pub fn start(hin: Arc<Hin>, config: ServeConfig) -> Server {
+        if let Some(n) = config.kernel_threads {
+            hin_linalg::set_kernel_threads(n);
+        }
         let engine = Arc::new(Engine::with_config(hin, config.cache, config.exec));
         let warm_import = config.warm_start.as_ref().map(|s| engine.restore(s));
         let n_workers = config.workers.max(1);
@@ -509,9 +526,12 @@ impl Server {
 
         // A *bounded* hand-off channel: the dispatcher blocks once the
         // workers are this far behind, so excess demand stays in the fair
-        // queue where admission control can see (and shed) it. End-to-end
-        // memory is bounded by queue_depth + this capacity + workers.
-        let (work_tx, work_rx) = sync_channel::<Request>(n_workers.max(batch_max));
+        // queue where admission control can see (and shed) it. The unit of
+        // hand-off is a whole micro-batch — a worker that receives one can
+        // group its same-span anchored members into a single block
+        // propagation. End-to-end memory is bounded by
+        // queue_depth + this capacity × batch_max + workers × batch_max.
+        let (work_tx, work_rx) = sync_channel::<Vec<Request>>(n_workers);
         let work_rx = Arc::new(Mutex::new(work_rx));
         let mut worker_handles = Vec::with_capacity(n_workers);
         for w in 0..n_workers {
@@ -650,6 +670,7 @@ impl Server {
             stats.exec_ns =
                 std::array::from_fn(|m| std::array::from_fn(|o| s.exec[m][o].snapshot()));
             stats.e2e_ns = s.e2e.snapshot();
+            stats.batch_anchors = s.batch_anchors.snapshot();
             stats.slow_queries = tel.slow.total();
         }
         stats
@@ -697,9 +718,9 @@ impl Drop for Server {
 /// Collect admitted requests into micro-batches (drawn round-robin across
 /// client lanes) and feed them to the bounded worker hand-off channel,
 /// until the queue is closed and drained.
-fn dispatch_loop(shared: &Shared, work_tx: SyncSender<Request>, batch_max: usize) {
+fn dispatch_loop(shared: &Shared, work_tx: SyncSender<Vec<Request>>, batch_max: usize) {
     loop {
-        let batch = shared.queue.pop_batch(batch_max);
+        let mut batch = shared.queue.pop_batch(batch_max);
         if batch.is_empty() {
             break; // closed and fully drained
         }
@@ -708,93 +729,118 @@ fn dispatch_loop(shared: &Shared, work_tx: SyncSender<Request>, batch_max: usize
             .counters
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
-        for mut req in batch {
-            req.dispatched_at = Instant::now();
-            // blocks when workers are behind (that is the backpressure);
-            // fails only if every worker is gone — the dropped reply
-            // sender then surfaces as Canceled at the ticket
-            let _ = work_tx.send(req);
+        let now = Instant::now();
+        for req in &mut batch {
+            req.dispatched_at = now;
         }
+        // blocks when workers are behind (that is the backpressure);
+        // fails only if every worker is gone — the dropped reply
+        // senders then surface as Canceled at the tickets
+        let _ = work_tx.send(batch);
     }
     // exiting drops work_tx: workers drain the hand-off channel, then exit
 }
 
-/// Execute requests against the shared engine until the queue closes.
+/// Execute micro-batches against the shared engine until the queue closes.
 ///
-/// Panics are contained per request: a query that panics its worker (an
-/// engine bug, a poisoned lock) is answered with
+/// A whole micro-batch runs as one [`Engine::execute_many`] call, so
+/// same-span anchored members propagate together through the multi-anchor
+/// block kernel instead of one row chain each.
+///
+/// Panics are contained per batch: a batch that panics its worker (an
+/// engine bug, a poisoned lock) has every member answered with
 /// [`QueryError::Internal`] and the worker keeps serving — one poisoned
-/// request must not silently retire 1/N of the pool for the rest of the
+/// batch must not silently retire 1/N of the pool for the rest of the
 /// server's life.
-fn worker_loop(work_rx: &Mutex<Receiver<Request>>, engine: &Engine, shared: &Shared) {
+fn worker_loop(work_rx: &Mutex<Receiver<Vec<Request>>>, engine: &Engine, shared: &Shared) {
     let counters = &shared.counters;
     loop {
         // Hold the lock only for the dequeue itself. One idle worker
         // blocks in recv holding the lock; the others queue on the mutex
-        // and each wakes to take exactly the next request.
-        let req = match work_rx.lock().expect("work queue lock").recv() {
-            Ok(req) => req,
+        // and each wakes to take exactly the next batch.
+        let batch = match work_rx.lock().expect("work queue lock").recv() {
+            Ok(batch) => batch,
             Err(_) => break, // dispatcher gone and queue drained
         };
         let taken = Instant::now();
         // With telemetry on, execute traced; off, the untraced path — no
         // Instant reads, no probe, no histogram touches on any query.
-        let (result, trace) = match &shared.telemetry {
-            Some(_) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                engine.execute_traced(&req.query)
-            }))
+        let outputs: Vec<(Result<QueryOutput, QueryError>, QueryTrace)> = {
+            let queries: Vec<&str> = batch.iter().map(|r| r.query.as_str()).collect();
+            match &shared.telemetry {
+                Some(_) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    engine.execute_many_traced(&queries)
+                })),
+                None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    engine
+                        .execute_many(&queries)
+                        .into_iter()
+                        .map(|r| (r, QueryTrace::default()))
+                        .collect()
+                })),
+            }
             .unwrap_or_else(|payload| {
-                (
-                    Err(QueryError::Internal(panic_message(&payload))),
-                    QueryTrace::default(),
-                )
-            }),
-            None => (
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    engine.execute(&req.query)
-                }))
-                .unwrap_or_else(|payload| Err(QueryError::Internal(panic_message(&payload)))),
-                QueryTrace::default(),
-            ),
+                let msg = panic_message(&payload);
+                batch
+                    .iter()
+                    .map(|_| {
+                        (
+                            Err(QueryError::Internal(msg.clone())),
+                            QueryTrace::default(),
+                        )
+                    })
+                    .collect()
+            })
         };
-        counters.served.fetch_add(1, Ordering::Relaxed);
-        if result.is_err() {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(tel) = &shared.telemetry {
+            // One sample per executed batch: how many anchors rode a block
+            // propagation (0 when nothing grouped).
+            let block_anchors = outputs
+                .iter()
+                .filter(|(_, t)| t.mode == TraceMode::BlockRow)
+                .count() as u64;
+            tel.stages.batch_anchors.record(block_anchors);
         }
-        let stage = shared.telemetry.as_ref().map(|tel| {
-            let queue_wait = req.dispatched_at.duration_since(req.queued_at);
-            let dispatch = taken.duration_since(req.dispatched_at);
-            let total = req.queued_at.elapsed();
-            let s = &tel.stages;
-            s.queue_wait.record_duration(queue_wait);
-            s.dispatch.record_duration(dispatch);
-            s.plan.record(trace.plan_ns);
-            s.exec[mode_idx(trace.mode)][outcome_idx(trace.outcome)].record(trace.exec_ns);
-            s.e2e.record_duration(total);
-            (queue_wait, dispatch, total)
-        });
-        // the client may have dropped its ticket; that's not an error
-        let _ = req.reply.send(result);
-        // Slow-query capture happens *after* the reply: re-deriving the
-        // EXPLAIN plan costs a parse+resolve+plan, and an already-slow
-        // query's client should not wait on its own autopsy.
-        if let (Some(tel), Some((queue_wait, dispatch, total))) = (&shared.telemetry, stage) {
-            if total >= tel.slow_threshold {
-                let plan = engine
-                    .plan(&req.query)
-                    .map(|p| p.to_string())
-                    .unwrap_or_default();
-                tel.slow.push(SlowQuery {
-                    query: req.query,
-                    plan,
-                    mode: trace.mode.as_str(),
-                    outcome: trace.outcome.as_str(),
-                    queue_wait_ns: duration_ns(queue_wait),
-                    dispatch_ns: duration_ns(dispatch),
-                    plan_ns: trace.plan_ns,
-                    exec_ns: trace.exec_ns,
-                    total_ns: duration_ns(total),
-                });
+        for (req, (result, trace)) in batch.into_iter().zip(outputs) {
+            counters.served.fetch_add(1, Ordering::Relaxed);
+            if result.is_err() {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let stage = shared.telemetry.as_ref().map(|tel| {
+                let queue_wait = req.dispatched_at.duration_since(req.queued_at);
+                let dispatch = taken.duration_since(req.dispatched_at);
+                let total = req.queued_at.elapsed();
+                let s = &tel.stages;
+                s.queue_wait.record_duration(queue_wait);
+                s.dispatch.record_duration(dispatch);
+                s.plan.record(trace.plan_ns);
+                s.exec[mode_idx(trace.mode)][outcome_idx(trace.outcome)].record(trace.exec_ns);
+                s.e2e.record_duration(total);
+                (queue_wait, dispatch, total)
+            });
+            // the client may have dropped its ticket; that's not an error
+            let _ = req.reply.send(result);
+            // Slow-query capture happens *after* the reply: re-deriving the
+            // EXPLAIN plan costs a parse+resolve+plan, and an already-slow
+            // query's client should not wait on its own autopsy.
+            if let (Some(tel), Some((queue_wait, dispatch, total))) = (&shared.telemetry, stage) {
+                if total >= tel.slow_threshold {
+                    let plan = engine
+                        .plan(&req.query)
+                        .map(|p| p.to_string())
+                        .unwrap_or_default();
+                    tel.slow.push(SlowQuery {
+                        query: req.query,
+                        plan,
+                        mode: trace.mode.as_str(),
+                        outcome: trace.outcome.as_str(),
+                        queue_wait_ns: duration_ns(queue_wait),
+                        dispatch_ns: duration_ns(dispatch),
+                        plan_ns: trace.plan_ns,
+                        exec_ns: trace.exec_ns,
+                        total_ns: duration_ns(total),
+                    });
+                }
             }
         }
     }
@@ -1004,6 +1050,53 @@ mod tests {
         let result = waiter.join().expect("waiter thread");
         assert!(matches!(result, Err(QueryError::TimedOut)));
         drop(wedged);
+    }
+
+    #[test]
+    fn same_span_batches_ride_the_block_path() {
+        let hin = bib();
+        let reference = Engine::from_arc(Arc::clone(&hin));
+        // One worker so a burst piles up in the fair queue and the
+        // dispatcher can hand the worker a multi-query micro-batch;
+        // promotion disabled so every member stays an anchored rider.
+        let server = Server::start(
+            Arc::clone(&hin),
+            ServeConfig {
+                workers: 1,
+                batch_max: 8,
+                exec: ExecPolicy::promote_after(u32::MAX),
+                ..ServeConfig::default()
+            },
+        );
+        let queries = [
+            "pathsim author-paper-venue-paper-author from a0",
+            "pathsim author-paper-venue-paper-author from a1",
+            "pathsim author-paper-venue-paper-author from a2",
+        ];
+        // Whether the burst lands in one micro-batch is a scheduling race;
+        // retry until one does (each attempt also checks correctness).
+        let mut grouped = false;
+        for _ in 0..200 {
+            let got = server.execute_many(&queries);
+            for (q, result) in queries.iter().zip(got) {
+                assert_eq!(result, reference.execute(q), "served result differs: {q}");
+            }
+            let anchors = server.stats().batch_anchors;
+            // sum = total anchors that rode a block; any grouped batch
+            // contributes ≥ 2
+            if anchors.sum() >= 2 {
+                grouped = true;
+                break;
+            }
+        }
+        assert!(grouped, "no burst ever co-batched into a block propagation");
+        let stats = server.shutdown();
+        let block_execs: u64 = stats.exec_ns[2].iter().map(|h| h.count()).sum();
+        assert!(
+            block_execs >= 2,
+            "block_row exec histogram must record the grouped members"
+        );
+        assert_eq!(stats.errors, 0);
     }
 
     #[test]

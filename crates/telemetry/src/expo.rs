@@ -128,6 +128,37 @@ impl MetricsWriter {
         ));
     }
 
+    /// One histogram series whose recorded values are plain counts (batch
+    /// sizes, anchors per batch — no unit, no scaling): cumulative
+    /// `name_bucket` lines for every occupied bucket plus `le="+Inf"`,
+    /// then `name_sum` and `name_count`.
+    pub fn histogram_count(&mut self, name: &str, labels: &[(&str, &str)], h: &HistSnapshot) {
+        self.type_header(name, "histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.buckets() {
+            cumulative += count;
+            self.out.push_str(&format!(
+                "{name}_bucket{} {cumulative}\n",
+                label_block(labels, Some(("le", number(bound as f64))))
+            ));
+        }
+        self.out.push_str(&format!(
+            "{name}_bucket{} {}\n",
+            label_block(labels, Some(("le", "+Inf".to_string()))),
+            h.count()
+        ));
+        self.out.push_str(&format!(
+            "{name}_sum{} {}\n",
+            label_block(labels, None),
+            number(h.sum() as f64)
+        ));
+        self.out.push_str(&format!(
+            "{name}_count{} {}\n",
+            label_block(labels, None),
+            h.count()
+        ));
+    }
+
     /// The rendered page.
     pub fn finish(self) -> String {
         self.out
@@ -176,6 +207,29 @@ mod tests {
                 && l.ends_with(" 2")
                 && l.contains("le=\"0.001")),
             "1ms bucket cumulative count: {page}"
+        );
+    }
+
+    #[test]
+    fn count_histogram_renders_unscaled() {
+        let h = Histogram::new();
+        h.record(2);
+        h.record(2);
+        h.record(5);
+        let mut w = MetricsWriter::new();
+        w.histogram_count("hin_batch_anchors", &[("dataset", "d")], &h.snapshot());
+        let page = w.finish();
+        assert!(page.contains("# TYPE hin_batch_anchors histogram"));
+        assert!(page.contains("hin_batch_anchors_count{dataset=\"d\"} 3\n"));
+        // sum = 9 anchors, unscaled (histogram_seconds would divide by 1e9)
+        assert!(page.contains("hin_batch_anchors_sum{dataset=\"d\"} 9\n"));
+        assert!(page.contains("le=\"+Inf\"} 3\n"), "total count: {page}");
+        assert!(
+            page.lines()
+                .any(|l| l.starts_with("hin_batch_anchors_bucket")
+                    && l.contains("le=\"2\"")
+                    && l.ends_with(" 2")),
+            "bucket bounds stay in native units: {page}"
         );
     }
 
