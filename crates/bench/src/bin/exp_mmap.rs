@@ -1,0 +1,229 @@
+//! Memory-mapped restore experiment: what does demand paging buy at the
+//! warm-start boundary?
+//!
+//! A donor engine runs the serving workload and checkpoints its cache to
+//! disk; then the same checkpoint is restored three ways — the v2 read
+//! path (one read + checksum + views), the mapped eager path (mmap +
+//! checksum, faulting every page up front), and the mapped lazy path
+//! (mmap + structural validation only, payload pages stay on disk until
+//! queried) — and each restore is timed to **first query answered**
+//! (TTFQ), best of several reps. The experiment also records the mapped
+//! gauge while views are resident, the heap-decode delta across the
+//! mapped restore (must be zero: views, not copies), and the RSS deltas
+//! of a read-restored vs a mapped-restored engine over the workload.
+//!
+//! Emits a single JSON object (also written to `BENCH_mmap.json` at the
+//! repo root) so the demand-paging trajectory is recorded from the first
+//! PR that maps snapshots.
+//!
+//! Run with: `cargo run --release -p hin-bench --bin exp_mmap`
+//! CI smoke: `cargo run --release -p hin-bench --bin exp_mmap -- --smoke`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hin_query::{CacheConfig, CacheSnapshot, ChecksumMode, Engine, ExecPolicy};
+use hin_synth::DblpConfig;
+
+/// Resident set size in kB from `/proc/self/status`, 0 where unavailable.
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmRSS:")
+                    .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse::<u64>().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Restore a snapshot through `restore_fn`, warm an engine with it, and
+/// answer the first workload query: `(restore_ms, ttfq_ms, engine)`.
+fn time_to_first_query(
+    hin: &Arc<hin_core::Hin>,
+    first_query: &str,
+    restore_fn: impl FnOnce() -> CacheSnapshot,
+) -> (f64, f64, Engine) {
+    let t0 = Instant::now();
+    let snap = restore_fn();
+    let engine = Engine::with_config(
+        Arc::clone(hin),
+        CacheConfig::default(),
+        ExecPolicy::default(),
+    );
+    let report = engine.restore(&snap);
+    assert_eq!(report.rejected, 0, "same dataset must restore fully");
+    let restore_ms = t0.elapsed().as_secs_f64() * 1e3;
+    engine.execute(first_query).expect("first query");
+    let ttfq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (restore_ms, ttfq_ms, engine)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_papers, anchors) = if smoke { (600, 8) } else { (2_500, 24) };
+    const REPS: usize = 7;
+
+    let data = DblpConfig {
+        n_areas: 4,
+        authors_per_area: 60,
+        n_papers,
+        noise: 0.05,
+        seed: 11,
+        ..Default::default()
+    }
+    .generate();
+    let hin = Arc::new(data.hin);
+    let queries = hin_bench::serve_workload(anchors);
+    let first_query = queries[0].as_str();
+
+    // ── donor: warm a cache, checkpoint it to disk ───────────────────────
+    let donor = Engine::with_config(
+        Arc::clone(&hin),
+        CacheConfig::default(),
+        ExecPolicy::eager(),
+    );
+    for q in &queries {
+        donor.execute(q).expect("donor workload query");
+    }
+    let snapshot = donor.snapshot(None);
+    assert!(!snapshot.is_empty(), "the workload must warm the cache");
+    let file = std::env::temp_dir().join(format!("exp_mmap_{}.hinsnap", std::process::id()));
+    snapshot.write_to_file(&file).expect("write checkpoint");
+    let file_bytes = std::fs::metadata(&file).expect("checkpoint file").len();
+
+    // ── TTFQ: read restore vs mapped restore, best of REPS ───────────────
+    let decodes_before = hin_linalg::arena::heap_decodes();
+    let maps_before = hin_linalg::arena::mapped_restores();
+    let mut read_restore_ms = f64::INFINITY;
+    let mut read_ttfq_ms = f64::INFINITY;
+    let mut eager_restore_ms = f64::INFINITY;
+    let mut eager_ttfq_ms = f64::INFINITY;
+    let mut lazy_restore_ms = f64::INFINITY;
+    let mut lazy_ttfq_ms = f64::INFINITY;
+    let mut mapped_bytes_live = 0u64;
+    for _ in 0..REPS {
+        let (r, t, _) = time_to_first_query(&hin, first_query, || {
+            CacheSnapshot::read_from_file(&file).expect("read restore")
+        });
+        read_restore_ms = read_restore_ms.min(r);
+        read_ttfq_ms = read_ttfq_ms.min(t);
+        let (r, t, _) = time_to_first_query(&hin, first_query, || {
+            CacheSnapshot::read_from_file_mapped(&file, ChecksumMode::Eager)
+                .expect("mapped eager restore")
+        });
+        eager_restore_ms = eager_restore_ms.min(r);
+        eager_ttfq_ms = eager_ttfq_ms.min(t);
+        let (r, t, engine) = time_to_first_query(&hin, first_query, || {
+            CacheSnapshot::read_from_file_mapped(&file, ChecksumMode::Lazy)
+                .expect("mapped lazy restore")
+        });
+        lazy_restore_ms = lazy_restore_ms.min(r);
+        lazy_ttfq_ms = lazy_ttfq_ms.min(t);
+        // gauge while the mapped engine still holds its views
+        mapped_bytes_live = mapped_bytes_live.max(hin_linalg::arena::arena_mapped_bytes());
+        drop(engine);
+    }
+    let heap_decode_delta = hin_linalg::arena::heap_decodes() - decodes_before;
+    let mapped_restore_count = hin_linalg::arena::mapped_restores() - maps_before;
+    let mapping_engaged = mapped_restore_count > 0;
+
+    // ── RSS while resident: read-restored vs mapped-restored workload ────
+    let rss_base = rss_kb();
+    let read_engine = {
+        let snap = CacheSnapshot::read_from_file(&file).expect("read restore");
+        let e = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::default(),
+        );
+        e.restore(&snap);
+        e
+    };
+    for q in &queries {
+        read_engine.execute(q).expect("read-engine query");
+    }
+    let rss_read_delta_kb = rss_kb().saturating_sub(rss_base);
+    let rss_mid = rss_kb();
+    let mapped_engine = {
+        let snap = CacheSnapshot::read_from_file_mapped(&file, ChecksumMode::Lazy)
+            .expect("mapped restore");
+        let e = Engine::with_config(
+            Arc::clone(&hin),
+            CacheConfig::default(),
+            ExecPolicy::default(),
+        );
+        e.restore(&snap);
+        e
+    };
+    for q in &queries {
+        mapped_engine.execute(q).expect("mapped-engine query");
+    }
+    let rss_mapped_delta_kb = rss_kb().saturating_sub(rss_mid);
+
+    // ── parity: mapped engine answers the workload byte-identically ──────
+    let mut mismatches = 0usize;
+    for q in &queries {
+        if mapped_engine.execute(q) != read_engine.execute(q) {
+            mismatches += 1;
+        }
+    }
+    drop(mapped_engine);
+    drop(read_engine);
+    let _ = std::fs::remove_file(&file);
+
+    let mut report = hin_bench::JsonReport::new();
+    report.set("smoke", smoke);
+    report.stamp_env(None);
+    report.set("workload_queries", queries.len());
+    report.set("result_mismatches", mismatches);
+    report.set("snapshot_entries", snapshot.len());
+    report.set("snapshot_bytes", snapshot.bytes());
+    report.set("snapshot_file_bytes", file_bytes);
+    report.set("mapping_engaged", mapping_engaged);
+    report.set("mapped_restores", mapped_restore_count);
+    report.set("mapped_bytes", mapped_bytes_live);
+    report.set("heap_decode_delta", heap_decode_delta);
+    report.set("read_restore_ms", format!("{read_restore_ms:.3}"));
+    report.set("read_ttfq_ms", format!("{read_ttfq_ms:.3}"));
+    report.set("mapped_eager_restore_ms", format!("{eager_restore_ms:.3}"));
+    report.set("mapped_eager_ttfq_ms", format!("{eager_ttfq_ms:.3}"));
+    report.set("mapped_lazy_restore_ms", format!("{lazy_restore_ms:.3}"));
+    report.set("mapped_lazy_ttfq_ms", format!("{lazy_ttfq_ms:.3}"));
+    report.set(
+        "ttfq_speedup",
+        format!("{:.2}", read_ttfq_ms / lazy_ttfq_ms.max(1e-9)),
+    );
+    report.set("rss_read_delta_kb", rss_read_delta_kb);
+    report.set("rss_mapped_delta_kb", rss_mapped_delta_kb);
+    report.print_and_write("BENCH_mmap.json");
+
+    // ── acceptance gates ─────────────────────────────────────────────────
+    assert_eq!(
+        mismatches, 0,
+        "mapped-restored results must be byte-identical to read-restored ones"
+    );
+    // The mapped gates hold wherever the mapping engages (64-bit unix,
+    // zero-copy layout); elsewhere the entry point falls back to the read
+    // path by design and there is nothing mapped to gate.
+    if mapping_engaged && hin_linalg::arena::ZERO_COPY {
+        assert!(
+            mapped_bytes_live > 0,
+            "the mapped gauge must see the resident arena"
+        );
+        assert_eq!(
+            heap_decode_delta, 0,
+            "a mapped restore decodes no matrix onto the heap"
+        );
+        // the tentpole gate: lazy mapped restore reaches first answer no
+        // slower than the read restore (it skips the full-file read and
+        // the whole-file checksum; the small epsilon absorbs sub-ms timer
+        // jitter on loaded runners)
+        assert!(
+            lazy_ttfq_ms <= read_ttfq_ms + 0.05,
+            "mapped TTFQ must not lose to the read restore \
+             (mapped {lazy_ttfq_ms:.3} ms vs read {read_ttfq_ms:.3} ms)"
+        );
+    }
+}

@@ -21,15 +21,34 @@
 //! transparently falls back to decoding an owned copy — same matrices,
 //! same API, just without the sharing.
 //!
+//! # Heap vs mapped backing
+//!
+//! An [`ArenaBuf`] owns its bytes one of two ways: a **heap** allocation
+//! (`Box<[u64]>`, filled by a read) or a **memory-mapped file region**
+//! ([`ArenaBuf::map_file`], direct `mmap` against the platform libc on
+//! 64-bit unix). Both satisfy the same contracts — 8-byte-aligned base
+//! (`mmap` returns page-aligned addresses), identical
+//! [`ArenaBuf::as_bytes`] / [`ArenaBuf::as_words`] access — so everything
+//! downstream of the `Arc<ArenaBuf>` seam ([`Csr::from_arena`], the v2
+//! snapshot parser) is backing-oblivious. A mapped arena is read-only and
+//! **demand-paged**: no byte of the file is copied or even faulted in
+//! until a kernel actually dereferences it, which is what lets a restored
+//! snapshot exceed physical RAM — the kernel pages matrix data in and out
+//! as queries touch it. The region is unmapped when the last view into it
+//! drops.
+//!
 //! # Storage stats
 //!
 //! Process-wide counters record how matrices were materialized from
 //! persistence: [`view_restores`] (zero-copy views handed out),
 //! [`heap_decodes`] (owned decodes, i.e. the v1 compat path or a
-//! non-[`ZERO_COPY`] host), and the live gauge [`arena_bytes`] (bytes of
-//! arena buffers currently resident — decremented when the last view into
-//! a buffer drops). They are global: tests assert deltas, never absolute
-//! values, and the serving layer exposes them as metrics.
+//! non-[`ZERO_COPY`] host), [`mapped_restores`] (files mapped via
+//! [`ArenaBuf::map_file`]), and the live gauges [`arena_bytes`]
+//! (heap-backed arena bytes resident) and [`arena_mapped_bytes`] (bytes of
+//! file-backed mappings live — address-space reservation, *not* resident
+//! heap) — each decremented when the last view into a buffer drops. They
+//! are global: tests assert deltas, never absolute values, and the serving
+//! layer exposes them as metrics.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,14 +61,26 @@ use crate::csr::Csr;
 /// When `false`, [`Csr::from_arena`] decodes owned copies instead.
 pub const ZERO_COPY: bool = cfg!(all(target_endian = "little", target_pointer_width = "64"));
 
-static ARENA_BYTES: AtomicU64 = AtomicU64::new(0);
+static ARENA_HEAP_BYTES: AtomicU64 = AtomicU64::new(0);
+static ARENA_MAPPED_BYTES: AtomicU64 = AtomicU64::new(0);
 static VIEW_RESTORES: AtomicU64 = AtomicU64::new(0);
 static HEAP_DECODES: AtomicU64 = AtomicU64::new(0);
+static MAPPED_RESTORES: AtomicU64 = AtomicU64::new(0);
 
-/// Live gauge: bytes of [`ArenaBuf`] allocations currently resident in
-/// this process (snapshot arenas kept alive by the views into them).
+/// Live gauge: bytes of **heap-backed** [`ArenaBuf`] allocations currently
+/// resident in this process (snapshot arenas kept alive by the views into
+/// them). Memory-mapped arenas are deliberately *not* counted here — a
+/// mapping reserves address space, not heap; see [`arena_mapped_bytes`].
 pub fn arena_bytes() -> u64 {
-    ARENA_BYTES.load(Ordering::Relaxed)
+    ARENA_HEAP_BYTES.load(Ordering::Relaxed)
+}
+
+/// Live gauge: bytes of file-backed [`ArenaBuf`] mappings currently live
+/// ([`ArenaBuf::map_file`]). This is mapped length — the address-space
+/// reservation — not resident set size: the kernel pages the file in and
+/// out on demand, so actual memory use can be far smaller.
+pub fn arena_mapped_bytes() -> u64 {
+    ARENA_MAPPED_BYTES.load(Ordering::Relaxed)
 }
 
 /// Cumulative count of matrices restored as zero-copy arena views.
@@ -64,45 +95,197 @@ pub fn heap_decodes() -> u64 {
     HEAP_DECODES.load(Ordering::Relaxed)
 }
 
+/// Cumulative count of snapshot files successfully memory-mapped
+/// ([`ArenaBuf::map_file`]).
+pub fn mapped_restores() -> u64 {
+    MAPPED_RESTORES.load(Ordering::Relaxed)
+}
+
 pub(crate) fn note_heap_decode() {
     HEAP_DECODES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Minimal `mmap`/`munmap` FFI against the platform libc — no crates.io
+/// dependency. Gated to 64-bit unix: the constants below are shared by
+/// Linux, macOS and the BSDs, and a 64-bit `usize` matches `size_t` while
+/// `i64` matches `off_t` (32-bit targets may use a 32-bit `off_t`, so they
+/// take the portable read path instead).
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::c_void;
+
+    /// Pages are readable.
+    pub const PROT_READ: i32 = 1;
+    /// Private copy-on-write mapping (never written: the arena is
+    /// immutable, so no page is ever actually copied).
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// `MAP_FAILED`: `(void*)-1`.
+    pub fn failed(ptr: *mut c_void) -> bool {
+        ptr as isize == -1
+    }
+}
+
+/// A live read-only file mapping: base pointer plus the exact length
+/// passed to `mmap` (what `munmap` must be given back).
+#[cfg(all(unix, target_pointer_width = "64"))]
+struct MappedRegion {
+    ptr: *const u8,
+    map_len: usize,
+}
+
+// Sound: the region is immutable for its whole lifetime (PROT_READ, never
+// handed out mutably), so shared access from any thread only ever reads.
+#[cfg(all(unix, target_pointer_width = "64"))]
+unsafe impl Send for MappedRegion {}
+#[cfg(all(unix, target_pointer_width = "64"))]
+unsafe impl Sync for MappedRegion {}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+impl Drop for MappedRegion {
+    fn drop(&mut self) {
+        // A failing munmap leaks address space but cannot corrupt memory;
+        // there is no good recovery, so ignore the result.
+        unsafe {
+            sys::munmap(self.ptr as *mut std::ffi::c_void, self.map_len);
+        }
+        ARENA_MAPPED_BYTES.fetch_sub(self.map_len as u64, Ordering::Relaxed);
+    }
+}
+
+/// How an [`ArenaBuf`]'s bytes are owned.
+enum Backing {
+    /// An owned `u64` allocation (always 8-byte aligned), filled by a read.
+    Heap(Box<[u64]>),
+    /// A read-only file mapping (page-aligned base), paged on demand.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped(MappedRegion),
 }
 
 /// An 8-byte-aligned, immutable-once-built byte buffer shared by every
 /// view restored from one snapshot.
 ///
-/// Backed by a `u64` allocation so the base address is always 8-byte
+/// Heap-backed by a `u64` allocation (so the base address is always 8-byte
 /// aligned regardless of the allocator's mood — the property that makes
 /// reinterpreting aligned offsets as `&[f64]` / `&[u32]` / `&[usize]`
-/// sound. Construction and drop maintain the [`arena_bytes`] gauge.
+/// sound), or file-backed by a read-only `mmap` region
+/// ([`ArenaBuf::map_file`], page-aligned and therefore more than 8-byte
+/// aligned). Construction and drop maintain the [`arena_bytes`] /
+/// [`arena_mapped_bytes`] gauges for their respective backings.
 pub struct ArenaBuf {
-    words: Box<[u64]>,
-    /// Valid byte length (≤ `words.len() * 8`).
+    backing: Backing,
+    /// Valid byte length (≤ the backing's capacity).
     len: usize,
 }
 
 impl std::fmt::Debug for ArenaBuf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ArenaBuf").field("len", &self.len).finish()
+        f.debug_struct("ArenaBuf")
+            .field("len", &self.len)
+            .field("mapped", &self.is_mapped())
+            .finish()
     }
 }
 
 impl ArenaBuf {
-    /// A zeroed buffer of exactly `len` bytes, ready to be filled through
-    /// [`ArenaBuf::as_mut_bytes`] (e.g. one `read_exact` of a whole
-    /// snapshot file). `len` must come from a trusted source such as file
-    /// metadata — this allocates eagerly.
+    /// A zeroed heap buffer of exactly `len` bytes, ready to be filled
+    /// through [`ArenaBuf::as_mut_bytes`] (e.g. one `read_exact` of a
+    /// whole snapshot file). `len` must come from a trusted source such as
+    /// file metadata — this allocates eagerly.
     pub fn with_len(len: usize) -> ArenaBuf {
         let words = vec![0u64; len.div_ceil(8)].into_boxed_slice();
-        ARENA_BYTES.fetch_add(len as u64, Ordering::Relaxed);
-        ArenaBuf { words, len }
+        ARENA_HEAP_BYTES.fetch_add(len as u64, Ordering::Relaxed);
+        ArenaBuf {
+            backing: Backing::Heap(words),
+            len,
+        }
     }
 
-    /// Copy `bytes` into a fresh aligned buffer (one `memcpy`).
+    /// Copy `bytes` into a fresh aligned heap buffer (one `memcpy`).
     pub fn from_bytes(bytes: &[u8]) -> ArenaBuf {
         let mut buf = ArenaBuf::with_len(bytes.len());
         buf.as_mut_bytes().copy_from_slice(bytes);
         buf
+    }
+
+    /// Memory-map `file` read-only as an arena buffer — the
+    /// larger-than-RAM restore path. Nothing is read eagerly: pages fault
+    /// in as views dereference them and the kernel evicts them under
+    /// memory pressure, so the working set, not the file size, bounds
+    /// resident memory. The mapping is released when the buffer (and every
+    /// view holding its `Arc`) drops.
+    ///
+    /// Returns `Err` on non-64-bit-unix targets, for empty files (`mmap`
+    /// rejects zero-length maps), and whenever the map call itself fails —
+    /// callers fall back to the read path ([`ArenaBuf::with_len`] +
+    /// `read_exact`), which yields bit-identical bytes.
+    ///
+    /// The file must not be truncated while mapped (accessing pages past a
+    /// shrunken end raises `SIGBUS`) — the same trusted-source contract
+    /// `with_len` places on its length argument. Checkpoint files are
+    /// written to a temp sibling and atomically renamed, so a live
+    /// snapshot file is never rewritten in place.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    pub fn map_file(file: &std::fs::File) -> std::io::Result<ArenaBuf> {
+        use std::os::unix::io::AsRawFd;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| std::io::Error::other("file length exceeds usize"))?;
+        if len == 0 {
+            return Err(std::io::Error::other("cannot map an empty file"));
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if sys::failed(ptr) {
+            return Err(std::io::Error::last_os_error());
+        }
+        ARENA_MAPPED_BYTES.fetch_add(len as u64, Ordering::Relaxed);
+        MAPPED_RESTORES.fetch_add(1, Ordering::Relaxed);
+        Ok(ArenaBuf {
+            backing: Backing::Mapped(MappedRegion {
+                ptr: ptr as *const u8,
+                map_len: len,
+            }),
+            len,
+        })
+    }
+
+    /// [`ArenaBuf::map_file`] on targets without the mmap FFI: always
+    /// `Err`, so callers uniformly fall back to the read path.
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    pub fn map_file(_file: &std::fs::File) -> std::io::Result<ArenaBuf> {
+        Err(std::io::Error::other(
+            "memory-mapped arenas require a 64-bit unix target",
+        ))
+    }
+
+    /// `true` when the buffer is a demand-paged file mapping rather than a
+    /// heap allocation.
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            Backing::Heap(_) => false,
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped(_) => true,
+        }
     }
 
     /// Valid bytes.
@@ -115,28 +298,53 @@ impl ArenaBuf {
         self.len == 0
     }
 
-    /// The buffer's bytes (8-byte-aligned base).
+    fn base(&self) -> *const u8 {
+        match &self.backing {
+            Backing::Heap(words) => words.as_ptr() as *const u8,
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped(region) => region.ptr,
+        }
+    }
+
+    /// The buffer's bytes (8-byte-aligned base on either backing).
     pub fn as_bytes(&self) -> &[u8] {
-        // Sound: u64 → u8 loosens alignment, every byte is initialized.
-        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+        // Sound: heap words loosen u64 → u8 alignment with every byte
+        // initialized; a mapped region is PROT_READ file contents for the
+        // lifetime of `self`.
+        unsafe { std::slice::from_raw_parts(self.base(), self.len) }
     }
 
     /// Mutable access for filling the buffer after [`ArenaBuf::with_len`].
+    ///
+    /// # Panics
+    /// Panics on a mapped buffer — file mappings are read-only; fill a
+    /// heap buffer instead.
     pub fn as_mut_bytes(&mut self) -> &mut [u8] {
-        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr() as *mut u8, self.len) }
+        match &mut self.backing {
+            Backing::Heap(words) => unsafe {
+                std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, self.len)
+            },
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped(_) => panic!("ArenaBuf::as_mut_bytes: mapped arenas are read-only"),
+        }
     }
 
     /// The buffer as little-endian `u64` words — the unit the arena
     /// checksum is computed over. Trailing bytes past the last full word
     /// (never present in a well-formed arena file) are ignored.
     pub fn as_words(&self) -> &[u64] {
-        &self.words[..self.len / 8]
+        // Sound: both backings guarantee an 8-byte-aligned base, and only
+        // whole words within `len` are exposed.
+        unsafe { std::slice::from_raw_parts(self.base() as *const u64, self.len / 8) }
     }
 }
 
 impl Drop for ArenaBuf {
     fn drop(&mut self) {
-        ARENA_BYTES.fetch_sub(self.len as u64, Ordering::Relaxed);
+        // Mapped regions decrement their own gauge in MappedRegion::drop.
+        if let Backing::Heap(_) = &self.backing {
+            ARENA_HEAP_BYTES.fetch_sub(self.len as u64, Ordering::Relaxed);
+        }
     }
 }
 
@@ -459,6 +667,72 @@ mod tests {
         // the arena itself is untouched
         let again = Csr::from_arena(&buf, entry).expect("valid");
         assert_eq!(again.get(2, 1), 4.0);
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[test]
+    fn mapped_arena_views_match_heap_views_and_split_the_gauges() {
+        let m = sample();
+        let (heap, entry) = arena_of(&m);
+        let path = std::env::temp_dir().join(format!(
+            "hin-arena-map-{}-{}.bin",
+            std::process::id(),
+            heap.len()
+        ));
+        std::fs::write(&path, heap.as_bytes()).unwrap();
+
+        let heap_before = arena_bytes();
+        let mapped_before = arena_mapped_bytes();
+        let restores_before = mapped_restores();
+        let file = std::fs::File::open(&path).unwrap();
+        let mapped = Arc::new(ArenaBuf::map_file(&file).expect("map"));
+        assert!(mapped.is_mapped());
+        assert!(!heap.is_mapped());
+        assert_eq!(mapped.as_bytes(), heap.as_bytes(), "same bytes either way");
+        assert_eq!(mapped.as_words(), heap.as_words());
+        assert_eq!(
+            arena_bytes(),
+            heap_before,
+            "mapping must not count as heap arena bytes"
+        );
+        assert!(arena_mapped_bytes() >= mapped_before + mapped.len() as u64);
+        assert!(mapped_restores() > restores_before);
+
+        let v = Csr::from_arena(&mapped, entry).expect("valid mapped entry");
+        assert_eq!(v, m, "mapped views equal owned matrices by content");
+        if ZERO_COPY {
+            assert!(v.is_view());
+        }
+        // the view keeps the mapping alive past the Arc
+        drop(mapped);
+        assert_eq!(v.get(2, 1), 4.0);
+        drop(v);
+        assert!(
+            arena_mapped_bytes() <= mapped_before + heap.len() as u64,
+            "dropping the last view unmaps the region"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapping_an_empty_file_fails_cleanly() {
+        let path = std::env::temp_dir().join(format!("hin-arena-empty-{}.bin", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        assert!(ArenaBuf::map_file(&file).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn mutating_a_mapped_arena_panics() {
+        let path = std::env::temp_dir().join(format!("hin-arena-ro-{}.bin", std::process::id()));
+        std::fs::write(&path, [0u8; 16]).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let mut mapped = ArenaBuf::map_file(&file).expect("map");
+        std::fs::remove_file(&path).ok();
+        let _ = mapped.as_mut_bytes();
     }
 
     #[test]

@@ -129,6 +129,42 @@ impl SparseBlock {
     pub fn into_rows(self) -> Vec<SparseVec> {
         (0..self.k()).map(|i| self.row_vec(i)).collect()
     }
+
+    /// Copy rows `range` out as a standalone block — the unit a parallel
+    /// worker propagates independently.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds `k()`.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> SparseBlock {
+        let (lo, hi) = (self.indptr[range.start], self.indptr[range.end]);
+        SparseBlock {
+            dim: self.dim,
+            indptr: self.indptr[range.start..=range.end]
+                .iter()
+                .map(|&p| p - lo)
+                .collect(),
+            indices: self.indices[lo..hi].to_vec(),
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
+    /// Append every row of `other` after this block's rows — how parallel
+    /// workers' partial blocks stitch back together in row order.
+    ///
+    /// # Panics
+    /// Panics when the dimensions disagree.
+    pub fn append(&mut self, other: &SparseBlock) {
+        assert_eq!(
+            other.dim, self.dim,
+            "SparseBlock::append: block dim {} vs {}",
+            other.dim, self.dim
+        );
+        let base = self.indices.len();
+        self.indices.extend_from_slice(&other.indices);
+        self.values.extend_from_slice(&other.values);
+        self.indptr
+            .extend(other.indptr[1..].iter().map(|&p| p + base));
+    }
 }
 
 /// One link of a block propagation: every row of `block` through `m`, in
@@ -216,6 +252,47 @@ pub fn spmm_block_chain_with(
         cur = Some(next);
     }
     cur.unwrap_or_else(|| block.clone())
+}
+
+/// [`spmm_block_chain`] with the anchor rows partitioned across
+/// `config.threads()` workers via [`crate::pool`]. Rows of the block are
+/// independent, so each worker runs the exact serial chain over its slice
+/// and the partial blocks stitch back in row order — bit-identical to the
+/// serial chain by construction. Partitioning is flop-balanced on the first
+/// link (hub anchors don't pile onto one worker), and the work-stealing
+/// dispatch applies when [`crate::pool::work_stealing`] is on.
+///
+/// # Panics
+/// Panics on a dimension mismatch at any link.
+pub fn spmm_block_chain_parallel(
+    block: &SparseBlock,
+    mats: &[&Csr],
+    config: crate::pool::ParallelConfig,
+) -> SparseBlock {
+    let threads = config.threads().min(block.k()).max(1);
+    if threads == 1 || mats.is_empty() {
+        return spmm_block_chain(block, mats);
+    }
+    let first = mats[0];
+    let weight = |r: usize| {
+        let (idx, _) = block.row(r);
+        idx.iter()
+            .map(|&k| first.row_nnz(k as usize))
+            .sum::<usize>()
+    };
+    let ranges = crate::pool::partition_blocks(block.k(), threads, weight);
+    crate::counters::with(|c| {
+        c.row_blocks
+            .fetch_add(ranges.len() as u64, std::sync::atomic::Ordering::Relaxed);
+    });
+    let parts = crate::pool::run_partitioned(ranges, threads, |range| {
+        spmm_block_chain(&block.slice_rows(range), mats)
+    });
+    let mut out = SparseBlock::empty(mats.last().map(|m| m.ncols()).unwrap_or(block.dim()));
+    for part in &parts {
+        out.append(part);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -321,6 +398,69 @@ mod tests {
                 .all(|(g, w)| g.to_bits() == w.to_bits());
             assert!(same_bits, "anchor {x} values");
         }
+    }
+
+    #[test]
+    fn slice_and_append_round_trip() {
+        let rows = vec![
+            SparseVec::new(5, vec![0, 3], vec![1.0, -2.0]),
+            SparseVec::zeros(5),
+            SparseVec::new(5, vec![2], vec![7.0]),
+            SparseVec::new(5, vec![1, 4], vec![0.5, 9.0]),
+        ];
+        let block = SparseBlock::from_rows(&rows);
+        let head = block.slice_rows(0..2);
+        let tail = block.slice_rows(2..4);
+        assert_eq!(head.k(), 2);
+        assert_eq!(head.row_vec(0), rows[0]);
+        assert_eq!(tail.row_vec(1), rows[3]);
+        let mut stitched = SparseBlock::empty(5);
+        stitched.append(&head);
+        stitched.append(&tail);
+        assert_eq!(stitched, block);
+        // empty slices append as no-ops
+        stitched.append(&block.slice_rows(1..1));
+        assert_eq!(stitched, block);
+    }
+
+    #[test]
+    #[should_panic(expected = "block dim")]
+    fn appending_a_mismatched_dim_panics() {
+        let mut block = SparseBlock::empty(4);
+        block.append(&SparseBlock::empty(5));
+    }
+
+    #[test]
+    fn parallel_chain_is_bit_identical_to_serial() {
+        let (a, b, c) = chain3();
+        let anchors = [3usize, 0, 2, 1, 3, 0];
+        let block = SparseBlock::from_units(4, &anchors);
+        let want = spmm_block_chain(&block, &[&a, &b, &c]);
+        for threads in [1, 2, 4, 16] {
+            let got = spmm_block_chain_parallel(
+                &block,
+                &[&a, &b, &c],
+                crate::pool::ParallelConfig::with_threads(threads),
+            );
+            assert_eq!(got.indptr, want.indptr, "threads={threads}");
+            assert_eq!(got.indices, want.indices, "threads={threads}");
+            let same_bits = got
+                .values
+                .iter()
+                .zip(&want.values)
+                .all(|(g, w)| g.to_bits() == w.to_bits());
+            assert!(same_bits, "threads={threads}");
+        }
+        // degenerate shapes route through the serial path
+        let empty = SparseBlock::empty(4);
+        assert_eq!(
+            spmm_block_chain_parallel(&empty, &[&a], crate::pool::ParallelConfig::with_threads(4)),
+            spmm_block_chain(&empty, &[&a])
+        );
+        assert_eq!(
+            spmm_block_chain_parallel(&block, &[], crate::pool::ParallelConfig::with_threads(4)),
+            block
+        );
     }
 
     #[test]

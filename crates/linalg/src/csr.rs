@@ -560,7 +560,7 @@ impl Csr {
                 .map(|&k| rhs.row_nnz(k as usize))
                 .sum()
         };
-        let blocks = crate::pool::row_blocks(self.nrows, threads, row_flops);
+        let blocks = crate::pool::partition_blocks(self.nrows, threads, row_flops);
         let total_flops: f64 = (0..self.nrows).map(|r| row_flops(r) as f64).sum();
         crate::counters::with(|c| {
             use std::sync::atomic::Ordering::Relaxed;
@@ -569,7 +569,7 @@ impl Csr {
             c.row_blocks.fetch_add(blocks.len() as u64, Relaxed);
         });
         let per_block_hint = total_flops / blocks.len().max(1) as f64;
-        let parts = crate::pool::run_blocks(blocks, |block| {
+        let parts = crate::pool::run_partitioned(blocks, threads, |block| {
             self.spgemm_rows(rhs, block, per_block_hint, &mut ScatterScratch::new())
         });
         // Stitch: concatenate per-block arrays in row order, rebasing each

@@ -53,7 +53,10 @@ pub mod spvec;
 pub mod vector;
 
 pub use arena::{ArenaBuf, ArenaEntry};
-pub use block::{spmm_block_chain, spmm_block_chain_with, spmm_block_with, SparseBlock};
+pub use block::{
+    spmm_block_chain, spmm_block_chain_parallel, spmm_block_chain_with, spmm_block_with,
+    SparseBlock,
+};
 pub use chain::{
     spmm_chain, spmm_chain_order, spmm_chain_order_priced, spmm_chain_parallel,
     spmm_flops_estimate, spmm_nnz_estimate, ChainPlan, MatSummary, PlanTree,
@@ -61,7 +64,10 @@ pub use chain::{
 pub use counters::{KernelCounters, KernelCountersSnapshot};
 pub use csr::{Csr, ScatterScratch};
 pub use dense::DMat;
-pub use pool::{kernel_threads, set_kernel_threads, ParallelConfig};
+pub use pool::{
+    clear_work_stealing, kernel_threads, set_kernel_threads, set_work_stealing, work_stealing,
+    ParallelConfig,
+};
 pub use spvec::{
     spvm, spvm_chain, spvm_chain_flops_estimate, spvm_chain_with, spvm_flops_estimate, spvm_with,
     SparseVec, SpvmChainEstimate,

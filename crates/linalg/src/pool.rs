@@ -26,13 +26,25 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Environment variable overriding the default kernel worker count.
 pub const KERNEL_THREADS_ENV: &str = "HIN_KERNEL_THREADS";
 
+/// Environment variable enabling work-stealing block dispatch (`1`/`true`).
+pub const KERNEL_STEAL_ENV: &str = "HIN_KERNEL_STEAL";
+
+/// When stealing, partition into `threads * STEAL_CHUNK_FACTOR` blocks so
+/// the atomic cursor has enough granularity to rebalance a skewed tail.
+pub const STEAL_CHUNK_FACTOR: usize = 4;
+
 /// Process-wide explicit worker count; `0` = unset (fall through to the
 /// environment / hardware default).
 static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide work-stealing override; `0` = unset (environment default),
+/// `1` = forced on, `2` = forced off.
+static WORK_STEALING: AtomicUsize = AtomicUsize::new(0);
 
 /// Worker-count configuration for the parallel kernels.
 ///
@@ -102,6 +114,34 @@ pub fn kernel_threads() -> usize {
     }
 }
 
+/// Force work-stealing dispatch on or off process-wide (overrides the
+/// `HIN_KERNEL_STEAL` environment variable).
+pub fn set_work_stealing(enabled: bool) {
+    WORK_STEALING.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Clear the explicit override, falling back to the environment default.
+pub fn clear_work_stealing() {
+    WORK_STEALING.store(0, Ordering::Relaxed);
+}
+
+/// Whether the parallel kernels dispatch blocks through the work-stealing
+/// cursor ([`run_blocks_stealing`]) instead of one static block per worker.
+/// Off by default: explicit [`set_work_stealing`] > `HIN_KERNEL_STEAL`
+/// (`1`/`true`) > off.
+pub fn work_stealing() -> bool {
+    match WORK_STEALING.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => std::env::var(KERNEL_STEAL_ENV)
+            .map(|v| {
+                let v = v.trim();
+                v == "1" || v.eq_ignore_ascii_case("true")
+            })
+            .unwrap_or(false),
+    }
+}
+
 /// Partition `0..nrows` into at most `threads` contiguous blocks balanced
 /// by `row_weight` (typically per-row multiply-add counts, so nnz-heavy
 /// rows don't pile onto one worker). Blocks are non-empty and cover the
@@ -166,6 +206,74 @@ pub fn run_blocks<T: Send>(
         .collect()
 }
 
+/// Partition `0..nrows` for the active dispatch strategy: one block per
+/// worker for static dispatch, `threads * STEAL_CHUNK_FACTOR` finer blocks
+/// when [`work_stealing`] is on (so the cursor can rebalance skewed rows).
+pub fn partition_blocks(
+    nrows: usize,
+    threads: usize,
+    row_weight: impl FnMut(usize) -> usize,
+) -> Vec<Range<usize>> {
+    let target = if work_stealing() {
+        threads.max(1).saturating_mul(STEAL_CHUNK_FACTOR)
+    } else {
+        threads
+    };
+    row_blocks(nrows, target, row_weight)
+}
+
+/// Run `work` over the blocks with at most `threads` workers pulling from a
+/// shared atomic cursor — late workers steal whatever blocks remain, so one
+/// hub-heavy block can't serialize the whole pass behind a single worker.
+/// Results come back in block order; stitched output is byte-for-byte the
+/// same as [`run_blocks`] over the same partition.
+pub fn run_blocks_stealing<T: Send>(
+    blocks: Vec<Range<usize>>,
+    threads: usize,
+    work: impl Fn(Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    let threads = threads.max(1).min(blocks.len());
+    if blocks.len() <= 1 || threads == 1 {
+        return blocks.into_iter().map(work).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = blocks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let (cursor, slots, blocks, work) = (&cursor, &slots, &blocks, &work);
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(block) = blocks.get(i) else { break };
+                let result = work(block.clone());
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("stealing worker filled its slot")
+        })
+        .collect()
+}
+
+/// Dispatch the blocks through the strategy [`work_stealing`] selects:
+/// the atomic-cursor pool when stealing is on, one scoped thread per block
+/// otherwise. Either way results return in block order.
+pub fn run_partitioned<T: Send>(
+    blocks: Vec<Range<usize>>,
+    threads: usize,
+    work: impl Fn(Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    if work_stealing() {
+        run_blocks_stealing(blocks, threads, work)
+    } else {
+        run_blocks(blocks, work)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +320,41 @@ mod tests {
         let blocks = row_blocks(3, 8, |_| 1);
         assert!(blocks.len() <= 3);
         assert_eq!(blocks.last().unwrap().end, 3);
+    }
+
+    #[test]
+    fn stealing_dispatch_matches_static_dispatch_in_order() {
+        let blocks = row_blocks(97, 4, |r| if r < 3 { 50 } else { 1 });
+        let want = run_blocks(blocks.clone(), |b| (b.start, b.end));
+        for threads in [1, 2, 4, 9] {
+            let got = run_blocks_stealing(blocks.clone(), threads, |b| (b.start, b.end));
+            assert_eq!(got, want, "threads={threads}");
+        }
+        assert!(run_blocks_stealing(Vec::new(), 4, |b| b.start).is_empty());
+        #[allow(clippy::single_range_in_vec_init)]
+        let one = vec![2..5];
+        assert_eq!(run_blocks_stealing(one, 4, |b| b.len()), vec![3]);
+    }
+
+    #[test]
+    fn stealing_toggle_resolves_and_refines_partitions() {
+        // default off (no env var in the test environment)
+        clear_work_stealing();
+        assert!(!work_stealing());
+        set_work_stealing(true);
+        assert!(work_stealing());
+        let fine = partition_blocks(256, 2, |_| 1);
+        assert!(
+            fine.len() > 2 && fine.len() <= 2 * STEAL_CHUNK_FACTOR,
+            "stealing partitions are finer than one-per-worker: {}",
+            fine.len()
+        );
+        let got = run_partitioned(fine.clone(), 2, |b| b.start);
+        assert_eq!(got, fine.iter().map(|b| b.start).collect::<Vec<_>>());
+        set_work_stealing(false);
+        assert!(!work_stealing());
+        assert!(partition_blocks(256, 2, |_| 1).len() <= 2);
+        clear_work_stealing();
     }
 
     #[test]

@@ -8,9 +8,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use hin_core::{Hin, NodeRef, TypeId};
-use hin_linalg::{
-    spmm_block_chain_with, spvm_chain_with, spvm_with, Csr, ScatterScratch, SparseBlock, SparseVec,
-};
+use hin_linalg::{spvm_chain_with, spvm_with, Csr, ScatterScratch, SparseBlock, SparseVec};
 use hin_similarity::{top_k_pathsim, MetaPath, PathStep};
 
 use crate::cache::{key_of, reversed_key, CacheConfig, CacheOutcome, MatrixCache, PathKey};
@@ -582,7 +580,14 @@ impl Engine {
                     .collect();
                 let seed_rows: Vec<SparseVec> = anchors.iter().map(|&x| seed.row(x)).collect();
                 let block = SparseBlock::from_rows(&seed_rows);
-                let rows = spmm_block_chain_with(&block, &rest, &mut scratch).into_rows();
+                // anchor rows are independent: fan the block across the
+                // kernel worker pool (bit-identical to the serial chain)
+                let rows = hin_linalg::spmm_block_chain_parallel(
+                    &block,
+                    &rest,
+                    hin_linalg::ParallelConfig::default(),
+                )
+                .into_rows();
                 let prop_ns = elapsed_ns(t0) / k as u64;
                 for (((i, resolved), x), row) in riders.iter().zip(anchors).zip(rows) {
                     let t1 = Instant::now();

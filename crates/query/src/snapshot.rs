@@ -36,8 +36,12 @@
 //! in front of a single 8-byte-aligned data heap. The whole file is read
 //! into one aligned [`hin_linalg::ArenaBuf`] and every matrix is handed
 //! out as a [`Csr`] *view* into that shared buffer
-//! ([`hin_linalg::Csr::from_arena`]) — mmap-ready by construction, since
-//! nothing in the image is rewritten at load time.
+//! ([`hin_linalg::Csr::from_arena`]) — and because nothing in the image is
+//! rewritten at load time, the same parse runs unchanged over a
+//! **memory-mapped** region: [`CacheSnapshot::read_from_file_mapped`]
+//! swaps the read for an `mmap`, so restored matrices are demand-paged
+//! views into the kernel page cache and datasets larger than RAM open in
+//! O(metadata) (with [`ChecksumMode::Lazy`]).
 //!
 //! ```text
 //! superheader  64 bytes, 8-byte fields LE unless noted:
@@ -121,6 +125,33 @@ const READ_CHUNK: usize = 64 * 1024;
 /// Longest admissible key, in steps. Real meta-paths are a handful of
 /// steps; the cap keeps a hostile `key_len` from driving allocation.
 const MAX_KEY_STEPS: u32 = 4096;
+
+/// How a restore verifies the v2 container's trailing word-checksum seal.
+///
+/// The seal covers every word of the file, so verifying it requires
+/// reading — and, on the mapped path, **faulting in** — every page. For a
+/// read-based restore that is free (the bytes were just read anyway); for
+/// a memory-mapped restore it defeats demand paging, so the mapped entry
+/// point makes the trade explicit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChecksumMode {
+    /// Verify the whole-file seal before mounting anything: every
+    /// corruption mode — including a flipped bit inside matrix values —
+    /// is caught up front. Touches every page of the file.
+    #[default]
+    Eager,
+    /// Skip the whole-file seal. Structural validation still runs in full
+    /// — header layout, key and directory tiling, per-entry bounds,
+    /// alignment and CSR invariants ([`Csr::from_arena`]) — so corruption
+    /// anywhere in the metadata, `indptr` or `indices` arrays is still a
+    /// typed error and a mounted matrix can never be indexed out of
+    /// bounds. What lazy mode gives up is *value* integrity: a flipped bit
+    /// inside an `f64` payload word is structurally invisible and served
+    /// as-is. Only the metadata and index pages fault in at open;
+    /// data pages stay on disk until a query touches them — the mode that
+    /// makes opening a larger-than-RAM snapshot O(metadata), not O(file).
+    Lazy,
+}
 
 /// An ordered export of cache state: `(sub-path key, commuting matrix)`
 /// entries, hottest first by recency tick.
@@ -447,7 +478,7 @@ impl CacheSnapshot {
             read_exact_or_truncated(r, &mut chunk[..want])?;
             bytes.extend_from_slice(&chunk[..want]);
         }
-        parse_v2(&Arc::new(ArenaBuf::from_bytes(&bytes)))
+        parse_v2(&Arc::new(ArenaBuf::from_bytes(&bytes)), ChecksumMode::Eager)
     }
 
     /// Decode the legacy v1 body (`head` = the 8 bytes of magic + version
@@ -558,19 +589,61 @@ impl CacheSnapshot {
             && bytes[0..4] == SNAPSHOT_MAGIC
             && bytes[4..8] == SNAPSHOT_VERSION.to_le_bytes();
         if is_v2 {
-            parse_v2(&Arc::new(buf))
+            parse_v2(&Arc::new(buf), ChecksumMode::Eager)
         } else {
             CacheSnapshot::from_reader(&mut buf.as_bytes())
+        }
+    }
+
+    /// Restore a snapshot file through a **memory-mapped arena**: the v2
+    /// image is `mmap`ed read-only and every restored matrix is a view
+    /// into the kernel page cache, **paged on demand** — restore cost and
+    /// resident memory scale with the pages queries actually touch, not
+    /// with snapshot size, which is what lets a dataset larger than RAM
+    /// open and serve at all.
+    ///
+    /// `checksum` picks the verification strategy: [`ChecksumMode::Eager`]
+    /// verifies the whole-file seal first (faulting every page — full
+    /// corruption detection, no demand-paging win beyond skipping the
+    /// copy), [`ChecksumMode::Lazy`] skips the seal so only metadata and
+    /// index pages fault at open (structural validation still runs in
+    /// full; see [`ChecksumMode`] for exactly what lazy gives up).
+    ///
+    /// **Fallback is silent and bit-identical**: when mapping fails (a
+    /// non-64-bit-unix target, an empty file, any `mmap` error) or the
+    /// file is not a v2 arena image (v1 containers need the streaming
+    /// decoder), this delegates to [`CacheSnapshot::read_from_file`] — the
+    /// same snapshot, the same typed errors, just heap-backed.
+    pub fn read_from_file_mapped(
+        path: impl AsRef<Path>,
+        checksum: ChecksumMode,
+    ) -> Result<CacheSnapshot, CodecError> {
+        let file = File::open(&path)?;
+        let Ok(buf) = ArenaBuf::map_file(&file) else {
+            return CacheSnapshot::read_from_file(path);
+        };
+        let bytes = buf.as_bytes();
+        let is_v2 = bytes.len() >= 8
+            && bytes[0..4] == SNAPSHOT_MAGIC
+            && bytes[4..8] == SNAPSHOT_VERSION.to_le_bytes();
+        if is_v2 {
+            parse_v2(&Arc::new(buf), checksum)
+        } else {
+            // v1 (or malformed) bytes: drop the mapping and take the read
+            // path, which reports the same errors the mapped path would.
+            drop(buf);
+            CacheSnapshot::read_from_file(path)
         }
     }
 }
 
 /// Validate and mount a complete v2 arena image: checksum first (one pass
-/// of word-granular FNV over the whole file), then header / keys /
-/// directory structure, then one [`Csr::from_arena`] view per entry. On a
+/// of word-granular FNV over the whole file — skipped in
+/// [`ChecksumMode::Lazy`]), then header / keys / directory structure, then
+/// one [`Csr::from_arena`] view per entry. On a
 /// [`hin_linalg::arena::ZERO_COPY`] host nothing here copies matrix
 /// payload — every returned matrix aliases `buf`.
-fn parse_v2(buf: &Arc<ArenaBuf>) -> Result<CacheSnapshot, CodecError> {
+fn parse_v2(buf: &Arc<ArenaBuf>, checksum: ChecksumMode) -> Result<CacheSnapshot, CodecError> {
     let bytes = buf.as_bytes();
     if bytes.len() < V2_HEADER + 8 || !bytes.len().is_multiple_of(8) {
         return Err(CodecError::Truncated);
@@ -601,17 +674,21 @@ fn parse_v2(buf: &Arc<ArenaBuf>) -> Result<CacheSnapshot, CodecError> {
     }
 
     // Checksum before trusting any other field: one linear pass, word
-    // granularity (see `Fnv64::update_word`).
-    let words = buf.as_words();
-    let payload_words = (file_len - 8) / 8;
-    let mut hash = Fnv64::new();
-    for &w in &words[..payload_words] {
-        hash.update_word(u64::from_le(w));
-    }
-    let stored = u64::from_le(words[payload_words]);
-    let computed = hash.finish();
-    if stored != computed {
-        return Err(CodecError::ChecksumMismatch { stored, computed });
+    // granularity (see `Fnv64::update_word`). Lazy mode skips the pass —
+    // it would fault every page of a mapped file — leaving structural
+    // validation (below and in `Csr::from_arena`) as the only guard.
+    if checksum == ChecksumMode::Eager {
+        let words = buf.as_words();
+        let payload_words = (file_len - 8) / 8;
+        let mut hash = Fnv64::new();
+        for &w in &words[..payload_words] {
+            hash.update_word(u64::from_le(w));
+        }
+        let stored = u64::from_le(words[payload_words]);
+        let computed = hash.finish();
+        if stored != computed {
+            return Err(CodecError::ChecksumMismatch { stored, computed });
+        }
     }
 
     let flags = u64_at(8);
@@ -1110,6 +1187,64 @@ mod tests {
         let old = CacheSnapshot::read_from_file(&v1_path).expect("v1 read");
         assert_eq!(old.keys(), snap.keys());
         assert_eq!(old.view_backed(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_restore_matches_the_read_path_and_survives_corruption() {
+        let hin = bib();
+        let cache = MatrixCache::default();
+        cache.put(vec![(0, true)], pa_matrix(&hin));
+        cache.put(vec![(0, false)], pa_matrix(&hin));
+        let snap = cache.export_snapshot(None);
+
+        let dir = std::env::temp_dir().join(format!(
+            "hin-snapshot-mmap-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.hsnp");
+        snap.write_to_file(&path).expect("write");
+
+        let read = CacheSnapshot::read_from_file(&path).expect("read");
+        for mode in [ChecksumMode::Eager, ChecksumMode::Lazy] {
+            let mapped = CacheSnapshot::read_from_file_mapped(&path, mode).expect("map");
+            assert_eq!(mapped.keys(), read.keys());
+            assert_eq!(mapped.bytes(), read.bytes());
+            if hin_linalg::arena::ZERO_COPY {
+                assert_eq!(mapped.view_backed(), mapped.len());
+                assert_eq!(mapped.arena_count(), 1);
+            }
+        }
+
+        // a v1 file silently falls back to the streaming read path
+        let v1_path = dir.join("cache-v1.hsnp");
+        let mut w = BufWriter::new(File::create(&v1_path).unwrap());
+        snap.to_writer_v1(&mut w).expect("v1 write");
+        w.flush().unwrap();
+        let old = CacheSnapshot::read_from_file_mapped(&v1_path, ChecksumMode::Eager)
+            .expect("v1 fallback");
+        assert_eq!(old.keys(), snap.keys());
+        assert_eq!(old.view_backed(), 0);
+
+        // corruption on the mapped path errors cleanly, never panics
+        let good = std::fs::read(&path).unwrap();
+        let bad_path = dir.join("cache-bad.hsnp");
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&bad_path, &flipped).unwrap();
+        assert!(CacheSnapshot::read_from_file_mapped(&bad_path, ChecksumMode::Eager).is_err());
+        let trunc_path = dir.join("cache-trunc.hsnp");
+        std::fs::write(&trunc_path, &good[..good.len() - 9]).unwrap();
+        for mode in [ChecksumMode::Eager, ChecksumMode::Lazy] {
+            assert!(CacheSnapshot::read_from_file_mapped(&trunc_path, mode).is_err());
+        }
+        // empty file: map fails, fallback reports the same typed error as read
+        let empty_path = dir.join("cache-empty.hsnp");
+        std::fs::write(&empty_path, []).unwrap();
+        assert!(CacheSnapshot::read_from_file_mapped(&empty_path, ChecksumMode::Eager).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

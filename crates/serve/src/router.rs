@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 use hin_core::Hin;
-use hin_query::{CacheSnapshot, CodecError, QueryError, QueryOutput};
+use hin_query::{CacheSnapshot, ChecksumMode, CodecError, QueryError, QueryOutput};
 use hin_telemetry::MetricsWriter;
 
 use crate::server::{
@@ -139,6 +139,11 @@ impl RouterStats {
             &[],
             hin_linalg::arena::arena_bytes() as f64,
         );
+        w.gauge(
+            "hin_storage_mapped_bytes",
+            &[],
+            hin_linalg::arena::arena_mapped_bytes() as f64,
+        );
         w.counter(
             "hin_storage_view_restores_total",
             &[],
@@ -148,6 +153,11 @@ impl RouterStats {
             "hin_storage_heap_decodes_total",
             &[],
             hin_linalg::arena::heap_decodes(),
+        );
+        w.counter(
+            "hin_storage_mapped_restores_total",
+            &[],
+            hin_linalg::arena::mapped_restores(),
         );
         // Process-wide kernel series (the SpMM kernels and their worker
         // pool are shared by every dataset's engine), present only when a
@@ -295,6 +305,32 @@ impl Router {
         };
         let server = self.register_server(key.into(), hin, config)?;
         Some(server.warm_import().unwrap_or_default())
+    }
+
+    /// [`Router::register_warm`] straight from a checkpoint file (one
+    /// written by [`Router::checkpoint`]): the recovery path after a crash,
+    /// honoring [`ServeConfig::mmap_snapshots`]. With mmapping on, the
+    /// checkpoint is memory-mapped with lazy checksumming — restore cost is
+    /// O(metadata), matrix payloads stay on disk until queried, and
+    /// checkpoints larger than RAM warm-start fine. Off (or when mapping
+    /// fails), the file is read whole with the checksum verified up front;
+    /// either way the restored cache is bit-identical.
+    ///
+    /// Returns `Ok(None)` when the key was already registered (nothing
+    /// started), and the decode error when the file is unreadable or
+    /// corrupt.
+    pub fn register_warm_from_file(
+        &self,
+        key: impl Into<String>,
+        hin: Arc<Hin>,
+        path: impl AsRef<Path>,
+    ) -> Result<Option<hin_query::SnapshotImport>, CodecError> {
+        let snapshot = if self.serve.mmap_snapshots {
+            CacheSnapshot::read_from_file_mapped(path, ChecksumMode::Lazy)?
+        } else {
+            CacheSnapshot::read_from_file(path)?
+        };
+        Ok(self.register_warm(key, hin, snapshot))
     }
 
     /// [`Router::register`] with a per-dataset serving configuration

@@ -58,6 +58,18 @@ pub struct ServeConfig {
     /// (the default) leaves the resolution to the `HIN_KERNEL_THREADS`
     /// environment variable or the machine's available parallelism.
     pub kernel_threads: Option<usize>,
+    /// Memory-map checkpoint files on the file-based warm-start path
+    /// ([`crate::Router::register_warm_from_file`]): the snapshot arena
+    /// becomes a demand-paged view into the kernel page cache
+    /// ([`hin_query::CacheSnapshot::read_from_file_mapped`] with
+    /// [`hin_query::ChecksumMode::Lazy`]), so warm-start cost is
+    /// O(metadata) instead of O(file) and resident memory is bounded by the
+    /// queried working set — snapshots larger than RAM restore fine. Off
+    /// (the default), checkpoints are read whole into heap with the full
+    /// checksum verified up front. On map failure or a non-64-bit-unix
+    /// host the mapped path silently falls back to the read path with
+    /// bit-identical results, so enabling this is always safe.
+    pub mmap_snapshots: bool,
     /// Observability: per-stage latency histograms and the slow-query log.
     pub telemetry: TelemetryConfig,
 }
@@ -74,6 +86,7 @@ impl Default for ServeConfig {
             exec: ExecPolicy::default(),
             warm_start: None,
             kernel_threads: None,
+            mmap_snapshots: false,
             telemetry: TelemetryConfig::default(),
         }
     }

@@ -211,3 +211,75 @@ fn checkpoint_file_survives_a_crash_style_failover() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The mmap warm-start path: recover a checkpoint through
+/// `register_warm_from_file` with `mmap_snapshots` on and the replacement
+/// must answer byte-identically to the read-restored reference — with the
+/// restored matrices demand-paged out of the mapped file (mapped bytes up,
+/// zero per-matrix heap decodes) on hosts where the mapping engages.
+#[test]
+fn mapped_checkpoint_recovery_answers_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("hin-failover-mmap-{}", std::process::id()));
+    let hin = world();
+    let queries = workload();
+    let reference = Engine::from_arc(Arc::clone(&hin));
+    let want: Vec<_> = queries.iter().map(|q| reference.execute(q)).collect();
+
+    let router = Arc::new(Router::new(RouterConfig {
+        stripes: 2,
+        serve: ServeConfig {
+            mmap_snapshots: true,
+            ..serve_config()
+        },
+    }));
+    assert!(router.register("dblp", Arc::clone(&hin)));
+    let _ = router.execute_many("dblp", &queries);
+    let written = router.checkpoint(&dir).expect("checkpoint");
+    assert_eq!(written.len(), 1);
+    drop(router.evict("dblp").expect("registered"));
+
+    let decodes_before = hin_linalg::arena::heap_decodes();
+    let mapped_before = hin_linalg::arena::mapped_restores();
+    let report = router
+        .register_warm_from_file("dblp", Arc::clone(&hin), &written[0].1)
+        .expect("checkpoint file decodes")
+        .expect("key free after evict");
+    assert!(report.loaded > 0, "mapped warm start admitted entries");
+    assert_eq!(report.rejected, 0);
+    if cfg!(all(unix, target_pointer_width = "64")) && hin_linalg::arena::ZERO_COPY {
+        assert_eq!(
+            hin_linalg::arena::mapped_restores(),
+            mapped_before + 1,
+            "the checkpoint restored through one mmap"
+        );
+        assert!(
+            hin_linalg::arena::arena_mapped_bytes() > 0,
+            "the mapped arena is resident while the server holds views"
+        );
+        assert_eq!(
+            hin_linalg::arena::heap_decodes(),
+            decodes_before,
+            "no per-matrix heap decode on the mapped path"
+        );
+        assert_eq!(report.view_backed, report.loaded);
+    }
+
+    let results = router.execute_many("dblp", &queries);
+    for ((q, got), reference) in queries.iter().zip(&results).zip(&want) {
+        assert_eq!(got, reference, "mapped-restore result diverged on {q}");
+    }
+    let stats = router.stats();
+    assert_eq!(
+        stats.datasets[0].1.cache_misses, 0,
+        "the mapped warm start left nothing to recompute"
+    );
+    let page = stats.render_metrics();
+    assert!(page.contains("hin_storage_mapped_bytes"));
+    assert!(page.contains("hin_storage_mapped_restores_total"));
+
+    let _ = Arc::try_unwrap(router)
+        .map_err(|_| "router still shared")
+        .unwrap()
+        .shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
