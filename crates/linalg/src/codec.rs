@@ -381,6 +381,88 @@ impl Csr {
     }
 }
 
+/// Magic bytes opening every wire frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"HFRM";
+
+/// Default upper bound on a frame payload (1 GiB). Callers pass their own
+/// cap to [`read_frame`]; this is the figure to reach for when one frame
+/// may carry a whole snapshot image.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 30;
+
+/// Write one length-prefixed, checksummed frame.
+///
+/// # Frame layout
+///
+/// ```text
+/// magic     4 bytes   b"HFRM"
+/// kind      u8        caller-defined frame type tag
+/// len       u32 LE    payload length in bytes
+/// payload   len bytes
+/// checksum  u64 LE    FNV-1a 64 over every preceding byte
+/// ```
+///
+/// This is the unit the cross-process serving transport exchanges: the
+/// length prefix lets a reader frame the stream without a delimiter scan,
+/// and the trailing checksum turns a flipped bit anywhere in transit into
+/// a typed [`CodecError::ChecksumMismatch`] instead of a garbled result.
+pub fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> Result<(), CodecError> {
+    let len = u32::try_from(payload.len()).map_err(|_| CodecError::DimOverflow {
+        field: "frame payload",
+        value: payload.len() as u64,
+    })?;
+    let mut hash = Fnv64::new();
+    write_hashed(w, &mut hash, &FRAME_MAGIC)?;
+    write_hashed(w, &mut hash, &[kind])?;
+    write_hashed(w, &mut hash, &len.to_le_bytes())?;
+    write_hashed(w, &mut hash, payload)?;
+    w.write_all(&hash.finish().to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame written by [`write_frame`], returning `(kind, payload)`.
+///
+/// `max_payload` bounds the announced length *before* anything is
+/// allocated, so a hostile or corrupt length prefix cannot drive a giant
+/// allocation; the payload itself is still read in bounded chunks. Every
+/// failure — bad magic, oversized length, truncation, checksum mismatch —
+/// is a typed [`CodecError`], never a panic.
+pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> Result<(u8, Vec<u8>), CodecError> {
+    let mut hash = Fnv64::new();
+    let mut magic = [0u8; 4];
+    read_hashed(r, &mut hash, &mut magic)?;
+    if magic != FRAME_MAGIC {
+        return Err(CodecError::BadMagic { found: magic });
+    }
+    let mut kind = [0u8; 1];
+    read_hashed(r, &mut hash, &mut kind)?;
+    let mut len_bytes = [0u8; 4];
+    read_hashed(r, &mut hash, &mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max_payload {
+        return Err(CodecError::Malformed(format!(
+            "frame payload length {len} exceeds the {max_payload}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len.min(READ_CHUNK)];
+    let mut out = Vec::new();
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(payload.len());
+        read_hashed(r, &mut hash, &mut payload[..take])?;
+        out.extend_from_slice(&payload[..take]);
+        remaining -= take;
+    }
+    let mut stored = [0u8; 8];
+    read_exact_or_truncated(r, &mut stored)?;
+    let stored = u64::from_le_bytes(stored);
+    let computed = hash.finish();
+    if stored != computed {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    Ok((kind[0], out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,6 +632,62 @@ mod tests {
         });
         assert!(matches!(
             Csr::from_reader(&mut bytes.as_slice()),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frame_round_trips_kind_and_payload() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, 7, b"hello frame").unwrap();
+        write_frame(&mut bytes, 0, b"").unwrap();
+        let mut cursor = bytes.as_slice();
+        let (kind, payload) = read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap();
+        assert_eq!((kind, payload.as_slice()), (7, b"hello frame".as_slice()));
+        let (kind, payload) = read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap();
+        assert_eq!((kind, payload.len()), (0, 0));
+        assert!(cursor.is_empty(), "both frames consumed exactly");
+    }
+
+    #[test]
+    fn frame_truncation_at_every_prefix_is_typed() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, 3, b"payload bytes").unwrap();
+        for cut in 0..bytes.len() {
+            let err =
+                read_frame(&mut &bytes[..cut], MAX_FRAME_PAYLOAD).expect_err("prefix must fail");
+            assert!(
+                matches!(err, CodecError::Truncated),
+                "cut at {cut}: expected Truncated, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_detects_any_flipped_bit() {
+        let mut clean = Vec::new();
+        write_frame(&mut clean, 3, b"sensitive").unwrap();
+        for byte in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[byte] ^= 0x10;
+            assert!(
+                read_frame(&mut bytes.as_slice(), MAX_FRAME_PAYLOAD).is_err(),
+                "flip at byte {byte} must not decode cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_length_cap_rejects_before_allocating() {
+        // header announces 2^31 bytes; a 16-byte cap must reject on the
+        // prefix alone (the input carries no payload at all)
+        let mut bytes = Vec::new();
+        let mut hash = Fnv64::new();
+        write_hashed(&mut bytes, &mut hash, &FRAME_MAGIC).unwrap();
+        write_hashed(&mut bytes, &mut hash, &[1u8]).unwrap();
+        write_hashed(&mut bytes, &mut hash, &(1u32 << 31).to_le_bytes()).unwrap();
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), 16),
             Err(CodecError::Malformed(_))
         ));
     }

@@ -48,11 +48,13 @@
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher, RandomState};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 
 use hin_linalg::Csr;
 use hin_similarity::PathStep;
+
+use crate::snapshot::entry_checksum;
 
 /// One relation step as a hashable key component: `(relation id, forward)`.
 pub(crate) type StepKey = (usize, bool);
@@ -127,6 +129,21 @@ struct Entry {
     /// Recency stamp from the cache-wide tick; atomic so counting lookups
     /// can refresh it under the shard's *read* lock.
     last_used: AtomicU64,
+    /// Deferred integrity check for entries restored from a lazily
+    /// checksummed mapped snapshot: verified against the stored checksum
+    /// on first counting lookup, then never again. `None` for everything
+    /// computed or already-verified.
+    verify: Option<LazyVerify>,
+}
+
+/// First-touch verification state for a lazily restored entry.
+struct LazyVerify {
+    /// The per-entry payload checksum from the snapshot directory.
+    checksum: u64,
+    /// Flipped once the payload has been rehashed and matched; atomic so
+    /// the check runs (and is skipped afterwards) under the shard's
+    /// *read* lock.
+    done: AtomicBool,
 }
 
 #[derive(Default)]
@@ -262,6 +279,8 @@ pub struct MatrixCache {
     warm_loaded: AtomicU64,
     warm_rejected: AtomicU64,
     warm_view_backed: AtomicU64,
+    lazy_verified: AtomicU64,
+    lazy_verify_failures: AtomicU64,
 }
 
 impl Default for MatrixCache {
@@ -285,6 +304,8 @@ impl std::fmt::Debug for MatrixCache {
             .field("warm_loaded", &self.warm_loaded())
             .field("warm_rejected", &self.warm_rejected())
             .field("warm_view_backed", &self.warm_view_backed())
+            .field("lazy_verified", &self.lazy_verified())
+            .field("lazy_verify_failures", &self.lazy_verify_failures())
             .finish()
     }
 }
@@ -312,6 +333,8 @@ impl MatrixCache {
             warm_loaded: AtomicU64::new(0),
             warm_rejected: AtomicU64::new(0),
             warm_view_backed: AtomicU64::new(0),
+            lazy_verified: AtomicU64::new(0),
+            lazy_verify_failures: AtomicU64::new(0),
         }
     }
 
@@ -412,6 +435,21 @@ impl MatrixCache {
         self.warm_view_backed.load(Ordering::Relaxed)
     }
 
+    /// Lazily restored entries whose payload checksum verified clean on
+    /// first touch (each is hashed exactly once, then served unchecked).
+    pub fn lazy_verified(&self) -> u64 {
+        self.lazy_verified.load(Ordering::Relaxed)
+    }
+
+    /// Lazily restored entries whose payload did **not** match the
+    /// snapshot's per-entry checksum on first touch: the entry was evicted
+    /// and the lookup reported a miss, so the caller recomputed instead of
+    /// serving corrupt values. Nonzero means the snapshot file was damaged
+    /// after writing (storage rot, torn copy, wire corruption).
+    pub fn lazy_verify_failures(&self) -> u64 {
+        self.lazy_verify_failures.load(Ordering::Relaxed)
+    }
+
     /// Zero the counters (the stored matrices stay).
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
@@ -423,6 +461,8 @@ impl MatrixCache {
         self.warm_loaded.store(0, Ordering::Relaxed);
         self.warm_rejected.store(0, Ordering::Relaxed);
         self.warm_view_backed.store(0, Ordering::Relaxed);
+        self.lazy_verified.store(0, Ordering::Relaxed);
+        self.lazy_verify_failures.store(0, Ordering::Relaxed);
     }
 
     /// Every resident entry with its recency tick, hottest first — the
@@ -469,12 +509,50 @@ impl MatrixCache {
     }
 
     /// Counting lookup of exactly `key` (no symmetry), refreshing recency.
+    ///
+    /// This is also where deferred snapshot verification lands: an entry
+    /// restored with a pending checksum ([`MatrixCache::insert_unverified`])
+    /// is rehashed on its first touch, still under the shard's read lock.
+    /// A clean match is recorded once and never rechecked; a mismatch
+    /// evicts the entry and reports a miss, so corrupt payload words are
+    /// recomputed rather than served.
     fn lookup(&self, key: &[StepKey]) -> Option<Arc<Csr>> {
-        let shard = self
-            .shard_of(key)
+        let lock = self.shard_of(key);
+        let shard = lock
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let entry = shard.map.get(key)?;
+        if let Some(v) = &entry.verify {
+            if !v.done.load(Ordering::Acquire) {
+                if entry_checksum(&entry.value) == v.checksum {
+                    // `swap` so concurrent first touches count the
+                    // verification exactly once.
+                    if !v.done.swap(true, Ordering::AcqRel) {
+                        self.lazy_verified.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    drop(shard);
+                    let mut shard = lock
+                        .write()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    // Recheck under the write lock: a racing store may have
+                    // replaced the corrupt entry with a freshly computed one,
+                    // which must survive.
+                    let still_corrupt = shard.map.get(key).is_some_and(|e| {
+                        e.verify.as_ref().is_some_and(|v| {
+                            !v.done.load(Ordering::Acquire)
+                                && entry_checksum(&e.value) != v.checksum
+                        })
+                    });
+                    if still_corrupt {
+                        let gone = shard.map.remove(key).expect("key just observed");
+                        shard.bytes -= gone.bytes;
+                        self.lazy_verify_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return None;
+                }
+            }
+        }
         entry.last_used.store(
             self.tick.fetch_add(1, Ordering::Relaxed) + 1,
             Ordering::Relaxed,
@@ -486,6 +564,25 @@ impl MatrixCache {
     /// Also the snapshot-import path: a warm entry is priced through this
     /// exact LRU, so a snapshot can never blow the cache budget.
     pub(crate) fn insert(&self, key: PathKey, value: Arc<Csr>) {
+        self.insert_entry(key, value, None);
+    }
+
+    /// [`MatrixCache::insert`] for an entry whose payload has not been
+    /// verified yet: `checksum` is the per-entry checksum from a lazily
+    /// restored snapshot directory, checked against the mounted payload on
+    /// the entry's first counting lookup.
+    pub(crate) fn insert_unverified(&self, key: PathKey, value: Arc<Csr>, checksum: u64) {
+        self.insert_entry(
+            key,
+            value,
+            Some(LazyVerify {
+                checksum,
+                done: AtomicBool::new(false),
+            }),
+        );
+    }
+
+    fn insert_entry(&self, key: PathKey, value: Arc<Csr>, verify: Option<LazyVerify>) {
         let bytes = value.nbytes();
         let mut shard = self
             .shard_of(&key)
@@ -495,6 +592,7 @@ impl MatrixCache {
             value,
             bytes,
             last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed) + 1),
+            verify,
         };
         if let Some(old) = shard.map.insert(key, entry) {
             shard.bytes -= old.bytes;

@@ -53,6 +53,12 @@ pub enum QueryError {
     TimedOut,
     /// A routing layer had no dataset registered under this key.
     UnknownDataset(String),
+    /// The dataset is registered but its shard is currently unreachable or
+    /// marked unhealthy (circuit breaker open, failed health checks, or a
+    /// failover in progress). Graceful degradation: the router sheds the
+    /// request immediately instead of letting it hang on a dead shard.
+    /// Carries a human-readable reason.
+    Unavailable(String),
     /// The query made its worker panic; the panic was contained and the
     /// worker kept serving. Carries the panic message.
     Internal(String),
@@ -119,6 +125,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::UnknownDataset(name) => {
                 write!(f, "no dataset registered under `{name}`")
+            }
+            QueryError::Unavailable(reason) => {
+                write!(f, "shard unavailable: {reason}")
             }
             QueryError::Internal(msg) => write!(f, "internal error executing the query: {msg}"),
             QueryError::Hin(e) => write!(f, "{e}"),

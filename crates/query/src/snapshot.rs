@@ -48,6 +48,8 @@
 //!   [0..4)    magic       b"HSNP"
 //!   [4..8)    version     u32 LE   2
 //!   [8..16)   flags       bit 0 = a dataset fingerprint is present
+//!                         bit 1 = directory entries carry a per-entry
+//!                         checksum (always set by this writer)
 //!   [16..24)  fingerprint (0 when absent)
 //!   [24..32)  count       number of entries
 //!   [32..40)  dir_off     byte offset of the directory (8-aligned)
@@ -56,9 +58,14 @@
 //!   [56..64)  reserved    0
 //! keys         at 64: per entry key_len u32 LE, then key_len ×
 //!              (relation id u64 LE, direction u8); zero-padded to dir_off
-//! directory    count × 48-byte entries:
+//! directory    count × 48-byte entries (56 when flags bit 1 is set):
 //!              nrows, ncols, nnz, indptr_off, indices_off, data_off
-//!              (offsets absolute, 8-aligned, into the heap)
+//!              (offsets absolute, 8-aligned, into the heap), then — bit 1
+//!              only — the entry's payload checksum: FNV-1a 64 folded per
+//!              u64 word over indptr values, data bit patterns, and index
+//!              values (layout-independent, so it can be recomputed from
+//!              any mounted `Csr` and verified on first touch under
+//!              [`ChecksumMode::Lazy`])
 //! heap         per entry: indptr (nrows+1)×u64, data nnz×f64 bit
 //!              patterns, indices nnz×u32 zero-padded to 8 bytes
 //! checksum     u64 LE   FNV-1a 64 folded per little-endian u64 *word*
@@ -115,8 +122,21 @@ pub const SNAPSHOT_VERSION: u32 = 2;
 /// Superheader size of the v2 arena container.
 const V2_HEADER: usize = 64;
 
-/// Bytes per v2 directory entry: 6 × u64.
+/// Bytes per v2 directory entry without per-entry checksums: 6 × u64.
 const V2_DIR_ENTRY: usize = 48;
+
+/// Bytes per v2 directory entry with per-entry checksums: 7 × u64.
+const V2_DIR_ENTRY_CK: usize = 56;
+
+/// v2 flags bit 0: a dataset fingerprint is present.
+const V2_FLAG_FINGERPRINT: u64 = 1;
+
+/// v2 flags bit 1: directory entries are [`V2_DIR_ENTRY_CK`] bytes and
+/// carry a per-entry payload checksum ([`entry_checksum`]) — what lets a
+/// lazily-checksummed mapped restore verify each matrix on first touch
+/// instead of never. Writers always set it; files from older writers
+/// (bit clear, 48-byte entries) still parse.
+const V2_FLAG_ENTRY_CHECKSUMS: u64 = 2;
 
 /// Bounded chunk size for streaming v2 images from generic readers, so a
 /// hostile `file_len` cannot drive one giant allocation.
@@ -145,9 +165,13 @@ pub enum ChecksumMode {
     /// alignment and CSR invariants ([`Csr::from_arena`]) — so corruption
     /// anywhere in the metadata, `indptr` or `indices` arrays is still a
     /// typed error and a mounted matrix can never be indexed out of
-    /// bounds. What lazy mode gives up is *value* integrity: a flipped bit
-    /// inside an `f64` payload word is structurally invisible and served
-    /// as-is. Only the metadata and index pages fault in at open;
+    /// bounds. Value integrity is deferred, not dropped: when the file
+    /// carries per-entry checksums (every file this writer produces), each
+    /// matrix is verified against its directory checksum on **first cache
+    /// touch** — a corrupt entry is evicted and recomputed instead of
+    /// served ([`MatrixCache::lazy_verify_failures`]). Only files from
+    /// older writers (no per-entry checksums) serve payload words fully
+    /// unverified. Only the metadata and index pages fault in at open;
     /// data pages stay on disk until a query touches them — the mode that
     /// makes opening a larger-than-RAM snapshot O(metadata), not O(file).
     Lazy,
@@ -167,6 +191,12 @@ pub struct CacheSnapshot {
     fingerprint: Option<u64>,
     /// Hottest first.
     entries: Vec<(PathKey, Arc<Csr>)>,
+    /// Per-entry payload checksums (parallel to `entries`), carried only
+    /// when the payload has **not** already been verified — i.e. a
+    /// [`ChecksumMode::Lazy`] mapped restore of a file with directory
+    /// checksums. Import threads them into the cache so each matrix is
+    /// verified on first touch.
+    verify: Option<Vec<u64>>,
 }
 
 impl std::fmt::Debug for CacheSnapshot {
@@ -321,8 +351,21 @@ impl CacheSnapshot {
     }
 
     /// Build the complete v2 file image in memory (layout + payload +
-    /// trailing word-checksum).
+    /// trailing word-checksum). Always writes per-entry checksums
+    /// ([`V2_FLAG_ENTRY_CHECKSUMS`]).
     fn encode_v2(&self) -> Vec<u8> {
+        self.encode_v2_opts(true)
+    }
+
+    /// [`CacheSnapshot::encode_v2`] with the per-entry checksum flag
+    /// optional, so tests can produce the 48-byte-directory images older
+    /// writers emitted and prove they still parse.
+    fn encode_v2_opts(&self, entry_checksums: bool) -> Vec<u8> {
+        let entry_size = if entry_checksums {
+            V2_DIR_ENTRY_CK
+        } else {
+            V2_DIR_ENTRY
+        };
         // keys section
         let mut keys = Vec::new();
         for (key, _) in &self.entries {
@@ -333,7 +376,7 @@ impl CacheSnapshot {
             }
         }
         let dir_off = (V2_HEADER + keys.len()).next_multiple_of(8);
-        let heap_off = dir_off + self.entries.len() * V2_DIR_ENTRY;
+        let heap_off = dir_off + self.entries.len() * entry_size;
 
         // heap layout: per entry [indptr | data | indices(padded)]
         let mut dir = Vec::with_capacity(self.entries.len());
@@ -350,7 +393,14 @@ impl CacheSnapshot {
         let mut image = vec![0u8; file_len];
         image[0..4].copy_from_slice(&SNAPSHOT_MAGIC);
         image[4..8].copy_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        let flags: u64 = self.fingerprint.is_some() as u64;
+        let mut flags: u64 = if self.fingerprint.is_some() {
+            V2_FLAG_FINGERPRINT
+        } else {
+            0
+        };
+        if entry_checksums {
+            flags |= V2_FLAG_ENTRY_CHECKSUMS;
+        }
         image[8..16].copy_from_slice(&flags.to_le_bytes());
         image[16..24].copy_from_slice(&self.fingerprint.unwrap_or(0).to_le_bytes());
         image[24..32].copy_from_slice(&(self.entries.len() as u64).to_le_bytes());
@@ -362,7 +412,7 @@ impl CacheSnapshot {
         for (i, ((_, m), &(indptr_off, indices_off, data_off))) in
             self.entries.iter().zip(&dir).enumerate()
         {
-            let d = dir_off + i * V2_DIR_ENTRY;
+            let d = dir_off + i * entry_size;
             for (j, v) in [
                 m.nrows() as u64,
                 m.ncols() as u64,
@@ -375,6 +425,9 @@ impl CacheSnapshot {
             .enumerate()
             {
                 image[d + j * 8..d + j * 8 + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            if entry_checksums {
+                image[d + 48..d + 56].copy_from_slice(&entry_checksum(m).to_le_bytes());
             }
             let (indptr, indices, data) = m.parts();
             for (j, &p) in indptr.iter().enumerate() {
@@ -555,7 +608,32 @@ impl CacheSnapshot {
         Ok(CacheSnapshot {
             fingerprint,
             entries,
+            verify: None,
         })
+    }
+
+    /// Serialize into the complete v2 image as a byte vector — the framed
+    /// payload a [`Warm`](hin_linalg::codec::FRAME_MAGIC) wire message
+    /// carries when streaming a checkpoint to a remote shard. Identical
+    /// bytes to [`CacheSnapshot::to_writer`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode_v2()
+    }
+
+    /// Decode a complete container image from memory — the receiving end
+    /// of [`CacheSnapshot::to_bytes`]. v2 images mount as arena views over
+    /// a private aligned copy of `bytes` (checksum verified eagerly: the
+    /// bytes crossed a wire); anything else falls back to the streaming
+    /// decoder and its typed errors.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CacheSnapshot, CodecError> {
+        let is_v2 = bytes.len() >= 8
+            && bytes[0..4] == SNAPSHOT_MAGIC
+            && bytes[4..8] == SNAPSHOT_VERSION.to_le_bytes();
+        if is_v2 {
+            parse_v2(&Arc::new(ArenaBuf::from_bytes(bytes)), ChecksumMode::Eager)
+        } else {
+            CacheSnapshot::from_reader(&mut &*bytes)
+        }
     }
 
     /// [`CacheSnapshot::to_writer`] to a (buffered) file.
@@ -692,12 +770,18 @@ fn parse_v2(buf: &Arc<ArenaBuf>, checksum: ChecksumMode) -> Result<CacheSnapshot
     }
 
     let flags = u64_at(8);
-    if flags & !1 != 0 {
+    if flags & !(V2_FLAG_FINGERPRINT | V2_FLAG_ENTRY_CHECKSUMS) != 0 {
         return Err(CodecError::Malformed(format!(
-            "v2 flags {flags:#x} set bits beyond the fingerprint bit"
+            "v2 flags {flags:#x} set unknown bits"
         )));
     }
-    let fingerprint = (flags & 1 == 1).then(|| u64_at(16));
+    let fingerprint = (flags & V2_FLAG_FINGERPRINT != 0).then(|| u64_at(16));
+    let has_entry_checksums = flags & V2_FLAG_ENTRY_CHECKSUMS != 0;
+    let entry_size = if has_entry_checksums {
+        V2_DIR_ENTRY_CK
+    } else {
+        V2_DIR_ENTRY
+    };
     let count = usize_at(24, "snapshot entry count")?;
     let dir_off = usize_at(32, "directory offset")?;
     let heap_off = usize_at(40, "heap offset")?;
@@ -707,7 +791,7 @@ fn parse_v2(buf: &Arc<ArenaBuf>, checksum: ChecksumMode) -> Result<CacheSnapshot
         ));
     }
     let dir_bytes = count
-        .checked_mul(V2_DIR_ENTRY)
+        .checked_mul(entry_size)
         .ok_or(CodecError::DimOverflow {
             field: "directory size",
             value: count as u64,
@@ -763,8 +847,13 @@ fn parse_v2(buf: &Arc<ArenaBuf>, checksum: ChecksumMode) -> Result<CacheSnapshot
     }
 
     let mut entries = Vec::with_capacity(count);
+    // Carry per-entry checksums out only when nothing has verified the
+    // payload yet: an eager restore already proved every word through the
+    // whole-file seal, so first-touch re-verification would be pure waste.
+    let carry_checksums = has_entry_checksums && checksum == ChecksumMode::Lazy;
+    let mut verify = carry_checksums.then(|| Vec::with_capacity(count));
     for (i, key) in keys.into_iter().enumerate() {
-        let d = dir_off + i * V2_DIR_ENTRY;
+        let d = dir_off + i * entry_size;
         let entry = ArenaEntry {
             nrows: usize_at(d, "nrows")?,
             ncols: usize_at(d + 8, "ncols")?,
@@ -793,12 +882,36 @@ fn parse_v2(buf: &Arc<ArenaBuf>, checksum: ChecksumMode) -> Result<CacheSnapshot
             )));
         }
         let matrix = Csr::from_arena(buf, entry)?;
+        if let Some(verify) = &mut verify {
+            verify.push(u64_at(d + 48));
+        }
         entries.push((key, Arc::new(matrix)));
     }
     Ok(CacheSnapshot {
         fingerprint,
         entries,
+        verify,
     })
+}
+
+/// Layout-independent payload checksum of one matrix: FNV-1a 64 folded
+/// per u64 *word* ([`Fnv64::update_word`]) over the indptr values, then
+/// the data bit patterns, then the index values. Computable from any
+/// mounted [`Csr`] (owned or view), which is what lets a lazily mapped
+/// restore re-derive and compare it on first touch.
+pub(crate) fn entry_checksum(m: &Csr) -> u64 {
+    let (indptr, indices, data) = m.parts();
+    let mut hash = Fnv64::new();
+    for &p in indptr {
+        hash.update_word(p as u64);
+    }
+    for &v in data {
+        hash.update_word(v.to_bits());
+    }
+    for &c in indices {
+        hash.update_word(c as u64);
+    }
+    hash.finish()
 }
 
 /// Reader adapter folding everything the inner decoder consumes into the
@@ -868,6 +981,7 @@ impl MatrixCache {
         CacheSnapshot {
             fingerprint: None,
             entries,
+            verify: None,
         }
     }
 
@@ -911,11 +1025,16 @@ impl MatrixCache {
             self.note_warm(0, report.rejected, 0);
             return report;
         }
-        for (key, matrix) in snapshot.entries.iter().rev() {
+        for (i, (key, matrix)) in snapshot.entries.iter().enumerate().rev() {
             let fits = expected_dims(hin, key)
                 .is_some_and(|(rows, cols)| matrix.nrows() == rows && matrix.ncols() == cols);
             if fits {
-                self.insert(key.clone(), Arc::clone(matrix));
+                // A lazily restored entry carries its directory checksum
+                // so the cache can verify the payload on first touch.
+                match snapshot.verify.as_ref().map(|v| v[i]) {
+                    Some(ck) => self.insert_unverified(key.clone(), Arc::clone(matrix), ck),
+                    None => self.insert(key.clone(), Arc::clone(matrix)),
+                }
                 report.loaded += 1;
                 report.view_backed += matrix.is_view() as u64;
             } else {
@@ -1140,9 +1259,9 @@ mod tests {
         reseal(&mut hostile);
         assert!(CacheSnapshot::from_reader(&mut hostile.as_slice()).is_err());
 
-        // unknown flag bits
+        // unknown flag bits (bit 1 is the per-entry-checksum flag, legal)
         let mut hostile = bytes.clone();
-        hostile[8] |= 0x02;
+        hostile[8] |= 0x04;
         reseal(&mut hostile);
         assert!(matches!(
             CacheSnapshot::from_reader(&mut hostile.as_slice()),
@@ -1348,6 +1467,143 @@ mod tests {
         assert_eq!((bad.loaded, bad.rejected), (0, 1));
         assert_eq!(dst.len(), 0);
         assert_eq!(dst.warm_rejected(), 1);
+    }
+
+    #[test]
+    fn legacy_48_byte_directories_still_parse() {
+        let hin = bib();
+        let cache = MatrixCache::default();
+        cache.put(vec![(0, true)], pa_matrix(&hin));
+        cache.put(vec![(0, false)], pa_matrix(&hin));
+        let snap = cache.export_snapshot(None);
+
+        // what an older writer (no per-entry checksums) produced
+        let legacy = snap.encode_v2_opts(false);
+        let current = snap.encode_v2_opts(true);
+        assert_eq!(
+            legacy.len() + snap.len() * 8,
+            current.len(),
+            "the only growth is one checksum word per directory entry"
+        );
+        let back = CacheSnapshot::from_reader(&mut legacy.as_slice()).expect("legacy parses");
+        assert_eq!(back.keys(), snap.keys());
+        assert!(back.verify.is_none());
+        for ((_, a), (_, b)) in snap.entries.iter().zip(&back.entries) {
+            assert_eq!(**a, **b);
+        }
+        // and current images round trip with the flag set
+        let back = CacheSnapshot::from_reader(&mut current.as_slice()).expect("current parses");
+        assert_eq!(back.keys(), snap.keys());
+        assert!(
+            back.verify.is_none(),
+            "eager restores already verified the seal; nothing left to defer"
+        );
+    }
+
+    #[test]
+    fn lazy_mapped_restore_verifies_each_entry_on_first_touch() {
+        let hin = bib();
+        let cache = MatrixCache::default();
+        // distinct relations, not a key and its reversal: a reversal pair
+        // would let `get` serve the evicted corrupt entry back through the
+        // clean one's symmetry fallback, masking the verification miss
+        cache.put(vec![(0, true)], pa_matrix(&hin));
+        cache.put(
+            vec![(1, true)],
+            Arc::new(hin.relation(RelationId(1)).fwd.clone()),
+        );
+        let snap = cache.export_snapshot(None);
+        let image = snap.encode_v2();
+
+        // flip one bit inside entry 0's f64 payload: structurally
+        // invisible, caught only by a checksum
+        let dir_off = u64::from_le_bytes(image[32..40].try_into().unwrap()) as usize;
+        let data_off =
+            u64::from_le_bytes(image[dir_off + 40..dir_off + 48].try_into().unwrap()) as usize;
+        let mut corrupt = image.clone();
+        corrupt[data_off + 3] ^= 0x20;
+
+        let dir = std::env::temp_dir().join(format!(
+            "hin-snapshot-lazyck-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.hsnp");
+        std::fs::write(&path, &corrupt).unwrap();
+
+        // eager catches it up front
+        assert!(matches!(
+            CacheSnapshot::read_from_file_mapped(&path, ChecksumMode::Eager),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+
+        // lazy mounts it (structure is intact) and defers to first touch
+        let lazy = CacheSnapshot::read_from_file_mapped(&path, ChecksumMode::Lazy).expect("mounts");
+        assert_eq!(
+            lazy.verify.as_ref().map(|v| v.len()),
+            Some(2),
+            "lazy restore carries one pending checksum per entry"
+        );
+        // the flipped byte lives in *directory entry 0*'s payload; the
+        // export orders entries hottest-first, so resolve which cache key
+        // that is from the parse rather than assuming
+        let corrupt_key = lazy.entries[0].0.clone();
+        let clean_key = lazy.entries[1].0.clone();
+        let dst = MatrixCache::default();
+        let report = dst.import_snapshot(&lazy, &hin);
+        assert_eq!(report.loaded, 2);
+
+        // first touch of the corrupted entry: verification fails, the
+        // entry is evicted, and the caller sees a miss (→ recompute)
+        assert!(dst.get(&corrupt_key).is_none());
+        assert_eq!(dst.lazy_verify_failures(), 1);
+        assert_eq!(dst.len(), 1, "the corrupt entry is gone");
+
+        // the clean entry verifies once, then serves without re-hashing
+        assert!(dst.get(&clean_key).is_some());
+        assert_eq!(dst.lazy_verified(), 1);
+        assert!(dst.get(&clean_key).is_some());
+        assert_eq!(dst.lazy_verified(), 1, "verification ran exactly once");
+
+        // an uncorrupted lazy restore verifies everything clean
+        let good_path = dir.join("good.hsnp");
+        std::fs::write(&good_path, &image).unwrap();
+        let lazy = CacheSnapshot::read_from_file_mapped(&good_path, ChecksumMode::Lazy).unwrap();
+        let dst = MatrixCache::default();
+        dst.import_snapshot(&lazy, &hin);
+        assert!(dst.get(&[(0, true)]).is_some());
+        assert!(dst.get(&[(1, true)]).is_some());
+        assert_eq!(dst.lazy_verified(), 2);
+        assert_eq!(dst.lazy_verify_failures(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bytes_round_trip_matches_the_writer() {
+        let hin = bib();
+        let fp = dataset_fingerprint(&hin);
+        let cache = MatrixCache::default();
+        cache.put(vec![(0, true)], pa_matrix(&hin));
+        let mut snap = cache.export_snapshot(None);
+        snap.set_fingerprint(fp);
+
+        let bytes = snap.to_bytes();
+        let mut streamed = Vec::new();
+        snap.to_writer(&mut streamed).unwrap();
+        assert_eq!(bytes, streamed, "to_bytes is the writer's exact image");
+
+        let back = CacheSnapshot::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.keys(), snap.keys());
+        assert_eq!(back.fingerprint(), Some(fp));
+
+        // wire corruption is caught eagerly — the bytes crossed a network
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert!(CacheSnapshot::from_bytes(&flipped).is_err());
+        assert!(CacheSnapshot::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(CacheSnapshot::from_bytes(&[]).is_err());
     }
 
     #[test]

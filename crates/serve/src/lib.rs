@@ -78,6 +78,16 @@
 //!   dataset's cache to disk in a versioned, checksummed binary container
 //!   (`hin-linalg`'s codec) — so failover costs a restore, not a
 //!   re-computation of every hot SpMM chain under live load.
+//! * **Cross-process shards & fault tolerance** — [`ShardListener`] puts a
+//!   server behind a length-prefixed, checksummed TCP wire protocol
+//!   ([`wire`]), and [`Router::register_remote`] fronts it with bounded
+//!   retries + exponential backoff with deterministic jitter, end-to-end
+//!   deadline propagation, a per-shard circuit breaker, periodic health
+//!   pings, and — given a checkpoint — **automatic warm failover** to a
+//!   local replacement when the shard dies. The [`faultinject`] harness
+//!   forces drops, stalls, truncations, bit flips, and mid-request crashes
+//!   from a seed, so the chaos suite proves all of the above
+//!   deterministically.
 //!
 //! # Quickstart
 //!
@@ -131,11 +141,18 @@
 //! assert_eq!(fleet.aggregate().served, 1);
 //! ```
 
+pub mod faultinject;
 mod queue;
+mod remote;
 mod router;
 mod server;
+pub mod wire;
 
-pub use router::{Evicted, Router, RouterConfig, RouterStats};
+pub use remote::{RemoteConfig, RemoteServerHandle, RemoteStats, ShardListener};
+pub use router::{
+    Evicted, FailoverConfig, RemoteDatasetStats, Router, RouterConfig, RouterStats,
+    SupervisorConfig,
+};
 pub use server::{
     ServeConfig, Server, ServerHandle, ServerStats, SlowQuery, TelemetryConfig, Ticket, EXEC_MODES,
     EXEC_OUTCOMES,

@@ -306,6 +306,71 @@ mod tests {
     }
 
     #[test]
+    fn lanes_registered_mid_drain_survive_a_racing_close_exactly() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        // Pushers register a brand-new lane per request while a drainer
+        // rotates and a close lands mid-flight. The invariant under all
+        // interleavings: every accepted request is drained exactly once
+        // with its exact payload, and everything after the close is
+        // refused — nothing lost, nothing duplicated, nothing hung.
+        let q = Arc::new(FairQueue::<u64>::new(None));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let drainer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let (mut got, mut sum) = (0u64, 0u64);
+                loop {
+                    let batch = q.pop_batch(3);
+                    if batch.is_empty() {
+                        return (got, sum);
+                    }
+                    got += batch.len() as u64;
+                    sum += batch.iter().sum::<u64>();
+                }
+            })
+        };
+        let pushers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                let accepted = Arc::clone(&accepted);
+                std::thread::spawn(move || {
+                    let mut pushed_sum = 0u64;
+                    for i in 0..500u64 {
+                        let fresh_lane = t * 1000 + i;
+                        let item = t * 1_000_000 + i;
+                        match q.push(fresh_lane, item) {
+                            Push::Queued => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                                pushed_sum += item;
+                            }
+                            Push::Closed => {}
+                            other => panic!("uncapped queue produced {other:?}"),
+                        }
+                        if i % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    pushed_sum
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        q.close();
+        let accepted_sum: u64 = pushers.into_iter().map(|p| p.join().unwrap()).sum();
+        let (got, drained_sum) = drainer.join().unwrap();
+        assert_eq!(
+            got,
+            accepted.load(Ordering::Relaxed),
+            "every accepted request drained exactly once"
+        );
+        assert_eq!(drained_sum, accepted_sum, "…with its exact payload");
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.push(1, 1), Push::Closed, "the queue stays closed");
+    }
+
+    #[test]
     fn blocked_pop_wakes_on_push_and_on_close() {
         use std::sync::Arc;
 

@@ -28,20 +28,91 @@
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, RandomState};
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use hin_core::Hin;
 use hin_query::{CacheSnapshot, ChecksumMode, CodecError, QueryError, QueryOutput};
-use hin_telemetry::MetricsWriter;
+use hin_telemetry::{HistSnapshot, Histogram, MetricsWriter};
 
+use crate::remote::{RemoteConfig, RemoteServerHandle, RemoteStats};
 use crate::server::{
     ServeConfig, Server, ServerHandle, ServerStats, SlowQuery, Ticket, EXEC_MODES, EXEC_OUTCOMES,
 };
 
 /// One lock stripe of the dataset registry.
-type Stripe = RwLock<HashMap<String, Arc<Server>>>;
+type Stripe = RwLock<HashMap<String, Shard>>;
+
+/// One registered dataset: a server in this process, or a client to a
+/// shard living in another process.
+#[derive(Clone)]
+enum Shard {
+    Local(Arc<Server>),
+    Remote(Arc<RemoteShard>),
+}
+
+/// Router-side state of one remote shard: the wire client plus the health
+/// bit its supervisor maintains. Unhealthy shards shed immediately with
+/// [`QueryError::Unavailable`] instead of burning a retry schedule per
+/// query — graceful degradation while the supervisor decides on failover.
+struct RemoteShard {
+    handle: RemoteServerHandle,
+    healthy: AtomicBool,
+}
+
+/// Health-check and failover policy for one remote shard
+/// ([`Router::register_remote`]).
+#[derive(Clone)]
+pub struct SupervisorConfig {
+    /// Time between health-check pings.
+    pub interval: Duration,
+    /// Per-ping timeout (connect + round trip).
+    pub ping_timeout: Duration,
+    /// Consecutive ping failures before the shard is marked unhealthy
+    /// (and failover fires, when configured).
+    pub failure_threshold: u32,
+    /// When set, an unhealthy shard is automatically replaced by a local
+    /// warm-started server ([`FailoverConfig`]). When `None`, the shard
+    /// stays registered but sheds until pings succeed again.
+    pub failover: Option<FailoverConfig>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(250),
+            ping_timeout: Duration::from_millis(500),
+            failure_threshold: 3,
+            failover: None,
+        }
+    }
+}
+
+/// Everything automatic failover needs to resurrect a dead remote shard
+/// as a local server: the dataset itself, and the checkpoint file (from
+/// [`Router::checkpoint`]) that warms the replacement's cache. A missing
+/// or corrupt checkpoint degrades the failover to a cold start — serving
+/// resumes either way.
+#[derive(Clone)]
+pub struct FailoverConfig {
+    /// The dataset the replacement server computes over.
+    pub hin: Arc<Hin>,
+    /// Checkpoint file to warm-start from, honoring
+    /// [`ServeConfig::mmap_snapshots`] like
+    /// [`Router::register_warm_from_file`].
+    pub checkpoint: PathBuf,
+}
+
+/// A supervisor thread and its stop flag, keyed by dataset in
+/// [`Router::supervisors`].
+struct Supervisor {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
 
 /// Sizing knobs for a [`Router`].
 #[derive(Clone, Debug)]
@@ -106,12 +177,30 @@ fn key_digest(key: &str) -> u64 {
 /// counters.
 #[derive(Clone, Debug, Default)]
 pub struct RouterStats {
-    /// One snapshot per registered dataset, sorted by key.
+    /// One snapshot per registered **local** dataset, sorted by key.
     pub datasets: Vec<(String, ServerStats)>,
+    /// One snapshot per registered **remote** shard, sorted by key.
+    pub remotes: Vec<(String, RemoteDatasetStats)>,
     /// Queries routed to a registered dataset.
     pub routed: u64,
     /// Queries refused with [`QueryError::UnknownDataset`].
     pub misrouted: u64,
+    /// Remote submissions shed because the shard was marked unhealthy.
+    pub shed_unhealthy: u64,
+    /// Automatic failovers performed (remote shard → warm local server).
+    pub failovers: u64,
+    /// Time-to-recovery of each failover: unhealthy verdict to the warm
+    /// replacement taking traffic, in nanoseconds.
+    pub failover_ns: HistSnapshot,
+}
+
+/// Router-side view of one remote shard's client counters.
+#[derive(Clone, Debug, Default)]
+pub struct RemoteDatasetStats {
+    /// Supervisor's current verdict — `false` sheds submissions fast.
+    pub healthy: bool,
+    /// Lifetime wire-client counters (retries, breaker trips, pings).
+    pub stats: RemoteStats,
 }
 
 impl RouterStats {
@@ -132,6 +221,9 @@ impl RouterStats {
         let mut w = MetricsWriter::new();
         w.counter("hin_router_routed_total", &[], self.routed);
         w.counter("hin_router_misrouted_total", &[], self.misrouted);
+        w.counter("hin_shed_unhealthy_total", &[], self.shed_unhealthy);
+        w.counter("hin_failovers_total", &[], self.failovers);
+        w.histogram_seconds("hin_failover_seconds", &[], &self.failover_ns);
         // Process-wide storage-tier series (the arena buffers back every
         // dataset's snapshot views, so they are not per-dataset).
         w.gauge(
@@ -167,11 +259,26 @@ impl RouterStats {
             w.counter("hin_kernel_row_blocks_total", &[], s.row_blocks);
             w.counter("hin_kernel_block_anchors_total", &[], s.block_anchors);
         }
+        for (key, r) in &self.remotes {
+            let ds = [("dataset", key.as_str())];
+            w.gauge("hin_shard_health", &ds, if r.healthy { 1.0 } else { 0.0 });
+            w.counter("hin_remote_served_total", &ds, r.stats.served);
+            w.counter("hin_remote_errors_total", &ds, r.stats.errors);
+            w.counter("hin_retries_total", &ds, r.stats.retries);
+            w.counter("hin_retries_exhausted_total", &ds, r.stats.exhausted);
+            w.counter("hin_circuit_open_total", &ds, r.stats.circuit_opens);
+            w.counter("hin_breaker_rejected_total", &ds, r.stats.breaker_rejected);
+            w.counter("hin_remote_shed_total", &ds, r.stats.shed);
+            w.counter("hin_pings_total", &ds, r.stats.pings);
+            w.counter("hin_ping_failures_total", &ds, r.stats.ping_failures);
+        }
         for (key, s) in &self.datasets {
             let ds = [("dataset", key.as_str())];
+            w.gauge("hin_shard_health", &ds, 1.0);
             w.counter("hin_served_total", &ds, s.served);
             w.counter("hin_errors_total", &ds, s.errors);
             w.counter("hin_shed_total", &ds, s.shed);
+            w.counter("hin_shed_expired_total", &ds, s.shed_expired);
             w.counter("hin_batches_total", &ds, s.batches);
             w.counter("hin_anchored_fast_paths_total", &ds, s.anchored_fast_paths);
             w.counter("hin_promotions_total", &ds, s.promotions);
@@ -235,9 +342,10 @@ impl RouterStats {
     }
 }
 
-/// A runtime-mutable registry of dataset servers with hashed lock
-/// striping. All methods take `&self`; share behind an `Arc`.
-pub struct Router {
+/// The router's shared core: everything supervisor threads need to route
+/// around — and fail over — a dead shard while the owning [`Router`] sits
+/// elsewhere on the stack.
+struct Inner {
     stripes: Box<[Stripe]>,
     /// `stripes.len() - 1`; the stripe count is a power of two.
     stripe_mask: usize,
@@ -245,6 +353,77 @@ pub struct Router {
     serve: ServeConfig,
     routed: AtomicU64,
     misrouted: AtomicU64,
+    shed_unhealthy: AtomicU64,
+    failovers: AtomicU64,
+    failover_ns: Histogram,
+}
+
+impl Inner {
+    fn stripe_of(&self, key: &str) -> &Stripe {
+        &self.stripes[(self.hasher.hash_one(key) as usize) & self.stripe_mask]
+    }
+
+    fn shard(&self, key: &str) -> Option<Shard> {
+        self.stripe_of(key)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .cloned()
+    }
+
+    fn server(&self, key: &str) -> Option<Arc<Server>> {
+        match self.shard(key)? {
+            Shard::Local(server) => Some(server),
+            Shard::Remote(_) => None,
+        }
+    }
+
+    /// Replace the dead remote shard under `key` with a local server
+    /// warm-started from the checkpoint. Returns `false` when the key was
+    /// concurrently evicted or replaced (the fresh server is torn down,
+    /// nothing changes). A missing or corrupt checkpoint degrades to a
+    /// cold start — availability beats warmth.
+    fn failover(&self, key: &str, dead: &Arc<RemoteShard>, fo: &FailoverConfig) -> bool {
+        let snapshot = if self.serve.mmap_snapshots {
+            CacheSnapshot::read_from_file_mapped(&fo.checkpoint, ChecksumMode::Lazy)
+        } else {
+            CacheSnapshot::read_from_file(&fo.checkpoint)
+        };
+        let config = ServeConfig {
+            warm_start: snapshot.ok().map(Arc::new),
+            ..self.serve.clone()
+        };
+        // Build the replacement (threads, warm import) before touching the
+        // registry: the swap itself is one write-lock blip.
+        let server = Arc::new(Server::start(Arc::clone(&fo.hin), config));
+        {
+            let mut stripe = self
+                .stripe_of(key)
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            match stripe.get(key) {
+                Some(Shard::Remote(current)) if Arc::ptr_eq(current, dead) => {
+                    stripe.insert(key.to_string(), Shard::Local(server));
+                    return true;
+                }
+                _ => {} // evicted or replaced while we built: stand down
+            }
+        }
+        if let Ok(server) = Arc::try_unwrap(server) {
+            let _ = server.shutdown();
+        }
+        false
+    }
+}
+
+/// A runtime-mutable registry of dataset shards — local servers and
+/// remote ones behind the wire protocol — with hashed lock striping and
+/// per-remote health supervision. All methods take `&self`; share behind
+/// an `Arc`.
+pub struct Router {
+    inner: Arc<Inner>,
+    /// One supervisor thread per remote shard, keyed by dataset.
+    supervisors: Mutex<HashMap<String, Supervisor>>,
 }
 
 impl Default for Router {
@@ -258,27 +437,33 @@ impl Router {
     pub fn new(config: RouterConfig) -> Self {
         let stripes = config.stripes.max(1).next_power_of_two();
         Self {
-            stripes: (0..stripes)
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect::<Vec<_>>()
-                .into_boxed_slice(),
-            stripe_mask: stripes - 1,
-            hasher: RandomState::new(),
-            serve: config.serve,
-            routed: AtomicU64::new(0),
-            misrouted: AtomicU64::new(0),
+            inner: Arc::new(Inner {
+                stripes: (0..stripes)
+                    .map(|_| RwLock::new(HashMap::new()))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+                stripe_mask: stripes - 1,
+                hasher: RandomState::new(),
+                serve: config.serve,
+                routed: AtomicU64::new(0),
+                misrouted: AtomicU64::new(0),
+                shed_unhealthy: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+                failover_ns: Histogram::new(),
+            }),
+            supervisors: Mutex::new(HashMap::new()),
         }
     }
 
     fn stripe_of(&self, key: &str) -> &Stripe {
-        &self.stripes[(self.hasher.hash_one(key) as usize) & self.stripe_mask]
+        self.inner.stripe_of(key)
     }
 
     /// Start a [`Server`] for `hin` under `key` with the router's default
     /// serving config. Returns `false` (and starts nothing) if the key is
     /// already registered — evict first to replace a dataset.
     pub fn register(&self, key: impl Into<String>, hin: Arc<Hin>) -> bool {
-        self.register_with(key, hin, self.serve.clone())
+        self.register_with(key, hin, self.inner.serve.clone())
     }
 
     /// Register a replacement that takes traffic **warm**: the snapshot
@@ -301,7 +486,7 @@ impl Router {
     ) -> Option<hin_query::SnapshotImport> {
         let config = ServeConfig {
             warm_start: Some(Arc::new(snapshot)),
-            ..self.serve.clone()
+            ..self.inner.serve.clone()
         };
         let server = self.register_server(key.into(), hin, config)?;
         Some(server.warm_import().unwrap_or_default())
@@ -325,7 +510,7 @@ impl Router {
         hin: Arc<Hin>,
         path: impl AsRef<Path>,
     ) -> Result<Option<hin_query::SnapshotImport>, CodecError> {
-        let snapshot = if self.serve.mmap_snapshots {
+        let snapshot = if self.inner.serve.mmap_snapshots {
             CacheSnapshot::read_from_file_mapped(path, ChecksumMode::Lazy)?
         } else {
             CacheSnapshot::read_from_file(path)?
@@ -372,7 +557,7 @@ impl Router {
             match stripe.entry(key) {
                 MapEntry::Occupied(_) => {} // lost a registration race
                 MapEntry::Vacant(slot) => {
-                    slot.insert(Arc::clone(&server));
+                    slot.insert(Shard::Local(Arc::clone(&server)));
                     return Some(server);
                 }
             }
@@ -383,6 +568,113 @@ impl Router {
             let _ = server.shutdown();
         }
         None
+    }
+
+    /// Register a **remote** shard: queries for `key` are forwarded over
+    /// the wire protocol to the [`ShardListener`](crate::ShardListener) at
+    /// `addr`, with the retry/breaker behavior of `config`. A supervisor
+    /// thread pings the shard every [`SupervisorConfig::interval`];
+    /// [`SupervisorConfig::failure_threshold`] consecutive failures mark
+    /// it unhealthy, shedding submissions fast with
+    /// [`QueryError::Unavailable`] — and, when
+    /// [`SupervisorConfig::failover`] is set, replacing it with a local
+    /// server warm-started from the checkpoint, automatically.
+    ///
+    /// Returns `false` (registering nothing) if the key is taken. No I/O
+    /// happens here: a dead address surfaces on the first submission (as
+    /// retries, then breaker trips) and on the supervisor's first ping.
+    pub fn register_remote(
+        &self,
+        key: impl Into<String>,
+        addr: SocketAddr,
+        config: RemoteConfig,
+        supervise: SupervisorConfig,
+    ) -> bool {
+        let key = key.into();
+        let shard = Arc::new(RemoteShard {
+            handle: RemoteServerHandle::connect(addr, config),
+            healthy: AtomicBool::new(true),
+        });
+        {
+            let mut stripe = self
+                .stripe_of(&key)
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            match stripe.entry(key.clone()) {
+                MapEntry::Occupied(_) => return false, // undialed handle: cheap drop
+                MapEntry::Vacant(slot) => {
+                    slot.insert(Shard::Remote(Arc::clone(&shard)));
+                }
+            }
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let inner = Arc::clone(&self.inner);
+            let stop = Arc::clone(&stop);
+            let key = key.clone();
+            std::thread::Builder::new()
+                .name(format!("hin-supervise-{key}"))
+                .spawn(move || supervise_shard(&inner, &key, &shard, &supervise, &stop))
+                .expect("spawn supervisor thread")
+        };
+        let old = self
+            .supervisors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, Supervisor { stop, thread });
+        if let Some(old) = old {
+            // a supervisor left over from a deregistered incarnation of
+            // this key; it is already stopped — reap it
+            old.stop.store(true, Ordering::SeqCst);
+            let _ = old.thread.join();
+        }
+        true
+    }
+
+    /// Tear down the **remote** shard registered under `key`: stop its
+    /// supervisor, close its connections, and return the wire client's
+    /// final counters. `None` if the key is unregistered or local
+    /// ([`Router::evict`] handles local shards).
+    pub fn deregister_remote(&self, key: &str) -> Option<RemoteStats> {
+        let mut shard = {
+            let mut stripe = self
+                .stripe_of(key)
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            match stripe.get(key) {
+                Some(Shard::Remote(_)) => {}
+                _ => return None,
+            }
+            match stripe.remove(key) {
+                Some(Shard::Remote(shard)) => shard,
+                _ => unreachable!("checked under the same write lock"),
+            }
+        };
+        // the supervisor holds a clone; reap it before spinning ours out
+        self.stop_supervisor(key);
+        // transient submit-path clones spin out quickly, same as evict
+        loop {
+            match Arc::try_unwrap(shard) {
+                Ok(s) => return Some(s.handle.shutdown()),
+                Err(still_shared) => {
+                    shard = still_shared;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Stop and reap `key`'s supervisor thread, if any.
+    fn stop_supervisor(&self, key: &str) {
+        let sup = self
+            .supervisors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(key);
+        if let Some(sup) = sup {
+            sup.stop.store(true, Ordering::SeqCst);
+            let _ = sup.thread.join();
+        }
     }
 
     /// Tear down `key`'s server: unregister it, drain its in-flight
@@ -398,12 +690,25 @@ impl Router {
     /// the server's internals, not the server), so eviction spins those
     /// transient clones out rather than ever letting a client's clone be
     /// the last owner and run the blocking join inline in `submit`.
+    /// Remote shards are not evictable this way — their cache lives in
+    /// another process, so there is nothing to snapshot; `evict` leaves a
+    /// remote registration untouched and returns `None`. Use
+    /// [`Router::deregister_remote`] for those.
     pub fn evict(&self, key: &str) -> Option<Evicted> {
-        let mut server = self
-            .stripe_of(key)
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .remove(key)?;
+        let mut server = {
+            let mut stripe = self
+                .stripe_of(key)
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            match stripe.get(key) {
+                Some(Shard::Local(_)) => {}
+                _ => return None,
+            }
+            match stripe.remove(key) {
+                Some(Shard::Local(server)) => server,
+                _ => unreachable!("checked under the same write lock"),
+            }
+        };
         loop {
             match Arc::try_unwrap(server) {
                 Ok(server) => {
@@ -468,9 +773,10 @@ impl Router {
             .contains_key(key)
     }
 
-    /// Number of registered datasets.
+    /// Number of registered datasets (local and remote).
     pub fn len(&self) -> usize {
-        self.stripes
+        self.inner
+            .stripes
             .iter()
             .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
@@ -481,9 +787,10 @@ impl Router {
         self.len() == 0
     }
 
-    /// Registered dataset keys, sorted.
+    /// Registered dataset keys (local and remote), sorted.
     pub fn datasets(&self) -> Vec<String> {
         let mut keys: Vec<String> = self
+            .inner
             .stripes
             .iter()
             .flat_map(|s| {
@@ -498,12 +805,9 @@ impl Router {
         keys
     }
 
+    /// `key`'s local server, `None` when unregistered **or remote**.
     fn server(&self, key: &str) -> Option<Arc<Server>> {
-        self.stripe_of(key)
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(key)
-            .map(Arc::clone)
+        self.inner.server(key)
     }
 
     /// A submission handle (a fresh fairness lane) on `key`'s server, or
@@ -532,13 +836,26 @@ impl Router {
     /// [`Router::handle`] — lanes (handles), not call sites, are the unit
     /// the scheduler is fair across.
     pub fn submit(&self, dataset: &str, query: impl Into<String>) -> Ticket {
-        match self.server(dataset) {
-            Some(server) => {
-                self.routed.fetch_add(1, Ordering::Relaxed);
+        match self.inner.shard(dataset) {
+            Some(Shard::Local(server)) => {
+                self.inner.routed.fetch_add(1, Ordering::Relaxed);
                 server.submit(query)
             }
+            Some(Shard::Remote(shard)) => {
+                // graceful degradation: a shard its supervisor has marked
+                // unhealthy sheds instantly instead of burning a whole
+                // retry schedule per query
+                if !shard.healthy.load(Ordering::Relaxed) {
+                    self.inner.shed_unhealthy.fetch_add(1, Ordering::Relaxed);
+                    return Ticket::refused(QueryError::Unavailable(format!(
+                        "dataset {dataset} marked unhealthy"
+                    )));
+                }
+                self.inner.routed.fetch_add(1, Ordering::Relaxed);
+                shard.handle.submit(query)
+            }
             None => {
-                self.misrouted.fetch_add(1, Ordering::Relaxed);
+                self.inner.misrouted.fetch_add(1, Ordering::Relaxed);
                 Ticket::refused(QueryError::UnknownDataset(dataset.to_string()))
             }
         }
@@ -559,39 +876,152 @@ impl Router {
 
     /// Snapshot every dataset's statistics plus the routing counters.
     pub fn stats(&self) -> RouterStats {
-        let mut datasets: Vec<(String, ServerStats)> = self
-            .stripes
-            .iter()
-            .flat_map(|s| {
-                s.read()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .iter()
-                    .map(|(k, server)| (k.clone(), server.stats()))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        datasets.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        RouterStats {
-            datasets,
-            routed: self.routed.load(Ordering::Relaxed),
-            misrouted: self.misrouted.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Evict every dataset (draining each server) and return the final
-    /// per-dataset statistics.
-    pub fn shutdown(self) -> RouterStats {
-        let mut datasets = Vec::new();
-        for key in self.datasets() {
-            if let Some(evicted) = self.evict(&key) {
-                datasets.push((key, evicted.stats));
+        let mut datasets: Vec<(String, ServerStats)> = Vec::new();
+        let mut remotes: Vec<(String, RemoteDatasetStats)> = Vec::new();
+        for stripe in self.inner.stripes.iter() {
+            for (k, shard) in stripe.read().unwrap_or_else(PoisonError::into_inner).iter() {
+                match shard {
+                    Shard::Local(server) => datasets.push((k.clone(), server.stats())),
+                    Shard::Remote(shard) => remotes.push((
+                        k.clone(),
+                        RemoteDatasetStats {
+                            healthy: shard.healthy.load(Ordering::Relaxed),
+                            stats: shard.handle.stats(),
+                        },
+                    )),
+                }
             }
         }
         datasets.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        remotes.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         RouterStats {
             datasets,
-            routed: self.routed.load(Ordering::Relaxed),
-            misrouted: self.misrouted.load(Ordering::Relaxed),
+            remotes,
+            routed: self.inner.routed.load(Ordering::Relaxed),
+            misrouted: self.inner.misrouted.load(Ordering::Relaxed),
+            shed_unhealthy: self.inner.shed_unhealthy.load(Ordering::Relaxed),
+            failovers: self.inner.failovers.load(Ordering::Relaxed),
+            failover_ns: self.inner.failover_ns.snapshot(),
+        }
+    }
+
+    /// Evict every local dataset (draining each server), deregister every
+    /// remote shard, stop all supervision, and return the final
+    /// statistics.
+    pub fn shutdown(self) -> RouterStats {
+        // stop supervision first so no failover races the teardown
+        let sups: Vec<Supervisor> = {
+            let mut map = self
+                .supervisors
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            map.drain().map(|(_, s)| s).collect()
+        };
+        for sup in &sups {
+            sup.stop.store(true, Ordering::SeqCst);
+        }
+        for sup in sups {
+            let _ = sup.thread.join();
+        }
+        let mut datasets = Vec::new();
+        let mut remotes = Vec::new();
+        for key in self.datasets() {
+            if let Some(evicted) = self.evict(&key) {
+                datasets.push((key, evicted.stats));
+            } else if let Some(stats) = self.deregister_remote(&key) {
+                remotes.push((
+                    key,
+                    RemoteDatasetStats {
+                        healthy: false,
+                        stats,
+                    },
+                ));
+            }
+        }
+        datasets.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        remotes.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        RouterStats {
+            datasets,
+            remotes,
+            routed: self.inner.routed.load(Ordering::Relaxed),
+            misrouted: self.inner.misrouted.load(Ordering::Relaxed),
+            shed_unhealthy: self.inner.shed_unhealthy.load(Ordering::Relaxed),
+            failovers: self.inner.failovers.load(Ordering::Relaxed),
+            failover_ns: self.inner.failover_ns.snapshot(),
+        }
+    }
+}
+
+impl Drop for Router {
+    /// A router dropped without [`Router::shutdown`] still reaps its
+    /// supervisor threads (they hold `Arc<Inner>` and would outlive us,
+    /// pinging dead addresses forever). Shards are left to their own
+    /// `Drop`s.
+    fn drop(&mut self) {
+        let sups: Vec<Supervisor> = {
+            let mut map = self
+                .supervisors
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            map.drain().map(|(_, s)| s).collect()
+        };
+        for sup in &sups {
+            sup.stop.store(true, Ordering::SeqCst);
+        }
+        for sup in sups {
+            let _ = sup.thread.join();
+        }
+    }
+}
+
+/// The supervisor loop for one remote shard: ping on a cadence, demote to
+/// unhealthy after consecutive failures, promote back on recovery — and,
+/// when failover is configured, swap in a warm local replacement and
+/// retire (a local server needs no pings).
+fn supervise_shard(
+    inner: &Arc<Inner>,
+    key: &str,
+    shard: &Arc<RemoteShard>,
+    config: &SupervisorConfig,
+    stop: &AtomicBool,
+) {
+    let mut consecutive = 0u32;
+    loop {
+        // sleep in short steps so deregistration never waits a full interval
+        let mut slept = Duration::ZERO;
+        while slept < config.interval {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let step = Duration::from_millis(5).min(config.interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match shard.handle.ping(config.ping_timeout) {
+            Ok(_) => {
+                consecutive = 0;
+                shard.healthy.store(true, Ordering::Relaxed);
+            }
+            Err(_) => {
+                consecutive += 1;
+                if consecutive < config.failure_threshold {
+                    continue;
+                }
+                shard.healthy.store(false, Ordering::Relaxed);
+                if let Some(fo) = &config.failover {
+                    // time-to-recovery: unhealthy verdict → warm local
+                    // replacement taking traffic
+                    let t0 = Instant::now();
+                    if inner.failover(key, shard, fo) {
+                        inner.failovers.fetch_add(1, Ordering::Relaxed);
+                        inner.failover_ns.record_duration(t0.elapsed());
+                    }
+                    return;
+                }
+            }
         }
     }
 }
@@ -774,6 +1204,65 @@ mod tests {
     }
 
     #[test]
+    fn evict_races_an_in_flight_checkpoint_without_hanging_or_corrupting() {
+        use std::sync::atomic::AtomicBool;
+
+        let dir = std::env::temp_dir().join(format!(
+            "hin-router-ckrace-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let router = Arc::new(eager_router());
+        let hins: Vec<Arc<Hin>> = (0..3)
+            .map(|_| tiny(&[("p0", "ann"), ("p0", "bo"), ("p1", "bo")]))
+            .collect();
+        for (i, hin) in hins.iter().enumerate() {
+            router.register(format!("d{i}"), Arc::clone(hin));
+            router
+                .submit(&format!("d{i}"), "pathsim author-paper-author from ann")
+                .wait()
+                .unwrap();
+        }
+
+        // checkpoints stream continuously while datasets churn under them
+        let stop = Arc::new(AtomicBool::new(false));
+        let checkpointer = {
+            let router = Arc::clone(&router);
+            let stop = Arc::clone(&stop);
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                let mut rounds = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    // a concurrently evicted dataset is skipped, never an error
+                    let written = router.checkpoint(&dir).expect("checkpoint survives churn");
+                    for (_, path) in written {
+                        // the atomic tmp+rename protocol means every visible
+                        // file decodes, even mid-overwrite
+                        hin_query::CacheSnapshot::read_from_file(&path)
+                            .expect("checkpoint files stay wholly readable");
+                    }
+                    rounds += 1;
+                }
+                rounds
+            })
+        };
+        for _ in 0..5 {
+            for (i, hin) in hins.iter().enumerate() {
+                let key = format!("d{i}");
+                let evicted = router.evict(&key).expect("registered");
+                router
+                    .register_warm(&key, Arc::clone(hin), evicted.snapshot)
+                    .expect("key free after evict");
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let rounds = checkpointer.join().unwrap();
+        assert!(rounds > 0, "the checkpointer actually ran");
+        assert_eq!(router.len(), 3, "every dataset survived the churn");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn colliding_checkpoint_names_are_disambiguated_not_clobbered() {
         let dir = std::env::temp_dir().join(format!(
             "hin-router-collide-{}-{:?}",
@@ -799,6 +1288,199 @@ mod tests {
         for (_, path) in &written {
             assert!(path.exists(), "{} written", path.display());
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    use crate::{RemoteConfig, ShardListener};
+
+    /// Supervision knobs fast enough for tests: 20ms pings, 2 strikes.
+    fn fast_supervision(failover: Option<FailoverConfig>) -> SupervisorConfig {
+        SupervisorConfig {
+            interval: Duration::from_millis(20),
+            ping_timeout: Duration::from_millis(200),
+            failure_threshold: 2,
+            failover,
+        }
+    }
+
+    /// Spin until `pred` holds, failing the test after `deadline`.
+    fn wait_for(deadline: Duration, what: &str, mut pred: impl FnMut() -> bool) {
+        let t0 = Instant::now();
+        while !pred() {
+            assert!(t0.elapsed() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn remote_shards_route_over_the_wire() {
+        let hin = tiny(&[("p0", "ann"), ("p0", "bo")]);
+        let listener =
+            ShardListener::start(Arc::clone(&hin), ServeConfig::default()).expect("bind");
+        let router = Router::default();
+        assert!(router.register_remote(
+            "far",
+            listener.local_addr(),
+            RemoteConfig::default(),
+            fast_supervision(None),
+        ));
+        assert!(
+            !router.register_remote(
+                "far",
+                listener.local_addr(),
+                RemoteConfig::default(),
+                fast_supervision(None),
+            ),
+            "duplicate keys refused across shard kinds"
+        );
+        assert!(router.contains("far"));
+        assert_eq!(router.len(), 1);
+
+        let got = router
+            .submit("far", "pathsim author-paper-author from ann")
+            .wait()
+            .unwrap();
+        assert_eq!(got.items[0].0, "bo");
+
+        // remote shards appear in stats (and metrics) under their own series
+        let stats = router.stats();
+        assert!(stats.datasets.is_empty());
+        assert_eq!(stats.remotes.len(), 1);
+        assert_eq!(stats.remotes[0].0, "far");
+        assert!(stats.remotes[0].1.healthy);
+        assert_eq!(stats.remotes[0].1.stats.served, 1);
+        let page = stats.render_metrics();
+        assert!(page.contains("hin_shard_health{dataset=\"far\"} 1"));
+        assert!(page.contains("hin_retries_total{dataset=\"far\"} 0"));
+        assert!(page.contains("hin_circuit_open_total{dataset=\"far\"} 0"));
+
+        // handles and eviction are local-shard concepts
+        assert!(router.handle("far").is_none());
+        assert!(router.evict("far").is_none());
+        assert!(router.contains("far"), "evict leaves remote shards alone");
+
+        let final_stats = router.shutdown();
+        assert_eq!(final_stats.remotes.len(), 1);
+        assert_eq!(final_stats.remotes[0].1.stats.served, 1);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn unhealthy_remote_sheds_fast_and_recovers_nothing_without_failover() {
+        let hin = tiny(&[("p0", "ann"), ("p0", "bo")]);
+        let listener =
+            ShardListener::start(Arc::clone(&hin), ServeConfig::default()).expect("bind");
+        let router = Router::default();
+        router.register_remote(
+            "far",
+            listener.local_addr(),
+            RemoteConfig {
+                retries: 0,
+                connect_timeout: Duration::from_millis(100),
+                request_timeout: Duration::from_millis(200),
+                ..RemoteConfig::default()
+            },
+            fast_supervision(None),
+        );
+        assert!(router
+            .submit("far", "pathsim author-paper-author from ann")
+            .wait()
+            .is_ok());
+
+        listener.kill();
+        let _ = listener.shutdown();
+        wait_for(Duration::from_secs(10), "unhealthy verdict", || {
+            !router.stats().remotes[0].1.healthy
+        });
+
+        // graceful degradation: shed instantly, not after a retry schedule
+        let t0 = Instant::now();
+        let err = router
+            .submit("far", "pathsim author-paper-author from ann")
+            .wait();
+        assert!(matches!(err, Err(QueryError::Unavailable(_))), "{err:?}");
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "unhealthy shard must shed without dialing"
+        );
+        let stats = router.stats();
+        assert!(stats.shed_unhealthy >= 1);
+        assert_eq!(stats.failovers, 0, "no failover was configured");
+        assert!(stats
+            .render_metrics()
+            .contains("hin_shard_health{dataset=\"far\"} 0"));
+        router.shutdown();
+    }
+
+    #[test]
+    fn dead_remote_fails_over_to_a_warm_local_server() {
+        let dir = std::env::temp_dir().join(format!(
+            "hin-router-failover-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let hin = tiny(&[("p0", "ann"), ("p0", "bo"), ("p1", "bo")]);
+        let q = "pathsim author-paper-author from ann";
+
+        // season a local shard, checkpoint it, hand the dataset off to a
+        // remote process
+        let router = eager_router();
+        router.register("d", Arc::clone(&hin));
+        let want = router.submit("d", q).wait().unwrap();
+        let written = router.checkpoint(&dir).expect("checkpoint");
+        assert_eq!(written.len(), 1);
+        router.evict("d");
+
+        let listener = ShardListener::start(
+            Arc::clone(&hin),
+            ServeConfig {
+                exec: hin_query::ExecPolicy::eager(),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind");
+        router.register_remote(
+            "d",
+            listener.local_addr(),
+            RemoteConfig {
+                retries: 0,
+                connect_timeout: Duration::from_millis(100),
+                request_timeout: Duration::from_millis(500),
+                ..RemoteConfig::default()
+            },
+            fast_supervision(Some(FailoverConfig {
+                hin: Arc::clone(&hin),
+                checkpoint: written[0].1.clone(),
+            })),
+        );
+        assert_eq!(router.submit("d", q).wait().unwrap(), want);
+
+        // kill the shard: the supervisor must resurrect the dataset as a
+        // warm local server, automatically
+        listener.kill();
+        let _ = listener.shutdown();
+        wait_for(Duration::from_secs(10), "automatic failover", || {
+            router.stats().failovers == 1
+        });
+
+        let stats = router.stats();
+        assert!(stats.remotes.is_empty(), "the remote shard was replaced");
+        assert_eq!(stats.datasets.len(), 1);
+        assert!(
+            stats.datasets[0].1.cache_warm_loaded > 0,
+            "the replacement warm-started from the checkpoint"
+        );
+        assert!(
+            !stats.failover_ns.is_empty(),
+            "time-to-recovery was recorded"
+        );
+        assert!(stats.render_metrics().contains("hin_failovers_total 1"));
+        assert_eq!(
+            router.submit("d", q).wait().unwrap(),
+            want,
+            "the resurrected dataset answers byte-identically"
+        );
+        router.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

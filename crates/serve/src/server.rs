@@ -213,6 +213,11 @@ struct Request {
     /// When the dispatcher drained it from the fair queue; initialized to
     /// `queued_at` and overwritten at dispatch.
     dispatched_at: Instant,
+    /// `Some` when the client propagated a deadline: a request still
+    /// queued past this instant is shed with [`QueryError::TimedOut`]
+    /// instead of executed — the client already gave up, so the work
+    /// would only burn a worker for a discarded answer.
+    deadline: Option<Instant>,
 }
 
 /// Counters shared by dispatcher and workers.
@@ -221,6 +226,7 @@ struct Counters {
     served: AtomicU64,
     errors: AtomicU64,
     shed: AtomicU64,
+    shed_expired: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
 }
@@ -246,6 +252,11 @@ pub struct ServerStats {
     /// Queries rejected at admission time ([`QueryError::Overloaded`]);
     /// disjoint from `served`.
     pub shed: u64,
+    /// Queries whose propagated deadline expired while they were still
+    /// queued: answered [`QueryError::TimedOut`] by the worker *without*
+    /// executing (see [`ServerHandle::submit_with_deadline`]). Disjoint
+    /// from `served` and `shed`.
+    pub shed_expired: u64,
     /// Micro-batches dispatched.
     pub batches: u64,
     /// Largest micro-batch seen.
@@ -334,6 +345,7 @@ impl ServerStats {
             served: self.served + other.served,
             errors: self.errors + other.errors,
             shed: self.shed + other.shed,
+            shed_expired: self.shed_expired + other.shed_expired,
             batches: self.batches + other.batches,
             max_batch: self.max_batch.max(other.max_batch),
             workers: self.workers + other.workers,
@@ -386,6 +398,15 @@ impl Ticket {
     pub(crate) fn refused(err: QueryError) -> Ticket {
         Ticket {
             state: TicketState::Refused(err),
+        }
+    }
+
+    /// A ticket resolved by whoever holds the paired sender — how the
+    /// remote transport hands out tickets backed by a connector thread
+    /// instead of a worker pool.
+    pub(crate) fn pending(rx: Receiver<Result<QueryOutput, QueryError>>) -> Ticket {
+        Ticket {
+            state: TicketState::Pending(rx),
         }
     }
 
@@ -442,13 +463,32 @@ impl ServerHandle {
     /// [`Server::shutdown`] the ticket resolves to
     /// [`QueryError::Canceled`].
     pub fn submit(&self, query: impl Into<String>) -> Ticket {
+        self.submit_inner(query.into(), None)
+    }
+
+    /// [`ServerHandle::submit`] with a deadline the pipeline honors.
+    ///
+    /// Where [`Ticket::wait_timeout`] only bounds the *wait* — the expired
+    /// request stays in flight and still burns a worker — this propagates
+    /// the deadline into the dispatcher: a request whose deadline passes
+    /// while it is still queued is shed with [`QueryError::TimedOut`]
+    /// before execution and counted as [`ServerStats::shed_expired`].
+    /// Pair it with `wait_timeout(ttl)` for an end-to-end latency bound
+    /// that does not leave zombie work behind.
+    pub fn submit_with_deadline(&self, query: impl Into<String>, ttl: Duration) -> Ticket {
+        let deadline = Instant::now().checked_add(ttl);
+        self.submit_inner(query.into(), deadline)
+    }
+
+    fn submit_inner(&self, query: String, deadline: Option<Instant>) -> Ticket {
         let t0 = Instant::now();
         let (reply, rx) = channel();
         let req = Request {
-            query: query.into(),
+            query,
             reply,
             queued_at: t0,
             dispatched_at: t0,
+            deadline,
         };
         let push = self.shared.queue.push(self.client, req);
         if let (Some(tel), Push::Queued | Push::Displaced(_)) = (&self.shared.telemetry, &push) {
@@ -610,6 +650,12 @@ impl Server {
         self.handle.submit(query)
     }
 
+    /// Enqueue with a pipeline-honored deadline on the server's own lane
+    /// (see [`ServerHandle::submit_with_deadline`]).
+    pub fn submit_with_deadline(&self, query: impl Into<String>, ttl: Duration) -> Ticket {
+        self.handle.submit_with_deadline(query, ttl)
+    }
+
     /// Submit a whole batch and block for all results, in order — the
     /// concurrent counterpart of [`Engine::execute_many`].
     pub fn execute_many<S: AsRef<str>>(
@@ -653,6 +699,7 @@ impl Server {
             served: counters.served.load(Ordering::Relaxed),
             errors: counters.errors.load(Ordering::Relaxed),
             shed: counters.shed.load(Ordering::Relaxed),
+            shed_expired: counters.shed_expired.load(Ordering::Relaxed),
             batches: counters.batches.load(Ordering::Relaxed),
             max_batch: counters.max_batch.load(Ordering::Relaxed),
             workers: self.workers,
@@ -771,11 +818,29 @@ fn worker_loop(work_rx: &Mutex<Receiver<Vec<Request>>>, engine: &Engine, shared:
         // Hold the lock only for the dequeue itself. One idle worker
         // blocks in recv holding the lock; the others queue on the mutex
         // and each wakes to take exactly the next batch.
-        let batch = match work_rx.lock().expect("work queue lock").recv() {
+        let mut batch = match work_rx.lock().expect("work queue lock").recv() {
             Ok(batch) => batch,
             Err(_) => break, // dispatcher gone and queue drained
         };
         let taken = Instant::now();
+        // Deadline shedding: a request whose propagated deadline passed
+        // while it sat in the queue is answered TimedOut *without*
+        // executing — its client already gave up (`wait_timeout` paired
+        // with `submit_with_deadline`), so running it would burn a worker
+        // to produce a discarded answer and delay live requests behind it.
+        if batch.iter().any(|r| r.deadline.is_some_and(|d| d <= taken)) {
+            let (expired, live): (Vec<Request>, Vec<Request>) = batch
+                .into_iter()
+                .partition(|r| r.deadline.is_some_and(|d| d <= taken));
+            for req in expired {
+                counters.shed_expired.fetch_add(1, Ordering::Relaxed);
+                let _ = req.reply.send(Err(QueryError::TimedOut));
+            }
+            batch = live;
+            if batch.is_empty() {
+                continue;
+            }
+        }
         // With telemetry on, execute traced; off, the untraced path — no
         // Instant reads, no probe, no histogram touches on any query.
         let outputs: Vec<(Result<QueryOutput, QueryError>, QueryTrace)> = {
@@ -1063,6 +1128,29 @@ mod tests {
         let result = waiter.join().expect("waiter thread");
         assert!(matches!(result, Err(QueryError::TimedOut)));
         drop(wedged);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_execution() {
+        let server = Server::start(bib(), ServeConfig::default());
+        // a zero TTL is already expired by the time any worker picks it
+        // up: the pipeline must answer TimedOut without executing it
+        let dead =
+            server.submit_with_deadline("pathsim author-paper-author from a0", Duration::ZERO);
+        assert!(matches!(dead.wait(), Err(QueryError::TimedOut)));
+        // a generous TTL executes normally
+        let live = server.submit_with_deadline(
+            "pathsim author-paper-author from a0",
+            Duration::from_secs(60),
+        );
+        assert_eq!(live.wait().unwrap().items[0].0, "a1");
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.shed_expired, 1,
+            "expired request counted as shed_expired"
+        );
+        assert_eq!(stats.served, 1, "expired request never reached the engine");
+        assert_eq!(stats.errors, 0);
     }
 
     #[test]

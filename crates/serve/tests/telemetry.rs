@@ -276,6 +276,7 @@ fn metrics_page_round_trips_every_counter_and_histogram() {
         datasets: vec![("db".to_string(), s)],
         routed: 201,
         misrouted: 202,
+        ..RouterStats::default()
     };
     let page = stats.render_metrics();
 
